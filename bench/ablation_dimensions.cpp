@@ -1,0 +1,96 @@
+// Ablation study — how much each CLIP design dimension contributes
+// (DESIGN.md §4). Variants:
+//   full            — the complete framework;
+//   strict-alg1     — literal Algorithm 1 node counts instead of the scored
+//                     candidate search of §III-B1;
+//   no-validation   — skip the third sample configuration;
+//   threshold-0.6 / threshold-0.8 — classification-threshold sensitivity;
+//   no-var-coord    — disable inter-node variability coordination (evaluated
+//                     on a heterogeneous cluster where it matters).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/scheduler.hpp"
+#include "util/strings.hpp"
+
+using namespace clip;
+
+namespace {
+
+double mean_relative_performance(sim::SimExecutor& ex,
+                                 core::SchedulerOptions options,
+                                 const std::vector<double>& budgets) {
+  core::ClipScheduler sched(ex, workloads::training_benchmarks(), options);
+  baselines::AllInScheduler reference(ex.spec());
+  double acc = 0.0;
+  int count = 0;
+  for (const auto& w : workloads::paper_benchmarks()) {
+    const double ref_time =
+        ex.run_exact(w, reference.plan(w, Watts(1e6))).time.value();
+    for (double b : budgets) {
+      const auto d = sched.schedule(w, Watts(b));
+      acc += ref_time / ex.run_exact(w, d.cluster).time.value();
+      ++count;
+    }
+  }
+  return acc / count;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchContext ctx(argc, argv);
+  const std::vector<double> budgets = {600.0, 800.0, 1000.0, 1400.0};
+
+  Table t({"variant", "mean relative performance", "vs full"});
+  t.set_title("Ablation — contribution of each CLIP design dimension");
+
+  sim::SimExecutor ex = bench::make_testbed();
+  const double full =
+      mean_relative_performance(ex, core::SchedulerOptions{}, budgets);
+  t.add_row({"full CLIP", format_double(full, 3), "--"});
+
+  {
+    core::SchedulerOptions opt;
+    opt.allocator.strict_algorithm1 = true;
+    const double v = mean_relative_performance(ex, opt, budgets);
+    t.add_row({"strict Algorithm 1 node counts", format_double(v, 3),
+               format_percent(v / full - 1.0)});
+  }
+  {
+    core::SchedulerOptions opt;
+    opt.take_validation_sample = false;
+    const double v = mean_relative_performance(ex, opt, budgets);
+    t.add_row({"no validation sample (2 profiles)", format_double(v, 3),
+               format_percent(v / full - 1.0)});
+  }
+  for (double threshold : {0.6, 0.8}) {
+    core::SchedulerOptions opt;
+    opt.classifier.linear_below = threshold;
+    const double v = mean_relative_performance(ex, opt, budgets);
+    t.add_row({"classification threshold " + format_double(threshold, 1),
+               format_double(v, 3), format_percent(v / full - 1.0)});
+  }
+
+  // Variability coordination: evaluated on a heterogeneous cluster.
+  {
+    sim::MachineSpec spec;
+    spec.variability_sigma = 0.08;
+    sim::MeterOptions noise;
+    sim::SimExecutor hetero(spec, noise);
+    const double with_coord = mean_relative_performance(
+        hetero, core::SchedulerOptions{}, budgets);
+    core::SchedulerOptions opt;
+    opt.variability.activation_threshold = 1e9;  // never engages
+    const double without =
+        mean_relative_performance(hetero, opt, budgets);
+    t.add_row({"heterogeneous cluster, with variability coordination",
+               format_double(with_coord, 3), "--"});
+    t.add_row({"heterogeneous cluster, WITHOUT coordination",
+               format_double(without, 3),
+               format_percent(without / with_coord - 1.0)});
+  }
+
+  ctx.print(t);
+  return 0;
+}

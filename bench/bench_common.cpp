@@ -1,0 +1,39 @@
+#include "bench_common.hpp"
+
+#include "util/strings.hpp"
+
+namespace clip::bench {
+
+void print_method_comparison(
+    const BenchContext& ctx, const runtime::ComparisonResult& result,
+    const std::vector<workloads::WorkloadSignature>& apps, double budget,
+    const std::string& title) {
+  static const char* kMethods[] = {"All-In", "Lower Limit", "Coordinated",
+                                   "CLIP", "Oracle"};
+  Table t({"benchmark", "class", "All-In", "Lower Limit", "Coordinated",
+           "CLIP", "Oracle", "CLIP vs best baseline"});
+  t.set_title(title);
+  for (const auto& w : apps) {
+    std::vector<std::string> row;
+    row.push_back(w.name + " (" + w.parameters + ")");
+    row.push_back(workloads::to_string(w.expected_class));
+    double clip = 0.0, best_baseline = 0.0;
+    for (const char* method : kMethods) {
+      const auto* cell =
+          result.find(w.name, w.parameters, budget, method);
+      const double rel = cell ? cell->relative_performance : 0.0;
+      row.push_back(format_double(rel, 3));
+      if (std::string(method) == "CLIP")
+        clip = rel;
+      else if (std::string(method) != "Oracle")
+        best_baseline = std::max(best_baseline, rel);
+    }
+    row.push_back(best_baseline > 0.0
+                      ? format_percent(clip / best_baseline - 1.0)
+                      : "n/a");
+    t.add_row(std::move(row));
+  }
+  ctx.print(t);
+}
+
+}  // namespace clip::bench

@@ -1,0 +1,78 @@
+// Shared infrastructure for the figure/table reproduction harnesses.
+//
+// Every binary in bench/ regenerates one table or figure from the paper's
+// evaluation (§V) on the simulated testbed and prints the same rows/series
+// the paper plots. Pass --csv to emit machine-readable CSV instead of the
+// aligned table.
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "baselines/all_in.hpp"
+#include "baselines/clip_adapter.hpp"
+#include "baselines/coordinated.hpp"
+#include "baselines/lower_limit.hpp"
+#include "baselines/oracle.hpp"
+#include "runtime/comparison.hpp"
+#include "sim/executor.hpp"
+#include "util/table.hpp"
+#include "workloads/catalog.hpp"
+
+namespace clip::bench {
+
+struct BenchContext {
+  bool csv = false;
+
+  explicit BenchContext(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i)
+      if (std::string(argv[i]) == "--csv") csv = true;
+  }
+
+  void print(const Table& table) const {
+    if (csv)
+      table.print_csv(std::cout);
+    else
+      table.print(std::cout);
+    std::cout << '\n';
+  }
+};
+
+/// The standard experimental setup: the 8-node Haswell-like cluster with the
+/// default measurement noise (as on the real testbed).
+inline sim::SimExecutor make_testbed() {
+  return sim::SimExecutor(sim::MachineSpec{});
+}
+
+/// Noise-free twin for oracle searches and ground-truth curves.
+inline sim::SimExecutor make_exact_testbed() {
+  sim::MeterOptions quiet;
+  quiet.enabled = false;
+  return sim::SimExecutor(sim::MachineSpec{}, quiet);
+}
+
+/// The four §V-C methods plus the oracle, registered on a harness.
+inline void register_all_methods(runtime::ComparisonHarness& harness,
+                                 sim::SimExecutor& executor) {
+  harness.add_method(
+      std::make_shared<baselines::AllInScheduler>(executor.spec()));
+  harness.add_method(
+      std::make_shared<baselines::LowerLimitScheduler>(executor.spec()));
+  harness.add_method(
+      std::make_shared<baselines::CoordinatedScheduler>(executor));
+  harness.add_method(std::make_shared<baselines::ClipAdapter>(
+      executor, workloads::training_benchmarks()));
+  harness.add_method(
+      std::make_shared<baselines::OracleScheduler>(executor));
+}
+
+/// Render one figure's worth of comparison cells as app-rows ×
+/// method-columns of relative performance.
+void print_method_comparison(const BenchContext& ctx,
+                             const runtime::ComparisonResult& result,
+                             const std::vector<workloads::WorkloadSignature>&
+                                 apps,
+                             double budget, const std::string& title);
+
+}  // namespace clip::bench

@@ -1,0 +1,74 @@
+// RAPL enforcement dynamics — the time-stepped controller vs the analytic
+// solver. The paper treats RAPL as a black box that "caps and measures
+// power" (§V-A); this harness opens the box: it shows the window-average
+// control loop settling onto the cap, the adjacent-state duty-cycling that
+// produces effective frequencies between P-states, the T-state (clock
+// modulation) region below f_min, and validates that the closed-form
+// operating points the scheduler plans with match the controller's
+// steady-state behaviour.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/rapl.hpp"
+#include "sim/rapl_controller.hpp"
+#include "util/strings.hpp"
+
+using namespace clip;
+
+int main(int argc, char** argv) {
+  const bench::BenchContext ctx(argc, argv);
+  const sim::MachineSpec spec;
+  const sim::RaplControllerSim controller(spec);
+  const sim::RaplSolver solver(spec);
+
+  Table t({"workload", "PKG cap (W)", "analytic: f/duty",
+           "controller: avg f (GHz)", "analytic thr", "controller thr",
+           "agreement", "duty osc."});
+  t.set_title(
+      "RAPL enforcement: analytic operating points vs time-stepped "
+      "window-average controller (24 threads, scatter)");
+
+  for (const char* name : {"CoMD", "BT-MZ", "STREAM-Triad"}) {
+    const auto w = *workloads::find_benchmark(name);
+    for (double cap : {40.0, 55.0, 70.0, 90.0, 110.0, 130.0}) {
+      sim::NodeConfig cfg;
+      cfg.threads = 24;
+      cfg.affinity = parallel::AffinityPolicy::kScatter;
+      cfg.cpu_cap = Watts(cap);
+      cfg.mem_cap = Watts(1e9);
+      const sim::OperatingPoint op = solver.solve(w, 1.0, cfg);
+      cfg.cpu_cap = Watts(1e9);
+      const sim::OperatingPoint top = solver.solve(w, 1.0, cfg);
+      const double analytic_thr =
+          top.perf.time.value() / op.perf.time.value();
+
+      const sim::RaplTrace trace = controller.simulate(
+          w, 24, parallel::AffinityPolicy::kScatter, 68.0, Watts(cap));
+
+      t.add_row({name, format_double(cap, 0),
+                 format_double(op.frequency.value(), 2) + " / " +
+                     format_double(op.duty_factor, 2),
+                 format_double(trace.avg_freq_ghz, 2),
+                 format_double(analytic_thr, 3),
+                 format_double(trace.throughput, 3),
+                 format_percent(trace.throughput / analytic_thr - 1.0),
+                 format_double(trace.duty_low_fraction(), 2)});
+    }
+  }
+  ctx.print(t);
+
+  // A settling trace for one point, decimated for the terminal.
+  const auto w = *workloads::find_benchmark("CoMD");
+  sim::RaplControllerOptions opt;
+  opt.steps = 400;
+  opt.initial_state = spec.ladder.state_count() - 1;  // start at full tilt
+  const sim::RaplTrace trace = controller.simulate(
+      w, 24, parallel::AffinityPolicy::kScatter, 68.0, Watts(90.0), opt);
+  std::cout << "Settling from 2.3 GHz under a 90 W cap (CoMD), 1 ms steps "
+               "(every 20th sample):\n  t(ms) power(W) f(GHz)\n";
+  for (std::size_t i = 0; i < trace.time_s.size(); i += 20)
+    std::cout << "  " << format_double(trace.time_s[i] * 1000.0, 0) << "  "
+              << format_double(trace.power_w[i], 1) << "  "
+              << format_double(trace.freq_ghz[i], 2) << '\n';
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Extension — power-aware job queue: operating the cluster on the whole
+// Table II suite as a job stream under one budget. Compares serial
+// execution (one job at a time with the full budget — the conventional
+// power-bounded site) against CLIP-shaped co-scheduling where concurrent
+// jobs share nodes and watts (cf. POWsched's power shifting between
+// applications).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/scheduler.hpp"
+#include "runtime/queue.hpp"
+#include "util/strings.hpp"
+
+using namespace clip;
+
+int main(int argc, char** argv) {
+  const bench::BenchContext ctx(argc, argv);
+  sim::SimExecutor ex = bench::make_testbed();
+  core::ClipScheduler sched(ex, workloads::training_benchmarks());
+  const auto jobs = workloads::paper_benchmarks();
+
+  Table t({"budget (W)", "policy", "makespan (s)", "mean turnaround (s)",
+           "node utilization", "energy (kJ)", "speedup vs serial"});
+  t.set_title("Job-stream throughput: the Table II suite as a queue");
+
+  for (double budget : {500.0, 600.0, 800.0, 1000.0, 1300.0}) {
+    const auto serial =
+        runtime::run_serially(ex, sched, Watts(budget), jobs);
+    runtime::QueueOptions opt;
+    opt.cluster_budget = Watts(budget);
+    opt.backfill = false;
+    const auto fcfs =
+        runtime::PowerAwareJobQueue(ex, sched, opt).run(jobs);
+    opt.backfill = true;
+    const auto backfill =
+        runtime::PowerAwareJobQueue(ex, sched, opt).run(jobs);
+
+    auto add = [&](const char* name, const runtime::QueueReport& r) {
+      t.add_row({format_double(budget, 0), name,
+                 format_double(r.makespan_s, 1),
+                 format_double(r.mean_turnaround_s, 1),
+                 format_double(r.node_utilization(), 2),
+                 format_double(r.total_energy_j / 1000.0, 1),
+                 format_double(serial.makespan_s / r.makespan_s, 2) + "x"});
+    };
+    add("serial (full budget per job)", serial);
+    add("co-scheduled FCFS", fcfs);
+    add("co-scheduled + backfill", backfill);
+  }
+  ctx.print(t);
+  std::cout
+      << "At tight budgets CLIP shrinks each job to few nodes, leaving "
+         "nodes and watts idle under serial operation — co-scheduling "
+         "converts that slack into throughput. At generous budgets single "
+         "jobs already fill the cluster and the policies converge.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figure 2 — scalability trends of the three application classes: speedup
+// versus core count at several processor frequencies, for a linear (EP), a
+// logarithmic (BT-MZ) and a parabolic (SP-MZ) application on one node.
+//
+// Frequencies are pinned the way the real testbed pins them: through the
+// RAPL contract, by bisecting the PKG cap until the solver lands on the
+// requested DVFS state.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/strings.hpp"
+
+using namespace clip;
+
+namespace {
+
+double time_at(sim::SimExecutor& ex, const workloads::WorkloadSignature& w,
+               int cores, double freq_ghz) {
+  sim::ClusterConfig cfg;
+  cfg.nodes = 1;
+  cfg.node.threads = cores;
+  cfg.node.affinity = parallel::AffinityPolicy::kScatter;
+  double lo = 5.0, hi = 400.0;
+  sim::Measurement m;
+  for (int iter = 0; iter < 48; ++iter) {
+    cfg.node.cpu_cap = Watts(0.5 * (lo + hi));
+    m = ex.run_exact(w, cfg);
+    const double f = m.nodes[0].frequency.value();
+    if (f > freq_ghz + 1e-6)
+      hi = cfg.node.cpu_cap.value();
+    else if (f < freq_ghz - 1e-6 || m.nodes[0].duty_factor < 1.0)
+      lo = cfg.node.cpu_cap.value();
+    else
+      return m.time.value();
+  }
+  return m.time.value();
+}
+
+void sweep(const bench::BenchContext& ctx, sim::SimExecutor& ex,
+           const workloads::WorkloadSignature& w, const char* panel) {
+  const double freqs_ghz[] = {1.2, 1.8, 2.3};
+
+  Table t({"cores", "speedup @1.2GHz", "speedup @1.8GHz",
+           "speedup @2.3GHz"});
+  t.set_title(std::string("Fig. 2") + panel + " — " + w.name + " (" +
+              workloads::to_string(w.expected_class) +
+              "): speedup S(n) = T(1)/T(n) vs cores and frequency");
+
+  double t1[3];
+  for (int i = 0; i < 3; ++i) t1[i] = time_at(ex, w, 1, freqs_ghz[i]);
+
+  for (int cores = 1; cores <= 24; cores += (cores < 4 ? 1 : 2)) {
+    std::vector<std::string> row{std::to_string(cores)};
+    for (int i = 0; i < 3; ++i)
+      row.push_back(
+          format_double(t1[i] / time_at(ex, w, cores, freqs_ghz[i]), 2));
+    t.add_row(std::move(row));
+  }
+  ctx.print(t);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchContext ctx(argc, argv);
+  sim::SimExecutor ex = bench::make_exact_testbed();
+  sweep(ctx, ex, *workloads::find_benchmark("EP"), "a");
+  sweep(ctx, ex, *workloads::find_benchmark("BT-MZ"), "b");
+  sweep(ctx, ex, *workloads::find_benchmark("SP-MZ"), "c");
+  std::cout << "Expected shapes: (a) linear in n and f; (b) linear until "
+               "the inflection, reduced growth after; (c) performance peaks "
+               "and then degrades with additional cores.\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 3 — performance impact of the processor power budget on the three
+// classes (EP, STREAM, SP): performance versus node CPU budget for several
+// concurrency levels. The paper's observations:
+//  (a) linear: maximum concurrency is optimal unless the budget is very low;
+//  (b) logarithmic: the optimal concurrency shifts down with the budget;
+//  (c) parabolic: the all-core vs optimal gap widens as the budget shrinks.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/strings.hpp"
+
+using namespace clip;
+
+namespace {
+
+void panel(const bench::BenchContext& ctx, sim::SimExecutor& ex,
+           const workloads::WorkloadSignature& w, const char* tag) {
+  const int concurrency[] = {6, 12, 18, 24};
+  Table t({"CPU budget (W)", "6 threads", "12 threads", "18 threads",
+           "24 threads", "best"});
+  t.set_title(std::string("Fig. 3") + tag + " — " + w.name + " (" +
+              workloads::to_string(w.expected_class) +
+              "): relative performance vs node CPU power budget");
+
+  // Normalize to all-core at the largest budget.
+  sim::ClusterConfig ref;
+  ref.nodes = 1;
+  ref.node.threads = 24;
+  ref.node.affinity = parallel::AffinityPolicy::kScatter;
+  ref.node.cpu_cap = Watts(130.0);
+  const double ref_time = ex.run_exact(w, ref).time.value();
+
+  for (double budget = 40.0; budget <= 130.0 + 1e-9; budget += 15.0) {
+    std::vector<std::string> row{format_double(budget, 0)};
+    double best_perf = 0.0;
+    int best_n = 0;
+    for (int n : concurrency) {
+      sim::ClusterConfig cfg = ref;
+      cfg.node.threads = n;
+      cfg.node.cpu_cap = Watts(budget);
+      const double perf = ref_time / ex.run_exact(w, cfg).time.value();
+      row.push_back(format_double(perf, 3));
+      if (perf > best_perf) {
+        best_perf = perf;
+        best_n = n;
+      }
+    }
+    row.push_back(std::to_string(best_n) + " threads");
+    t.add_row(std::move(row));
+  }
+  ctx.print(t);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchContext ctx(argc, argv);
+  sim::SimExecutor ex = bench::make_exact_testbed();
+  panel(ctx, ex, *workloads::find_benchmark("EP"), "a");
+  panel(ctx, ex, *workloads::find_benchmark("STREAM-Triad"), "b");
+  panel(ctx, ex, *workloads::find_benchmark("SP", "C"), "c");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 6 — "Parallel speedup ratio (half-core/all-core) comparison":
+// the classification statistic for every evaluation benchmark, grouped into
+// the paper's green (linear) / blue (logarithmic) / red (parabolic) bands.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/classifier.hpp"
+#include "core/profiler.hpp"
+#include "util/strings.hpp"
+
+using namespace clip;
+
+int main(int argc, char** argv) {
+  const bench::BenchContext ctx(argc, argv);
+  sim::SimExecutor ex = bench::make_testbed();
+  core::SmartProfiler profiler(ex);
+  const core::ScalabilityClassifier classifier;
+
+  struct Row {
+    std::string name;
+    double ratio;
+    workloads::ScalabilityClass cls;
+  };
+  std::vector<Row> rows;
+  for (const auto& w : workloads::paper_benchmarks()) {
+    const auto p = profiler.profile(w);
+    rows.push_back({w.name + " (" + w.parameters + ")",
+                    p.perf_ratio_half_over_all, classifier.classify(p)});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.ratio < b.ratio; });
+
+  Table t({"benchmark", "Perf_half / Perf_all", "band", "class"});
+  t.set_title(
+      "Fig. 6 — parallel speedup ratio (half-core/all-core); thresholds: "
+      "<0.7 linear, [0.7,1) logarithmic, >=1 parabolic");
+  for (const auto& r : rows) {
+    // An ASCII bar standing in for the paper's colored bars.
+    const int len = static_cast<int>(r.ratio * 30.0);
+    std::string bar(static_cast<std::size_t>(std::min(len, 54)), '#');
+    t.add_row({r.name, format_double(r.ratio, 3) + "  " + bar,
+               r.cls == workloads::ScalabilityClass::kLinear ? "green"
+               : r.cls == workloads::ScalabilityClass::kLogarithmic
+                   ? "blue"
+                   : "red",
+               workloads::to_string(r.cls)});
+  }
+  ctx.print(t);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 7 — "Predicted and actual inflection points comparison": the MLR
+// model is trained on the NPB/HPCC/STREAM/PolyBench suite and evaluated on
+// the non-linear paper benchmarks; the actual values come from exhaustive
+// search, exactly as the paper obtains its ground truth.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/classifier.hpp"
+#include "core/inflection.hpp"
+#include "core/profiler.hpp"
+#include "stats/metrics.hpp"
+#include "util/strings.hpp"
+
+using namespace clip;
+
+int main(int argc, char** argv) {
+  const bench::BenchContext ctx(argc, argv);
+  sim::SimExecutor ex = bench::make_testbed();
+  core::SmartProfiler profiler(ex);
+  const core::ScalabilityClassifier classifier;
+
+  // Train on the paper's training suites.
+  const auto samples = core::build_training_set(
+      profiler, classifier, workloads::training_benchmarks());
+  core::InflectionPredictor predictor;
+  predictor.train(samples);
+
+  Table t({"benchmark", "class", "predicted N_P", "actual N_P", "error"});
+  t.set_title(
+      "Fig. 7 — predicted vs actual (exhaustive search) inflection points");
+
+  std::vector<double> truth, pred;
+  for (const auto& w : workloads::paper_benchmarks()) {
+    const auto p = profiler.profile(w);
+    const auto cls = classifier.classify(p);
+    if (cls == workloads::ScalabilityClass::kLinear) continue;
+    const int predicted = predictor.predict(p, cls, 24);
+    const double actual =
+        core::measure_inflection(ex, w, cls, p.preferred_affinity);
+    truth.push_back(actual);
+    pred.push_back(predicted);
+    t.add_row({w.name + " (" + w.parameters + ")",
+               workloads::to_string(cls), std::to_string(predicted),
+               format_double(actual, 0),
+               format_double(predicted - actual, 0)});
+  }
+  ctx.print(t);
+
+  std::cout << "MAE = " << format_double(stats::mean_absolute_error(truth, pred), 2)
+            << " cores,  RMSE = " << format_double(stats::rmse(truth, pred), 2)
+            << " cores (paper: strong for most applications, with "
+               "occasional underestimates).\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 9 — performance comparison of the power-allocation methods under
+// LOW cluster power budgets, where CLIP's class-aware throttling and node
+// allocation matter most (paper: ~20% average improvement at low budgets,
+// up to 60% vs Coordinated on parabolic applications).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/strings.hpp"
+
+using namespace clip;
+
+int main(int argc, char** argv) {
+  const bench::BenchContext ctx(argc, argv);
+  sim::SimExecutor ex = bench::make_testbed();
+
+  runtime::ComparisonHarness harness(ex);
+  bench::register_all_methods(harness, ex);
+
+  const std::vector<double> budgets = {500.0, 600.0, 700.0, 800.0};
+  const auto& apps = workloads::paper_benchmarks();
+  const auto result = harness.run(apps, budgets);
+
+  const std::vector<workloads::WorkloadSignature> panel_a(apps.begin(),
+                                                          apps.begin() + 5);
+  const std::vector<workloads::WorkloadSignature> panel_b(apps.begin() + 5,
+                                                          apps.end());
+  for (double budget : budgets) {
+    bench::print_method_comparison(
+        ctx, result, panel_a, budget,
+        "Fig. 9a — relative performance, low budget " +
+            std::to_string(static_cast<int>(budget)) + " W");
+    bench::print_method_comparison(
+        ctx, result, panel_b, budget,
+        "Fig. 9b — relative performance, low budget " +
+            std::to_string(static_cast<int>(budget)) + " W");
+  }
+
+  // The 500 W column shows the enforceable-floor cliff: All-In's per-node
+  // CPU share drops to the socket base power and clock modulation bottoms
+  // out, so its slowdown there is unbounded. Report the mean over the
+  // non-degenerate low budgets and call the cliff out separately.
+  const std::vector<double> sane = {600.0, 700.0, 800.0};
+  std::cout << "CLIP mean improvement at low budgets (600-800 W):  vs All-In "
+            << format_percent(result.mean_improvement("CLIP", "All-In", sane))
+            << ",  vs Coordinated "
+            << format_percent(
+                   result.mean_improvement("CLIP", "Coordinated", sane))
+            << ",  vs Lower-Limit "
+            << format_percent(
+                   result.mean_improvement("CLIP", "Lower Limit", sane))
+            << "\n(paper: average improvements close to 20% under low power "
+               "budgets).\nAt 500 W All-In collapses entirely (per-node CPU "
+               "share ~= socket base power): "
+            << format_percent(
+                   result.mean_improvement("CLIP", "All-In", {500.0}))
+            << " — the cost of budget-blind node allocation.\n";
+  return 0;
+}

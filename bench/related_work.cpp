@@ -1,0 +1,61 @@
+// Related-work comparison (§VI): CLIP against the run-time-search school —
+// Conductor (exhaustive node-level concurrency search, all nodes) and the
+// full Oracle — on performance AND configuration-search cost. The paper's
+// §VI argument: "Conductor exhaustively searches available configurations
+// to find the optimal thread concurrency, without discerning the optimal
+// number of nodes"; CLIP gets comparable node-level quality from three
+// profiles and additionally rightsizes the node count.
+#include <iostream>
+
+#include "baselines/conductor.hpp"
+#include "bench_common.hpp"
+#include "util/strings.hpp"
+
+using namespace clip;
+
+int main(int argc, char** argv) {
+  const bench::BenchContext ctx(argc, argv);
+  sim::SimExecutor ex = bench::make_testbed();
+
+  baselines::ConductorScheduler conductor(ex);
+  baselines::OracleScheduler oracle(ex);
+  baselines::ClipAdapter clip(ex, workloads::training_benchmarks());
+
+  Table t({"benchmark", "budget (W)", "Conductor (s / cost)",
+           "CLIP (s / cost)", "Oracle (s / cost)", "CLIP vs Conductor"});
+  t.set_title(
+      "Related work: run-time exhaustive search vs model-driven CLIP "
+      "(cost = executions spent choosing the configuration)");
+
+  for (const char* name : {"BT-MZ", "SP-MZ", "TeaLeaf", "CoMD"}) {
+    const auto w = *workloads::find_benchmark(name);
+    for (double budget : {450.0, 600.0, 1000.0, 1400.0}) {
+      const auto c_cfg = conductor.plan(w, Watts(budget));
+      const double c_time = ex.run_exact(w, c_cfg).time.value();
+      const int c_cost = conductor.last_search_cost();
+
+      const auto k_cfg = clip.plan(w, Watts(budget));
+      const double k_time = ex.run_exact(w, k_cfg).time.value();
+
+      const auto o_cfg = oracle.plan(w, Watts(budget));
+      const double o_time = ex.run_exact(w, o_cfg).time.value();
+      const int o_cost = oracle.last_search_cost();
+
+      t.add_row({name, format_double(budget, 0),
+                 format_double(c_time, 2) + " / " + std::to_string(c_cost),
+                 format_double(k_time, 2) + " / 3",
+                 format_double(o_time, 2) + " / " + std::to_string(o_cost),
+                 format_percent(c_time / k_time - 1.0)});
+    }
+  }
+  ctx.print(t);
+  std::cout
+      << "At viable budgets Conductor is competitive — it *executes* every "
+         "candidate, so its node-level picks carry perfect information — "
+         "but it pays ~48 full runs per (application, budget) pair, every "
+         "time the budget changes, vs CLIP's 3 profiles per application "
+         "ever. And at 450 W its all-nodes assumption collapses (per-node "
+         "shares near the enforceable floor) while CLIP rightsizes the "
+         "node count — the paper's §VI argument.\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Table II — the benchmark list: description stand-ins, parameters, workload
+// pattern and the *measured* scalability type (classified by the CLIP
+// pipeline, which must agree with the paper's column).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/classifier.hpp"
+#include "core/profiler.hpp"
+#include "util/strings.hpp"
+
+using namespace clip;
+
+int main(int argc, char** argv) {
+  const bench::BenchContext ctx(argc, argv);
+  sim::SimExecutor ex = bench::make_testbed();
+  core::SmartProfiler profiler(ex);
+  const core::ScalabilityClassifier classifier;
+
+  Table t({"Benchmark", "Parameters", "Workload Pattern",
+           "Scalability (paper)", "Scalability (measured)", "half/all ratio",
+           "match"});
+  t.set_title("Table II — benchmarks used in this study");
+  int matches = 0;
+  const auto& suite = workloads::paper_benchmarks();
+  for (const auto& w : suite) {
+    const auto p = profiler.profile(w);
+    const auto cls = classifier.classify(p);
+    const bool ok = cls == w.expected_class;
+    matches += ok;
+    t.add_row({w.name, w.parameters, workloads::to_string(w.pattern),
+               workloads::to_string(w.expected_class),
+               workloads::to_string(cls),
+               format_double(p.perf_ratio_half_over_all, 3),
+               ok ? "yes" : "NO"});
+  }
+  ctx.print(t);
+  std::cout << matches << "/" << suite.size()
+            << " benchmarks classified as in the paper's Table II.\n";
+  return 0;
+}

@@ -1,0 +1,143 @@
+// clipctl — the command-line front door of the framework (the paper's
+// "user-friendly convenient power-bounded computing environment", §IV-A).
+//
+//   clipctl apps                         list the known applications
+//   clipctl profile <app>                smart-profile + classify
+//   clipctl schedule <app> <watts>       print the CLIP decision
+//   clipctl script <app> <watts>         print the generated launch script
+//   clipctl run <app> <watts>            schedule + execute + report
+//   clipctl compare <app> <watts>        all methods side by side
+//
+// Applications are named as in Table II (e.g. SP-MZ, TeaLeaf, CoMD).
+#include <iostream>
+#include <string>
+
+#include "baselines/all_in.hpp"
+#include "baselines/coordinated.hpp"
+#include "baselines/lower_limit.hpp"
+#include "core/scheduler.hpp"
+#include "runtime/launcher.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workloads/catalog.hpp"
+
+using namespace clip;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: clipctl apps\n"
+               "       clipctl profile  <app>\n"
+               "       clipctl schedule <app> <watts>\n"
+               "       clipctl script   <app> <watts>\n"
+               "       clipctl run      <app> <watts>\n"
+               "       clipctl compare  <app> <watts>\n";
+  return 2;
+}
+
+workloads::WorkloadSignature lookup_or_die(const std::string& name) {
+  if (auto w = workloads::find_benchmark(name)) return *w;
+  std::cerr << "unknown application '" << name
+            << "' — try `clipctl apps`\n";
+  std::exit(2);
+}
+
+double watts_or_die(const std::string& arg) {
+  try {
+    const double v = std::stod(arg);
+    if (v > 0.0) return v;
+  } catch (const std::exception&) {
+  }
+  std::cerr << "'" << arg << "' is not a positive wattage\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+
+  sim::SimExecutor cluster{sim::MachineSpec{}};
+
+  if (command == "apps") {
+    Table t({"name", "parameters", "pattern", "scalability (Table II)"});
+    t.set_title("Known applications");
+    for (const auto& w : workloads::paper_benchmarks())
+      t.add_row({w.name, w.parameters, workloads::to_string(w.pattern),
+                 workloads::to_string(w.expected_class)});
+    t.print(std::cout);
+    return 0;
+  }
+
+  if (argc < 3) return usage();
+  const auto app = lookup_or_die(argv[2]);
+
+  if (command == "profile") {
+    core::SmartProfiler profiler(cluster);
+    const core::ScalabilityClassifier classifier;
+    const auto p = profiler.profile(app);
+    std::cout << "application : " << app.name << " " << app.parameters
+              << "\nhalf/all    : "
+              << format_double(p.perf_ratio_half_over_all, 3)
+              << "\nclass       : "
+              << workloads::to_string(classifier.classify(p))
+              << "\naffinity    : "
+              << parallel::to_string(p.preferred_affinity)
+              << "\nnode BW     : " << format_double(p.node_bw_gbps, 1)
+              << " GB/s (intensity "
+              << format_double(p.memory_intensity, 2) << ")"
+              << "\nprofile cost: "
+              << format_double(p.profiling_cost.value(), 2) << " s\n";
+    return 0;
+  }
+
+  if (argc < 4) return usage();
+  const Watts budget(watts_or_die(argv[3]));
+  core::ClipScheduler clip(cluster, workloads::training_benchmarks());
+
+  if (command == "schedule") {
+    const auto d = clip.schedule(app, budget);
+    std::cout << d.describe() << "\npredicted node time: "
+              << format_double(d.predicted_node_time.value(), 2) << " s\n";
+    return 0;
+  }
+  if (command == "script") {
+    runtime::Launcher launcher(cluster, workloads::training_benchmarks());
+    runtime::JobSpec spec;
+    spec.app = app;
+    spec.cluster_budget = budget;
+    std::cout << launcher.plan_script(spec);
+    return 0;
+  }
+  if (command == "run") {
+    const auto d = clip.schedule(app, budget);
+    const auto m = cluster.run(app, d.cluster);
+    std::cout << d.describe() << "\nexecuted: "
+              << format_double(m.time.value(), 2) << " s at "
+              << format_double(m.avg_power.value(), 1) << " W ("
+              << format_double(m.energy.value() / 1000.0, 2) << " kJ)\n";
+    return 0;
+  }
+  if (command == "compare") {
+    baselines::AllInScheduler all_in(cluster.spec());
+    baselines::LowerLimitScheduler lower(cluster.spec());
+    baselines::CoordinatedScheduler coordinated(cluster);
+    Table t({"method", "nodes", "threads", "time (s)", "power (W)"});
+    t.set_title(app.name + " @" + format_double(budget.value(), 0) + " W");
+    auto row = [&](const std::string& name, const sim::ClusterConfig& cfg) {
+      const auto m = cluster.run_exact(app, cfg);
+      t.add_row({name, std::to_string(cfg.nodes),
+                 std::to_string(cfg.node.threads),
+                 format_double(m.time.value(), 2),
+                 format_double(m.avg_power.value(), 1)});
+    };
+    row("All-In", all_in.plan(app, budget));
+    row("Lower Limit", lower.plan(app, budget));
+    row("Coordinated", coordinated.plan(app, budget));
+    row("CLIP", clip.schedule(app, budget).cluster);
+    t.print(std::cout);
+    return 0;
+  }
+  return usage();
+}

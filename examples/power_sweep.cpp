@@ -1,0 +1,49 @@
+// Power sweep — how CLIP's decisions evolve with the cluster budget for one
+// application of each scalability class. Shows the four coordinated
+// dimensions (node count, concurrency, memory level, CPU/DRAM split) and the
+// achieved performance at every budget.
+#include <iostream>
+
+#include "core/scheduler.hpp"
+#include "sim/executor.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workloads/catalog.hpp"
+
+using namespace clip;
+
+int main() {
+  sim::SimExecutor cluster{sim::MachineSpec{}};
+  core::ClipScheduler clip(cluster, workloads::training_benchmarks());
+
+  const char* apps[] = {"CoMD", "BT-MZ", "TeaLeaf"};
+  for (const char* name : apps) {
+    const auto app = *workloads::find_benchmark(name);
+    Table t({"budget (W)", "nodes", "threads/node", "affinity",
+             "mem level", "CPU cap (W)", "DRAM cap (W)", "time (s)",
+             "avg power (W)"});
+    t.set_title(std::string(name) + " (" +
+                workloads::to_string(app.expected_class) +
+                ") — CLIP decisions across the budget range");
+    for (double budget = 400.0; budget <= 1600.0 + 1e-9; budget += 200.0) {
+      const auto d = clip.schedule(app, Watts(budget));
+      const auto m = cluster.run(app, d.cluster);
+      t.add_row({format_double(budget, 0), std::to_string(d.cluster.nodes),
+                 std::to_string(d.cluster.node.threads),
+                 parallel::to_string(d.cluster.node.affinity),
+                 sim::to_string(d.cluster.node.mem_level),
+                 format_double(d.cluster.node.cpu_cap.value(), 1),
+                 format_double(d.cluster.node.mem_cap.value(), 1),
+                 format_double(m.time.value(), 2),
+                 format_double(m.avg_power.value(), 1)});
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout
+      << "Note how the linear app always keeps 24 threads (frequency "
+         "absorbs the budget), the logarithmic app sheds threads only "
+         "when watts get scarce, and the parabolic app never exceeds its "
+         "inflection point.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Quickstart — the five-minute tour of the CLIP public API:
+//   1. build the simulated power-bounded cluster (the testbed substitute),
+//   2. construct a ClipScheduler (this trains the inflection MLR once),
+//   3. schedule an application under a cluster power budget,
+//   4. inspect the decision, and execute it,
+//   5. compare against the naive All-In configuration.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+#include <iostream>
+
+#include "baselines/all_in.hpp"
+#include "core/scheduler.hpp"
+#include "sim/executor.hpp"
+#include "workloads/catalog.hpp"
+
+using namespace clip;
+using namespace clip::literals;
+
+int main() {
+  // 1. The cluster: 8 nodes x 2 sockets x 12 Haswell-like cores with
+  //    RAPL-style PKG/DRAM capping and per-core DVFS.
+  sim::SimExecutor cluster{sim::MachineSpec{}};
+  std::cout << "Cluster: " << cluster.spec().nodes << " nodes, "
+            << cluster.spec().shape.total_cores()
+            << " cores/node, peak draw " << cluster.spec().max_cluster_w()
+            << " W\n\n";
+
+  // 2. The scheduler. Training profiles the NPB/HPCC/STREAM/PolyBench suite
+  //    once to fit the inflection-point model (a one-time system setup).
+  core::ClipScheduler clip(cluster, workloads::training_benchmarks());
+
+  // 3. A job: the NPB SP-MZ solver under a 900 W cluster budget.
+  const auto app = *workloads::find_benchmark("SP-MZ", "C");
+  const Watts budget = 900.0_W;
+  const core::ScheduleDecision decision = clip.schedule(app, budget);
+
+  // 4. What CLIP decided, and why.
+  std::cout << "CLIP decision for " << app.name << " under "
+            << budget.value() << " W:\n  " << decision.describe() << "\n";
+  const sim::Measurement run = cluster.run(app, decision.cluster);
+  std::cout << "  -> executed in " << run.time.value() << " s at "
+            << run.avg_power.value() << " W ("
+            << run.energy.value() / 1000.0 << " kJ)\n\n";
+
+  // 5. The same job the conventional way: every node, every core.
+  baselines::AllInScheduler all_in(cluster.spec());
+  const sim::Measurement naive =
+      cluster.run(app, all_in.plan(app, budget));
+  std::cout << "All-In under the same budget: " << naive.time.value()
+            << " s at " << naive.avg_power.value() << " W\n";
+  std::cout << "CLIP speedup over All-In: "
+            << naive.time.value() / run.time.value() << "x\n";
+
+  // Bonus: the second schedule of a known app is free (knowledge DB hit).
+  const core::ScheduleDecision cached = clip.schedule(app, 700.0_W);
+  std::cout << "\nRescheduling at 700 W used the knowledge DB: "
+            << (cached.from_knowledge_db ? "yes" : "no")
+            << " (profiling cost " << cached.profiling_cost.value()
+            << " s)\n";
+  return 0;
+}

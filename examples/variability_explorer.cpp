@@ -1,0 +1,72 @@
+// Variability explorer — manufacturing variability and inter-node power
+// coordination (paper §III-B2). Builds clusters of increasing
+// heterogeneity, shows the frequency imbalance a uniform per-node cap
+// causes, and the recovery from Inadomi-style power shifting.
+#include <iostream>
+
+#include "core/variability_coord.hpp"
+#include "sim/executor.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workloads/catalog.hpp"
+
+using namespace clip;
+
+int main() {
+  const auto app = *workloads::find_benchmark("CoMD");
+
+  Table t({"sigma", "power spread", "uniform caps: time (s) / freq span",
+           "coordinated: time (s) / freq span", "gain"});
+  t.set_title(
+      "Manufacturing variability: uniform vs coordinated per-node caps "
+      "(8 nodes, 95 W CPU caps, CoMD)");
+
+  for (double sigma : {0.0, 0.02, 0.05, 0.08, 0.12}) {
+    sim::MachineSpec spec;
+    spec.variability_sigma = sigma;
+    sim::MeterOptions quiet;
+    quiet.enabled = false;
+    sim::SimExecutor cluster(spec, quiet);
+
+    sim::ClusterConfig cfg;
+    cfg.nodes = 8;
+    cfg.node.threads = 24;
+    cfg.node.affinity = parallel::AffinityPolicy::kScatter;
+    cfg.node.cpu_cap = Watts(95.0);
+    cfg.node.mem_cap = Watts(40.0);
+
+    auto freq_span = [](const sim::Measurement& m) {
+      double lo = 1e9, hi = 0.0;
+      for (const auto& n : m.nodes) {
+        lo = std::min(lo, n.frequency.value());
+        hi = std::max(hi, n.frequency.value());
+      }
+      return hi - lo;
+    };
+
+    const sim::Measurement uniform = cluster.run_exact(app, cfg);
+
+    const core::VariabilityCoordinator coordinator;
+    const Watts base(spec.shape.sockets * spec.socket_base_w);
+    coordinator.apply(cfg, cluster.variability().multipliers(), base);
+    const sim::Measurement coordinated = cluster.run_exact(app, cfg);
+
+    t.add_row(
+        {format_double(sigma, 2),
+         format_percent(cluster.variability().spread()),
+         format_double(uniform.time.value(), 3) + " / " +
+             format_double(freq_span(uniform), 2) + " GHz",
+         format_double(coordinated.time.value(), 3) + " / " +
+             format_double(freq_span(coordinated), 2) + " GHz",
+         format_percent(uniform.time.value() / coordinated.time.value() -
+                        1.0)});
+  }
+  t.print(std::cout);
+  std::cout
+      << "\nUnder a uniform cap the least efficient node runs slowest and "
+         "gates the bulk-synchronous job; shifting watts toward it (keeping "
+         "the total constant) closes the frequency span. The coordinator "
+         "only engages above its spread threshold — the paper's testbed "
+         "was nearly homogeneous, sigma<=0.02 here.\n";
+  return 0;
+}

@@ -1,0 +1,31 @@
+#include "baselines/all_in.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace clip::baselines {
+
+sim::ClusterConfig AllInScheduler::plan(
+    const workloads::WorkloadSignature& app, Watts cluster_budget) {
+  app.validate();
+  CLIP_REQUIRE(cluster_budget.value() > 0.0, "budget must be positive");
+
+  sim::ClusterConfig cfg;
+  cfg.nodes = spec_->nodes;
+  cfg.node.threads = spec_->shape.total_cores();
+  cfg.node.affinity = parallel::AffinityPolicy::kScatter;
+  cfg.node.mem_level = sim::MemPowerLevel::kL0;
+
+  const double node_share = cluster_budget.value() / spec_->nodes;
+  // 30 W to memory, the rest to the CPU — "without considering the cluster
+  // power budget" means the method never reduces node or core counts; a
+  // collapsed CPU share simply throttles. Keep at least 1 W so RAPL has a
+  // target to duty-cycle against.
+  cfg.node.mem_cap = mem_per_node_;
+  cfg.node.cpu_cap =
+      Watts(std::max(1.0, node_share - mem_per_node_.value()));
+  return cfg;
+}
+
+}  // namespace clip::baselines

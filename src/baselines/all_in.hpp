@@ -1,0 +1,33 @@
+// The "All-In" baseline (paper §V-C).
+//
+// Utilizes every supplied node regardless of the budget, allocates a fixed
+// 30 W to memory per node ("meets most applications' memory power
+// requirement") and the remainder of the per-node share to the CPU, and
+// runs with every core active. With generous budgets this is the
+// conventional HPC configuration; with tight budgets each node's CPU cap
+// collapses and RAPL throttles deeply.
+#pragma once
+
+#include "baselines/scheduler_iface.hpp"
+#include "sim/machine.hpp"
+
+namespace clip::baselines {
+
+class AllInScheduler final : public PowerScheduler {
+ public:
+  explicit AllInScheduler(const sim::MachineSpec& spec,
+                          Watts mem_per_node = Watts(30.0))
+      : spec_(&spec), mem_per_node_(mem_per_node) {}
+
+  [[nodiscard]] std::string name() const override { return "All-In"; }
+
+  [[nodiscard]] sim::ClusterConfig plan(
+      const workloads::WorkloadSignature& app,
+      Watts cluster_budget) override;
+
+ private:
+  const sim::MachineSpec* spec_;
+  Watts mem_per_node_;
+};
+
+}  // namespace clip::baselines

@@ -1,0 +1,33 @@
+// Adapter exposing the CLIP scheduler through the common PowerScheduler
+// interface so comparison harnesses can treat all four methods uniformly.
+#pragma once
+
+#include <vector>
+
+#include "baselines/scheduler_iface.hpp"
+#include "core/scheduler.hpp"
+
+namespace clip::baselines {
+
+class ClipAdapter final : public PowerScheduler {
+ public:
+  ClipAdapter(sim::SimExecutor& executor,
+              const std::vector<workloads::WorkloadSignature>& training_suite,
+              core::SchedulerOptions options = core::SchedulerOptions{})
+      : scheduler_(executor, training_suite, options) {}
+
+  [[nodiscard]] std::string name() const override { return "CLIP"; }
+
+  [[nodiscard]] sim::ClusterConfig plan(
+      const workloads::WorkloadSignature& app,
+      Watts cluster_budget) override {
+    return scheduler_.schedule(app, cluster_budget).cluster;
+  }
+
+  [[nodiscard]] core::ClipScheduler& scheduler() { return scheduler_; }
+
+ private:
+  core::ClipScheduler scheduler_;
+};
+
+}  // namespace clip::baselines

@@ -1,0 +1,56 @@
+#include "baselines/conductor.hpp"
+
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace clip::baselines {
+
+sim::ClusterConfig ConductorScheduler::plan(
+    const workloads::WorkloadSignature& app, Watts cluster_budget) {
+  app.validate();
+  CLIP_REQUIRE(cluster_budget.value() > 0.0, "budget must be positive");
+  const auto& spec = executor_->spec();
+  const int all_cores = spec.shape.total_cores();
+
+  // Every supplied node participates — the method does not discern the
+  // optimal node count (§VI).
+  const int nodes = spec.nodes;
+  const double node_share = cluster_budget.value() / nodes;
+
+  sim::ClusterConfig best;
+  double best_time = std::numeric_limits<double>::infinity();
+  last_search_cost_ = 0;
+
+  // Exhaustive concurrency search × a coarse CPU/DRAM split grid, each
+  // candidate *executed* (the run-time-system approach).
+  for (int threads = 2; threads <= all_cores; threads += 2) {
+    for (double mem_w : {15.0, 22.0, 30.0, 38.0}) {
+      const double cpu_w = node_share - mem_w;
+      if (cpu_w <= 1.0) continue;
+      sim::ClusterConfig cfg;
+      cfg.nodes = nodes;
+      cfg.node.threads = threads;
+      cfg.node.affinity = parallel::AffinityPolicy::kScatter;
+      cfg.node.mem_level = sim::MemPowerLevel::kL0;
+      cfg.node.mem_cap = Watts(mem_w);
+      cfg.node.cpu_cap = Watts(cpu_w);
+      double time;
+      try {
+        time = executor_->run_exact(app, cfg).time.value();
+      } catch (const PreconditionError&) {
+        continue;  // infeasible split (DRAM cap below base for this app)
+      }
+      ++last_search_cost_;
+      if (time < best_time) {
+        best_time = time;
+        best = cfg;
+      }
+    }
+  }
+  CLIP_ENSURE(best_time < std::numeric_limits<double>::infinity(),
+              "Conductor found no feasible configuration");
+  return best;
+}
+
+}  // namespace clip::baselines

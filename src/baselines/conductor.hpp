@@ -1,0 +1,39 @@
+// The "Conductor" baseline — Marathe et al., "A Run-time System for
+// Power-constrained HPC Applications" (ISC 2015), as characterized in the
+// paper's related work (§VI): it "exhaustively searches available
+// configurations to find the optimal thread concurrency, without discerning
+// the optimal number of nodes."
+//
+// Concretely: every supplied node participates; the thread count and the
+// CPU/DRAM split are found by *executing* candidate configurations (an
+// exhaustive search over even concurrency levels and a small split grid),
+// not by models. It finds strong node-level configurations but pays a
+// search cost CLIP avoids, and never reduces the node count — which is
+// precisely where CLIP wins at low budgets.
+#pragma once
+
+#include "baselines/scheduler_iface.hpp"
+#include "sim/executor.hpp"
+
+namespace clip::baselines {
+
+class ConductorScheduler final : public PowerScheduler {
+ public:
+  explicit ConductorScheduler(sim::SimExecutor& executor)
+      : executor_(&executor) {}
+
+  [[nodiscard]] std::string name() const override { return "Conductor"; }
+
+  [[nodiscard]] sim::ClusterConfig plan(
+      const workloads::WorkloadSignature& app,
+      Watts cluster_budget) override;
+
+  /// Executions the last plan() spent searching (CLIP: <= 3 profiles).
+  [[nodiscard]] int last_search_cost() const { return last_search_cost_; }
+
+ private:
+  sim::SimExecutor* executor_;
+  int last_search_cost_ = 0;
+};
+
+}  // namespace clip::baselines

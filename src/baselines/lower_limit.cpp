@@ -1,0 +1,31 @@
+#include "baselines/lower_limit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace clip::baselines {
+
+sim::ClusterConfig LowerLimitScheduler::plan(
+    const workloads::WorkloadSignature& app, Watts cluster_budget) {
+  app.validate();
+  CLIP_REQUIRE(cluster_budget.value() > 0.0, "budget must be positive");
+
+  const int affordable = static_cast<int>(
+      std::floor(cluster_budget.value() / floor_.value()));
+  const int nodes = std::clamp(affordable, 1, spec_->nodes);
+
+  sim::ClusterConfig cfg;
+  cfg.nodes = nodes;
+  cfg.node.threads = spec_->shape.total_cores();
+  cfg.node.affinity = parallel::AffinityPolicy::kScatter;
+  cfg.node.mem_level = sim::MemPowerLevel::kL0;
+  const double node_share = cluster_budget.value() / nodes;
+  cfg.node.mem_cap = mem_per_node_;
+  cfg.node.cpu_cap =
+      Watts(std::max(1.0, node_share - mem_per_node_.value()));
+  return cfg;
+}
+
+}  // namespace clip::baselines

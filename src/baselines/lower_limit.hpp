@@ -1,0 +1,33 @@
+// The "Lower Limit" baseline (paper §V-C).
+//
+// Never lets a participating node run below a preset floor (180 W): when the
+// budget cannot give every node 180 W, it deactivates nodes until the
+// survivors clear the floor. Like All-In it keeps all cores active and
+// fixes the memory allocation at 30 W; the floor is application-agnostic.
+#pragma once
+
+#include "baselines/scheduler_iface.hpp"
+#include "sim/machine.hpp"
+
+namespace clip::baselines {
+
+class LowerLimitScheduler final : public PowerScheduler {
+ public:
+  explicit LowerLimitScheduler(const sim::MachineSpec& spec,
+                               Watts floor = Watts(180.0),
+                               Watts mem_per_node = Watts(30.0))
+      : spec_(&spec), floor_(floor), mem_per_node_(mem_per_node) {}
+
+  [[nodiscard]] std::string name() const override { return "Lower Limit"; }
+
+  [[nodiscard]] sim::ClusterConfig plan(
+      const workloads::WorkloadSignature& app,
+      Watts cluster_budget) override;
+
+ private:
+  const sim::MachineSpec* spec_;
+  Watts floor_;
+  Watts mem_per_node_;
+};
+
+}  // namespace clip::baselines

@@ -1,0 +1,89 @@
+#include "baselines/oracle.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace clip::baselines {
+
+sim::ClusterConfig OracleScheduler::plan(
+    const workloads::WorkloadSignature& app, Watts cluster_budget) {
+  app.validate();
+  CLIP_REQUIRE(cluster_budget.value() > 0.0, "budget must be positive");
+  const auto& spec = executor_->spec();
+  const int all_cores = spec.shape.total_cores();
+
+  std::vector<int> node_counts;
+  if (app.has_predefined_process_counts) {
+    for (int n = 1; n <= spec.nodes; n *= 2) node_counts.push_back(n);
+  } else {
+    for (int n = 1; n <= spec.nodes; ++n) node_counts.push_back(n);
+  }
+
+  sim::ClusterConfig best;
+  double best_time = std::numeric_limits<double>::infinity();
+  last_search_cost_ = 0;
+
+  for (int nodes : node_counts) {
+    const double node_share = cluster_budget.value() / nodes;
+    for (int threads = 2; threads <= all_cores; threads += 2) {
+      for (parallel::AffinityPolicy affinity :
+           {parallel::AffinityPolicy::kCompact,
+            parallel::AffinityPolicy::kScatter}) {
+        const parallel::Placement placement =
+            parallel::place_threads(spec.shape, threads, affinity);
+        const int active = placement.active_sockets();
+        const int parked = spec.shape.sockets - active;
+        for (sim::MemPowerLevel level : sim::kAllMemLevels) {
+          const double base_w =
+              active * spec.mem_base_w_per_socket +
+              parked * spec.mem_parked_w_per_socket;
+          const double level_bw =
+              active * spec.socket_bw_gbps * sim::bw_fraction(level);
+          // Two DRAM budgets per level: the worst-case draw (full level
+          // bandwidth) and a demand-tight budget — the oracle may peek at
+          // the workload's true per-core demand, which is the whole point
+          // of being an oracle. The tight budget frees watts for the CPU.
+          const double demand_bw =
+              threads * app.bw_per_core_gbps;  // at nominal frequency
+          // DRAM budgets to try at this level: a dense grid over the
+          // activity headroom plus the demand-tight point (exact: demand
+          // only shrinks as RAPL lowers the frequency, so the
+          // nominal-frequency draw is an upper bound). The grid pitch
+          // bounds how far a continuum optimum can escape the search.
+          const double act_max = level_bw * spec.mem_w_per_gbps();
+          std::vector<double> caps;
+          for (double frac = 0.05; frac <= 1.0 + 1e-9; frac += 0.05)
+            caps.push_back(base_w + frac * act_max);
+          caps.push_back(base_w + std::min(demand_bw, level_bw) *
+                                      spec.mem_w_per_gbps());
+          for (double mem_w : caps) {
+            const double cpu_w = node_share - mem_w;
+            if (cpu_w <= 1.0) continue;
+
+            sim::ClusterConfig cfg;
+            cfg.nodes = nodes;
+            cfg.node.threads = threads;
+            cfg.node.affinity = affinity;
+            cfg.node.mem_level = level;
+            cfg.node.mem_cap = Watts(mem_w);
+            cfg.node.cpu_cap = Watts(cpu_w);
+
+            const sim::Measurement m = executor_->run_exact(app, cfg);
+            ++last_search_cost_;
+            if (m.time.value() < best_time) {
+              best_time = m.time.value();
+              best = cfg;
+            }
+          }
+        }
+      }
+    }
+  }
+  CLIP_ENSURE(best_time < std::numeric_limits<double>::infinity(),
+              "oracle found no feasible configuration");
+  return best;
+}
+
+}  // namespace clip::baselines

@@ -1,0 +1,26 @@
+// Common interface for the power-bounded scheduling methods compared in the
+// paper's evaluation (§V-C): All-In, Lower Limit, Coordinated, CLIP, plus an
+// exhaustive-search Oracle used as the "optimal" reference.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sim/config.hpp"
+#include "util/units.hpp"
+#include "workloads/signature.hpp"
+
+namespace clip::baselines {
+
+class PowerScheduler {
+ public:
+  virtual ~PowerScheduler() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Plan an execution of `app` under the cluster-wide power budget.
+  [[nodiscard]] virtual sim::ClusterConfig plan(
+      const workloads::WorkloadSignature& app, Watts cluster_budget) = 0;
+};
+
+}  // namespace clip::baselines

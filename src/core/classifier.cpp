@@ -1,0 +1,22 @@
+#include "core/classifier.hpp"
+
+#include "util/check.hpp"
+
+namespace clip::core {
+
+workloads::ScalabilityClass ScalabilityClassifier::classify(
+    double ratio) const {
+  CLIP_REQUIRE(ratio > 0.0, "perf ratio must be positive");
+  if (ratio < thresholds_.linear_below)
+    return workloads::ScalabilityClass::kLinear;
+  if (ratio < thresholds_.parabolic_at_or_above)
+    return workloads::ScalabilityClass::kLogarithmic;
+  return workloads::ScalabilityClass::kParabolic;
+}
+
+workloads::ScalabilityClass ScalabilityClassifier::classify(
+    const ProfileData& profile) const {
+  return classify(profile.perf_ratio_half_over_all);
+}
+
+}  // namespace clip::core

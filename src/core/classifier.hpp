@@ -1,0 +1,38 @@
+// Scalability-trend classification (paper §III-A1).
+//
+// CLIP compares the performance of the half-core and all-core sample
+// profiles:   ratio = Perf_half / Perf_all
+//   ratio <  0.7        -> linear
+//   0.7 <= ratio < 1.0  -> logarithmic
+//   ratio >= 1.0        -> parabolic
+#pragma once
+
+#include "core/profile.hpp"
+#include "workloads/signature.hpp"
+
+namespace clip::core {
+
+struct ClassifierThresholds {
+  double linear_below = 0.7;
+  double parabolic_at_or_above = 1.0;
+};
+
+class ScalabilityClassifier {
+ public:
+  explicit ScalabilityClassifier(
+      ClassifierThresholds thresholds = ClassifierThresholds{})
+      : thresholds_(thresholds) {}
+
+  [[nodiscard]] workloads::ScalabilityClass classify(double ratio) const;
+  [[nodiscard]] workloads::ScalabilityClass classify(
+      const ProfileData& profile) const;
+
+  [[nodiscard]] const ClassifierThresholds& thresholds() const {
+    return thresholds_;
+  }
+
+ private:
+  ClassifierThresholds thresholds_;
+};
+
+}  // namespace clip::core

@@ -1,0 +1,181 @@
+#include "core/knowledge_db.hpp"
+
+#include <charconv>
+
+#include "util/check.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+namespace clip::core {
+
+namespace {
+
+workloads::ScalabilityClass class_from_string(const std::string& s) {
+  if (s == "linear") return workloads::ScalabilityClass::kLinear;
+  if (s == "logarithmic") return workloads::ScalabilityClass::kLogarithmic;
+  if (s == "parabolic") return workloads::ScalabilityClass::kParabolic;
+  CLIP_REQUIRE(false, "unknown scalability class in knowledge DB: " + s);
+  return workloads::ScalabilityClass::kLinear;
+}
+
+parallel::AffinityPolicy affinity_from_string(const std::string& s) {
+  if (s == "compact") return parallel::AffinityPolicy::kCompact;
+  if (s == "scatter") return parallel::AffinityPolicy::kScatter;
+  CLIP_REQUIRE(false, "unknown affinity in knowledge DB: " + s);
+  return parallel::AffinityPolicy::kScatter;
+}
+
+double to_double(const std::string& s) {
+  try {
+    return std::stod(s);
+  } catch (const std::exception&) {
+    throw PreconditionError("bad numeric field in knowledge DB: " + s);
+  }
+}
+
+}  // namespace
+
+ProfileData KnowledgeRecord::to_profile(const KnowledgeDbShape& shape) const {
+  ProfileData p;
+  p.app_name = name;
+  p.app_parameters = parameters;
+  p.perf_ratio_half_over_all = perf_ratio;
+  p.preferred_affinity = preferred_affinity;
+  p.per_core_bw_gbps = per_core_bw_gbps;
+  p.node_bw_gbps = node_bw_gbps;
+  p.memory_intensity = memory_intensity;
+
+  p.all_core.config.threads = shape.total_cores;
+  p.all_core.config.affinity = parallel::AffinityPolicy::kScatter;
+  p.all_core.time = Seconds(time_all_s);
+  p.all_core.cpu_power = Watts(cpu_power_all_w);
+  p.all_core.mem_power = Watts(mem_power_all_w);
+  p.all_core.events.read_bw_gbps = p.node_bw_gbps;
+  p.all_core.events.cycles_active_per_s = cycles_active_all;
+  p.all_core.events.perf_ratio_full_half =
+      perf_ratio > 0.0 ? 1.0 / perf_ratio : 0.0;
+
+  p.half_core.config.threads = shape.total_cores / 2;
+  p.half_core.config.affinity = preferred_affinity;
+  p.half_core.time = Seconds(time_half_s);
+
+  if (validation_threads > 0) {
+    SampleProfile v;
+    v.config.threads = validation_threads;
+    v.config.affinity = preferred_affinity;
+    v.time = Seconds(time_validation_s);
+    p.validation = v;
+  }
+  return p;
+}
+
+std::optional<KnowledgeRecord> KnowledgeDb::lookup(
+    const std::string& name, const std::string& parameters) const {
+  const auto it = records_.find({name, parameters});
+  if (it == records_.end()) return std::nullopt;
+  return it->second;
+}
+
+void KnowledgeDb::insert(KnowledgeRecord record) {
+  if (record.machine.empty())
+    record.machine = shape_.machine_fingerprint;
+  Key key{record.name, record.parameters};
+  records_[std::move(key)] = std::move(record);
+}
+
+namespace {
+const std::vector<std::string> kColumns = {
+    "name",          "parameters",      "class",
+    "inflection",    "perf_ratio",      "affinity",
+    "per_core_bw",   "node_bw",         "mem_intensity",
+    "time_all",
+    "time_half",     "time_validation", "validation_threads",
+    "cpu_power_all", "mem_power_all",   "cycles_active_all",
+    "machine"};
+}  // namespace
+
+void KnowledgeDb::save(const std::filesystem::path& path) const {
+  CsvDocument doc;
+  doc.header = kColumns;
+  for (const auto& [key, r] : records_) {
+    doc.rows.push_back({r.name,
+                        r.parameters,
+                        workloads::to_string(r.cls),
+                        std::to_string(r.inflection),
+                        format_double(r.perf_ratio, 6),
+                        parallel::to_string(r.preferred_affinity),
+                        format_double(r.per_core_bw_gbps, 6),
+                        format_double(r.node_bw_gbps, 6),
+                        format_double(r.memory_intensity, 6),
+                        format_double(r.time_all_s, 6),
+                        format_double(r.time_half_s, 6),
+                        format_double(r.time_validation_s, 6),
+                        std::to_string(r.validation_threads),
+                        format_double(r.cpu_power_all_w, 6),
+                        format_double(r.mem_power_all_w, 6),
+                        format_double(r.cycles_active_all, 1),
+                        r.machine});
+  }
+  write_csv(path, doc);
+}
+
+void KnowledgeDb::load(const std::filesystem::path& path) {
+  last_load_dropped_ = 0;
+  const CsvDocument doc = read_csv(path);
+  CLIP_REQUIRE(doc.header == kColumns,
+               "knowledge DB schema mismatch: " + path.string());
+  records_.clear();
+  for (const auto& row : doc.rows) {
+    KnowledgeRecord r;
+    r.name = row[0];
+    r.parameters = row[1];
+    r.cls = class_from_string(row[2]);
+    r.inflection = static_cast<int>(to_double(row[3]));
+    r.perf_ratio = to_double(row[4]);
+    r.preferred_affinity = affinity_from_string(row[5]);
+    r.per_core_bw_gbps = to_double(row[6]);
+    r.node_bw_gbps = to_double(row[7]);
+    r.memory_intensity = to_double(row[8]);
+    r.time_all_s = to_double(row[9]);
+    r.time_half_s = to_double(row[10]);
+    r.time_validation_s = to_double(row[11]);
+    r.validation_threads = static_cast<int>(to_double(row[12]));
+    r.cpu_power_all_w = to_double(row[13]);
+    r.mem_power_all_w = to_double(row[14]);
+    r.cycles_active_all = to_double(row[15]);
+    r.machine = row[16];
+    if (!shape_.machine_fingerprint.empty() && !r.machine.empty() &&
+        r.machine != shape_.machine_fingerprint) {
+      ++last_load_dropped_;
+      continue;  // profile from different hardware: not evidence here
+    }
+    insert(std::move(r));
+  }
+}
+
+KnowledgeRecord make_record(const ProfileData& profile,
+                            workloads::ScalabilityClass cls,
+                            int inflection) {
+  KnowledgeRecord r;
+  r.name = profile.app_name;
+  r.parameters = profile.app_parameters;
+  r.cls = cls;
+  r.inflection = inflection;
+  r.perf_ratio = profile.perf_ratio_half_over_all;
+  r.preferred_affinity = profile.preferred_affinity;
+  r.per_core_bw_gbps = profile.per_core_bw_gbps;
+  r.node_bw_gbps = profile.node_bw_gbps;
+  r.memory_intensity = profile.memory_intensity;
+  r.time_all_s = profile.all_core.time.value();
+  r.time_half_s = profile.half_core.time.value();
+  if (profile.validation) {
+    r.time_validation_s = profile.validation->time.value();
+    r.validation_threads = profile.validation->config.threads;
+  }
+  r.cpu_power_all_w = profile.all_core.cpu_power.value();
+  r.mem_power_all_w = profile.all_core.mem_power.value();
+  r.cycles_active_all = profile.all_core.events.cycles_active_per_s;
+  return r;
+}
+
+}  // namespace clip::core

@@ -1,0 +1,68 @@
+// Node power estimation and the acceptable power range (paper §III-B1).
+//
+// From the measured all-core profile, CLIP calibrates a per-core load power
+// and a per-core DRAM demand, then predicts node power at any (threads,
+// placement, frequency, memory level) point using the hardware constants of
+// the power model (socket base powers, DVFS exponent — facts about the
+// machine, not the application). The acceptable node power range is
+//   [ P_cpu,L2 + P_mem,L2 ,  P_cpu,L1 + P_mem,L1 ]
+// where L1/L2 are the highest/lowest DVFS states at the recommended
+// configuration: below the lower bound "performance decreases significantly
+// and the performance loss can outweigh the gain on the power savings";
+// above the upper bound power is wasted.
+#pragma once
+
+#include "core/profile.hpp"
+#include "sim/machine.hpp"
+#include "util/units.hpp"
+
+namespace clip::core {
+
+/// The acceptable power range of one node for one application+config.
+struct PowerRange {
+  Watts low{0.0};   ///< P_cpu,L2 + P_mem,L2 (lowest frequency)
+  Watts high{0.0};  ///< P_cpu,L1 + P_mem,L1 (highest frequency)
+};
+
+class PowerEstimator {
+ public:
+  PowerEstimator(const sim::MachineSpec& spec, const ProfileData& profile);
+
+  /// Predicted processor-domain power at an operating point.
+  [[nodiscard]] Watts cpu_power(int threads,
+                                parallel::AffinityPolicy affinity,
+                                double f_rel) const;
+
+  /// Predicted memory-domain power (achieved bandwidth capped by the level).
+  [[nodiscard]] Watts mem_power(int threads,
+                                parallel::AffinityPolicy affinity,
+                                sim::MemPowerLevel level) const;
+
+  /// Memory-domain power at an explicit achieved bandwidth (GB/s).
+  [[nodiscard]] Watts mem_power_at_bw(int threads,
+                                      parallel::AffinityPolicy affinity,
+                                      double achieved_bw_gbps) const;
+
+  [[nodiscard]] Watts node_power(int threads,
+                                 parallel::AffinityPolicy affinity,
+                                 sim::MemPowerLevel level,
+                                 double f_rel) const;
+
+  /// Acceptable range at a configuration (Eqs. of §III-B1).
+  [[nodiscard]] PowerRange acceptable_range(
+      int threads, parallel::AffinityPolicy affinity,
+      sim::MemPowerLevel level) const;
+
+  /// Calibrated per-core load power at nominal frequency.
+  [[nodiscard]] double per_core_load_w() const { return per_core_load_w_; }
+
+  /// Predicted DRAM demand (GB/s) of `threads` threads at nominal frequency.
+  [[nodiscard]] double bw_demand_gbps(int threads) const;
+
+ private:
+  const sim::MachineSpec* spec_;
+  double per_core_load_w_ = 0.0;
+  double per_core_bw_gbps_ = 0.0;
+};
+
+}  // namespace clip::core

@@ -1,0 +1,98 @@
+// Performance prediction (paper §III-A2, Eqs. 1–3).
+//
+// From at most three sample profiles, predict execution time at any
+// (threads, frequency) operating point:
+//
+//  * linear (Eq. 1):        T(t) = a/t + c fitted through the half- and
+//    all-core samples — the "linear function of sample configuration run
+//    times" with α_(t,i) the per-sample scaling and λ_t the overhead term.
+//  * logarithmic (Eq. 2):   two segments joined at N_P: ideal scaling below
+//    (anchored at the half-core and validation samples), a reduced-slope
+//    linear segment from (N_P, T(N_P)) to the measured all-core time above.
+//  * parabolic (Eq. 3):     the paper predicts only the t <= N_P segment and
+//    disregards t > N_P; we additionally interpolate toward the *measured*
+//    all-core sample when asked about t > N_P (that is data, not model).
+//
+// Frequency scaling splits predicted time into a frequency-sensitive share
+// and a bandwidth-saturated (frequency-insensitive) share:
+//     T(t, f) = T(t) * ((1 - mu_t)/f_rel + mu_t).
+// mu_t is derived from the Table I events: the all-core active-cycle
+// utilization u = Event5 / (threads * f) reveals the memory-stall fraction,
+// and with the observed bandwidth ceiling this recovers the workload's
+// memory-boundedness m̂ = (1-u)/(1-sat); mu_t is then the time share of the
+// saturated memory term at t threads (zero while t's demand fits under the
+// ceiling — frequency fully converts to performance there).
+#pragma once
+
+#include "core/profile.hpp"
+#include "sim/machine.hpp"
+#include "workloads/signature.hpp"
+
+namespace clip::core {
+
+class PerfPredictor {
+ public:
+  /// `np` is required (>=2) for non-linear classes; ignored for linear.
+  PerfPredictor(const sim::MachineSpec& spec, const ProfileData& profile,
+                workloads::ScalabilityClass cls, int np = 0);
+
+  /// Predicted full-problem single-node time at `threads`, full frequency,
+  /// full memory bandwidth.
+  [[nodiscard]] Seconds predict_time(int threads) const;
+
+  /// Predicted time at `threads` and relative frequency f/f_nominal.
+  [[nodiscard]] Seconds predict_time(int threads, double f_rel) const;
+
+  /// Predicted time at `threads`, relative frequency, and a DRAM bandwidth
+  /// ceiling (GB/s) — the memory-power-level / DRAM-cap knob. Derived from
+  /// the recovered memory-boundedness m̂:
+  ///   T(t,f,bw) = T(t) * [ (1-m̂)/f + m̂/(f*sat(f,bw)) ]
+  ///                     / [ (1-m̂)   + m̂/sat0 ]
+  /// where sat(f,bw) = min(1, bw/(t*b*f)) and sat0 is the saturation at
+  /// the profiled operating point. The saturated memory term is frequency-
+  /// insensitive (f cancels), reproducing the Fig. 2/3 behaviour.
+  [[nodiscard]] Seconds predict_time(int threads, double f_rel,
+                                     double bw_cap_gbps) const;
+
+  /// The bandwidth ceiling observed while profiling (NUMA effects folded
+  /// in) — the natural reference for scaling memory-level capacities.
+  [[nodiscard]] double observed_bw_ceiling() const { return bw_ceiling_; }
+
+  /// The recovered memory-boundedness m̂. Zero also when the profile never
+  /// saturated (an unsaturated profile cannot reveal m — callers must then
+  /// treat bandwidth cuts below the measured demand as unpriced risk).
+  [[nodiscard]] double recovered_memory_boundedness() const {
+    return memory_boundedness_;
+  }
+
+  /// Estimated share of execution time bound by DRAM bandwidth at `threads`
+  /// (the frequency-insensitive fraction).
+  [[nodiscard]] double memory_time_share(int threads) const;
+
+  [[nodiscard]] workloads::ScalabilityClass scalability() const {
+    return cls_;
+  }
+  [[nodiscard]] int inflection() const { return np_; }
+
+ private:
+  [[nodiscard]] double segment1_time(double t) const;  // t <= np (or all t, linear)
+
+  const sim::MachineSpec* spec_;
+  workloads::ScalabilityClass cls_;
+  int np_ = 0;
+
+  // Fitted hyperbolic model T(t) = a/t + c for the scaling segment.
+  double coef_a_ = 0.0;
+  double coef_c_ = 0.0;
+
+  // Anchors for the second segment (non-linear classes).
+  double time_all_ = 0.0;
+  int threads_all_ = 0;
+
+  // Frequency-scaling inputs recovered from the profile.
+  double per_core_bw_ = 0.0;      ///< per-thread DRAM demand (GB/s)
+  double bw_ceiling_ = 0.0;       ///< observed achievable node bandwidth
+  double memory_boundedness_ = 0.0;  ///< m̂ recovered from Event5 utilization
+};
+
+}  // namespace clip::core

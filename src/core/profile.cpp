@@ -1,0 +1,11 @@
+#include "core/profile.hpp"
+
+namespace clip::core {
+
+std::vector<double> ProfileData::features() const {
+  // Table I features come from the all-core sample (the configuration every
+  // application is profiled at), with Event7 being the full/half ratio.
+  return all_core.events.to_features();
+}
+
+}  // namespace clip::core

@@ -1,0 +1,59 @@
+// Profile data structures shared by the CLIP decision pipeline.
+//
+// A "sample configuration" is one short profiling execution on a single node
+// (paper §IV-B1: smart profiling runs a few iterations of the task with
+// sufficient power). CLIP needs at most three of them per application.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "sim/config.hpp"
+#include "sim/events.hpp"
+#include "util/units.hpp"
+#include "workloads/signature.hpp"
+
+namespace clip::core {
+
+/// Measurements from one sample-configuration run.
+struct SampleProfile {
+  sim::NodeConfig config;
+  Seconds time{0.0};
+  Watts cpu_power{0.0};
+  Watts mem_power{0.0};
+  sim::EventRates events;
+
+  [[nodiscard]] Watts node_power() const { return cpu_power + mem_power; }
+};
+
+/// Everything the smart profiler learned about one application.
+struct ProfileData {
+  std::string app_name;
+  std::string app_parameters;
+
+  SampleProfile all_core;   ///< step 1: all cores, full power
+  SampleProfile half_core;  ///< step 2: half cores, affinity from step 1
+  std::optional<SampleProfile> validation;  ///< step 3 (non-linear classes)
+
+  /// Perf_half / Perf_all = T_all / T_half — the classification statistic.
+  double perf_ratio_half_over_all = 0.0;
+
+  /// Placement preference derived from step 1 (memory access intensity).
+  parallel::AffinityPolicy preferred_affinity =
+      parallel::AffinityPolicy::kScatter;
+
+  /// DRAM traffic observed at all-core (GB/s) and per-core demand estimate.
+  double node_bw_gbps = 0.0;
+  double per_core_bw_gbps = 0.0;
+
+  /// node_bw / node peak bandwidth, in [0,1] — "memory access intensity".
+  double memory_intensity = 0.0;
+
+  /// Modeled cost of profiling (seconds of simulated machine time).
+  Seconds profiling_cost{0.0};
+
+  /// Feature vector for the inflection MLR, Table I order (Event0..Event7).
+  [[nodiscard]] std::vector<double> features() const;
+};
+
+}  // namespace clip::core

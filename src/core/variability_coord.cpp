@@ -1,0 +1,48 @@
+#include "core/variability_coord.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace clip::core {
+
+double VariabilityCoordinator::spread(
+    const std::vector<double>& multipliers) {
+  CLIP_REQUIRE(!multipliers.empty(), "need at least one node");
+  const auto [lo, hi] =
+      std::minmax_element(multipliers.begin(), multipliers.end());
+  CLIP_REQUIRE(*lo > 0.0, "multipliers must be positive");
+  return (*hi - *lo) / *lo;
+}
+
+std::vector<Watts> VariabilityCoordinator::coordinate(
+    Watts uniform_cpu_cap, const std::vector<double>& multipliers,
+    Watts node_base_power) const {
+  CLIP_REQUIRE(uniform_cpu_cap.value() > 0.0, "cap must be positive");
+  CLIP_REQUIRE(node_base_power.value() >= 0.0, "base power must be >= 0");
+  if (spread(multipliers) <= options_.activation_threshold) return {};
+  const double base = node_base_power.value();
+  // No load headroom to shift around: leave the uniform cap alone.
+  if (uniform_cpu_cap.value() <= base) return {};
+
+  double sum = 0.0;
+  for (double m : multipliers) sum += m;
+  const double nodes = static_cast<double>(multipliers.size());
+  const double load_total = (uniform_cpu_cap.value() - base) * nodes;
+  std::vector<Watts> caps;
+  caps.reserve(multipliers.size());
+  for (double m : multipliers)
+    caps.emplace_back(base + load_total * m / sum);
+  return caps;
+}
+
+void VariabilityCoordinator::apply(sim::ClusterConfig& cfg,
+                                   const std::vector<double>& multipliers,
+                                   Watts node_base_power) const {
+  CLIP_REQUIRE(static_cast<int>(multipliers.size()) == cfg.nodes,
+               "multiplier count must match active nodes");
+  cfg.cpu_cap_overrides =
+      coordinate(cfg.node.cpu_cap, multipliers, node_base_power);
+}
+
+}  // namespace clip::core

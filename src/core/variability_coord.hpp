@@ -1,0 +1,53 @@
+// Inter-node power coordination for manufacturing variability
+// (paper §III-B2, following Inadomi et al. SC'15).
+//
+// Under a uniform per-node cap, power-inefficient nodes reach a lower DVFS
+// state than efficient ones, and the whole (bulk-synchronous) job runs at
+// the slowest node's pace. The coordinator shifts watts from efficient to
+// inefficient nodes — keeping the total constant — so every node sustains
+// the same frequency. Because the paper's testbed is "quite homogeneous",
+// coordination only engages when the observed variability spread exceeds a
+// threshold.
+#pragma once
+
+#include <vector>
+
+#include "sim/config.hpp"
+#include "util/units.hpp"
+
+namespace clip::core {
+
+struct VariabilityOptions {
+  double activation_threshold = 0.02;  ///< spread below this: do nothing
+};
+
+class VariabilityCoordinator {
+ public:
+  explicit VariabilityCoordinator(
+      VariabilityOptions options = VariabilityOptions{})
+      : options_(options) {}
+
+  /// Relative spread of per-node CPU power multipliers: (max-min)/min.
+  [[nodiscard]] static double spread(const std::vector<double>& multipliers);
+
+  /// Per-node CPU caps that equalize achievable frequency. Manufacturing
+  /// variability scales only the *load* power (cores), not the socket base
+  /// draw, so the load headroom (cap - base) is what must be distributed
+  /// proportionally to each node's multiplier:
+  ///   cap_i = base + (Σ caps - N*base) * η_i / Σsay η.
+  /// Total power is preserved. Returns an empty vector (= keep the uniform
+  /// cap) below the activation threshold.
+  [[nodiscard]] std::vector<Watts> coordinate(
+      Watts uniform_cpu_cap, const std::vector<double>& multipliers,
+      Watts node_base_power = Watts(0.0)) const;
+
+  /// Apply to a cluster config in place (fills cpu_cap_overrides).
+  void apply(sim::ClusterConfig& cfg,
+             const std::vector<double>& multipliers,
+             Watts node_base_power = Watts(0.0)) const;
+
+ private:
+  VariabilityOptions options_;
+};
+
+}  // namespace clip::core

@@ -1,0 +1,114 @@
+#include "parallel/affinity.hpp"
+
+#include <sched.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace clip::parallel {
+
+const char* to_string(AffinityPolicy p) {
+  switch (p) {
+    case AffinityPolicy::kCompact:
+      return "compact";
+    case AffinityPolicy::kScatter:
+      return "scatter";
+  }
+  return "?";
+}
+
+int Placement::total_threads() const {
+  int total = 0;
+  for (int t : threads_per_socket) total += t;
+  return total;
+}
+
+int Placement::active_sockets() const {
+  int active = 0;
+  for (int t : threads_per_socket)
+    if (t > 0) ++active;
+  return active;
+}
+
+double Placement::cross_socket_factor() const {
+  const int n = total_threads();
+  if (n <= 1 || threads_per_socket.size() < 2) return 0.0;
+  // Pairwise cross-socket interaction probability, normalized so an even
+  // split over two sockets yields 1. Generalizes to >2 sockets.
+  double cross_pairs = 0.0;
+  for (std::size_t i = 0; i < threads_per_socket.size(); ++i)
+    for (std::size_t j = i + 1; j < threads_per_socket.size(); ++j)
+      cross_pairs += static_cast<double>(threads_per_socket[i]) *
+                     static_cast<double>(threads_per_socket[j]);
+  const double max_pairs = static_cast<double>(n) * n / 4.0;
+  return std::min(1.0, cross_pairs / max_pairs);
+}
+
+Placement place_threads(const NodeShape& shape, int threads,
+                        AffinityPolicy policy) {
+  CLIP_REQUIRE(shape.sockets > 0 && shape.cores_per_socket > 0,
+               "node shape must be non-empty");
+  CLIP_REQUIRE(threads > 0, "placement needs at least one thread");
+  CLIP_REQUIRE(threads <= shape.total_cores(),
+               "more threads than cores on the node");
+
+  Placement p;
+  p.threads_per_socket.assign(shape.sockets, 0);
+  switch (policy) {
+    case AffinityPolicy::kCompact: {
+      int remaining = threads;
+      for (int s = 0; s < shape.sockets && remaining > 0; ++s) {
+        const int take = std::min(remaining, shape.cores_per_socket);
+        p.threads_per_socket[s] = take;
+        remaining -= take;
+      }
+      break;
+    }
+    case AffinityPolicy::kScatter: {
+      for (int t = 0; t < threads; ++t)
+        ++p.threads_per_socket[t % shape.sockets];
+      break;
+    }
+  }
+  CLIP_ENSURE(p.total_threads() == threads, "placement lost threads");
+  return p;
+}
+
+int worker_cpu(int worker_index, int host_cpus, AffinityPolicy policy,
+               const NodeShape& shape) {
+  CLIP_REQUIRE(worker_index >= 0, "worker index must be >= 0");
+  CLIP_REQUIRE(host_cpus > 0, "host must have CPUs");
+  int logical;
+  switch (policy) {
+    case AffinityPolicy::kCompact:
+      logical = worker_index;
+      break;
+    case AffinityPolicy::kScatter: {
+      // worker 0 -> socket0 core0, worker 1 -> socket1 core0, ...
+      const int socket = worker_index % shape.sockets;
+      const int core = worker_index / shape.sockets;
+      logical = socket * shape.cores_per_socket + core;
+      break;
+    }
+    default:
+      logical = worker_index;
+  }
+  return logical % host_cpus;
+}
+
+bool pin_current_thread(int cpu) {
+  if (cpu < 0) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu), &set);
+  return sched_setaffinity(0, sizeof set, &set) == 0;
+}
+
+int host_cpu_count() {
+  const long n = sysconf(_SC_NPROCESSORS_ONLN);
+  return n > 0 ? static_cast<int>(n) : 1;
+}
+
+}  // namespace clip::parallel

@@ -1,0 +1,63 @@
+// Core-thread affinity: the placement policies of paper step 3 ("choose core
+// and memory affinity based on application memory access intensity").
+//
+// Two views live here:
+//  * a *logical* placement computation (how many threads land on each socket
+//    of an abstract node shape) that the simulator and the CLIP decision
+//    engine share, and
+//  * a *physical* pinning layer (sched_setaffinity) used by the host
+//    thread-pool runtime when actually executing kernels.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace clip::parallel {
+
+/// Placement policies from the paper's node-level configuration space.
+enum class AffinityPolicy {
+  kCompact,  ///< fill socket 0 first; favors low power (parks socket 1)
+  kScatter,  ///< round-robin across sockets; favors aggregate memory bandwidth
+};
+
+[[nodiscard]] const char* to_string(AffinityPolicy p);
+
+/// Abstract node shape used for logical placement.
+struct NodeShape {
+  int sockets = 2;
+  int cores_per_socket = 12;
+
+  [[nodiscard]] int total_cores() const { return sockets * cores_per_socket; }
+};
+
+/// Threads assigned to each socket under a policy.
+struct Placement {
+  std::vector<int> threads_per_socket;
+
+  [[nodiscard]] int total_threads() const;
+  [[nodiscard]] int active_sockets() const;
+
+  /// Normalized cross-socket interaction factor in [0, 1]:
+  /// 0 when all threads share one socket, 1 for an even two-socket split.
+  /// Used by the simulator to derive remote-NUMA traffic.
+  [[nodiscard]] double cross_socket_factor() const;
+};
+
+/// Compute the logical placement of `threads` on `shape` under `policy`.
+/// Throws clip::PreconditionError if threads exceed the node's core count.
+[[nodiscard]] Placement place_threads(const NodeShape& shape, int threads,
+                                      AffinityPolicy policy);
+
+/// Map a worker index to a host CPU id under a policy, given the host CPU
+/// count (modulo wrap when workers exceed CPUs).
+[[nodiscard]] int worker_cpu(int worker_index, int host_cpus,
+                             AffinityPolicy policy, const NodeShape& shape);
+
+/// Pin the calling thread to a host CPU. Returns false (without throwing)
+/// when the platform rejects the request, e.g. restricted containers.
+bool pin_current_thread(int cpu);
+
+/// Number of CPUs available to this process.
+[[nodiscard]] int host_cpu_count();
+
+}  // namespace clip::parallel

@@ -1,0 +1,59 @@
+// Centralized sense-reversing barrier.
+//
+// The paper's node-level runtime repeatedly joins OpenMP worker teams at
+// phase boundaries; this is the standard low-overhead barrier for a team
+// whose size is fixed for the duration of a parallel region. The team size
+// is a constructor argument so the throttled pool can build a fresh barrier
+// per region when concurrency changes.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+
+#include "util/check.hpp"
+
+namespace clip::parallel {
+
+class SenseBarrier {
+ public:
+  explicit SenseBarrier(std::size_t parties) : parties_(parties) {
+    CLIP_REQUIRE(parties > 0, "barrier needs at least one party");
+    remaining_.store(parties, std::memory_order_relaxed);
+  }
+
+  SenseBarrier(const SenseBarrier&) = delete;
+  SenseBarrier& operator=(const SenseBarrier&) = delete;
+
+  /// Block until all parties arrive. Reusable across rounds.
+  void arrive_and_wait() {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last arrival: reset the count and flip the sense to release everyone.
+      remaining_.store(parties_, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+    } else {
+      while (sense_.load(std::memory_order_acquire) != my_sense) {
+        // Spin: regions are short and team sizes small. Yield keeps the
+        // single-CPU CI environment live.
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#endif
+        // Yield after the pause so oversubscribed hosts make progress.
+        sched_yield_();
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t parties() const { return parties_; }
+
+ private:
+  static void sched_yield_() { std::this_thread::yield(); }
+
+  const std::size_t parties_;
+  std::atomic<std::size_t> remaining_;
+  std::atomic<bool> sense_{false};
+};
+
+}  // namespace clip::parallel

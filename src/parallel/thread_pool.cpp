@@ -1,0 +1,122 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace clip::parallel {
+
+ThreadPool::ThreadPool(int max_threads) : max_threads_(max_threads) {
+  CLIP_REQUIRE(max_threads >= 1, "pool needs at least one thread");
+  concurrency_ = max_threads;
+  // Worker 0 is the submitting thread itself; spawn the rest.
+  workers_.reserve(static_cast<std::size_t>(max_threads - 1));
+  for (int i = 1; i < max_threads; ++i)
+    workers_.emplace_back([this, i] { worker_main(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    shutting_down_ = true;
+  }
+  region_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+int ThreadPool::concurrency() const {
+  std::lock_guard lock(mutex_);
+  return concurrency_;
+}
+
+void ThreadPool::set_concurrency(int threads) {
+  std::lock_guard lock(mutex_);
+  CLIP_REQUIRE(active_fn_ == nullptr,
+               "cannot throttle while a region is running");
+  concurrency_ = std::clamp(threads, 1, max_threads_);
+}
+
+int ThreadPool::set_affinity(AffinityPolicy policy, const NodeShape& shape) {
+  const int cpus = host_cpu_count();
+  int pinned = 0;
+  // Pin the calling thread as worker 0.
+  if (pin_current_thread(worker_cpu(0, cpus, policy, shape))) ++pinned;
+  // Pin the pool workers from inside themselves via a full-width region.
+  const int saved = concurrency();
+  set_concurrency(max_threads_);
+  std::mutex m;
+  run_region([&](int rank, int) {
+    if (rank == 0) return;  // already pinned above
+    if (pin_current_thread(worker_cpu(rank, cpus, policy, shape))) {
+      std::lock_guard lock(m);
+      ++pinned;
+    }
+  });
+  set_concurrency(saved);
+  return pinned;
+}
+
+void ThreadPool::run_region(const RegionFn& fn) {
+  int team;
+  {
+    std::lock_guard lock(mutex_);
+    CLIP_REQUIRE(active_fn_ == nullptr, "regions cannot nest on one pool");
+    team = concurrency_;
+    active_fn_ = &fn;
+    active_team_ = team;
+    remaining_in_region_ = team - 1;  // pool workers; rank 0 is us
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  region_start_.notify_all();
+
+  // The submitting thread is rank 0 of the team.
+  std::exception_ptr my_error;
+  try {
+    fn(0, team);
+  } catch (...) {
+    my_error = std::current_exception();
+  }
+
+  std::unique_lock lock(mutex_);
+  region_done_.wait(lock, [this] { return remaining_in_region_ == 0; });
+  active_fn_ = nullptr;
+  std::exception_ptr error = first_error_ ? first_error_ : my_error;
+  lock.unlock();
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::worker_main(int worker_index) {
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    const RegionFn* fn = nullptr;
+    int team = 0;
+    {
+      std::unique_lock lock(mutex_);
+      region_start_.wait(lock, [&] {
+        return shutting_down_ || generation_ != seen_generation;
+      });
+      if (shutting_down_) return;
+      seen_generation = generation_;
+      if (worker_index >= active_team_) {
+        // Throttled out of this region; wait for the next one.
+        continue;
+      }
+      fn = active_fn_;
+      team = active_team_;
+    }
+    std::exception_ptr error;
+    try {
+      (*fn)(worker_index, team);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard lock(mutex_);
+      if (error && !first_error_) first_error_ = error;
+      if (--remaining_in_region_ == 0) region_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace clip::parallel

@@ -1,0 +1,70 @@
+// A worker-team thread pool with live concurrency throttling and affinity —
+// the node-level enforcement mechanism of the paper ("thread concurrency
+// throttling, and core-thread affinity", §I).
+//
+// The pool spawns `max_threads` workers once; `set_concurrency(k)` changes
+// how many of them participate in subsequent parallel regions without
+// tearing threads down, mirroring how an OpenMP runtime reacts to
+// omp_set_num_threads between regions. `set_affinity` re-pins workers
+// according to a placement policy.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "parallel/affinity.hpp"
+
+namespace clip::parallel {
+
+class ThreadPool {
+ public:
+  /// Function run by each participating worker in a region:
+  /// (worker_rank, team_size).
+  using RegionFn = std::function<void(int, int)>;
+
+  /// Spawns `max_threads` workers (>=1). Workers are initially unpinned.
+  explicit ThreadPool(int max_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int max_threads() const { return max_threads_; }
+  [[nodiscard]] int concurrency() const;
+
+  /// Throttle: the next regions run with `threads` participants (clamped to
+  /// [1, max_threads]). Callable between regions from the submitting thread.
+  void set_concurrency(int threads);
+
+  /// Re-pin workers per the policy on the given (abstract) node shape.
+  /// Returns the number of workers successfully pinned (0 on platforms that
+  /// refuse affinity changes — the pool still works unpinned).
+  int set_affinity(AffinityPolicy policy, const NodeShape& shape);
+
+  /// Run `fn(rank, team_size)` on the current team and wait for completion.
+  /// Rank 0 runs on the calling thread; exceptions from any worker are
+  /// rethrown here (first one wins).
+  void run_region(const RegionFn& fn);
+
+ private:
+  void worker_main(int worker_index);
+
+  const int max_threads_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable region_start_;
+  std::condition_variable region_done_;
+  int concurrency_ = 1;
+  std::uint64_t generation_ = 0;  // bumped per region
+  int remaining_in_region_ = 0;
+  const RegionFn* active_fn_ = nullptr;
+  int active_team_ = 0;
+  bool shutting_down_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace clip::parallel

@@ -1,0 +1,96 @@
+#include "runtime/comparison.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/all_in.hpp"
+#include "util/check.hpp"
+
+namespace clip::runtime {
+
+double ComparisonResult::mean_relative(const std::string& method,
+                                       double budget_w) const {
+  double acc = 0.0;
+  int count = 0;
+  for (const auto& c : cells) {
+    if (c.method != method || c.budget_w != budget_w) continue;
+    acc += c.relative_performance;
+    ++count;
+  }
+  CLIP_REQUIRE(count > 0, "no cells for method " + method);
+  return acc / count;
+}
+
+double ComparisonResult::mean_improvement(
+    const std::string& method, const std::string& reference,
+    const std::vector<double>& budgets) const {
+  double acc = 0.0;
+  int count = 0;
+  for (const auto& c : cells) {
+    if (c.method != method) continue;
+    if (!budgets.empty() &&
+        std::find(budgets.begin(), budgets.end(), c.budget_w) ==
+            budgets.end())
+      continue;
+    const ComparisonCell* ref =
+        find(c.app, c.parameters, c.budget_w, reference);
+    if (ref == nullptr || ref->relative_performance <= 0.0) continue;
+    acc += c.relative_performance / ref->relative_performance - 1.0;
+    ++count;
+  }
+  CLIP_REQUIRE(count > 0, "no comparable cells");
+  return acc / count;
+}
+
+const ComparisonCell* ComparisonResult::find(const std::string& app,
+                                             const std::string& parameters,
+                                             double budget_w,
+                                             const std::string& method) const {
+  for (const auto& c : cells) {
+    if (c.app == app && c.parameters == parameters &&
+        c.budget_w == budget_w && c.method == method)
+      return &c;
+  }
+  return nullptr;
+}
+
+void ComparisonHarness::add_method(
+    std::shared_ptr<baselines::PowerScheduler> method) {
+  CLIP_REQUIRE(method != nullptr, "null method");
+  methods_.push_back(std::move(method));
+}
+
+double ComparisonHarness::unbounded_reference_time(
+    const workloads::WorkloadSignature& app) {
+  baselines::AllInScheduler all_in(executor_->spec());
+  const Watts unlimited(1e6);
+  const sim::ClusterConfig cfg = all_in.plan(app, unlimited);
+  return executor_->run_exact(app, cfg).time.value();
+}
+
+ComparisonResult ComparisonHarness::run(
+    const std::vector<workloads::WorkloadSignature>& apps,
+    const std::vector<double>& budgets_w) {
+  CLIP_REQUIRE(!methods_.empty(), "register at least one method");
+  ComparisonResult result;
+  for (const auto& app : apps) {
+    const double reference_time = unbounded_reference_time(app);
+    for (double budget : budgets_w) {
+      for (const auto& method : methods_) {
+        ComparisonCell cell;
+        cell.app = app.name;
+        cell.parameters = app.parameters;
+        cell.budget_w = budget;
+        cell.method = method->name();
+        cell.plan = method->plan(app, Watts(budget));
+        const sim::Measurement m = executor_->run_exact(app, cell.plan);
+        cell.time_s = m.time.value();
+        cell.relative_performance = reference_time / cell.time_s;
+        result.cells.push_back(std::move(cell));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace clip::runtime

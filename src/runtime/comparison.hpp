@@ -1,0 +1,75 @@
+// Comparison harness: runs a set of scheduling methods over applications and
+// budgets, reporting performance relative to the paper's reference ("we use
+// the relative performance based on the All-In method without a power
+// bound", §V-C). Shared by the Fig. 8/9 benchmark binaries, the summary
+// harness, and the campaign example.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/scheduler_iface.hpp"
+#include "sim/executor.hpp"
+#include "workloads/signature.hpp"
+
+namespace clip::runtime {
+
+/// One (application, budget, method) evaluation.
+struct ComparisonCell {
+  std::string app;
+  std::string parameters;
+  double budget_w = 0.0;
+  std::string method;
+  double time_s = 0.0;
+  double relative_performance = 0.0;  ///< vs unbounded All-In
+  sim::ClusterConfig plan;
+};
+
+struct ComparisonResult {
+  std::vector<ComparisonCell> cells;
+
+  /// Mean relative performance of a method across all apps at one budget.
+  [[nodiscard]] double mean_relative(const std::string& method,
+                                     double budget_w) const;
+
+  /// Mean improvement of `method` over `reference` across apps & budgets.
+  /// With `budgets` non-empty, only those budgets enter the mean (useful to
+  /// exclude degenerate regimes, e.g. budgets below a method's enforceable
+  /// floor where its slowdown is unbounded and would dominate the mean).
+  [[nodiscard]] double mean_improvement(
+      const std::string& method, const std::string& reference,
+      const std::vector<double>& budgets = {}) const;
+
+  [[nodiscard]] const ComparisonCell* find(const std::string& app,
+                                           const std::string& parameters,
+                                           double budget_w,
+                                           const std::string& method) const;
+};
+
+class ComparisonHarness {
+ public:
+  explicit ComparisonHarness(sim::SimExecutor& executor)
+      : executor_(&executor) {}
+
+  /// Register a method. Ownership shared so harnesses can also keep a
+  /// handle (e.g. to query the oracle's search cost).
+  void add_method(std::shared_ptr<baselines::PowerScheduler> method);
+
+  /// Evaluate every method on every (app, budget) pair. The reference
+  /// performance per app is All-In at an effectively unlimited budget.
+  [[nodiscard]] ComparisonResult run(
+      const std::vector<workloads::WorkloadSignature>& apps,
+      const std::vector<double>& budgets_w);
+
+ private:
+  [[nodiscard]] double unbounded_reference_time(
+      const workloads::WorkloadSignature& app);
+
+  sim::SimExecutor* executor_;
+  std::vector<std::shared_ptr<baselines::PowerScheduler>> methods_;
+};
+
+}  // namespace clip::runtime

@@ -1,0 +1,30 @@
+#include "runtime/job.hpp"
+
+#include <sstream>
+
+namespace clip::runtime {
+
+std::string render_launch_script(const JobSpec& spec,
+                                 const sim::ClusterConfig& plan) {
+  std::ostringstream os;
+  os << "#!/bin/sh\n"
+     << "# CLIP-generated launch script\n"
+     << "# app: " << spec.app.name << " " << spec.app.parameters << "\n"
+     << "# cluster budget: " << spec.cluster_budget.value() << " W\n";
+  for (int i = 0; i < plan.nodes; ++i) {
+    const double cpu_cap =
+        plan.cpu_cap_overrides.empty()
+            ? plan.node.cpu_cap.value()
+            : plan.cpu_cap_overrides[static_cast<std::size_t>(i)].value();
+    os << "clip-powerctl --node n" << i << " --pkg-cap " << cpu_cap
+       << "W --dram-cap " << plan.node.mem_cap.value() << "W --mem-level "
+       << sim::to_string(plan.node.mem_level) << "\n";
+  }
+  os << "mpirun -np " << plan.nodes << " --map-by node \\\n"
+     << "  -x OMP_NUM_THREADS=" << plan.node.threads
+     << " -x OMP_PROC_BIND=" << parallel::to_string(plan.node.affinity)
+     << " \\\n  " << spec.app.name << " " << spec.app.parameters << "\n";
+  return os.str();
+}
+
+}  // namespace clip::runtime

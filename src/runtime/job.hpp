@@ -1,0 +1,38 @@
+// Job abstractions for the application execution module (paper §IV-B3).
+#pragma once
+
+#include <string>
+
+#include "sim/config.hpp"
+#include "util/units.hpp"
+#include "workloads/signature.hpp"
+
+namespace clip::runtime {
+
+/// A job submission: what the user hands the framework.
+struct JobSpec {
+  workloads::WorkloadSignature app;
+  Watts cluster_budget{0.0};
+  std::string tag;  ///< free-form label for reports
+};
+
+/// The outcome of a scheduled-and-executed job.
+struct JobResult {
+  JobSpec spec;
+  std::string method;          ///< scheduler that produced the plan
+  sim::ClusterConfig plan;
+  sim::Measurement measurement;
+  Seconds scheduling_overhead{0.0};  ///< profiling cost charged to this job
+
+  [[nodiscard]] double performance() const {
+    return measurement.performance();
+  }
+};
+
+/// Render the launch script the execution module would hand to the cluster
+/// job scheduler (the paper's module "creates a script to launch the job
+/// with the execution configuration").
+[[nodiscard]] std::string render_launch_script(const JobSpec& spec,
+                                               const sim::ClusterConfig& plan);
+
+}  // namespace clip::runtime

@@ -1,0 +1,42 @@
+#include "runtime/launcher.hpp"
+
+namespace clip::runtime {
+
+Launcher::Launcher(
+    sim::SimExecutor& executor,
+    const std::vector<workloads::WorkloadSignature>& training_suite,
+    std::optional<std::filesystem::path> db_path,
+    core::SchedulerOptions options)
+    : executor_(&executor),
+      scheduler_(executor, training_suite, options),
+      db_path_(std::move(db_path)) {
+  if (db_path_ && std::filesystem::exists(*db_path_))
+    scheduler_.knowledge_db().load(*db_path_);
+}
+
+void Launcher::persist() {
+  if (db_path_) scheduler_.knowledge_db().save(*db_path_);
+}
+
+JobResult Launcher::run(const JobSpec& spec) {
+  const core::ScheduleDecision decision =
+      scheduler_.schedule(spec.app, spec.cluster_budget);
+  if (!decision.from_knowledge_db) persist();
+
+  JobResult result;
+  result.spec = spec;
+  result.method = "CLIP";
+  result.plan = decision.cluster;
+  result.measurement = executor_->run(spec.app, decision.cluster);
+  result.scheduling_overhead = decision.profiling_cost;
+  return result;
+}
+
+std::string Launcher::plan_script(const JobSpec& spec) {
+  const core::ScheduleDecision decision =
+      scheduler_.schedule(spec.app, spec.cluster_budget);
+  if (!decision.from_knowledge_db) persist();
+  return render_launch_script(spec, decision.cluster);
+}
+
+}  // namespace clip::runtime

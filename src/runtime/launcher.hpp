@@ -1,0 +1,42 @@
+// The application execution module (paper §IV-B3): the user-facing entry
+// point that checks the knowledge database, invokes smart profiling and the
+// recommendation pipeline when needed, generates the launch script, and
+// executes the job on the (simulated) power-bounded cluster.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+
+#include "core/scheduler.hpp"
+#include "runtime/job.hpp"
+#include "sim/executor.hpp"
+
+namespace clip::runtime {
+
+class Launcher {
+ public:
+  /// `db_path`: optional knowledge-database file, loaded when it exists and
+  /// saved after every new characterization.
+  Launcher(sim::SimExecutor& executor,
+           const std::vector<workloads::WorkloadSignature>& training_suite,
+           std::optional<std::filesystem::path> db_path = std::nullopt,
+           core::SchedulerOptions options = core::SchedulerOptions{});
+
+  /// Schedule with CLIP and execute.
+  [[nodiscard]] JobResult run(const JobSpec& spec);
+
+  /// The launch script for a job (planning only, no execution).
+  [[nodiscard]] std::string plan_script(const JobSpec& spec);
+
+  [[nodiscard]] core::ClipScheduler& scheduler() { return scheduler_; }
+  [[nodiscard]] sim::SimExecutor& executor() { return *executor_; }
+
+ private:
+  void persist();
+
+  sim::SimExecutor* executor_;
+  core::ClipScheduler scheduler_;
+  std::optional<std::filesystem::path> db_path_;
+};
+
+}  // namespace clip::runtime

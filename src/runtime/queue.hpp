@@ -1,0 +1,85 @@
+// Power-aware job queue — operating the cluster on a stream of jobs.
+//
+// The paper's execution module launches single jobs "through our job
+// scheduler" (§IV-B3); this queue is that scheduler: it packs multiple jobs
+// onto the cluster at once while the *sum* of their power allocations never
+// exceeds the cluster budget (the defining constraint of power-bounded
+// computing — cf. POWsched [11], which shifts power between concurrent
+// applications).
+//
+// Policy (FCFS with optional backfill), evaluated event-driven:
+//   * a job may start when free nodes and free watts remain;
+//   * CLIP first shapes the job as if the free watts were all its own, then
+//     is constrained to the free nodes with a proportional budget slice;
+//   * completions free nodes and watts, unblocking the queue.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "sim/executor.hpp"
+#include "util/units.hpp"
+#include "workloads/signature.hpp"
+
+namespace clip::runtime {
+
+struct QueueOptions {
+  Watts cluster_budget{1000.0};
+  bool backfill = true;          ///< allow later jobs to jump a blocked head
+  double min_node_power_w = 45.0;  ///< below this a node is not worth waking
+};
+
+/// One job's trajectory through the queue.
+struct QueuedJobResult {
+  std::string app;
+  std::string parameters;
+  double submit_s = 0.0;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  int nodes = 0;
+  double budget_w = 0.0;   ///< power slice while running
+  double power_w = 0.0;    ///< measured draw
+  [[nodiscard]] double turnaround_s() const { return end_s - submit_s; }
+  [[nodiscard]] double wait_s() const { return start_s - submit_s; }
+};
+
+struct QueueReport {
+  std::vector<QueuedJobResult> jobs;
+  double makespan_s = 0.0;
+  double mean_turnaround_s = 0.0;
+  double total_energy_j = 0.0;
+  double node_seconds_used = 0.0;
+  double node_seconds_available = 0.0;  ///< makespan * cluster nodes
+
+  [[nodiscard]] double node_utilization() const {
+    return node_seconds_available > 0.0
+               ? node_seconds_used / node_seconds_available
+               : 0.0;
+  }
+};
+
+class PowerAwareJobQueue {
+ public:
+  PowerAwareJobQueue(sim::SimExecutor& executor,
+                     core::ClipScheduler& scheduler,
+                     QueueOptions options = QueueOptions{});
+
+  /// Run all jobs (submitted at t=0, FCFS order) to completion and report.
+  [[nodiscard]] QueueReport run(
+      const std::vector<workloads::WorkloadSignature>& jobs);
+
+ private:
+  sim::SimExecutor* executor_;
+  core::ClipScheduler* scheduler_;
+  QueueOptions options_;
+};
+
+/// Reference policy: one job at a time with the whole budget (what a
+/// conventional power-bounded site does). Used by the throughput bench.
+[[nodiscard]] QueueReport run_serially(
+    sim::SimExecutor& executor, core::ClipScheduler& scheduler,
+    Watts cluster_budget,
+    const std::vector<workloads::WorkloadSignature>& jobs);
+
+}  // namespace clip::runtime

@@ -1,0 +1,62 @@
+// Telemetry — the paper's "power meter reader ... automates the collection
+// and recording of performance and power data for jobs" (§IV-B4).
+//
+// Produces a sampled time series of per-node power, frequency and phase for
+// an executed job (flat or phased), with the meter's sampling noise, and
+// exports it as CSV for external plotting. The integral of the power series
+// reproduces the job's measured energy (a test invariant).
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "sim/executor.hpp"
+#include "sim/phased.hpp"
+#include "util/csv.hpp"
+
+namespace clip::runtime {
+
+struct TelemetrySample {
+  double time_s = 0.0;
+  std::string phase;        ///< "-" for flat runs
+  int node = 0;
+  double cpu_power_w = 0.0;
+  double mem_power_w = 0.0;
+  double freq_ghz = 0.0;
+  int threads = 0;
+};
+
+struct TelemetryOptions {
+  double sample_period_s = 0.1;
+  double noise_sigma = 0.01;  ///< per-sample multiplicative meter noise
+  std::uint64_t seed = 11;
+};
+
+class Telemetry {
+ public:
+  using Options = TelemetryOptions;
+
+  explicit Telemetry(TelemetryOptions options = TelemetryOptions{});
+
+  /// Record a flat job: one steady operating point per node.
+  [[nodiscard]] std::vector<TelemetrySample> record(
+      const sim::Measurement& m, int threads) const;
+
+  /// Record a phased job: the series steps at phase boundaries.
+  [[nodiscard]] std::vector<TelemetrySample> record_phased(
+      const sim::PhasedMeasurement& m, int nodes) const;
+
+  /// Mean power integral of a series (trapezoid-free: samples are uniform).
+  [[nodiscard]] static double energy_j(
+      const std::vector<TelemetrySample>& series, double sample_period_s);
+
+  /// Export as CSV (time,phase,node,cpu_w,mem_w,freq,threads).
+  static void write(const std::filesystem::path& path,
+                    const std::vector<TelemetrySample>& series);
+
+ private:
+  TelemetryOptions options_;
+};
+
+}  // namespace clip::runtime

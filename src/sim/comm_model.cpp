@@ -1,0 +1,20 @@
+#include "sim/comm_model.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace clip::sim {
+
+Seconds CommModel::evaluate(const workloads::WorkloadSignature& w, int nodes,
+                            double node_work_s) {
+  CLIP_REQUIRE(nodes >= 1, "need at least one node");
+  CLIP_REQUIRE(node_work_s > 0.0, "work share must be positive");
+  if (nodes == 1) return Seconds(0.0);
+  const double latency = w.comm_latency_s * std::log2(static_cast<double>(nodes));
+  const double surface =
+      w.comm_surface_coeff * std::pow(node_work_s, 2.0 / 3.0);
+  return Seconds(latency + surface);
+}
+
+}  // namespace clip::sim

@@ -1,0 +1,22 @@
+// Cluster-level communication cost (the MPI side of the hybrid model).
+//
+// A standard α-β decomposition: a latency/synchronization term growing with
+// log2(N) (tree collectives) and a halo-exchange term proportional to the
+// per-node surface, which for a 3-D domain decomposition scales as the 2/3
+// power of the per-node volume (≈ per-node work share).
+#pragma once
+
+#include "util/units.hpp"
+#include "workloads/signature.hpp"
+
+namespace clip::sim {
+
+class CommModel {
+ public:
+  /// Communication time per run for `nodes` participants with the given
+  /// per-node work share (1-core-seconds). Zero for a single node.
+  [[nodiscard]] static Seconds evaluate(const workloads::WorkloadSignature& w,
+                                        int nodes, double node_work_s);
+};
+
+}  // namespace clip::sim

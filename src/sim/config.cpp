@@ -1,0 +1,22 @@
+#include "sim/config.hpp"
+
+#include <sstream>
+
+namespace clip::sim {
+
+std::string NodeConfig::describe() const {
+  std::ostringstream os;
+  os << threads << " threads/" << parallel::to_string(affinity) << ", mem "
+     << to_string(mem_level) << ", caps cpu=" << cpu_cap.value()
+     << "W mem=" << mem_cap.value() << "W";
+  return os.str();
+}
+
+std::string ClusterConfig::describe() const {
+  std::ostringstream os;
+  os << nodes << " node(s) x [" << node.describe() << "]";
+  if (!cpu_cap_overrides.empty()) os << " + per-node cap overrides";
+  return os.str();
+}
+
+}  // namespace clip::sim

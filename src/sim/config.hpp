@@ -1,0 +1,63 @@
+// Run configurations and measurements — the interface between the schedulers
+// (CLIP and the baselines) and the simulated cluster.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "parallel/affinity.hpp"
+#include "sim/events.hpp"
+#include "sim/machine.hpp"
+#include "util/units.hpp"
+
+namespace clip::sim {
+
+/// Per-node execution configuration: the four knobs the paper's node level
+/// controls (threads, affinity, memory power level, CPU/DRAM power caps).
+struct NodeConfig {
+  int threads = 1;
+  parallel::AffinityPolicy affinity = parallel::AffinityPolicy::kScatter;
+  MemPowerLevel mem_level = MemPowerLevel::kL0;
+  Watts cpu_cap{1e9};  ///< RAPL PKG cap for the node (both sockets combined)
+  Watts mem_cap{1e9};  ///< RAPL DRAM cap for the node
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Cluster execution configuration: node count plus the (SPMD) node config;
+/// per-node CPU-cap overrides express inter-node variability coordination.
+struct ClusterConfig {
+  int nodes = 1;
+  NodeConfig node;
+  /// Optional per-node CPU caps (size == nodes). Empty = uniform node.cpu_cap.
+  std::vector<Watts> cpu_cap_overrides;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// What the "system interface helper tools" report for one node.
+struct NodeMeasurement {
+  Seconds time{0.0};
+  GHz frequency{0.0};
+  double duty_factor = 1.0;  ///< < 1 when even the lowest DVFS state exceeds the cap
+  Watts cpu_power{0.0};
+  Watts mem_power{0.0};
+  double achieved_bw_gbps = 0.0;
+  double saturation = 1.0;
+  EventRates events;
+};
+
+/// Cluster-level measurement of one run.
+struct Measurement {
+  Seconds time{0.0};       ///< makespan: max node time + communication
+  Seconds comm_time{0.0};
+  Watts avg_power{0.0};    ///< average power of the active nodes
+  Joules energy{0.0};
+  std::vector<NodeMeasurement> nodes;
+
+  /// Relative performance = 1 / time. The paper's figures plot performance
+  /// relative to a reference method; callers divide two of these.
+  [[nodiscard]] double performance() const { return 1.0 / time.value(); }
+};
+
+}  // namespace clip::sim

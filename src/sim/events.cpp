@@ -1,0 +1,49 @@
+#include "sim/events.hpp"
+
+namespace clip::sim {
+
+std::vector<double> EventRates::to_features() const {
+  return {icache_misses_per_s, read_bw_gbps,          write_bw_gbps,
+          l3_miss_local_per_s, l3_miss_remote_per_s,  cycles_active_per_s,
+          instructions_per_s,  perf_ratio_full_half};
+}
+
+const std::array<std::string, 8>& EventRates::names() {
+  static const std::array<std::string, 8> n = {
+      "Instruction Cache (ICACHE) Misses",
+      "Memory Access Read Bandwidth",
+      "Memory Access Write Bandwidth",
+      "L3 Cache Miss from Local DRAM",
+      "L3 Cache Miss from Remote DRAM",
+      "Cycles Active",
+      "Instructions Retired",
+      "Performance ratio by full cores and half cores"};
+  return n;
+}
+
+EventRates EventModel::synthesize(const workloads::WorkloadSignature& w,
+                                  int threads, GHz freq,
+                                  const NodePerfOutput& perf) const {
+  EventRates e;
+  const double cycles_per_s = threads * freq.value() * 1e9;
+
+  // ICACHE misses: pressure parameter expressed as misses per kilo-cycle.
+  e.icache_misses_per_s = w.icache_pressure * 20.0 * cycles_per_s / 1000.0;
+
+  e.read_bw_gbps = perf.achieved_bw_gbps * (1.0 - w.write_fraction);
+  e.write_bw_gbps = perf.achieved_bw_gbps * w.write_fraction;
+
+  // L3 misses: one per 64-byte line of DRAM traffic, split local/remote by
+  // the placement-derived remote fraction (recovered from the bandwidth
+  // model: bw_eff = cap * (1 - penalty*remote_frac)).
+  const double lines_per_s = perf.achieved_bw_gbps * 1e9 / 64.0;
+  e.l3_miss_local_per_s = lines_per_s * (1.0 - perf.remote_fraction);
+  e.l3_miss_remote_per_s = lines_per_s * perf.remote_fraction;
+
+  e.cycles_active_per_s = cycles_per_s * perf.utilization;
+  e.instructions_per_s = e.cycles_active_per_s * w.ipc;
+  // perf_ratio_full_half is assembled by the profiler.
+  return e;
+}
+
+}  // namespace clip::sim

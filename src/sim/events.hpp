@@ -1,0 +1,51 @@
+// Synthesis of the Table I hardware events.
+//
+// The paper's MLR inflection predictor consumes eight Haswell event rates
+// collected during the sample-configuration profiles. The simulator derives
+// the same rates from the workload signature and the operating point, so the
+// prediction pipeline runs end-to-end exactly as on real hardware.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "sim/perf_model.hpp"
+#include "workloads/signature.hpp"
+
+namespace clip::sim {
+
+/// Paper Table I. Event7 (the full/half perf ratio) is filled in by the
+/// profiler, which is the only place both profiles exist.
+struct EventRates {
+  double icache_misses_per_s = 0.0;   ///< Event0
+  double read_bw_gbps = 0.0;          ///< Event1
+  double write_bw_gbps = 0.0;         ///< Event2
+  double l3_miss_local_per_s = 0.0;   ///< Event3
+  double l3_miss_remote_per_s = 0.0;  ///< Event4
+  double cycles_active_per_s = 0.0;   ///< Event5
+  double instructions_per_s = 0.0;    ///< Event6
+  double perf_ratio_full_half = 0.0;  ///< Event7
+
+  /// Feature vector for the MLR model, in Table I order.
+  [[nodiscard]] std::vector<double> to_features() const;
+
+  /// Table I descriptions, aligned with to_features().
+  [[nodiscard]] static const std::array<std::string, 8>& names();
+};
+
+class EventModel {
+ public:
+  explicit EventModel(const MachineSpec& spec) : spec_(&spec) {}
+
+  /// Event rates for a node running `w` with `threads` at `f` (GHz), given
+  /// the perf-model outcome of that operating point.
+  [[nodiscard]] EventRates synthesize(const workloads::WorkloadSignature& w,
+                                      int threads, GHz freq,
+                                      const NodePerfOutput& perf) const;
+
+ private:
+  const MachineSpec* spec_;
+};
+
+}  // namespace clip::sim

@@ -1,0 +1,104 @@
+#include "sim/executor.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace clip::sim {
+
+SimExecutor::SimExecutor(MachineSpec spec, MeterOptions meter)
+    : spec_(std::move(spec)),
+      variability_(spec_),
+      rapl_(spec_),
+      events_(spec_),
+      meter_(meter) {
+  spec_.validate();
+}
+
+Measurement SimExecutor::run_exact(const workloads::WorkloadSignature& w,
+                                   const ClusterConfig& cfg) const {
+  w.validate();
+  CLIP_REQUIRE(cfg.nodes >= 1 && cfg.nodes <= spec_.nodes,
+               "node count outside the cluster");
+  CLIP_REQUIRE(cfg.cpu_cap_overrides.empty() ||
+                   static_cast<int>(cfg.cpu_cap_overrides.size()) ==
+                       cfg.nodes,
+               "per-node cap overrides must match the node count");
+
+  const double node_work_s = w.node_base_time_s / cfg.nodes;
+
+  Measurement m;
+  m.nodes.reserve(static_cast<std::size_t>(cfg.nodes));
+  Seconds slowest{0.0};
+  for (int i = 0; i < cfg.nodes; ++i) {
+    NodeConfig node_cfg = cfg.node;
+    if (!cfg.cpu_cap_overrides.empty())
+      node_cfg.cpu_cap = cfg.cpu_cap_overrides[static_cast<std::size_t>(i)];
+    const OperatingPoint op = rapl_.solve(w, node_work_s, node_cfg,
+                                          variability_.cpu_multiplier(i));
+    NodeMeasurement nm;
+    nm.time = op.perf.time;
+    nm.frequency = op.frequency;
+    nm.duty_factor = op.duty_factor;
+    nm.cpu_power = op.cpu_power;
+    nm.mem_power = op.mem_power;
+    nm.achieved_bw_gbps = op.perf.achieved_bw_gbps;
+    nm.saturation = op.perf.saturation;
+    nm.events = events_.synthesize(w, node_cfg.threads, op.frequency,
+                                   op.perf);
+    slowest = std::max(slowest, nm.time);
+    m.nodes.push_back(std::move(nm));
+  }
+
+  m.comm_time = CommModel::evaluate(w, cfg.nodes, node_work_s);
+  m.time = slowest + m.comm_time;
+
+  double watts = 0.0;
+  for (const auto& nm : m.nodes)
+    watts += nm.cpu_power.value() + nm.mem_power.value();
+  m.avg_power = Watts(watts);
+  m.energy = m.avg_power * m.time;
+  return m;
+}
+
+Measurement SimExecutor::run(const workloads::WorkloadSignature& w,
+                             const ClusterConfig& cfg) {
+  Measurement m = run_exact(w, cfg);
+  meter_.observe(m);
+  return m;
+}
+
+PhasedMeasurement SimExecutor::run_phased_exact(
+    const workloads::PhasedWorkload& w,
+    const PhasedClusterConfig& cfg) const {
+  w.validate();
+  CLIP_REQUIRE(cfg.phase_nodes.size() == w.phases.size(),
+               "one node config per phase required");
+  CLIP_REQUIRE(cfg.nodes >= 1 && cfg.nodes <= spec_.nodes,
+               "node count outside the cluster");
+
+  PhasedMeasurement total;
+  double energy = 0.0;
+  for (std::size_t i = 0; i < w.phases.size(); ++i) {
+    ClusterConfig phase_cfg;
+    phase_cfg.nodes = cfg.nodes;
+    phase_cfg.node = cfg.phase_nodes[i];
+    const Measurement m = run_exact(w.phase_signature(i), phase_cfg);
+
+    PhaseMeasurement pm;
+    pm.phase = w.phases[i].name;
+    pm.time = m.time;
+    pm.avg_power = m.avg_power;
+    pm.energy = m.energy;
+    pm.frequency = m.nodes.front().frequency;
+    pm.threads = phase_cfg.node.threads;
+    total.time += m.time;
+    energy += m.energy.value();
+    total.phases.push_back(std::move(pm));
+  }
+  total.energy = Joules(energy);
+  total.avg_power = total.energy / total.time;
+  return total;
+}
+
+}  // namespace clip::sim

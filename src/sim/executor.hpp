@@ -1,0 +1,58 @@
+// SimExecutor: the single entry point through which schedulers "run" a
+// workload on the simulated cluster and observe time, power, energy, and
+// hardware events. This is the stand-in for the paper's real 8-node Haswell
+// testbed (see DESIGN.md §1 for the substitution argument).
+#pragma once
+
+#include "sim/comm_model.hpp"
+#include "sim/config.hpp"
+#include "sim/machine.hpp"
+#include "sim/phased.hpp"
+#include "sim/power_meter.hpp"
+#include "sim/rapl.hpp"
+#include "sim/variability.hpp"
+#include "workloads/phases.hpp"
+#include "workloads/signature.hpp"
+
+namespace clip::sim {
+
+class SimExecutor {
+ public:
+  /// `meter` options control measurement noise (disable for exact tests).
+  explicit SimExecutor(MachineSpec spec, MeterOptions meter = MeterOptions{});
+
+  [[nodiscard]] const MachineSpec& spec() const { return spec_; }
+  [[nodiscard]] const Variability& variability() const {
+    return variability_;
+  }
+
+  /// Execute `w` under `cfg` and return the (noisy) measurement.
+  ///
+  /// The problem strong-scales across the active nodes; every node runs the
+  /// same node config (optionally with per-node CPU-cap overrides from the
+  /// variability coordinator); the job completes when the slowest node
+  /// finishes plus communication time.
+  [[nodiscard]] Measurement run(const workloads::WorkloadSignature& w,
+                                const ClusterConfig& cfg);
+
+  /// Ground-truth run with no measurement noise — used by oracle searches
+  /// and tests. Identical model, exact values.
+  [[nodiscard]] Measurement run_exact(const workloads::WorkloadSignature& w,
+                                      const ClusterConfig& cfg) const;
+
+  /// Execute a phased workload with per-phase node configurations over one
+  /// node allocation (exact, noise-free). At each phase boundary the node
+  /// runtime re-throttles, re-pins and re-programs the caps.
+  [[nodiscard]] PhasedMeasurement run_phased_exact(
+      const workloads::PhasedWorkload& w,
+      const PhasedClusterConfig& cfg) const;
+
+ private:
+  MachineSpec spec_;
+  Variability variability_;
+  RaplSolver rapl_;
+  EventModel events_;
+  PowerMeter meter_;
+};
+
+}  // namespace clip::sim

@@ -1,0 +1,31 @@
+#include "sim/frequency.hpp"
+
+#include "util/check.hpp"
+
+namespace clip::sim {
+
+FrequencyLadder::FrequencyLadder(GHz min, GHz max, GHz step, GHz nominal)
+    : nominal_(nominal) {
+  CLIP_REQUIRE(min.value() > 0.0, "minimum frequency must be positive");
+  CLIP_REQUIRE(min <= max, "ladder needs min <= max");
+  CLIP_REQUIRE(step.value() > 0.0, "step must be positive");
+  CLIP_REQUIRE(nominal.value() > 0.0, "nominal frequency must be positive");
+  for (double f = min.value(); f <= max.value() + 1e-9; f += step.value())
+    states_.emplace_back(f);
+  CLIP_ENSURE(!states_.empty(), "empty frequency ladder");
+}
+
+FrequencyLadder FrequencyLadder::haswell() {
+  using namespace clip::literals;
+  return FrequencyLadder(1.2_GHz, 2.3_GHz, 0.1_GHz, 2.3_GHz);
+}
+
+GHz FrequencyLadder::snap_down(GHz f) const {
+  GHz best = states_.front();
+  for (GHz s : states_) {
+    if (s.value() <= f.value() + 1e-9) best = s;
+  }
+  return best;
+}
+
+}  // namespace clip::sim

@@ -1,0 +1,42 @@
+// DVFS frequency ladder of the simulated processor.
+//
+// The testbed processor (Xeon E5-2670 v3) exposes discrete P-states between
+// 1.2 and 2.3 GHz; RAPL enforcement effectively walks this ladder. CLIP's
+// power-range estimation (paper §III-B1) profiles at the highest (L1) and
+// lowest (L2) states.
+#pragma once
+
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace clip::sim {
+
+class FrequencyLadder {
+ public:
+  /// Ladder of evenly spaced states [min, max] with the given step.
+  FrequencyLadder(GHz min, GHz max, GHz step, GHz nominal);
+
+  /// The Haswell-like default: 1.2..2.3 GHz in 0.1 GHz steps, nominal 2.3.
+  [[nodiscard]] static FrequencyLadder haswell();
+
+  [[nodiscard]] const std::vector<GHz>& states() const { return states_; }
+  [[nodiscard]] GHz min() const { return states_.front(); }
+  [[nodiscard]] GHz max() const { return states_.back(); }
+  [[nodiscard]] GHz nominal() const { return nominal_; }
+
+  /// Relative speed of a state: f / nominal.
+  [[nodiscard]] double relative(GHz f) const { return f / nominal_; }
+
+  /// Highest state <= f (clamps to min). Useful for snapping model output
+  /// onto a real state.
+  [[nodiscard]] GHz snap_down(GHz f) const;
+
+  [[nodiscard]] std::size_t state_count() const { return states_.size(); }
+
+ private:
+  std::vector<GHz> states_;  // ascending
+  GHz nominal_;
+};
+
+}  // namespace clip::sim

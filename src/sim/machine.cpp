@@ -1,0 +1,46 @@
+#include "sim/machine.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace clip::sim {
+
+std::string MachineSpec::fingerprint() const {
+  std::ostringstream os;
+  os << "s" << shape.sockets << "x" << shape.cores_per_socket << "-f"
+     << ladder.min().value() << ":" << ladder.max().value() << "@"
+     << ladder.nominal().value() << "-p" << socket_base_w << "/"
+     << core_max_w << "^" << power_exponent << "-bw" << socket_bw_gbps
+     << "-m" << mem_base_w_per_socket << "/" << mem_activity_w_per_socket
+     << "-numa" << remote_numa_penalty;
+  return os.str();
+}
+
+void MachineSpec::validate() const {
+  CLIP_REQUIRE(nodes > 0, "cluster needs at least one node");
+  CLIP_REQUIRE(shape.sockets > 0 && shape.cores_per_socket > 0,
+               "node shape must be non-empty");
+  CLIP_REQUIRE(socket_base_w > 0.0 && core_max_w > 0.0,
+               "CPU power parameters must be positive");
+  CLIP_REQUIRE(socket_parked_w >= 0.0 && socket_parked_w <= socket_base_w,
+               "parked socket power must be within [0, base]");
+  CLIP_REQUIRE(core_power_floor >= 0.0 && core_power_floor <= 1.0,
+               "core power floor in [0,1]");
+  CLIP_REQUIRE(power_exponent >= 1.0 && power_exponent <= 3.0,
+               "power exponent in [1,3]");
+  CLIP_REQUIRE(socket_bw_gbps > 0.0, "socket bandwidth must be positive");
+  CLIP_REQUIRE(mem_base_w_per_socket >= 0.0 &&
+                   mem_activity_w_per_socket > 0.0,
+               "memory power parameters must be positive");
+  CLIP_REQUIRE(
+      mem_parked_w_per_socket >= 0.0 &&
+          mem_parked_w_per_socket <= mem_base_w_per_socket,
+      "parked memory power must be within [0, base]");
+  CLIP_REQUIRE(remote_numa_penalty >= 0.0 && remote_numa_penalty < 1.0,
+               "remote NUMA penalty in [0,1)");
+  CLIP_REQUIRE(variability_sigma >= 0.0 && variability_sigma < 0.5,
+               "variability sigma in [0,0.5)");
+}
+
+}  // namespace clip::sim

@@ -1,0 +1,108 @@
+// MachineSpec: every physical parameter of the simulated cluster in one
+// place, defaulted to the paper's testbed — an 8-node cluster of dual-socket
+// 12-core Haswell (Xeon E5-2670 v3 @ 2.3 GHz) nodes with NUMA DDR4 memory.
+//
+// Power parameters follow the paper's decomposition (Eqs. 5–9): per-socket
+// base power plus per-active-core load power for the processor domain, and
+// per-socket base plus bandwidth-proportional activity power for the memory
+// domain.
+#pragma once
+
+#include <cstdint>
+
+#include "parallel/affinity.hpp"
+#include "sim/frequency.hpp"
+#include "util/units.hpp"
+
+namespace clip::sim {
+
+/// Discrete DRAM power levels — the paper's "memory power level setting".
+/// Each level caps the achievable bandwidth fraction (and with it the
+/// activity power the DIMMs can draw).
+enum class MemPowerLevel { kL0 = 0, kL1 = 1, kL2 = 2, kL3 = 3 };
+
+[[nodiscard]] constexpr double bw_fraction(MemPowerLevel level) {
+  switch (level) {
+    case MemPowerLevel::kL0:
+      return 1.00;
+    case MemPowerLevel::kL1:
+      return 0.75;
+    case MemPowerLevel::kL2:
+      return 0.50;
+    case MemPowerLevel::kL3:
+      return 0.30;
+  }
+  return 1.0;
+}
+
+[[nodiscard]] constexpr const char* to_string(MemPowerLevel level) {
+  switch (level) {
+    case MemPowerLevel::kL0:
+      return "L0";
+    case MemPowerLevel::kL1:
+      return "L1";
+    case MemPowerLevel::kL2:
+      return "L2";
+    case MemPowerLevel::kL3:
+      return "L3";
+  }
+  return "?";
+}
+
+inline constexpr MemPowerLevel kAllMemLevels[] = {
+    MemPowerLevel::kL0, MemPowerLevel::kL1, MemPowerLevel::kL2,
+    MemPowerLevel::kL3};
+
+struct MachineSpec {
+  // --- topology ------------------------------------------------------------
+  int nodes = 8;
+  parallel::NodeShape shape{.sockets = 2, .cores_per_socket = 12};
+  FrequencyLadder ladder = FrequencyLadder::haswell();
+
+  // --- processor power (per node) -------------------------------------------
+  double socket_base_w = 16.0;    ///< uncore + static power, socket with threads
+  double socket_parked_w = 2.0;   ///< deep-sleep socket with no threads
+  double core_max_w = 4.0;        ///< one core, full utilization, nominal freq
+  double core_power_floor = 0.35; ///< active-core power floor (fraction of max)
+  double power_exponent = 2.2;    ///< dynamic power ∝ f_rel^exponent
+
+  // --- memory system ---------------------------------------------------------
+  double socket_bw_gbps = 34.0;          ///< peak DRAM bandwidth per socket
+  double mem_base_w_per_socket = 5.0;    ///< DIMMs powered, idle
+  double mem_parked_w_per_socket = 1.0;  ///< self-refresh (unused socket)
+  double mem_activity_w_per_socket = 14.0;  ///< at full socket bandwidth
+  double remote_numa_penalty = 0.35;  ///< bandwidth loss factor on remote traffic
+
+  // --- cluster ----------------------------------------------------------------
+  double variability_sigma = 0.0;  ///< log-normal sigma of per-node CPU power
+  std::uint64_t variability_seed = 42;
+
+  /// Watts of DRAM activity per GB/s of achieved bandwidth.
+  [[nodiscard]] double mem_w_per_gbps() const {
+    return mem_activity_w_per_socket / socket_bw_gbps;
+  }
+
+  /// Peak node-level quantities, used for budget sanity checks.
+  [[nodiscard]] double max_node_cpu_w() const {
+    return shape.sockets * socket_base_w +
+           shape.total_cores() * core_max_w;
+  }
+  [[nodiscard]] double max_node_mem_w() const {
+    return shape.sockets *
+           (mem_base_w_per_socket + mem_activity_w_per_socket);
+  }
+  [[nodiscard]] double max_node_w() const {
+    return max_node_cpu_w() + max_node_mem_w();
+  }
+  [[nodiscard]] double max_cluster_w() const { return nodes * max_node_w(); }
+
+  void validate() const;
+
+  /// A short identity string of everything a profile's validity depends on
+  /// (topology, ladder, power and bandwidth parameters). Knowledge-database
+  /// records are stamped with it so profiles recorded on one machine never
+  /// silently drive decisions on another.
+  [[nodiscard]] std::string fingerprint() const;
+};
+
+}  // namespace clip::sim

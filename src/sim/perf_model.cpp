@@ -1,0 +1,58 @@
+#include "sim/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace clip::sim {
+
+double PerfModel::effective_bandwidth(const workloads::WorkloadSignature& w,
+                                      const parallel::Placement& placement,
+                                      double bw_cap_gbps) const {
+  const double remote_fraction =
+      w.shared_data_fraction * placement.cross_socket_factor();
+  return bw_cap_gbps * (1.0 - spec_->remote_numa_penalty * remote_fraction);
+}
+
+NodePerfOutput PerfModel::evaluate(const workloads::WorkloadSignature& w,
+                                   const NodePerfInput& in) const {
+  CLIP_REQUIRE(in.work_s > 0.0, "work must be positive");
+  CLIP_REQUIRE(in.threads >= 1, "need at least one thread");
+  CLIP_REQUIRE(in.threads == in.placement.total_threads(),
+               "placement/thread count mismatch");
+  CLIP_REQUIRE(in.f_rel > 0.0 && in.f_rel <= 1.5, "f_rel out of range");
+
+  const double n = in.threads;
+  const double s = w.serial_fraction;
+  const double m = w.memory_boundedness;
+
+  NodePerfOutput out;
+  out.remote_fraction =
+      w.shared_data_fraction * in.placement.cross_socket_factor();
+  out.bw_eff_gbps = effective_bandwidth(w, in.placement, in.bw_cap_gbps);
+
+  const double demand = n * w.bw_per_core_gbps * in.f_rel;
+  out.saturation =
+      demand > 0.0 ? std::min(1.0, out.bw_eff_gbps / demand) : 1.0;
+  CLIP_ENSURE(m == 0.0 || out.saturation > 0.0,
+              "memory-bound work with zero usable bandwidth");
+  out.utilization = (1.0 - m) + m * out.saturation;
+  out.achieved_bw_gbps = std::min(demand, out.bw_eff_gbps);
+
+  const double serial_term = s / in.f_rel;
+  const double compute_term = (1.0 - s) * (1.0 - m) / (n * in.f_rel);
+  const double memory_term =
+      m > 0.0 ? (1.0 - s) * m / (n * in.f_rel * out.saturation) : 0.0;
+  const double sync_term =
+      w.sync_coeff_s * std::pow(n - 1.0, w.sync_exponent) / in.f_rel;
+
+  const double time =
+      in.work_s * (serial_term + compute_term + memory_term + sync_term) +
+      w.fork_overhead_s * (n - 1.0);
+  out.time = Seconds(time);
+  CLIP_ENSURE(time > 0.0 && std::isfinite(time), "non-physical node time");
+  return out;
+}
+
+}  // namespace clip::sim

@@ -1,0 +1,68 @@
+// The node-level performance model.
+//
+// One formula generates the paper's three scalability classes (§II, Fig. 2):
+//
+//   T(W, n, f, ...) = W * [  s / f_rel                       (serial, Amdahl)
+//                     + (1-s) * (1-m) / (n * f_rel)          (compute-bound)
+//                     + (1-s) * m / (n * f_rel * sat)        (memory-bound)
+//                     + k_sync * (n-1)^e / f_rel ]           (contention)
+//                     + k_fork * (n-1)                       (thread mgmt)
+//
+// with sat = min(1, bw_eff / (n * b * f_rel)) the DRAM saturation factor.
+//
+//  * linear:       m≈0, k_sync=0      → speedup ∝ n, ∝ f
+//  * logarithmic:  m>0                → linear until N_P = bw_eff/(b·f_rel),
+//                                        reduced (but positive) growth after
+//  * parabolic:    m>0 and k_sync>0   → performance peaks near N_P and
+//                                        degrades beyond it
+//
+// Note N_P rises as f drops — lowering frequency (e.g. under a power cap)
+// pushes the saturation point outward, which is exactly the concurrency/
+// frequency trade CLIP exploits ("we would prefer high frequency to high
+// concurrency for logarithmic applications", §III-A2).
+#pragma once
+
+#include "parallel/affinity.hpp"
+#include "sim/machine.hpp"
+#include "util/units.hpp"
+#include "workloads/signature.hpp"
+
+namespace clip::sim {
+
+struct NodePerfInput {
+  double work_s = 0.0;        ///< this node's share: 1-core full-freq seconds
+  int threads = 1;
+  parallel::Placement placement;
+  double f_rel = 1.0;         ///< frequency / nominal
+  double bw_cap_gbps = 0.0;   ///< hardware bandwidth ceiling after memory
+                              ///< power level / DRAM cap throttling
+};
+
+struct NodePerfOutput {
+  Seconds time{0.0};
+  double saturation = 1.0;       ///< sat factor at this operating point
+  double utilization = 1.0;      ///< (1-m) + m*sat — drives core power
+  double achieved_bw_gbps = 0.0; ///< total DRAM traffic generated
+  double bw_eff_gbps = 0.0;      ///< NUMA-adjusted usable bandwidth
+  double remote_fraction = 0.0;  ///< share of traffic hitting remote NUMA
+};
+
+class PerfModel {
+ public:
+  explicit PerfModel(const MachineSpec& spec) : spec_(&spec) {}
+
+  /// Evaluate the node-time model for a workload at an operating point.
+  [[nodiscard]] NodePerfOutput evaluate(
+      const workloads::WorkloadSignature& w, const NodePerfInput& in) const;
+
+  /// NUMA-effective bandwidth: the raw ceiling reduced by remote-access
+  /// penalty for this placement and workload sharing pattern.
+  [[nodiscard]] double effective_bandwidth(
+      const workloads::WorkloadSignature& w,
+      const parallel::Placement& placement, double bw_cap_gbps) const;
+
+ private:
+  const MachineSpec* spec_;
+};
+
+}  // namespace clip::sim

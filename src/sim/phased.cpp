@@ -1,0 +1,15 @@
+#include "sim/phased.hpp"
+
+#include <sstream>
+
+namespace clip::sim {
+
+std::string PhasedClusterConfig::describe() const {
+  std::ostringstream os;
+  os << nodes << " node(s), " << phase_nodes.size() << " phases:";
+  for (std::size_t i = 0; i < phase_nodes.size(); ++i)
+    os << " [" << i << ": " << phase_nodes[i].describe() << "]";
+  return os.str();
+}
+
+}  // namespace clip::sim

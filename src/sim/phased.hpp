@@ -1,0 +1,43 @@
+// Phased execution on the simulated cluster.
+//
+// At a phase boundary the node runtime can re-throttle the OpenMP team,
+// re-pin it, and re-program the RAPL caps (all phase-local operations the
+// paper's helper tools support); the node count is fixed for the job's
+// lifetime. A PhasedClusterConfig therefore carries one NodeConfig per
+// phase over a single node allocation.
+#pragma once
+
+#include <vector>
+
+#include "sim/config.hpp"
+#include "workloads/phases.hpp"
+
+namespace clip::sim {
+
+struct PhasedClusterConfig {
+  int nodes = 1;
+  std::vector<NodeConfig> phase_nodes;  ///< one entry per workload phase
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Per-phase slice of a phased measurement.
+struct PhaseMeasurement {
+  std::string phase;
+  Seconds time{0.0};
+  Watts avg_power{0.0};
+  Joules energy{0.0};
+  GHz frequency{0.0};
+  int threads = 0;
+};
+
+struct PhasedMeasurement {
+  Seconds time{0.0};
+  Watts avg_power{0.0};  ///< energy / time
+  Joules energy{0.0};
+  std::vector<PhaseMeasurement> phases;
+
+  [[nodiscard]] double performance() const { return 1.0 / time.value(); }
+};
+
+}  // namespace clip::sim

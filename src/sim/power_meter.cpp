@@ -1,0 +1,40 @@
+#include "sim/power_meter.hpp"
+
+#include <algorithm>
+
+namespace clip::sim {
+
+double PowerMeter::jitter(double sigma) {
+  if (!options_.enabled || sigma <= 0.0) return 1.0;
+  // Clamp to ±4 sigma so a single unlucky draw cannot flip a decision in a
+  // way no real meter would.
+  const double draw = std::clamp(rng_.normal(0.0, sigma), -4.0 * sigma,
+                                 4.0 * sigma);
+  return 1.0 + draw;
+}
+
+Watts PowerMeter::read_power(Watts truth) {
+  return Watts(truth.value() * jitter(options_.power_noise_sigma));
+}
+
+Seconds PowerMeter::read_time(Seconds truth) {
+  return Seconds(truth.value() * jitter(options_.time_noise_sigma));
+}
+
+void PowerMeter::observe(Measurement& m) {
+  if (!options_.enabled) return;
+  m.time = read_time(m.time);
+  for (auto& node : m.nodes) {
+    node.time = read_time(node.time);
+    node.cpu_power = read_power(node.cpu_power);
+    node.mem_power = read_power(node.mem_power);
+  }
+  // Derived quantities stay consistent with the noisy reads.
+  double watts = 0.0;
+  for (const auto& node : m.nodes)
+    watts += node.cpu_power.value() + node.mem_power.value();
+  m.avg_power = Watts(watts);
+  m.energy = m.avg_power * m.time;
+}
+
+}  // namespace clip::sim

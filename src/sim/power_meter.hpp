@@ -1,0 +1,46 @@
+// Measurement-noise layer — the "power meter reader" of the paper's system
+// interface helper tools (§IV-B4).
+//
+// Real RAPL energy counters and wall-socket meters read with a small
+// sampling error; the profiler consumes *measured* values, so the noise
+// flows into CLIP's models exactly as it would on hardware. Noise is
+// multiplicative, seeded, and defaults to ±0.5% (1 sigma) for power and
+// ±0.3% for time.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/config.hpp"
+#include "util/rng.hpp"
+
+namespace clip::sim {
+
+struct MeterOptions {
+  double power_noise_sigma = 0.005;
+  double time_noise_sigma = 0.003;
+  std::uint64_t seed = 7;
+  bool enabled = true;
+};
+
+class PowerMeter {
+ public:
+  using Options = MeterOptions;
+
+  explicit PowerMeter(MeterOptions options = MeterOptions{})
+      : options_(options), rng_(options.seed) {}
+
+  /// Apply measurement noise to a ground-truth measurement in place.
+  void observe(Measurement& m);
+
+  /// Noisy scalar reads.
+  [[nodiscard]] Watts read_power(Watts truth);
+  [[nodiscard]] Seconds read_time(Seconds truth);
+
+ private:
+  [[nodiscard]] double jitter(double sigma);
+
+  MeterOptions options_;
+  Rng rng_;
+};
+
+}  // namespace clip::sim

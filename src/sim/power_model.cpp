@@ -1,0 +1,55 @@
+#include "sim/power_model.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace clip::sim {
+
+Watts PowerModel::core_power(double f_rel, double utilization,
+                             double compute_intensity) const {
+  CLIP_REQUIRE(f_rel > 0.0 && f_rel <= 1.5, "f_rel out of range");
+  CLIP_REQUIRE(utilization >= 0.0 && utilization <= 1.0,
+               "utilization in [0,1]");
+  const double activity =
+      spec_->core_power_floor +
+      (1.0 - spec_->core_power_floor) * utilization * compute_intensity;
+  return Watts(spec_->core_max_w * activity *
+               std::pow(f_rel, spec_->power_exponent));
+}
+
+Watts PowerModel::cpu_power(const NodeActivity& a) const {
+  double total = 0.0;
+  const Watts per_core =
+      core_power(a.f_rel, a.utilization, a.compute_intensity);
+  for (int threads : a.placement.threads_per_socket) {
+    if (threads > 0) {
+      total += spec_->socket_base_w +
+               threads * per_core.value() * a.cpu_load_multiplier;
+    } else {
+      total += spec_->socket_parked_w;
+    }
+  }
+  return Watts(total);
+}
+
+Watts PowerModel::mem_power(const NodeActivity& a) const {
+  double total = 0.0;
+  const int active = a.placement.active_sockets();
+  CLIP_ENSURE(active > 0, "memory power needs at least one active socket");
+  const double activity_w = a.achieved_bw_gbps * spec_->mem_w_per_gbps();
+  for (int threads : a.placement.threads_per_socket) {
+    if (threads > 0) {
+      total += spec_->mem_base_w_per_socket + activity_w / active;
+    } else {
+      total += spec_->mem_parked_w_per_socket;
+    }
+  }
+  return Watts(total);
+}
+
+Watts PowerModel::node_power(const NodeActivity& a) const {
+  return cpu_power(a) + mem_power(a);
+}
+
+}  // namespace clip::sim

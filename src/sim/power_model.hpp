@@ -1,0 +1,52 @@
+// The node power model — paper Eqs. 5–9.
+//
+//   P_node  = P_ProcT + P_MemT (+ P_OtherT, zero by default: the budgets in
+//             the paper's experiments cap the RAPL PKG+DRAM domains only)
+//   P_ProcT = Σ_sockets P_proc,i ;  P_proc,i = P_base,i + Σ_cores P_cj(w)
+//   P_MemT  = Σ_sockets P_mem,i  ;  P_mem,i  = P_mbase,i + P_mload,i(w)
+//
+// Per-core load power scales with the DVFS state (≈ f^2.2, capturing the
+// V·f² dynamic term on a voltage/frequency curve) and with workload activity
+// (memory-stalled cores draw less than busy ones). Memory load power is
+// proportional to achieved DRAM bandwidth.
+#pragma once
+
+#include "parallel/affinity.hpp"
+#include "sim/machine.hpp"
+#include "util/units.hpp"
+
+namespace clip::sim {
+
+/// Workload-activity inputs to the power model for one node.
+struct NodeActivity {
+  parallel::Placement placement;  ///< threads per socket
+  double f_rel = 1.0;             ///< frequency / nominal
+  double utilization = 1.0;       ///< 0..1: (1-m) + m*saturation
+  double compute_intensity = 1.0; ///< workload's dynamic-power scale
+  double achieved_bw_gbps = 0.0;  ///< total DRAM traffic
+  double cpu_load_multiplier = 1.0;  ///< manufacturing variability η_i
+};
+
+class PowerModel {
+ public:
+  explicit PowerModel(const MachineSpec& spec) : spec_(&spec) {}
+
+  /// Processor-domain power of one node (both sockets) — Eqs. 6–7.
+  [[nodiscard]] Watts cpu_power(const NodeActivity& a) const;
+
+  /// Memory-domain power of one node — Eqs. 8–9. Activity power is split
+  /// over the sockets that have threads (which is where traffic lands).
+  [[nodiscard]] Watts mem_power(const NodeActivity& a) const;
+
+  /// Total node power — Eq. 5 with P_OtherT = 0.
+  [[nodiscard]] Watts node_power(const NodeActivity& a) const;
+
+  /// One core's load power at the given state (before variability).
+  [[nodiscard]] Watts core_power(double f_rel, double utilization,
+                                 double compute_intensity) const;
+
+ private:
+  const MachineSpec* spec_;
+};
+
+}  // namespace clip::sim

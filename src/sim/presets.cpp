@@ -1,0 +1,56 @@
+#include "sim/presets.hpp"
+
+namespace clip::sim {
+
+MachineSpec haswell_testbed() { return MachineSpec{}; }
+
+MachineSpec broadwell_fat() {
+  MachineSpec s;
+  s.nodes = 8;
+  s.shape = {.sockets = 2, .cores_per_socket = 14};
+  s.ladder = FrequencyLadder(GHz(1.2), GHz(2.6), GHz(0.1), GHz(2.6));
+  s.socket_base_w = 19.0;
+  s.core_max_w = 4.4;
+  s.socket_bw_gbps = 38.4;
+  s.mem_base_w_per_socket = 6.0;
+  s.mem_activity_w_per_socket = 16.0;
+  s.validate();
+  return s;
+}
+
+MachineSpec ivybridge_wide_cluster() {
+  MachineSpec s;
+  s.nodes = 16;
+  s.shape = {.sockets = 2, .cores_per_socket = 8};
+  s.ladder = FrequencyLadder(GHz(1.2), GHz(2.0), GHz(0.1), GHz(2.0));
+  s.socket_base_w = 14.0;
+  s.core_max_w = 4.8;
+  s.socket_bw_gbps = 25.6;
+  s.mem_base_w_per_socket = 5.0;
+  s.mem_activity_w_per_socket = 12.0;
+  s.validate();
+  return s;
+}
+
+MachineSpec bandwidth_rich() {
+  MachineSpec s;
+  s.nodes = 8;
+  s.shape = {.sockets = 2, .cores_per_socket = 16};
+  s.ladder = FrequencyLadder(GHz(1.0), GHz(2.1), GHz(0.1), GHz(2.1));
+  s.socket_base_w = 18.0;
+  s.core_max_w = 3.6;
+  s.socket_bw_gbps = 60.0;
+  s.mem_base_w_per_socket = 7.0;
+  s.mem_activity_w_per_socket = 20.0;
+  s.validate();
+  return s;
+}
+
+std::vector<NamedSpec> all_presets() {
+  return {{"haswell_testbed", haswell_testbed()},
+          {"broadwell_fat", broadwell_fat()},
+          {"ivybridge_wide_cluster", ivybridge_wide_cluster()},
+          {"bandwidth_rich", bandwidth_rich()}};
+}
+
+}  // namespace clip::sim

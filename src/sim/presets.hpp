@@ -1,0 +1,38 @@
+// Machine presets — alternative cluster configurations.
+//
+// The paper evaluates on one Haswell testbed; a framework claiming
+// generality must not be calibrated to a single machine. These presets vary
+// every axis the decision pipeline depends on (core counts, bandwidth per
+// socket, power envelopes, ladder ranges, cluster size) so the test suite
+// can assert that CLIP's *behaviour* (budget respect, beating the
+// baselines, class-appropriate throttling) survives hardware changes, not
+// just its calibration.
+#pragma once
+
+#include "sim/machine.hpp"
+
+namespace clip::sim {
+
+/// The paper's testbed: 8 nodes x 2x12 Haswell @2.3 GHz, 34 GB/s/socket.
+[[nodiscard]] MachineSpec haswell_testbed();
+
+/// A fatter dual-socket node generation: 2x14 cores @2.6 GHz nominal,
+/// 38.4 GB/s per socket, higher base draw. 8 nodes.
+[[nodiscard]] MachineSpec broadwell_fat();
+
+/// An older, narrower machine: 2x8 cores @2.0 GHz, 25.6 GB/s per socket,
+/// 16 nodes (more, weaker nodes shifts the cluster-level trade-offs).
+[[nodiscard]] MachineSpec ivybridge_wide_cluster();
+
+/// A bandwidth-rich node: 2x16 cores @2.1 GHz with 60 GB/s per socket —
+/// memory saturation arrives much later, pushing inflection points out.
+[[nodiscard]] MachineSpec bandwidth_rich();
+
+/// All presets with display names, for parameterized tests/benches.
+struct NamedSpec {
+  const char* name;
+  MachineSpec spec;
+};
+[[nodiscard]] std::vector<NamedSpec> all_presets();
+
+}  // namespace clip::sim

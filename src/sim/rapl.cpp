@@ -1,0 +1,114 @@
+#include "sim/rapl.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace clip::sim {
+
+double RaplSolver::bandwidth_ceiling(const parallel::Placement& placement,
+                                     MemPowerLevel level,
+                                     Watts mem_cap) const {
+  const int active = placement.active_sockets();
+  CLIP_REQUIRE(active > 0, "need at least one active socket");
+
+  // Only sockets with threads serve traffic in this model; the others park.
+  const double level_bw =
+      active * spec_->socket_bw_gbps * bw_fraction(level);
+
+  // The DRAM cap bounds base + activity power; convert the activity
+  // headroom back into a bandwidth ceiling.
+  const int parked = spec_->shape.sockets - active;
+  const double base_w = active * spec_->mem_base_w_per_socket +
+                        parked * spec_->mem_parked_w_per_socket;
+  const double headroom_w = mem_cap.value() - base_w;
+  const double cap_bw =
+      headroom_w <= 0.0 ? 0.0 : headroom_w / spec_->mem_w_per_gbps();
+
+  return std::min(level_bw, cap_bw);
+}
+
+OperatingPoint RaplSolver::solve(const workloads::WorkloadSignature& w,
+                                 double work_s, const NodeConfig& cfg,
+                                 double cpu_multiplier) const {
+  CLIP_REQUIRE(cfg.threads >= 1 && cfg.threads <= spec_->shape.total_cores(),
+               "thread count outside the node");
+  CLIP_REQUIRE(cfg.cpu_cap.value() > 0.0 && cfg.mem_cap.value() > 0.0,
+               "caps must be positive");
+  CLIP_REQUIRE(cpu_multiplier > 0.0, "variability multiplier must be > 0");
+
+  OperatingPoint op;
+  op.placement =
+      parallel::place_threads(spec_->shape, cfg.threads, cfg.affinity);
+  const double bw_cap =
+      bandwidth_ceiling(op.placement, cfg.mem_level, cfg.mem_cap);
+  CLIP_REQUIRE(w.memory_boundedness == 0.0 || bw_cap > 0.0,
+               "memory-bound workload with zero bandwidth budget — DRAM cap "
+               "below base power");
+
+  NodePerfInput in;
+  in.work_s = work_s;
+  in.threads = cfg.threads;
+  in.placement = op.placement;
+  in.bw_cap_gbps = bw_cap;
+
+  // Walk the DVFS ladder downward; take the fastest state under the cap.
+  const auto& states = spec_->ladder.states();
+  bool fitted = false;
+  for (auto it = states.rbegin(); it != states.rend(); ++it) {
+    in.f_rel = spec_->ladder.relative(*it);
+    const NodePerfOutput perf = perf_.evaluate(w, in);
+    NodeActivity activity{.placement = op.placement,
+                          .f_rel = in.f_rel,
+                          .utilization = perf.utilization,
+                          .compute_intensity = w.compute_intensity,
+                          .achieved_bw_gbps = perf.achieved_bw_gbps,
+                          .cpu_load_multiplier = cpu_multiplier};
+    const Watts cpu_w = power_.cpu_power(activity);
+    if (cpu_w <= cfg.cpu_cap || std::next(it) == states.rend()) {
+      op.frequency = *it;
+      op.f_rel = in.f_rel;
+      op.perf = perf;
+      op.cpu_power = cpu_w;
+      op.mem_power = power_.mem_power(activity);
+      fitted = cpu_w <= cfg.cpu_cap;
+      break;
+    }
+  }
+  CLIP_ENSURE(op.frequency.value() > 0.0, "ladder walk found no state");
+
+  if (!fitted) {
+    // Even the lowest state exceeds the PKG cap: clock modulation
+    // (T-states) duty-cycles the pipeline. Gating stops the *dynamic*
+    // power; the socket base draw stays — so the duty factor solves
+    //   cap = base + load(f_min) * duty.
+    // A cap at/below the base power is physically unenforceable by clock
+    // gating; the node floors at the deepest modulation step.
+    double base_w = 0.0;
+    for (int t : op.placement.threads_per_socket)
+      base_w += t > 0 ? spec_->socket_base_w : spec_->socket_parked_w;
+    const double load_w = op.cpu_power.value() - base_w;
+    CLIP_ENSURE(load_w > 0.0, "no dynamic power to modulate");
+    constexpr double kDeepestDuty = 1.0 / 16.0;  // hardware modulation floor
+    op.duty_factor = std::clamp(
+        (cfg.cpu_cap.value() - base_w) / load_w, kDeepestDuty, 1.0);
+    op.perf.time = Seconds(op.perf.time.value() / op.duty_factor);
+    op.perf.achieved_bw_gbps *= op.duty_factor;
+    op.cpu_power = Watts(base_w + load_w * op.duty_factor);
+    NodeActivity throttled{.placement = op.placement,
+                           .f_rel = op.f_rel,
+                           .utilization = op.perf.utilization,
+                           .compute_intensity = w.compute_intensity,
+                           .achieved_bw_gbps = op.perf.achieved_bw_gbps,
+                           .cpu_load_multiplier = cpu_multiplier};
+    op.mem_power = power_.mem_power(throttled);
+  }
+  // The DRAM cap bounds *activity* power; base power is irreducible (DIMMs
+  // stay powered), so a cap below base floors at the base draw.
+  CLIP_ENSURE(op.mem_power <= cfg.mem_cap + Watts(1e-9) ||
+                  op.perf.achieved_bw_gbps <= 1e-12,
+              "memory enforcement exceeded the DRAM cap");
+  return op;
+}
+
+}  // namespace clip::sim

@@ -1,0 +1,54 @@
+// RAPL-style power-cap enforcement for one node.
+//
+// The contract mirrors Intel RAPL as the paper uses it (§IV-B4, §V-A): the
+// scheduler writes a PKG-domain and a DRAM-domain wattage limit; the
+// "hardware" then picks the highest DVFS state whose modeled power fits the
+// PKG limit, and throttles DRAM bandwidth so memory power fits the DRAM
+// limit. When even the lowest DVFS state exceeds the PKG cap, RAPL
+// duty-cycles the clock: we model that as a proportional slowdown with
+// power clamped at the cap.
+#pragma once
+
+#include "sim/config.hpp"
+#include "sim/machine.hpp"
+#include "sim/perf_model.hpp"
+#include "sim/power_model.hpp"
+#include "workloads/signature.hpp"
+
+namespace clip::sim {
+
+/// The solved operating point of one node under its caps.
+struct OperatingPoint {
+  GHz frequency{0.0};
+  double f_rel = 1.0;
+  double duty_factor = 1.0;  ///< <1 = clock duty-cycling below min frequency
+  NodePerfOutput perf;
+  Watts cpu_power{0.0};
+  Watts mem_power{0.0};
+  parallel::Placement placement;
+};
+
+class RaplSolver {
+ public:
+  explicit RaplSolver(const MachineSpec& spec)
+      : spec_(&spec), power_(spec), perf_(spec) {}
+
+  /// Solve the operating point of a node executing `work_s` 1-core-seconds
+  /// of `w` under `cfg`, with manufacturing multiplier `cpu_multiplier`.
+  [[nodiscard]] OperatingPoint solve(const workloads::WorkloadSignature& w,
+                                     double work_s, const NodeConfig& cfg,
+                                     double cpu_multiplier = 1.0) const;
+
+  /// DRAM bandwidth ceiling implied by the memory power level and DRAM cap
+  /// for a given placement (before NUMA penalties).
+  [[nodiscard]] double bandwidth_ceiling(const parallel::Placement& placement,
+                                         MemPowerLevel level,
+                                         Watts mem_cap) const;
+
+ private:
+  const MachineSpec* spec_;
+  PowerModel power_;
+  PerfModel perf_;
+};
+
+}  // namespace clip::sim

@@ -1,0 +1,152 @@
+#include "sim/rapl_controller.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace clip::sim {
+
+double RaplTrace::duty_low_fraction() const {
+  if (freq_ghz.empty()) return 0.0;
+  const std::size_t half = freq_ghz.size() / 2;
+  const auto begin = freq_ghz.begin() + static_cast<std::ptrdiff_t>(half);
+  const double lo = *std::min_element(begin, freq_ghz.end());
+  const double hi = *std::max_element(begin, freq_ghz.end());
+  if (lo == hi) return 0.0;
+  double low_steps = 0.0;
+  for (auto it = begin; it != freq_ghz.end(); ++it)
+    if (*it == lo) ++low_steps;
+  return low_steps / static_cast<double>(freq_ghz.size() - half);
+}
+
+RaplTrace RaplControllerSim::simulate(const workloads::WorkloadSignature& w,
+                                      int threads,
+                                      parallel::AffinityPolicy affinity,
+                                      double bw_cap_gbps, Watts cpu_cap,
+                                      RaplControllerOptions options) const {
+  CLIP_REQUIRE(options.steps > 10, "need a meaningful horizon");
+  CLIP_REQUIRE(options.step_s > 0.0 && options.window_s >= options.step_s,
+               "window must cover at least one step");
+  CLIP_REQUIRE(cpu_cap.value() > 0.0, "cap must be positive");
+  const auto& states = spec_->ladder.states();
+  CLIP_REQUIRE(options.initial_state < states.size(),
+               "initial state outside the ladder");
+
+  // Pre-compute per-state (power, work-rate): the workload is stationary,
+  // so each operating state has one operating point. Below the lowest
+  // P-state sit the clock-modulation T-states (duty 75/50/25/12.5 % of
+  // f_min): dynamic power and throughput scale with the duty while the
+  // base draw stays — this is the hardware mechanism behind the analytic
+  // solver's duty factor.
+  const parallel::Placement placement =
+      parallel::place_threads(spec_->shape, threads, affinity);
+  std::vector<double> state_power;
+  std::vector<double> state_rate;
+  std::vector<double> state_freq;
+
+  double fmin_load_w = 0.0, fmin_rate = 0.0, base_w = 0.0;
+  {
+    for (int t : placement.threads_per_socket)
+      base_w += t > 0 ? spec_->socket_base_w : spec_->socket_parked_w;
+  }
+  for (std::size_t s = 0; s < states.size(); ++s) {
+    NodePerfInput in;
+    in.work_s = 1.0;
+    in.threads = threads;
+    in.placement = placement;
+    in.f_rel = spec_->ladder.relative(states[s]);
+    in.bw_cap_gbps = bw_cap_gbps;
+    const NodePerfOutput out = perf_.evaluate(w, in);
+    NodeActivity activity{.placement = placement,
+                          .f_rel = in.f_rel,
+                          .utilization = out.utilization,
+                          .compute_intensity = w.compute_intensity,
+                          .achieved_bw_gbps = out.achieved_bw_gbps,
+                          .cpu_load_multiplier = 1.0};
+    if (s == 0) {
+      fmin_load_w = power_.cpu_power(activity).value() - base_w;
+      fmin_rate = 1.0 / out.time.value();
+      for (double duty : {0.125, 0.25, 0.5, 0.75}) {
+        state_power.push_back(base_w + fmin_load_w * duty);
+        state_rate.push_back(fmin_rate * duty);
+        state_freq.push_back(states[0].value() * duty);
+      }
+    }
+    state_power.push_back(power_.cpu_power(activity).value());
+    state_rate.push_back(1.0 / out.time.value());
+    state_freq.push_back(states[s].value());
+  }
+  // Normalize throughput so the top unsaturated state would be 1.
+  const double top_rate = state_rate.back();
+
+  const std::size_t window_steps = static_cast<std::size_t>(
+      std::max(1.0, options.window_s / options.step_s));
+
+  RaplTrace trace;
+  trace.time_s.reserve(static_cast<std::size_t>(options.steps));
+  trace.power_w.reserve(static_cast<std::size_t>(options.steps));
+  trace.freq_ghz.reserve(static_cast<std::size_t>(options.steps));
+
+  std::deque<double> window;
+  double window_sum = 0.0;
+  // Map the caller's ladder index onto the extended (T-state + P-state)
+  // array: ladder index 0 is extended index 4.
+  std::size_t state = options.initial_state + 4;
+
+  // The cap-crossing pair: the controller may oscillate between the highest
+  // state fitting under the cap and the one just above it — never higher.
+  // (Without this bound the lagging window average lets it staircase far
+  // past the cap before reacting.)
+  std::size_t highest_fitting = 0;
+  for (std::size_t s = 0; s < state_power.size(); ++s)
+    if (state_power[s] <= cpu_cap.value()) highest_fitting = s;
+  const std::size_t ceiling_state =
+      std::min(highest_fitting + 1, state_power.size() - 1);
+  double steady_work = 0.0;
+  double steady_power = 0.0, steady_freq = 0.0;
+  int steady_steps = 0;
+
+  for (int step = 0; step < options.steps; ++step) {
+    const double p = state_power[state];
+    window.push_back(p);
+    window_sum += p;
+    if (window.size() > window_steps) {
+      window_sum -= window.front();
+      window.pop_front();
+    }
+    const double avg = window_sum / static_cast<double>(window.size());
+
+    trace.time_s.push_back(step * options.step_s);
+    trace.power_w.push_back(p);
+    trace.freq_ghz.push_back(state_freq[state]);
+    if (step >= options.steps / 2) {
+      steady_work += state_rate[state] * options.step_s;
+      steady_power += p;
+      steady_freq += state_freq[state];
+      ++steady_steps;
+    }
+
+    // The RAPL decision. Above the limit: step down. Below: step up when
+    // the projected window average (oldest sample replaced by the next
+    // state's draw) stays under the limit — bounded by the cap-crossing
+    // pair so the steady state oscillates between adjacent states.
+    if (avg > cpu_cap.value()) {
+      if (state > 0) --state;
+    } else if (state + 1 <= ceiling_state) {
+      const double projected =
+          (window_sum - window.front() + state_power[state + 1]) /
+          static_cast<double>(window.size());
+      if (projected <= cpu_cap.value()) ++state;
+    }
+  }
+
+  trace.avg_power_w = steady_power / steady_steps;
+  trace.avg_freq_ghz = steady_freq / steady_steps;
+  trace.throughput =
+      (steady_work / (options.steps / 2 * options.step_s)) / top_rate;
+  return trace;
+}
+
+}  // namespace clip::sim

@@ -1,0 +1,63 @@
+// Time-stepped RAPL controller simulation.
+//
+// The analytic RaplSolver answers "which DVFS state fits under the cap" in
+// closed form. Real RAPL is a *feedback controller*: it tracks a running
+// average of the energy counter over a time window and steps the P-state up
+// or down to keep that average at the limit — which is where the
+// duty-cycling behaviour (oscillating between adjacent states) physically
+// comes from. This module simulates that control loop at millisecond
+// resolution, producing power/frequency traces and long-run averages that
+// must agree with the analytic solver (an invariant the test suite checks:
+// the steady-state throughput of the controller equals the solver's
+// operating point within a small tolerance).
+#pragma once
+
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "sim/perf_model.hpp"
+#include "sim/power_model.hpp"
+#include "workloads/signature.hpp"
+
+namespace clip::sim {
+
+struct RaplControllerOptions {
+  double step_s = 1e-3;     ///< control-loop period
+  double window_s = 10e-3;  ///< running-average window
+  int steps = 4000;         ///< simulated steps
+  std::size_t initial_state = 0;  ///< ladder index at t=0 (0 = lowest)
+};
+
+struct RaplTrace {
+  std::vector<double> time_s;
+  std::vector<double> power_w;      ///< instantaneous PKG power
+  std::vector<double> freq_ghz;     ///< selected P-state
+  double avg_power_w = 0.0;         ///< steady-state window (2nd half) mean
+  double avg_freq_ghz = 0.0;
+  double throughput = 0.0;  ///< mean work rate, normalized so that the
+                            ///< nominal-frequency unsaturated rate is 1
+
+  /// Fraction of steady-state steps spent at the lower of the two states
+  /// the controller oscillates between (0 when it sits on one state).
+  [[nodiscard]] double duty_low_fraction() const;
+};
+
+class RaplControllerSim {
+ public:
+  explicit RaplControllerSim(const MachineSpec& spec)
+      : spec_(&spec), power_(spec), perf_(spec) {}
+
+  /// Run the control loop for a workload at fixed (threads, affinity,
+  /// bandwidth ceiling) under a PKG cap.
+  [[nodiscard]] RaplTrace simulate(
+      const workloads::WorkloadSignature& w, int threads,
+      parallel::AffinityPolicy affinity, double bw_cap_gbps, Watts cpu_cap,
+      RaplControllerOptions options = RaplControllerOptions{}) const;
+
+ private:
+  const MachineSpec* spec_;
+  PowerModel power_;
+  PerfModel perf_;
+};
+
+}  // namespace clip::sim

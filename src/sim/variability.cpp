@@ -1,0 +1,38 @@
+#include "sim/variability.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace clip::sim {
+
+Variability::Variability(const MachineSpec& spec) {
+  spec.validate();
+  multipliers_.reserve(static_cast<std::size_t>(spec.nodes));
+  if (spec.variability_sigma == 0.0) {
+    multipliers_.assign(static_cast<std::size_t>(spec.nodes), 1.0);
+    return;
+  }
+  Rng rng(spec.variability_seed);
+  for (int i = 0; i < spec.nodes; ++i) {
+    // Mean-one log-normal: mu = -sigma^2/2.
+    const double sigma = spec.variability_sigma;
+    multipliers_.push_back(rng.lognormal(-0.5 * sigma * sigma, sigma));
+  }
+}
+
+double Variability::cpu_multiplier(int index) const {
+  CLIP_REQUIRE(index >= 0 &&
+                   index < static_cast<int>(multipliers_.size()),
+               "node index out of range");
+  return multipliers_[static_cast<std::size_t>(index)];
+}
+
+double Variability::spread() const {
+  const auto [lo, hi] =
+      std::minmax_element(multipliers_.begin(), multipliers_.end());
+  return (*hi - *lo) / *lo;
+}
+
+}  // namespace clip::sim

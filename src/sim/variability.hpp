@@ -1,0 +1,41 @@
+// Manufacturing variability across nodes (paper §III-B2).
+//
+// Process variation makes nominally identical processors draw different
+// power at the same voltage/frequency point (Inadomi et al., SC'15). Under a
+// uniform per-node power cap this turns into *frequency* imbalance, and the
+// job runs at the pace of the slowest node. We model it as a per-node
+// multiplier on CPU load power, drawn from a seeded log-normal so clusters
+// are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace clip::sim {
+
+class Variability {
+ public:
+  /// Draw per-node multipliers for `spec.nodes` nodes with the spec's sigma
+  /// and seed. Sigma 0 yields exactly 1.0 everywhere.
+  explicit Variability(const MachineSpec& spec);
+
+  /// CPU load-power multiplier η_i of node `index` (≈ 1.0 ± sigma).
+  [[nodiscard]] double cpu_multiplier(int index) const;
+
+  [[nodiscard]] const std::vector<double>& multipliers() const {
+    return multipliers_;
+  }
+
+  /// Relative spread: (max - min) / min. The coordinator only acts when this
+  /// exceeds its threshold ("our experimental nodes are quite homogeneous,
+  /// thus we only coordinate power ... when the variability exceeds a
+  /// threshold").
+  [[nodiscard]] double spread() const;
+
+ private:
+  std::vector<double> multipliers_;
+};
+
+}  // namespace clip::sim

@@ -1,0 +1,98 @@
+#include "stats/linreg.hpp"
+
+#include <cmath>
+
+#include "stats/matrix.hpp"
+#include "util/check.hpp"
+
+namespace clip::stats {
+
+Standardizer Standardizer::fit(const std::vector<std::vector<double>>& x) {
+  CLIP_REQUIRE(!x.empty(), "standardizer needs samples");
+  const std::size_t d = x.front().size();
+  Standardizer s;
+  s.mean.assign(d, 0.0);
+  s.stddev.assign(d, 0.0);
+  for (const auto& row : x) {
+    CLIP_REQUIRE(row.size() == d, "ragged design matrix");
+    for (std::size_t j = 0; j < d; ++j) s.mean[j] += row[j];
+  }
+  const double n = static_cast<double>(x.size());
+  for (std::size_t j = 0; j < d; ++j) s.mean[j] /= n;
+  for (const auto& row : x)
+    for (std::size_t j = 0; j < d; ++j) {
+      const double delta = row[j] - s.mean[j];
+      s.stddev[j] += delta * delta;
+    }
+  for (std::size_t j = 0; j < d; ++j) {
+    s.stddev[j] = std::sqrt(s.stddev[j] / n);
+    // A constant column carries no information; map it to exactly zero so it
+    // cannot perturb the fit.
+    if (s.stddev[j] < 1e-12) s.stddev[j] = 0.0;
+  }
+  return s;
+}
+
+std::vector<double> Standardizer::apply(
+    const std::vector<double>& features) const {
+  CLIP_REQUIRE(features.size() == mean.size(),
+               "feature width differs from the fitted standardizer");
+  std::vector<double> out(features.size());
+  for (std::size_t j = 0; j < features.size(); ++j)
+    out[j] = stddev[j] > 0.0 ? (features[j] - mean[j]) / stddev[j] : 0.0;
+  return out;
+}
+
+double LinearModel::predict(const std::vector<double>& features) const {
+  const std::vector<double> x =
+      standardized ? standardizer.apply(features) : features;
+  CLIP_REQUIRE(x.size() == coefficients.size(),
+               "feature width differs from the fitted model");
+  double y = intercept;
+  for (std::size_t j = 0; j < x.size(); ++j) y += coefficients[j] * x[j];
+  return y;
+}
+
+LinearModel fit_linear(const std::vector<std::vector<double>>& x,
+                       const std::vector<double>& y,
+                       const LinRegOptions& options) {
+  CLIP_REQUIRE(!x.empty(), "regression needs samples");
+  CLIP_REQUIRE(x.size() == y.size(), "X/y sample count mismatch");
+  const std::size_t n = x.size();
+  const std::size_t d = x.front().size();
+  CLIP_REQUIRE(d > 0, "regression needs at least one feature");
+  CLIP_REQUIRE(n >= d + 1 || options.ridge_lambda > 0.0,
+               "underdetermined OLS; add samples or use ridge");
+
+  LinearModel model;
+  model.standardized = options.standardize;
+  std::vector<std::vector<double>> xs;
+  xs.reserve(n);
+  if (options.standardize) {
+    model.standardizer = Standardizer::fit(x);
+    for (const auto& row : x) xs.push_back(model.standardizer.apply(row));
+  } else {
+    xs = x;
+  }
+
+  // Design matrix with a leading 1s column for the intercept.
+  Matrix design(n, d + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    CLIP_REQUIRE(xs[i].size() == d, "ragged design matrix");
+    design(i, 0) = 1.0;
+    for (std::size_t j = 0; j < d; ++j) design(i, j + 1) = xs[i][j];
+  }
+
+  // Normal equations: (XᵀX + λI') β = Xᵀy, with the intercept unpenalized.
+  const Matrix xt = design.transposed();
+  Matrix gram = xt.multiply(design);
+  for (std::size_t j = 1; j <= d; ++j) gram(j, j) += options.ridge_lambda;
+  const std::vector<double> rhs = xt.multiply(y);
+  const std::vector<double> beta = solve_linear_system(gram, rhs);
+
+  model.intercept = beta[0];
+  model.coefficients.assign(beta.begin() + 1, beta.end());
+  return model;
+}
+
+}  // namespace clip::stats

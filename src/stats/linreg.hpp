@@ -1,0 +1,51 @@
+// Ordinary least squares / ridge multivariate linear regression.
+//
+// This is the "MLR" model of paper §III-A2: CLIP predicts the scalability
+// inflection point N_P from hardware-event rates using multivariate linear
+// regression, deliberately avoiding heavier machine learning ("more
+// sophisticated machine learning methods may generate overfit ... because
+// the amount of data collected is insufficient").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace clip::stats {
+
+/// Feature standardization parameters (z-score per column).
+struct Standardizer {
+  std::vector<double> mean;
+  std::vector<double> stddev;
+
+  /// Fit to a design matrix (rows = samples).
+  static Standardizer fit(const std::vector<std::vector<double>>& x);
+
+  [[nodiscard]] std::vector<double> apply(
+      const std::vector<double>& features) const;
+};
+
+/// A fitted linear model: y ≈ intercept + Σ coef[i] * x[i].
+struct LinearModel {
+  double intercept = 0.0;
+  std::vector<double> coefficients;
+  Standardizer standardizer;  // applied to features before the dot product
+  bool standardized = false;
+
+  [[nodiscard]] double predict(const std::vector<double>& features) const;
+};
+
+struct LinRegOptions {
+  /// L2 penalty on coefficients (0 = plain OLS). Small ridge keeps the
+  /// normal equations well-conditioned when event rates are correlated.
+  double ridge_lambda = 0.0;
+  /// Standardize features to zero mean / unit variance before fitting.
+  bool standardize = true;
+};
+
+/// Fit y ≈ X·β + β0 by (regularized) least squares via the normal equations.
+/// Throws clip::PreconditionError on shape mismatch or degenerate input.
+[[nodiscard]] LinearModel fit_linear(
+    const std::vector<std::vector<double>>& x, const std::vector<double>& y,
+    const LinRegOptions& options = {});
+
+}  // namespace clip::stats

@@ -1,0 +1,88 @@
+#include "stats/matrix.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace clip::stats {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  CLIP_REQUIRE(cols_ == other.rows_, "matrix multiply dimension mismatch");
+  Matrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c)
+        out(r, c) += a * other(k, c);
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::multiply(const std::vector<double>& v) const {
+  CLIP_REQUIRE(v.size() == cols_, "matrix-vector dimension mismatch");
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out[r] += (*this)(r, c) * v[c];
+  return out;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+std::vector<double> solve_linear_system(Matrix a, std::vector<double> b) {
+  CLIP_REQUIRE(a.rows() == a.cols(), "solve requires a square matrix");
+  CLIP_REQUIRE(b.size() == a.rows(), "rhs size mismatch");
+  const std::size_t n = a.rows();
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting: pick the largest magnitude entry in this column.
+    std::size_t pivot = col;
+    double best = std::fabs(a(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double mag = std::fabs(a(r, col));
+      if (mag > best) {
+        best = mag;
+        pivot = r;
+      }
+    }
+    CLIP_REQUIRE(best > 1e-12, "singular matrix in solve_linear_system");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c)
+        std::swap(a(col, c), a(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    const double inv = 1.0 / a(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a(r, col) * inv;
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a(r, c) -= factor * a(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) acc -= a(i, c) * x[c];
+    x[i] = acc / a(i, i);
+  }
+  return x;
+}
+
+}  // namespace clip::stats

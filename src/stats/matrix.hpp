@@ -1,0 +1,51 @@
+// Dense row-major matrix with just the operations the regression code needs.
+//
+// The regression problems in CLIP are tiny (tens of samples, ≤10 features),
+// so a straightforward dense implementation with partial-pivoting Gaussian
+// elimination is both adequate and easy to audit.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace clip::stats {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] Matrix transposed() const;
+
+  /// this * other; dimensions must agree.
+  [[nodiscard]] Matrix multiply(const Matrix& other) const;
+
+  /// this * v (v.size() == cols()).
+  [[nodiscard]] std::vector<double> multiply(
+      const std::vector<double>& v) const;
+
+  /// Identity matrix of size n.
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solve A x = b for square A via Gaussian elimination with partial pivoting.
+/// Throws clip::PreconditionError when A is (numerically) singular.
+[[nodiscard]] std::vector<double> solve_linear_system(Matrix a,
+                                                      std::vector<double> b);
+
+}  // namespace clip::stats

@@ -1,0 +1,64 @@
+#include "stats/metrics.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace clip::stats {
+
+namespace {
+void check_sizes(const std::vector<double>& truth,
+                 const std::vector<double>& pred) {
+  CLIP_REQUIRE(!truth.empty(), "metrics need at least one sample");
+  CLIP_REQUIRE(truth.size() == pred.size(), "truth/pred size mismatch");
+}
+}  // namespace
+
+double mean_absolute_error(const std::vector<double>& truth,
+                           const std::vector<double>& pred) {
+  check_sizes(truth, pred);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i)
+    acc += std::fabs(truth[i] - pred[i]);
+  return acc / static_cast<double>(truth.size());
+}
+
+double mean_absolute_percentage_error(const std::vector<double>& truth,
+                                      const std::vector<double>& pred) {
+  check_sizes(truth, pred);
+  double acc = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == 0.0) continue;
+    acc += std::fabs((truth[i] - pred[i]) / truth[i]);
+    ++counted;
+  }
+  CLIP_REQUIRE(counted > 0, "MAPE undefined: all truth values are zero");
+  return acc / static_cast<double>(counted);
+}
+
+double r_squared(const std::vector<double>& truth,
+                 const std::vector<double>& pred) {
+  check_sizes(truth, pred);
+  double mean = 0.0;
+  for (double t : truth) mean += t;
+  mean /= static_cast<double>(truth.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    ss_res += (truth[i] - pred[i]) * (truth[i] - pred[i]);
+    ss_tot += (truth[i] - mean) * (truth[i] - mean);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double rmse(const std::vector<double>& truth,
+            const std::vector<double>& pred) {
+  check_sizes(truth, pred);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i)
+    acc += (truth[i] - pred[i]) * (truth[i] - pred[i]);
+  return std::sqrt(acc / static_cast<double>(truth.size()));
+}
+
+}  // namespace clip::stats

@@ -1,0 +1,25 @@
+// Model-quality metrics used when validating the CLIP predictors against
+// oracle (exhaustive-search) ground truth, as in paper Fig. 7.
+#pragma once
+
+#include <vector>
+
+namespace clip::stats {
+
+/// Mean absolute error.
+[[nodiscard]] double mean_absolute_error(const std::vector<double>& truth,
+                                         const std::vector<double>& pred);
+
+/// Mean absolute percentage error (skips zero-truth samples).
+[[nodiscard]] double mean_absolute_percentage_error(
+    const std::vector<double>& truth, const std::vector<double>& pred);
+
+/// Coefficient of determination R².
+[[nodiscard]] double r_squared(const std::vector<double>& truth,
+                               const std::vector<double>& pred);
+
+/// Root mean squared error.
+[[nodiscard]] double rmse(const std::vector<double>& truth,
+                          const std::vector<double>& pred);
+
+}  // namespace clip::stats

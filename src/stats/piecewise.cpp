@@ -1,0 +1,86 @@
+#include "stats/piecewise.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace clip::stats {
+
+double PiecewiseLinearModel::predict(double x) const {
+  if (x <= breakpoint) return slope1 * x + intercept1;
+  return slope2 * x + intercept2;
+}
+
+SegmentFit fit_segment(const std::vector<double>& x,
+                       const std::vector<double>& y, std::size_t begin,
+                       std::size_t end) {
+  CLIP_REQUIRE(end <= x.size() && begin < end, "bad segment range");
+  SegmentFit fit;
+  fit.count = end - begin;
+  const double n = static_cast<double>(fit.count);
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (std::fabs(denom) < 1e-12) {
+    // All x equal: fall back to a flat line through the mean.
+    fit.slope = 0.0;
+    fit.intercept = sy / n;
+  } else {
+    fit.slope = (n * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / n;
+  }
+  for (std::size_t i = begin; i < end; ++i) {
+    const double r = y[i] - (fit.slope * x[i] + fit.intercept);
+    fit.sse += r * r;
+  }
+  return fit;
+}
+
+PiecewiseLinearModel fit_piecewise_linear(const std::vector<double>& x,
+                                          const std::vector<double>& y) {
+  CLIP_REQUIRE(x.size() == y.size(), "x/y size mismatch");
+  CLIP_REQUIRE(x.size() >= 4, "piecewise fit needs >= 4 samples");
+
+  // Sort samples by x (the callers pass thread counts which are already
+  // sorted, but do not rely on it).
+  std::vector<std::size_t> order(x.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return x[a] < x[b]; });
+  std::vector<double> xs(x.size()), ys(y.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    xs[i] = x[order[i]];
+    ys[i] = y[order[i]];
+  }
+
+  PiecewiseLinearModel best;
+  best.sse = std::numeric_limits<double>::infinity();
+  // Breakpoint after index k: left segment [0, k], right segment [k+1, n).
+  // Each segment needs >= 2 points.
+  for (std::size_t k = 1; k + 2 < xs.size(); ++k) {
+    if (xs[k] == xs[k + 1]) continue;  // degenerate split
+    const SegmentFit left = fit_segment(xs, ys, 0, k + 1);
+    const SegmentFit right = fit_segment(xs, ys, k + 1, xs.size());
+    const double total = left.sse + right.sse;
+    if (total < best.sse) {
+      best.sse = total;
+      best.breakpoint = xs[k];
+      best.slope1 = left.slope;
+      best.intercept1 = left.intercept;
+      best.slope2 = right.slope;
+      best.intercept2 = right.intercept;
+    }
+  }
+  CLIP_ENSURE(std::isfinite(best.sse), "piecewise fit found no valid split");
+  return best;
+}
+
+}  // namespace clip::stats

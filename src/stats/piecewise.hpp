@@ -1,0 +1,45 @@
+// Two-segment piecewise-linear fitting.
+//
+// Paper §III-A2b models logarithmic and parabolic scalability curves as two
+// linear segments joined at the inflection point N_P. This module fits such
+// a model to (x, y) samples by exhaustively scanning candidate breakpoints
+// (x is a small discrete set — thread counts 1..24 — so the scan is exact).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace clip::stats {
+
+/// y ≈ (x <= breakpoint) ? a1*x + b1 : a2*x + b2.
+struct PiecewiseLinearModel {
+  double breakpoint = 0.0;
+  double slope1 = 0.0;
+  double intercept1 = 0.0;
+  double slope2 = 0.0;
+  double intercept2 = 0.0;
+  double sse = 0.0;  ///< residual sum of squared errors of the fit
+
+  [[nodiscard]] double predict(double x) const;
+};
+
+/// Fit both segments by least squares for every candidate breakpoint (taken
+/// from the sample xs, excluding the extremes so each segment has >= 2
+/// points) and keep the breakpoint with the smallest total SSE.
+/// Requires at least 4 samples with distinct x values.
+[[nodiscard]] PiecewiseLinearModel fit_piecewise_linear(
+    const std::vector<double>& x, const std::vector<double>& y);
+
+/// Simple one-segment least squares fit (slope/intercept + SSE); the
+/// building block for the piecewise scan, exposed for reuse and tests.
+struct SegmentFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double sse = 0.0;
+  std::size_t count = 0;
+};
+[[nodiscard]] SegmentFit fit_segment(const std::vector<double>& x,
+                                     const std::vector<double>& y,
+                                     std::size_t begin, std::size_t end);
+
+}  // namespace clip::stats

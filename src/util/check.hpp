@@ -1,0 +1,67 @@
+// Error handling primitives used across the CLIP libraries.
+//
+// CLIP is a decision framework: a violated precondition means a scheduling
+// decision would be made from garbage inputs, so we fail fast with a
+// descriptive exception rather than assert/abort (callers such as the job
+// launcher can catch and reject a single job without taking the runtime down).
+#pragma once
+
+#include <source_location>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace clip {
+
+/// Raised when a public-API precondition is violated.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Raised when an internal invariant fails (a bug in this library).
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_precondition(const char* expr,
+                                            const std::string& msg,
+                                            std::source_location loc) {
+  std::ostringstream os;
+  os << loc.file_name() << ':' << loc.line() << ": precondition failed: "
+     << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw PreconditionError(os.str());
+}
+
+[[noreturn]] inline void throw_invariant(const char* expr,
+                                         const std::string& msg,
+                                         std::source_location loc) {
+  std::ostringstream os;
+  os << loc.file_name() << ':' << loc.line() << ": invariant failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace clip
+
+/// Validate a caller-supplied argument; throws clip::PreconditionError.
+#define CLIP_REQUIRE(expr, msg)                                       \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::clip::detail::throw_precondition(#expr, (msg),                \
+                                         std::source_location::current()); \
+  } while (false)
+
+/// Validate an internal invariant; throws clip::InvariantError.
+#define CLIP_ENSURE(expr, msg)                                        \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::clip::detail::throw_invariant(#expr, (msg),                   \
+                                      std::source_location::current()); \
+  } while (false)

@@ -1,0 +1,87 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace clip {
+
+int CsvDocument::column_index(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i)
+    if (header[i] == name) return static_cast<int>(i);
+  return -1;
+}
+
+void write_csv(const std::filesystem::path& path, const CsvDocument& doc) {
+  if (path.has_parent_path())
+    std::filesystem::create_directories(path.parent_path());
+  std::ofstream os(path);
+  CLIP_REQUIRE(os.good(), "cannot open CSV for writing: " + path.string());
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << csv_escape(row[c]);
+    }
+    os << '\n';
+  };
+  emit(doc.header);
+  for (const auto& row : doc.rows) emit(row);
+  CLIP_ENSURE(os.good(), "CSV write failed: " + path.string());
+}
+
+std::vector<std::string> parse_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else {
+      field.push_back(c);
+    }
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+CsvDocument read_csv(const std::filesystem::path& path) {
+  std::ifstream is(path);
+  CLIP_REQUIRE(is.good(), "cannot open CSV for reading: " + path.string());
+  CsvDocument doc;
+  std::string line;
+  bool first = true;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    auto fields = parse_csv_line(line);
+    if (first) {
+      doc.header = std::move(fields);
+      first = false;
+    } else {
+      CLIP_REQUIRE(fields.size() == doc.header.size(),
+                   "ragged CSV row in " + path.string());
+      doc.rows.push_back(std::move(fields));
+    }
+  }
+  CLIP_REQUIRE(!first, "empty CSV: " + path.string());
+  return doc;
+}
+
+}  // namespace clip

@@ -1,0 +1,55 @@
+// Deterministic random number generation.
+//
+// Every stochastic element of the simulator (measurement noise, manufacturing
+// variability, workload jitter) draws from an explicitly seeded generator so
+// experiments, tests and benchmark tables are bit-reproducible. We implement
+// xoshiro256** (Blackman & Vigna) seeded via splitmix64 rather than relying
+// on std::mt19937's larger state and unspecified-across-platforms helpers
+// like std::normal_distribution (whose output differs between libstdc++ and
+// libc++); all distributions here are hand-rolled and portable.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace clip {
+
+/// splitmix64: used to expand a single 64-bit seed into generator state.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** PRNG with portable, hand-rolled distributions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit integer.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box–Muller (deterministic, platform-independent).
+  double normal();
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Log-normal: exp(N(mu, sigma)). Used for manufacturing variability.
+  double lognormal(double mu, double sigma);
+
+  /// Split off an independent stream (for per-node / per-workload noise).
+  [[nodiscard]] Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace clip

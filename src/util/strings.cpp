@@ -1,0 +1,71 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace clip {
+
+std::string format_double(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+std::string format_percent(double fraction, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%+.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+std::string pad_left(std::string_view s, std::size_t width) {
+  if (s.size() >= width) return std::string(s);
+  return std::string(width - s.size(), ' ') + std::string(s);
+}
+
+std::string pad_right(std::string_view s, std::size_t width) {
+  if (s.size() >= width) return std::string(s);
+  return std::string(s) + std::string(width - s.size(), ' ');
+}
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      return out;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quote) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace clip

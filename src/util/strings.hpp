@@ -1,0 +1,33 @@
+// Small string formatting helpers shared by the table/CSV writers and the
+// benchmark harnesses.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace clip {
+
+/// printf-style double formatting with a fixed number of decimals.
+[[nodiscard]] std::string format_double(double v, int decimals = 3);
+
+/// Format as a percentage with sign, e.g. +23.4%.
+[[nodiscard]] std::string format_percent(double fraction, int decimals = 1);
+
+/// Left/right padding to a fixed width (spaces).
+[[nodiscard]] std::string pad_left(std::string_view s, std::size_t width);
+[[nodiscard]] std::string pad_right(std::string_view s, std::size_t width);
+
+/// Split on a delimiter; keeps empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char delim);
+
+/// Trim ASCII whitespace from both ends.
+[[nodiscard]] std::string trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Escape a CSV field (quote when it contains comma/quote/newline).
+[[nodiscard]] std::string csv_escape(std::string_view field);
+
+}  // namespace clip

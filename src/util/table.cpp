@@ -1,0 +1,71 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace clip {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  CLIP_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void Table::set_title(std::string title) { title_ = std::move(title); }
+
+void Table::add_row(std::vector<std::string> cells) {
+  CLIP_REQUIRE(cells.size() == header_.size(),
+               "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+Table::Cell::Cell(double v) : text(format_double(v)) {}
+Table::Cell::Cell(int v) : text(std::to_string(v)) {}
+Table::Cell::Cell(std::size_t v) : text(std::to_string(v)) {}
+
+void Table::add(std::initializer_list<Cell> cells) {
+  std::vector<std::string> row;
+  row.reserve(cells.size());
+  for (const auto& c : cells) row.push_back(c.text);
+  add_row(std::move(row));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << "  ";
+      os << pad_right(row[c], width[c]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c) os << "  ";
+    os << std::string(width[c], '-');
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << csv_escape(row[c]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace clip

@@ -1,0 +1,52 @@
+// ASCII table writer used by the figure/table benchmark harnesses to print
+// the same rows/series the paper reports.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace clip {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+///
+/// Usage:
+///   Table t({"benchmark", "class", "speedup"});
+///   t.add_row({"SP-MZ", "parabolic", "1.62"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Optional title printed above the table.
+  void set_title(std::string title);
+
+  /// Add a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with fixed decimals, strings verbatim.
+  struct Cell {
+    std::string text;
+    Cell(std::string s) : text(std::move(s)) {}             // NOLINT implicit
+    Cell(const char* s) : text(s) {}                        // NOLINT implicit
+    Cell(double v);                                         // NOLINT implicit
+    Cell(int v);                                            // NOLINT implicit
+    Cell(std::size_t v);                                    // NOLINT implicit
+  };
+  void add(std::initializer_list<Cell> cells);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Render with column alignment and a separator under the header.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (no alignment padding).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace clip

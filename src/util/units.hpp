@@ -1,0 +1,151 @@
+// Strong unit types for the quantities CLIP reasons about.
+//
+// Power-bounded scheduling mixes watts, joules, gigahertz and seconds in the
+// same expressions; a silent watts-for-gigahertz swap is exactly the kind of
+// bug an analytic simulator cannot surface on its own. Each quantity is a
+// distinct type with only the physically meaningful operations defined
+// (power × time = energy, energy / time = power, ...).
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <iosfwd>
+#include <ostream>
+
+namespace clip {
+
+namespace detail {
+
+/// CRTP base providing the arithmetic shared by all scalar quantities.
+template <class Derived>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double v) : value_(v) {}
+
+  [[nodiscard]] constexpr double value() const { return value_; }
+
+  friend constexpr Derived operator+(Derived a, Derived b) {
+    return Derived(a.value_ + b.value_);
+  }
+  friend constexpr Derived operator-(Derived a, Derived b) {
+    return Derived(a.value_ - b.value_);
+  }
+  friend constexpr Derived operator*(Derived a, double s) {
+    return Derived(a.value_ * s);
+  }
+  friend constexpr Derived operator*(double s, Derived a) {
+    return Derived(a.value_ * s);
+  }
+  friend constexpr Derived operator/(Derived a, double s) {
+    return Derived(a.value_ / s);
+  }
+  /// Ratio of two like quantities is dimensionless.
+  friend constexpr double operator/(Derived a, Derived b) {
+    return a.value_ / b.value_;
+  }
+  friend constexpr Derived operator-(Derived a) { return Derived(-a.value_); }
+
+  Derived& operator+=(Derived o) {
+    value_ += o.value_;
+    return self();
+  }
+  Derived& operator-=(Derived o) {
+    value_ -= o.value_;
+    return self();
+  }
+  Derived& operator*=(double s) {
+    value_ *= s;
+    return self();
+  }
+
+  friend constexpr auto operator<=>(Quantity a, Quantity b) = default;
+
+ private:
+  Derived& self() { return static_cast<Derived&>(*this); }
+  double value_ = 0.0;
+};
+
+}  // namespace detail
+
+/// Electrical power in watts.
+class Watts : public detail::Quantity<Watts> {
+ public:
+  using Quantity::Quantity;
+};
+
+/// Energy in joules.
+class Joules : public detail::Quantity<Joules> {
+ public:
+  using Quantity::Quantity;
+};
+
+/// Wall-clock (or modeled) time in seconds.
+class Seconds : public detail::Quantity<Seconds> {
+ public:
+  using Quantity::Quantity;
+};
+
+/// Clock frequency in gigahertz.
+class GHz : public detail::Quantity<GHz> {
+ public:
+  using Quantity::Quantity;
+};
+
+/// Memory bandwidth in gigabytes per second.
+class GBps : public detail::Quantity<GBps> {
+ public:
+  using Quantity::Quantity;
+};
+
+// The physically meaningful cross-type operations.
+constexpr Joules operator*(Watts p, Seconds t) {
+  return Joules(p.value() * t.value());
+}
+constexpr Joules operator*(Seconds t, Watts p) { return p * t; }
+constexpr Watts operator/(Joules e, Seconds t) {
+  return Watts(e.value() / t.value());
+}
+constexpr Seconds operator/(Joules e, Watts p) {
+  return Seconds(e.value() / p.value());
+}
+
+// User-defined literals: 120.0_W, 2.3_GHz, 30.0_s, 12.8_GBps.
+namespace literals {
+constexpr Watts operator""_W(long double v) {
+  return Watts(static_cast<double>(v));
+}
+constexpr Watts operator""_W(unsigned long long v) {
+  return Watts(static_cast<double>(v));
+}
+constexpr Joules operator""_J(long double v) {
+  return Joules(static_cast<double>(v));
+}
+constexpr Seconds operator""_s(long double v) {
+  return Seconds(static_cast<double>(v));
+}
+constexpr GHz operator""_GHz(long double v) {
+  return GHz(static_cast<double>(v));
+}
+constexpr GBps operator""_GBps(long double v) {
+  return GBps(static_cast<double>(v));
+}
+}  // namespace literals
+
+inline std::ostream& operator<<(std::ostream& os, Watts w) {
+  return os << w.value() << " W";
+}
+inline std::ostream& operator<<(std::ostream& os, Joules j) {
+  return os << j.value() << " J";
+}
+inline std::ostream& operator<<(std::ostream& os, Seconds s) {
+  return os << s.value() << " s";
+}
+inline std::ostream& operator<<(std::ostream& os, GHz f) {
+  return os << f.value() << " GHz";
+}
+inline std::ostream& operator<<(std::ostream& os, GBps b) {
+  return os << b.value() << " GB/s";
+}
+
+}  // namespace clip

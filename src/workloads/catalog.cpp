@@ -1,0 +1,339 @@
+#include "workloads/catalog.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace clip::workloads {
+
+namespace {
+
+using SC = ScalabilityClass;
+using WP = WorkloadPattern;
+
+// Calibration notes (defaults of the simulated Haswell node: 2 sockets x 12
+// cores at 2.3 GHz nominal, 34 GB/s DRAM bandwidth per socket):
+//  * linear class:      no bandwidth saturation below 24 cores, no sync term
+//                       -> half/all perf ratio ~0.52-0.55 (< 0.7).
+//  * logarithmic class: bandwidth saturation kicks in at N_P = bw_eff /
+//                       bw_per_core, placed in 8..16 cores -> ratio 0.7-0.9.
+//  * parabolic class:   saturation plus a quadratic synchronization/
+//                       contention term -> performance peaks near N_P and
+//                       *drops* at 24 cores -> ratio >= 1.
+std::vector<WorkloadSignature> build_paper_benchmarks() {
+  std::vector<WorkloadSignature> v;
+
+  // --- logarithmic -------------------------------------------------------
+  v.push_back({.name = "BT-MZ",
+               .parameters = "C",
+               .pattern = WP::kCompute,
+               .node_base_time_s = 340.0,
+               .serial_fraction = 0.010,
+               .memory_boundedness = 0.50,
+               .bw_per_core_gbps = 6.0,
+               .fork_overhead_s = 1e-3,
+               .sync_coeff_s = 0.0,
+               .sync_exponent = 2.0,
+               .shared_data_fraction = 0.20,
+               .compute_intensity = 0.85,
+               .ipc = 1.9,
+               .icache_pressure = 0.12,
+               .write_fraction = 0.30,
+               .comm_latency_s = 0.020,
+               .comm_surface_coeff = 0.020,
+               .has_predefined_process_counts = true,
+               .expected_class = SC::kLogarithmic});
+  v.push_back({.name = "LU-MZ",
+               .parameters = "C",
+               .pattern = WP::kComputeMemory,
+               .node_base_time_s = 300.0,
+               .serial_fraction = 0.010,
+               .memory_boundedness = 0.45,
+               .bw_per_core_gbps = 5.0,
+               .fork_overhead_s = 1e-3,
+               .sync_coeff_s = 0.0,
+               .sync_exponent = 2.0,
+               .shared_data_fraction = 0.25,
+               .compute_intensity = 0.80,
+               .ipc = 1.7,
+               .icache_pressure = 0.10,
+               .write_fraction = 0.33,
+               .comm_latency_s = 0.020,
+               .comm_surface_coeff = 0.022,
+               .has_predefined_process_counts = true,
+               .expected_class = SC::kLogarithmic});
+  v.push_back({.name = "CloverLeaf",
+               .parameters = "clover128_short.in",
+               .pattern = WP::kComputeMemory,
+               .node_base_time_s = 260.0,
+               .serial_fraction = 0.010,
+               .memory_boundedness = 0.55,
+               .bw_per_core_gbps = 7.0,
+               .fork_overhead_s = 1e-3,
+               .sync_coeff_s = 0.0,
+               .sync_exponent = 2.0,
+               .shared_data_fraction = 0.15,
+               .compute_intensity = 0.75,
+               .ipc = 1.5,
+               .icache_pressure = 0.08,
+               .write_fraction = 0.40,
+               .comm_latency_s = 0.018,
+               .comm_surface_coeff = 0.025,
+               .has_predefined_process_counts = false,
+               .expected_class = SC::kLogarithmic});
+  v.push_back({.name = "CloverLeaf",
+               .parameters = "clover16.in",
+               .pattern = WP::kComputeMemory,
+               .node_base_time_s = 120.0,
+               .serial_fraction = 0.020,
+               .memory_boundedness = 0.50,
+               .bw_per_core_gbps = 8.0,
+               .fork_overhead_s = 1e-3,
+               .sync_coeff_s = 0.0,
+               .sync_exponent = 2.0,
+               .shared_data_fraction = 0.20,
+               .compute_intensity = 0.72,
+               .ipc = 1.4,
+               .icache_pressure = 0.08,
+               .write_fraction = 0.40,
+               .comm_latency_s = 0.030,
+               .comm_surface_coeff = 0.040,
+               .has_predefined_process_counts = false,
+               .expected_class = SC::kLogarithmic});
+
+  // --- parabolic ----------------------------------------------------------
+  v.push_back({.name = "SP-MZ",
+               .parameters = "C",
+               .pattern = WP::kComputeMemory,
+               .node_base_time_s = 320.0,
+               .serial_fraction = 0.010,
+               .memory_boundedness = 0.45,
+               .bw_per_core_gbps = 6.0,
+               .fork_overhead_s = 1e-3,
+               .sync_coeff_s = 1.2e-4,
+               .sync_exponent = 2.0,
+               .shared_data_fraction = 0.20,
+               .compute_intensity = 0.78,
+               .ipc = 1.6,
+               .icache_pressure = 0.15,
+               .write_fraction = 0.35,
+               .comm_latency_s = 0.022,
+               .comm_surface_coeff = 0.022,
+               .has_predefined_process_counts = true,
+               .expected_class = SC::kParabolic});
+  v.push_back({.name = "miniAero",
+               .parameters = "default",
+               .pattern = WP::kCompute,
+               .node_base_time_s = 220.0,
+               .serial_fraction = 0.008,
+               .memory_boundedness = 0.30,
+               .bw_per_core_gbps = 4.0,
+               .fork_overhead_s = 1e-3,
+               .sync_coeff_s = 2.5e-4,
+               .sync_exponent = 2.0,
+               .shared_data_fraction = 0.15,
+               .compute_intensity = 0.88,
+               .ipc = 2.0,
+               .icache_pressure = 0.20,
+               .write_fraction = 0.28,
+               .comm_latency_s = 0.020,
+               .comm_surface_coeff = 0.020,
+               .has_predefined_process_counts = false,
+               .expected_class = SC::kParabolic});
+  v.push_back({.name = "TeaLeaf",
+               .parameters = "Tea10.in",
+               .pattern = WP::kComputeMemory,
+               .node_base_time_s = 280.0,
+               .serial_fraction = 0.012,
+               .memory_boundedness = 0.60,
+               .bw_per_core_gbps = 7.0,
+               .fork_overhead_s = 1e-3,
+               .sync_coeff_s = 1.5e-4,
+               .sync_exponent = 2.0,
+               .shared_data_fraction = 0.25,
+               .compute_intensity = 0.70,
+               .ipc = 1.3,
+               .icache_pressure = 0.06,
+               .write_fraction = 0.38,
+               .comm_latency_s = 0.020,
+               .comm_surface_coeff = 0.028,
+               .has_predefined_process_counts = false,
+               .expected_class = SC::kParabolic});
+
+  // --- linear -------------------------------------------------------------
+  v.push_back({.name = "CoMD",
+               .parameters = "-n 240 240 240",
+               .pattern = WP::kCompute,
+               .node_base_time_s = 380.0,
+               .serial_fraction = 0.004,
+               .memory_boundedness = 0.05,
+               .bw_per_core_gbps = 0.8,
+               .fork_overhead_s = 1e-3,
+               .sync_coeff_s = 0.0,
+               .sync_exponent = 2.0,
+               .shared_data_fraction = 0.10,
+               .compute_intensity = 0.95,
+               .ipc = 2.2,
+               .icache_pressure = 0.05,
+               .write_fraction = 0.20,
+               .comm_latency_s = 0.015,
+               .comm_surface_coeff = 0.015,
+               .has_predefined_process_counts = false,
+               .expected_class = SC::kLinear});
+  v.push_back({.name = "AMG",
+               .parameters = "-n 300 300 300",
+               .pattern = WP::kComputeMemory,
+               .node_base_time_s = 330.0,
+               .serial_fraction = 0.008,
+               .memory_boundedness = 0.25,
+               .bw_per_core_gbps = 1.8,
+               .fork_overhead_s = 1e-3,
+               .sync_coeff_s = 0.0,
+               .sync_exponent = 2.0,
+               .shared_data_fraction = 0.25,
+               .compute_intensity = 0.82,
+               .ipc = 1.8,
+               .icache_pressure = 0.10,
+               .write_fraction = 0.30,
+               .comm_latency_s = 0.018,
+               .comm_surface_coeff = 0.018,
+               .has_predefined_process_counts = false,
+               .expected_class = SC::kLinear});
+  v.push_back({.name = "miniMD",
+               .parameters = "default",
+               .pattern = WP::kCompute,
+               .node_base_time_s = 260.0,
+               .serial_fraction = 0.006,
+               .memory_boundedness = 0.04,
+               .bw_per_core_gbps = 0.6,
+               .fork_overhead_s = 1e-3,
+               .sync_coeff_s = 0.0,
+               .sync_exponent = 2.0,
+               .shared_data_fraction = 0.10,
+               .compute_intensity = 0.97,
+               .ipc = 2.4,
+               .icache_pressure = 0.04,
+               .write_fraction = 0.18,
+               .comm_latency_s = 0.015,
+               .comm_surface_coeff = 0.014,
+               .has_predefined_process_counts = false,
+               .expected_class = SC::kLinear});
+
+  for (const auto& w : v) w.validate();
+  return v;
+}
+
+// A compact helper for the training suite where most microarchitectural
+// details follow from the class archetype.
+struct TrainSpec {
+  const char* name;
+  const char* params;
+  WP pattern;
+  double base_time;
+  double serial;
+  double mem_bound;
+  double bw_core;
+  double sync_coeff;
+  double shared;
+  double ci;
+  double ipc;
+  double icache;
+  double writes;
+  SC cls;
+};
+
+WorkloadSignature from_spec(const TrainSpec& t) {
+  WorkloadSignature w;
+  w.name = t.name;
+  w.parameters = t.params;
+  w.pattern = t.pattern;
+  w.node_base_time_s = t.base_time;
+  w.serial_fraction = t.serial;
+  w.memory_boundedness = t.mem_bound;
+  w.bw_per_core_gbps = t.bw_core;
+  w.sync_coeff_s = t.sync_coeff;
+  w.shared_data_fraction = t.shared;
+  w.compute_intensity = t.ci;
+  w.ipc = t.ipc;
+  w.icache_pressure = t.icache;
+  w.write_fraction = t.writes;
+  w.comm_latency_s = 0.02;
+  w.comm_surface_coeff = 0.02;
+  w.has_predefined_process_counts = true;
+  w.expected_class = t.cls;
+  w.validate();
+  return w;
+}
+
+std::vector<WorkloadSignature> build_training_benchmarks() {
+  // NPB / HPCC / STREAM / PolyBench analogues plus a few proxy apps,
+  // spanning the three classes with diverse event signatures.
+  const TrainSpec specs[] = {
+      // name            params     pattern              base   serial mem   bw    sync     shared ci    ipc  icache writes class
+      {"EP",             "C",       WP::kCompute,        180.0, 0.001, 0.00, 0.0,  0.0,     0.05,  1.00, 2.6, 0.02, 0.10, SC::kLinear},
+      {"HPL",            "N=40k",   WP::kCompute,        420.0, 0.005, 0.10, 1.2,  0.0,     0.10,  1.05, 2.8, 0.03, 0.15, SC::kLinear},
+      {"PolyBench-gemm", "LARGE",   WP::kCompute,        150.0, 0.002, 0.08, 1.0,  0.0,     0.05,  1.10, 3.0, 0.02, 0.12, SC::kLinear},
+      {"PolyBench-3mm",  "LARGE",   WP::kCompute,        190.0, 0.003, 0.12, 1.4,  0.0,     0.08,  1.05, 2.7, 0.03, 0.15, SC::kLinear},
+      {"Nekbone",        "p12",     WP::kCompute,        260.0, 0.006, 0.18, 1.6,  0.0,     0.12,  0.92, 2.2, 0.06, 0.20, SC::kLinear},
+      {"SNAP-proxy",     "default", WP::kCompute,        230.0, 0.005, 0.15, 1.5,  0.0,     0.10,  0.90, 2.1, 0.08, 0.20, SC::kLinear},
+
+      {"FT",             "C",       WP::kComputeMemory,  240.0, 0.010, 0.55, 6.5,  0.0,     0.20,  0.75, 1.6, 0.07, 0.35, SC::kLogarithmic},
+      {"CG",             "C",       WP::kMemory,         200.0, 0.012, 0.70, 8.0,  0.0,     0.22,  0.60, 1.0, 0.05, 0.25, SC::kLogarithmic},
+      {"MG",             "C",       WP::kComputeMemory,  170.0, 0.010, 0.60, 7.5,  0.0,     0.18,  0.68, 1.3, 0.05, 0.33, SC::kLogarithmic},
+      {"IS",             "C",       WP::kMemory,         90.0,  0.015, 0.80, 9.0,  0.0,     0.30,  0.55, 0.9, 0.04, 0.45, SC::kLogarithmic},
+      {"BT",             "C",       WP::kCompute,        330.0, 0.010, 0.48, 5.5,  0.0,     0.20,  0.84, 1.9, 0.12, 0.30, SC::kLogarithmic},
+      {"LU",             "C",       WP::kComputeMemory,  310.0, 0.010, 0.46, 5.2,  0.0,     0.24,  0.80, 1.7, 0.10, 0.32, SC::kLogarithmic},
+      {"STREAM-Triad",   "N=80M",   WP::kMemory,         60.0,  0.010, 0.95, 10.0, 0.0,     0.10,  0.45, 0.7, 0.02, 0.35, SC::kLogarithmic},
+      {"STREAM-Copy",    "N=80M",   WP::kMemory,         55.0,  0.010, 0.96, 11.0, 0.0,     0.10,  0.42, 0.6, 0.02, 0.50, SC::kLogarithmic},
+      {"HPCC-PTRANS",    "default", WP::kMemory,         140.0, 0.015, 0.75, 8.5,  0.0,     0.35,  0.52, 0.9, 0.04, 0.50, SC::kLogarithmic},
+      {"HPCC-FFT",       "default", WP::kComputeMemory,  160.0, 0.012, 0.58, 7.0,  0.0,     0.25,  0.70, 1.4, 0.06, 0.35, SC::kLogarithmic},
+      {"PolyBench-jacobi2d", "LARGE", WP::kMemory,       110.0, 0.008, 0.65, 7.8,  0.0,     0.15,  0.62, 1.2, 0.03, 0.40, SC::kLogarithmic},
+      {"PolyBench-fdtd2d", "LARGE", WP::kComputeMemory,  130.0, 0.010, 0.55, 6.8,  0.0,     0.18,  0.70, 1.4, 0.04, 0.38, SC::kLogarithmic},
+      {"LULESH",         "s=90",    WP::kComputeMemory,  280.0, 0.010, 0.50, 5.8,  0.0,     0.22,  0.78, 1.6, 0.09, 0.30, SC::kLogarithmic},
+      {"HPCG",           "104^3",   WP::kMemory,         210.0, 0.012, 0.72, 8.2,  0.0,     0.20,  0.58, 1.0, 0.05, 0.28, SC::kLogarithmic},
+      {"XSBench",        "large",   WP::kMemory,         170.0, 0.010, 0.68, 7.6,  0.0,     0.28,  0.56, 0.8, 0.10, 0.10, SC::kLogarithmic},
+
+      {"SP",             "C",       WP::kComputeMemory,  300.0, 0.010, 0.45, 6.0,  1.5e-4,  0.20,  0.78, 1.6, 0.15, 0.35, SC::kParabolic},
+      {"UA",             "C",       WP::kComputeMemory,  260.0, 0.012, 0.40, 5.0,  2.0e-4,  0.25,  0.76, 1.5, 0.12, 0.30, SC::kParabolic},
+      {"PolyBench-seidel2d", "LARGE", WP::kComputeMemory, 140.0, 0.015, 0.45, 5.5, 3.0e-4,  0.30,  0.72, 1.3, 0.04, 0.42, SC::kParabolic},
+      {"Quicksilver",    "default", WP::kCompute,        240.0, 0.010, 0.28, 3.8,  2.8e-4,  0.18,  0.86, 1.8, 0.18, 0.22, SC::kParabolic},
+      {"HPCC-RandomAccess", "default", WP::kMemory,      120.0, 0.015, 0.78, 8.8,  1.2e-4,  0.40,  0.50, 0.5, 0.03, 0.50, SC::kParabolic},
+      {"Graph500-proxy", "scale24", WP::kMemory,         160.0, 0.020, 0.70, 8.0,  2.2e-4,  0.45,  0.52, 0.6, 0.12, 0.30, SC::kParabolic},
+  };
+
+  std::vector<WorkloadSignature> v;
+  v.reserve(std::size(specs));
+  for (const auto& s : specs) v.push_back(from_spec(s));
+  return v;
+}
+
+}  // namespace
+
+const std::vector<WorkloadSignature>& paper_benchmarks() {
+  static const std::vector<WorkloadSignature> v = build_paper_benchmarks();
+  return v;
+}
+
+const std::vector<WorkloadSignature>& training_benchmarks() {
+  static const std::vector<WorkloadSignature> v = build_training_benchmarks();
+  return v;
+}
+
+std::vector<WorkloadSignature> all_benchmarks() {
+  std::vector<WorkloadSignature> v = paper_benchmarks();
+  const auto& t = training_benchmarks();
+  v.insert(v.end(), t.begin(), t.end());
+  return v;
+}
+
+std::optional<WorkloadSignature> find_benchmark(const std::string& name,
+                                                const std::string& parameters) {
+  for (const auto& w : all_benchmarks()) {
+    if (w.name != name) continue;
+    if (!parameters.empty() && w.parameters != parameters) continue;
+    return w;
+  }
+  return std::nullopt;
+}
+
+}  // namespace clip::workloads

@@ -1,0 +1,38 @@
+// The workload catalog.
+//
+// `paper_benchmarks()` are the ten evaluation applications of paper Table II
+// (CloverLeaf appears twice with different input decks, as in the paper).
+// `training_benchmarks()` is the larger suite the paper trains its MLR
+// inflection model on — analogues of NPB, HPCC, STREAM and PolyBench kernels
+// spanning all three scalability classes.
+//
+// Parameters are calibrated so each benchmark reproduces the paper's
+// *decision-relevant* behaviour on the simulated Haswell cluster: its Fig. 6
+// half/all-core speedup ratio band, its scalability class, and an inflection
+// point within the realistic 6..20 core range for the non-linear classes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "workloads/signature.hpp"
+
+namespace clip::workloads {
+
+/// The ten Table II evaluation benchmarks.
+[[nodiscard]] const std::vector<WorkloadSignature>& paper_benchmarks();
+
+/// The training suite for the inflection-point MLR (paper §V-B2: NPB, HPCC,
+/// STREAM, PolyBench and others).
+[[nodiscard]] const std::vector<WorkloadSignature>& training_benchmarks();
+
+/// Everything (paper + training).
+[[nodiscard]] std::vector<WorkloadSignature> all_benchmarks();
+
+/// Look up by name (and optional parameter string when a benchmark, like
+/// CloverLeaf, has several input decks).
+[[nodiscard]] std::optional<WorkloadSignature> find_benchmark(
+    const std::string& name, const std::string& parameters = "");
+
+}  // namespace clip::workloads

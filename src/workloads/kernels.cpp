@@ -1,0 +1,405 @@
+#include "workloads/kernels.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "parallel/parallel_for.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace clip::workloads {
+
+namespace {
+
+double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+class Timer {
+ public:
+  Timer() : start_(now_seconds()) {}
+  [[nodiscard]] double elapsed() const { return now_seconds() - start_; }
+
+ private:
+  double start_;
+};
+
+}  // namespace
+
+KernelResult stream_triad(parallel::ThreadPool& pool, std::size_t n,
+                          int iters) {
+  CLIP_REQUIRE(n > 0 && iters > 0, "stream_triad needs positive sizes");
+  std::vector<double> a(n, 0.0), b(n, 1.5), c(n, 2.5);
+  constexpr double kAlpha = 3.0;
+
+  Timer timer;
+  for (int it = 0; it < iters; ++it) {
+    parallel::parallel_for(
+        pool, 0, static_cast<std::int64_t>(n),
+        [&](std::int64_t i) { a[i] = b[i] + kAlpha * c[i]; });
+    std::swap(a, b);
+  }
+  KernelResult r;
+  r.seconds = timer.elapsed();
+  double sum = 0.0;
+  for (double v : b) sum += v;
+  r.checksum = sum / static_cast<double>(n);
+  r.bytes_moved = static_cast<double>(n) * 24.0 * iters;
+  r.flops = static_cast<double>(n) * 2.0 * iters;
+  return r;
+}
+
+KernelResult blocked_dgemm(parallel::ThreadPool& pool, std::size_t n) {
+  CLIP_REQUIRE(n > 0, "dgemm needs a positive order");
+  constexpr std::size_t kBlock = 32;
+  std::vector<double> a(n * n), b(n * n), c(n * n, 0.0);
+  for (std::size_t i = 0; i < n * n; ++i) {
+    a[i] = static_cast<double>((i * 7 + 3) % 13) / 13.0;
+    b[i] = static_cast<double>((i * 5 + 1) % 11) / 11.0;
+  }
+
+  const std::size_t blocks = (n + kBlock - 1) / kBlock;
+  Timer timer;
+  // Parallelize over row-blocks of C; each (bi, bj) tile is owned by one
+  // iteration so no two workers write the same C element.
+  parallel::parallel_for(
+      pool, 0, static_cast<std::int64_t>(blocks * blocks),
+      [&](std::int64_t tile) {
+        const std::size_t bi = static_cast<std::size_t>(tile) / blocks;
+        const std::size_t bj = static_cast<std::size_t>(tile) % blocks;
+        const std::size_t i_end = std::min(n, (bi + 1) * kBlock);
+        const std::size_t j_end = std::min(n, (bj + 1) * kBlock);
+        for (std::size_t bk = 0; bk < blocks; ++bk) {
+          const std::size_t k_end = std::min(n, (bk + 1) * kBlock);
+          for (std::size_t i = bi * kBlock; i < i_end; ++i) {
+            for (std::size_t k = bk * kBlock; k < k_end; ++k) {
+              const double aik = a[i * n + k];
+              for (std::size_t j = bj * kBlock; j < j_end; ++j)
+                c[i * n + j] += aik * b[k * n + j];
+            }
+          }
+        }
+      },
+      parallel::Schedule::kDynamic, 1);
+
+  KernelResult r;
+  r.seconds = timer.elapsed();
+  double sum = 0.0;
+  for (double v : c) sum += v;
+  r.checksum = sum / static_cast<double>(n);
+  r.flops = 2.0 * static_cast<double>(n) * static_cast<double>(n) *
+            static_cast<double>(n);
+  r.bytes_moved = 3.0 * static_cast<double>(n) * static_cast<double>(n) * 8.0;
+  return r;
+}
+
+KernelResult jacobi_stencil(parallel::ThreadPool& pool, std::size_t n,
+                            int iters) {
+  CLIP_REQUIRE(n >= 3 && iters > 0, "stencil needs n >= 3");
+  std::vector<double> grid(n * n, 0.0), next(n * n, 0.0);
+  // Hot left edge, cold elsewhere: classic heat-conduction setup.
+  for (std::size_t i = 0; i < n; ++i) grid[i * n] = 100.0;
+  next = grid;
+
+  Timer timer;
+  for (int it = 0; it < iters; ++it) {
+    parallel::parallel_for(
+        pool, 1, static_cast<std::int64_t>(n - 1), [&](std::int64_t row) {
+          const std::size_t i = static_cast<std::size_t>(row);
+          for (std::size_t j = 1; j + 1 < n; ++j) {
+            next[i * n + j] = 0.25 * (grid[(i - 1) * n + j] +
+                                      grid[(i + 1) * n + j] +
+                                      grid[i * n + j - 1] +
+                                      grid[i * n + j + 1]);
+          }
+        });
+    std::swap(grid, next);
+  }
+  KernelResult r;
+  r.seconds = timer.elapsed();
+  double sum = 0.0;
+  for (double v : grid) sum += v;
+  r.checksum = sum;
+  r.bytes_moved =
+      static_cast<double>(n) * static_cast<double>(n) * 16.0 * iters;
+  r.flops = static_cast<double>(n) * static_cast<double>(n) * 4.0 * iters;
+  return r;
+}
+
+KernelResult lennard_jones(parallel::ThreadPool& pool, std::size_t n,
+                           int steps) {
+  CLIP_REQUIRE(n >= 2 && steps > 0, "lennard_jones needs n >= 2");
+  const std::size_t atoms = n * n * n;
+  const double spacing = 1.1225;  // near the LJ potential minimum 2^(1/6)
+  std::vector<double> px(atoms), py(atoms), pz(atoms);
+  std::vector<double> fx(atoms), fy(atoms), fz(atoms);
+  for (std::size_t i = 0; i < atoms; ++i) {
+    px[i] = spacing * static_cast<double>(i % n);
+    py[i] = spacing * static_cast<double>((i / n) % n);
+    pz[i] = spacing * static_cast<double>(i / (n * n));
+  }
+  const double cutoff2 = 2.5 * 2.5;
+
+  Timer timer;
+  double potential = 0.0;
+  for (int step = 0; step < steps; ++step) {
+    std::fill(fx.begin(), fx.end(), 0.0);
+    std::fill(fy.begin(), fy.end(), 0.0);
+    std::fill(fz.begin(), fz.end(), 0.0);
+    potential = parallel::parallel_reduce(
+        pool, 0, static_cast<std::int64_t>(atoms), 0.0,
+        [&](std::int64_t ii, double& acc) {
+          const std::size_t i = static_cast<std::size_t>(ii);
+          // Half neighbor scan with owner-writes-own-force only (j-side force
+          // contributions are recomputed by j's own scan), keeping the
+          // parallel loop race-free.
+          for (std::size_t j = 0; j < atoms; ++j) {
+            if (i == j) continue;
+            const double dx = px[i] - px[j];
+            const double dy = py[i] - py[j];
+            const double dz = pz[i] - pz[j];
+            const double r2 = dx * dx + dy * dy + dz * dz;
+            if (r2 > cutoff2) continue;
+            const double inv2 = 1.0 / r2;
+            const double inv6 = inv2 * inv2 * inv2;
+            const double force = 24.0 * inv2 * inv6 * (2.0 * inv6 - 1.0);
+            fx[i] += force * dx;
+            fy[i] += force * dy;
+            fz[i] += force * dz;
+            acc += 0.5 * 4.0 * inv6 * (inv6 - 1.0);
+          }
+        });
+    // A tiny damped position update so successive steps differ.
+    parallel::parallel_for(pool, 0, static_cast<std::int64_t>(atoms),
+                           [&](std::int64_t ii) {
+                             const std::size_t i =
+                                 static_cast<std::size_t>(ii);
+                             px[i] += 1e-5 * fx[i];
+                             py[i] += 1e-5 * fy[i];
+                             pz[i] += 1e-5 * fz[i];
+                           });
+  }
+  KernelResult r;
+  r.seconds = timer.elapsed();
+  r.checksum = potential;
+  r.flops = static_cast<double>(atoms) * static_cast<double>(atoms) * 12.0 *
+            steps;
+  r.bytes_moved = static_cast<double>(atoms) * 48.0 * steps;
+  return r;
+}
+
+KernelResult monte_carlo_pi(parallel::ThreadPool& pool,
+                            std::uint64_t samples) {
+  CLIP_REQUIRE(samples > 0, "monte_carlo_pi needs samples");
+  const int team = pool.concurrency();
+  const std::uint64_t per_worker = samples / static_cast<std::uint64_t>(team);
+
+  Timer timer;
+  std::vector<std::uint64_t> hits(static_cast<std::size_t>(team), 0);
+  pool.run_region([&](int rank, int) {
+    // Independent deterministic stream per rank.
+    Rng rng(0x9E3779B9u + static_cast<std::uint64_t>(rank) * 7919u);
+    std::uint64_t local = 0;
+    for (std::uint64_t s = 0; s < per_worker; ++s) {
+      const double x = rng.uniform();
+      const double y = rng.uniform();
+      if (x * x + y * y <= 1.0) ++local;
+    }
+    hits[static_cast<std::size_t>(rank)] = local;
+  });
+  std::uint64_t total_hits = 0;
+  for (auto h : hits) total_hits += h;
+  const std::uint64_t total =
+      per_worker * static_cast<std::uint64_t>(team);
+
+  KernelResult r;
+  r.seconds = timer.elapsed();
+  r.checksum = 4.0 * static_cast<double>(total_hits) /
+               static_cast<double>(total);
+  r.flops = static_cast<double>(total) * 4.0;
+  r.bytes_moved = 0.0;
+  return r;
+}
+
+KernelResult spmv(parallel::ThreadPool& pool, std::size_t n, int iters) {
+  CLIP_REQUIRE(n >= 4 && iters > 0, "spmv needs n >= 4");
+  // Synthetic 5-diagonal matrix (offsets 0, ±1, ±3) in CSR-like band form.
+  std::vector<double> x(n, 1.0), y(n, 0.0);
+  const std::int64_t offsets[5] = {-3, -1, 0, 1, 3};
+  const double values[5] = {-0.5, -1.0, 4.2, -1.0, -0.5};
+
+  Timer timer;
+  for (int it = 0; it < iters; ++it) {
+    parallel::parallel_for(
+        pool, 0, static_cast<std::int64_t>(n), [&](std::int64_t i) {
+          double acc = 0.0;
+          for (int d = 0; d < 5; ++d) {
+            const std::int64_t j = i + offsets[d];
+            if (j >= 0 && j < static_cast<std::int64_t>(n))
+              acc += values[d] * x[static_cast<std::size_t>(j)];
+          }
+          y[static_cast<std::size_t>(i)] = acc;
+        });
+    // Normalize to keep values bounded, then feed back.
+    const double norm = parallel::parallel_reduce(
+        pool, 0, static_cast<std::int64_t>(n), 0.0,
+        [&](std::int64_t i, double& acc) {
+          acc += y[static_cast<std::size_t>(i)] *
+                 y[static_cast<std::size_t>(i)];
+        });
+    const double scale = norm > 0.0 ? 1.0 / std::sqrt(norm) : 1.0;
+    parallel::parallel_for(pool, 0, static_cast<std::int64_t>(n),
+                           [&](std::int64_t i) {
+                             x[static_cast<std::size_t>(i)] =
+                                 y[static_cast<std::size_t>(i)] * scale;
+                           });
+  }
+  KernelResult r;
+  r.seconds = timer.elapsed();
+  double sum = 0.0;
+  for (double v : x) sum += v;
+  r.checksum = sum;
+  r.bytes_moved = static_cast<double>(n) * 5.0 * 8.0 * iters;
+  r.flops = static_cast<double>(n) * 10.0 * iters;
+  return r;
+}
+
+KernelResult batched_fft(parallel::ThreadPool& pool, std::size_t n,
+                         int batches) {
+  CLIP_REQUIRE(n >= 4 && (n & (n - 1)) == 0, "fft length must be a power of two >= 4");
+  CLIP_REQUIRE(batches > 0, "fft needs batches");
+  // Interleaved re/im, one signal per batch row.
+  std::vector<double> re(n * batches), im(n * batches, 0.0);
+  for (std::size_t i = 0; i < re.size(); ++i)
+    re[i] = std::sin(0.37 * static_cast<double>(i % n)) +
+            0.5 * std::cos(1.31 * static_cast<double>(i % n));
+
+  const std::size_t log2n = static_cast<std::size_t>(std::round(std::log2(n)));
+
+  Timer timer;
+  parallel::parallel_for(
+      pool, 0, batches,
+      [&](std::int64_t b) {
+        double* r = re.data() + static_cast<std::size_t>(b) * n;
+        double* x = im.data() + static_cast<std::size_t>(b) * n;
+        // Bit-reversal permutation.
+        for (std::size_t i = 1, j = 0; i < n; ++i) {
+          std::size_t bit = n >> 1;
+          for (; j & bit; bit >>= 1) j ^= bit;
+          j ^= bit;
+          if (i < j) {
+            std::swap(r[i], r[j]);
+            std::swap(x[i], x[j]);
+          }
+        }
+        // Iterative butterflies.
+        for (std::size_t s = 1; s <= log2n; ++s) {
+          const std::size_t m = std::size_t{1} << s;
+          const double theta = -2.0 * 3.14159265358979323846 /
+                               static_cast<double>(m);
+          const double wr = std::cos(theta), wi = std::sin(theta);
+          for (std::size_t k = 0; k < n; k += m) {
+            double cr = 1.0, ci = 0.0;
+            for (std::size_t j = 0; j < m / 2; ++j) {
+              const std::size_t a = k + j, bidx = k + j + m / 2;
+              const double tr = cr * r[bidx] - ci * x[bidx];
+              const double ti = cr * x[bidx] + ci * r[bidx];
+              r[bidx] = r[a] - tr;
+              x[bidx] = x[a] - ti;
+              r[a] += tr;
+              x[a] += ti;
+              const double ncr = cr * wr - ci * wi;
+              ci = cr * wi + ci * wr;
+              cr = ncr;
+            }
+          }
+        }
+      },
+      parallel::Schedule::kDynamic, 1);
+
+  KernelResult result;
+  result.seconds = timer.elapsed();
+  double energy_sum = 0.0;
+  for (std::size_t i = 0; i < re.size(); ++i)
+    energy_sum += re[i] * re[i] + im[i] * im[i];
+  result.checksum = energy_sum / static_cast<double>(batches);
+  result.flops = 5.0 * static_cast<double>(n) * log2n * batches;
+  result.bytes_moved = 16.0 * static_cast<double>(n) * log2n * batches;
+  return result;
+}
+
+KernelResult histogram(parallel::ThreadPool& pool, std::uint64_t samples,
+                       std::size_t bins) {
+  CLIP_REQUIRE(samples > 0 && bins > 0, "histogram needs samples and bins");
+  const int team = pool.concurrency();
+  std::vector<std::vector<std::uint64_t>> partial(
+      static_cast<std::size_t>(pool.max_threads()));
+
+  Timer timer;
+  pool.run_region([&](int rank, int team_size) {
+    auto& local = partial[static_cast<std::size_t>(rank)];
+    local.assign(bins, 0);
+    Rng rng(0xB1A5 + static_cast<std::uint64_t>(rank));
+    const std::uint64_t per =
+        samples / static_cast<std::uint64_t>(team_size);
+    for (std::uint64_t s = 0; s < per; ++s) {
+      // A peaked distribution so the histogram has structure.
+      const double u = 0.5 * (rng.uniform() + rng.uniform());
+      ++local[std::min(bins - 1,
+                       static_cast<std::size_t>(u * static_cast<double>(bins)))];
+    }
+  });
+  std::vector<std::uint64_t> merged(bins, 0);
+  for (int rank = 0; rank < team; ++rank)
+    for (std::size_t b = 0; b < bins; ++b)
+      merged[b] += partial[static_cast<std::size_t>(rank)][b];
+
+  KernelResult result;
+  result.seconds = timer.elapsed();
+  // Digest: index of the fullest bin plus total mass (deterministic per
+  // team size via per-rank seeds).
+  std::size_t peak = 0;
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b < bins; ++b) {
+    total += merged[b];
+    if (merged[b] > merged[peak]) peak = b;
+  }
+  result.checksum =
+      static_cast<double>(peak) + static_cast<double>(total) * 1e-12;
+  result.bytes_moved = static_cast<double>(samples) * 8.0;
+  result.flops = static_cast<double>(samples) * 3.0;
+  return result;
+}
+
+const std::vector<KernelInfo>& kernel_registry() {
+  static const std::vector<KernelInfo> registry = {
+      {"stream_triad", "STREAM / memory class"},
+      {"blocked_dgemm", "HPL / compute class"},
+      {"jacobi_stencil", "TeaLeaf / heat conduction"},
+      {"lennard_jones", "miniMD, CoMD / molecular dynamics"},
+      {"monte_carlo_pi", "NPB EP / embarrassingly parallel"},
+      {"spmv", "AMG, CG / sparse solvers"},
+      {"batched_fft", "HPCC-FFT, NPB FT / spectral methods"},
+      {"histogram", "NPB IS / integer sort & binning"},
+  };
+  return registry;
+}
+
+KernelResult run_kernel_by_name(parallel::ThreadPool& pool,
+                                const std::string& name) {
+  if (name == "stream_triad") return stream_triad(pool, 1 << 18, 20);
+  if (name == "blocked_dgemm") return blocked_dgemm(pool, 192);
+  if (name == "jacobi_stencil") return jacobi_stencil(pool, 256, 30);
+  if (name == "lennard_jones") return lennard_jones(pool, 6, 3);
+  if (name == "monte_carlo_pi") return monte_carlo_pi(pool, 400000);
+  if (name == "spmv") return spmv(pool, 1 << 16, 25);
+  if (name == "batched_fft") return batched_fft(pool, 1 << 10, 48);
+  if (name == "histogram") return histogram(pool, 600000, 256);
+  CLIP_REQUIRE(false, "unknown kernel: " + name);
+  return {};
+}
+
+}  // namespace clip::workloads

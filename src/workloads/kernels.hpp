@@ -1,0 +1,77 @@
+// Real runnable computational kernels.
+//
+// The cluster-scale evaluation runs on the analytic simulator, but the
+// *mechanisms* CLIP controls — thread concurrency and affinity — are also
+// exercised for real: these kernels are miniature analogues of the paper's
+// benchmarks (STREAM triad ≈ STREAM, blocked DGEMM ≈ HPL/compute class,
+// Jacobi stencil ≈ TeaLeaf, Lennard-Jones ≈ miniMD/CoMD, Monte-Carlo ≈ EP,
+// SpMV ≈ AMG/CG) running on the clip::parallel thread pool. Each returns a
+// checksum so tests can verify that throttling/affinity never change
+// results.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace clip::workloads {
+
+struct KernelResult {
+  double seconds = 0.0;       ///< wall time of the timed section
+  double checksum = 0.0;      ///< result digest for correctness checks
+  double bytes_moved = 0.0;   ///< modeled memory traffic
+  double flops = 0.0;         ///< modeled floating point operations
+};
+
+/// STREAM triad: a[i] = b[i] + alpha * c[i], `iters` sweeps over n elements.
+[[nodiscard]] KernelResult stream_triad(parallel::ThreadPool& pool,
+                                        std::size_t n, int iters);
+
+/// Blocked DGEMM C += A*B with square matrices of order n.
+[[nodiscard]] KernelResult blocked_dgemm(parallel::ThreadPool& pool,
+                                         std::size_t n);
+
+/// 5-point Jacobi heat relaxation on an n x n grid (TeaLeaf analogue).
+[[nodiscard]] KernelResult jacobi_stencil(parallel::ThreadPool& pool,
+                                          std::size_t n, int iters);
+
+/// Cut-off Lennard-Jones force evaluation on a cubic lattice of n^3 atoms
+/// using cell lists (miniMD/CoMD analogue).
+[[nodiscard]] KernelResult lennard_jones(parallel::ThreadPool& pool,
+                                         std::size_t n, int steps);
+
+/// Monte-Carlo pi estimation with `samples` draws (EP analogue).
+[[nodiscard]] KernelResult monte_carlo_pi(parallel::ThreadPool& pool,
+                                          std::uint64_t samples);
+
+/// SpMV y = A x on a synthetic 5-diagonal sparse matrix of order n
+/// (AMG/CG analogue), `iters` products.
+[[nodiscard]] KernelResult spmv(parallel::ThreadPool& pool, std::size_t n,
+                                int iters);
+
+/// Iterative radix-2 complex FFT over `batches` independent signals of
+/// length n (power of two) — HPCC-FFT analogue; parallel over batches.
+[[nodiscard]] KernelResult batched_fft(parallel::ThreadPool& pool,
+                                       std::size_t n, int batches);
+
+/// Histogram of `samples` pseudo-random values into `bins` buckets using
+/// worker-private partial histograms merged at the end (IS / integer-sort
+/// analogue: bandwidth-light, scatter-heavy).
+[[nodiscard]] KernelResult histogram(parallel::ThreadPool& pool,
+                                     std::uint64_t samples,
+                                     std::size_t bins);
+
+/// Kernel registry entry for the demo driver.
+struct KernelInfo {
+  std::string name;
+  std::string models;  ///< which paper benchmark it stands in for
+};
+[[nodiscard]] const std::vector<KernelInfo>& kernel_registry();
+
+/// Run a registry kernel by name with a small default problem size.
+[[nodiscard]] KernelResult run_kernel_by_name(parallel::ThreadPool& pool,
+                                              const std::string& name);
+
+}  // namespace clip::workloads

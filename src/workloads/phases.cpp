@@ -1,0 +1,140 @@
+#include "workloads/phases.hpp"
+
+#include <cmath>
+#include <optional>
+
+#include "util/check.hpp"
+
+namespace clip::workloads {
+
+WorkloadSignature PhasedWorkload::blended() const {
+  validate();
+  WorkloadSignature blend = phases.front().signature;
+  blend.name = name;
+  blend.parameters = parameters;
+  blend.node_base_time_s = node_base_time_s;
+  auto avg = [&](auto field) {
+    double acc = 0.0;
+    for (const auto& p : phases) acc += p.weight * (p.signature.*field);
+    return acc;
+  };
+  blend.serial_fraction = avg(&WorkloadSignature::serial_fraction);
+  blend.memory_boundedness = avg(&WorkloadSignature::memory_boundedness);
+  blend.bw_per_core_gbps = avg(&WorkloadSignature::bw_per_core_gbps);
+  blend.sync_coeff_s = avg(&WorkloadSignature::sync_coeff_s);
+  blend.shared_data_fraction = avg(&WorkloadSignature::shared_data_fraction);
+  blend.compute_intensity = avg(&WorkloadSignature::compute_intensity);
+  blend.ipc = avg(&WorkloadSignature::ipc);
+  blend.icache_pressure = avg(&WorkloadSignature::icache_pressure);
+  blend.write_fraction = avg(&WorkloadSignature::write_fraction);
+  blend.validate();
+  return blend;
+}
+
+WorkloadSignature PhasedWorkload::phase_signature(std::size_t index) const {
+  validate();
+  CLIP_REQUIRE(index < phases.size(), "phase index out of range");
+  WorkloadSignature s = phases[index].signature;
+  s.name = name + ":" + phases[index].name;
+  s.parameters = parameters;
+  s.node_base_time_s = node_base_time_s * phases[index].weight;
+  s.validate();
+  return s;
+}
+
+void PhasedWorkload::validate() const {
+  CLIP_REQUIRE(!name.empty(), "phased workload needs a name");
+  CLIP_REQUIRE(node_base_time_s > 0.0, "base time must be positive");
+  CLIP_REQUIRE(phases.size() >= 2, "a phased workload has >= 2 phases");
+  double total = 0.0;
+  for (const auto& p : phases) {
+    CLIP_REQUIRE(p.weight > 0.0, "phase weights must be positive");
+    total += p.weight;
+  }
+  CLIP_REQUIRE(std::fabs(total - 1.0) < 1e-9, "phase weights must sum to 1");
+}
+
+namespace {
+
+WorkloadSignature solver_phase(double mem_bound, double bw, double ci,
+                               double ipc) {
+  WorkloadSignature s;
+  s.name = "solver";
+  s.serial_fraction = 0.004;
+  s.memory_boundedness = mem_bound;
+  s.bw_per_core_gbps = bw;
+  s.sync_coeff_s = 0.0;
+  s.shared_data_fraction = 0.12;
+  s.compute_intensity = ci;
+  s.ipc = ipc;
+  s.icache_pressure = 0.10;
+  s.write_fraction = 0.30;
+  return s;
+}
+
+WorkloadSignature exchange_phase(double bw, double sync) {
+  // Boundary exchange: bandwidth-saturated, contended, low IPC — the
+  // exch_qbc character that stalls BT-MZ's all-core scalability.
+  WorkloadSignature s;
+  s.name = "exchange";
+  s.serial_fraction = 0.03;
+  s.memory_boundedness = 0.85;
+  s.bw_per_core_gbps = bw;
+  s.sync_coeff_s = sync;
+  s.shared_data_fraction = 0.45;
+  s.compute_intensity = 0.50;
+  s.ipc = 0.8;
+  s.icache_pressure = 0.05;
+  s.write_fraction = 0.50;
+  return s;
+}
+
+std::vector<PhasedWorkload> build() {
+  std::vector<PhasedWorkload> v;
+
+  // BT-MZ: 80% solver (scales), 20% exch_qbc (saturates + contends).
+  v.push_back({.name = "BT-MZ-phased",
+               .parameters = "C",
+               .node_base_time_s = 340.0,
+               .phases = {{"solve", 0.80, solver_phase(0.38, 4.6, 0.88, 2.0)},
+                          {"exch_qbc", 0.20, exchange_phase(9.0, 3.0e-4)}}});
+
+  // LU-MZ: 75/25 with a slightly lighter exchange.
+  v.push_back({.name = "LU-MZ-phased",
+               .parameters = "C",
+               .node_base_time_s = 300.0,
+               .phases = {{"ssor", 0.75, solver_phase(0.34, 4.0, 0.84, 1.8)},
+                          {"exchange", 0.25, exchange_phase(8.0, 2.2e-4)}}});
+
+  // SP-MZ: 70/30 with a heavy, contended exchange — the parabolic driver.
+  v.push_back({.name = "SP-MZ-phased",
+               .parameters = "C",
+               .node_base_time_s = 320.0,
+               .phases = {{"solve", 0.70, solver_phase(0.30, 4.2, 0.82, 1.7)},
+                          {"exch_qbc", 0.30, exchange_phase(9.5, 4.0e-4)}}});
+
+  // TeaLeaf: CG solve (memory heavy but regular) + halo update (contended).
+  v.push_back({.name = "TeaLeaf-phased",
+               .parameters = "Tea10.in",
+               .node_base_time_s = 280.0,
+               .phases = {{"cg_solve", 0.72, solver_phase(0.55, 6.5, 0.70, 1.3)},
+                          {"halo", 0.28, exchange_phase(8.5, 3.5e-4)}}});
+
+  for (const auto& p : v) p.validate();
+  return v;
+}
+
+}  // namespace
+
+const std::vector<PhasedWorkload>& phased_benchmarks() {
+  static const std::vector<PhasedWorkload> v = build();
+  return v;
+}
+
+std::optional<PhasedWorkload> find_phased(const std::string& name) {
+  for (const auto& p : phased_benchmarks())
+    if (p.name == name) return p;
+  return std::nullopt;
+}
+
+}  // namespace clip::workloads

@@ -1,0 +1,56 @@
+// Phased workloads — applications whose iterations alternate between
+// phases with different resource characters.
+//
+// Paper §V-B1: "The stagnant scalability of BT-MZ ... is due to function
+// exch_qbc ... Thus, we change the concurrency setting phase-by-phase for
+// the BT benchmark to increase performance." A single configuration must
+// compromise between a compute-dominated solver phase (scales well) and a
+// boundary-exchange phase (saturates early, even degrades); per-phase
+// throttling removes the compromise.
+//
+// A PhasedWorkload is a weighted sequence of WorkloadSignatures sharing one
+// problem: phase i contributes `weight_i` of the single-core work. The flat
+// signature a phase-blind scheduler sees is the weighted blend.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "workloads/signature.hpp"
+
+namespace clip::workloads {
+
+struct Phase {
+  std::string name;
+  double weight = 1.0;  ///< fraction of total single-core work (sums to 1)
+  WorkloadSignature signature;  ///< node_base_time_s is ignored; weight rules
+};
+
+struct PhasedWorkload {
+  std::string name;
+  std::string parameters;
+  double node_base_time_s = 100.0;  ///< total single-core work
+  std::vector<Phase> phases;
+
+  /// Equal-weight blend the phase-blind pipeline profiles: a single flat
+  /// signature whose parameters are the work-weighted averages. This is
+  /// what a whole-program profile measures on real hardware.
+  [[nodiscard]] WorkloadSignature blended() const;
+
+  /// The signature of one phase scaled to its work share, ready for the
+  /// standard node-time model.
+  [[nodiscard]] WorkloadSignature phase_signature(std::size_t index) const;
+
+  void validate() const;
+};
+
+/// Phased versions of the multi-zone paper benchmarks: a dominant solver
+/// phase plus a boundary-exchange phase (exch_qbc-like), calibrated so the
+/// blend matches the corresponding flat catalog entry's class.
+[[nodiscard]] const std::vector<PhasedWorkload>& phased_benchmarks();
+
+[[nodiscard]] std::optional<PhasedWorkload> find_phased(
+    const std::string& name);
+
+}  // namespace clip::workloads

@@ -1,0 +1,60 @@
+#include "workloads/random.hpp"
+
+#include <atomic>
+#include <string>
+
+namespace clip::workloads {
+
+WorkloadSignature random_signature(Rng& rng) {
+  WorkloadSignature w;
+  static std::atomic<int> counter{0};
+  w.name = "random-" + std::to_string(counter.fetch_add(1));
+  w.parameters = "fuzz";
+  w.node_base_time_s = rng.uniform(30.0, 500.0);
+  w.serial_fraction = rng.uniform(0.0, 0.05);
+  w.fork_overhead_s = rng.uniform(0.0, 3e-3);
+  w.shared_data_fraction = rng.uniform(0.0, 0.5);
+  w.compute_intensity = rng.uniform(0.4, 1.1);
+  w.ipc = rng.uniform(0.5, 3.0);
+  w.icache_pressure = rng.uniform(0.0, 0.3);
+  w.write_fraction = rng.uniform(0.1, 0.6);
+  w.comm_latency_s = rng.uniform(0.0, 0.05);
+  w.comm_surface_coeff = rng.uniform(0.0, 0.05);
+  w.has_predefined_process_counts = rng.uniform() < 0.5;
+
+  const double archetype = rng.uniform();
+  if (archetype < 0.34) {
+    // Compute-bound: little traffic, no contention.
+    w.memory_boundedness = rng.uniform(0.0, 0.15);
+    w.bw_per_core_gbps =
+        w.memory_boundedness > 0.0 ? rng.uniform(0.2, 2.0) : 0.0;
+    w.sync_coeff_s = 0.0;
+    w.expected_class = ScalabilityClass::kLinear;
+  } else if (archetype < 0.67) {
+    // Bandwidth-saturating.
+    w.memory_boundedness = rng.uniform(0.35, 0.9);
+    w.bw_per_core_gbps = rng.uniform(4.0, 11.0);
+    w.sync_coeff_s = 0.0;
+    w.expected_class = ScalabilityClass::kLogarithmic;
+  } else {
+    // Contended.
+    w.memory_boundedness = rng.uniform(0.2, 0.7);
+    w.bw_per_core_gbps = rng.uniform(3.0, 9.0);
+    w.sync_coeff_s = rng.uniform(1e-4, 5e-4);
+    w.sync_exponent = rng.uniform(1.7, 2.3);
+    w.expected_class = ScalabilityClass::kParabolic;
+  }
+  w.validate();
+  return w;
+}
+
+std::vector<WorkloadSignature> random_signatures(std::uint64_t seed,
+                                                 int count) {
+  Rng rng(seed);
+  std::vector<WorkloadSignature> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) out.push_back(random_signature(rng));
+  return out;
+}
+
+}  // namespace clip::workloads

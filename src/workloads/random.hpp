@@ -1,0 +1,26 @@
+// Seeded random workload generation for property-based testing.
+//
+// The catalog covers the paper's benchmarks; these generators sample the
+// whole physically valid signature space so the test suite can assert that
+// the simulator's invariants and CLIP's guarantees (budget respect,
+// feasible decisions) hold for *arbitrary* workloads, not just calibrated
+// ones.
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+#include "workloads/signature.hpp"
+
+namespace clip::workloads {
+
+/// Draw a random valid signature. The distribution covers all three
+/// scalability classes: ~1/3 compute-bound, ~1/3 bandwidth-saturating,
+/// ~1/3 with a contention term.
+[[nodiscard]] WorkloadSignature random_signature(Rng& rng);
+
+/// A batch of `count` signatures from one seed (deterministic).
+[[nodiscard]] std::vector<WorkloadSignature> random_signatures(
+    std::uint64_t seed, int count);
+
+}  // namespace clip::workloads

@@ -1,0 +1,57 @@
+#include "workloads/signature.hpp"
+
+#include "util/check.hpp"
+
+namespace clip::workloads {
+
+const char* to_string(ScalabilityClass c) {
+  switch (c) {
+    case ScalabilityClass::kLinear:
+      return "linear";
+    case ScalabilityClass::kLogarithmic:
+      return "logarithmic";
+    case ScalabilityClass::kParabolic:
+      return "parabolic";
+  }
+  return "?";
+}
+
+const char* to_string(WorkloadPattern p) {
+  switch (p) {
+    case WorkloadPattern::kCompute:
+      return "compute";
+    case WorkloadPattern::kComputeMemory:
+      return "compute/memory";
+    case WorkloadPattern::kMemory:
+      return "memory";
+  }
+  return "?";
+}
+
+void WorkloadSignature::validate() const {
+  CLIP_REQUIRE(!name.empty(), "workload needs a name");
+  CLIP_REQUIRE(node_base_time_s > 0.0, "base time must be positive");
+  CLIP_REQUIRE(serial_fraction >= 0.0 && serial_fraction < 1.0,
+               "serial fraction in [0,1)");
+  CLIP_REQUIRE(memory_boundedness >= 0.0 && memory_boundedness <= 1.0,
+               "memory boundedness in [0,1]");
+  CLIP_REQUIRE(bw_per_core_gbps >= 0.0, "bandwidth demand must be >= 0");
+  CLIP_REQUIRE(memory_boundedness == 0.0 || bw_per_core_gbps > 0.0,
+               "memory-bound work requires a bandwidth demand");
+  CLIP_REQUIRE(fork_overhead_s >= 0.0, "fork overhead must be >= 0");
+  CLIP_REQUIRE(sync_coeff_s >= 0.0, "sync coefficient must be >= 0");
+  CLIP_REQUIRE(sync_exponent >= 1.0, "sync exponent must be >= 1");
+  CLIP_REQUIRE(shared_data_fraction >= 0.0 && shared_data_fraction <= 1.0,
+               "shared data fraction in [0,1]");
+  CLIP_REQUIRE(compute_intensity > 0.0 && compute_intensity <= 1.2,
+               "compute intensity in (0,1.2]");
+  CLIP_REQUIRE(ipc > 0.0 && ipc <= 8.0, "IPC in (0,8]");
+  CLIP_REQUIRE(icache_pressure >= 0.0 && icache_pressure <= 1.0,
+               "icache pressure in [0,1]");
+  CLIP_REQUIRE(write_fraction >= 0.0 && write_fraction <= 1.0,
+               "write fraction in [0,1]");
+  CLIP_REQUIRE(comm_latency_s >= 0.0, "comm latency must be >= 0");
+  CLIP_REQUIRE(comm_surface_coeff >= 0.0, "comm surface coeff must be >= 0");
+}
+
+}  // namespace clip::workloads

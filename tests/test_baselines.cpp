@@ -1,0 +1,212 @@
+// Unit tests for the comparison schedulers of paper §V-C: All-In,
+// Lower Limit, Coordinated, Oracle, and the CLIP adapter.
+#include <gtest/gtest.h>
+
+#include "baselines/all_in.hpp"
+#include "baselines/clip_adapter.hpp"
+#include "baselines/coordinated.hpp"
+#include "baselines/lower_limit.hpp"
+#include "baselines/oracle.hpp"
+#include "sim/executor.hpp"
+#include "util/check.hpp"
+#include "workloads/catalog.hpp"
+
+namespace clip::baselines {
+namespace {
+
+sim::MeterOptions no_noise() {
+  sim::MeterOptions m;
+  m.enabled = false;
+  return m;
+}
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  sim::SimExecutor ex_{sim::MachineSpec{}, no_noise()};
+};
+
+// ------------------------------------------------------------------ All-In ----
+
+TEST_F(BaselineTest, AllInAlwaysUsesEveryNodeAndCore) {
+  AllInScheduler s(ex_.spec());
+  const auto w = *workloads::find_benchmark("BT-MZ");
+  for (double budget : {300.0, 800.0, 2000.0}) {
+    const sim::ClusterConfig cfg = s.plan(w, Watts(budget));
+    EXPECT_EQ(cfg.nodes, 8);
+    EXPECT_EQ(cfg.node.threads, 24);
+  }
+}
+
+TEST_F(BaselineTest, AllInFixedMemoryAllocation) {
+  AllInScheduler s(ex_.spec());
+  const auto w = *workloads::find_benchmark("CoMD");
+  const sim::ClusterConfig cfg = s.plan(w, Watts(800.0));
+  EXPECT_DOUBLE_EQ(cfg.node.mem_cap.value(), 30.0);
+  EXPECT_NEAR(cfg.node.cpu_cap.value(), 800.0 / 8 - 30.0, 1e-9);
+}
+
+TEST_F(BaselineTest, AllInCpuCapFloorsAtOneWatt) {
+  AllInScheduler s(ex_.spec());
+  const auto w = *workloads::find_benchmark("CoMD");
+  const sim::ClusterConfig cfg = s.plan(w, Watts(100.0));
+  EXPECT_GE(cfg.node.cpu_cap.value(), 1.0);
+}
+
+TEST_F(BaselineTest, AllInPlanIsExecutableAtAnyBudget) {
+  AllInScheduler s(ex_.spec());
+  const auto w = *workloads::find_benchmark("TeaLeaf");
+  for (double budget : {300.0, 500.0, 1600.0})
+    EXPECT_NO_THROW((void)ex_.run_exact(w, s.plan(w, Watts(budget))));
+}
+
+// ------------------------------------------------------------- Lower Limit ----
+
+TEST_F(BaselineTest, LowerLimitDropsNodesBelowFloor) {
+  LowerLimitScheduler s(ex_.spec());
+  const auto w = *workloads::find_benchmark("CoMD");
+  EXPECT_EQ(s.plan(w, Watts(1600.0)).nodes, 8);
+  EXPECT_EQ(s.plan(w, Watts(1000.0)).nodes, 5);  // floor(1000/180)
+  EXPECT_EQ(s.plan(w, Watts(600.0)).nodes, 3);
+  EXPECT_EQ(s.plan(w, Watts(100.0)).nodes, 1);  // never below one node
+}
+
+TEST_F(BaselineTest, LowerLimitNodeShareClearsFloorWhenPossible) {
+  LowerLimitScheduler s(ex_.spec());
+  const auto w = *workloads::find_benchmark("CoMD");
+  const sim::ClusterConfig cfg = s.plan(w, Watts(700.0));
+  EXPECT_GE(700.0 / cfg.nodes, 180.0);
+}
+
+TEST_F(BaselineTest, LowerLimitCustomFloor) {
+  LowerLimitScheduler s(ex_.spec(), Watts(100.0));
+  const auto w = *workloads::find_benchmark("CoMD");
+  EXPECT_EQ(s.plan(w, Watts(600.0)).nodes, 6);
+}
+
+// ------------------------------------------------------------- Coordinated ----
+
+TEST_F(BaselineTest, CoordinatedAlwaysMaxConcurrency) {
+  CoordinatedScheduler s(ex_);
+  for (const char* name : {"SP-MZ", "TeaLeaf", "CoMD"}) {
+    const auto w = *workloads::find_benchmark(name);
+    EXPECT_EQ(s.plan(w, Watts(800.0)).node.threads, 24) << name;
+  }
+}
+
+TEST_F(BaselineTest, CoordinatedUsesAppSpecificFloor) {
+  CoordinatedScheduler s(ex_);
+  // A light compute app has a lower floor than a memory-heavy one, so the
+  // same budget affords more nodes.
+  const auto light = *workloads::find_benchmark("miniMD");
+  const auto heavy = *workloads::find_benchmark("TeaLeaf");
+  const int nodes_light = s.plan(light, Watts(500.0)).nodes;
+  const int nodes_heavy = s.plan(heavy, Watts(500.0)).nodes;
+  EXPECT_GE(nodes_light, nodes_heavy);
+}
+
+TEST_F(BaselineTest, CoordinatedSplitsPowerByDemand) {
+  CoordinatedScheduler s(ex_);
+  const auto mem = *workloads::find_benchmark("TeaLeaf");
+  const auto cpu = *workloads::find_benchmark("miniMD");
+  const sim::ClusterConfig mem_cfg = s.plan(mem, Watts(800.0));
+  const sim::ClusterConfig cpu_cfg = s.plan(cpu, Watts(800.0));
+  EXPECT_GT(mem_cfg.node.mem_cap.value(), cpu_cfg.node.mem_cap.value());
+}
+
+TEST_F(BaselineTest, CoordinatedHonorsPredefinedCounts) {
+  CoordinatedScheduler s(ex_);
+  const auto w = *workloads::find_benchmark("BT-MZ");  // predefined
+  for (double budget : {400.0, 600.0, 900.0, 1500.0}) {
+    const int nodes = s.plan(w, Watts(budget)).nodes;
+    EXPECT_TRUE(nodes == 1 || nodes == 2 || nodes == 4 || nodes == 8)
+        << budget;
+  }
+}
+
+// ------------------------------------------------------------------ Oracle ----
+
+TEST_F(BaselineTest, OracleRespectsBudget) {
+  OracleScheduler s(ex_);
+  const auto w = *workloads::find_benchmark("SP-MZ");
+  const sim::ClusterConfig cfg = s.plan(w, Watts(800.0));
+  const sim::Measurement m = ex_.run_exact(w, cfg);
+  EXPECT_LE(m.avg_power.value(), 800.0 + 1e-6);
+}
+
+TEST_F(BaselineTest, OracleBeatsOrMatchesEveryBaseline) {
+  OracleScheduler oracle(ex_);
+  AllInScheduler all_in(ex_.spec());
+  LowerLimitScheduler lower(ex_.spec());
+  CoordinatedScheduler coord(ex_);
+  const auto w = *workloads::find_benchmark("TeaLeaf");
+  for (double budget : {600.0, 1000.0}) {
+    const double t_oracle =
+        ex_.run_exact(w, oracle.plan(w, Watts(budget))).time.value();
+    for (PowerScheduler* s :
+         std::initializer_list<PowerScheduler*>{&all_in, &lower, &coord}) {
+      const double t =
+          ex_.run_exact(w, s->plan(w, Watts(budget))).time.value();
+      EXPECT_LE(t_oracle, t * 1.0001) << s->name() << " @" << budget;
+    }
+  }
+}
+
+TEST_F(BaselineTest, OracleSearchCostIsLarge) {
+  // The whole point of CLIP: the oracle pays hundreds of executions.
+  OracleScheduler s(ex_);
+  const auto w = *workloads::find_benchmark("SP-MZ");
+  (void)s.plan(w, Watts(800.0));
+  EXPECT_GT(s.last_search_cost(), 100);
+}
+
+TEST_F(BaselineTest, OracleParabolicPicksThrottledConcurrency) {
+  OracleScheduler s(ex_);
+  const auto w = *workloads::find_benchmark("miniAero");
+  const sim::ClusterConfig cfg = s.plan(w, Watts(1200.0));
+  EXPECT_LT(cfg.node.threads, 24);
+}
+
+TEST_F(BaselineTest, OracleHonorsPredefinedCounts) {
+  OracleScheduler s(ex_);
+  const auto w = *workloads::find_benchmark("LU-MZ");
+  const int nodes = s.plan(w, Watts(700.0)).nodes;
+  EXPECT_TRUE(nodes == 1 || nodes == 2 || nodes == 4 || nodes == 8);
+}
+
+// ------------------------------------------------------------ CLIP adapter ----
+
+TEST_F(BaselineTest, ClipAdapterPlansThroughScheduler) {
+  ClipAdapter clip(ex_, workloads::training_benchmarks());
+  EXPECT_EQ(clip.name(), "CLIP");
+  const auto w = *workloads::find_benchmark("SP-MZ");
+  const sim::ClusterConfig cfg = clip.plan(w, Watts(900.0));
+  EXPECT_LT(cfg.node.threads, 24);  // parabolic throttled
+  const sim::Measurement m = ex_.run_exact(w, cfg);
+  EXPECT_LE(m.avg_power.value(), 900.0 * 1.01);
+}
+
+TEST_F(BaselineTest, SchedulerNamesAreDistinct) {
+  AllInScheduler a(ex_.spec());
+  LowerLimitScheduler l(ex_.spec());
+  CoordinatedScheduler c(ex_);
+  OracleScheduler o(ex_);
+  EXPECT_EQ(a.name(), "All-In");
+  EXPECT_EQ(l.name(), "Lower Limit");
+  EXPECT_EQ(c.name(), "Coordinated");
+  EXPECT_EQ(o.name(), "Oracle");
+}
+
+TEST_F(BaselineTest, AllMethodsRejectNonPositiveBudget) {
+  AllInScheduler a(ex_.spec());
+  LowerLimitScheduler l(ex_.spec());
+  CoordinatedScheduler c(ex_);
+  OracleScheduler o(ex_);
+  const auto w = *workloads::find_benchmark("CoMD");
+  EXPECT_THROW((void)a.plan(w, Watts(0.0)), PreconditionError);
+  EXPECT_THROW((void)l.plan(w, Watts(0.0)), PreconditionError);
+  EXPECT_THROW((void)c.plan(w, Watts(0.0)), PreconditionError);
+  EXPECT_THROW((void)o.plan(w, Watts(0.0)), PreconditionError);
+}
+
+}  // namespace
+}  // namespace clip::baselines

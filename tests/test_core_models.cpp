@@ -1,0 +1,319 @@
+// Unit tests for CLIP's models: inflection predictor (MLR), performance
+// predictor (Eqs. 1–3), power estimator and the acceptable power range.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/classifier.hpp"
+#include "core/inflection.hpp"
+#include "core/power_range.hpp"
+#include "core/predictor.hpp"
+#include "core/profiler.hpp"
+#include "sim/executor.hpp"
+#include "stats/metrics.hpp"
+#include "util/check.hpp"
+#include "workloads/catalog.hpp"
+
+namespace clip::core {
+namespace {
+
+sim::MeterOptions no_noise() {
+  sim::MeterOptions m;
+  m.enabled = false;
+  return m;
+}
+
+class ModelTest : public ::testing::Test {
+ protected:
+  sim::SimExecutor ex_{sim::MachineSpec{}, no_noise()};
+  SmartProfiler profiler_{ex_};
+  ScalabilityClassifier classifier_;
+
+  ProfileData profile(const std::string& name) {
+    return profiler_.profile(*workloads::find_benchmark(name));
+  }
+};
+
+// -------------------------------------------------------------- inflection ----
+
+TEST_F(ModelTest, GroundTruthInflectionParabolicIsThePeak) {
+  const auto w = *workloads::find_benchmark("SP-MZ");
+  const double np = measure_inflection(
+      ex_, w, workloads::ScalabilityClass::kParabolic,
+      parallel::AffinityPolicy::kScatter);
+  // Exhaustive search earlier found the peak at 14 for SP-MZ.
+  EXPECT_GE(np, 10.0);
+  EXPECT_LE(np, 16.0);
+}
+
+TEST_F(ModelTest, GroundTruthInflectionLogarithmicIsTheKnee) {
+  const auto w = *workloads::find_benchmark("BT-MZ");
+  const double np = measure_inflection(
+      ex_, w, workloads::ScalabilityClass::kLogarithmic,
+      parallel::AffinityPolicy::kScatter);
+  // BT-MZ saturates around bw_eff / bw_per_core ≈ 10.
+  EXPECT_GE(np, 6.0);
+  EXPECT_LE(np, 16.0);
+  EXPECT_EQ(static_cast<int>(np) % 2, 0);  // reported even
+}
+
+TEST_F(ModelTest, MeasureInflectionRejectsLinearClass) {
+  const auto w = *workloads::find_benchmark("EP");
+  EXPECT_THROW((void)measure_inflection(
+                   ex_, w, workloads::ScalabilityClass::kLinear,
+                   parallel::AffinityPolicy::kCompact),
+               PreconditionError);
+}
+
+TEST_F(ModelTest, TrainingSetCoversNonLinearClassesWithTruth) {
+  const auto samples = build_training_set(profiler_, classifier_,
+                                          workloads::training_benchmarks());
+  EXPECT_EQ(samples.size(), workloads::training_benchmarks().size());
+  int with_truth = 0;
+  for (const auto& s : samples) {
+    EXPECT_EQ(s.features.size(), 8u);
+    if (s.cls != workloads::ScalabilityClass::kLinear) {
+      EXPECT_GE(s.inflection, 2.0) << s.name;
+      ++with_truth;
+    }
+  }
+  EXPECT_GE(with_truth, 10);
+}
+
+TEST_F(ModelTest, PredictorTrainsAndPredictsInRange) {
+  const auto samples = build_training_set(profiler_, classifier_,
+                                          workloads::training_benchmarks());
+  InflectionPredictor pred;
+  pred.train(samples);
+  EXPECT_TRUE(pred.is_trained(workloads::ScalabilityClass::kLogarithmic));
+  EXPECT_TRUE(pred.is_trained(workloads::ScalabilityClass::kParabolic));
+
+  for (const char* name : {"BT-MZ", "LU-MZ", "SP-MZ", "TeaLeaf"}) {
+    const ProfileData p = profile(name);
+    const auto cls = classifier_.classify(p);
+    const int np = pred.predict(p, cls, 24);
+    EXPECT_GE(np, 2) << name;
+    EXPECT_LE(np, 24) << name;
+    EXPECT_EQ(np % 2, 0) << name << " must be floored to even";
+  }
+}
+
+TEST_F(ModelTest, PredictionsTrackGroundTruthAcrossPaperSet) {
+  // The Fig. 7 criterion: predictions should be accurate for most
+  // applications (the paper tolerates underestimates on two of them).
+  const auto samples = build_training_set(profiler_, classifier_,
+                                          workloads::training_benchmarks());
+  InflectionPredictor pred;
+  pred.train(samples);
+  std::vector<double> truth, predicted;
+  for (const auto& w : workloads::paper_benchmarks()) {
+    const ProfileData p = profiler_.profile(w);
+    const auto cls = classifier_.classify(p);
+    if (cls == workloads::ScalabilityClass::kLinear) continue;
+    truth.push_back(
+        measure_inflection(ex_, w, cls, p.preferred_affinity));
+    predicted.push_back(pred.predict(p, cls, 24));
+  }
+  ASSERT_GE(truth.size(), 6u);
+  EXPECT_LE(stats::mean_absolute_error(truth, predicted), 4.0);
+}
+
+TEST(InflectionPredictor, PredictUntrainedThrows) {
+  InflectionPredictor pred;
+  ProfileData p;
+  p.all_core.events.read_bw_gbps = 1.0;
+  EXPECT_THROW(
+      (void)pred.predict(p, workloads::ScalabilityClass::kLogarithmic, 24),
+      PreconditionError);
+}
+
+TEST(InflectionPredictor, PredictLinearClassThrows) {
+  InflectionPredictor pred;
+  ProfileData p;
+  EXPECT_THROW(
+      (void)pred.predict(p, workloads::ScalabilityClass::kLinear, 24),
+      PreconditionError);
+}
+
+TEST(InflectionPredictor, TooFewSamplesPerClassSkipsTraining) {
+  InflectionPredictor pred;
+  std::vector<TrainingSample> samples(2);
+  for (auto& s : samples) {
+    s.features.assign(8, 1.0);
+    s.cls = workloads::ScalabilityClass::kParabolic;
+    s.inflection = 12.0;
+  }
+  pred.train(samples);
+  EXPECT_FALSE(pred.is_trained(workloads::ScalabilityClass::kParabolic));
+}
+
+// ---------------------------------------------------------- perf predictor ----
+
+TEST_F(ModelTest, LinearPredictionInterpolatesSamples) {
+  const ProfileData p = profile("CoMD");
+  const PerfPredictor pred(ex_.spec(), p,
+                           workloads::ScalabilityClass::kLinear);
+  // Exact at the two sample points.
+  EXPECT_NEAR(pred.predict_time(12).value(), p.half_core.time.value(),
+              1e-9);
+  EXPECT_NEAR(pred.predict_time(24).value(), p.all_core.time.value(),
+              1e-9);
+  // Monotone decreasing between them.
+  EXPECT_GT(pred.predict_time(8).value(), pred.predict_time(16).value());
+}
+
+TEST_F(ModelTest, LinearPredictionAccurateAgainstSimulator) {
+  const auto w = *workloads::find_benchmark("CoMD");
+  const ProfileData p = profiler_.profile(w);
+  const PerfPredictor pred(ex_.spec(), p,
+                           workloads::ScalabilityClass::kLinear);
+  sim::ClusterConfig cfg;
+  cfg.nodes = 1;
+  cfg.node.affinity = parallel::AffinityPolicy::kScatter;
+  for (int t : {4, 8, 16, 20}) {
+    cfg.node.threads = t;
+    const double actual = ex_.run_exact(w, cfg).time.value();
+    const double predicted = pred.predict_time(t).value();
+    EXPECT_NEAR(predicted / actual, 1.0, 0.15) << "t=" << t;
+  }
+}
+
+TEST_F(ModelTest, NonLinearPredictionRequiresInflection) {
+  const ProfileData p = profile("BT-MZ");
+  EXPECT_THROW(PerfPredictor(ex_.spec(), p,
+                             workloads::ScalabilityClass::kLogarithmic, 0),
+               PreconditionError);
+}
+
+TEST_F(ModelTest, LogarithmicSecondSegmentHasReducedSlope) {
+  const auto w = *workloads::find_benchmark("BT-MZ");
+  ProfileData p = profiler_.profile(w);
+  profiler_.validate_at(w, p, 10);
+  const PerfPredictor pred(
+      ex_.spec(), p, workloads::ScalabilityClass::kLogarithmic, 10);
+  // Performance still improves past N_P but at a visibly lower rate.
+  const double gain_before = pred.predict_time(6).value() /
+                             pred.predict_time(8).value();
+  const double gain_after = pred.predict_time(18).value() /
+                            pred.predict_time(20).value();
+  EXPECT_GT(gain_before, gain_after);
+  EXPECT_GE(gain_after, 0.99);  // never predicts a slowdown for log apps
+}
+
+TEST_F(ModelTest, ParabolicGuardAgainstInvertedFit) {
+  // Validation at a predicted N_P past the true peak must not produce an
+  // increasing-time "scaling" fit (the TeaLeaf bug class).
+  const auto w = *workloads::find_benchmark("TeaLeaf");
+  ProfileData p = profiler_.profile(w);
+  profiler_.validate_at(w, p, 14);  // true peak is ~12
+  const PerfPredictor pred(ex_.spec(), p,
+                           workloads::ScalabilityClass::kParabolic, 14);
+  EXPECT_GT(pred.predict_time(2).value(), pred.predict_time(12).value());
+}
+
+TEST_F(ModelTest, FrequencyScalingMatchesMemoryIntensity) {
+  const ProfileData compute = profile("EP");
+  const PerfPredictor pred_c(ex_.spec(), compute,
+                             workloads::ScalabilityClass::kLinear);
+  const double slowdown_compute =
+      pred_c.predict_time(24, 1.2 / 2.3).value() /
+      pred_c.predict_time(24, 1.0).value();
+  EXPECT_NEAR(slowdown_compute, 2.3 / 1.2, 0.05);
+
+  const auto w = *workloads::find_benchmark("STREAM-Triad");
+  ProfileData mem = profiler_.profile(w);
+  profiler_.validate_at(w, mem, 6);
+  const PerfPredictor pred_m(ex_.spec(), mem,
+                             workloads::ScalabilityClass::kLogarithmic, 6);
+  const double slowdown_mem = pred_m.predict_time(24, 1.2 / 2.3).value() /
+                              pred_m.predict_time(24, 1.0).value();
+  EXPECT_LT(slowdown_mem, 1.35);  // saturated: frequency barely matters
+}
+
+TEST_F(ModelTest, MemoryTimeShareBounds) {
+  const ProfileData p = profile("TeaLeaf");
+  const PerfPredictor pred(ex_.spec(), p,
+                           workloads::ScalabilityClass::kParabolic, 12);
+  for (int t : {2, 8, 16, 24}) {
+    const double mu = pred.memory_time_share(t);
+    EXPECT_GE(mu, 0.0);
+    EXPECT_LE(mu, 0.95);
+  }
+  EXPECT_GT(pred.memory_time_share(24), pred.memory_time_share(2));
+}
+
+TEST_F(ModelTest, PredictOutsideNodeThrows) {
+  const ProfileData p = profile("CoMD");
+  const PerfPredictor pred(ex_.spec(), p,
+                           workloads::ScalabilityClass::kLinear);
+  EXPECT_THROW((void)pred.predict_time(0), PreconditionError);
+  EXPECT_THROW((void)pred.predict_time(25), PreconditionError);
+}
+
+// ------------------------------------------------------------ power range ----
+
+TEST_F(ModelTest, EstimatedCpuPowerTracksSimulator) {
+  const auto w = *workloads::find_benchmark("CoMD");
+  const ProfileData p = profiler_.profile(w);
+  const PowerEstimator est(ex_.spec(), p);
+  // At the profiled configuration the estimate must be nearly exact.
+  EXPECT_NEAR(
+      est.cpu_power(24, parallel::AffinityPolicy::kScatter, 1.0).value(),
+      p.all_core.cpu_power.value(), 1.0);
+}
+
+TEST_F(ModelTest, EstimatedPowerAtLowFrequencyFollowsExponent) {
+  const ProfileData p = profile("CoMD");
+  const PowerEstimator est(ex_.spec(), p);
+  const double hi =
+      est.cpu_power(24, parallel::AffinityPolicy::kScatter, 1.0).value();
+  const double lo =
+      est.cpu_power(24, parallel::AffinityPolicy::kScatter, 1.2 / 2.3)
+          .value();
+  const double base = 2 * ex_.spec().socket_base_w;
+  EXPECT_NEAR((lo - base) / (hi - base), std::pow(1.2 / 2.3, 2.2), 1e-6);
+}
+
+TEST_F(ModelTest, CompactPlacementSavesParkedSocketPower) {
+  const ProfileData p = profile("EP");
+  const PowerEstimator est(ex_.spec(), p);
+  const double compact =
+      est.cpu_power(12, parallel::AffinityPolicy::kCompact, 1.0).value();
+  const double scatter =
+      est.cpu_power(12, parallel::AffinityPolicy::kScatter, 1.0).value();
+  EXPECT_NEAR(scatter - compact,
+              ex_.spec().socket_base_w - ex_.spec().socket_parked_w, 1e-9);
+}
+
+TEST_F(ModelTest, MemPowerRespectsLevelCapacity) {
+  const ProfileData p = profile("STREAM-Triad");
+  const PowerEstimator est(ex_.spec(), p);
+  const double l0 =
+      est.mem_power(24, parallel::AffinityPolicy::kScatter,
+                    sim::MemPowerLevel::kL0)
+          .value();
+  const double l3 =
+      est.mem_power(24, parallel::AffinityPolicy::kScatter,
+                    sim::MemPowerLevel::kL3)
+          .value();
+  EXPECT_GT(l0, l3);  // L3 caps achieved bandwidth, hence activity power
+}
+
+TEST_F(ModelTest, AcceptableRangeOrderedAndPlausible) {
+  const ProfileData p = profile("BT-MZ");
+  const PowerEstimator est(ex_.spec(), p);
+  const PowerRange r = est.acceptable_range(
+      24, parallel::AffinityPolicy::kScatter, sim::MemPowerLevel::kL0);
+  EXPECT_LT(r.low.value(), r.high.value());
+  EXPECT_GT(r.low.value(), 40.0);
+  EXPECT_LT(r.high.value(), ex_.spec().max_node_w() + 1.0);
+}
+
+TEST_F(ModelTest, BwDemandScalesWithThreads) {
+  const ProfileData p = profile("TeaLeaf");
+  const PowerEstimator est(ex_.spec(), p);
+  EXPECT_NEAR(est.bw_demand_gbps(24), 2.0 * est.bw_demand_gbps(12), 1e-9);
+}
+
+}  // namespace
+}  // namespace clip::core

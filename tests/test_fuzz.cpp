@@ -1,0 +1,201 @@
+// Fuzz-style property suites over randomly generated workloads and swept
+// operating conditions: the simulator's physical invariants and CLIP's
+// guarantees must hold across the whole valid signature space, not just the
+// calibrated catalog.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/profiler.hpp"
+#include "core/scheduler.hpp"
+#include "sim/executor.hpp"
+#include "sim/rapl_controller.hpp"
+#include "util/check.hpp"
+#include "workloads/catalog.hpp"
+#include "workloads/phases.hpp"
+#include "workloads/random.hpp"
+
+namespace clip {
+namespace {
+
+sim::MeterOptions no_noise() {
+  sim::MeterOptions m;
+  m.enabled = false;
+  return m;
+}
+
+sim::SimExecutor& fuzz_executor() {
+  static sim::SimExecutor ex{sim::MachineSpec{}, no_noise()};
+  return ex;
+}
+
+core::ClipScheduler& fuzz_scheduler() {
+  static core::ClipScheduler sched{fuzz_executor(),
+                                   workloads::training_benchmarks()};
+  return sched;
+}
+
+// ------------------------------------------------- random-workload sweep ----
+
+class RandomWorkload : public ::testing::TestWithParam<int> {
+ protected:
+  static workloads::WorkloadSignature workload(int index) {
+    // One deterministic batch shared across the suite.
+    static const auto batch = workloads::random_signatures(0xF00D, 48);
+    return batch[static_cast<std::size_t>(index)];
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Batch, RandomWorkload, ::testing::Range(0, 48));
+
+TEST_P(RandomWorkload, SimulatorInvariantsHold) {
+  const auto w = workload(GetParam());
+  auto& ex = fuzz_executor();
+  sim::ClusterConfig cfg;
+  cfg.nodes = 1;
+  cfg.node.affinity = parallel::AffinityPolicy::kScatter;
+  cfg.node.threads = 1;
+  const double t1 = ex.run_exact(w, cfg).time.value();
+  double prev_power = 0.0;
+  for (int n : {4, 12, 24}) {
+    cfg.node.threads = n;
+    const auto m = ex.run_exact(w, cfg);
+    EXPECT_TRUE(std::isfinite(m.time.value()));
+    EXPECT_GT(m.time.value(), 0.0);
+    EXPECT_LE(t1 / m.time.value(), n * 1.0001);  // speedup <= ideal
+    // More threads at the same frequency never draw less power.
+    EXPECT_GE(m.avg_power.value(), prev_power - 1e-9);
+    prev_power = m.avg_power.value();
+  }
+}
+
+TEST_P(RandomWorkload, ProfilerAndClassifierNeverChoke) {
+  const auto w = workload(GetParam());
+  core::SmartProfiler profiler(fuzz_executor());
+  const core::ScalabilityClassifier classifier;
+  const auto p = profiler.profile(w);
+  EXPECT_GT(p.perf_ratio_half_over_all, 0.0);
+  EXPECT_LT(p.perf_ratio_half_over_all, 5.0);
+  EXPECT_NO_THROW((void)classifier.classify(p));
+  EXPECT_GE(p.per_core_bw_gbps, 0.0);
+  EXPECT_LE(p.memory_intensity, 1.0);
+}
+
+TEST_P(RandomWorkload, ClipSchedulesAndRespectsBudget) {
+  const auto w = workload(GetParam());
+  auto& sched = fuzz_scheduler();
+  auto& ex = fuzz_executor();
+  for (double budget : {500.0, 900.0, 1300.0}) {
+    const auto d = sched.schedule(w, Watts(budget));
+    const auto m = ex.run_exact(w, d.cluster);
+    EXPECT_LE(m.avg_power.value(), budget * 1.01) << budget;
+    EXPECT_GE(d.cluster.nodes, 1);
+    EXPECT_GE(d.cluster.node.threads, 1);
+  }
+}
+
+TEST_P(RandomWorkload, CapEnforcementUnderRandomCaps) {
+  const auto w = workload(GetParam());
+  auto& ex = fuzz_executor();
+  Rng rng(0xCAFE + static_cast<std::uint64_t>(GetParam()));
+  const auto& spec = ex.spec();
+  const double base_w = spec.shape.sockets * spec.socket_base_w;
+  for (int trial = 0; trial < 4; ++trial) {
+    sim::ClusterConfig cfg;
+    cfg.nodes = static_cast<int>(rng.uniform_int(1, 8));
+    cfg.node.threads = static_cast<int>(rng.uniform_int(1, 24));
+    cfg.node.affinity = rng.uniform() < 0.5
+                            ? parallel::AffinityPolicy::kCompact
+                            : parallel::AffinityPolicy::kScatter;
+    cfg.node.cpu_cap = Watts(rng.uniform(35.0, 140.0));
+    cfg.node.mem_cap = Watts(rng.uniform(12.0, 40.0));
+    sim::Measurement m;
+    try {
+      m = ex.run_exact(w, cfg);
+    } catch (const PreconditionError&) {
+      continue;  // e.g. memory-bound workload with a sub-base DRAM cap
+    }
+    for (const auto& node : m.nodes) {
+      const double enforceable =
+          std::max(cfg.node.cpu_cap.value(),
+                   base_w + spec.shape.total_cores() * spec.core_max_w / 16.0);
+      EXPECT_LE(node.cpu_power.value(), enforceable + 1e-9);
+      EXPECT_GT(node.time.value(), 0.0);
+    }
+  }
+}
+
+// ------------------------------------------------------ phased sweeps ----
+
+class PhasedSweep
+    : public ::testing::TestWithParam<std::tuple<std::string, double>> {};
+
+std::vector<std::string> phased_names() {
+  std::vector<std::string> names;
+  for (const auto& p : workloads::phased_benchmarks())
+    names.push_back(p.name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, PhasedSweep,
+    ::testing::Combine(::testing::ValuesIn(phased_names()),
+                       ::testing::Values(550.0, 750.0, 1050.0, 1350.0)));
+
+TEST_P(PhasedSweep, PhaseAwareNeverLosesToFlatAndStaysInBudget) {
+  const auto [name, budget] = GetParam();
+  const auto p = *workloads::find_phased(name);
+  auto& sched = fuzz_scheduler();
+  auto& ex = fuzz_executor();
+
+  const auto flat = sched.schedule(p.blended(), Watts(budget));
+  sim::PhasedClusterConfig flat_cfg;
+  flat_cfg.nodes = flat.cluster.nodes;
+  flat_cfg.phase_nodes.assign(p.phases.size(), flat.cluster.node);
+  const auto flat_m = ex.run_phased_exact(p, flat_cfg);
+
+  const auto phased = sched.schedule_phased(p, Watts(budget));
+  const auto phased_m = ex.run_phased_exact(p, phased.cluster);
+
+  EXPECT_LT(phased_m.time.value(), flat_m.time.value() * 1.001);
+  for (const auto& pm : phased_m.phases)
+    EXPECT_LE(pm.avg_power.value(), budget * 1.01) << pm.phase;
+}
+
+TEST_P(PhasedSweep, BlendEnergyAccountingConsistent) {
+  const auto [name, budget] = GetParam();
+  const auto p = *workloads::find_phased(name);
+  auto& sched = fuzz_scheduler();
+  auto& ex = fuzz_executor();
+  const auto d = sched.schedule_phased(p, Watts(budget));
+  const auto m = ex.run_phased_exact(p, d.cluster);
+  double phase_energy = 0.0;
+  for (const auto& pm : m.phases) phase_energy += pm.energy.value();
+  EXPECT_NEAR(m.energy.value(), phase_energy, 1e-6);
+  EXPECT_NEAR(m.avg_power.value(),
+              m.energy.value() / m.time.value(), 1e-9);
+}
+
+// --------------------------------------------------- controller sweeps ----
+
+class ControllerSweep : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Caps, ControllerSweep,
+                         ::testing::Values(40, 55, 70, 85, 100, 115, 130));
+
+TEST_P(ControllerSweep, ThroughputBoundedAndMonotone) {
+  const double cap = GetParam();
+  const sim::MachineSpec spec;
+  const sim::RaplControllerSim controller(spec);
+  const auto w = *workloads::find_benchmark("BT-MZ");
+  const auto trace = controller.simulate(
+      w, 24, parallel::AffinityPolicy::kScatter, 68.0, Watts(cap));
+  EXPECT_GT(trace.throughput, 0.0);
+  EXPECT_LE(trace.throughput, 1.0 + 1e-9);
+  const auto looser = controller.simulate(
+      w, 24, parallel::AffinityPolicy::kScatter, 68.0, Watts(cap + 15.0));
+  EXPECT_GE(looser.throughput, trace.throughput - 0.02);
+}
+
+}  // namespace
+}  // namespace clip

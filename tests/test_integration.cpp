@@ -1,0 +1,180 @@
+// Integration tests: the paper's evaluation claims (§V), asserted
+// end-to-end through profiling → classification → prediction → allocation →
+// enforcement → execution, with measurement noise enabled (as on the real
+// testbed).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/all_in.hpp"
+#include "baselines/clip_adapter.hpp"
+#include "baselines/coordinated.hpp"
+#include "baselines/lower_limit.hpp"
+#include "baselines/oracle.hpp"
+#include "runtime/comparison.hpp"
+#include "workloads/catalog.hpp"
+
+namespace clip {
+namespace {
+
+class PaperClaims : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    executor_ = new sim::SimExecutor(sim::MachineSpec{});
+    harness_ = new runtime::ComparisonHarness(*executor_);
+    harness_->add_method(
+        std::make_shared<baselines::AllInScheduler>(executor_->spec()));
+    harness_->add_method(std::make_shared<baselines::LowerLimitScheduler>(
+        executor_->spec()));
+    harness_->add_method(
+        std::make_shared<baselines::CoordinatedScheduler>(*executor_));
+    harness_->add_method(std::make_shared<baselines::ClipAdapter>(
+        *executor_, workloads::training_benchmarks()));
+    harness_->add_method(
+        std::make_shared<baselines::OracleScheduler>(*executor_));
+    result_ = new runtime::ComparisonResult(harness_->run(
+        workloads::paper_benchmarks(),
+        {600.0, 800.0, 1000.0, 1400.0, 5000.0}));
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    delete harness_;
+    delete executor_;
+    result_ = nullptr;
+    harness_ = nullptr;
+    executor_ = nullptr;
+  }
+
+  static double rel(const workloads::WorkloadSignature& w, double budget,
+                    const std::string& method) {
+    const auto* cell =
+        result_->find(w.name, w.parameters, budget, method);
+    EXPECT_NE(cell, nullptr) << w.name << " " << method;
+    return cell ? cell->relative_performance : 0.0;
+  }
+
+  static sim::SimExecutor* executor_;
+  static runtime::ComparisonHarness* harness_;
+  static runtime::ComparisonResult* result_;
+};
+
+sim::SimExecutor* PaperClaims::executor_ = nullptr;
+runtime::ComparisonHarness* PaperClaims::harness_ = nullptr;
+runtime::ComparisonResult* PaperClaims::result_ = nullptr;
+
+// Observation 1 (§V-C): with no power bound, CLIP ≈ All-In for most apps and
+// >= 40% better for the standout parabolic applications.
+TEST_F(PaperClaims, UnboundedClipMatchesAllInForLinearApps) {
+  for (const char* name : {"CoMD", "AMG", "miniMD"}) {
+    const auto w = *workloads::find_benchmark(name);
+    EXPECT_GE(rel(w, 5000.0, "CLIP"), rel(w, 5000.0, "All-In") * 0.93)
+        << name;
+  }
+}
+
+TEST_F(PaperClaims, UnboundedClipWinsBigOnParabolicApps) {
+  // miniAero's inflection is predicted accurately -> the full ~1.5x win.
+  // SP-MZ's MLR underpredicts N_P (10 vs 14) — the error class the paper
+  // itself reports in Fig. 7 ("only underestimate for LU-MZ and TeaLeaf") —
+  // which trims its win; it must still be a clear double-digit gain.
+  const auto mini = *workloads::find_benchmark("miniAero");
+  EXPECT_GE(rel(mini, 5000.0, "CLIP") / rel(mini, 5000.0, "All-In"), 1.40);
+  const auto sp = *workloads::find_benchmark("SP-MZ");
+  EXPECT_GE(rel(sp, 5000.0, "CLIP") / rel(sp, 5000.0, "All-In"), 1.15);
+}
+
+// Observation 2: CLIP performs close to optimal at unlimited/high budgets.
+TEST_F(PaperClaims, ClipCloseToOracleAtHighBudget) {
+  // ≥0.85 of the exhaustive optimum everywhere: the residual gap is the
+  // N_P prediction error on the parabolic apps (paper Fig. 7's tolerance).
+  for (const auto& w : workloads::paper_benchmarks()) {
+    const double clip = rel(w, 1400.0, "CLIP");
+    const double oracle = rel(w, 1400.0, "Oracle");
+    EXPECT_GE(clip / oracle, 0.85) << w.name << "/" << w.parameters;
+  }
+}
+
+// Observation 3: CLIP outperforms the baselines in the mean.
+TEST_F(PaperClaims, ClipBeatsEveryBaselineOnAverage) {
+  EXPECT_GT(result_->mean_improvement("CLIP", "All-In"), 0.15);
+  EXPECT_GT(result_->mean_improvement("CLIP", "Coordinated"), 0.08);
+  EXPECT_GT(result_->mean_improvement("CLIP", "Lower Limit"), 0.30);
+}
+
+// The headline number: "outperforms compared methods by over 20% on
+// average for various power budgets" (vs the conventional All-In).
+TEST_F(PaperClaims, HeadlineTwentyPercentAverageImprovement) {
+  EXPECT_GT(result_->mean_improvement("CLIP", "All-In"), 0.20);
+}
+
+// Observation 4: CLIP defends Coordinated on parabolic applications.
+TEST_F(PaperClaims, ClipDefendsCoordinatedOnParabolic) {
+  for (const char* name : {"SP-MZ", "miniAero", "TeaLeaf"}) {
+    const auto w = *workloads::find_benchmark(name);
+    double best_gain = 0.0;
+    for (double budget : {600.0, 800.0, 1000.0, 1400.0}) {
+      best_gain = std::max(best_gain, rel(w, budget, "CLIP") /
+                                          rel(w, budget, "Coordinated"));
+    }
+    EXPECT_GE(best_gain, 1.25) << name;
+  }
+}
+
+// Observation 5: CLIP >= Coordinated for logarithmic apps at low budget.
+TEST_F(PaperClaims, ClipHoldsCoordinatedOnLogarithmicAtLowBudget) {
+  for (const char* name : {"BT-MZ", "LU-MZ"}) {
+    const auto w = *workloads::find_benchmark(name);
+    EXPECT_GE(rel(w, 600.0, "CLIP"), rel(w, 600.0, "Coordinated") * 0.97)
+        << name;
+  }
+}
+
+// Sanity: the Lower Limit baseline is the weakest overall, as in Figs. 8–9.
+TEST_F(PaperClaims, LowerLimitIsWeakestOnAverage) {
+  for (double budget : {600.0, 1000.0, 1400.0}) {
+    const double ll = result_->mean_relative("Lower Limit", budget);
+    EXPECT_LT(ll, result_->mean_relative("CLIP", budget)) << budget;
+    EXPECT_LT(ll, result_->mean_relative("All-In", budget)) << budget;
+  }
+}
+
+// Every plan of every method stays within its budget when executed.
+TEST_F(PaperClaims, AllPlansRespectTheBudget) {
+  for (const auto& cell : result_->cells) {
+    if (cell.budget_w >= 5000.0) continue;  // effectively unbounded
+    const auto w =
+        *workloads::find_benchmark(cell.app, cell.parameters);
+    const sim::Measurement m = executor_->run_exact(w, cell.plan);
+    EXPECT_LE(m.avg_power.value(), cell.budget_w * 1.01)
+        << cell.app << " " << cell.method << " @" << cell.budget_w;
+  }
+}
+
+// Performance is monotone (within tolerance) in the budget for CLIP.
+TEST_F(PaperClaims, ClipPerformanceMonotoneInBudget) {
+  for (const auto& w : workloads::paper_benchmarks()) {
+    double prev = 0.0;
+    for (double budget : {600.0, 800.0, 1000.0, 1400.0}) {
+      const double perf = rel(w, budget, "CLIP");
+      EXPECT_GE(perf, prev * 0.98) << w.name << " @" << budget;
+      prev = perf;
+    }
+  }
+}
+
+// The oracle dominates every method everywhere — up to its cap-grid pitch:
+// it searches a finite grid of CPU/DRAM splits, so a method landing between
+// grid points can edge it by a fraction of a percent.
+TEST_F(PaperClaims, OracleDominatesAllMethods) {
+  for (const auto& w : workloads::paper_benchmarks()) {
+    for (double budget : {600.0, 800.0, 1000.0, 1400.0}) {
+      const double oracle = rel(w, budget, "Oracle");
+      for (const char* m : {"All-In", "Lower Limit", "Coordinated", "CLIP"})
+        EXPECT_GE(oracle, rel(w, budget, m) * 0.99)
+            << w.name << " " << m << " @" << budget;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace clip

@@ -1,0 +1,171 @@
+// Coverage for the remaining small surfaces: machine presets, the random
+// workload generator, config descriptions, and comparison preconditions.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "runtime/comparison.hpp"
+#include "sim/phased.hpp"
+#include "sim/presets.hpp"
+#include "util/check.hpp"
+#include "workloads/random.hpp"
+
+namespace clip {
+namespace {
+
+// ----------------------------------------------------------------- presets ----
+
+TEST(Presets, AllValidateAndAreDistinct) {
+  const auto presets = sim::all_presets();
+  EXPECT_GE(presets.size(), 4u);
+  std::set<std::string> names;
+  std::set<int> core_counts;
+  for (const auto& p : presets) {
+    EXPECT_NO_THROW(p.spec.validate()) << p.name;
+    names.insert(p.name);
+    core_counts.insert(p.spec.shape.total_cores());
+  }
+  EXPECT_EQ(names.size(), presets.size());   // unique names
+  EXPECT_GE(core_counts.size(), 3u);         // genuinely different machines
+}
+
+TEST(Presets, HaswellIsTheDefault) {
+  const sim::MachineSpec a = sim::haswell_testbed();
+  const sim::MachineSpec b;
+  EXPECT_EQ(a.shape.total_cores(), b.shape.total_cores());
+  EXPECT_DOUBLE_EQ(a.socket_bw_gbps, b.socket_bw_gbps);
+  EXPECT_EQ(a.nodes, b.nodes);
+}
+
+TEST(Presets, LaddersMatchTheirNominals) {
+  for (const auto& p : sim::all_presets()) {
+    EXPECT_DOUBLE_EQ(p.spec.ladder.max().value(),
+                     p.spec.ladder.nominal().value())
+        << p.name;
+    EXPECT_LT(p.spec.ladder.min().value(),
+              p.spec.ladder.max().value())
+        << p.name;
+  }
+}
+
+// ------------------------------------------------------------ random gen ----
+
+TEST(RandomWorkloads, DeterministicPerSeed) {
+  const auto a = workloads::random_signatures(42, 10);
+  const auto b = workloads::random_signatures(42, 10);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].node_base_time_s, b[i].node_base_time_s);
+    EXPECT_DOUBLE_EQ(a[i].memory_boundedness, b[i].memory_boundedness);
+    EXPECT_DOUBLE_EQ(a[i].sync_coeff_s, b[i].sync_coeff_s);
+  }
+}
+
+TEST(RandomWorkloads, DifferentSeedsDiffer) {
+  const auto a = workloads::random_signatures(1, 5);
+  const auto b = workloads::random_signatures(2, 5);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].node_base_time_s != b[i].node_base_time_s) any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RandomWorkloads, AllThreeArchetypesAppear) {
+  const auto batch = workloads::random_signatures(7, 60);
+  int linear = 0, logarithmic = 0, parabolic = 0;
+  for (const auto& w : batch) {
+    EXPECT_NO_THROW(w.validate());
+    switch (w.expected_class) {
+      case workloads::ScalabilityClass::kLinear:
+        ++linear;
+        break;
+      case workloads::ScalabilityClass::kLogarithmic:
+        ++logarithmic;
+        break;
+      case workloads::ScalabilityClass::kParabolic:
+        ++parabolic;
+        break;
+    }
+  }
+  EXPECT_GE(linear, 8);
+  EXPECT_GE(logarithmic, 8);
+  EXPECT_GE(parabolic, 8);
+}
+
+// ----------------------------------------------------------- descriptions ----
+
+TEST(Descriptions, NodeConfigDescribeMentionsEveryKnob) {
+  sim::NodeConfig cfg;
+  cfg.threads = 14;
+  cfg.affinity = parallel::AffinityPolicy::kCompact;
+  cfg.mem_level = sim::MemPowerLevel::kL2;
+  cfg.cpu_cap = Watts(88.0);
+  cfg.mem_cap = Watts(24.0);
+  const std::string d = cfg.describe();
+  EXPECT_NE(d.find("14 threads"), std::string::npos);
+  EXPECT_NE(d.find("compact"), std::string::npos);
+  EXPECT_NE(d.find("L2"), std::string::npos);
+  EXPECT_NE(d.find("88"), std::string::npos);
+}
+
+TEST(Descriptions, PhasedConfigDescribeListsPhases) {
+  sim::PhasedClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.phase_nodes = {sim::NodeConfig{.threads = 24},
+                     sim::NodeConfig{.threads = 8}};
+  const std::string d = cfg.describe();
+  EXPECT_NE(d.find("4 node(s)"), std::string::npos);
+  EXPECT_NE(d.find("2 phases"), std::string::npos);
+  EXPECT_NE(d.find("24 threads"), std::string::npos);
+  EXPECT_NE(d.find("8 threads"), std::string::npos);
+}
+
+TEST(Descriptions, ClusterConfigMentionsOverrides) {
+  sim::ClusterConfig cfg;
+  cfg.nodes = 2;
+  EXPECT_EQ(cfg.describe().find("overrides"), std::string::npos);
+  cfg.cpu_cap_overrides = {Watts(90.0), Watts(110.0)};
+  EXPECT_NE(cfg.describe().find("overrides"), std::string::npos);
+}
+
+// ----------------------------------------------------------- comparisons ----
+
+TEST(ComparisonPreconditions, MeanRelativeRequiresCells) {
+  runtime::ComparisonResult r;
+  EXPECT_THROW((void)r.mean_relative("CLIP", 800.0), PreconditionError);
+}
+
+TEST(ComparisonPreconditions, MeanImprovementRequiresComparableCells) {
+  runtime::ComparisonResult r;
+  runtime::ComparisonCell c;
+  c.app = "X";
+  c.method = "CLIP";
+  c.budget_w = 800.0;
+  c.relative_performance = 1.0;
+  r.cells.push_back(c);
+  // No reference cells -> nothing comparable.
+  EXPECT_THROW((void)r.mean_improvement("CLIP", "All-In"),
+               PreconditionError);
+}
+
+TEST(ComparisonPreconditions, BudgetFilterRestrictsMean) {
+  runtime::ComparisonResult r;
+  auto add = [&](const std::string& method, double budget, double rel) {
+    runtime::ComparisonCell c;
+    c.app = "X";
+    c.method = method;
+    c.budget_w = budget;
+    c.relative_performance = rel;
+    r.cells.push_back(c);
+  };
+  add("CLIP", 600.0, 2.0);
+  add("Ref", 600.0, 1.0);
+  add("CLIP", 800.0, 1.0);
+  add("Ref", 800.0, 1.0);
+  EXPECT_NEAR(r.mean_improvement("CLIP", "Ref"), 0.5, 1e-12);
+  EXPECT_NEAR(r.mean_improvement("CLIP", "Ref", {600.0}), 1.0, 1e-12);
+  EXPECT_NEAR(r.mean_improvement("CLIP", "Ref", {800.0}), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace clip

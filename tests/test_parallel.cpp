@@ -1,0 +1,340 @@
+// Unit tests for clip::parallel — placement, barrier, thread pool,
+// parallel_for. These run on the host (possibly single-CPU), so they assert
+// correctness and throttling semantics, not speedup.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <thread>
+
+#include "parallel/affinity.hpp"
+#include "parallel/barrier.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/check.hpp"
+
+namespace clip::parallel {
+namespace {
+
+const NodeShape kHaswell{.sockets = 2, .cores_per_socket = 12};
+
+// ------------------------------------------------------------- placement ----
+
+TEST(Placement, CompactFillsFirstSocketFirst) {
+  const Placement p = place_threads(kHaswell, 8, AffinityPolicy::kCompact);
+  EXPECT_EQ(p.threads_per_socket[0], 8);
+  EXPECT_EQ(p.threads_per_socket[1], 0);
+  EXPECT_EQ(p.active_sockets(), 1);
+}
+
+TEST(Placement, CompactOverflowsToSecondSocket) {
+  const Placement p = place_threads(kHaswell, 18, AffinityPolicy::kCompact);
+  EXPECT_EQ(p.threads_per_socket[0], 12);
+  EXPECT_EQ(p.threads_per_socket[1], 6);
+  EXPECT_EQ(p.active_sockets(), 2);
+}
+
+TEST(Placement, ScatterBalancesSockets) {
+  const Placement p = place_threads(kHaswell, 8, AffinityPolicy::kScatter);
+  EXPECT_EQ(p.threads_per_socket[0], 4);
+  EXPECT_EQ(p.threads_per_socket[1], 4);
+}
+
+TEST(Placement, ScatterOddCountSplitsUnevenlyByOne) {
+  const Placement p = place_threads(kHaswell, 7, AffinityPolicy::kScatter);
+  EXPECT_EQ(p.threads_per_socket[0] + p.threads_per_socket[1], 7);
+  EXPECT_LE(std::abs(p.threads_per_socket[0] - p.threads_per_socket[1]), 1);
+}
+
+TEST(Placement, TotalThreadsPreserved) {
+  for (int t = 1; t <= kHaswell.total_cores(); ++t) {
+    EXPECT_EQ(place_threads(kHaswell, t, AffinityPolicy::kCompact)
+                  .total_threads(),
+              t);
+    EXPECT_EQ(place_threads(kHaswell, t, AffinityPolicy::kScatter)
+                  .total_threads(),
+              t);
+  }
+}
+
+TEST(Placement, CrossSocketFactorSingleSocketIsZero) {
+  const Placement p = place_threads(kHaswell, 12, AffinityPolicy::kCompact);
+  EXPECT_DOUBLE_EQ(p.cross_socket_factor(), 0.0);
+}
+
+TEST(Placement, CrossSocketFactorEvenSplitIsOne) {
+  const Placement p = place_threads(kHaswell, 24, AffinityPolicy::kScatter);
+  EXPECT_DOUBLE_EQ(p.cross_socket_factor(), 1.0);
+}
+
+TEST(Placement, CrossSocketFactorMonotoneInImbalance) {
+  Placement even{.threads_per_socket = {6, 6}};
+  Placement skewed{.threads_per_socket = {9, 3}};
+  Placement single{.threads_per_socket = {12, 0}};
+  EXPECT_GT(even.cross_socket_factor(), skewed.cross_socket_factor());
+  EXPECT_GT(skewed.cross_socket_factor(), single.cross_socket_factor());
+}
+
+TEST(Placement, TooManyThreadsThrows) {
+  EXPECT_THROW(place_threads(kHaswell, 25, AffinityPolicy::kCompact),
+               PreconditionError);
+}
+
+TEST(Placement, ZeroThreadsThrows) {
+  EXPECT_THROW(place_threads(kHaswell, 0, AffinityPolicy::kScatter),
+               PreconditionError);
+}
+
+TEST(Affinity, WorkerCpuCompactIsIdentityModuloHost) {
+  EXPECT_EQ(worker_cpu(0, 24, AffinityPolicy::kCompact, kHaswell), 0);
+  EXPECT_EQ(worker_cpu(5, 24, AffinityPolicy::kCompact, kHaswell), 5);
+  EXPECT_EQ(worker_cpu(25, 24, AffinityPolicy::kCompact, kHaswell), 1);
+}
+
+TEST(Affinity, WorkerCpuScatterAlternatesSockets) {
+  // worker 0 -> socket0 core0 (cpu 0); worker 1 -> socket1 core0 (cpu 12).
+  EXPECT_EQ(worker_cpu(0, 24, AffinityPolicy::kScatter, kHaswell), 0);
+  EXPECT_EQ(worker_cpu(1, 24, AffinityPolicy::kScatter, kHaswell), 12);
+  EXPECT_EQ(worker_cpu(2, 24, AffinityPolicy::kScatter, kHaswell), 1);
+}
+
+TEST(Affinity, HostCpuCountPositive) { EXPECT_GE(host_cpu_count(), 1); }
+
+TEST(Affinity, PinCurrentThreadToCpu0Succeeds) {
+  EXPECT_TRUE(pin_current_thread(0));
+}
+
+TEST(Affinity, PinNegativeCpuFails) {
+  EXPECT_FALSE(pin_current_thread(-1));
+}
+
+TEST(Affinity, ToStringNames) {
+  EXPECT_STREQ(to_string(AffinityPolicy::kCompact), "compact");
+  EXPECT_STREQ(to_string(AffinityPolicy::kScatter), "scatter");
+}
+
+// --------------------------------------------------------------- barrier ----
+
+TEST(Barrier, SingleThreadPassesThrough) {
+  SenseBarrier b(1);
+  for (int i = 0; i < 5; ++i) b.arrive_and_wait();
+  SUCCEED();
+}
+
+TEST(Barrier, SynchronizesPhases) {
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 50;
+  SenseBarrier barrier(kThreads);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> threads;
+  std::atomic<bool> ok{true};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < kRounds; ++round) {
+        counter.fetch_add(1);
+        barrier.arrive_and_wait();
+        // After the barrier every thread of this round has incremented.
+        if (counter.load() < (round + 1) * kThreads) ok = false;
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_TRUE(ok.load());
+  EXPECT_EQ(counter.load(), kThreads * kRounds);
+}
+
+TEST(Barrier, ZeroPartiesThrows) {
+  EXPECT_THROW(SenseBarrier b(0), PreconditionError);
+}
+
+// ------------------------------------------------------------ thread pool ----
+
+TEST(ThreadPool, RunsRegionOnFullTeam) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  std::set<int> ranks;
+  std::mutex m;
+  pool.run_region([&](int rank, int team) {
+    EXPECT_EQ(team, 4);
+    ran.fetch_add(1);
+    std::lock_guard lock(m);
+    ranks.insert(rank);
+  });
+  EXPECT_EQ(ran.load(), 4);
+  EXPECT_EQ(ranks, (std::set<int>{0, 1, 2, 3}));
+}
+
+TEST(ThreadPool, ThrottlingShrinksTeam) {
+  ThreadPool pool(6);
+  pool.set_concurrency(2);
+  std::atomic<int> ran{0};
+  pool.run_region([&](int, int team) {
+    EXPECT_EQ(team, 2);
+    ran.fetch_add(1);
+  });
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ThreadPool, ThrottleThenGrowAgain) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  pool.set_concurrency(1);
+  pool.run_region([&](int, int) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 1);
+  pool.set_concurrency(4);
+  ran = 0;
+  pool.run_region([&](int, int) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(ThreadPool, ConcurrencyClampedToBounds) {
+  ThreadPool pool(4);
+  pool.set_concurrency(100);
+  EXPECT_EQ(pool.concurrency(), 4);
+  pool.set_concurrency(0);
+  EXPECT_EQ(pool.concurrency(), 1);
+}
+
+TEST(ThreadPool, ManySequentialRegions) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int i = 0; i < 200; ++i)
+    pool.run_region([&](int, int) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 600);
+}
+
+TEST(ThreadPool, WorkerExceptionPropagatesToSubmitter) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.run_region([&](int rank, int) {
+    if (rank == 2) throw std::runtime_error("worker boom");
+  }),
+               std::runtime_error);
+  // Pool remains usable afterwards.
+  std::atomic<int> ran{0};
+  pool.run_region([&](int, int) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(ThreadPool, Rank0ExceptionAlsoPropagates) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.run_region([&](int rank, int) {
+    if (rank == 0) throw std::logic_error("rank0 boom");
+  }),
+               std::logic_error);
+}
+
+TEST(ThreadPool, SingleThreadPoolWorks) {
+  ThreadPool pool(1);
+  int ran = 0;
+  pool.run_region([&](int rank, int team) {
+    EXPECT_EQ(rank, 0);
+    EXPECT_EQ(team, 1);
+    ++ran;
+  });
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(ThreadPool, InvalidSizeThrows) {
+  EXPECT_THROW(ThreadPool pool(0), PreconditionError);
+}
+
+TEST(ThreadPool, SetAffinityPinsWorkers) {
+  ThreadPool pool(4);
+  const int pinned =
+      pool.set_affinity(AffinityPolicy::kCompact, kHaswell);
+  // On Linux with at least 1 CPU all pins should succeed.
+  EXPECT_EQ(pinned, 4);
+}
+
+// ------------------------------------------------------------ parallel_for ----
+
+TEST(ParallelFor, StaticCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, 0, 1000,
+               [&](std::int64_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, DynamicCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(
+      pool, 0, 1000, [&](std::int64_t i) { hits[i].fetch_add(1); },
+      Schedule::kDynamic, 7);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  int hits = 0;
+  parallel_for(pool, 5, 5, [&](std::int64_t) { ++hits; });
+  EXPECT_EQ(hits, 0);
+}
+
+TEST(ParallelFor, NonZeroBase) {
+  ThreadPool pool(3);
+  std::atomic<std::int64_t> sum{0};
+  parallel_for(pool, 10, 20, [&](std::int64_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 145);  // 10+11+...+19
+}
+
+TEST(ParallelFor, RangeSmallerThanTeam) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  parallel_for(pool, 0, 3, [&](std::int64_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, InvalidRangeThrows) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(pool, 10, 5, [](std::int64_t) {}),
+               PreconditionError);
+}
+
+TEST(ParallelFor, ThrottledExecutionSameResult) {
+  ThreadPool pool(4);
+  auto run_sum = [&](int threads) {
+    pool.set_concurrency(threads);
+    std::atomic<std::int64_t> sum{0};
+    parallel_for(pool, 0, 500,
+                 [&](std::int64_t i) { sum.fetch_add(i * i); });
+    return sum.load();
+  };
+  const auto s4 = run_sum(4);
+  const auto s1 = run_sum(1);
+  const auto s3 = run_sum(3);
+  EXPECT_EQ(s4, s1);
+  EXPECT_EQ(s3, s1);
+}
+
+TEST(ParallelReduce, SumsRange) {
+  ThreadPool pool(4);
+  const double total = parallel_reduce(
+      pool, 1, 101, 0.0, [](std::int64_t i, double& acc) { acc += i; });
+  EXPECT_DOUBLE_EQ(total, 5050.0);
+}
+
+TEST(ParallelReduce, InitValueIncluded) {
+  ThreadPool pool(2);
+  const double total = parallel_reduce(
+      pool, 0, 10, 100.0, [](std::int64_t, double& acc) { acc += 1.0; });
+  EXPECT_DOUBLE_EQ(total, 110.0);
+}
+
+TEST(ParallelReduce, DeterministicAcrossTeamSizes) {
+  ThreadPool pool(4);
+  auto run = [&](int threads) {
+    pool.set_concurrency(threads);
+    return parallel_reduce(pool, 0, 1000, 0.0,
+                           [](std::int64_t i, double& acc) {
+                             acc += static_cast<double>(i) * 0.5;
+                           });
+  };
+  EXPECT_DOUBLE_EQ(run(1), run(4));
+}
+
+}  // namespace
+}  // namespace clip::parallel

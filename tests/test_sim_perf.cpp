@@ -1,0 +1,406 @@
+// Unit tests for the performance side of the simulator: the node time model
+// (paper §II scalability classes), communication model, event synthesis, and
+// the cluster executor.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/comm_model.hpp"
+#include "sim/events.hpp"
+#include "sim/executor.hpp"
+#include "sim/perf_model.hpp"
+#include "util/check.hpp"
+#include "workloads/catalog.hpp"
+
+namespace clip::sim {
+namespace {
+
+using clip::parallel::AffinityPolicy;
+using clip::parallel::place_threads;
+
+MachineSpec spec_default() { return MachineSpec{}; }
+
+MeterOptions no_noise() {
+  MeterOptions m;
+  m.enabled = false;
+  return m;
+}
+
+NodePerfInput input(const MachineSpec& spec, double work, int threads,
+                    AffinityPolicy aff, double f_rel = 1.0,
+                    double bw_cap = 68.0) {
+  NodePerfInput in;
+  in.work_s = work;
+  in.threads = threads;
+  in.placement = place_threads(spec.shape, threads, aff);
+  in.f_rel = f_rel;
+  in.bw_cap_gbps = bw_cap;
+  return in;
+}
+
+// -------------------------------------------------------------- perf model ----
+
+class PerfModelTest : public ::testing::Test {
+ protected:
+  MachineSpec spec_ = spec_default();
+  PerfModel model_{spec_};
+};
+
+TEST_F(PerfModelTest, LinearWorkloadScalesNearIdeally) {
+  const auto w = *workloads::find_benchmark("EP");
+  const double t1 =
+      model_.evaluate(w, input(spec_, 100, 1, AffinityPolicy::kScatter))
+          .time.value();
+  const double t24 =
+      model_.evaluate(w, input(spec_, 100, 24, AffinityPolicy::kScatter))
+          .time.value();
+  EXPECT_NEAR(t1 / t24, 24.0, 1.0);  // speedup within ~4% of ideal
+}
+
+TEST_F(PerfModelTest, FrequencyScalingLinearForComputeBound) {
+  const auto w = *workloads::find_benchmark("EP");
+  const double t_hi =
+      model_.evaluate(w, input(spec_, 100, 24, AffinityPolicy::kScatter, 1.0))
+          .time.value();
+  const double t_lo =
+      model_.evaluate(w,
+                      input(spec_, 100, 24, AffinityPolicy::kScatter,
+                            1.2 / 2.3))
+          .time.value();
+  EXPECT_NEAR(t_lo / t_hi, 2.3 / 1.2, 0.01);  // S(freq) ∝ freq
+}
+
+TEST_F(PerfModelTest, FrequencyScalingSubLinearForMemoryBound) {
+  const auto w = *workloads::find_benchmark("STREAM-Triad");
+  const double t_hi =
+      model_.evaluate(w, input(spec_, 60, 24, AffinityPolicy::kScatter, 1.0))
+          .time.value();
+  const double t_lo =
+      model_.evaluate(w,
+                      input(spec_, 60, 24, AffinityPolicy::kScatter,
+                            1.2 / 2.3))
+          .time.value();
+  // Saturated STREAM barely cares about frequency.
+  EXPECT_LT(t_lo / t_hi, 1.4);
+}
+
+TEST_F(PerfModelTest, LogarithmicWorkloadHasSaturationKnee) {
+  const auto w = *workloads::find_benchmark("BT-MZ");
+  // Growth rate of speedup drops sharply past the knee but stays positive.
+  double prev = model_.evaluate(w, input(spec_, 100, 2,
+                                         AffinityPolicy::kScatter))
+                    .time.value();
+  double min_gain = 1e9, max_gain = 0.0;
+  for (int n = 4; n <= 24; n += 2) {
+    const double t = model_.evaluate(
+                             w, input(spec_, 100, n, AffinityPolicy::kScatter))
+                         .time.value();
+    const double gain = prev / t;
+    min_gain = std::min(min_gain, gain);
+    max_gain = std::max(max_gain, gain);
+    EXPECT_GT(gain, 1.0) << "logarithmic perf must keep increasing";
+    prev = t;
+  }
+  EXPECT_GT(max_gain, min_gain * 1.1);  // the growth rate is not constant
+}
+
+TEST_F(PerfModelTest, ParabolicWorkloadPeaksInsideTheNode) {
+  const auto w = *workloads::find_benchmark("SP-MZ");
+  double best_time = 1e30;
+  int best_n = 0;
+  for (int n = 2; n <= 24; n += 2) {
+    const double t = model_.evaluate(
+                             w, input(spec_, 100, n, AffinityPolicy::kScatter))
+                         .time.value();
+    if (t < best_time) {
+      best_time = t;
+      best_n = n;
+    }
+  }
+  EXPECT_GE(best_n, 8);
+  EXPECT_LE(best_n, 20);
+  const double t24 = model_.evaluate(
+                             w, input(spec_, 100, 24, AffinityPolicy::kScatter))
+                         .time.value();
+  EXPECT_GT(t24, best_time);  // all-core is strictly worse
+}
+
+TEST_F(PerfModelTest, SaturationReducesUtilization) {
+  const auto w = *workloads::find_benchmark("STREAM-Triad");
+  const NodePerfOutput out =
+      model_.evaluate(w, input(spec_, 60, 24, AffinityPolicy::kScatter));
+  EXPECT_LT(out.saturation, 0.5);
+  EXPECT_LT(out.utilization, 0.6);
+  EXPECT_NEAR(out.achieved_bw_gbps, out.bw_eff_gbps, 1e-9);  // saturated
+}
+
+TEST_F(PerfModelTest, ComputeBoundIsUnsaturated) {
+  const auto w = *workloads::find_benchmark("EP");
+  const NodePerfOutput out =
+      model_.evaluate(w, input(spec_, 100, 24, AffinityPolicy::kScatter));
+  EXPECT_DOUBLE_EQ(out.saturation, 1.0);
+  EXPECT_DOUBLE_EQ(out.utilization, 1.0);
+}
+
+TEST_F(PerfModelTest, CrossNumaPenaltyReducesEffectiveBandwidth) {
+  const auto w = *workloads::find_benchmark("TeaLeaf");
+  const double compact = model_.effective_bandwidth(
+      w, place_threads(spec_.shape, 12, AffinityPolicy::kCompact), 34.0);
+  const double scatter = model_.effective_bandwidth(
+      w, place_threads(spec_.shape, 12, AffinityPolicy::kScatter), 34.0);
+  EXPECT_DOUBLE_EQ(compact, 34.0);  // single socket: all local
+  EXPECT_LT(scatter, 34.0);         // pays the remote share
+}
+
+TEST_F(PerfModelTest, ScatterWinsForMemoryBoundDespitePenalty) {
+  // At 12 threads scatter doubles the raw bandwidth; the NUMA penalty must
+  // not erase that for a memory-hungry workload.
+  const auto w = *workloads::find_benchmark("STREAM-Triad");
+  const double t_compact =
+      model_.evaluate(w, input(spec_, 60, 12, AffinityPolicy::kCompact, 1.0,
+                               34.0))
+          .time.value();
+  const double t_scatter =
+      model_.evaluate(w, input(spec_, 60, 12, AffinityPolicy::kScatter, 1.0,
+                               68.0))
+          .time.value();
+  EXPECT_LT(t_scatter, t_compact);
+}
+
+TEST_F(PerfModelTest, MoreWorkTakesProportionallyLonger) {
+  const auto w = *workloads::find_benchmark("EP");
+  const double t100 =
+      model_.evaluate(w, input(spec_, 100, 8, AffinityPolicy::kScatter))
+          .time.value();
+  const double t200 =
+      model_.evaluate(w, input(spec_, 200, 8, AffinityPolicy::kScatter))
+          .time.value();
+  EXPECT_NEAR(t200 / t100, 2.0, 0.01);
+}
+
+TEST_F(PerfModelTest, InvalidInputsRejected) {
+  const auto w = *workloads::find_benchmark("EP");
+  EXPECT_THROW(
+      (void)model_.evaluate(w, input(spec_, 0.0, 8, AffinityPolicy::kScatter)),
+      PreconditionError);
+  NodePerfInput bad = input(spec_, 100, 8, AffinityPolicy::kScatter);
+  bad.threads = 9;  // placement/thread mismatch
+  EXPECT_THROW((void)model_.evaluate(w, bad), PreconditionError);
+}
+
+// -------------------------------------------------------------- comm model ----
+
+TEST(CommModel, SingleNodeHasNoCost) {
+  const auto w = *workloads::find_benchmark("BT-MZ");
+  EXPECT_DOUBLE_EQ(CommModel::evaluate(w, 1, 100.0).value(), 0.0);
+}
+
+TEST(CommModel, CostGrowsWithNodeCountLatency) {
+  auto w = *workloads::find_benchmark("BT-MZ");
+  w.comm_surface_coeff = 0.0;  // isolate the latency term
+  const double c2 = CommModel::evaluate(w, 2, 100.0).value();
+  const double c8 = CommModel::evaluate(w, 8, 100.0).value();
+  EXPECT_NEAR(c8 / c2, 3.0, 1e-9);  // log2(8)/log2(2)
+}
+
+TEST(CommModel, SurfaceTermScalesWithTwoThirdsPower) {
+  auto w = *workloads::find_benchmark("BT-MZ");
+  w.comm_latency_s = 0.0;
+  const double small = CommModel::evaluate(w, 2, 10.0).value();
+  const double large = CommModel::evaluate(w, 2, 80.0).value();
+  EXPECT_NEAR(large / small, std::pow(8.0, 2.0 / 3.0), 1e-9);
+}
+
+TEST(CommModel, InvalidInputsRejected) {
+  const auto w = *workloads::find_benchmark("BT-MZ");
+  EXPECT_THROW((void)CommModel::evaluate(w, 0, 100.0), PreconditionError);
+  EXPECT_THROW((void)CommModel::evaluate(w, 2, 0.0), PreconditionError);
+}
+
+// ------------------------------------------------------------------ events ----
+
+class EventTest : public ::testing::Test {
+ protected:
+  MachineSpec spec_ = spec_default();
+  PerfModel perf_{spec_};
+  EventModel events_{spec_};
+};
+
+TEST_F(EventTest, FeatureVectorHasTableIOrder) {
+  EventRates e;
+  e.icache_misses_per_s = 1;
+  e.read_bw_gbps = 2;
+  e.write_bw_gbps = 3;
+  e.l3_miss_local_per_s = 4;
+  e.l3_miss_remote_per_s = 5;
+  e.cycles_active_per_s = 6;
+  e.instructions_per_s = 7;
+  e.perf_ratio_full_half = 8;
+  const auto f = e.to_features();
+  ASSERT_EQ(f.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ(f[i], i + 1.0);
+  EXPECT_EQ(EventRates::names().size(), 8u);
+}
+
+TEST_F(EventTest, BandwidthSplitsByWriteFraction) {
+  const auto w = *workloads::find_benchmark("STREAM-Triad");
+  const auto out =
+      perf_.evaluate(w, input(spec_, 60, 24, AffinityPolicy::kScatter));
+  const EventRates e = events_.synthesize(w, 24, GHz(2.3), out);
+  EXPECT_NEAR(e.read_bw_gbps + e.write_bw_gbps, out.achieved_bw_gbps,
+              1e-9);
+  EXPECT_NEAR(e.write_bw_gbps / (e.read_bw_gbps + e.write_bw_gbps),
+              w.write_fraction, 1e-9);
+}
+
+TEST_F(EventTest, L3MissesAccountForAllTraffic) {
+  const auto w = *workloads::find_benchmark("TeaLeaf");
+  const auto out =
+      perf_.evaluate(w, input(spec_, 100, 24, AffinityPolicy::kScatter));
+  const EventRates e = events_.synthesize(w, 24, GHz(2.3), out);
+  const double total_lines = out.achieved_bw_gbps * 1e9 / 64.0;
+  EXPECT_NEAR(e.l3_miss_local_per_s + e.l3_miss_remote_per_s, total_lines,
+              total_lines * 1e-9);
+  EXPECT_GT(e.l3_miss_remote_per_s, 0.0);  // scatter placement shares data
+}
+
+TEST_F(EventTest, CyclesScaleWithThreadsAndFrequency) {
+  const auto w = *workloads::find_benchmark("EP");
+  const auto out =
+      perf_.evaluate(w, input(spec_, 100, 12, AffinityPolicy::kScatter));
+  const EventRates lo = events_.synthesize(w, 12, GHz(1.2), out);
+  const EventRates hi = events_.synthesize(w, 12, GHz(2.3), out);
+  EXPECT_NEAR(hi.cycles_active_per_s / lo.cycles_active_per_s, 2.3 / 1.2,
+              1e-9);
+  EXPECT_NEAR(hi.instructions_per_s, hi.cycles_active_per_s * w.ipc, 1e-3);
+}
+
+TEST_F(EventTest, IcachePressureDrivesMissRate) {
+  const auto hot = *workloads::find_benchmark("miniAero");   // icache 0.20
+  const auto cold = *workloads::find_benchmark("TeaLeaf");   // icache 0.06
+  const auto out_hot =
+      perf_.evaluate(hot, input(spec_, 100, 24, AffinityPolicy::kScatter));
+  const auto out_cold =
+      perf_.evaluate(cold, input(spec_, 100, 24, AffinityPolicy::kScatter));
+  const double hot_rate =
+      events_.synthesize(hot, 24, GHz(2.3), out_hot).icache_misses_per_s;
+  const double cold_rate =
+      events_.synthesize(cold, 24, GHz(2.3), out_cold).icache_misses_per_s;
+  EXPECT_GT(hot_rate, cold_rate);
+}
+
+// ---------------------------------------------------------------- executor ----
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  SimExecutor ex_{spec_default(), no_noise()};
+
+  ClusterConfig cfg(int nodes, int threads,
+                    Watts cpu_cap = Watts(1e9),
+                    Watts mem_cap = Watts(1e9)) {
+    ClusterConfig c;
+    c.nodes = nodes;
+    c.node.threads = threads;
+    c.node.affinity = AffinityPolicy::kScatter;
+    c.node.cpu_cap = cpu_cap;
+    c.node.mem_cap = mem_cap;
+    return c;
+  }
+};
+
+TEST_F(ExecutorTest, MoreNodesRunFaster) {
+  const auto w = *workloads::find_benchmark("CoMD");
+  const double t1 = ex_.run_exact(w, cfg(1, 24)).time.value();
+  const double t8 = ex_.run_exact(w, cfg(8, 24)).time.value();
+  EXPECT_LT(t8, t1 / 4.0);  // at least 4x from 8 nodes despite comm
+}
+
+TEST_F(ExecutorTest, CommunicationCostIncludedForMultiNode) {
+  const auto w = *workloads::find_benchmark("BT-MZ");
+  const Measurement m = ex_.run_exact(w, cfg(8, 24));
+  EXPECT_GT(m.comm_time.value(), 0.0);
+  EXPECT_DOUBLE_EQ(ex_.run_exact(w, cfg(1, 24)).comm_time.value(), 0.0);
+}
+
+TEST_F(ExecutorTest, MakespanIsSlowestNodePlusComm) {
+  const auto w = *workloads::find_benchmark("LU-MZ");
+  const Measurement m = ex_.run_exact(w, cfg(4, 24));
+  double slowest = 0.0;
+  for (const auto& n : m.nodes)
+    slowest = std::max(slowest, n.time.value());
+  EXPECT_NEAR(m.time.value(), slowest + m.comm_time.value(), 1e-12);
+}
+
+TEST_F(ExecutorTest, EnergyEqualsPowerTimesTime) {
+  const auto w = *workloads::find_benchmark("AMG");
+  const Measurement m = ex_.run_exact(w, cfg(4, 24));
+  EXPECT_NEAR(m.energy.value(), m.avg_power.value() * m.time.value(),
+              1e-9);
+}
+
+TEST_F(ExecutorTest, PerNodeCapOverridesApplied) {
+  const auto w = *workloads::find_benchmark("CoMD");
+  ClusterConfig c = cfg(2, 24, Watts(100.0));
+  c.cpu_cap_overrides = {Watts(120.0), Watts(60.0)};
+  const Measurement m = ex_.run_exact(w, c);
+  ASSERT_EQ(m.nodes.size(), 2u);
+  EXPECT_LE(m.nodes[0].cpu_power.value(), 120.0 + 1e-9);
+  EXPECT_LE(m.nodes[1].cpu_power.value(), 60.0 + 1e-9);
+  EXPECT_GT(m.nodes[0].frequency.value(), m.nodes[1].frequency.value());
+}
+
+TEST_F(ExecutorTest, OverrideCountMustMatchNodes) {
+  const auto w = *workloads::find_benchmark("CoMD");
+  ClusterConfig c = cfg(3, 24);
+  c.cpu_cap_overrides = {Watts(100.0)};
+  EXPECT_THROW((void)ex_.run_exact(w, c), PreconditionError);
+}
+
+TEST_F(ExecutorTest, NodeCountOutsideClusterRejected) {
+  const auto w = *workloads::find_benchmark("CoMD");
+  EXPECT_THROW((void)ex_.run_exact(w, cfg(9, 24)), PreconditionError);
+  EXPECT_THROW((void)ex_.run_exact(w, cfg(0, 24)), PreconditionError);
+}
+
+TEST_F(ExecutorTest, ExactRunsAreDeterministic) {
+  const auto w = *workloads::find_benchmark("TeaLeaf");
+  const double a = ex_.run_exact(w, cfg(4, 12)).time.value();
+  const double b = ex_.run_exact(w, cfg(4, 12)).time.value();
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST_F(ExecutorTest, NoisyRunsDifferSlightlyFromExact) {
+  SimExecutor noisy(spec_default());  // default meter noise
+  const auto w = *workloads::find_benchmark("TeaLeaf");
+  const double exact = noisy.run_exact(w, cfg(4, 12)).time.value();
+  const double measured = noisy.run(w, cfg(4, 12)).time.value();
+  EXPECT_NE(exact, measured);
+  EXPECT_NEAR(measured / exact, 1.0, 0.02);
+}
+
+TEST_F(ExecutorTest, VariabilityCreatesNodeImbalanceUnderCaps) {
+  MachineSpec spec = spec_default();
+  spec.variability_sigma = 0.08;
+  SimExecutor ex(spec, no_noise());
+  const auto w = *workloads::find_benchmark("CoMD");
+  const Measurement m = ex.run_exact(w, cfg(8, 24, Watts(90.0)));
+  double min_t = 1e30, max_t = 0.0;
+  for (const auto& n : m.nodes) {
+    min_t = std::min(min_t, n.time.value());
+    max_t = std::max(max_t, n.time.value());
+  }
+  EXPECT_GT(max_t, min_t);  // slow node gates the job
+}
+
+TEST_F(ExecutorTest, EventsReportedPerNode) {
+  const auto w = *workloads::find_benchmark("BT-MZ");
+  const Measurement m = ex_.run_exact(w, cfg(2, 24));
+  for (const auto& n : m.nodes) {
+    EXPECT_GT(n.events.cycles_active_per_s, 0.0);
+    EXPECT_GT(n.events.instructions_per_s, 0.0);
+    EXPECT_GT(n.events.read_bw_gbps, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace clip::sim

@@ -1,0 +1,336 @@
+// Unit tests for clip::stats — matrix solve, MLR, piecewise fits, metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/linreg.hpp"
+#include "stats/matrix.hpp"
+#include "stats/metrics.hpp"
+#include "stats/piecewise.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace clip::stats {
+namespace {
+
+// ---------------------------------------------------------------- matrix ----
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 7.0);
+}
+
+TEST(Matrix, Transpose) {
+  Matrix m(2, 3);
+  m(0, 0) = 1;
+  m(0, 1) = 2;
+  m(0, 2) = 3;
+  m(1, 0) = 4;
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(t(0, 1), 4.0);
+}
+
+TEST(Matrix, MultiplyMatrices) {
+  Matrix a(2, 2), b(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  b(0, 0) = 5;
+  b(0, 1) = 6;
+  b(1, 0) = 7;
+  b(1, 1) = 8;
+  const Matrix c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MultiplyDimensionMismatchThrows) {
+  Matrix a(2, 3), b(2, 2);
+  EXPECT_THROW(a.multiply(b), PreconditionError);
+}
+
+TEST(Matrix, MultiplyVector) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  const auto y = a.multiply(std::vector<double>{1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix id = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      EXPECT_DOUBLE_EQ(id(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(Solve, TwoByTwoSystem) {
+  Matrix a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 3;
+  const auto x = solve_linear_system(a, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Solve, RequiresPivoting) {
+  // Zero on the diagonal forces a row swap.
+  Matrix a(2, 2);
+  a(0, 0) = 0;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 0;
+  const auto x = solve_linear_system(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Solve, SingularMatrixThrows) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  EXPECT_THROW(solve_linear_system(a, {1.0, 2.0}), PreconditionError);
+}
+
+TEST(Solve, LargerRandomSystemRoundTrips) {
+  Rng rng(5);
+  const std::size_t n = 8;
+  Matrix a(n, n);
+  std::vector<double> x_true(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x_true[i] = rng.uniform(-2.0, 2.0);
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(-1.0, 1.0);
+    a(i, i) += 4.0;  // diagonally dominant -> well conditioned
+  }
+  const std::vector<double> b = a.multiply(x_true);
+  const auto x = solve_linear_system(a, b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+// ---------------------------------------------------------------- linreg ----
+
+TEST(LinReg, RecoversExactLinearRelation) {
+  // y = 3 + 2*x0 - x1, noise-free.
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    const double x0 = rng.uniform(0.0, 10.0);
+    const double x1 = rng.uniform(-5.0, 5.0);
+    x.push_back({x0, x1});
+    y.push_back(3.0 + 2.0 * x0 - x1);
+  }
+  const LinearModel m = fit_linear(x, y);
+  for (int i = 0; i < 10; ++i) {
+    const double x0 = rng.uniform(0.0, 10.0);
+    const double x1 = rng.uniform(-5.0, 5.0);
+    EXPECT_NEAR(m.predict({x0, x1}), 3.0 + 2.0 * x0 - x1, 1e-8);
+  }
+}
+
+TEST(LinReg, WithoutStandardizationAlsoRecovers) {
+  std::vector<std::vector<double>> x = {{1.0}, {2.0}, {3.0}, {4.0}};
+  std::vector<double> y = {3.0, 5.0, 7.0, 9.0};  // y = 1 + 2x
+  LinRegOptions opt;
+  opt.standardize = false;
+  const LinearModel m = fit_linear(x, y, opt);
+  EXPECT_NEAR(m.intercept, 1.0, 1e-9);
+  EXPECT_NEAR(m.coefficients[0], 2.0, 1e-9);
+}
+
+TEST(LinReg, NoisyDataStillCloseToTruth) {
+  Rng rng(11);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 500; ++i) {
+    const double x0 = rng.uniform(0.0, 1.0);
+    x.push_back({x0});
+    y.push_back(4.0 + 1.5 * x0 + rng.normal(0.0, 0.05));
+  }
+  const LinearModel m = fit_linear(x, y);
+  EXPECT_NEAR(m.predict({0.5}), 4.75, 0.05);
+}
+
+TEST(LinReg, RidgeShrinksCoefficients) {
+  std::vector<std::vector<double>> x = {{1.0}, {2.0}, {3.0}, {4.0}};
+  std::vector<double> y = {2.0, 4.0, 6.0, 8.0};
+  LinRegOptions plain;
+  plain.standardize = false;
+  LinRegOptions ridge;
+  ridge.standardize = false;
+  ridge.ridge_lambda = 10.0;
+  const double coef_plain =
+      fit_linear(x, y, plain).coefficients[0];
+  const double coef_ridge =
+      fit_linear(x, y, ridge).coefficients[0];
+  EXPECT_LT(std::fabs(coef_ridge), std::fabs(coef_plain));
+}
+
+TEST(LinReg, ConstantFeatureColumnIsHarmless) {
+  // With standardization a zero-variance column maps to zero and cannot
+  // destabilize the fit.
+  std::vector<std::vector<double>> x = {
+      {1.0, 5.0}, {2.0, 5.0}, {3.0, 5.0}, {4.0, 5.0}, {5.0, 5.0}};
+  std::vector<double> y = {2.0, 4.0, 6.0, 8.0, 10.0};
+  const LinearModel m = fit_linear(x, y, {.ridge_lambda = 0.01});
+  EXPECT_NEAR(m.predict({3.0, 5.0}), 6.0, 1e-6);
+}
+
+TEST(LinReg, UnderdeterminedWithoutRidgeThrows) {
+  std::vector<std::vector<double>> x = {{1.0, 2.0}, {2.0, 1.0}};
+  std::vector<double> y = {1.0, 2.0};
+  EXPECT_THROW(fit_linear(x, y, {.ridge_lambda = 0.0}), PreconditionError);
+}
+
+TEST(LinReg, UnderdeterminedWithRidgeSucceeds) {
+  std::vector<std::vector<double>> x = {{1.0, 2.0}, {2.0, 1.0}};
+  std::vector<double> y = {1.0, 2.0};
+  EXPECT_NO_THROW(fit_linear(x, y, {.ridge_lambda = 1.0}));
+}
+
+TEST(LinReg, ShapeMismatchThrows) {
+  EXPECT_THROW(fit_linear({{1.0}}, {1.0, 2.0}), PreconditionError);
+  EXPECT_THROW(fit_linear({}, {}), PreconditionError);
+}
+
+TEST(LinReg, PredictWrongWidthThrows) {
+  const LinearModel m =
+      fit_linear({{1.0}, {2.0}, {3.0}}, {1.0, 2.0, 3.0});
+  EXPECT_THROW((void)m.predict({1.0, 2.0}), PreconditionError);
+}
+
+TEST(Standardizer, ZeroMeanUnitVariance) {
+  std::vector<std::vector<double>> x = {{10.0}, {20.0}, {30.0}};
+  const Standardizer s = Standardizer::fit(x);
+  EXPECT_NEAR(s.apply({20.0})[0], 0.0, 1e-12);
+  const double hi = s.apply({30.0})[0];
+  const double lo = s.apply({10.0})[0];
+  EXPECT_NEAR(hi, -lo, 1e-12);
+  EXPECT_GT(hi, 0.0);
+}
+
+// -------------------------------------------------------------- piecewise ----
+
+TEST(Piecewise, SegmentFitExactLine) {
+  std::vector<double> x = {1, 2, 3, 4};
+  std::vector<double> y = {3, 5, 7, 9};
+  const SegmentFit f = fit_segment(x, y, 0, 4);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.sse, 0.0, 1e-12);
+}
+
+TEST(Piecewise, SegmentFitConstantXFallsBackToMean) {
+  std::vector<double> x = {2, 2, 2};
+  std::vector<double> y = {1, 2, 3};
+  const SegmentFit f = fit_segment(x, y, 0, 3);
+  EXPECT_DOUBLE_EQ(f.slope, 0.0);
+  EXPECT_NEAR(f.intercept, 2.0, 1e-12);
+}
+
+TEST(Piecewise, RecoversKnownBreakpoint) {
+  // y = x for x<=10, y = 10 + 0.2*(x-10) beyond.
+  std::vector<double> x, y;
+  for (int i = 1; i <= 24; ++i) {
+    x.push_back(i);
+    y.push_back(i <= 10 ? i : 10.0 + 0.2 * (i - 10));
+  }
+  const PiecewiseLinearModel m = fit_piecewise_linear(x, y);
+  EXPECT_NEAR(m.breakpoint, 10.0, 1.0);
+  EXPECT_NEAR(m.slope1, 1.0, 0.05);
+  EXPECT_NEAR(m.slope2, 0.2, 0.05);
+}
+
+TEST(Piecewise, RecoversParabolicPeakShape) {
+  // Rising then falling: breakpoint should sit near the peak at 12.
+  std::vector<double> x, y;
+  for (int i = 2; i <= 24; i += 2) {
+    x.push_back(i);
+    y.push_back(i <= 12 ? i : 12.0 - 0.5 * (i - 12));
+  }
+  const PiecewiseLinearModel m = fit_piecewise_linear(x, y);
+  EXPECT_NEAR(m.breakpoint, 12.0, 2.0);
+  EXPECT_GT(m.slope1, 0.0);
+  EXPECT_LT(m.slope2, 0.0);
+}
+
+TEST(Piecewise, PredictUsesCorrectSegment) {
+  PiecewiseLinearModel m;
+  m.breakpoint = 10.0;
+  m.slope1 = 1.0;
+  m.intercept1 = 0.0;
+  m.slope2 = 0.0;
+  m.intercept2 = 10.0;
+  EXPECT_DOUBLE_EQ(m.predict(5.0), 5.0);
+  EXPECT_DOUBLE_EQ(m.predict(20.0), 10.0);
+  EXPECT_DOUBLE_EQ(m.predict(10.0), 10.0);  // boundary -> first segment
+}
+
+TEST(Piecewise, UnsortedInputHandled) {
+  std::vector<double> x = {4, 1, 3, 2, 6, 5, 8, 7};
+  std::vector<double> y;
+  for (double xi : x) y.push_back(xi <= 4 ? xi : 4.0 + 0.1 * (xi - 4));
+  const PiecewiseLinearModel m = fit_piecewise_linear(x, y);
+  EXPECT_NEAR(m.breakpoint, 4.0, 1.5);
+}
+
+TEST(Piecewise, TooFewSamplesThrows) {
+  EXPECT_THROW((void)fit_piecewise_linear({1, 2, 3}, {1, 2, 3}),
+               PreconditionError);
+}
+
+TEST(Piecewise, SizeMismatchThrows) {
+  EXPECT_THROW((void)fit_piecewise_linear({1, 2, 3, 4}, {1, 2, 3}),
+               PreconditionError);
+}
+
+// ---------------------------------------------------------------- metrics ----
+
+TEST(Metrics, MaeBasic) {
+  EXPECT_DOUBLE_EQ(mean_absolute_error({1, 2, 3}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_absolute_error({1, 2, 3}, {2, 1, 4}), 1.0);
+}
+
+TEST(Metrics, MapeSkipsZeroTruth) {
+  EXPECT_NEAR(mean_absolute_percentage_error({0, 10}, {5, 11}), 0.1,
+              1e-12);
+}
+
+TEST(Metrics, MapeAllZeroTruthThrows) {
+  EXPECT_THROW((void)mean_absolute_percentage_error({0.0}, {1.0}),
+               PreconditionError);
+}
+
+TEST(Metrics, R2PerfectAndMeanPredictor) {
+  EXPECT_DOUBLE_EQ(r_squared({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_NEAR(r_squared({1, 2, 3}, {2, 2, 2}), 0.0, 1e-12);
+}
+
+TEST(Metrics, RmseBasic) {
+  EXPECT_NEAR(rmse({0, 0}, {3, 4}), std::sqrt(12.5), 1e-12);
+}
+
+TEST(Metrics, SizeValidation) {
+  EXPECT_THROW((void)mean_absolute_error({}, {}), PreconditionError);
+  EXPECT_THROW((void)r_squared({1.0}, {1.0, 2.0}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace clip::stats

@@ -1,0 +1,328 @@
+// Unit tests for clip::workloads — signatures, the benchmark catalog, and
+// the real computational kernels (correctness under throttling/affinity).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "parallel/thread_pool.hpp"
+#include "util/check.hpp"
+#include "workloads/catalog.hpp"
+#include "workloads/kernels.hpp"
+#include "workloads/signature.hpp"
+
+namespace clip::workloads {
+namespace {
+
+// -------------------------------------------------------------- signature ----
+
+TEST(Signature, DefaultIsValid) {
+  WorkloadSignature w;
+  w.name = "test";
+  EXPECT_NO_THROW(w.validate());
+}
+
+TEST(Signature, RejectsEmptyName) {
+  WorkloadSignature w;
+  EXPECT_THROW(w.validate(), PreconditionError);
+}
+
+TEST(Signature, RejectsNonPositiveBaseTime) {
+  WorkloadSignature w;
+  w.name = "t";
+  w.node_base_time_s = 0.0;
+  EXPECT_THROW(w.validate(), PreconditionError);
+}
+
+TEST(Signature, RejectsSerialFractionOutOfRange) {
+  WorkloadSignature w;
+  w.name = "t";
+  w.serial_fraction = 1.0;
+  EXPECT_THROW(w.validate(), PreconditionError);
+  w.serial_fraction = -0.1;
+  EXPECT_THROW(w.validate(), PreconditionError);
+}
+
+TEST(Signature, RejectsMemoryBoundWithoutBandwidthDemand) {
+  WorkloadSignature w;
+  w.name = "t";
+  w.memory_boundedness = 0.5;
+  w.bw_per_core_gbps = 0.0;
+  EXPECT_THROW(w.validate(), PreconditionError);
+}
+
+TEST(Signature, RejectsSyncExponentBelowOne) {
+  WorkloadSignature w;
+  w.name = "t";
+  w.sync_exponent = 0.5;
+  EXPECT_THROW(w.validate(), PreconditionError);
+}
+
+TEST(Signature, ClassNames) {
+  EXPECT_STREQ(to_string(ScalabilityClass::kLinear), "linear");
+  EXPECT_STREQ(to_string(ScalabilityClass::kLogarithmic), "logarithmic");
+  EXPECT_STREQ(to_string(ScalabilityClass::kParabolic), "parabolic");
+}
+
+TEST(Signature, PatternNames) {
+  EXPECT_STREQ(to_string(WorkloadPattern::kCompute), "compute");
+  EXPECT_STREQ(to_string(WorkloadPattern::kComputeMemory),
+               "compute/memory");
+  EXPECT_STREQ(to_string(WorkloadPattern::kMemory), "memory");
+}
+
+// ---------------------------------------------------------------- catalog ----
+
+TEST(Catalog, PaperBenchmarksAreTheTableIITen) {
+  const auto& v = paper_benchmarks();
+  EXPECT_EQ(v.size(), 10u);
+  std::multiset<std::string> names;
+  for (const auto& w : v) names.insert(w.name);
+  EXPECT_EQ(names.count("CloverLeaf"), 2u);  // two input decks
+  for (const char* expected :
+       {"BT-MZ", "LU-MZ", "SP-MZ", "CoMD", "AMG", "miniAero", "miniMD",
+        "TeaLeaf"})
+    EXPECT_EQ(names.count(expected), 1u) << expected;
+}
+
+TEST(Catalog, AllEntriesValidate) {
+  for (const auto& w : all_benchmarks()) EXPECT_NO_THROW(w.validate());
+}
+
+TEST(Catalog, TrainingSuiteCoversAllThreeClasses) {
+  int linear = 0, logarithmic = 0, parabolic = 0;
+  for (const auto& w : training_benchmarks()) {
+    switch (w.expected_class) {
+      case ScalabilityClass::kLinear:
+        ++linear;
+        break;
+      case ScalabilityClass::kLogarithmic:
+        ++logarithmic;
+        break;
+      case ScalabilityClass::kParabolic:
+        ++parabolic;
+        break;
+    }
+  }
+  EXPECT_GE(linear, 3);
+  EXPECT_GE(logarithmic, 3);
+  EXPECT_GE(parabolic, 3);
+}
+
+TEST(Catalog, PaperClassesMatchTableII) {
+  auto expect_class = [](const std::string& name, ScalabilityClass cls) {
+    const auto w = find_benchmark(name);
+    ASSERT_TRUE(w.has_value()) << name;
+    EXPECT_EQ(w->expected_class, cls) << name;
+  };
+  expect_class("BT-MZ", ScalabilityClass::kLogarithmic);
+  expect_class("LU-MZ", ScalabilityClass::kLogarithmic);
+  expect_class("SP-MZ", ScalabilityClass::kParabolic);
+  expect_class("CoMD", ScalabilityClass::kLinear);
+  expect_class("AMG", ScalabilityClass::kLinear);
+  expect_class("miniAero", ScalabilityClass::kParabolic);
+  expect_class("miniMD", ScalabilityClass::kLinear);
+  expect_class("TeaLeaf", ScalabilityClass::kParabolic);
+}
+
+TEST(Catalog, FindByNameAndParameters) {
+  const auto big = find_benchmark("CloverLeaf", "clover128_short.in");
+  const auto small = find_benchmark("CloverLeaf", "clover16.in");
+  ASSERT_TRUE(big.has_value());
+  ASSERT_TRUE(small.has_value());
+  EXPECT_NE(big->node_base_time_s, small->node_base_time_s);
+}
+
+TEST(Catalog, FindUnknownReturnsNullopt) {
+  EXPECT_FALSE(find_benchmark("DoesNotExist").has_value());
+  EXPECT_FALSE(find_benchmark("CloverLeaf", "wrong.in").has_value());
+}
+
+TEST(Catalog, TrainingSetIncludesPaperSuites) {
+  // §V-B2: NPB, HPCC, STREAM, PolyBench.
+  EXPECT_TRUE(find_benchmark("EP").has_value());
+  EXPECT_TRUE(find_benchmark("STREAM-Triad").has_value());
+  EXPECT_TRUE(find_benchmark("HPCC-FFT").has_value());
+  EXPECT_TRUE(find_benchmark("PolyBench-gemm").has_value());
+}
+
+TEST(Catalog, AllBenchmarksIsUnionOfBoth) {
+  EXPECT_EQ(all_benchmarks().size(),
+            paper_benchmarks().size() + training_benchmarks().size());
+}
+
+// ---------------------------------------------------------------- kernels ----
+
+class KernelTest : public ::testing::Test {
+ protected:
+  parallel::ThreadPool pool_{4};
+};
+
+TEST_F(KernelTest, StreamTriadChecksumIsExact) {
+  // After one sweep b[i] = 1.5 + 3*2.5 = 9.0; subsequent sweeps alternate
+  // deterministically — just check the mean is finite and positive.
+  const KernelResult r = stream_triad(pool_, 1024, 1);
+  EXPECT_DOUBLE_EQ(r.checksum, 9.0);
+  EXPECT_GT(r.bytes_moved, 0.0);
+}
+
+TEST_F(KernelTest, StreamTriadThrottlingPreservesResult) {
+  pool_.set_concurrency(4);
+  const double full = stream_triad(pool_, 4096, 3).checksum;
+  pool_.set_concurrency(1);
+  const double single = stream_triad(pool_, 4096, 3).checksum;
+  EXPECT_DOUBLE_EQ(full, single);
+}
+
+TEST_F(KernelTest, DgemmMatchesSerialReference) {
+  pool_.set_concurrency(4);
+  const double parallel_sum = blocked_dgemm(pool_, 96).checksum;
+  pool_.set_concurrency(1);
+  const double serial_sum = blocked_dgemm(pool_, 96).checksum;
+  EXPECT_NEAR(parallel_sum, serial_sum, 1e-9 * std::fabs(serial_sum));
+}
+
+TEST_F(KernelTest, DgemmFlopsAccounting) {
+  const KernelResult r = blocked_dgemm(pool_, 64);
+  EXPECT_DOUBLE_EQ(r.flops, 2.0 * 64.0 * 64.0 * 64.0);
+}
+
+TEST_F(KernelTest, JacobiConvergesTowardBoundary) {
+  // With a hot left edge, total heat grows monotonically from zero.
+  const KernelResult few = jacobi_stencil(pool_, 64, 5);
+  const KernelResult many = jacobi_stencil(pool_, 64, 50);
+  EXPECT_GT(few.checksum, 0.0);
+  EXPECT_GT(many.checksum, few.checksum);
+}
+
+TEST_F(KernelTest, JacobiDeterministicUnderThrottling) {
+  pool_.set_concurrency(3);
+  const double a = jacobi_stencil(pool_, 48, 10).checksum;
+  pool_.set_concurrency(1);
+  const double b = jacobi_stencil(pool_, 48, 10).checksum;
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST_F(KernelTest, LennardJonesNearEquilibriumEnergyIsNegative) {
+  // Atoms sit near the potential minimum: binding energy < 0.
+  const KernelResult r = lennard_jones(pool_, 4, 1);
+  EXPECT_LT(r.checksum, 0.0);
+}
+
+TEST_F(KernelTest, LennardJonesDeterministicUnderThrottling) {
+  pool_.set_concurrency(4);
+  const double a = lennard_jones(pool_, 4, 2).checksum;
+  pool_.set_concurrency(2);
+  const double b = lennard_jones(pool_, 4, 2).checksum;
+  EXPECT_NEAR(a, b, 1e-9 * std::fabs(a));
+}
+
+TEST_F(KernelTest, MonteCarloPiApproximatesPi) {
+  const KernelResult r = monte_carlo_pi(pool_, 2000000);
+  EXPECT_NEAR(r.checksum, 3.14159, 0.01);
+}
+
+TEST_F(KernelTest, MonteCarloDeterministicPerTeamSize) {
+  pool_.set_concurrency(2);
+  const double a = monte_carlo_pi(pool_, 100000).checksum;
+  const double b = monte_carlo_pi(pool_, 100000).checksum;
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST_F(KernelTest, SpmvNormalizedVectorHasUnitNorm) {
+  const KernelResult r = spmv(pool_, 4096, 5);
+  EXPECT_TRUE(std::isfinite(r.checksum));
+  EXPECT_GT(std::fabs(r.checksum), 0.0);
+}
+
+TEST_F(KernelTest, SpmvDeterministicUnderThrottling) {
+  pool_.set_concurrency(4);
+  const double a = spmv(pool_, 2048, 8).checksum;
+  pool_.set_concurrency(1);
+  const double b = spmv(pool_, 2048, 8).checksum;
+  EXPECT_NEAR(a, b, 1e-9);
+}
+
+TEST_F(KernelTest, RegistryListsAllKernels) {
+  const auto& reg = kernel_registry();
+  EXPECT_EQ(reg.size(), 8u);
+  for (const auto& k : reg)
+    EXPECT_NO_THROW((void)run_kernel_by_name(pool_, k.name)) << k.name;
+}
+
+TEST_F(KernelTest, RunUnknownKernelThrows) {
+  EXPECT_THROW((void)run_kernel_by_name(pool_, "bogus"),
+               PreconditionError);
+}
+
+TEST_F(KernelTest, FftParsevalEnergyPreserved) {
+  // Parseval: sum |X_k|^2 = n * sum |x_i|^2. Compute the time-domain
+  // energy of the same deterministic input and compare.
+  const std::size_t n = 256;
+  double time_energy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = std::sin(0.37 * static_cast<double>(i)) +
+                     0.5 * std::cos(1.31 * static_cast<double>(i));
+    time_energy += v * v;
+  }
+  const KernelResult r = batched_fft(pool_, n, 4);
+  EXPECT_NEAR(r.checksum, time_energy * static_cast<double>(n),
+              time_energy * n * 1e-9);
+}
+
+TEST_F(KernelTest, FftDeterministicUnderThrottling) {
+  pool_.set_concurrency(4);
+  const double a = batched_fft(pool_, 512, 8).checksum;
+  pool_.set_concurrency(1);
+  const double b = batched_fft(pool_, 512, 8).checksum;
+  EXPECT_NEAR(a, b, std::fabs(a) * 1e-12);
+}
+
+TEST_F(KernelTest, FftRejectsNonPowerOfTwo) {
+  EXPECT_THROW((void)batched_fft(pool_, 96, 2), PreconditionError);
+  EXPECT_THROW((void)batched_fft(pool_, 2, 2), PreconditionError);
+}
+
+TEST_F(KernelTest, HistogramMassConserved) {
+  pool_.set_concurrency(4);
+  const KernelResult r = histogram(pool_, 100000, 64);
+  // total mass is encoded in the fractional digest
+  const double total = (r.checksum - std::floor(r.checksum)) * 1e12;
+  // team of 4: 4 * floor(100000/4) samples
+  EXPECT_NEAR(total, 100000.0, 4.0);
+}
+
+TEST_F(KernelTest, HistogramPeakNearDistributionMode) {
+  // Mean of two uniforms peaks at 0.5: the fullest bin sits mid-range.
+  const KernelResult r = histogram(pool_, 400000, 100);
+  const double peak_bin = std::floor(r.checksum);
+  EXPECT_GT(peak_bin, 35.0);
+  EXPECT_LT(peak_bin, 65.0);
+}
+
+TEST_F(KernelTest, HistogramDeterministicPerTeamSize) {
+  pool_.set_concurrency(2);
+  const double a = histogram(pool_, 50000, 32).checksum;
+  const double b = histogram(pool_, 50000, 32).checksum;
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST_F(KernelTest, InvalidSizesThrow) {
+  EXPECT_THROW((void)stream_triad(pool_, 0, 1), PreconditionError);
+  EXPECT_THROW((void)jacobi_stencil(pool_, 2, 1), PreconditionError);
+  EXPECT_THROW((void)lennard_jones(pool_, 1, 1), PreconditionError);
+  EXPECT_THROW((void)monte_carlo_pi(pool_, 0), PreconditionError);
+  EXPECT_THROW((void)spmv(pool_, 2, 1), PreconditionError);
+}
+
+TEST_F(KernelTest, AffinityChangeDoesNotAlterResults) {
+  const parallel::NodeShape shape{.sockets = 2, .cores_per_socket = 2};
+  pool_.set_affinity(parallel::AffinityPolicy::kCompact, shape);
+  const double compact = jacobi_stencil(pool_, 48, 10).checksum;
+  pool_.set_affinity(parallel::AffinityPolicy::kScatter, shape);
+  const double scatter = jacobi_stencil(pool_, 48, 10).checksum;
+  EXPECT_DOUBLE_EQ(compact, scatter);
+}
+
+}  // namespace
+}  // namespace clip::workloads

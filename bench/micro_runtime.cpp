@@ -8,6 +8,7 @@
 #include "core/predictor.hpp"
 #include "core/profiler.hpp"
 #include "core/scheduler.hpp"
+#include "obs/obs.hpp"
 #include "parallel/parallel_for.hpp"
 #include "sim/executor.hpp"
 #include "sim/rapl.hpp"
@@ -101,6 +102,77 @@ void BM_ClipScheduleCached(benchmark::State& state) {
     benchmark::DoNotOptimize(sched.schedule(w, Watts(800.0)));
 }
 BENCHMARK(BM_ClipScheduleCached);
+
+// ----------------------------------------------------------- observability ----
+// The obs layer's contract is near-zero cost when detached; these pin the
+// three regimes (no session / session without sink / recording) so a
+// regression in the hot-path branch shows up as a latency cliff here.
+
+void BM_ObsSpanDetached(benchmark::State& state) {
+  for (auto _ : state) {
+    obs::ScopedSpan span(nullptr, "bench.detached");
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_ObsSpanDetached);
+
+void BM_ObsSpanNoSink(benchmark::State& state) {
+  obs::ObsSession session;  // session attached, but no sink: spans stay inert
+  for (auto _ : state) {
+    obs::ScopedSpan span(&session, "bench.no_sink");
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_ObsSpanNoSink);
+
+void BM_ObsSpanRecorded(benchmark::State& state) {
+  obs::ObsSession session;
+  obs::MemorySink sink;
+  session.set_sink(&sink);
+  for (auto _ : state) {
+    obs::ScopedSpan span(&session, "bench.recorded");
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_ObsSpanRecorded);
+
+void BM_ObsCounterAdd(benchmark::State& state) {
+  obs::ObsSession session;
+  obs::Counter& c = session.metrics().counter("bench.counter");
+  for (auto _ : state) {
+    c.add();
+    benchmark::DoNotOptimize(c.value());
+  }
+}
+BENCHMARK(BM_ObsCounterAdd);
+
+void BM_ObsHistogramRecord(benchmark::State& state) {
+  obs::ObsSession session;
+  obs::Histogram& h =
+      session.metrics().histogram("bench.hist", obs::latency_us_spec());
+  double v = 0.5;
+  for (auto _ : state) {
+    h.record(v);
+    v = v < 1e6 ? v * 1.01 : 0.5;
+    benchmark::DoNotOptimize(&h);
+  }
+}
+BENCHMARK(BM_ObsHistogramRecord);
+
+void BM_ClipScheduleCachedObserved(benchmark::State& state) {
+  // BM_ClipScheduleCached with the full obs pipeline attached — the delta
+  // between the two is the cost of observing a cached decision.
+  core::ClipScheduler sched(executor(), workloads::training_benchmarks());
+  const auto w = *workloads::find_benchmark("SP-MZ");
+  (void)sched.schedule(w, Watts(800.0));  // warm the knowledge DB
+  obs::ObsSession session;
+  obs::MemorySink sink;
+  session.set_sink(&sink);
+  sched.set_observer(&session);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sched.schedule(w, Watts(800.0)));
+}
+BENCHMARK(BM_ClipScheduleCachedObserved);
 
 void BM_OraclePlan(benchmark::State& state) {
   baselines::OracleScheduler oracle(executor());

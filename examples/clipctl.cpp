@@ -7,8 +7,15 @@
 //   clipctl script <app> <watts>         print the generated launch script
 //   clipctl run <app> <watts>            schedule + execute + report
 //   clipctl compare <app> <watts>        all methods side by side
+//   clipctl trace <app> <watts> [out]    schedule + execute under the obs
+//                                        layer: dumps a Chrome-trace JSON
+//                                        (Perfetto-loadable, spans for every
+//                                        pipeline stage + per-node power
+//                                        counter tracks) and prints the
+//                                        metrics summary table
 //
 // Applications are named as in Table II (e.g. SP-MZ, TeaLeaf, CoMD).
+#include <filesystem>
 #include <iostream>
 #include <string>
 
@@ -16,7 +23,9 @@
 #include "baselines/coordinated.hpp"
 #include "baselines/lower_limit.hpp"
 #include "core/scheduler.hpp"
+#include "obs/obs.hpp"
 #include "runtime/launcher.hpp"
+#include "runtime/telemetry.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 #include "workloads/catalog.hpp"
@@ -31,7 +40,8 @@ int usage() {
                "       clipctl schedule <app> <watts>\n"
                "       clipctl script   <app> <watts>\n"
                "       clipctl run      <app> <watts>\n"
-               "       clipctl compare  <app> <watts>\n";
+               "       clipctl compare  <app> <watts>\n"
+               "       clipctl trace    <app> <watts> [out.json]\n";
   return 2;
 }
 
@@ -117,6 +127,45 @@ int main(int argc, char** argv) {
               << format_double(m.time.value(), 2) << " s at "
               << format_double(m.avg_power.value(), 1) << " W ("
               << format_double(m.energy.value() / 1000.0, 2) << " kJ)\n";
+    return 0;
+  }
+  if (command == "trace") {
+    // Observe one decision end-to-end: sink attached after construction so
+    // the trace shows this schedule() alone, not the training sweep.
+    obs::ObsSession session;
+    obs::MemorySink sink;
+    session.set_sink(&sink);
+    clip.set_observer(&session);
+    cluster.set_observer(&session);
+
+    const auto d = clip.schedule(app, budget);
+    const auto m = cluster.run(app, d.cluster);
+
+    // Per-node power counter tracks from the power-meter series (noise off:
+    // the trace should show the planned operating point, not meter jitter).
+    runtime::TelemetryOptions topt;
+    topt.noise_sigma = 0.0;
+    const runtime::Telemetry telemetry(topt);
+    const auto counters = runtime::Telemetry::to_trace_counters(
+        telemetry.record(m, d.cluster.node.threads));
+
+    const std::filesystem::path out =
+        argc >= 5 ? std::filesystem::path(argv[4])
+                  : std::filesystem::path("clip_trace.json");
+    try {
+      obs::write_chrome_trace(out, sink.spans(), counters);
+    } catch (const std::exception& e) {
+      std::cerr << "cannot write trace: " << e.what() << "\n";
+      return 1;
+    }
+
+    std::cout << d.describe() << "\nexecuted: "
+              << format_double(m.time.value(), 2) << " s at "
+              << format_double(m.avg_power.value(), 1) << " W\n\n";
+    session.metrics().summary_table().print(std::cout);
+    std::cout << "\ntrace: " << out.string() << " (" << sink.span_count()
+              << " spans) — load it at https://ui.perfetto.dev or "
+                 "chrome://tracing\n";
     return 0;
   }
   if (command == "compare") {

@@ -69,7 +69,11 @@ ClusterDecision ClusterAllocator::allocate_scored(
 
     NodeDecision node;
     try {
+      obs::ScopedSpan span(obs_, "pipeline.node_select", "pipeline");
+      span.arg("nodes", nodes);
+      span.arg("node_share_w", node_share);
       node = selector_->select(profile, cls, np, usable);
+      span.arg("threads", node.config.threads);
     } catch (const PreconditionError&) {
       continue;  // no feasible node config under this share
     }
@@ -123,6 +127,8 @@ ClusterDecision ClusterAllocator::allocate_strict(
   d.node_budget = Watts(cluster_budget.value() / nodes);
   d.node_range = range;
   const Watts usable(std::min(d.node_budget.value(), p_hi));
+  obs::ScopedSpan span(obs_, "pipeline.node_select", "pipeline");
+  span.arg("nodes", nodes);
   d.node = selector_->select(profile, cls, np, usable);
   d.predicted_score = d.node.predicted_time.value() / nodes;
   return d;

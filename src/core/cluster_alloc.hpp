@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/node_config.hpp"
+#include "obs/session.hpp"
 #include "core/power_range.hpp"
 #include "core/profile.hpp"
 #include "sim/machine.hpp"
@@ -58,6 +59,10 @@ class ClusterAllocator {
   /// the cluster size.
   [[nodiscard]] std::vector<int> power_of_two_counts() const;
 
+  /// Attach an observability session (nullptr detaches): one
+  /// "pipeline.node_select" span per candidate node count scored.
+  void set_observer(obs::ObsSession* obs) { obs_ = obs; }
+
  private:
   [[nodiscard]] ClusterDecision allocate_scored(
       const ProfileData& profile, workloads::ScalabilityClass cls, int np,
@@ -72,6 +77,7 @@ class ClusterAllocator {
   const sim::MachineSpec* spec_;
   const NodeConfigSelector* selector_;
   ClusterAllocOptions options_;
+  obs::ObsSession* obs_ = nullptr;
 };
 
 }  // namespace clip::core

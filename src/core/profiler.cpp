@@ -20,6 +20,11 @@ SmartProfiler::SmartProfiler(sim::SimExecutor& executor,
 SampleProfile SmartProfiler::run_sample(const workloads::WorkloadSignature& w,
                                         int threads,
                                         parallel::AffinityPolicy affinity) {
+  obs::ScopedSpan span(obs_, "profiler.sample", "profiler");
+  span.arg("app", w.name);
+  span.arg("threads", threads);
+  span.arg("affinity", parallel::to_string(affinity));
+  obs::count(obs_, "profiler.samples");
   // Profile a truncated problem: same signature, scaled work. Thread-team
   // forks happen once per iteration, so running a fraction of the
   // iterations also runs a fraction of the forks.
@@ -102,6 +107,7 @@ void SmartProfiler::validate_at(const workloads::WorkloadSignature& w,
   CLIP_REQUIRE(threads >= 1 &&
                    threads <= executor_->spec().shape.total_cores(),
                "validation thread count outside the node");
+  obs::count(obs_, "profiler.validation_samples");
   profile.validation = run_sample(w, threads, profile.preferred_affinity);
   profile.profiling_cost +=
       Seconds(profile.validation->time.value() * options_.profile_fraction);

@@ -19,6 +19,7 @@
 #include <functional>
 
 #include "core/profile.hpp"
+#include "obs/session.hpp"
 #include "sim/executor.hpp"
 #include "workloads/signature.hpp"
 
@@ -46,6 +47,11 @@ class SmartProfiler {
 
   [[nodiscard]] sim::SimExecutor& executor() { return *executor_; }
 
+  /// Attach an observability session (nullptr detaches): one
+  /// "profiler.sample" span and a `profiler.samples` count per sample
+  /// configuration executed.
+  void set_observer(obs::ObsSession* obs) { obs_ = obs; }
+
  private:
   [[nodiscard]] SampleProfile run_sample(
       const workloads::WorkloadSignature& w, int threads,
@@ -53,6 +59,7 @@ class SmartProfiler {
 
   sim::SimExecutor* executor_;
   ProfilerOptions options_;
+  obs::ObsSession* obs_ = nullptr;
 };
 
 }  // namespace clip::core

@@ -38,20 +38,43 @@ ClipScheduler::ClipScheduler(
   inflection_.train(samples);
 }
 
+void ClipScheduler::set_observer(obs::ObsSession* obs) {
+  obs_ = obs;
+  profiler_.set_observer(obs);
+  allocator_.set_observer(obs);
+}
+
 std::pair<ProfileData, KnowledgeRecord> ClipScheduler::characterize(
     const workloads::WorkloadSignature& app) {
-  ProfileData profile = profiler_.profile(app);
-  const workloads::ScalabilityClass cls = classifier_.classify(profile);
+  ProfileData profile;
+  {
+    obs::ScopedSpan span(obs_, "pipeline.profile", "pipeline");
+    span.arg("app", app.name);
+    profile = profiler_.profile(app);
+    span.arg("memory_intensity", profile.memory_intensity);
+  }
+
+  workloads::ScalabilityClass cls;
+  {
+    obs::ScopedSpan span(obs_, "pipeline.classify", "pipeline");
+    span.arg("half_over_all", profile.perf_ratio_half_over_all);
+    cls = classifier_.classify(profile);
+    span.arg("class", workloads::to_string(cls));
+  }
 
   int np = 0;
-  if (cls != workloads::ScalabilityClass::kLinear) {
-    np = inflection_.predict(profile, cls,
-                             executor_->spec().shape.total_cores());
-    if (options_.take_validation_sample) {
-      // Third sample configuration: measure at the predicted inflection to
-      // anchor the scaling segment of the performance model.
-      profiler_.validate_at(app, profile, np);
+  {
+    obs::ScopedSpan span(obs_, "pipeline.inflect", "pipeline");
+    if (cls != workloads::ScalabilityClass::kLinear) {
+      np = inflection_.predict(profile, cls,
+                               executor_->spec().shape.total_cores());
+      if (options_.take_validation_sample) {
+        // Third sample configuration: measure at the predicted inflection to
+        // anchor the scaling segment of the performance model.
+        profiler_.validate_at(app, profile, np);
+      }
     }
+    span.arg("n_p", np);
   }
   return {profile, make_record(profile, cls, np)};
 }
@@ -67,13 +90,26 @@ ClipScheduler::get_or_characterize(const workloads::WorkloadSignature& app) {
 
 ScheduleDecision ClipScheduler::schedule(
     const workloads::WorkloadSignature& app, Watts cluster_budget) {
+  obs::ScopedSpan root(obs_, "clip.schedule", "pipeline");
+  root.arg("app", app.name);
+  root.arg("budget_w", cluster_budget.value());
+  const obs::ScopedTimer timer(obs_, "scheduler.plan_us");
+  obs::count(obs_, "scheduler.schedules");
+
   auto [profile, record, cached] = get_or_characterize(app);
+  obs::count(obs_, cached ? "scheduler.db_hits" : "scheduler.db_misses");
 
   const std::vector<int> predefined =
       app.has_predefined_process_counts ? allocator_.power_of_two_counts()
                                         : std::vector<int>{};
-  const ClusterDecision alloc = allocator_.allocate(
-      profile, record.cls, record.inflection, cluster_budget, predefined);
+  ClusterDecision alloc;
+  {
+    obs::ScopedSpan span(obs_, "pipeline.allocate", "pipeline");
+    alloc = allocator_.allocate(profile, record.cls, record.inflection,
+                                cluster_budget, predefined);
+    span.arg("nodes", alloc.nodes);
+    span.arg("node_budget_w", alloc.node_budget.value());
+  }
 
   ScheduleDecision d;
   d.cls = record.cls;
@@ -91,9 +127,14 @@ ScheduleDecision ClipScheduler::schedule(
   // multipliers come from the one-time cluster power characterization).
   // Variability scales core load power only; the socket base draw is the
   // hardware constant the coordinator must not redistribute.
-  const auto& spec = executor_->spec();
-  const Watts node_base(spec.shape.sockets * spec.socket_base_w);
-  variability_.apply(d.cluster, node_multipliers(alloc.nodes), node_base);
+  {
+    obs::ScopedSpan span(obs_, "pipeline.coordinate", "pipeline");
+    const auto& spec = executor_->spec();
+    const Watts node_base(spec.shape.sockets * spec.socket_base_w);
+    variability_.apply(d.cluster, node_multipliers(alloc.nodes), node_base);
+    span.arg("overrides",
+             static_cast<int>(d.cluster.cpu_cap_overrides.size()));
+  }
   return d;
 }
 
@@ -107,6 +148,10 @@ std::vector<double> ClipScheduler::node_multipliers(int nodes) const {
 
 ClipScheduler::PhasedDecision ClipScheduler::schedule_phased(
     const workloads::PhasedWorkload& app, Watts cluster_budget) {
+  obs::ScopedSpan root(obs_, "clip.schedule_phased", "pipeline");
+  root.arg("app", app.name);
+  root.arg("phases", static_cast<int>(app.phases.size()));
+  obs::count(obs_, "scheduler.phased_schedules");
   app.validate();
   // Node count and per-node budget from the whole-program (blended)
   // profile: the allocation cannot change at phase boundaries.
@@ -133,20 +178,32 @@ ClipScheduler::PhasedDecision ClipScheduler::schedule_phased(
 ScheduleDecision ClipScheduler::schedule_constrained(
     const workloads::WorkloadSignature& app, Watts cluster_budget,
     int fixed_nodes, int fixed_threads) {
+  obs::ScopedSpan root(obs_, "clip.schedule_constrained", "pipeline");
+  root.arg("app", app.name);
+  root.arg("fixed_nodes", fixed_nodes);
+  const obs::ScopedTimer timer(obs_, "scheduler.plan_us");
+  obs::count(obs_, "scheduler.constrained_schedules");
   CLIP_REQUIRE(fixed_nodes >= 1 && fixed_nodes <= executor_->spec().nodes,
                "fixed node count outside the cluster");
   CLIP_REQUIRE(fixed_threads >= 0 &&
                    fixed_threads <= executor_->spec().shape.total_cores(),
                "fixed thread count outside the node");
   auto [profile, record, cached] = get_or_characterize(app);
+  obs::count(obs_, cached ? "scheduler.db_hits" : "scheduler.db_misses");
 
   const Watts node_budget(cluster_budget.value() / fixed_nodes);
-  const NodeDecision nd =
-      fixed_threads > 0
-          ? selector_.select_forced(profile, record.cls, record.inflection,
-                                    node_budget, fixed_threads)
-          : selector_.select(profile, record.cls, record.inflection,
-                             node_budget);
+  NodeDecision nd;
+  {
+    obs::ScopedSpan span(obs_, "pipeline.node_select", "pipeline");
+    span.arg("nodes", fixed_nodes);
+    nd = fixed_threads > 0
+             ? selector_.select_forced(profile, record.cls,
+                                       record.inflection, node_budget,
+                                       fixed_threads)
+             : selector_.select(profile, record.cls, record.inflection,
+                                node_budget);
+    span.arg("threads", nd.config.threads);
+  }
 
   ScheduleDecision d;
   d.cls = record.cls;
@@ -161,9 +218,12 @@ ScheduleDecision ClipScheduler::schedule_constrained(
   d.cluster.nodes = fixed_nodes;
   d.cluster.node = nd.config;
 
-  const auto& spec = executor_->spec();
-  const Watts node_base(spec.shape.sockets * spec.socket_base_w);
-  variability_.apply(d.cluster, node_multipliers(fixed_nodes), node_base);
+  {
+    obs::ScopedSpan span(obs_, "pipeline.coordinate", "pipeline");
+    const auto& spec = executor_->spec();
+    const Watts node_base(spec.shape.sockets * spec.socket_base_w);
+    variability_.apply(d.cluster, node_multipliers(fixed_nodes), node_base);
+  }
   return d;
 }
 

@@ -25,6 +25,7 @@
 #include "core/node_config.hpp"
 #include "core/profiler.hpp"
 #include "core/variability_coord.hpp"
+#include "obs/session.hpp"
 #include "sim/executor.hpp"
 #include "sim/phased.hpp"
 #include "workloads/phases.hpp"
@@ -98,6 +99,15 @@ class ClipScheduler {
       const workloads::WorkloadSignature& app, Watts cluster_budget,
       int fixed_nodes, int fixed_threads = 0);
 
+  /// Attach an observability session (nullptr detaches), forwarded to the
+  /// profiler and allocator. Every schedule() then emits one span per
+  /// pipeline stage — pipeline.profile → .classify → .inflect →
+  /// .node_select → .allocate → .coordinate — under a "clip.schedule" root,
+  /// plus the scheduler.* counters and the `scheduler.plan_us` latency
+  /// histogram (taxonomy: docs/observability.md). Detached scheduling costs
+  /// one branch per stage; bench/micro_runtime pins that at noise level.
+  void set_observer(obs::ObsSession* obs);
+
   [[nodiscard]] KnowledgeDb& knowledge_db() { return db_; }
   [[nodiscard]] const InflectionPredictor& inflection_predictor() const {
     return inflection_;
@@ -129,6 +139,7 @@ class ClipScheduler {
   ClusterAllocator allocator_;
   VariabilityCoordinator variability_;
   KnowledgeDb db_;
+  obs::ObsSession* obs_ = nullptr;
 };
 
 }  // namespace clip::core

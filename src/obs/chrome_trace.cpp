@@ -1,0 +1,113 @@
+#include "obs/chrome_trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace clip::obs {
+
+namespace {
+
+/// Fixed-precision non-scientific number rendering (ns resolution on
+/// microsecond timestamps). snprintf keeps the output locale-independent.
+std::string number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+void append_args(std::ostringstream& os, const std::vector<SpanArg>& args) {
+  os << "\"args\":{";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) os << ',';
+    os << '"' << json_escape(args[i].key) << "\":";
+    if (args[i].numeric)
+      os << args[i].value;
+    else
+      os << '"' << json_escape(args[i].value) << '"';
+  }
+  os << '}';
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string span_to_json(const SpanRecord& span) {
+  std::ostringstream os;
+  os << "{\"name\":\"" << json_escape(span.name) << "\",\"cat\":\""
+     << json_escape(span.category.empty() ? "clip" : span.category)
+     << "\",\"ph\":\"X\",\"ts\":" << number(span.start_us)
+     << ",\"dur\":" << number(span.duration_us)
+     << ",\"pid\":1,\"tid\":" << span.tid << ',';
+  append_args(os, span.args);
+  os << '}';
+  return os.str();
+}
+
+std::string counter_to_json(const CounterSample& sample) {
+  std::ostringstream os;
+  os << "{\"name\":\"" << json_escape(sample.name)
+     << "\",\"cat\":\"counter\",\"ph\":\"C\",\"ts\":" << number(sample.time_us)
+     << ",\"pid\":1,\"args\":{";
+  for (std::size_t i = 0; i < sample.series.size(); ++i) {
+    if (i > 0) os << ',';
+    os << '"' << json_escape(sample.series[i].first)
+       << "\":" << number(sample.series[i].second);
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string chrome_trace_json(const std::vector<SpanRecord>& spans,
+                              const std::vector<CounterSample>& counters) {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& s : spans) {
+    if (!first) os << ",\n";
+    first = false;
+    os << span_to_json(s);
+  }
+  for (const auto& c : counters) {
+    if (!first) os << ",\n";
+    first = false;
+    os << counter_to_json(c);
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}\n";
+  return os.str();
+}
+
+void write_chrome_trace(const std::filesystem::path& path,
+                        const std::vector<SpanRecord>& spans,
+                        const std::vector<CounterSample>& counters) {
+  std::ofstream out(path);
+  CLIP_REQUIRE(out.good(), "cannot open trace file: " + path.string());
+  out << chrome_trace_json(spans, counters);
+}
+
+}  // namespace clip::obs

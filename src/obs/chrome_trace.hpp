@@ -1,0 +1,42 @@
+// Chrome-trace-format JSON export.
+//
+// Emits the "JSON Array Format" of the Trace Event specification: a top-level
+// object with a `traceEvents` array of complete-duration events ("ph":"X",
+// which need no begin/end matching by the viewer) and counter events
+// ("ph":"C"). The output loads directly in Perfetto (https://ui.perfetto.dev)
+// and in chrome://tracing. Nesting is implied by timestamp containment on a
+// (pid, tid) track, so span records carry no explicit parent pointers.
+//
+// Serialization is deterministic: field order is fixed and timestamps are
+// printed with fixed precision, so a FakeClock yields byte-identical output
+// (asserted by test_obs).
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "obs/sink.hpp"
+
+namespace clip::obs {
+
+/// Escape a string for inclusion inside JSON double quotes.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// One complete-duration event object (no trailing newline).
+[[nodiscard]] std::string span_to_json(const SpanRecord& span);
+
+/// One counter event object (no trailing newline).
+[[nodiscard]] std::string counter_to_json(const CounterSample& sample);
+
+/// The full trace document: {"traceEvents":[...],"displayTimeUnit":"ms"}.
+[[nodiscard]] std::string chrome_trace_json(
+    const std::vector<SpanRecord>& spans,
+    const std::vector<CounterSample>& counters = {});
+
+/// Write the trace document to `path`.
+void write_chrome_trace(const std::filesystem::path& path,
+                        const std::vector<SpanRecord>& spans,
+                        const std::vector<CounterSample>& counters = {});
+
+}  // namespace clip::obs

@@ -1,0 +1,216 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace clip::obs {
+
+namespace {
+
+/// CAS add for atomic<double> (fetch_add on floating atomics is C++20 but
+/// spelled out here so the memory-order intent is explicit and portable).
+void atomic_add(std::atomic<double>& a, double delta) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + delta,
+                                  std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+HistogramSpec HistogramSpec::linear(double lo, double hi, int buckets) {
+  CLIP_REQUIRE(buckets >= 1, "need at least one bucket");
+  CLIP_REQUIRE(hi > lo, "linear spec needs hi > lo");
+  HistogramSpec spec;
+  spec.bounds.reserve(static_cast<std::size_t>(buckets));
+  const double width = (hi - lo) / buckets;
+  for (int i = 1; i <= buckets; ++i) spec.bounds.push_back(lo + width * i);
+  return spec;
+}
+
+HistogramSpec HistogramSpec::exponential(double lo, double factor,
+                                         int buckets) {
+  CLIP_REQUIRE(buckets >= 1, "need at least one bucket");
+  CLIP_REQUIRE(lo > 0.0 && factor > 1.0,
+               "exponential spec needs lo > 0 and factor > 1");
+  HistogramSpec spec;
+  spec.bounds.reserve(static_cast<std::size_t>(buckets));
+  double bound = lo;
+  for (int i = 0; i < buckets; ++i) {
+    spec.bounds.push_back(bound);
+    bound *= factor;
+  }
+  return spec;
+}
+
+void HistogramSpec::validate() const {
+  CLIP_REQUIRE(!bounds.empty(), "histogram needs at least one bucket bound");
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    CLIP_REQUIRE(std::isfinite(bounds[i]), "bucket bounds must be finite");
+    if (i > 0)
+      CLIP_REQUIRE(bounds[i] > bounds[i - 1],
+                   "bucket bounds must be strictly ascending");
+  }
+}
+
+Histogram::Histogram(HistogramSpec spec)
+    : spec_(std::move(spec)),
+      buckets_(spec_.bounds.size() + 1),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  spec_.validate();
+}
+
+void Histogram::record(double v) {
+  const auto it =
+      std::lower_bound(spec_.bounds.begin(), spec_.bounds.end(), v);
+  const std::size_t index =
+      static_cast<std::size_t>(it - spec_.bounds.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+}
+
+std::uint64_t Histogram::count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::min() const {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::quantile(double q) const {
+  CLIP_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q outside [0,1]");
+  // Snapshot the buckets: concurrent recording may tear the totals, which
+  // is acceptable for an observability estimate.
+  std::vector<std::uint64_t> counts(buckets_.size());
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  const double lo_observed = min_.load(std::memory_order_relaxed);
+  const double hi_observed = max_.load(std::memory_order_relaxed);
+
+  const double target = q * static_cast<double>(total);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    if (static_cast<double>(cum + counts[i]) >= target) {
+      // Bucket edges: the first populated region starts at the observed
+      // minimum; the overflow bucket ends at the observed maximum.
+      const double lo = i == 0 ? lo_observed
+                               : std::max(spec_.bounds[i - 1], lo_observed);
+      const double hi =
+          i < spec_.bounds.size() ? std::min(spec_.bounds[i], hi_observed)
+                                  : hi_observed;
+      const double within =
+          counts[i] == 0 ? 0.0
+                         : (target - static_cast<double>(cum)) /
+                               static_cast<double>(counts[i]);
+      const double v = lo + (hi - lo) * std::clamp(within, 0.0, 1.0);
+      return std::clamp(v, lo_observed, hi_observed);
+    }
+    cum += counts[i];
+  }
+  return hi_observed;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      const HistogramSpec& spec) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>(spec))
+             .first;
+  return *it->second;
+}
+
+const Counter* MetricsRegistry::find_counter(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* MetricsRegistry::find_gauge(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+Table MetricsRegistry::summary_table() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Table t({"metric", "kind", "count", "value", "p50", "p90", "p99"});
+  t.set_title("Metrics summary");
+  for (const auto& [name, c] : counters_)
+    t.add_row({name, "counter", std::to_string(c->value()), "-", "-", "-",
+               "-"});
+  for (const auto& [name, g] : gauges_)
+    t.add_row({name, "gauge", "-", format_double(g->value(), 3), "-", "-",
+               "-"});
+  for (const auto& [name, h] : histograms_)
+    t.add_row({name, "histogram", std::to_string(h->count()),
+               format_double(h->mean(), 3), format_double(h->quantile(0.5), 3),
+               format_double(h->quantile(0.9), 3),
+               format_double(h->quantile(0.99), 3)});
+  return t;
+}
+
+}  // namespace clip::obs

@@ -1,0 +1,124 @@
+// Metrics registry: counters, gauges, fixed-bucket histograms.
+//
+// Recording is lock-free (plain atomics) so instrumented hot paths — the
+// simulator executes tens of thousands of runs inside one oracle search —
+// never serialize on a registry mutex; the mutex guards only metric
+// *creation* and snapshot reads. Histograms use fixed buckets chosen at
+// registration (linear or exponential edges), which keeps `record()` O(log
+// buckets) with no allocation and makes quantile queries (p50/p90/p99 via
+// in-bucket linear interpolation) cheap and deterministic for a fixed input
+// sequence. Values carry whatever unit the call site chose; the convention
+// table lives in docs/observability.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace clip::obs {
+
+/// Monotone event count.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    n_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return n_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> n_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depth, free watts, ...).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Bucket layout for a histogram: ascending finite upper bounds; everything
+/// above the last bound lands in an implicit overflow bucket.
+struct HistogramSpec {
+  std::vector<double> bounds;
+
+  /// `buckets` equal-width buckets covering [lo, hi].
+  [[nodiscard]] static HistogramSpec linear(double lo, double hi,
+                                            int buckets);
+  /// Bounds lo, lo*factor, lo*factor^2, ... (`buckets` of them).
+  [[nodiscard]] static HistogramSpec exponential(double lo, double factor,
+                                                 int buckets);
+
+  void validate() const;
+};
+
+/// Fixed-bucket histogram with lock-free recording.
+class Histogram {
+ public:
+  explicit Histogram(HistogramSpec spec);
+
+  void record(double v);
+
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] double sum() const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;  ///< 0 when empty
+  [[nodiscard]] double max() const;  ///< 0 when empty
+
+  /// Quantile estimate for q in [0,1]: locate the bucket holding the q-th
+  /// observation and interpolate linearly inside it, clamped to the observed
+  /// [min, max]. Returns 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] const HistogramSpec& spec() const { return spec_; }
+
+ private:
+  HistogramSpec spec_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  ///< bounds + overflow
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+/// Name -> metric. Creation is get-or-create (the first call wins; for a
+/// histogram the first caller's spec sticks). References stay valid for the
+/// registry's lifetime.
+class MetricsRegistry {
+ public:
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] Histogram& histogram(std::string_view name,
+                                     const HistogramSpec& spec);
+
+  /// Lookup without creation (tests, report writers).
+  [[nodiscard]] const Counter* find_counter(std::string_view name) const;
+  [[nodiscard]] const Gauge* find_gauge(std::string_view name) const;
+  [[nodiscard]] const Histogram* find_histogram(std::string_view name) const;
+
+  /// Every metric as one row: name | kind | count | value/mean | p50 | p99.
+  /// Rows are sorted by name (std::map), so output is deterministic.
+  [[nodiscard]] Table summary_table() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace clip::obs

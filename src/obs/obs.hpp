@@ -1,0 +1,40 @@
+// clip::obs — observability for the CLIP decision pipeline.
+//
+// CLIP's output is a *decision* (node count, concurrency, affinity, memory
+// level, power caps); when a decision looks wrong, the question is always
+// "which stage chose this and from what inputs?". This subsystem answers it
+// with two instruments behind one ObsSession handle:
+//
+//   * Tracing  — nested, argument-carrying spans over every pipeline stage
+//                (profile → classify → inflect → node_select → allocate →
+//                coordinate) and the substrates beneath them, exported as
+//                Chrome-trace JSON (Perfetto / chrome://tracing) or JSONL.
+//   * Metrics  — counters, gauges and fixed-bucket histograms with
+//                p50/p90/p99 queries, rendered as an ASCII summary table.
+//
+// Production power-bounded fleets are operated through exactly this kind of
+// monitoring layer (cf. PAPERS.md: the 100 MW-scale AI-cluster provisioning
+// work and WattsApp both feed runtime optimization from continuous
+// power/perf telemetry); here it also anchors the repo's own performance
+// claims: scheduler planning latency is a recorded histogram, not an
+// anecdote.
+//
+// Design constraints, in order:
+//   1. Zero cost detached — every hook is one branch when no session (or no
+//      sink) is attached; attaching is a runtime choice, never a rebuild.
+//   2. Deterministic — timestamps come from an injected monotonic Clock
+//      (FakeClock in tests ⇒ byte-identical traces); no wall-clock dates
+//      appear in any recorded value.
+//   3. Thread-safe — recording uses atomics (metrics) or a sink-side lock
+//      (spans); the simulator and job queue record from many threads.
+//
+// See docs/observability.md for the span taxonomy, metric name table and a
+// worked `clipctl trace` example.
+#pragma once
+
+#include "obs/chrome_trace.hpp"
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/session.hpp"
+#include "obs/sink.hpp"
+#include "obs/tracer.hpp"

@@ -1,0 +1,108 @@
+// ObsSession — the handle instrumented components hold.
+//
+// Bundles one Tracer and one MetricsRegistry behind a single pointer:
+// scheduler, profiler, executor and runtime each accept an `ObsSession*` via
+// `set_observer()` and treat nullptr as "observability off". The free
+// helpers below fold that null test into the call site, so instrumentation
+// reads as one line and costs one branch when detached.
+//
+// Typical wiring (see docs/observability.md for the full walkthrough):
+//
+//   obs::ObsSession session;             // SteadyClock by default
+//   obs::MemorySink sink;
+//   session.set_sink(&sink);
+//   scheduler.set_observer(&session);
+//   executor.set_observer(&session);
+//   ... run ...
+//   obs::write_chrome_trace("trace.json", sink.spans());
+//   session.metrics().summary_table().print(std::cout);
+#pragma once
+
+#include <string_view>
+
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+
+namespace clip::obs {
+
+struct ObsOptions {
+  /// External clock (not owned; must outlive the session). Defaults to an
+  /// internal SteadyClock; tests inject a FakeClock for determinism.
+  const Clock* clock = nullptr;
+};
+
+class ObsSession {
+ public:
+  explicit ObsSession(ObsOptions options = ObsOptions{})
+      : clock_(options.clock != nullptr ? options.clock : &default_clock_),
+        tracer_(*clock_) {}
+
+  [[nodiscard]] Tracer& tracer() { return tracer_; }
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const Clock& clock() const { return *clock_; }
+
+  void set_sink(TraceSink* sink) { tracer_.set_sink(sink); }
+
+ private:
+  SteadyClock default_clock_;
+  const Clock* clock_;
+  Tracer tracer_;
+  MetricsRegistry metrics_;
+};
+
+// ---------------------------------------------------- null-safe helpers ----
+
+inline void count(ObsSession* s, std::string_view name,
+                  std::uint64_t delta = 1) {
+  if (s != nullptr) s->metrics().counter(name).add(delta);
+}
+
+inline void gauge_set(ObsSession* s, std::string_view name, double v) {
+  if (s != nullptr) s->metrics().gauge(name).set(v);
+}
+
+inline void observe(ObsSession* s, std::string_view name,
+                    const HistogramSpec& spec, double v) {
+  if (s != nullptr) s->metrics().histogram(name, spec).record(v);
+}
+
+/// Shared bucket layouts, so every latency histogram is quantile-comparable.
+/// 1 µs … ~1 s in 20 exponential buckets.
+[[nodiscard]] inline const HistogramSpec& latency_us_spec() {
+  static const HistogramSpec spec = HistogramSpec::exponential(1.0, 2.0, 20);
+  return spec;
+}
+
+/// Control-loop step counts: 0 … 16k in 32 linear buckets.
+[[nodiscard]] inline const HistogramSpec& steps_spec() {
+  static const HistogramSpec spec = HistogramSpec::linear(0.0, 16384.0, 32);
+  return spec;
+}
+
+/// RAII wall-time timer: records the scope's duration in microseconds into a
+/// histogram. Inert (one branch) when the session is null.
+class ScopedTimer {
+ public:
+  ScopedTimer(ObsSession* session, std::string_view name,
+              const HistogramSpec& spec = latency_us_spec())
+      : session_(session) {
+    if (session_ == nullptr) return;
+    hist_ = &session_->metrics().histogram(name, spec);
+    start_us_ = session_->clock().now_us();
+  }
+  ~ScopedTimer() {
+    if (session_ != nullptr)
+      hist_->record(session_->clock().now_us() - start_us_);
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  ObsSession* session_ = nullptr;
+  Histogram* hist_ = nullptr;
+  double start_us_ = 0.0;
+};
+
+}  // namespace clip::obs

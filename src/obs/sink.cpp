@@ -1,0 +1,57 @@
+#include "obs/sink.hpp"
+
+#include "obs/chrome_trace.hpp"
+#include "util/check.hpp"
+
+namespace clip::obs {
+
+void MemorySink::on_span(const SpanRecord& span) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(span);
+}
+
+void MemorySink::on_counter(const CounterSample& sample) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  counters_.push_back(sample);
+}
+
+std::vector<SpanRecord> MemorySink::spans() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::vector<CounterSample> MemorySink::counters() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+std::size_t MemorySink::span_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+void MemorySink::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  counters_.clear();
+}
+
+JsonlFileSink::JsonlFileSink(const std::filesystem::path& path) : out_(path) {
+  CLIP_REQUIRE(out_.good(), "cannot open JSONL sink file: " + path.string());
+}
+
+void JsonlFileSink::on_span(const SpanRecord& span) {
+  const std::string line = span_to_json(span);
+  const std::lock_guard<std::mutex> lock(mu_);
+  out_ << line << '\n';
+  out_.flush();  // crash tolerance beats throughput for a debug stream
+}
+
+void JsonlFileSink::on_counter(const CounterSample& sample) {
+  const std::string line = counter_to_json(sample);
+  const std::lock_guard<std::mutex> lock(mu_);
+  out_ << line << '\n';
+  out_.flush();
+}
+
+}  // namespace clip::obs

@@ -1,0 +1,97 @@
+// Trace records and the pluggable sink interface.
+//
+// The tracer hands each *completed* span (and each counter sample) to one
+// sink. Three implementations cover the deployment spectrum: NullSink
+// (attached but discarding — the upper bound on instrumentation overhead),
+// MemorySink (tests and the clipctl trace subcommand, exported to
+// Chrome-trace JSON afterwards), and JsonlFileSink (streaming one JSON object
+// per line for long-running services, tail-able and crash-tolerant).
+// With no sink attached at all, instrumented code takes a single predictable
+// branch per call site and records nothing.
+#pragma once
+
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace clip::obs {
+
+/// One argument attached to a span. `numeric` controls JSON rendering:
+/// numeric values are emitted unquoted so trace viewers can plot them.
+struct SpanArg {
+  std::string key;
+  std::string value;
+  bool numeric = false;
+};
+
+/// A completed span: a named interval on one thread with nesting depth.
+struct SpanRecord {
+  std::string name;
+  std::string category;  ///< Chrome-trace "cat" — e.g. "pipeline", "sim"
+  std::vector<SpanArg> args;
+  double start_us = 0.0;
+  double duration_us = 0.0;
+  int tid = 0;    ///< small stable per-thread index assigned by the tracer
+  int depth = 0;  ///< nesting depth at begin (0 = top-level)
+};
+
+/// One sample of a counter track (Chrome-trace "C" event): a timestamp plus
+/// one or more named series values, rendered as a stacked area in Perfetto.
+struct CounterSample {
+  std::string name;
+  double time_us = 0.0;
+  std::vector<std::pair<std::string, double>> series;
+};
+
+/// Receives completed trace records. Implementations must be thread-safe:
+/// spans finish concurrently on every instrumented thread.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_span(const SpanRecord& span) = 0;
+  virtual void on_counter(const CounterSample& sample) { (void)sample; }
+};
+
+/// Discards everything. Benchmarks the full recording path minus storage.
+class NullSink final : public TraceSink {
+ public:
+  void on_span(const SpanRecord&) override {}
+  void on_counter(const CounterSample&) override {}
+};
+
+/// Accumulates records in memory for later export or inspection.
+class MemorySink final : public TraceSink {
+ public:
+  void on_span(const SpanRecord& span) override;
+  void on_counter(const CounterSample& sample) override;
+
+  /// Snapshot copies (the sink may keep recording concurrently).
+  [[nodiscard]] std::vector<SpanRecord> spans() const;
+  [[nodiscard]] std::vector<CounterSample> counters() const;
+  [[nodiscard]] std::size_t span_count() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;
+  std::vector<CounterSample> counters_;
+};
+
+/// Streams each record as one JSON object per line (JSONL). The objects use
+/// the same schema as the Chrome-trace `traceEvents` entries, so a JSONL
+/// file wraps into a loadable trace with `jq -s '{traceEvents:.}'`.
+class JsonlFileSink final : public TraceSink {
+ public:
+  explicit JsonlFileSink(const std::filesystem::path& path);
+
+  void on_span(const SpanRecord& span) override;
+  void on_counter(const CounterSample& sample) override;
+
+ private:
+  std::mutex mu_;
+  std::ofstream out_;
+};
+
+}  // namespace clip::obs

@@ -14,11 +14,20 @@ Launcher::Launcher(
     scheduler_.knowledge_db().load(*db_path_);
 }
 
+void Launcher::set_observer(obs::ObsSession* obs) {
+  obs_ = obs;
+  scheduler_.set_observer(obs);
+}
+
 void Launcher::persist() {
   if (db_path_) scheduler_.knowledge_db().save(*db_path_);
 }
 
 JobResult Launcher::run(const JobSpec& spec) {
+  obs::ScopedSpan span(obs_, "runtime.job", "runtime");
+  span.arg("app", spec.app.name);
+  span.arg("budget_w", spec.cluster_budget.value());
+  obs::count(obs_, "runtime.jobs");
   const core::ScheduleDecision decision =
       scheduler_.schedule(spec.app, spec.cluster_budget);
   if (!decision.from_knowledge_db) persist();

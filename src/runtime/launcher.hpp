@@ -8,6 +8,7 @@
 #include <optional>
 
 #include "core/scheduler.hpp"
+#include "obs/session.hpp"
 #include "runtime/job.hpp"
 #include "sim/executor.hpp"
 
@@ -31,12 +32,19 @@ class Launcher {
   [[nodiscard]] core::ClipScheduler& scheduler() { return scheduler_; }
   [[nodiscard]] sim::SimExecutor& executor() { return *executor_; }
 
+  /// Attach an observability session (nullptr detaches), forwarded to the
+  /// owned scheduler: one "runtime.job" span and a `runtime.jobs` count per
+  /// launched job. The executor is shared with the caller, who decides
+  /// separately whether to observe it.
+  void set_observer(obs::ObsSession* obs);
+
  private:
   void persist();
 
   sim::SimExecutor* executor_;
   core::ClipScheduler scheduler_;
   std::optional<std::filesystem::path> db_path_;
+  obs::ObsSession* obs_ = nullptr;
 };
 
 }  // namespace clip::runtime

@@ -26,6 +26,13 @@ struct Running {
   double power_w;
 };
 
+/// Simulated-seconds wait times: 0.125 s … ~2000 s.
+const obs::HistogramSpec& wait_s_spec() {
+  static const obs::HistogramSpec spec =
+      obs::HistogramSpec::exponential(0.125, 2.0, 14);
+  return spec;
+}
+
 }  // namespace
 
 QueueReport PowerAwareJobQueue::run(
@@ -52,8 +59,12 @@ QueueReport PowerAwareJobQueue::run(
   };
 
   auto try_start = [&](std::size_t j) -> bool {
+    obs::ScopedSpan span(obs_, "queue.try_start", "runtime");
+    span.arg("app", jobs[j].name);
     const int nodes_avail = free_nodes();
     const double watts_avail = free_power();
+    span.arg("free_nodes", nodes_avail);
+    span.arg("free_watts", watts_avail);
     if (nodes_avail < 1 ||
         watts_avail < options_.min_node_power_w)
       return false;
@@ -99,6 +110,8 @@ QueueReport PowerAwareJobQueue::run(
     report.total_energy_j += m.energy.value();
     report.node_seconds_used += nodes_used * (r.end_s - now);
     started[j] = true;
+    obs::count(obs_, "queue.jobs_started");
+    obs::observe(obs_, "queue.job_wait_s", wait_s_spec(), out.wait_s());
     return true;
   };
 
@@ -108,6 +121,12 @@ QueueReport PowerAwareJobQueue::run(
       const bool ok = try_start(j);
       if (!ok && !options_.backfill) break;  // strict FCFS: head blocks
     }
+    std::size_t waiting = 0;
+    for (std::size_t j = 0; j < jobs.size(); ++j)
+      if (!started[j]) ++waiting;
+    obs::gauge_set(obs_, "queue.depth", static_cast<double>(waiting));
+    obs::gauge_set(obs_, "queue.running",
+                   static_cast<double>(running.size()));
   };
 
   start_eligible();

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/scheduler.hpp"
+#include "obs/session.hpp"
 #include "sim/executor.hpp"
 #include "util/units.hpp"
 #include "workloads/signature.hpp"
@@ -69,10 +70,17 @@ class PowerAwareJobQueue {
   [[nodiscard]] QueueReport run(
       const std::vector<workloads::WorkloadSignature>& jobs);
 
+  /// Attach an observability session (nullptr detaches): `queue.depth` /
+  /// `queue.running` gauges track the event loop, each start attempt emits
+  /// a "queue.try_start" span, and per-job waits (simulated seconds, so
+  /// deterministic) feed the `queue.job_wait_s` histogram.
+  void set_observer(obs::ObsSession* obs) { obs_ = obs; }
+
  private:
   sim::SimExecutor* executor_;
   core::ClipScheduler* scheduler_;
   QueueOptions options_;
+  obs::ObsSession* obs_ = nullptr;
 };
 
 /// Reference policy: one job at a time with the whole budget (what a

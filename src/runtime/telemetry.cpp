@@ -80,6 +80,20 @@ double Telemetry::energy_j(const std::vector<TelemetrySample>& series,
   return acc;
 }
 
+std::vector<obs::CounterSample> Telemetry::to_trace_counters(
+    const std::vector<TelemetrySample>& series) {
+  std::vector<obs::CounterSample> counters;
+  counters.reserve(series.size());
+  for (const auto& s : series) {
+    obs::CounterSample c;
+    c.name = "power.node" + std::to_string(s.node);
+    c.time_us = s.time_s * 1e6;
+    c.series = {{"cpu_w", s.cpu_power_w}, {"mem_w", s.mem_power_w}};
+    counters.push_back(std::move(c));
+  }
+  return counters;
+}
+
 void Telemetry::write(const std::filesystem::path& path,
                       const std::vector<TelemetrySample>& series) {
   CsvDocument doc;

@@ -3,14 +3,18 @@
 //
 // Produces a sampled time series of per-node power, frequency and phase for
 // an executed job (flat or phased), with the meter's sampling noise, and
-// exports it as CSV for external plotting. The integral of the power series
-// reproduces the job's measured energy (a test invariant).
+// exports it as CSV for external plotting or as Chrome-trace counter tracks
+// through the clip::obs sink interface. With noise disabled, the rectangle-
+// rule integral of the power series reproduces the job's measured energy to
+// within the last partial sample — a test invariant asserted by
+// test_runtime.cpp and test_dynamics.cpp.
 #pragma once
 
 #include <filesystem>
 #include <string>
 #include <vector>
 
+#include "obs/sink.hpp"
 #include "sim/executor.hpp"
 #include "sim/phased.hpp"
 #include "util/csv.hpp"
@@ -47,13 +51,22 @@ class Telemetry {
   [[nodiscard]] std::vector<TelemetrySample> record_phased(
       const sim::PhasedMeasurement& m, int nodes) const;
 
-  /// Mean power integral of a series (trapezoid-free: samples are uniform).
+  /// Energy integral of a series in joules: Σ (cpu_w + mem_w) · Δt over all
+  /// samples (rectangle rule — samples are uniformly spaced, so no
+  /// trapezoid correction is needed).
   [[nodiscard]] static double energy_j(
       const std::vector<TelemetrySample>& series, double sample_period_s);
 
-  /// Export as CSV (time,phase,node,cpu_w,mem_w,freq,threads).
+  /// Export as CSV (columns: time_s,phase,node,cpu_w,mem_w,freq_ghz,threads).
   static void write(const std::filesystem::path& path,
                     const std::vector<TelemetrySample>& series);
+
+  /// Bridge into the obs sink interface: one Chrome-trace counter track per
+  /// node ("power.node<N>" with cpu_w/mem_w series, seconds mapped to the
+  /// trace's microsecond axis) so a job's power draw plots under its spans
+  /// in Perfetto. Feed to obs::write_chrome_trace or a TraceSink.
+  [[nodiscard]] static std::vector<obs::CounterSample> to_trace_counters(
+      const std::vector<TelemetrySample>& series);
 
  private:
   TelemetryOptions options_;

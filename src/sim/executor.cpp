@@ -17,6 +17,12 @@ SimExecutor::SimExecutor(MachineSpec spec, MeterOptions meter)
 
 Measurement SimExecutor::run_exact(const workloads::WorkloadSignature& w,
                                    const ClusterConfig& cfg) const {
+  obs::ScopedSpan span(obs_, "sim.run", "sim");
+  span.arg("app", w.name);
+  span.arg("nodes", cfg.nodes);
+  obs::count(obs_, "sim.runs");
+  obs::count(obs_, "sim.node_solves",
+             static_cast<std::uint64_t>(std::max(cfg.nodes, 0)));
   w.validate();
   CLIP_REQUIRE(cfg.nodes >= 1 && cfg.nodes <= spec_.nodes,
                "node count outside the cluster");

@@ -4,6 +4,7 @@
 // testbed (see DESIGN.md §1 for the substitution argument).
 #pragma once
 
+#include "obs/session.hpp"
 #include "sim/comm_model.hpp"
 #include "sim/config.hpp"
 #include "sim/machine.hpp"
@@ -25,6 +26,11 @@ class SimExecutor {
   [[nodiscard]] const Variability& variability() const {
     return variability_;
   }
+
+  /// Attach an observability session (nullptr detaches): every run bumps
+  /// `sim.runs`/`sim.node_solves` and, with a sink attached, emits a
+  /// "sim.run" span. Detached cost is one branch per run.
+  void set_observer(obs::ObsSession* obs) { obs_ = obs; }
 
   /// Execute `w` under `cfg` and return the (noisy) measurement.
   ///
@@ -53,6 +59,7 @@ class SimExecutor {
   RaplSolver rapl_;
   EventModel events_;
   PowerMeter meter_;
+  obs::ObsSession* obs_ = nullptr;
 };
 
 }  // namespace clip::sim

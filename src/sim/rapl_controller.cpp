@@ -26,6 +26,10 @@ RaplTrace RaplControllerSim::simulate(const workloads::WorkloadSignature& w,
                                       parallel::AffinityPolicy affinity,
                                       double bw_cap_gbps, Watts cpu_cap,
                                       RaplControllerOptions options) const {
+  obs::ScopedSpan obs_span(obs_, "sim.rapl_controller.simulate", "sim");
+  obs_span.arg("app", w.name);
+  obs_span.arg("threads", threads);
+  obs::count(obs_, "sim.rapl_controller.runs");
   CLIP_REQUIRE(options.steps > 10, "need a meaningful horizon");
   CLIP_REQUIRE(options.step_s > 0.0 && options.window_s >= options.step_s,
                "window must cover at least one step");
@@ -107,6 +111,7 @@ RaplTrace RaplControllerSim::simulate(const workloads::WorkloadSignature& w,
   double steady_work = 0.0;
   double steady_power = 0.0, steady_freq = 0.0;
   int steady_steps = 0;
+  int transitions = 0;
 
   for (int step = 0; step < options.steps; ++step) {
     const double p = state_power[state];
@@ -133,14 +138,24 @@ RaplTrace RaplControllerSim::simulate(const workloads::WorkloadSignature& w,
     // state's draw) stays under the limit — bounded by the cap-crossing
     // pair so the steady state oscillates between adjacent states.
     if (avg > cpu_cap.value()) {
-      if (state > 0) --state;
+      if (state > 0) {
+        --state;
+        ++transitions;
+      }
     } else if (state + 1 <= ceiling_state) {
       const double projected =
           (window_sum - window.front() + state_power[state + 1]) /
           static_cast<double>(window.size());
-      if (projected <= cpu_cap.value()) ++state;
+      if (projected <= cpu_cap.value()) {
+        ++state;
+        ++transitions;
+      }
     }
   }
+  obs::observe(obs_, "sim.rapl_controller.steps", obs::steps_spec(),
+               static_cast<double>(options.steps));
+  obs::observe(obs_, "sim.rapl_controller.transitions", obs::steps_spec(),
+               static_cast<double>(transitions));
 
   trace.avg_power_w = steady_power / steady_steps;
   trace.avg_freq_ghz = steady_freq / steady_steps;

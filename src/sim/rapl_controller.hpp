@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "obs/session.hpp"
 #include "sim/machine.hpp"
 #include "sim/perf_model.hpp"
 #include "sim/power_model.hpp"
@@ -54,10 +55,16 @@ class RaplControllerSim {
       parallel::AffinityPolicy affinity, double bw_cap_gbps, Watts cpu_cap,
       RaplControllerOptions options = RaplControllerOptions{}) const;
 
+  /// Attach an observability session (nullptr detaches): each simulate()
+  /// bumps `sim.rapl_controller.runs` and feeds the step/transition
+  /// histograms (see docs/observability.md).
+  void set_observer(obs::ObsSession* obs) { obs_ = obs; }
+
  private:
   const MachineSpec* spec_;
   PowerModel power_;
   PerfModel perf_;
+  obs::ObsSession* obs_ = nullptr;
 };
 
 }  // namespace clip::sim

@@ -1,5 +1,6 @@
 // Unit tests for the runtime module: jobs, launch scripts, the launcher with
-// persistent knowledge DB, and the comparison harness.
+// persistent knowledge DB, the comparison harness, and telemetry (energy
+// integral invariant + the Chrome-trace counter bridge).
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -10,6 +11,7 @@
 #include "runtime/comparison.hpp"
 #include "runtime/job.hpp"
 #include "runtime/launcher.hpp"
+#include "runtime/telemetry.hpp"
 #include "util/check.hpp"
 #include "workloads/catalog.hpp"
 
@@ -168,6 +170,55 @@ TEST_F(ComparisonTest, EmptyHarnessRejected) {
       (void)h.run({*workloads::find_benchmark("CoMD")}, {800.0}),
       PreconditionError);
   EXPECT_THROW(h.add_method(nullptr), PreconditionError);
+}
+
+// --------------------------------------------------------------- telemetry ----
+
+TEST(TelemetryTest, EnergyIntegralReproducesMeasuredEnergy) {
+  // The invariant telemetry.hpp documents: with meter noise off, the
+  // rectangle-rule integral of the power series equals the job's measured
+  // energy up to the final partial sample period.
+  sim::SimExecutor ex{sim::MachineSpec{}, no_noise()};
+  const auto app = *workloads::find_benchmark("CoMD");
+  sim::ClusterConfig cfg;
+  cfg.nodes = 3;
+  cfg.node.threads = 16;
+  const sim::Measurement m = ex.run_exact(app, cfg);
+
+  TelemetryOptions opt;
+  opt.noise_sigma = 0.0;
+  const Telemetry telemetry(opt);
+  const auto series = telemetry.record(m, cfg.node.threads);
+  const double integral = Telemetry::energy_j(series, opt.sample_period_s);
+  // One sample period of slack per node covers the truncated last interval.
+  const double slack =
+      m.avg_power.value() * opt.sample_period_s * (1.0 + cfg.nodes);
+  EXPECT_NEAR(integral, m.energy.value(), slack);
+}
+
+TEST(TelemetryTest, TraceCounterBridgePreservesSeries) {
+  sim::SimExecutor ex{sim::MachineSpec{}, no_noise()};
+  const auto app = *workloads::find_benchmark("SP-MZ");
+  sim::ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.node.threads = 8;
+  const sim::Measurement m = ex.run_exact(app, cfg);
+
+  TelemetryOptions opt;
+  opt.noise_sigma = 0.0;
+  const auto series = Telemetry(opt).record(m, cfg.node.threads);
+  const auto counters = Telemetry::to_trace_counters(series);
+  ASSERT_EQ(counters.size(), series.size());
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    EXPECT_EQ(counters[i].name,
+              "power.node" + std::to_string(series[i].node));
+    EXPECT_DOUBLE_EQ(counters[i].time_us, series[i].time_s * 1e6);
+    ASSERT_EQ(counters[i].series.size(), 2u);
+    EXPECT_EQ(counters[i].series[0].first, "cpu_w");
+    EXPECT_DOUBLE_EQ(counters[i].series[0].second, series[i].cpu_power_w);
+    EXPECT_EQ(counters[i].series[1].first, "mem_w");
+    EXPECT_DOUBLE_EQ(counters[i].series[1].second, series[i].mem_power_w);
+  }
 }
 
 }  // namespace

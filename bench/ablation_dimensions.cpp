@@ -40,12 +40,14 @@ double mean_relative_performance(sim::SimExecutor& ex,
 
 int main(int argc, char** argv) {
   const bench::BenchContext ctx(argc, argv);
-  const std::vector<double> budgets = {600.0, 800.0, 1000.0, 1400.0};
+  const std::vector<double> budgets =
+      ctx.budgets_or({600.0, 800.0, 1000.0, 1400.0});
 
   Table t({"variant", "mean relative performance", "vs full"});
   t.set_title("Ablation — contribution of each CLIP design dimension");
 
   sim::SimExecutor ex = bench::make_testbed();
+  ctx.attach(ex);
   const double full =
       mean_relative_performance(ex, core::SchedulerOptions{}, budgets);
   t.add_row({"full CLIP", format_double(full, 3), "--"});
@@ -78,6 +80,7 @@ int main(int argc, char** argv) {
     spec.variability_sigma = 0.08;
     sim::MeterOptions noise;
     sim::SimExecutor hetero(spec, noise);
+    ctx.attach(hetero);
     const double with_coord = mean_relative_performance(
         hetero, core::SchedulerOptions{}, budgets);
     core::SchedulerOptions opt;

@@ -1,11 +1,129 @@
 #include "bench_common.hpp"
 
-#include "util/strings.hpp"
+#include <algorithm>
+#include <cstdlib>
 
 namespace clip::bench {
 
-void print_method_comparison(
-    const BenchContext& ctx, const runtime::ComparisonResult& result,
+namespace {
+
+int parse_int(const std::string& flag, const std::string& value) {
+  try {
+    return std::stoi(value);
+  } catch (const std::exception&) {
+    CLIP_REQUIRE(false, "bad value for " + flag + ": " + value);
+    return 0;
+  }
+}
+
+std::vector<double> parse_budgets(const std::string& value) {
+  std::vector<double> budgets;
+  for (const std::string& part : split(value, ',')) {
+    if (part.empty()) continue;
+    try {
+      budgets.push_back(std::stod(part));
+    } catch (const std::exception&) {
+      CLIP_REQUIRE(false, "bad value for --budgets: " + value);
+    }
+  }
+  CLIP_REQUIRE(!budgets.empty(), "empty --budgets list");
+  return budgets;
+}
+
+}  // namespace
+
+BenchContext::BenchContext(int argc, char** argv) {
+  const auto take_value = [&](int& i, const std::string& arg,
+                              const std::string& flag,
+                              std::string& out) -> bool {
+    if (arg == flag) {
+      CLIP_REQUIRE(i + 1 < argc, flag + " needs a value");
+      out = argv[++i];
+      return true;
+    }
+    if (arg.rfind(flag + "=", 0) == 0) {
+      out = arg.substr(flag.size() + 1);
+      return true;
+    }
+    return false;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (arg == "--csv") {
+      csv = true;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--no-cache") {
+      use_cache = false;
+    } else if (arg == "--no-prune") {
+      prune = false;
+    } else if (take_value(i, arg, "--jobs", value)) {
+      jobs = parse_int("--jobs", value);
+      if (jobs <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        jobs = hw > 0 ? static_cast<int>(hw) : 1;
+      }
+    } else if (take_value(i, arg, "--budgets", value)) {
+      budgets_override = parse_budgets(value);
+    }
+    // Unknown arguments are left for the individual bench to interpret.
+  }
+}
+
+BenchContext::~BenchContext() {
+  if (!stats || obs_ == nullptr) return;
+  // One parse-friendly line, on stderr so --csv output stays clean.
+  const auto value = [this](std::string_view name) -> std::uint64_t {
+    const obs::Counter* c = obs_->metrics().find_counter(name);
+    return c == nullptr ? 0 : c->value();
+  };
+  std::cerr << "bench-stats:"
+            << " sim.runs=" << value("sim.runs")
+            << " sim.exact_cache_hits=" << value("sim.exact_cache_hits")
+            << " sim.exact_cache_misses=" << value("sim.exact_cache_misses")
+            << " jobs=" << jobs << '\n';
+}
+
+parallel::ThreadPool* BenchContext::pool() const {
+  if (jobs <= 1) return nullptr;
+  if (pool_ == nullptr)
+    pool_ = std::make_unique<parallel::ThreadPool>(jobs);
+  return pool_.get();
+}
+
+void BenchContext::attach(sim::SimExecutor& executor) const {
+  if (use_cache) {
+    if (cache_ == nullptr) cache_ = std::make_unique<sim::ExactRunCache>();
+    executor.set_exact_cache(cache_.get());
+  }
+  if (stats) {
+    if (obs_ == nullptr) obs_ = std::make_unique<obs::ObsSession>();
+    executor.set_observer(obs_.get());
+  }
+}
+
+void register_all_methods(runtime::ComparisonHarness& harness,
+                          sim::SimExecutor& executor,
+                          const BenchContext* ctx) {
+  harness.add_method(
+      std::make_shared<baselines::AllInScheduler>(executor.spec()));
+  harness.add_method(
+      std::make_shared<baselines::LowerLimitScheduler>(executor.spec()));
+  harness.add_method(
+      std::make_shared<baselines::CoordinatedScheduler>(executor));
+  harness.add_method(std::make_shared<baselines::ClipAdapter>(
+      executor, workloads::training_benchmarks()));
+  baselines::OracleOptions opts;
+  if (ctx != nullptr) opts.prune = ctx->prune;
+  auto oracle =
+      std::make_shared<baselines::OracleScheduler>(executor, opts);
+  if (ctx != nullptr) oracle->set_pool(ctx->pool());
+  harness.add_method(std::move(oracle));
+}
+
+Table render_method_comparison(
+    const runtime::ComparisonResult& result,
     const std::vector<workloads::WorkloadSignature>& apps, double budget,
     const std::string& title) {
   static const char* kMethods[] = {"All-In", "Lower Limit", "Coordinated",
@@ -33,7 +151,14 @@ void print_method_comparison(
                       : "n/a");
     t.add_row(std::move(row));
   }
-  ctx.print(t);
+  return t;
+}
+
+void print_method_comparison(
+    const BenchContext& ctx, const runtime::ComparisonResult& result,
+    const std::vector<workloads::WorkloadSignature>& apps, double budget,
+    const std::string& title) {
+  ctx.print(render_method_comparison(result, apps, budget, title));
 }
 
 }  // namespace clip::bench

@@ -56,6 +56,7 @@ void panel(const bench::BenchContext& ctx, sim::SimExecutor& ex,
 int main(int argc, char** argv) {
   const bench::BenchContext ctx(argc, argv);
   sim::SimExecutor ex = bench::make_exact_testbed();
+  ctx.attach(ex);
   panel(ctx, ex, *workloads::find_benchmark("EP"), "a");
   panel(ctx, ex, *workloads::find_benchmark("STREAM-Triad"), "b");
   panel(ctx, ex, *workloads::find_benchmark("SP", "C"), "c");

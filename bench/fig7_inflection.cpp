@@ -16,6 +16,7 @@ using namespace clip;
 int main(int argc, char** argv) {
   const bench::BenchContext ctx(argc, argv);
   sim::SimExecutor ex = bench::make_testbed();
+  ctx.attach(ex);
   core::SmartProfiler profiler(ex);
   const core::ScalabilityClassifier classifier;
 

@@ -12,13 +12,15 @@ using namespace clip;
 int main(int argc, char** argv) {
   const bench::BenchContext ctx(argc, argv);
   sim::SimExecutor ex = bench::make_testbed();
+  ctx.attach(ex);
 
   runtime::ComparisonHarness harness(ex);
-  bench::register_all_methods(harness, ex);
+  bench::register_all_methods(harness, ex, &ctx);
 
-  const std::vector<double> budgets = {500.0, 600.0, 700.0, 800.0};
+  const std::vector<double> budgets =
+      ctx.budgets_or({500.0, 600.0, 700.0, 800.0});
   const auto& apps = workloads::paper_benchmarks();
-  const auto result = harness.run(apps, budgets);
+  const auto result = harness.run(apps, budgets, ctx.pool());
 
   const std::vector<workloads::WorkloadSignature> panel_a(apps.begin(),
                                                           apps.begin() + 5);

@@ -1,0 +1,87 @@
+#!/usr/bin/env sh
+# Run the bench suite with the evaluation engine on, record wall-clock and
+# engine counters per binary, and emit BENCH_eval_engine.json.
+#
+# Usage: bench/run_benches.sh [build-dir] [jobs]
+#   build-dir  cmake binary dir containing bench/ (default: build)
+#   jobs       --jobs value passed to each bench (default: number of cores)
+#
+# Each binary runs twice: once with the engine (cache + pruning + --jobs)
+# and once as the pre-engine baseline (--no-cache --no-prune, serial). The
+# CSV outputs of the two runs are asserted byte-identical — the engine's
+# core contract — and the JSON records both wall-clocks plus the sim.runs /
+# cache-hit counters parsed from the --stats line.
+set -eu
+
+build_dir=${1:-build}
+jobs=${2:-$(nproc 2>/dev/null || echo 2)}
+bench_dir="$build_dir/bench"
+out_json="BENCH_eval_engine.json"
+
+[ -d "$bench_dir" ] || {
+  echo "error: $bench_dir not found (build first: cmake --preset release && cmake --build build -j)" >&2
+  exit 1
+}
+
+# Benches built on the evaluation engine. micro_runtime (google-benchmark)
+# and the purely analytic binaries are out of scope.
+benches="fig3_power_budget_impact fig7_inflection fig8_high_budget \
+fig9_low_budget summary_claims ablation_dimensions scale_cluster"
+
+now_ms() { echo $(( $(date +%s%N) / 1000000 )); }
+
+stat_field() { # stats-file key -> value (0 when absent)
+  sed -n "s/.*$2=\([0-9][0-9]*\).*/\1/p" "$1" | head -n 1 | grep . || echo 0
+}
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+printf '{\n  "jobs": %s,\n  "benches": [\n' "$jobs" > "$out_json"
+first=1
+for b in $benches; do
+  bin="$bench_dir/$b"
+  [ -x "$bin" ] || { echo "skip $b (not built)" >&2; continue; }
+
+  echo "== $b (baseline: serial, no cache, no pruning)" >&2
+  t0=$(now_ms)
+  "$bin" --csv --no-cache --no-prune --stats \
+      > "$tmp/$b.base.csv" 2> "$tmp/$b.base.stats"
+  t1=$(now_ms)
+  base_ms=$((t1 - t0))
+
+  echo "== $b (engine: cache + pruning, --jobs $jobs)" >&2
+  t0=$(now_ms)
+  "$bin" --csv --jobs "$jobs" --stats \
+      > "$tmp/$b.fast.csv" 2> "$tmp/$b.fast.stats"
+  t1=$(now_ms)
+  fast_ms=$((t1 - t0))
+
+  # Byte-identity applies to the model-derived figures. Search-cost and
+  # plan-latency reporting legitimately changes with pruning/host timing:
+  # summary_claims' cost row is filtered; scale_cluster's per-row latency
+  # columns make its table timing-dependent, so it is exempt.
+  if [ "$b" != "scale_cluster" ]; then
+    grep -v 'oracle needs' "$tmp/$b.base.csv" > "$tmp/$b.base.cmp"
+    grep -v 'oracle needs' "$tmp/$b.fast.csv" > "$tmp/$b.fast.cmp"
+    cmp -s "$tmp/$b.base.cmp" "$tmp/$b.fast.cmp" || {
+      echo "FAIL: $b output differs between baseline and engine runs" >&2
+      exit 1
+    }
+  fi
+
+  base_runs=$(stat_field "$tmp/$b.base.stats" sim.runs)
+  fast_runs=$(stat_field "$tmp/$b.fast.stats" sim.runs)
+  hits=$(stat_field "$tmp/$b.fast.stats" sim.exact_cache_hits)
+  misses=$(stat_field "$tmp/$b.fast.stats" sim.exact_cache_misses)
+
+  [ $first -eq 1 ] || printf ',\n' >> "$out_json"
+  first=0
+  printf '    {"name": "%s", "baseline_ms": %s, "engine_ms": %s, "baseline_sim_runs": %s, "engine_sim_runs": %s, "cache_hits": %s, "cache_misses": %s, "output_identical": true}' \
+    "$b" "$base_ms" "$fast_ms" "$base_runs" "$fast_runs" "$hits" "$misses" \
+    >> "$out_json"
+  echo "   $b: ${base_ms}ms -> ${fast_ms}ms, sim.runs $base_runs -> $fast_runs" >&2
+done
+printf '\n  ]\n}\n' >> "$out_json"
+
+echo "wrote $out_json" >&2

@@ -17,9 +17,12 @@ using namespace clip;
 int main(int argc, char** argv) {
   const bench::BenchContext ctx(argc, argv);
   sim::SimExecutor ex = bench::make_testbed();
+  ctx.attach(ex);
 
   runtime::ComparisonHarness harness(ex);
-  auto oracle = std::make_shared<baselines::OracleScheduler>(ex);
+  auto oracle = std::make_shared<baselines::OracleScheduler>(
+      ex, baselines::OracleOptions{ctx.prune});
+  oracle->set_pool(ctx.pool());
   harness.add_method(
       std::make_shared<baselines::AllInScheduler>(ex.spec()));
   harness.add_method(
@@ -35,8 +38,10 @@ int main(int argc, char** argv) {
   // (fig9 reports that cliff separately).
   const std::vector<double> budgets = {600.0,  700.0,  800.0, 1000.0,
                                        1200.0, 1400.0, 5000.0};
+  // No --budgets override here: the claim lookups below address specific
+  // budget columns (600/1400/5000 W) by value.
   const auto& apps = workloads::paper_benchmarks();
-  const auto result = harness.run(apps, budgets);
+  const auto result = harness.run(apps, budgets, ctx.pool());
 
   Table t({"paper claim", "paper value", "measured"});
   t.set_title("Summary — paper claims vs this reproduction");

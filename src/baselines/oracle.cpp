@@ -1,11 +1,39 @@
 #include "baselines/oracle.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <limits>
+#include <numeric>
+#include <vector>
 
+#include "parallel/parallel_for.hpp"
 #include "util/check.hpp"
 
 namespace clip::baselines {
+
+namespace {
+
+/// One (nodes, threads, affinity, level) combination with its feasible,
+/// deduplicated DRAM-cap grid. `base` carries the knob settings with the
+/// caps left at their unbounded defaults — which is exactly the
+/// configuration whose exact time lower-bounds every capped grid point
+/// (time is monotone non-increasing in either cap).
+struct GridCombo {
+  sim::ClusterConfig base;
+  std::vector<double> mem_caps;  ///< feasible caps, serial grid order
+  double node_share = 0.0;
+};
+
+/// Atomic running minimum (relaxed; used only to tighten pruning — the
+/// final winner comes from a deterministic serial-order scan).
+void update_min(std::atomic<double>& best, double v) {
+  double cur = best.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !best.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
 
 sim::ClusterConfig OracleScheduler::plan(
     const workloads::WorkloadSignature& app, Watts cluster_budget) {
@@ -21,10 +49,10 @@ sim::ClusterConfig OracleScheduler::plan(
     for (int n = 1; n <= spec.nodes; ++n) node_counts.push_back(n);
   }
 
-  sim::ClusterConfig best;
-  double best_time = std::numeric_limits<double>::infinity();
-  last_search_cost_ = 0;
+  last_search_cost_.store(0, std::memory_order_relaxed);
 
+  // ---- materialize the candidate grid in canonical (serial) order --------
+  std::vector<GridCombo> combos;
   for (int nodes : node_counts) {
     const double node_share = cluster_budget.value() / nodes;
     for (int threads = 2; threads <= all_cores; threads += 2) {
@@ -58,31 +86,129 @@ sim::ClusterConfig OracleScheduler::plan(
             caps.push_back(base_w + frac * act_max);
           caps.push_back(base_w + std::min(demand_bw, level_bw) *
                                       spec.mem_w_per_gbps());
+
+          GridCombo combo;
+          combo.node_share = node_share;
+          combo.base.nodes = nodes;
+          combo.base.node.threads = threads;
+          combo.base.node.affinity = affinity;
+          combo.base.node.mem_level = level;
+          // Keep feasible caps only and drop exact duplicates (the
+          // demand-tight point regularly lands on a grid point; re-running
+          // it would waste an exact execution).
           for (double mem_w : caps) {
-            const double cpu_w = node_share - mem_w;
-            if (cpu_w <= 1.0) continue;
-
-            sim::ClusterConfig cfg;
-            cfg.nodes = nodes;
-            cfg.node.threads = threads;
-            cfg.node.affinity = affinity;
-            cfg.node.mem_level = level;
-            cfg.node.mem_cap = Watts(mem_w);
-            cfg.node.cpu_cap = Watts(cpu_w);
-
-            const sim::Measurement m = executor_->run_exact(app, cfg);
-            ++last_search_cost_;
-            if (m.time.value() < best_time) {
-              best_time = m.time.value();
-              best = cfg;
-            }
+            if (node_share - mem_w <= 1.0) continue;
+            if (std::find(combo.mem_caps.begin(), combo.mem_caps.end(),
+                          mem_w) != combo.mem_caps.end())
+              continue;
+            combo.mem_caps.push_back(mem_w);
           }
+          if (!combo.mem_caps.empty()) combos.push_back(std::move(combo));
         }
       }
     }
   }
-  CLIP_ENSURE(best_time < std::numeric_limits<double>::infinity(),
-              "oracle found no feasible configuration");
+  CLIP_ENSURE(!combos.empty(), "oracle found no feasible configuration");
+
+  // ---- evaluate -----------------------------------------------------------
+  // Exact times per (combo, cap); untouched entries stay +inf and lose the
+  // final scan. All evaluations are exact (noise-free) runs, so the filled
+  // values are identical whatever the execution order — parallelism and
+  // pruning can only change *which* entries get filled, never their values.
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> times(combos.size());
+  for (std::size_t i = 0; i < combos.size(); ++i)
+    times[i].assign(combos[i].mem_caps.size(), kInf);
+
+  std::atomic<double> best_seen{kInf};
+  const auto evaluate_combo = [&](std::size_t ci) {
+    const GridCombo& combo = combos[ci];
+    double local_best = kInf;
+    for (std::size_t j = 0; j < combo.mem_caps.size(); ++j) {
+      sim::ClusterConfig cfg = combo.base;
+      cfg.node.mem_cap = Watts(combo.mem_caps[j]);
+      cfg.node.cpu_cap = Watts(combo.node_share - combo.mem_caps[j]);
+      const sim::Measurement m = executor_->run_exact(app, cfg);
+      last_search_cost_.fetch_add(1, std::memory_order_relaxed);
+      times[ci][j] = m.time.value();
+      local_best = std::min(local_best, times[ci][j]);
+    }
+    update_min(best_seen, local_best);
+  };
+
+  // Evaluation order over combos: with pruning, cheapest lower bound first
+  // so a near-optimal incumbent appears early and prunes the rest.
+  std::vector<std::size_t> order(combos.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<double> bound(combos.size(), -kInf);
+
+  if (options_.prune) {
+    // One uncapped run per combo: caps at the NodeConfig defaults (1e9 W)
+    // dominate every grid point of the combo, so this time is a valid lower
+    // bound for all of them. The uncapped config is budget-independent,
+    // which makes these runs ideal ExactRunCache citizens across budget
+    // sweeps — and it is never itself a candidate (its caps ignore the
+    // budget).
+    const auto evaluate_bound = [&](std::size_t ci) {
+      const sim::Measurement m = executor_->run_exact(app, combos[ci].base);
+      last_search_cost_.fetch_add(1, std::memory_order_relaxed);
+      bound[ci] = m.time.value();
+    };
+    if (pool_ != nullptr) {
+      parallel::parallel_for(*pool_, 0,
+                             static_cast<std::int64_t>(combos.size()),
+                             [&](std::int64_t i) {
+                               evaluate_bound(static_cast<std::size_t>(i));
+                             },
+                             parallel::Schedule::kDynamic, 8);
+    } else {
+      for (std::size_t i = 0; i < combos.size(); ++i) evaluate_bound(i);
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return bound[a] < bound[b];
+                     });
+  }
+
+  // A combo whose lower bound cannot *strictly* beat the incumbent cannot
+  // contain the winner (the final scan also uses strict <), so skipping it
+  // is lossless. The incumbent only tightens over time; a stale read just
+  // prunes less.
+  const auto visit = [&](std::size_t ci) {
+    if (options_.prune &&
+        bound[ci] >= best_seen.load(std::memory_order_relaxed))
+      return;
+    evaluate_combo(ci);
+  };
+  if (pool_ != nullptr) {
+    parallel::parallel_for(*pool_, 0,
+                           static_cast<std::int64_t>(order.size()),
+                           [&](std::int64_t i) {
+                             visit(order[static_cast<std::size_t>(i)]);
+                           },
+                           parallel::Schedule::kDynamic, 1);
+  } else {
+    for (std::size_t i = 0; i < order.size(); ++i) visit(order[i]);
+  }
+
+  // ---- deterministic winner selection ------------------------------------
+  // Scan in canonical grid order with strict improvement, exactly like the
+  // historical serial search — so for a fully evaluated grid the chosen
+  // configuration matches the legacy oracle bit for bit.
+  sim::ClusterConfig best;
+  double best_time = kInf;
+  for (std::size_t ci = 0; ci < combos.size(); ++ci) {
+    for (std::size_t j = 0; j < combos[ci].mem_caps.size(); ++j) {
+      if (times[ci][j] < best_time) {
+        best_time = times[ci][j];
+        best = combos[ci].base;
+        best.node.mem_cap = Watts(combos[ci].mem_caps[j]);
+        best.node.cpu_cap =
+            Watts(combos[ci].node_share - combos[ci].mem_caps[j]);
+      }
+    }
+  }
+  CLIP_ENSURE(best_time < kInf, "oracle found no feasible configuration");
   return best;
 }
 

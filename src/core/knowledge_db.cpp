@@ -83,6 +83,19 @@ void KnowledgeDb::insert(KnowledgeRecord record) {
   records_[std::move(key)] = std::move(record);
 }
 
+std::size_t KnowledgeDb::merge_from(const KnowledgeDb& other) {
+  std::size_t adopted = 0;
+  for (const auto& [key, r] : other.records_) {
+    if (!shape_.machine_fingerprint.empty() && !r.machine.empty() &&
+        r.machine != shape_.machine_fingerprint)
+      continue;  // profile from different hardware: not evidence here
+    if (records_.count(key) != 0) continue;
+    records_[key] = r;
+    ++adopted;
+  }
+  return adopted;
+}
+
 namespace {
 const std::vector<std::string> kColumns = {
     "name",          "parameters",      "class",

@@ -65,6 +65,13 @@ class KnowledgeDb {
 
   void insert(KnowledgeRecord record);
 
+  /// Import every record of `other` taken on this machine (same
+  /// fingerprint; foreign records are skipped, existing keys are kept).
+  /// Returns the number of records adopted. This is what lets budget sweeps
+  /// that build several schedulers — ablations, scaling studies, repeated
+  /// harness runs — pay for each application's characterization once.
+  std::size_t merge_from(const KnowledgeDb& other);
+
   [[nodiscard]] std::size_t size() const { return records_.size(); }
 
   /// CSV persistence. `save` overwrites; `load` replaces current contents,

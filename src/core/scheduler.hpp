@@ -108,6 +108,15 @@ class ClipScheduler {
   /// one branch per stage; bench/micro_runtime pins that at noise level.
   void set_observer(obs::ObsSession* obs);
 
+  /// Adopt another scheduler's characterization results (same-machine
+  /// records only). Apps found in `db` then skip profiling entirely, so a
+  /// budget sweep that builds several schedulers — or repeats a harness —
+  /// characterizes each application once per process instead of once per
+  /// scheduler. Returns the number of records adopted.
+  std::size_t seed_knowledge_from(const KnowledgeDb& db) {
+    return db_.merge_from(db);
+  }
+
   [[nodiscard]] KnowledgeDb& knowledge_db() { return db_; }
   [[nodiscard]] const InflectionPredictor& inflection_predictor() const {
     return inflection_;

@@ -2,11 +2,60 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "baselines/all_in.hpp"
+#include "parallel/parallel_for.hpp"
 #include "util/check.hpp"
 
 namespace clip::runtime {
+
+std::string ComparisonResult::cell_key(const std::string& app,
+                                       const std::string& parameters,
+                                       double budget_w,
+                                       const std::string& method) {
+  // Field lengths + raw budget bytes make the key unambiguous (no chosen
+  // separator can collide with user strings, and no decimal formatting can
+  // merge two distinct budgets).
+  std::string key;
+  key.reserve(app.size() + parameters.size() + method.size() + 32);
+  const auto append_sized = [&key](const std::string& s) {
+    const std::uint64_t n = s.size();
+    char bytes[sizeof(n)];
+    std::memcpy(bytes, &n, sizeof(n));
+    key.append(bytes, sizeof(n));
+    key.append(s);
+  };
+  append_sized(app);
+  append_sized(parameters);
+  char budget_bytes[sizeof(double)];
+  std::memcpy(budget_bytes, &budget_w, sizeof(double));
+  key.append(budget_bytes, sizeof(double));
+  append_sized(method);
+  return key;
+}
+
+void ComparisonResult::ensure_index() const {
+  if (indexed_cells_ == cells.size()) return;
+  index_.clear();
+  index_.reserve(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const ComparisonCell& c = cells[i];
+    // First occurrence wins, matching the historical linear scan.
+    index_.try_emplace(cell_key(c.app, c.parameters, c.budget_w, c.method),
+                       i);
+  }
+  indexed_cells_ = cells.size();
+}
+
+const ComparisonCell* ComparisonResult::find(const std::string& app,
+                                             const std::string& parameters,
+                                             double budget_w,
+                                             const std::string& method) const {
+  ensure_index();
+  const auto it = index_.find(cell_key(app, parameters, budget_w, method));
+  return it == index_.end() ? nullptr : &cells[it->second];
+}
 
 double ComparisonResult::mean_relative(const std::string& method,
                                        double budget_w) const {
@@ -42,18 +91,6 @@ double ComparisonResult::mean_improvement(
   return acc / count;
 }
 
-const ComparisonCell* ComparisonResult::find(const std::string& app,
-                                             const std::string& parameters,
-                                             double budget_w,
-                                             const std::string& method) const {
-  for (const auto& c : cells) {
-    if (c.app == app && c.parameters == parameters &&
-        c.budget_w == budget_w && c.method == method)
-      return &c;
-  }
-  return nullptr;
-}
-
 void ComparisonHarness::add_method(
     std::shared_ptr<baselines::PowerScheduler> method) {
   CLIP_REQUIRE(method != nullptr, "null method");
@@ -70,11 +107,21 @@ double ComparisonHarness::unbounded_reference_time(
 
 ComparisonResult ComparisonHarness::run(
     const std::vector<workloads::WorkloadSignature>& apps,
-    const std::vector<double>& budgets_w) {
+    const std::vector<double>& budgets_w, parallel::ThreadPool* pool) {
   CLIP_REQUIRE(!methods_.empty(), "register at least one method");
   ComparisonResult result;
-  for (const auto& app : apps) {
-    const double reference_time = unbounded_reference_time(app);
+
+  // Phase 1 — plan every cell in the canonical (app → budget → method)
+  // order. Schedulers are stateful (knowledge DBs, search counters) and
+  // their profiling runs draw measurement noise from the executor's meter,
+  // so this order is what keeps the noisy stream — and with it the output —
+  // identical to the historical serial harness. The expensive member of the
+  // loop, the oracle, parallelizes internally over its own candidate grid.
+  std::vector<double> reference_time(apps.size(), 0.0);
+  std::vector<std::size_t> cell_app;  // app index per cell, for phase 2
+  for (std::size_t ai = 0; ai < apps.size(); ++ai) {
+    const auto& app = apps[ai];
+    reference_time[ai] = unbounded_reference_time(app);
     for (double budget : budgets_w) {
       for (const auto& method : methods_) {
         ComparisonCell cell;
@@ -83,12 +130,31 @@ ComparisonResult ComparisonHarness::run(
         cell.budget_w = budget;
         cell.method = method->name();
         cell.plan = method->plan(app, Watts(budget));
-        const sim::Measurement m = executor_->run_exact(app, cell.plan);
-        cell.time_s = m.time.value();
-        cell.relative_performance = reference_time / cell.time_s;
+        cell_app.push_back(ai);
         result.cells.push_back(std::move(cell));
       }
     }
+  }
+
+  // Phase 2 — time every planned cell with the exact (noise-free, pure)
+  // executor. Order-independent, so it fans out across the pool; each task
+  // writes only its own cell, which makes the merge deterministic.
+  const auto time_cell = [&](std::size_t i) {
+    ComparisonCell& cell = result.cells[i];
+    const sim::Measurement m =
+        executor_->run_exact(apps[cell_app[i]], cell.plan);
+    cell.time_s = m.time.value();
+    cell.relative_performance = reference_time[cell_app[i]] / cell.time_s;
+  };
+  if (pool != nullptr) {
+    parallel::parallel_for(*pool, 0,
+                           static_cast<std::int64_t>(result.cells.size()),
+                           [&](std::int64_t i) {
+                             time_cell(static_cast<std::size_t>(i));
+                           },
+                           parallel::Schedule::kDynamic, 1);
+  } else {
+    for (std::size_t i = 0; i < result.cells.size(); ++i) time_cell(i);
   }
   return result;
 }

@@ -3,15 +3,25 @@
 // the relative performance based on the All-In method without a power
 // bound", §V-C). Shared by the Fig. 8/9 benchmark binaries, the summary
 // harness, and the campaign example.
+//
+// The harness is the outer loop of every §V evaluation bench, so it is built
+// to scale with the host (docs/performance.md): planning stays serial in the
+// canonical (app → budget → method) order — schedulers are stateful, and the
+// noisy profiling runs they issue must consume the meter's RNG stream in the
+// historical order for byte-identical output — while the exact per-cell
+// timings (pure, noise-free) fan out across an optional thread pool and
+// merge by cell index, so the result is identical to the serial run.
 #pragma once
 
 #include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "baselines/scheduler_iface.hpp"
+#include "parallel/thread_pool.hpp"
 #include "sim/executor.hpp"
 #include "workloads/signature.hpp"
 
@@ -43,10 +53,26 @@ struct ComparisonResult {
       const std::string& method, const std::string& reference,
       const std::vector<double>& budgets = {}) const;
 
+  /// O(1) lookup via a hash index over (app, parameters, budget, method).
+  /// The index is built lazily and rebuilt whenever `cells` has grown or
+  /// shrunk since the last lookup; callers that edit key fields of existing
+  /// cells in place should call `invalidate_index()` afterwards.
   [[nodiscard]] const ComparisonCell* find(const std::string& app,
                                            const std::string& parameters,
                                            double budget_w,
                                            const std::string& method) const;
+
+  void invalidate_index() const { indexed_cells_ = kNoIndex; }
+
+ private:
+  static std::string cell_key(const std::string& app,
+                              const std::string& parameters, double budget_w,
+                              const std::string& method);
+  void ensure_index() const;
+
+  static constexpr std::size_t kNoIndex = static_cast<std::size_t>(-1);
+  mutable std::unordered_map<std::string, std::size_t> index_;
+  mutable std::size_t indexed_cells_ = kNoIndex;
 };
 
 class ComparisonHarness {
@@ -60,9 +86,16 @@ class ComparisonHarness {
 
   /// Evaluate every method on every (app, budget) pair. The reference
   /// performance per app is All-In at an effectively unlimited budget.
+  ///
+  /// With a pool, the exact timing runs fan out across it; results are
+  /// written per cell index, so the returned cells are byte-identical to
+  /// the serial run whatever the team size. The pool is borrowed for the
+  /// duration of the call (share it with the oracle's `set_pool` — plan()
+  /// and the timing phase never overlap).
   [[nodiscard]] ComparisonResult run(
       const std::vector<workloads::WorkloadSignature>& apps,
-      const std::vector<double>& budgets_w);
+      const std::vector<double>& budgets_w,
+      parallel::ThreadPool* pool = nullptr);
 
  private:
   [[nodiscard]] double unbounded_reference_time(

@@ -1,0 +1,157 @@
+#include "sim/exec_cache.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+
+namespace clip::sim {
+
+ExactRunCache::ExactRunCache(ExactCacheOptions options) {
+  const int shards = std::max(1, options.shards);
+  const std::size_t max_entries = std::max<std::size_t>(
+      options.max_entries, static_cast<std::size_t>(shards));
+  per_shard_cap_ =
+      (max_entries + static_cast<std::size_t>(shards) - 1) /
+      static_cast<std::size_t>(shards);
+  shards_ = std::vector<Shard>(static_cast<std::size_t>(shards));
+}
+
+ExactRunCache::Shard& ExactRunCache::shard_for(const std::string& key) const {
+  const std::size_t h = std::hash<std::string>{}(key);
+  return shards_[h % shards_.size()];
+}
+
+bool ExactRunCache::lookup(const std::string& key, Measurement& out) const {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  out = it->second;
+  return true;
+}
+
+void ExactRunCache::insert(const std::string& key, const Measurement& m) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto [it, inserted] = shard.map.try_emplace(key, m);
+  if (!inserted) return;  // a concurrent miss already filled it — identical
+  shard.fifo.push_back(&it->first);
+  if (shard.fifo.size() > per_shard_cap_) {
+    const std::string* oldest = shard.fifo.front();
+    shard.fifo.pop_front();
+    shard.map.erase(*oldest);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+ExactCacheStats ExactRunCache::stats() const {
+  ExactCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    s.entries += shard.map.size();
+  }
+  return s;
+}
+
+void ExactRunCache::clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+    shard.fifo.clear();
+  }
+}
+
+void ExactRunCache::encode(std::string& out, double v) {
+  char bytes[sizeof(double)];
+  std::memcpy(bytes, &v, sizeof(double));
+  out.append(bytes, sizeof(double));
+}
+
+void ExactRunCache::encode(std::string& out, std::uint64_t v) {
+  char bytes[sizeof(std::uint64_t)];
+  std::memcpy(bytes, &v, sizeof(std::uint64_t));
+  out.append(bytes, sizeof(std::uint64_t));
+}
+
+void ExactRunCache::encode(std::string& out, int v) {
+  encode(out, static_cast<std::uint64_t>(static_cast<std::int64_t>(v)));
+}
+
+void ExactRunCache::encode(std::string& out, const std::string& s) {
+  encode(out, static_cast<std::uint64_t>(s.size()));
+  out.append(s);
+}
+
+std::string ExactRunCache::encode_spec(const MachineSpec& spec) {
+  std::string out;
+  out.reserve(256);
+  encode(out, spec.nodes);
+  encode(out, spec.shape.sockets);
+  encode(out, spec.shape.cores_per_socket);
+  encode(out, static_cast<std::uint64_t>(spec.ladder.state_count()));
+  for (const GHz f : spec.ladder.states()) encode(out, f.value());
+  encode(out, spec.ladder.nominal().value());
+  encode(out, spec.socket_base_w);
+  encode(out, spec.socket_parked_w);
+  encode(out, spec.core_max_w);
+  encode(out, spec.core_power_floor);
+  encode(out, spec.power_exponent);
+  encode(out, spec.socket_bw_gbps);
+  encode(out, spec.mem_base_w_per_socket);
+  encode(out, spec.mem_parked_w_per_socket);
+  encode(out, spec.mem_activity_w_per_socket);
+  encode(out, spec.remote_numa_penalty);
+  encode(out, spec.variability_sigma);
+  encode(out, spec.variability_seed);
+  return out;
+}
+
+std::string ExactRunCache::encode_key(const std::string& prefix,
+                                      const workloads::WorkloadSignature& w,
+                                      const ClusterConfig& cfg) {
+  std::string key;
+  key.reserve(prefix.size() + 256 + w.name.size() + w.parameters.size());
+  key.append(prefix);
+
+  // Workload signature: every generative parameter the model reads. The
+  // name/parameters strings ride along for human traceability and to keep
+  // distinct catalog entries with coincidentally equal parameters apart.
+  encode(key, w.name);
+  encode(key, w.parameters);
+  encode(key, static_cast<int>(w.pattern));
+  encode(key, w.node_base_time_s);
+  encode(key, w.serial_fraction);
+  encode(key, w.memory_boundedness);
+  encode(key, w.bw_per_core_gbps);
+  encode(key, w.fork_overhead_s);
+  encode(key, w.sync_coeff_s);
+  encode(key, w.sync_exponent);
+  encode(key, w.shared_data_fraction);
+  encode(key, w.compute_intensity);
+  encode(key, w.ipc);
+  encode(key, w.icache_pressure);
+  encode(key, w.write_fraction);
+  encode(key, w.comm_latency_s);
+  encode(key, w.comm_surface_coeff);
+  encode(key, static_cast<int>(w.has_predefined_process_counts));
+
+  // Cluster configuration.
+  encode(key, cfg.nodes);
+  encode(key, cfg.node.threads);
+  encode(key, static_cast<int>(cfg.node.affinity));
+  encode(key, static_cast<int>(cfg.node.mem_level));
+  encode(key, cfg.node.cpu_cap.value());
+  encode(key, cfg.node.mem_cap.value());
+  encode(key, static_cast<std::uint64_t>(cfg.cpu_cap_overrides.size()));
+  for (const Watts w_i : cfg.cpu_cap_overrides) encode(key, w_i.value());
+  return key;
+}
+
+}  // namespace clip::sim

@@ -1,0 +1,106 @@
+// ExactRunCache — memoization in front of SimExecutor::run_exact.
+//
+// The noise-free simulator is a pure function of (machine spec, workload
+// signature, cluster configuration): two identical exact runs return
+// bit-identical measurements. That makes memoization *exact*, not
+// approximate — a cache hit returns precisely what the model would have
+// computed. The evaluation engine leans on this everywhere the paper's §V
+// harnesses brute-force the simulator: the oracle's exhaustive grid, the
+// comparison harness's per-cell timings, and every bench binary that sweeps
+// budgets over the same configurations.
+//
+// Keys are a canonical byte encoding (no hashing ambiguity: the full key is
+// stored and compared on lookup, so hash collisions can never alias two
+// configurations). The map is sharded by key hash with one mutex per shard,
+// so concurrent readers from the host-parallel harness (src/parallel) only
+// contend when they land on the same shard. Each shard is bounded; insertion
+// beyond the bound evicts in FIFO order — eviction only costs a recompute,
+// never correctness. See docs/performance.md for the design rationale.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/machine.hpp"
+#include "workloads/signature.hpp"
+
+namespace clip::sim {
+
+struct ExactCacheOptions {
+  /// Total entry bound across all shards (rounded up to a multiple of the
+  /// shard count). One entry holds one Measurement (~a few hundred bytes on
+  /// the 8-node testbed).
+  std::size_t max_entries = 1u << 20;
+  /// Shard count (clamped to >= 1). More shards = less lock contention.
+  int shards = 16;
+};
+
+struct ExactCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+};
+
+class ExactRunCache {
+ public:
+  explicit ExactRunCache(ExactCacheOptions options = ExactCacheOptions{});
+
+  /// Copy the cached measurement for `key` into `out`; true on hit. Bumps
+  /// the hit/miss statistics.
+  [[nodiscard]] bool lookup(const std::string& key, Measurement& out) const;
+
+  /// Insert (first writer wins; a concurrent duplicate insert is dropped).
+  /// Evicts the shard's oldest entry when the shard is full.
+  void insert(const std::string& key, const Measurement& m);
+
+  [[nodiscard]] ExactCacheStats stats() const;
+
+  /// Drop every entry (statistics are kept).
+  void clear();
+
+  // --- canonical key encoding ----------------------------------------------
+
+  /// Append the raw bytes of a double/integer to `out` (canonical layout:
+  /// little-endian memcpy of the in-memory representation; the cache never
+  /// leaves the process, so host byte order is canonical enough).
+  static void encode(std::string& out, double v);
+  static void encode(std::string& out, std::uint64_t v);
+  static void encode(std::string& out, int v);
+  static void encode(std::string& out, const std::string& s);
+
+  /// Everything `run_exact` reads from the machine: topology, DVFS ladder,
+  /// power/bandwidth parameters and the variability draw. Executors with
+  /// different specs can therefore share one cache without aliasing.
+  [[nodiscard]] static std::string encode_spec(const MachineSpec& spec);
+
+  /// Append the workload signature and cluster configuration to `prefix`
+  /// (the executor's pre-encoded spec) to form the full lookup key.
+  [[nodiscard]] static std::string encode_key(
+      const std::string& prefix, const workloads::WorkloadSignature& w,
+      const ClusterConfig& cfg);
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, Measurement> map;
+    std::deque<const std::string*> fifo;  ///< keys in insertion order
+  };
+
+  [[nodiscard]] Shard& shard_for(const std::string& key) const;
+
+  std::size_t per_shard_cap_;
+  mutable std::vector<Shard> shards_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace clip::sim

@@ -15,8 +15,30 @@ SimExecutor::SimExecutor(MachineSpec spec, MeterOptions meter)
   spec_.validate();
 }
 
+void SimExecutor::set_exact_cache(ExactRunCache* cache) {
+  cache_ = cache;
+  cache_prefix_ = cache != nullptr ? ExactRunCache::encode_spec(spec_)
+                                   : std::string();
+}
+
 Measurement SimExecutor::run_exact(const workloads::WorkloadSignature& w,
                                    const ClusterConfig& cfg) const {
+  if (cache_ == nullptr) return compute_exact(w, cfg);
+
+  const std::string key = ExactRunCache::encode_key(cache_prefix_, w, cfg);
+  Measurement m;
+  if (cache_->lookup(key, m)) {
+    obs::count(obs_, "sim.exact_cache_hits");
+    return m;
+  }
+  obs::count(obs_, "sim.exact_cache_misses");
+  m = compute_exact(w, cfg);
+  cache_->insert(key, m);
+  return m;
+}
+
+Measurement SimExecutor::compute_exact(const workloads::WorkloadSignature& w,
+                                       const ClusterConfig& cfg) const {
   obs::ScopedSpan span(obs_, "sim.run", "sim");
   span.arg("app", w.name);
   span.arg("nodes", cfg.nodes);

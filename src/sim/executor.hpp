@@ -4,9 +4,12 @@
 // testbed (see DESIGN.md §1 for the substitution argument).
 #pragma once
 
+#include <string>
+
 #include "obs/session.hpp"
 #include "sim/comm_model.hpp"
 #include "sim/config.hpp"
+#include "sim/exec_cache.hpp"
 #include "sim/machine.hpp"
 #include "sim/phased.hpp"
 #include "sim/power_meter.hpp"
@@ -32,6 +35,15 @@ class SimExecutor {
   /// "sim.run" span. Detached cost is one branch per run.
   void set_observer(obs::ObsSession* obs) { obs_ = obs; }
 
+  /// Attach a memoization cache for exact runs (nullptr detaches; not
+  /// owned). The exact path is a pure function of (spec, workload, config),
+  /// so hits return bit-identical measurements. Hits bump
+  /// `sim.exact_cache_hits` and skip `sim.runs`; misses bump
+  /// `sim.exact_cache_misses` and compute as before. One cache may be shared
+  /// by several executors — keys embed the full machine spec.
+  void set_exact_cache(ExactRunCache* cache);
+  [[nodiscard]] ExactRunCache* exact_cache() const { return cache_; }
+
   /// Execute `w` under `cfg` and return the (noisy) measurement.
   ///
   /// The problem strong-scales across the active nodes; every node runs the
@@ -54,12 +66,18 @@ class SimExecutor {
       const PhasedClusterConfig& cfg) const;
 
  private:
+  /// The uncached model evaluation (the pre-memoization run_exact body).
+  [[nodiscard]] Measurement compute_exact(const workloads::WorkloadSignature& w,
+                                          const ClusterConfig& cfg) const;
+
   MachineSpec spec_;
   Variability variability_;
   RaplSolver rapl_;
   EventModel events_;
   PowerMeter meter_;
   obs::ObsSession* obs_ = nullptr;
+  ExactRunCache* cache_ = nullptr;
+  std::string cache_prefix_;  ///< encoded spec, computed once on attach
 };
 
 }  // namespace clip::sim

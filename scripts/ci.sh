@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# CI entry point: configure, build and test every preset (release, asan,
+# tsan). The fault/resilience suite is labeled `fault`, so a quick
+# sanitizer-only pass over it is:
+#
+#   PRESETS="asan tsan" CTEST_ARGS="-L fault" scripts/ci.sh
+#
+# Environment:
+#   PRESETS     space-separated subset of presets (default: all three)
+#   CTEST_ARGS  extra arguments for ctest (e.g. "-L fault", "-R Queue")
+#   JOBS        parallelism for build and test (default: nproc)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PRESETS="${PRESETS:-release asan tsan}"
+JOBS="${JOBS:-$(nproc)}"
+
+for preset in $PRESETS; do
+  echo "==> [$preset] configure"
+  cmake --preset "$preset" >/dev/null
+  echo "==> [$preset] build"
+  cmake --build --preset "$preset" -j "$JOBS"
+  echo "==> [$preset] test"
+  # shellcheck disable=SC2086  # CTEST_ARGS is intentionally word-split
+  ctest --preset "$preset" -j "$JOBS" --output-on-failure ${CTEST_ARGS:-}
+done
+
+echo "==> all presets passed: $PRESETS"

@@ -1,6 +1,7 @@
 #include "core/knowledge_db.hpp"
 
 #include <charconv>
+#include <cmath>
 
 #include "util/check.hpp"
 #include "util/csv.hpp"
@@ -69,6 +70,42 @@ ProfileData KnowledgeRecord::to_profile(const KnowledgeDbShape& shape) const {
   return p;
 }
 
+void KnowledgeRecord::validate() const {
+  const auto field = [this](const std::string& what) {
+    return "knowledge record for '" + name + "': " + what;
+  };
+  const auto finite_nonneg = [&](double v, const char* f) {
+    CLIP_REQUIRE(std::isfinite(v) && v >= 0.0,
+                 field(std::string(f) + " must be finite and non-negative (got " +
+                       format_double(v, 6) + ")"));
+  };
+  CLIP_REQUIRE(!name.empty(), "knowledge record has an empty name");
+  CLIP_REQUIRE(std::isfinite(perf_ratio) && perf_ratio > 0.0,
+               field("perf_ratio must be finite and positive (got " +
+                     format_double(perf_ratio, 6) + ")"));
+  CLIP_REQUIRE(std::isfinite(time_all_s) && time_all_s > 0.0,
+               field("time_all must be finite and positive (got " +
+                     format_double(time_all_s, 6) + ")"));
+  CLIP_REQUIRE(std::isfinite(time_half_s) && time_half_s > 0.0,
+               field("time_half must be finite and positive (got " +
+                     format_double(time_half_s, 6) + ")"));
+  CLIP_REQUIRE(std::isfinite(cpu_power_all_w) && cpu_power_all_w > 0.0,
+               field("cpu_power_all must be finite and positive (got " +
+                     format_double(cpu_power_all_w, 6) + ")"));
+  finite_nonneg(mem_power_all_w, "mem_power_all");
+  finite_nonneg(per_core_bw_gbps, "per_core_bw");
+  finite_nonneg(node_bw_gbps, "node_bw");
+  finite_nonneg(memory_intensity, "mem_intensity");
+  finite_nonneg(time_validation_s, "time_validation");
+  finite_nonneg(cycles_active_all, "cycles_active_all");
+  CLIP_REQUIRE(inflection >= 0,
+               field("inflection must be non-negative (got " +
+                     std::to_string(inflection) + ")"));
+  CLIP_REQUIRE(validation_threads >= 0,
+               field("validation_threads must be non-negative (got " +
+                     std::to_string(validation_threads) + ")"));
+}
+
 std::optional<KnowledgeRecord> KnowledgeDb::lookup(
     const std::string& name, const std::string& parameters) const {
   const auto it = records_.find({name, parameters});
@@ -133,37 +170,59 @@ void KnowledgeDb::save(const std::filesystem::path& path) const {
 }
 
 void KnowledgeDb::load(const std::filesystem::path& path) {
-  last_load_dropped_ = 0;
+  // Parse into a staging map and swap only after the whole file validated:
+  // a truncated or corrupt DB file (wrong column count, partial last line,
+  // empty file, garbage numerics) must reject cleanly and leave the
+  // in-memory database exactly as it was. read_csv already rejects
+  // unreadable files, empty files, and ragged rows (a partial last line is
+  // a ragged row) with a descriptive PreconditionError.
   const CsvDocument doc = read_csv(path);
   CLIP_REQUIRE(doc.header == kColumns,
-               "knowledge DB schema mismatch: " + path.string());
-  records_.clear();
-  for (const auto& row : doc.rows) {
+               "knowledge DB schema mismatch in " + path.string() +
+                   ": expected " + std::to_string(kColumns.size()) +
+                   " columns starting with '" + kColumns.front() +
+                   "', got " + std::to_string(doc.header.size()) +
+                   " starting with '" +
+                   (doc.header.empty() ? std::string() : doc.header.front()) +
+                   "'");
+  std::map<Key, KnowledgeRecord> staged;
+  std::size_t dropped = 0;
+  for (std::size_t i = 0; i < doc.rows.size(); ++i) {
+    const auto& row = doc.rows[i];
     KnowledgeRecord r;
-    r.name = row[0];
-    r.parameters = row[1];
-    r.cls = class_from_string(row[2]);
-    r.inflection = static_cast<int>(to_double(row[3]));
-    r.perf_ratio = to_double(row[4]);
-    r.preferred_affinity = affinity_from_string(row[5]);
-    r.per_core_bw_gbps = to_double(row[6]);
-    r.node_bw_gbps = to_double(row[7]);
-    r.memory_intensity = to_double(row[8]);
-    r.time_all_s = to_double(row[9]);
-    r.time_half_s = to_double(row[10]);
-    r.time_validation_s = to_double(row[11]);
-    r.validation_threads = static_cast<int>(to_double(row[12]));
-    r.cpu_power_all_w = to_double(row[13]);
-    r.mem_power_all_w = to_double(row[14]);
-    r.cycles_active_all = to_double(row[15]);
-    r.machine = row[16];
+    try {
+      r.name = row[0];
+      r.parameters = row[1];
+      r.cls = class_from_string(row[2]);
+      r.inflection = static_cast<int>(to_double(row[3]));
+      r.perf_ratio = to_double(row[4]);
+      r.preferred_affinity = affinity_from_string(row[5]);
+      r.per_core_bw_gbps = to_double(row[6]);
+      r.node_bw_gbps = to_double(row[7]);
+      r.memory_intensity = to_double(row[8]);
+      r.time_all_s = to_double(row[9]);
+      r.time_half_s = to_double(row[10]);
+      r.time_validation_s = to_double(row[11]);
+      r.validation_threads = static_cast<int>(to_double(row[12]));
+      r.cpu_power_all_w = to_double(row[13]);
+      r.mem_power_all_w = to_double(row[14]);
+      r.cycles_active_all = to_double(row[15]);
+      r.machine = row[16];
+    } catch (const PreconditionError& e) {
+      throw PreconditionError("knowledge DB " + path.string() + " row " +
+                              std::to_string(i + 2) + ": " + e.what());
+    }
     if (!shape_.machine_fingerprint.empty() && !r.machine.empty() &&
         r.machine != shape_.machine_fingerprint) {
-      ++last_load_dropped_;
+      ++dropped;
       continue;  // profile from different hardware: not evidence here
     }
-    insert(std::move(r));
+    if (r.machine.empty()) r.machine = shape_.machine_fingerprint;
+    Key key{r.name, r.parameters};
+    staged[std::move(key)] = std::move(r);
   }
+  records_ = std::move(staged);
+  last_load_dropped_ = dropped;
 }
 
 KnowledgeRecord make_record(const ProfileData& profile,

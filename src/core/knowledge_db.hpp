@@ -45,6 +45,14 @@ struct KnowledgeRecord {
   /// after which the predicted N_P is stored here.
   [[nodiscard]] ProfileData to_profile(const struct KnowledgeDbShape& shape)
       const;
+
+  /// Physical sanity: a record can be structurally well-formed CSV yet
+  /// describe an impossible profile (zero runtime, negative watts, NaN
+  /// ratios). Throws clip::PreconditionError naming the offending field;
+  /// the scheduler validates on every DB hit so a corrupt record surfaces
+  /// before it can poison a decision (the Launcher then falls back to a
+  /// conservative allocation).
+  void validate() const;
 };
 
 /// Machine facts the database needs: the node shape (to reconstruct

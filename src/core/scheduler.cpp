@@ -81,8 +81,12 @@ std::pair<ProfileData, KnowledgeRecord> ClipScheduler::characterize(
 
 std::tuple<ProfileData, KnowledgeRecord, bool>
 ClipScheduler::get_or_characterize(const workloads::WorkloadSignature& app) {
-  if (auto hit = db_.lookup(app.name, app.parameters))
+  if (auto hit = db_.lookup(app.name, app.parameters)) {
+    // A record that parsed but is physically impossible must not drive a
+    // decision — surface it here so the Launcher can fall back.
+    hit->validate();
     return {hit->to_profile(db_.shape()), *hit, true};
+  }
   auto [profile, record] = characterize(app);
   db_.insert(record);
   return {std::move(profile), std::move(record), false};

@@ -1,0 +1,38 @@
+#include "fault/budget_guard.hpp"
+
+#include "util/check.hpp"
+
+namespace clip::fault {
+
+void BudgetGuardOptions::validate() const {
+  CLIP_REQUIRE(reaction_s >= 0.0, "guard.reaction_s must be non-negative");
+  CLIP_REQUIRE(min_plausible_node_w >= 0.0,
+               "guard.min_plausible_node_w must be non-negative");
+  CLIP_REQUIRE(max_plausible_node_w > min_plausible_node_w,
+               "guard.max_plausible_node_w must exceed the minimum");
+}
+
+BudgetGuard::BudgetGuard(BudgetGuardOptions options, Watts cluster_budget)
+    : options_(options), budget_w_(cluster_budget.value()) {
+  options_.validate();
+  CLIP_REQUIRE(budget_w_ > 0.0, "guard needs a positive cluster budget");
+}
+
+double BudgetGuard::filter_reading(double observed_w, double expected_w) {
+  if (observed_w < options_.min_plausible_node_w ||
+      observed_w > options_.max_plausible_node_w) {
+    ++rejected_reads_;
+    return expected_w;
+  }
+  return observed_w;
+}
+
+void BudgetGuard::account(double dt_s, double true_total_w) {
+  CLIP_REQUIRE(dt_s >= 0.0, "accounting interval must be non-negative");
+  const double over = true_total_w - budget_w_;
+  if (over <= 1e-9) return;
+  violation_s_ += dt_s;
+  violation_ws_ += over * dt_s;
+}
+
+}  // namespace clip::fault

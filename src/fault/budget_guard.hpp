@@ -1,0 +1,72 @@
+// BudgetGuard — the cluster-budget watchdog in the scheduler path.
+//
+// Under unenforced RAPL caps a node can draw above its programmed limit and
+// push the *cluster* past the site's contractual power bound. The guard (a)
+// sanity-filters per-node meter readings so a faulty meter cannot trigger a
+// false reaction (a dropout reads 0 W, a spike reads physically impossible
+// watts — both are replaced by the node's expected draw and counted), (b)
+// detects overshoot of the filtered cluster total over the budget, and (c)
+// accounts violation time and energy: `violation_s` is how long the true
+// draw exceeded the budget, `violation_ws` the watt-seconds above it. The
+// resilient queue reacts to a detection by re-coordinating per-node caps
+// (clawing the violating node's cap back) after `reaction_s` of actuation
+// latency. See docs/robustness.md.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace clip::fault {
+
+struct BudgetGuardOptions {
+  bool enabled = true;
+  /// Latency between detecting overshoot and the re-programmed caps taking
+  /// effect (telemetry period + RAPL MSR writes settling).
+  double reaction_s = 2.0;
+  /// Per-node plausibility band for meter readings. Readings outside
+  /// [min_plausible_node_w, max_plausible_node_w] are rejected and replaced
+  /// by the expected draw. The queue widens the upper bound to the machine's
+  /// max node power.
+  double min_plausible_node_w = 1.0;
+  double max_plausible_node_w = 1e9;
+
+  void validate() const;
+};
+
+class BudgetGuard {
+ public:
+  BudgetGuard(BudgetGuardOptions options, Watts cluster_budget);
+
+  [[nodiscard]] const BudgetGuardOptions& options() const { return options_; }
+
+  /// Filter one per-node meter reading: implausible values fall back to
+  /// `expected_w` (the node's reserved share — the last trustworthy figure)
+  /// and bump `rejected_reads`.
+  [[nodiscard]] double filter_reading(double observed_w, double expected_w);
+
+  /// Would the guard flag `observed_total_w` as overshoot? (Only meaningful
+  /// when enabled.)
+  [[nodiscard]] bool overshoot(double observed_total_w) const {
+    return options_.enabled && observed_total_w > budget_w_ + 1e-9;
+  }
+
+  /// Integrate ground-truth accounting over a dt-long interval during which
+  /// the true cluster draw was `true_total_w`.
+  void account(double dt_s, double true_total_w);
+
+  [[nodiscard]] double violation_s() const { return violation_s_; }
+  [[nodiscard]] double violation_ws() const { return violation_ws_; }
+  [[nodiscard]] std::uint64_t rejected_reads() const {
+    return rejected_reads_;
+  }
+
+ private:
+  BudgetGuardOptions options_;
+  double budget_w_;
+  double violation_s_ = 0.0;
+  double violation_ws_ = 0.0;
+  std::uint64_t rejected_reads_ = 0;
+};
+
+}  // namespace clip::fault

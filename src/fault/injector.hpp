@@ -1,0 +1,93 @@
+// FaultInjector — replays a FaultPlan against simulated runs.
+//
+// The analytic simulator returns a complete Measurement for a run up front,
+// so faults are resolved against a job's *time window*: given a placement
+// (start time, fault-free duration, node set) the injector answers what
+// actually happens — when the job ends after thermal degradation stretches
+// it, whether a node it holds crashes first, and what a power-meter read of
+// one of its nodes returns at a given instant. The injector is const and
+// pure; the resilient queue (runtime/queue.hpp) owns all reaction —
+// requeueing, watt reclamation, cap claw-back — and all observability
+// emission.
+#pragma once
+
+#include <vector>
+
+#include "fault/plan.hpp"
+
+namespace clip::fault {
+
+/// Bounded-retry policy for crash-killed jobs (exponential backoff; failed
+/// nodes are excluded structurally — a crashed node leaves the healthy pool
+/// for good, so no retry can land on it).
+struct RetryPolicy {
+  int max_attempts = 3;         ///< total placements per job (1 = no retry)
+  double backoff_base_s = 5.0;  ///< delay before the first retry
+  double backoff_factor = 2.0;  ///< multiplier per subsequent retry
+
+  /// Delay after the `attempt`-th failed placement (1-based).
+  [[nodiscard]] double backoff_s(int attempt) const;
+
+  void validate() const;
+};
+
+/// What the injector resolved for one placement.
+struct RunResolution {
+  bool crashed = false;    ///< a held node died before the job finished
+  int crashed_node = -1;   ///< which one (first to die)
+  double end_s = 0.0;      ///< completion time, or the abort time if crashed
+  double slowdown = 1.0;   ///< (end - start) / fault-free duration, >= 1
+};
+
+class FaultInjector {
+ public:
+  /// `cluster_nodes` sizes the validity check; the plan is copied.
+  FaultInjector(FaultPlan plan, int cluster_nodes);
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] int cluster_nodes() const { return cluster_nodes_; }
+
+  /// Every instant the runtime should wake at even if no job completes:
+  /// crash and degrade times, meter-fault and cap-violation window edges.
+  /// Sorted ascending, deduplicated.
+  [[nodiscard]] std::vector<double> wakeups() const;
+
+  /// Has `node` crashed at or before `t`?
+  [[nodiscard]] bool node_crashed(int node, double t) const;
+
+  /// Resolve a placement of fault-free length `duration_s` starting at
+  /// `start_s` on `nodes`. Degrades stretch the remaining work (the job
+  /// paces at its slowest node); a crash of any held node aborts the job at
+  /// the crash instant.
+  [[nodiscard]] RunResolution resolve(double start_s, double duration_s,
+                                      const std::vector<int>& nodes) const;
+
+  /// What a meter read of `node` returns at time `t` when the node truly
+  /// draws `truth_w`. Outside any fault window this is the truth; inside,
+  /// the corruption of the first matching plan entry applies.
+  [[nodiscard]] double observed_node_power(int node, double t,
+                                           double truth_w) const;
+
+  /// Total unenforced-cap excess draw of `nodes` at time `t`, counting only
+  /// violation windows not yet clawed back (the queue truncates windows it
+  /// has re-coordinated away via `truncate_cap_violation`).
+  [[nodiscard]] double cap_excess_w(const std::vector<int>& nodes,
+                                    double t) const;
+
+  /// End every cap-violation window on `node` that is active at `t` at `t`
+  /// (the budget guard re-programmed the node's cap). Returns how many
+  /// windows were truncated.
+  int truncate_cap_violations(int node, double t);
+
+  /// Nodes with a cap-violation window active at `t` (for the guard to know
+  /// where to claw back), restricted to `nodes`.
+  [[nodiscard]] std::vector<int> violating_nodes(const std::vector<int>& nodes,
+                                                 double t) const;
+
+ private:
+  FaultPlan plan_;
+  int cluster_nodes_;
+  std::vector<double> violation_ends_;  ///< mutable window ends, plan order
+};
+
+}  // namespace clip::fault

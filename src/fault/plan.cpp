@@ -1,0 +1,148 @@
+#include "fault/plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace clip::fault {
+
+const char* to_string(MeterFaultKind k) {
+  switch (k) {
+    case MeterFaultKind::kStuckAt:
+      return "stuck-at";
+    case MeterFaultKind::kDropout:
+      return "dropout";
+    case MeterFaultKind::kSpike:
+      return "spike";
+  }
+  return "?";
+}
+
+namespace {
+
+void require_node(int node, int cluster_nodes, const char* what) {
+  CLIP_REQUIRE(node >= 0 && node < cluster_nodes,
+               std::string(what) + " names node " + std::to_string(node) +
+                   " outside the cluster (nodes: " +
+                   std::to_string(cluster_nodes) + ")");
+}
+
+}  // namespace
+
+void FaultPlan::validate(int cluster_nodes) const {
+  CLIP_REQUIRE(cluster_nodes >= 1, "fault plan needs a non-empty cluster");
+  for (const auto& c : crashes) {
+    require_node(c.node, cluster_nodes, "crash");
+    CLIP_REQUIRE(c.at_s >= 0.0, "crash time must be non-negative");
+  }
+  for (const auto& d : degrades) {
+    require_node(d.node, cluster_nodes, "degrade");
+    CLIP_REQUIRE(d.at_s >= 0.0, "degrade time must be non-negative");
+    CLIP_REQUIRE(d.speed_factor > 0.0 && d.speed_factor <= 1.0,
+                 "degrade speed_factor must be in (0, 1]");
+  }
+  for (const auto& m : meter_faults) {
+    require_node(m.node, cluster_nodes, "meter fault");
+    CLIP_REQUIRE(m.at_s >= 0.0, "meter-fault time must be non-negative");
+    CLIP_REQUIRE(m.duration_s > 0.0, "meter-fault duration must be positive");
+    if (m.kind == MeterFaultKind::kStuckAt)
+      CLIP_REQUIRE(m.value >= 0.0, "stuck-at reading must be non-negative");
+    if (m.kind == MeterFaultKind::kSpike)
+      CLIP_REQUIRE(m.value > 0.0, "spike multiplier must be positive");
+  }
+  for (const auto& v : cap_violations) {
+    require_node(v.node, cluster_nodes, "cap violation");
+    CLIP_REQUIRE(v.at_s >= 0.0, "cap-violation time must be non-negative");
+    CLIP_REQUIRE(v.duration_s > 0.0,
+                 "cap-violation duration must be positive");
+    CLIP_REQUIRE(v.excess_w > 0.0, "cap-violation excess must be positive");
+  }
+}
+
+std::string FaultPlan::describe() const {
+  struct Line {
+    double at;
+    std::string text;
+  };
+  std::vector<Line> lines;
+  for (const auto& c : crashes) {
+    lines.push_back({c.at_s, "t=" + format_double(c.at_s, 3) + "s crash node " +
+                                 std::to_string(c.node)});
+  }
+  for (const auto& d : degrades) {
+    lines.push_back({d.at_s, "t=" + format_double(d.at_s, 3) +
+                                 "s degrade node " + std::to_string(d.node) +
+                                 " to " + format_double(d.speed_factor, 3) +
+                                 "x"});
+  }
+  for (const auto& m : meter_faults) {
+    lines.push_back(
+        {m.at_s, "t=" + format_double(m.at_s, 3) + "s meter " +
+                     to_string(m.kind) + " node " + std::to_string(m.node) +
+                     " for " + format_double(m.duration_s, 3) + "s value " +
+                     format_double(m.value, 3)});
+  }
+  for (const auto& v : cap_violations) {
+    lines.push_back({v.at_s, "t=" + format_double(v.at_s, 3) +
+                                 "s cap violation node " +
+                                 std::to_string(v.node) + " +" +
+                                 format_double(v.excess_w, 3) + "W for " +
+                                 format_double(v.duration_s, 3) + "s"});
+  }
+  std::stable_sort(lines.begin(), lines.end(),
+                   [](const Line& a, const Line& b) { return a.at < b.at; });
+  std::ostringstream os;
+  for (const auto& l : lines) os << l.text << '\n';
+  return os.str();
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, int cluster_nodes,
+                            double horizon_s, FaultPlanShape shape) {
+  CLIP_REQUIRE(cluster_nodes >= 1, "fault plan needs a non-empty cluster");
+  CLIP_REQUIRE(horizon_s > shape.min_at_s,
+               "fault-plan horizon must exceed the earliest event time");
+  Rng rng(seed);
+  const auto node = [&] {
+    return static_cast<int>(rng.uniform_int(0, cluster_nodes - 1));
+  };
+  const auto at = [&] { return rng.uniform(shape.min_at_s, horizon_s); };
+
+  FaultPlan plan;
+  for (int i = 0; i < shape.crashes; ++i)
+    plan.crashes.push_back({node(), at()});
+  for (int i = 0; i < shape.degrades; ++i)
+    plan.degrades.push_back({node(), at(), rng.uniform(0.4, 0.95)});
+  for (int i = 0; i < shape.meter_faults; ++i) {
+    MeterFault m;
+    m.node = node();
+    m.at_s = at();
+    m.duration_s = rng.uniform(5.0, horizon_s / 4.0 + 5.0);
+    const double kind = rng.uniform();
+    if (kind < 1.0 / 3.0) {
+      m.kind = MeterFaultKind::kStuckAt;
+      m.value = rng.uniform(20.0, 400.0);
+    } else if (kind < 2.0 / 3.0) {
+      m.kind = MeterFaultKind::kDropout;
+      m.value = 0.0;
+    } else {
+      m.kind = MeterFaultKind::kSpike;
+      m.value = rng.uniform(2.0, 20.0);
+    }
+    plan.meter_faults.push_back(m);
+  }
+  for (int i = 0; i < shape.cap_violations; ++i) {
+    CapViolation v;
+    v.node = node();
+    v.at_s = at();
+    v.duration_s = rng.uniform(10.0, horizon_s / 3.0 + 10.0);
+    v.excess_w = rng.uniform(15.0, 80.0);
+    plan.cap_violations.push_back(v);
+  }
+  plan.validate(cluster_nodes);
+  return plan;
+}
+
+}  // namespace clip::fault

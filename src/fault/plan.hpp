@@ -1,0 +1,104 @@
+// FaultPlan — a seeded, deterministic script of hardware misbehaviour for
+// the simulated cluster.
+//
+// The paper targets production power-bounded clusters, where the substrate
+// is imperfect: nodes die mid-job, thermal events lower a node's effective
+// DVFS ceiling, power meters mis-read, and RAPL occasionally fails to hold a
+// programmed cap. A FaultPlan is the injection side of the resilience story
+// (docs/robustness.md): a list of timed events, each naming the node it hits
+// and when, that the runtime replays against a queue run. Everything is
+// plain data and every generator is seeded, so a plan — and therefore every
+// failure a test provokes — is bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace clip::fault {
+
+/// Ways a power meter can mis-read (paper §IV-B4's "system interface helper
+/// tools" read RAPL energy counters; real counters exhibit all three).
+enum class MeterFaultKind {
+  kStuckAt,   ///< reading frozen at `value` watts
+  kDropout,   ///< reading drops to zero (counter not updating)
+  kSpike,     ///< reading multiplied by `value` (> 1)
+};
+
+[[nodiscard]] const char* to_string(MeterFaultKind k);
+
+/// Node `node` dies at `at_s` and never comes back (fail-stop).
+struct NodeCrash {
+  int node = 0;
+  double at_s = 0.0;
+};
+
+/// Node `node` is thermally throttled from `at_s` on: its effective DVFS
+/// ceiling drops so work on it proceeds at `speed_factor` (< 1) of the
+/// healthy rate. Permanent for the rest of the run (a tripped thermal
+/// governor), and composable — two degrades multiply.
+struct NodeDegrade {
+  int node = 0;
+  double at_s = 0.0;
+  double speed_factor = 0.7;  ///< (0, 1]: fraction of healthy speed
+};
+
+/// The meter of node `node` mis-reads during [at_s, at_s + duration_s).
+struct MeterFault {
+  int node = 0;
+  double at_s = 0.0;
+  double duration_s = 10.0;
+  MeterFaultKind kind = MeterFaultKind::kDropout;
+  double value = 0.0;  ///< stuck-at watts, or spike multiplier
+};
+
+/// RAPL fails to enforce node `node`'s cap during [at_s, at_s + duration_s):
+/// the node draws `excess_w` above its programmed cap. The budget guard's
+/// job is to detect the cluster-level overshoot and claw the caps back.
+struct CapViolation {
+  int node = 0;
+  double at_s = 0.0;
+  double duration_s = 30.0;
+  double excess_w = 40.0;
+};
+
+/// How many events of each kind FaultPlan::random draws.
+struct FaultPlanShape {
+  int crashes = 1;
+  int degrades = 1;
+  int meter_faults = 2;
+  int cap_violations = 1;
+  double min_at_s = 0.0;  ///< events land in [min_at_s, horizon_s)
+};
+
+struct FaultPlan {
+  std::vector<NodeCrash> crashes;
+  std::vector<NodeDegrade> degrades;
+  std::vector<MeterFault> meter_faults;
+  std::vector<CapViolation> cap_violations;
+
+  [[nodiscard]] bool empty() const {
+    return crashes.empty() && degrades.empty() && meter_faults.empty() &&
+           cap_violations.empty();
+  }
+  [[nodiscard]] std::size_t size() const {
+    return crashes.size() + degrades.size() + meter_faults.size() +
+           cap_violations.size();
+  }
+
+  /// Structural validity against a cluster of `cluster_nodes` nodes; throws
+  /// clip::PreconditionError naming the offending event.
+  void validate(int cluster_nodes) const;
+
+  /// One line per event, sorted by time — for logs and plan diffs.
+  [[nodiscard]] std::string describe() const;
+
+  /// Draw a random plan: `shape` events with times uniform in
+  /// [shape.min_at_s, horizon_s) on nodes uniform in [0, cluster_nodes).
+  /// Same (seed, cluster_nodes, horizon_s, shape) ⇒ identical plan.
+  [[nodiscard]] static FaultPlan random(std::uint64_t seed, int cluster_nodes,
+                                        double horizon_s,
+                                        FaultPlanShape shape = FaultPlanShape{});
+};
+
+}  // namespace clip::fault

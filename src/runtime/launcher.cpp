@@ -1,5 +1,10 @@
 #include "runtime/launcher.hpp"
 
+#include <algorithm>
+#include <iostream>
+
+#include "util/check.hpp"
+
 namespace clip::runtime {
 
 Launcher::Launcher(
@@ -10,8 +15,18 @@ Launcher::Launcher(
     : executor_(&executor),
       scheduler_(executor, training_suite, options),
       db_path_(std::move(db_path)) {
-  if (db_path_ && std::filesystem::exists(*db_path_))
-    scheduler_.knowledge_db().load(*db_path_);
+  if (db_path_ && std::filesystem::exists(*db_path_)) {
+    try {
+      scheduler_.knowledge_db().load(*db_path_);
+    } catch (const PreconditionError& e) {
+      // A corrupt on-disk database must not kill the framework at startup:
+      // continue with an empty DB (applications re-characterize) and keep
+      // the diagnosis available via db_load_error().
+      db_load_error_ = e.what();
+      std::cerr << "clip: ignoring knowledge database "
+                << db_path_->string() << ": " << e.what() << '\n';
+    }
+  }
 }
 
 void Launcher::set_observer(obs::ObsSession* obs) {
@@ -23,29 +38,77 @@ void Launcher::persist() {
   if (db_path_) scheduler_.knowledge_db().save(*db_path_);
 }
 
+sim::ClusterConfig Launcher::fallback_plan(const JobSpec& spec) const {
+  // Conservative degraded-mode allocation when the decision pipeline cannot
+  // produce a plan (corrupt knowledge record, insane profile): half the
+  // cluster's nodes, all cores, scatter, an even power split with the
+  // memory share the paper's baselines use. Deliberately assumption-free —
+  // it consults no profile data at all — and under-committed, so it is safe
+  // for any application class.
+  sim::ClusterConfig cfg;
+  const auto& mspec = executor_->spec();
+  cfg.nodes = std::max(1, mspec.nodes / 2);
+  cfg.node.threads = mspec.shape.total_cores();
+  cfg.node.affinity = parallel::AffinityPolicy::kScatter;
+  cfg.node.mem_level = sim::MemPowerLevel::kL0;
+  const double node_share = spec.cluster_budget.value() / cfg.nodes;
+  cfg.node.mem_cap = Watts(30.0);
+  cfg.node.cpu_cap = Watts(std::max(1.0, node_share - 30.0));
+  return cfg;
+}
+
 JobResult Launcher::run(const JobSpec& spec) {
+  // User errors stay loud: only internal scheduling failures (corrupt
+  // profile inputs) downgrade to the fallback below.
+  spec.app.validate();
+  CLIP_REQUIRE(spec.cluster_budget.value() > 0.0,
+               "cluster_budget must be positive");
+
   obs::ScopedSpan span(obs_, "runtime.job", "runtime");
   span.arg("app", spec.app.name);
   span.arg("budget_w", spec.cluster_budget.value());
   obs::count(obs_, "runtime.jobs");
-  const core::ScheduleDecision decision =
-      scheduler_.schedule(spec.app, spec.cluster_budget);
-  if (!decision.from_knowledge_db) persist();
 
   JobResult result;
   result.spec = spec;
-  result.method = "CLIP";
-  result.plan = decision.cluster;
-  result.measurement = executor_->run(spec.app, decision.cluster);
-  result.scheduling_overhead = decision.profiling_cost;
+  bool persist_needed = false;
+  try {
+    const core::ScheduleDecision decision =
+        scheduler_.schedule(spec.app, spec.cluster_budget);
+    persist_needed = !decision.from_knowledge_db;
+    result.method = "CLIP";
+    result.plan = decision.cluster;
+    result.scheduling_overhead = decision.profiling_cost;
+  } catch (const PreconditionError& e) {
+    span.arg("fallback", e.what());
+    obs::count(obs_, "runtime.fallbacks");
+    std::cerr << "clip: scheduling failed for '" << spec.app.name
+              << "', using conservative fallback: " << e.what() << '\n';
+    result.method = "CLIP-fallback";
+    result.plan = fallback_plan(spec);
+  }
+  if (persist_needed) persist();
+  result.measurement = executor_->run(spec.app, result.plan);
   return result;
 }
 
 std::string Launcher::plan_script(const JobSpec& spec) {
-  const core::ScheduleDecision decision =
-      scheduler_.schedule(spec.app, spec.cluster_budget);
-  if (!decision.from_knowledge_db) persist();
-  return render_launch_script(spec, decision.cluster);
+  spec.app.validate();
+  CLIP_REQUIRE(spec.cluster_budget.value() > 0.0,
+               "cluster_budget must be positive");
+  sim::ClusterConfig plan;
+  bool persist_needed = false;
+  try {
+    const core::ScheduleDecision decision =
+        scheduler_.schedule(spec.app, spec.cluster_budget);
+    persist_needed = !decision.from_knowledge_db;
+    plan = decision.cluster;
+  } catch (const PreconditionError&) {
+    obs::count(obs_, "runtime.fallbacks");
+    plan = fallback_plan(spec);
+  }
+  if (persist_needed) persist();
+  return render_launch_script(spec, plan);
 }
 
 }  // namespace clip::runtime

@@ -6,6 +6,7 @@
 
 #include <filesystem>
 #include <optional>
+#include <string>
 
 #include "core/scheduler.hpp"
 #include "obs/session.hpp"
@@ -17,13 +18,19 @@ namespace clip::runtime {
 class Launcher {
  public:
   /// `db_path`: optional knowledge-database file, loaded when it exists and
-  /// saved after every new characterization.
+  /// saved after every new characterization. A corrupt or truncated file is
+  /// logged and skipped — the launcher starts with an empty database rather
+  /// than dying (see db_load_error()).
   Launcher(sim::SimExecutor& executor,
            const std::vector<workloads::WorkloadSignature>& training_suite,
            std::optional<std::filesystem::path> db_path = std::nullopt,
            core::SchedulerOptions options = core::SchedulerOptions{});
 
-  /// Schedule with CLIP and execute.
+  /// Schedule with CLIP and execute. If the decision pipeline throws a
+  /// PreconditionError (corrupt knowledge record, insane profile inputs),
+  /// the job still runs, on a conservative half-node-all-core allocation;
+  /// the result's method reads "CLIP-fallback" and `runtime.fallbacks` is
+  /// counted. User errors (invalid app, non-positive budget) still throw.
   [[nodiscard]] JobResult run(const JobSpec& spec);
 
   /// The launch script for a job (planning only, no execution).
@@ -38,12 +45,20 @@ class Launcher {
   /// separately whether to observe it.
   void set_observer(obs::ObsSession* obs);
 
+  /// Why the knowledge database failed to load at construction; empty when
+  /// it loaded fine (or no db_path was given / the file didn't exist).
+  [[nodiscard]] const std::string& db_load_error() const {
+    return db_load_error_;
+  }
+
  private:
   void persist();
+  [[nodiscard]] sim::ClusterConfig fallback_plan(const JobSpec& spec) const;
 
   sim::SimExecutor* executor_;
   core::ClipScheduler scheduler_;
   std::optional<std::filesystem::path> db_path_;
+  std::string db_load_error_;
   obs::ObsSession* obs_ = nullptr;
 };
 

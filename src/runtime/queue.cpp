@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "util/check.hpp"
+#include "util/strings.hpp"
 
 namespace clip::runtime {
 
@@ -12,18 +13,32 @@ PowerAwareJobQueue::PowerAwareJobQueue(sim::SimExecutor& executor,
                                        QueueOptions options)
     : executor_(&executor), scheduler_(&scheduler), options_(options) {
   CLIP_REQUIRE(options.cluster_budget.value() > 0.0,
-               "queue needs a positive budget");
+               "cluster_budget must be positive (got " +
+                   format_double(options.cluster_budget.value(), 3) + " W)");
   CLIP_REQUIRE(options.min_node_power_w > 0.0,
-               "minimum node power must be positive");
+               "min_node_power_w must be positive (got " +
+                   format_double(options.min_node_power_w, 3) + " W)");
+  CLIP_REQUIRE(
+      options.min_node_power_w <= options.cluster_budget.value(),
+      "min_node_power_w (" + format_double(options.min_node_power_w, 3) +
+          " W) exceeds cluster_budget (" +
+          format_double(options.cluster_budget.value(), 3) + " W)");
+  options.retry.validate();
+  options.guard.validate();
 }
 
 namespace {
 
 struct Running {
   std::size_t job_index;
-  double end_s;
-  int nodes;
-  double power_w;
+  double start_s;
+  double end_s;              ///< completion, or the abort instant if crashed
+  std::vector<int> node_ids;
+  double power_w;            ///< reserved slice
+  double true_power_w;       ///< exact measured draw
+  double energy_j;           ///< fault-free run energy (adjusted on abort)
+  bool crashed = false;
+  int crashed_node = -1;
 };
 
 /// Simulated-seconds wait times: 0.125 s … ~2000 s.
@@ -33,34 +48,97 @@ const obs::HistogramSpec& wait_s_spec() {
   return spec;
 }
 
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
 }  // namespace
 
 QueueReport PowerAwareJobQueue::run(
     const std::vector<workloads::WorkloadSignature>& jobs) {
+  std::vector<QueueJob> wrapped;
+  wrapped.reserve(jobs.size());
+  for (const auto& j : jobs) wrapped.push_back(QueueJob{j, 0});
+  return run(wrapped);
+}
+
+QueueReport PowerAwareJobQueue::run(const std::vector<QueueJob>& jobs) {
   CLIP_REQUIRE(!jobs.empty(), "queue needs at least one job");
   const int total_nodes = executor_->spec().nodes;
   const double total_budget = options_.cluster_budget.value();
+  for (const auto& job : jobs)
+    CLIP_REQUIRE(job.requested_nodes >= 0 &&
+                     job.requested_nodes <= total_nodes,
+                 "job '" + job.app.name + "' requested_nodes (" +
+                     std::to_string(job.requested_nodes) +
+                     ") exceeds the cluster's " +
+                     std::to_string(total_nodes) + " nodes");
 
   QueueReport report;
   report.jobs.resize(jobs.size());
-  std::vector<bool> started(jobs.size(), false);
+
+  enum class State { kPending, kRunning, kDone, kFailed };
+  std::vector<State> state(jobs.size(), State::kPending);
+  std::vector<int> attempts(jobs.size(), 0);
+  std::vector<double> eligible_s(jobs.size(), 0.0);
   std::vector<Running> running;
+  std::vector<bool> node_alive(static_cast<std::size_t>(total_nodes), true);
+  std::vector<bool> node_busy(static_cast<std::size_t>(total_nodes), false);
   double now = 0.0;
 
+  // Budget watchdog; the plausibility ceiling defaults to what the machine
+  // can physically draw (a healthy node never exceeds it, a spiking meter
+  // usually will).
+  fault::BudgetGuardOptions guard_opts = options_.guard;
+  if (guard_opts.max_plausible_node_w >= 1e9)
+    guard_opts.max_plausible_node_w = executor_->spec().max_node_w() * 1.5;
+  fault::BudgetGuard guard(guard_opts, options_.cluster_budget);
+
+  // Fault-event bookkeeping: each planned event is announced (counted and
+  // applied to the node pool) exactly once, when its time arrives.
+  const fault::FaultPlan* plan =
+      injector_ != nullptr ? &injector_->plan() : nullptr;
+  std::vector<bool> crash_seen(plan != nullptr ? plan->crashes.size() : 0);
+  std::vector<bool> degrade_seen(plan != nullptr ? plan->degrades.size() : 0);
+  std::vector<bool> meter_seen(plan != nullptr ? plan->meter_faults.size()
+                                               : 0);
+  std::vector<bool> capviol_seen(
+      plan != nullptr ? plan->cap_violations.size() : 0);
+  struct Enforcement {
+    double at_s;
+    int node;
+  };
+  std::vector<Enforcement> enforcements;   ///< scheduled cap claw-backs
+  std::vector<double> retry_wakeups;       ///< backoff expiry instants
+  std::vector<bool> enforcement_pending(static_cast<std::size_t>(total_nodes),
+                                        false);
+
   auto free_nodes = [&] {
-    int used = 0;
-    for (const auto& r : running) used += r.nodes;
-    return total_nodes - used;
+    int free = 0;
+    for (int n = 0; n < total_nodes; ++n)
+      if (node_alive[static_cast<std::size_t>(n)] &&
+          !node_busy[static_cast<std::size_t>(n)])
+        ++free;
+    return free;
   };
   auto free_power = [&] {
     double used = 0.0;
     for (const auto& r : running) used += r.power_w;
     return total_budget - used;
   };
+  auto active_node_ids = [&] {
+    std::vector<int> ids;
+    for (const auto& r : running)
+      ids.insert(ids.end(), r.node_ids.begin(), r.node_ids.end());
+    return ids;
+  };
+  auto true_cluster_power = [&](double t) {
+    double watts = 0.0;
+    for (const auto& r : running) watts += r.true_power_w;
+    return watts + injector_->cap_excess_w(active_node_ids(), t);
+  };
 
   auto try_start = [&](std::size_t j) -> bool {
     obs::ScopedSpan span(obs_, "queue.try_start", "runtime");
-    span.arg("app", jobs[j].name);
+    span.arg("app", jobs[j].app.name);
     const int nodes_avail = free_nodes();
     const double watts_avail = free_power();
     span.arg("free_nodes", nodes_avail);
@@ -71,45 +149,79 @@ QueueReport PowerAwareJobQueue::run(
 
     // Shape the job as if the free watts were all its own...
     const core::ScheduleDecision ideal =
-        scheduler_->schedule(jobs[j], Watts(watts_avail));
-    // ...then constrain to the free nodes with a proportional power slice.
-    const int nodes_used = std::min(ideal.cluster.nodes, nodes_avail);
+        scheduler_->schedule(jobs[j].app, Watts(watts_avail));
+    // ...then constrain to the free nodes (or the job's own MPI launch
+    // line) with a proportional power slice.
+    const int nodes_wanted =
+        jobs[j].requested_nodes > 0 ? jobs[j].requested_nodes
+                                    : ideal.cluster.nodes;
+    if (nodes_wanted > nodes_avail && jobs[j].requested_nodes > 0)
+      return false;  // a predefined decomposition cannot shrink
+    const int nodes_used = std::min(nodes_wanted, nodes_avail);
     const double slice =
-        watts_avail * nodes_used / ideal.cluster.nodes;
+        watts_avail * nodes_used / std::max(ideal.cluster.nodes, nodes_used);
     if (slice < options_.min_node_power_w * nodes_used) return false;
 
     const core::ScheduleDecision constrained =
         nodes_used == ideal.cluster.nodes
             ? ideal
-            : scheduler_->schedule_constrained(jobs[j], Watts(slice),
+            : scheduler_->schedule_constrained(jobs[j].app, Watts(slice),
                                                nodes_used);
     const sim::Measurement m =
-        executor_->run_exact(jobs[j], constrained.cluster);
+        executor_->run_exact(jobs[j].app, constrained.cluster);
     CLIP_ENSURE(m.avg_power.value() <= slice * 1.01 + 1.0,
                 "job exceeded its power slice");
 
     Running r;
     r.job_index = j;
-    r.end_s = now + m.time.value() + constrained.profiling_cost.value();
-    r.nodes = nodes_used;
+    r.start_s = now;
+    const double duration =
+        m.time.value() + constrained.profiling_cost.value();
+    r.end_s = now + duration;
+    r.node_ids.reserve(static_cast<std::size_t>(nodes_used));
+    for (int n = 0; n < total_nodes &&
+                    static_cast<int>(r.node_ids.size()) < nodes_used;
+         ++n)
+      if (node_alive[static_cast<std::size_t>(n)] &&
+          !node_busy[static_cast<std::size_t>(n)])
+        r.node_ids.push_back(n);
     // Reserve the job's full slice, not its measured draw: the RAPL caps
     // guarantee the slice is never exceeded, and only reserving the caps
     // keeps the cluster-wide bound airtight under transients.
     r.power_w = slice;
-    running.push_back(r);
+    r.true_power_w = m.avg_power.value();
+    r.energy_j = m.energy.value();
+    if (injector_ != nullptr) {
+      // Degrades stretch the run; a held node's crash aborts it.
+      const fault::RunResolution res =
+          injector_->resolve(now, duration, r.node_ids);
+      r.end_s = res.end_s;
+      r.crashed = res.crashed;
+      r.crashed_node = res.crashed_node;
+    }
+    for (int n : r.node_ids) node_busy[static_cast<std::size_t>(n)] = true;
 
     auto& out = report.jobs[j];
-    out.app = jobs[j].name;
-    out.parameters = jobs[j].parameters;
+    out.app = jobs[j].app.name;
+    out.parameters = jobs[j].app.parameters;
     out.submit_s = 0.0;
     out.start_s = now;
     out.end_s = r.end_s;
     out.nodes = nodes_used;
     out.budget_w = slice;
     out.power_w = m.avg_power.value();
+    out.attempts = ++attempts[j];
+    out.completed = !r.crashed;
+    out.crashed_node = -1;
+    // Optimistic accounting at start, exactly as the fault-free queue always
+    // did (same FP operations in the same order, so an empty plan reproduces
+    // the report bit-for-bit); a crash abort adjusts the energy term. For a
+    // crashed run r.end_s is already the abort instant, so the node-seconds
+    // term needs no adjustment, and a degraded run's stretch is billed here.
     report.total_energy_j += m.energy.value();
     report.node_seconds_used += nodes_used * (r.end_s - now);
-    started[j] = true;
+    running.push_back(std::move(r));
+    state[j] = State::kRunning;
     obs::count(obs_, "queue.jobs_started");
     obs::observe(obs_, "queue.job_wait_s", wait_s_spec(), out.wait_s());
     return true;
@@ -117,33 +229,247 @@ QueueReport PowerAwareJobQueue::run(
 
   auto start_eligible = [&] {
     for (std::size_t j = 0; j < jobs.size(); ++j) {
-      if (started[j]) continue;
+      if (state[j] != State::kPending) continue;
+      if (eligible_s[j] > now) continue;  // still backing off after a crash
       const bool ok = try_start(j);
       if (!ok && !options_.backfill) break;  // strict FCFS: head blocks
     }
     std::size_t waiting = 0;
     for (std::size_t j = 0; j < jobs.size(); ++j)
-      if (!started[j]) ++waiting;
+      if (state[j] == State::kPending) ++waiting;
     obs::gauge_set(obs_, "queue.depth", static_cast<double>(waiting));
     obs::gauge_set(obs_, "queue.running",
                    static_cast<double>(running.size()));
   };
 
-  start_eligible();
-  while (!running.empty()) {
-    // Advance to the next completion.
-    auto next = std::min_element(
-        running.begin(), running.end(),
-        [](const Running& a, const Running& b) { return a.end_s < b.end_s; });
-    now = next->end_s;
+  // Announce fault events whose time has arrived: counters/spans once per
+  // event, crashes also retire the node from the pool.
+  auto apply_fault_events = [&] {
+    for (std::size_t i = 0; i < crash_seen.size(); ++i) {
+      const auto& c = plan->crashes[i];
+      if (crash_seen[i] || c.at_s > now) continue;
+      crash_seen[i] = true;
+      obs::ScopedSpan span(obs_, "fault.inject", "fault");
+      span.arg("kind", "crash");
+      span.arg("node", c.node);
+      obs::count(obs_, "fault.injected");
+      obs::count(obs_, "fault.crashes");
+      if (node_alive[static_cast<std::size_t>(c.node)]) {
+        node_alive[static_cast<std::size_t>(c.node)] = false;
+        report.crashed_nodes.push_back(c.node);
+      }
+    }
+    for (std::size_t i = 0; i < degrade_seen.size(); ++i) {
+      const auto& d = plan->degrades[i];
+      if (degrade_seen[i] || d.at_s > now) continue;
+      degrade_seen[i] = true;
+      obs::ScopedSpan span(obs_, "fault.inject", "fault");
+      span.arg("kind", "degrade");
+      span.arg("node", d.node);
+      obs::count(obs_, "fault.injected");
+      obs::count(obs_, "fault.degrades");
+    }
+    for (std::size_t i = 0; i < meter_seen.size(); ++i) {
+      const auto& f = plan->meter_faults[i];
+      if (meter_seen[i] || f.at_s > now) continue;
+      meter_seen[i] = true;
+      obs::ScopedSpan span(obs_, "fault.inject", "fault");
+      span.arg("kind", std::string("meter-") + to_string(f.kind));
+      span.arg("node", f.node);
+      obs::count(obs_, "fault.injected");
+      obs::count(obs_, "fault.meter_faults");
+    }
+    for (std::size_t i = 0; i < capviol_seen.size(); ++i) {
+      const auto& v = plan->cap_violations[i];
+      if (capviol_seen[i] || v.at_s > now) continue;
+      capviol_seen[i] = true;
+      obs::ScopedSpan span(obs_, "fault.inject", "fault");
+      span.arg("kind", "cap-violation");
+      span.arg("node", v.node);
+      obs::count(obs_, "fault.injected");
+      obs::count(obs_, "fault.cap_violations");
+    }
+  };
+
+  // Claw back a violated cap on `node` (re-coordination took effect).
+  auto claw_back = [&](int node) {
+    const int truncated = injector_->truncate_cap_violations(node, now);
+    if (truncated == 0) return;  // window already over
+    report.caps_reprogrammed += truncated;
+    obs::ScopedSpan span(obs_, "budget.reprogram", "fault");
+    span.arg("node", node);
+    obs::count(obs_, "budget.caps_reprogrammed",
+               static_cast<std::uint64_t>(truncated));
+  };
+
+  // The guard's sampling pass: read every active node's meter (corrupted by
+  // the injector, filtered for plausibility), detect cluster overshoot, and
+  // schedule claw-backs with the actuation latency.
+  auto guard_sample = [&] {
+    if (!guard.options().enabled || running.empty()) return;
+    double observed = 0.0;
+    for (const auto& r : running) {
+      const double per_node_truth =
+          r.true_power_w / static_cast<double>(r.node_ids.size());
+      const double per_node_expected =
+          r.power_w / static_cast<double>(r.node_ids.size());
+      for (int n : r.node_ids) {
+        const double truth =
+            per_node_truth + injector_->cap_excess_w({n}, now);
+        observed += guard.filter_reading(
+            injector_->observed_node_power(n, now, truth),
+            per_node_expected);
+      }
+    }
+    if (!guard.overshoot(observed)) return;
+    obs::count(obs_, "budget.overshoot_events");
+    for (int n : injector_->violating_nodes(active_node_ids(), now)) {
+      if (enforcement_pending[static_cast<std::size_t>(n)]) continue;
+      if (guard.options().reaction_s <= 0.0) {
+        claw_back(n);
+      } else {
+        enforcement_pending[static_cast<std::size_t>(n)] = true;
+        enforcements.push_back({now + guard.options().reaction_s, n});
+      }
+    }
+  };
+
+  // Process the single earliest finished run due at `now` (one per pass, so
+  // a simultaneous completion sees the freed resources of the previous one —
+  // exactly how the fault-free queue always behaved).
+  auto finish_one_due = [&]() -> bool {
+    auto next = running.end();
+    for (auto it = running.begin(); it != running.end(); ++it)
+      if (it->end_s <= now &&
+          (next == running.end() || it->end_s < next->end_s))
+        next = it;
+    if (next == running.end()) return false;
+    const Running r = *next;
     running.erase(next);
-    start_eligible();
+    for (int n : r.node_ids) node_busy[static_cast<std::size_t>(n)] = false;
+    const std::size_t j = r.job_index;
+    if (!r.crashed) {
+      state[j] = State::kDone;
+      return true;
+    }
+    // Crash abort: replace the optimistic energy bill with the watts the
+    // partial execution truly drew (nodes and watts were freed above), then
+    // retry or fail.
+    const double elapsed = r.end_s - r.start_s;
+    report.total_energy_j += r.true_power_w * elapsed - r.energy_j;
+    auto& out = report.jobs[j];
+    out.crashed_node = r.crashed_node;
+    out.completed = false;
+    if (attempts[j] >= options_.retry.max_attempts) {
+      state[j] = State::kFailed;
+      ++report.jobs_failed;
+      obs::count(obs_, "queue.jobs_failed");
+      return true;
+    }
+    state[j] = State::kPending;
+    eligible_s[j] = now + options_.retry.backoff_s(attempts[j]);
+    retry_wakeups.push_back(eligible_s[j]);
+    ++report.retries;
+    obs::ScopedSpan span(obs_, "queue.requeue", "runtime");
+    span.arg("app", out.app);
+    span.arg("crashed_node", r.crashed_node);
+    obs::count(obs_, "queue.retries");
+    return true;
+  };
+
+  const std::vector<double> wakeups =
+      injector_ != nullptr ? injector_->wakeups() : std::vector<double>{};
+  std::size_t wakeup_idx = 0;
+
+  if (injector_ != nullptr) {
+    while (wakeup_idx < wakeups.size() && wakeups[wakeup_idx] <= now)
+      ++wakeup_idx;
+    apply_fault_events();  // t = 0 events precede the first placement
+  }
+  start_eligible();
+  if (injector_ != nullptr) guard_sample();
+
+  for (;;) {
+    // 1. Due injector events: cap claw-backs whose latency elapsed, then
+    //    newly arrived plan events (crashes must retire nodes before any
+    //    start at this instant), then expired retry backoffs.
+    bool acted = false;
+    if (injector_ != nullptr) {
+      for (auto it = enforcements.begin(); it != enforcements.end();) {
+        if (it->at_s <= now) {
+          enforcement_pending[static_cast<std::size_t>(it->node)] = false;
+          claw_back(it->node);
+          it = enforcements.erase(it);
+          acted = true;
+        } else {
+          ++it;
+        }
+      }
+      while (wakeup_idx < wakeups.size() && wakeups[wakeup_idx] <= now) {
+        ++wakeup_idx;
+        acted = true;
+      }
+      for (auto it = retry_wakeups.begin(); it != retry_wakeups.end();) {
+        if (*it <= now) {
+          it = retry_wakeups.erase(it);
+          acted = true;
+        } else {
+          ++it;
+        }
+      }
+      if (acted) apply_fault_events();
+    }
+
+    // 2. Due completions, one per pass with a start pass after each.
+    if (finish_one_due()) {
+      start_eligible();
+      if (injector_ != nullptr) guard_sample();
+      continue;
+    }
+    // 3. An event without a completion still frees or consumes capacity
+    //    (crashed node gone, cap clawed back, retry eligible): start pass.
+    if (acted) {
+      start_eligible();
+      guard_sample();
+      continue;
+    }
+
+    // 4. Nothing due at `now`: advance to the next instant anything happens.
+    bool any_pending = false;
+    double next = kInf;
+    for (const auto& r : running) next = std::min(next, r.end_s);
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      if (state[j] != State::kPending) continue;
+      any_pending = true;
+      if (eligible_s[j] > now) next = std::min(next, eligible_s[j]);
+    }
+    if (injector_ != nullptr && (!running.empty() || any_pending)) {
+      if (wakeup_idx < wakeups.size())
+        next = std::min(next, wakeups[wakeup_idx]);
+      for (const auto& e : enforcements) next = std::min(next, e.at_s);
+    }
+    if (next == kInf) break;
+    if (injector_ != nullptr)
+      guard.account(next - now, true_cluster_power(now));
+    now = next;
   }
 
-  // Everything must have run: with all nodes and the full budget free, a
-  // single job always fits (the scheduler scales down to one node).
-  for (std::size_t j = 0; j < jobs.size(); ++j)
-    CLIP_ENSURE(started[j], "job never started: " + jobs[j].name);
+  // Jobs still pending when nothing can ever happen again (every node dead,
+  // or the budget unreachable) are failures, not hangs. Without an injector
+  // this is unreachable: a lone job always fits an idle cluster.
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    if (state[j] != State::kPending) continue;
+    CLIP_ENSURE(injector_ != nullptr,
+                "job never started: " + jobs[j].app.name);
+    auto& out = report.jobs[j];
+    out.app = jobs[j].app.name;
+    out.parameters = jobs[j].app.parameters;
+    out.attempts = attempts[j];
+    out.completed = false;
+    state[j] = State::kFailed;
+    ++report.jobs_failed;
+    obs::count(obs_, "queue.jobs_failed");
+  }
 
   report.makespan_s = 0.0;
   double turnaround = 0.0;
@@ -153,6 +479,16 @@ QueueReport PowerAwareJobQueue::run(
   }
   report.mean_turnaround_s = turnaround / static_cast<double>(jobs.size());
   report.node_seconds_available = report.makespan_s * total_nodes;
+  report.violation_s = guard.violation_s();
+  report.violation_ws = guard.violation_ws();
+  report.meter_reads_rejected = guard.rejected_reads();
+  if (injector_ != nullptr) {
+    obs::gauge_set(obs_, "budget.violation_s", report.violation_s);
+    obs::gauge_set(obs_, "budget.violation_ws", report.violation_ws);
+    if (report.meter_reads_rejected > 0)
+      obs::count(obs_, "fault.meter_reads_rejected",
+                 report.meter_reads_rejected);
+  }
   return report;
 }
 

@@ -12,12 +12,28 @@
 //   * CLIP first shapes the job as if the free watts were all its own, then
 //     is constrained to the free nodes with a proportional budget slice;
 //   * completions free nodes and watts, unblocking the queue.
+//
+// Resilience (docs/robustness.md): with a fault::FaultInjector attached the
+// queue survives an imperfect substrate. Node crashes abort the jobs holding
+// them; the queue reclaims the dead node's watts, requeues the job under the
+// RetryPolicy (bounded attempts, exponential backoff; crashed nodes leave
+// the pool for good, so retries are structurally excluded from them) and
+// marks jobs failed once attempts are exhausted. Thermal degradation
+// stretches affected jobs. A BudgetGuard watches the (meter-corrupted,
+// plausibility-filtered) cluster draw, detects overshoot from unenforced
+// RAPL caps, claws the violating node's cap back after an actuation latency,
+// and accounts violation-seconds. With no injector — or an empty FaultPlan —
+// every decision, measurement and report field is byte-identical to the
+// fault-free queue.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "core/scheduler.hpp"
+#include "fault/budget_guard.hpp"
+#include "fault/injector.hpp"
 #include "obs/session.hpp"
 #include "sim/executor.hpp"
 #include "util/units.hpp"
@@ -29,6 +45,16 @@ struct QueueOptions {
   Watts cluster_budget{1000.0};
   bool backfill = true;          ///< allow later jobs to jump a blocked head
   double min_node_power_w = 45.0;  ///< below this a node is not worth waking
+  fault::RetryPolicy retry;        ///< crash-killed jobs: bounded retries
+  fault::BudgetGuardOptions guard; ///< cluster-budget watchdog
+};
+
+/// A queue submission: the workload plus optional placement constraints.
+struct QueueJob {
+  workloads::WorkloadSignature app;
+  /// 0 = let CLIP pick the node count; otherwise the job arrives with a
+  /// predefined count (an MPI launch line) and is scheduled constrained.
+  int requested_nodes = 0;
 };
 
 /// One job's trajectory through the queue.
@@ -41,6 +67,9 @@ struct QueuedJobResult {
   int nodes = 0;
   double budget_w = 0.0;   ///< power slice while running
   double power_w = 0.0;    ///< measured draw
+  int attempts = 1;        ///< placements consumed (> 1 after crash retries)
+  bool completed = true;   ///< false: retries exhausted or no nodes left
+  int crashed_node = -1;   ///< node whose death last aborted the job
   [[nodiscard]] double turnaround_s() const { return end_s - submit_s; }
   [[nodiscard]] double wait_s() const { return start_s - submit_s; }
 };
@@ -53,10 +82,25 @@ struct QueueReport {
   double node_seconds_used = 0.0;
   double node_seconds_available = 0.0;  ///< makespan * cluster nodes
 
+  // --- resilience accounting (all zero on a fault-free run) ---------------
+  int retries = 0;               ///< crash-triggered requeues
+  int jobs_failed = 0;           ///< submitted jobs that never completed
+  std::vector<int> crashed_nodes;  ///< nodes lost, in crash order
+  int caps_reprogrammed = 0;     ///< guard claw-backs of violated caps
+  double violation_s = 0.0;      ///< seconds the true draw exceeded budget
+  double violation_ws = 0.0;     ///< watt-seconds above the budget
+  std::uint64_t meter_reads_rejected = 0;  ///< implausible readings filtered
+
   [[nodiscard]] double node_utilization() const {
     return node_seconds_available > 0.0
                ? node_seconds_used / node_seconds_available
                : 0.0;
+  }
+  [[nodiscard]] std::size_t jobs_completed() const {
+    std::size_t n = 0;
+    for (const auto& j : jobs)
+      if (j.completed) ++n;
+    return n;
   }
 };
 
@@ -70,17 +114,30 @@ class PowerAwareJobQueue {
   [[nodiscard]] QueueReport run(
       const std::vector<workloads::WorkloadSignature>& jobs);
 
+  /// As above, with per-job placement constraints.
+  [[nodiscard]] QueueReport run(const std::vector<QueueJob>& jobs);
+
   /// Attach an observability session (nullptr detaches): `queue.depth` /
   /// `queue.running` gauges track the event loop, each start attempt emits
   /// a "queue.try_start" span, and per-job waits (simulated seconds, so
-  /// deterministic) feed the `queue.job_wait_s` histogram.
+  /// deterministic) feed the `queue.job_wait_s` histogram. Fault handling
+  /// adds the fault.* / queue.retries / budget.* series of
+  /// docs/observability.md.
   void set_observer(obs::ObsSession* obs) { obs_ = obs; }
+
+  /// Attach a fault injector (nullptr detaches; not owned, must outlive the
+  /// run). The injector's cap-violation windows are mutated by guard
+  /// claw-backs, so attach a fresh injector per run.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    injector_ = injector;
+  }
 
  private:
   sim::SimExecutor* executor_;
   core::ClipScheduler* scheduler_;
   QueueOptions options_;
   obs::ObsSession* obs_ = nullptr;
+  fault::FaultInjector* injector_ = nullptr;
 };
 
 /// Reference policy: one job at a time with the whole budget (what a

@@ -4,6 +4,20 @@
 
 namespace clip::sim {
 
+double corrupt_reading(const MeterFaultState& fault, double truth_w) {
+  switch (fault.kind) {
+    case MeterFaultState::Kind::kNone:
+      return truth_w;
+    case MeterFaultState::Kind::kStuckAt:
+      return fault.value;
+    case MeterFaultState::Kind::kDropout:
+      return 0.0;
+    case MeterFaultState::Kind::kSpike:
+      return truth_w * fault.value;
+  }
+  return truth_w;
+}
+
 double PowerMeter::jitter(double sigma) {
   if (!options_.enabled || sigma <= 0.0) return 1.0;
   // Clamp to ±4 sigma so a single unlucky draw cannot flip a decision in a
@@ -14,7 +28,8 @@ double PowerMeter::jitter(double sigma) {
 }
 
 Watts PowerMeter::read_power(Watts truth) {
-  return Watts(truth.value() * jitter(options_.power_noise_sigma));
+  return Watts(corrupt_reading(
+      fault_, truth.value() * jitter(options_.power_noise_sigma)));
 }
 
 Seconds PowerMeter::read_time(Seconds truth) {

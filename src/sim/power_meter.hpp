@@ -22,6 +22,21 @@ struct MeterOptions {
   bool enabled = true;
 };
 
+/// A programmed meter malfunction layered on top of the noise model: while
+/// active, power reads return a corrupted value instead of the (noisy)
+/// truth. Defaults to kNone — a strict no-op — so fault-free behaviour is
+/// byte-identical. The fault-injection subsystem (src/fault) programs these
+/// from a FaultPlan's timed windows.
+struct MeterFaultState {
+  enum class Kind { kNone, kStuckAt, kDropout, kSpike };
+  Kind kind = Kind::kNone;
+  double value = 0.0;  ///< stuck-at watts, or spike multiplier
+};
+
+/// The corruption a faulty meter applies to one power reading.
+[[nodiscard]] double corrupt_reading(const MeterFaultState& fault,
+                                     double truth_w);
+
 class PowerMeter {
  public:
   using Options = MeterOptions;
@@ -29,18 +44,24 @@ class PowerMeter {
   explicit PowerMeter(MeterOptions options = MeterOptions{})
       : options_(options), rng_(options.seed) {}
 
-  /// Apply measurement noise to a ground-truth measurement in place.
+  /// Apply measurement noise (and any programmed fault) to a ground-truth
+  /// measurement in place.
   void observe(Measurement& m);
 
   /// Noisy scalar reads.
   [[nodiscard]] Watts read_power(Watts truth);
   [[nodiscard]] Seconds read_time(Seconds truth);
 
+  /// Program (or, with kNone, clear) the meter's fault layer.
+  void set_fault(MeterFaultState fault) { fault_ = fault; }
+  [[nodiscard]] const MeterFaultState& fault() const { return fault_; }
+
  private:
   [[nodiscard]] double jitter(double sigma);
 
   MeterOptions options_;
   Rng rng_;
+  MeterFaultState fault_;
 };
 
 }  // namespace clip::sim

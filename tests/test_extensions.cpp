@@ -296,7 +296,9 @@ TEST_F(ExtensionTest, QueueReportAccounting) {
 TEST_F(ExtensionTest, QueueValidatesInput) {
   runtime::QueueOptions opt;
   runtime::PowerAwareJobQueue queue(ex_, sched_, opt);
-  EXPECT_THROW((void)queue.run({}), PreconditionError);
+  EXPECT_THROW(
+      (void)queue.run(std::vector<workloads::WorkloadSignature>{}),
+      PreconditionError);
   opt.cluster_budget = Watts(0.0);
   EXPECT_THROW(runtime::PowerAwareJobQueue(ex_, sched_, opt),
                PreconditionError);

@@ -8,6 +8,9 @@
 
 #include "core/profiler.hpp"
 #include "core/scheduler.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "runtime/queue.hpp"
 #include "sim/executor.hpp"
 #include "sim/rapl_controller.hpp"
 #include "util/check.hpp"
@@ -174,6 +177,80 @@ TEST_P(PhasedSweep, BlendEnergyAccountingConsistent) {
   EXPECT_NEAR(m.energy.value(), phase_energy, 1e-6);
   EXPECT_NEAR(m.avg_power.value(),
               m.energy.value() / m.time.value(), 1e-9);
+}
+
+// ------------------------------------------------- fault-plan fuzzing ----
+//
+// Random fault plans against the resilient queue: whatever combination of
+// crashes, degrades, meter faults and cap violations a seed draws, the queue
+// must terminate, account every job as completed-or-failed, never reserve
+// more power than the budget, and never record more violation energy than
+// the plan actually injected.
+
+class FaultPlanFuzz : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultPlanFuzz, ::testing::Range(0, 12));
+
+TEST_P(FaultPlanFuzz, QueueSurvivesArbitrarySeededFaults) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  auto& ex = fuzz_executor();
+  auto& sched = fuzz_scheduler();
+
+  fault::FaultPlanShape shape;
+  shape.crashes = static_cast<int>(seed % 4);        // 0..3 of 8 nodes
+  shape.degrades = static_cast<int>((seed / 4) % 3);
+  shape.meter_faults = 2;
+  shape.cap_violations = 2;
+  const double horizon = 4000.0;
+  const auto plan =
+      fault::FaultPlan::random(0xFA01 + seed, ex.spec().nodes, horizon, shape);
+
+  runtime::QueueOptions opt;
+  opt.cluster_budget = Watts(700.0);
+  runtime::PowerAwareJobQueue queue(ex, sched, opt);
+  fault::FaultInjector injector(plan, ex.spec().nodes);
+  queue.set_fault_injector(&injector);
+
+  const auto& jobs = workloads::paper_benchmarks();
+  const auto report = queue.run(jobs);  // termination is the first property
+
+  // Every submitted job is accounted for: completed or failed, no limbo.
+  EXPECT_EQ(report.jobs.size(), jobs.size());
+  EXPECT_EQ(report.jobs_completed() +
+                static_cast<std::size_t>(report.jobs_failed),
+            jobs.size());
+  EXPECT_TRUE(std::isfinite(report.makespan_s));
+  EXPECT_GE(report.makespan_s, 0.0);
+  EXPECT_LE(report.crashed_nodes.size(),
+            static_cast<std::size_t>(shape.crashes));
+
+  // Reserved power never exceeds the budget at any start instant, and no
+  // job lands on a node set larger than the cluster.
+  for (const auto& a : report.jobs) {
+    if (a.nodes == 0) continue;  // never placed (all nodes dead)
+    EXPECT_LE(a.nodes, ex.spec().nodes);
+    EXPECT_LE(a.attempts, opt.retry.max_attempts);
+    double reserved = 0.0;
+    for (const auto& b : report.jobs)
+      if (b.nodes > 0 && b.start_s <= a.start_s && a.start_s < b.end_s)
+        reserved += b.budget_w;
+    EXPECT_LE(reserved, opt.cluster_budget.value() * 1.001)
+        << "seed " << seed << " t=" << a.start_s;
+  }
+
+  // Violation energy is bounded by what the plan injected: the cluster can
+  // only exceed the budget through unenforced cap excess.
+  double injected_ws = 0.0;
+  for (const auto& v : plan.cap_violations)
+    injected_ws += v.excess_w * v.duration_s;
+  // Slack: measured draw may exceed a job's reserved slice by the queue's
+  // 1 % + 1 W shaping tolerance, integrated over the run.
+  const double slack =
+      (0.01 * opt.cluster_budget.value() + 1.0) * report.makespan_s;
+  EXPECT_LE(report.violation_ws, injected_ws + slack) << "seed " << seed;
+  if (plan.cap_violations.empty()) {
+    EXPECT_LE(report.violation_ws, slack);
+  }
 }
 
 // --------------------------------------------------- controller sweeps ----

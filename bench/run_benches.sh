@@ -2,9 +2,10 @@
 # Run the bench suite with the evaluation engine on, record wall-clock and
 # engine counters per binary, and emit BENCH_eval_engine.json.
 #
-# Usage: bench/run_benches.sh [build-dir] [jobs]
+# Usage: bench/run_benches.sh [build-dir] [jobs] [out-json]
 #   build-dir  cmake binary dir containing bench/ (default: build)
 #   jobs       --jobs value passed to each bench (default: number of cores)
+#   out-json   output path (default: BENCH_eval_engine.json in the cwd)
 #
 # Each binary runs twice: once with the engine (cache + pruning + --jobs)
 # and once as the pre-engine baseline (--no-cache --no-prune, serial). The
@@ -15,8 +16,8 @@ set -eu
 
 build_dir=${1:-build}
 jobs=${2:-$(nproc 2>/dev/null || echo 2)}
+out_json=${3:-BENCH_eval_engine.json}
 bench_dir="$build_dir/bench"
-out_json="BENCH_eval_engine.json"
 
 [ -d "$bench_dir" ] || {
   echo "error: $bench_dir not found (build first: cmake --preset release && cmake --build build -j)" >&2
@@ -28,7 +29,17 @@ out_json="BENCH_eval_engine.json"
 benches="fig3_power_budget_impact fig7_inflection fig8_high_budget \
 fig9_low_budget summary_claims ablation_dimensions scale_cluster"
 
-now_ms() { echo $(( $(date +%s%N) / 1000000 )); }
+# Millisecond wall clock. `date +%s%N` is GNU-only (BSD/busybox print a
+# literal 'N'), so probe it once and fall back to python3, then to
+# second-resolution POSIX date.
+if [ "$(date +%N 2>/dev/null | tr -d '0-9')" = "" ] && \
+   [ -n "$(date +%N 2>/dev/null)" ]; then
+  now_ms() { echo $(( $(date +%s%N) / 1000000 )); }
+elif command -v python3 >/dev/null 2>&1; then
+  now_ms() { python3 -c 'import time; print(int(time.time() * 1000))'; }
+else
+  now_ms() { echo $(( $(date +%s) * 1000 )); }
+fi
 
 stat_field() { # stats-file key -> value (0 when absent)
   sed -n "s/.*$2=\([0-9][0-9]*\).*/\1/p" "$1" | head -n 1 | grep . || echo 0
@@ -37,7 +48,13 @@ stat_field() { # stats-file key -> value (0 when absent)
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
-printf '{\n  "jobs": %s,\n  "benches": [\n' "$jobs" > "$out_json"
+# Provenance stamp: which tree produced these numbers, and when. The
+# regression gate prints both stamps when comparing files.
+git_sha=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+utc_date=$(TZ=UTC date -u '+%Y-%m-%dT%H:%M:%SZ')
+
+printf '{\n  "git_sha": "%s",\n  "date_utc": "%s",\n  "jobs": %s,\n  "benches": [\n' \
+  "$git_sha" "$utc_date" "$jobs" > "$out_json"
 first=1
 for b in $benches; do
   bin="$bench_dir/$b"

@@ -13,6 +13,17 @@
 //                                        pipeline stage + per-node power
 //                                        counter tracks) and prints the
 //                                        metrics summary table
+//   clipctl metrics <app> <watts>        schedule + execute, then dump the
+//                                        metrics registry in Prometheus text
+//                                        exposition format
+//   clipctl record <watts> <out-dir>     run the Table II job mix through the
+//                                        power-aware queue with the flight
+//                                        recorder attached; persist the run
+//                                        record (timeline/jobs/summary/spans
+//                                        CSVs + metrics.prom) into <out-dir>
+//   clipctl report <run-dir> [--json]    render a recorded run as a
+//                                        deterministic Markdown (or JSON)
+//                                        report
 //
 // Applications are named as in Table II (e.g. SP-MZ, TeaLeaf, CoMD).
 #include <filesystem>
@@ -25,6 +36,8 @@
 #include "core/scheduler.hpp"
 #include "obs/obs.hpp"
 #include "runtime/launcher.hpp"
+#include "runtime/queue.hpp"
+#include "runtime/run_report.hpp"
 #include "runtime/telemetry.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -41,7 +54,10 @@ int usage() {
                "       clipctl script   <app> <watts>\n"
                "       clipctl run      <app> <watts>\n"
                "       clipctl compare  <app> <watts>\n"
-               "       clipctl trace    <app> <watts> [out.json]\n";
+               "       clipctl trace    <app> <watts> [out.json]\n"
+               "       clipctl metrics  <app> <watts>\n"
+               "       clipctl record   <watts> <out-dir>\n"
+               "       clipctl report   <run-dir> [--json]\n";
   return 2;
 }
 
@@ -77,6 +93,54 @@ int main(int argc, char** argv) {
       t.add_row({w.name, w.parameters, workloads::to_string(w.pattern),
                  workloads::to_string(w.expected_class)});
     t.print(std::cout);
+    return 0;
+  }
+
+  if (command == "record") {
+    if (argc < 4) return usage();
+    const Watts cluster_budget(watts_or_die(argv[2]));
+    const std::filesystem::path dir(argv[3]);
+
+    obs::ObsSession session;
+    obs::MemorySink sink;
+    session.set_sink(&sink);
+    obs::Timeline timeline;
+    core::ClipScheduler scheduler(cluster, workloads::training_benchmarks());
+    scheduler.set_observer(&session);
+    cluster.set_observer(&session);
+
+    runtime::QueueOptions qopt;
+    qopt.cluster_budget = cluster_budget;
+    runtime::PowerAwareJobQueue queue(cluster, scheduler, qopt);
+    queue.set_observer(&session);
+    queue.set_timeline(&timeline);
+    const auto report = queue.run(workloads::paper_benchmarks());
+
+    try {
+      runtime::write_run_record(dir, cluster_budget, report, timeline,
+                                sink.spans(), &session.metrics());
+    } catch (const std::exception& e) {
+      std::cerr << "cannot write run record: " << e.what() << "\n";
+      return 1;
+    }
+    std::cout << "recorded " << report.jobs.size() << " jobs ("
+              << report.jobs_completed() << " completed, makespan "
+              << format_double(report.makespan_s, 1) << " s) into "
+              << dir.string() << "\nrender it with: clipctl report "
+              << dir.string() << "\n";
+    return 0;
+  }
+  if (command == "report") {
+    if (argc < 3) return usage();
+    const std::filesystem::path dir(argv[2]);
+    const bool json = argc >= 4 && std::string(argv[3]) == "--json";
+    try {
+      std::cout << (json ? runtime::render_json_report(dir)
+                         : runtime::render_markdown_report(dir));
+    } catch (const std::exception& e) {
+      std::cerr << "cannot render report: " << e.what() << "\n";
+      return 1;
+    }
     return 0;
   }
 
@@ -166,6 +230,15 @@ int main(int argc, char** argv) {
     std::cout << "\ntrace: " << out.string() << " (" << sink.span_count()
               << " spans) — load it at https://ui.perfetto.dev or "
                  "chrome://tracing\n";
+    return 0;
+  }
+  if (command == "metrics") {
+    obs::ObsSession session;
+    clip.set_observer(&session);
+    cluster.set_observer(&session);
+    const auto d = clip.schedule(app, budget);
+    (void)cluster.run(app, d.cluster);
+    std::cout << session.metrics().render_prometheus();
     return 0;
   }
   if (command == "compare") {

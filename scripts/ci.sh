@@ -1,19 +1,29 @@
 #!/usr/bin/env bash
 # CI entry point: configure, build and test every preset (release, asan,
-# tsan). The fault/resilience suite is labeled `fault`, so a quick
-# sanitizer-only pass over it is:
+# tsan), then run the bench regression gate against the committed
+# BENCH_eval_engine.json. The fault/resilience suite is labeled `fault`, so a
+# quick sanitizer-only pass over it is:
 #
 #   PRESETS="asan tsan" CTEST_ARGS="-L fault" scripts/ci.sh
 #
+# On a ctest failure the fault integration suite's flight-recorder dump (a
+# run record written into $CLIP_FLIGHT_DIR — see docs/observability.md) is
+# archived under ci-artifacts/<preset>/ before exiting, so the failing run's
+# telemetry timeline survives the red build.
+#
 # Environment:
-#   PRESETS     space-separated subset of presets (default: all three)
-#   CTEST_ARGS  extra arguments for ctest (e.g. "-L fault", "-R Queue")
-#   JOBS        parallelism for build and test (default: nproc)
+#   PRESETS        space-separated subset of presets (default: all three)
+#   CTEST_ARGS     extra arguments for ctest (e.g. "-L fault", "-R Queue")
+#   JOBS           parallelism for build and test (default: nproc)
+#   MAX_SLOWDOWN   regression-gate wall-clock threshold in percent (15)
+#   SKIP_GATE      set to 1 to skip the regression-gate step
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 PRESETS="${PRESETS:-release asan tsan}"
 JOBS="${JOBS:-$(nproc)}"
+MAX_SLOWDOWN="${MAX_SLOWDOWN:-15}"
+ARTIFACTS="ci-artifacts"
 
 for preset in $PRESETS; do
   echo "==> [$preset] configure"
@@ -21,8 +31,27 @@ for preset in $PRESETS; do
   echo "==> [$preset] build"
   cmake --build --preset "$preset" -j "$JOBS"
   echo "==> [$preset] test"
+  flight_dir="$ARTIFACTS/$preset/flight"
+  rm -rf "$flight_dir" && mkdir -p "$flight_dir"
   # shellcheck disable=SC2086  # CTEST_ARGS is intentionally word-split
-  ctest --preset "$preset" -j "$JOBS" --output-on-failure ${CTEST_ARGS:-}
+  if ! CLIP_FLIGHT_DIR="$PWD/$flight_dir" \
+      ctest --preset "$preset" -j "$JOBS" --output-on-failure ${CTEST_ARGS:-}; then
+    echo "==> [$preset] ctest FAILED — flight-recorder artifacts:" >&2
+    find "$flight_dir" -type f | sed 's/^/      /' >&2
+    exit 1
+  fi
+  rm -rf "$ARTIFACTS/$preset"  # green run: nothing worth archiving
 done
+
+if [ "${SKIP_GATE:-0}" != "1" ] && [ -d build/bench ]; then
+  echo "==> [gate] regression gate selftest"
+  scripts/regression_gate.sh --selftest
+  echo "==> [gate] bench sweep (release build)"
+  mkdir -p "$ARTIFACTS"
+  sh bench/run_benches.sh build "$JOBS" "$ARTIFACTS/BENCH_fresh.json"
+  echo "==> [gate] compare against committed BENCH_eval_engine.json"
+  scripts/regression_gate.sh --max-slowdown "$MAX_SLOWDOWN" \
+    BENCH_eval_engine.json "$ARTIFACTS/BENCH_fresh.json"
+fi
 
 echo "==> all presets passed: $PRESETS"

@@ -1,0 +1,132 @@
+#!/usr/bin/env sh
+# Bench regression gate: compare a freshly produced BENCH_eval_engine.json
+# against the committed one and fail on regressions.
+#
+# Usage: scripts/regression_gate.sh [options] <committed.json> <fresh.json>
+#        scripts/regression_gate.sh --selftest
+#
+# Options:
+#   --max-slowdown PCT  fail when a bench's engine wall-clock regresses by
+#                       more than PCT percent (default: 15)
+#   --min-ms MS         skip the wall-clock check when the committed run was
+#                       faster than MS milliseconds — sub-noise benches would
+#                       trip the percentage gate on scheduler jitter alone
+#                       (default: 50; sim.runs is still checked)
+#   --selftest          exercise the gate against synthetic fixtures and exit
+#
+# Two checks per bench, matched by name:
+#   * engine_sim_runs must not increase — the evaluation engine's pruning
+#     contract, machine-independent, the strong signal;
+#   * engine_ms must not regress past --max-slowdown — only meaningful when
+#     both files were produced on the same machine (as in CI, where the
+#     committed file's numbers are regenerated per run).
+# A bench present in the committed file but missing from the fresh one fails.
+set -eu
+
+max_slowdown=15
+min_ms=50
+selftest=0
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --max-slowdown) max_slowdown=$2; shift 2 ;;
+    --min-ms) min_ms=$2; shift 2 ;;
+    --selftest) selftest=1; shift ;;
+    -h|--help) sed -n '2,24p' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+    -*) echo "unknown option: $1" >&2; exit 2 ;;
+    *) break ;;
+  esac
+done
+
+# field <file> <bench-name> <key> -> value, empty when absent.
+field() {
+  sed -n "s/.*\"name\": \"$2\".*\"$3\": \([0-9][0-9]*\).*/\1/p" "$1" \
+    | head -n 1
+}
+
+names() {
+  sed -n 's/.*"name": "\([^"]*\)".*/\1/p' "$1"
+}
+
+stamp() {
+  sha=$(sed -n 's/.*"git_sha": "\([^"]*\)".*/\1/p' "$1" | head -n 1)
+  when=$(sed -n 's/.*"date_utc": "\([^"]*\)".*/\1/p' "$1" | head -n 1)
+  echo "${sha:-unstamped}${when:+ @ $when}"
+}
+
+gate() { # gate <committed.json> <fresh.json> -> 0 pass, 1 fail
+  committed=$1
+  fresh=$2
+  [ -f "$committed" ] || { echo "gate: no such file: $committed" >&2; return 1; }
+  [ -f "$fresh" ] || { echo "gate: no such file: $fresh" >&2; return 1; }
+  echo "gate: committed $(stamp "$committed") vs fresh $(stamp "$fresh")" >&2
+
+  failures=0
+  for b in $(names "$committed"); do
+    old_ms=$(field "$committed" "$b" engine_ms)
+    new_ms=$(field "$fresh" "$b" engine_ms)
+    old_runs=$(field "$committed" "$b" engine_sim_runs)
+    new_runs=$(field "$fresh" "$b" engine_sim_runs)
+    if [ -z "$new_ms" ] || [ -z "$new_runs" ]; then
+      echo "FAIL $b: missing from fresh results" >&2
+      failures=$((failures + 1))
+      continue
+    fi
+    if [ -n "$old_runs" ] && [ "$new_runs" -gt "$old_runs" ]; then
+      echo "FAIL $b: engine_sim_runs regressed $old_runs -> $new_runs" >&2
+      failures=$((failures + 1))
+    fi
+    if [ -n "$old_ms" ] && [ "$old_ms" -ge "$min_ms" ]; then
+      over=$(awk -v o="$old_ms" -v n="$new_ms" -v p="$max_slowdown" \
+        'BEGIN { print (n > o * (1 + p / 100)) ? 1 : 0 }')
+      if [ "$over" -eq 1 ]; then
+        echo "FAIL $b: engine_ms regressed $old_ms -> $new_ms (> $max_slowdown%)" >&2
+        failures=$((failures + 1))
+      else
+        echo "  ok $b: ${old_ms}ms -> ${new_ms}ms, sim.runs $old_runs -> $new_runs" >&2
+      fi
+    else
+      echo "  ok $b: sim.runs $old_runs -> $new_runs (wall-clock below --min-ms, skipped)" >&2
+    fi
+  done
+  [ $failures -eq 0 ] || { echo "gate: $failures regression(s)" >&2; return 1; }
+  echo "gate: pass" >&2
+}
+
+if [ "$selftest" -eq 1 ]; then
+  tmp=$(mktemp -d)
+  trap 'rm -rf "$tmp"' EXIT
+  mk() { # mk <file> <engine_ms> <engine_sim_runs>
+    printf '{\n  "git_sha": "fixture",\n  "jobs": 4,\n  "benches": [\n' > "$1"
+    printf '    {"name": "fig3", "baseline_ms": 900, "engine_ms": %s, "baseline_sim_runs": 5000, "engine_sim_runs": %s, "cache_hits": 10, "cache_misses": 2, "output_identical": true}\n' \
+      "$2" "$3" >> "$1"
+    printf '  ]\n}\n' >> "$1"
+  }
+  mk "$tmp/committed.json" 200 1000
+
+  mk "$tmp/same.json" 206 1000
+  gate "$tmp/committed.json" "$tmp/same.json" \
+    || { echo "selftest: identical-ish run must pass" >&2; exit 1; }
+
+  mk "$tmp/slow.json" 260 1000  # +30% wall clock
+  if gate "$tmp/committed.json" "$tmp/slow.json" 2>/dev/null; then
+    echo "selftest: >15% slowdown must fail" >&2; exit 1
+  fi
+
+  mk "$tmp/runs.json" 200 1400  # pruning regression
+  if gate "$tmp/committed.json" "$tmp/runs.json" 2>/dev/null; then
+    echo "selftest: sim.runs increase must fail" >&2; exit 1
+  fi
+
+  mk "$tmp/empty.json" 200 1000
+  sed -i.bak 's/"name": "fig3"/"name": "other"/' "$tmp/empty.json"
+  if gate "$tmp/committed.json" "$tmp/empty.json" 2>/dev/null; then
+    echo "selftest: missing bench must fail" >&2; exit 1
+  fi
+
+  echo "selftest: ok" >&2
+  exit 0
+fi
+
+[ $# -eq 2 ] || { echo "usage: $0 [--max-slowdown PCT] <committed.json> <fresh.json>" >&2; exit 2; }
+gate "$1" "$2"

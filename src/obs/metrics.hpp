@@ -84,6 +84,10 @@ class Histogram {
   /// [min, max]. Returns 0 when empty.
   [[nodiscard]] double quantile(double q) const;
 
+  /// Snapshot of the per-bucket counts: spec().bounds.size() + 1 entries,
+  /// the last being the overflow bucket (values above the top bound).
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+
   [[nodiscard]] const HistogramSpec& spec() const { return spec_; }
 
  private:
@@ -113,6 +117,13 @@ class MetricsRegistry {
   /// Every metric as one row: name | kind | count | value/mean | p50 | p99.
   /// Rows are sorted by name (std::map), so output is deterministic.
   [[nodiscard]] Table summary_table() const;
+
+  /// Prometheus text exposition format (one `# TYPE` line per metric;
+  /// histograms as cumulative `_bucket{le="..."}` series plus `_sum` /
+  /// `_count`). Metric names are sanitized to [a-zA-Z0-9_:], rows sorted by
+  /// name, doubles printed shortest-exact — deterministic for a fixed
+  /// registry state. Implemented in prometheus.cpp.
+  [[nodiscard]] std::string render_prometheus() const;
 
  private:
   mutable std::mutex mu_;

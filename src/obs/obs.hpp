@@ -37,4 +37,5 @@
 #include "obs/metrics.hpp"
 #include "obs/session.hpp"
 #include "obs/sink.hpp"
+#include "obs/timeline.hpp"
 #include "obs/tracer.hpp"

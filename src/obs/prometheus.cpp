@@ -1,0 +1,65 @@
+// Prometheus text exposition rendering for MetricsRegistry.
+//
+// Follows the text format contract: one `# TYPE` line per metric family,
+// histogram buckets are *cumulative* and keyed by inclusive upper bound
+// (`le`), and every histogram carries the implicit `le="+Inf"` bucket equal
+// to `_count`. Our metric names use dots (`sim.runs`); Prometheus names are
+// restricted to [a-zA-Z0-9_:], so dots (and anything else outside that set)
+// become underscores.
+#include <cctype>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+
+namespace clip::obs {
+
+namespace {
+
+std::string sanitize_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const auto uc = static_cast<unsigned char>(c);
+    out.push_back(std::isalnum(uc) || c == '_' || c == ':' ? c : '_');
+  }
+  if (!out.empty() && std::isdigit(static_cast<unsigned char>(out.front())))
+    out.insert(out.begin(), '_');
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::render_prometheus() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, c] : counters_) {
+    const std::string n = sanitize_name(name);
+    out << "# TYPE " << n << " counter\n" << n << ' ' << c->value() << '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string n = sanitize_name(name);
+    out << "# TYPE " << n << " gauge\n"
+        << n << ' ' << format_exact(g->value()) << '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string n = sanitize_name(name);
+    out << "# TYPE " << n << " histogram\n";
+    const auto counts = h->bucket_counts();
+    const auto& bounds = h->spec().bounds;
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      cum += counts[i];
+      out << n << "_bucket{le=\"" << format_exact(bounds[i]) << "\"} " << cum
+          << '\n';
+    }
+    cum += counts.back();
+    out << n << "_bucket{le=\"+Inf\"} " << cum << '\n'
+        << n << "_sum " << format_exact(h->sum()) << '\n'
+        << n << "_count " << h->count() << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace clip::obs

@@ -1,0 +1,271 @@
+#include "obs/timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+
+#include "obs/chrome_trace.hpp"
+#include "util/check.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+namespace clip::obs {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+double parse_double(const std::string& s, const char* what) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  CLIP_REQUIRE(end != s.c_str() && *end == '\0',
+               std::string("timeline CSV: bad ") + what + " '" + s + "'");
+  return v;
+}
+
+/// Step-function value of a sorted point deque at `t_s` (NaN before the
+/// first sample). std::upper_bound over the deque keeps queries O(log n).
+double value_at_points(const std::deque<TimelinePoint>& pts, double t_s) {
+  auto it = std::upper_bound(
+      pts.begin(), pts.end(), t_s,
+      [](double t, const TimelinePoint& p) { return t < p.t_s; });
+  if (it == pts.begin()) return kNaN;
+  return std::prev(it)->value;
+}
+
+}  // namespace
+
+std::string format_exact(double v) {
+  char buf[40];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+Timeline::Timeline(TimelineOptions options) : options_(options) {}
+
+void Timeline::record(std::string_view series, double t_s, double value) {
+  CLIP_REQUIRE(!series.empty(), "timeline series name must not be empty");
+  CLIP_REQUIRE(std::isfinite(t_s), "timeline timestamp must be finite");
+  std::lock_guard lock(mu_);
+  auto it = samples_.find(series);
+  if (it == samples_.end())
+    it = samples_.emplace(std::string(series), SampleSeries{}).first;
+  auto& pts = it->second.points;
+  CLIP_REQUIRE(pts.empty() || t_s >= pts.back().t_s,
+               "timeline series '" + it->first +
+                   "' timestamps must be non-decreasing");
+  if (options_.ring_capacity > 0 && pts.size() >= options_.ring_capacity) {
+    pts.pop_front();
+    ++dropped_;
+  }
+  pts.push_back(TimelinePoint{t_s, value});
+}
+
+void Timeline::event(std::string_view series, double t_s,
+                     std::string_view label) {
+  CLIP_REQUIRE(!series.empty(), "timeline series name must not be empty");
+  CLIP_REQUIRE(std::isfinite(t_s), "timeline timestamp must be finite");
+  std::lock_guard lock(mu_);
+  auto it = events_.find(series);
+  if (it == events_.end())
+    it = events_.emplace(std::string(series), EventSeries{}).first;
+  auto& entries = it->second.entries;
+  CLIP_REQUIRE(entries.empty() || t_s >= entries.back().t_s,
+               "timeline event series '" + it->first +
+                   "' timestamps must be non-decreasing");
+  if (options_.ring_capacity > 0 &&
+      entries.size() >= options_.ring_capacity) {
+    entries.pop_front();
+    ++dropped_;
+  }
+  entries.push_back(TimelineEvent{t_s, std::string(label)});
+}
+
+std::vector<std::string> Timeline::series_names() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(samples_.size() + events_.size());
+  for (const auto& [name, _] : samples_) names.push_back(name);
+  for (const auto& [name, _] : events_)
+    if (samples_.find(name) == samples_.end()) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::vector<TimelinePoint> Timeline::samples(std::string_view series) const {
+  std::lock_guard lock(mu_);
+  const auto it = samples_.find(series);
+  if (it == samples_.end()) return {};
+  return {it->second.points.begin(), it->second.points.end()};
+}
+
+std::vector<TimelineEvent> Timeline::events(std::string_view series) const {
+  std::lock_guard lock(mu_);
+  const auto it = events_.find(series);
+  if (it == events_.end()) return {};
+  return {it->second.entries.begin(), it->second.entries.end()};
+}
+
+std::size_t Timeline::total_samples() const {
+  std::lock_guard lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [_, s] : samples_) n += s.points.size();
+  return n;
+}
+
+std::uint64_t Timeline::dropped() const {
+  std::lock_guard lock(mu_);
+  return dropped_;
+}
+
+SeriesSummary Timeline::summary(std::string_view series) const {
+  std::lock_guard lock(mu_);
+  SeriesSummary s;
+  const auto it = samples_.find(series);
+  if (it == samples_.end() || it->second.points.empty()) return s;
+  const auto& pts = it->second.points;
+  s.count = pts.size();
+  s.min = s.max = pts.front().value;
+  double sum = 0.0;
+  for (const auto& p : pts) {
+    s.min = std::min(s.min, p.value);
+    s.max = std::max(s.max, p.value);
+    sum += p.value;
+  }
+  s.mean = sum / static_cast<double>(pts.size());
+  s.first_t_s = pts.front().t_s;
+  s.last_t_s = pts.back().t_s;
+  return s;
+}
+
+double Timeline::value_at(std::string_view series, double t_s) const {
+  std::lock_guard lock(mu_);
+  const auto it = samples_.find(series);
+  if (it == samples_.end()) return kNaN;
+  return value_at_points(it->second.points, t_s);
+}
+
+std::vector<TimelinePoint> Timeline::resample(std::string_view series,
+                                              double t0, double t1,
+                                              std::size_t points) const {
+  CLIP_REQUIRE(t1 >= t0, "resample needs t1 >= t0");
+  CLIP_REQUIRE(points >= 1, "resample needs at least one point");
+  std::lock_guard lock(mu_);
+  const auto it = samples_.find(series);
+  std::vector<TimelinePoint> out;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double t =
+        points == 1 ? t0
+                    : t0 + (t1 - t0) * static_cast<double>(i) /
+                               static_cast<double>(points - 1);
+    const double v = it == samples_.end()
+                         ? kNaN
+                         : value_at_points(it->second.points, t);
+    out.push_back(TimelinePoint{t, v});
+  }
+  return out;
+}
+
+double Timeline::integral(std::string_view series, double t0,
+                          double t1) const {
+  CLIP_REQUIRE(t1 >= t0, "integral needs t1 >= t0");
+  std::lock_guard lock(mu_);
+  const auto it = samples_.find(series);
+  if (it == samples_.end()) return 0.0;
+  const auto& pts = it->second.points;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const double lo = std::max(pts[i].t_s, t0);
+    const double hi =
+        std::min(i + 1 < pts.size() ? pts[i + 1].t_s : t1, t1);
+    if (hi > lo) acc += pts[i].value * (hi - lo);
+  }
+  return acc;
+}
+
+double Timeline::time_above(std::string_view series, double threshold,
+                            double t0, double t1) const {
+  CLIP_REQUIRE(t1 >= t0, "time_above needs t1 >= t0");
+  std::lock_guard lock(mu_);
+  const auto it = samples_.find(series);
+  if (it == samples_.end()) return 0.0;
+  const auto& pts = it->second.points;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (!(pts[i].value > threshold)) continue;
+    const double lo = std::max(pts[i].t_s, t0);
+    const double hi =
+        std::min(i + 1 < pts.size() ? pts[i + 1].t_s : t1, t1);
+    if (hi > lo) acc += hi - lo;
+  }
+  return acc;
+}
+
+void Timeline::write_csv(const std::filesystem::path& path) const {
+  std::lock_guard lock(mu_);
+  CsvDocument doc;
+  doc.header = {"kind", "series", "t_s", "value", "label"};
+  for (const auto& [name, s] : samples_)
+    for (const auto& p : s.points)
+      doc.rows.push_back(
+          {"sample", name, format_exact(p.t_s), format_exact(p.value), ""});
+  for (const auto& [name, e] : events_)
+    for (const auto& ev : e.entries)
+      doc.rows.push_back(
+          {"event", name, format_exact(ev.t_s), "", ev.label});
+  clip::write_csv(path, doc);
+}
+
+void Timeline::write_jsonl(const std::filesystem::path& path) const {
+  std::lock_guard lock(mu_);
+  if (path.has_parent_path())
+    std::filesystem::create_directories(path.parent_path());
+  std::ofstream out(path, std::ios::trunc);
+  CLIP_REQUIRE(out.good(), "cannot open " + path.string());
+  for (const auto& [name, s] : samples_)
+    for (const auto& p : s.points)
+      out << "{\"kind\":\"sample\",\"series\":\"" << json_escape(name)
+          << "\",\"t_s\":" << format_exact(p.t_s)
+          << ",\"value\":" << format_exact(p.value) << "}\n";
+  for (const auto& [name, e] : events_)
+    for (const auto& ev : e.entries)
+      out << "{\"kind\":\"event\",\"series\":\"" << json_escape(name)
+          << "\",\"t_s\":" << format_exact(ev.t_s) << ",\"label\":\""
+          << json_escape(ev.label) << "\"}\n";
+  CLIP_REQUIRE(out.good(), "write failed: " + path.string());
+}
+
+void Timeline::load_csv(const std::filesystem::path& path) {
+  const CsvDocument doc = read_csv(path);
+  CLIP_REQUIRE(doc.header ==
+                   std::vector<std::string>(
+                       {"kind", "series", "t_s", "value", "label"}),
+               "not a timeline CSV: " + path.string());
+  for (const auto& row : doc.rows) {
+    const std::string& kind = row[0];
+    const double t_s = parse_double(row[2], "t_s");
+    if (kind == "sample") {
+      record(row[1], t_s, parse_double(row[3], "value"));
+    } else if (kind == "event") {
+      event(row[1], t_s, row[4]);
+    } else {
+      CLIP_REQUIRE(false, "timeline CSV: unknown kind '" + kind + "'");
+    }
+  }
+}
+
+void Timeline::clear() {
+  std::lock_guard lock(mu_);
+  samples_.clear();
+  events_.clear();
+  dropped_ = 0;
+}
+
+}  // namespace clip::obs

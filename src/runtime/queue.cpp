@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/timeline.hpp"
 #include "util/check.hpp"
 #include "util/strings.hpp"
 
@@ -135,6 +136,21 @@ QueueReport PowerAwareJobQueue::run(const std::vector<QueueJob>& jobs) {
     for (const auto& r : running) watts += r.true_power_w;
     return watts + injector_->cap_excess_w(active_node_ids(), t);
   };
+  // Fault windows active at `t` for the flight recorder's `fault.active`
+  // series (crashes and degrades are permanent; meter faults and cap
+  // violations are windowed — claw-backs truncate the latter in place).
+  auto faults_active_at = [&](double t) {
+    int active = 0;
+    for (const auto& c : plan->crashes)
+      if (c.at_s <= t) ++active;
+    for (const auto& d : plan->degrades)
+      if (d.at_s <= t) ++active;
+    for (const auto& f : plan->meter_faults)
+      if (f.at_s <= t && t < f.at_s + f.duration_s) ++active;
+    for (const auto& v : plan->cap_violations)
+      if (v.at_s <= t && t < v.at_s + v.duration_s) ++active;
+    return active;
+  };
 
   auto try_start = [&](std::size_t j) -> bool {
     obs::ScopedSpan span(obs_, "queue.try_start", "runtime");
@@ -213,6 +229,17 @@ QueueReport PowerAwareJobQueue::run(const std::vector<QueueJob>& jobs) {
     out.attempts = ++attempts[j];
     out.completed = !r.crashed;
     out.crashed_node = -1;
+    if (timeline_ != nullptr) {
+      timeline_->event("job", now, "start " + out.app + " nodes=" +
+                                       std::to_string(nodes_used));
+      const double per_node_cap = slice / nodes_used;
+      const double per_node_power = m.avg_power.value() / nodes_used;
+      for (int n : r.node_ids) {
+        const std::string prefix = "node" + std::to_string(n);
+        timeline_->record(prefix + ".cap_w", now, per_node_cap);
+        timeline_->record(prefix + ".power_w", now, per_node_power);
+      }
+    }
     // Optimistic accounting at start, exactly as the fault-free queue always
     // did (same FP operations in the same order, so an empty plan reproduces
     // the report bit-for-bit); a crash abort adjusts the energy term. For a
@@ -240,20 +267,31 @@ QueueReport PowerAwareJobQueue::run(const std::vector<QueueJob>& jobs) {
     obs::gauge_set(obs_, "queue.depth", static_cast<double>(waiting));
     obs::gauge_set(obs_, "queue.running",
                    static_cast<double>(running.size()));
+    if (timeline_ != nullptr) {
+      timeline_->record("queue.depth", now, static_cast<double>(waiting));
+      timeline_->record("queue.running", now,
+                        static_cast<double>(running.size()));
+      timeline_->record("budget.free_w", now, free_power());
+    }
   };
 
   // Announce fault events whose time has arrived: counters/spans once per
   // event, crashes also retire the node from the pool.
   auto apply_fault_events = [&] {
+    bool fired = false;
     for (std::size_t i = 0; i < crash_seen.size(); ++i) {
       const auto& c = plan->crashes[i];
       if (crash_seen[i] || c.at_s > now) continue;
       crash_seen[i] = true;
+      fired = true;
       obs::ScopedSpan span(obs_, "fault.inject", "fault");
       span.arg("kind", "crash");
       span.arg("node", c.node);
       obs::count(obs_, "fault.injected");
       obs::count(obs_, "fault.crashes");
+      if (timeline_ != nullptr)
+        timeline_->event("fault", now,
+                         "crash node=" + std::to_string(c.node));
       if (node_alive[static_cast<std::size_t>(c.node)]) {
         node_alive[static_cast<std::size_t>(c.node)] = false;
         report.crashed_nodes.push_back(c.node);
@@ -263,32 +301,48 @@ QueueReport PowerAwareJobQueue::run(const std::vector<QueueJob>& jobs) {
       const auto& d = plan->degrades[i];
       if (degrade_seen[i] || d.at_s > now) continue;
       degrade_seen[i] = true;
+      fired = true;
       obs::ScopedSpan span(obs_, "fault.inject", "fault");
       span.arg("kind", "degrade");
       span.arg("node", d.node);
       obs::count(obs_, "fault.injected");
       obs::count(obs_, "fault.degrades");
+      if (timeline_ != nullptr)
+        timeline_->event("fault", now,
+                         "degrade node=" + std::to_string(d.node));
     }
     for (std::size_t i = 0; i < meter_seen.size(); ++i) {
       const auto& f = plan->meter_faults[i];
       if (meter_seen[i] || f.at_s > now) continue;
       meter_seen[i] = true;
+      fired = true;
       obs::ScopedSpan span(obs_, "fault.inject", "fault");
       span.arg("kind", std::string("meter-") + to_string(f.kind));
       span.arg("node", f.node);
       obs::count(obs_, "fault.injected");
       obs::count(obs_, "fault.meter_faults");
+      if (timeline_ != nullptr)
+        timeline_->event("fault", now,
+                         std::string("meter-") + to_string(f.kind) +
+                             " node=" + std::to_string(f.node));
     }
     for (std::size_t i = 0; i < capviol_seen.size(); ++i) {
       const auto& v = plan->cap_violations[i];
       if (capviol_seen[i] || v.at_s > now) continue;
       capviol_seen[i] = true;
+      fired = true;
       obs::ScopedSpan span(obs_, "fault.inject", "fault");
       span.arg("kind", "cap-violation");
       span.arg("node", v.node);
       obs::count(obs_, "fault.injected");
       obs::count(obs_, "fault.cap_violations");
+      if (timeline_ != nullptr)
+        timeline_->event("fault", now,
+                         "cap-violation node=" + std::to_string(v.node));
     }
+    if (timeline_ != nullptr && fired)
+      timeline_->record("fault.active", now,
+                        static_cast<double>(faults_active_at(now)));
   };
 
   // Claw back a violated cap on `node` (re-coordination took effect).
@@ -300,6 +354,11 @@ QueueReport PowerAwareJobQueue::run(const std::vector<QueueJob>& jobs) {
     span.arg("node", node);
     obs::count(obs_, "budget.caps_reprogrammed",
                static_cast<std::uint64_t>(truncated));
+    if (timeline_ != nullptr) {
+      timeline_->event("fault", now, "claw-back node=" + std::to_string(node));
+      timeline_->record("fault.active", now,
+                        static_cast<double>(faults_active_at(now)));
+    }
   };
 
   // The guard's sampling pass: read every active node's meter (corrupted by
@@ -316,6 +375,9 @@ QueueReport PowerAwareJobQueue::run(const std::vector<QueueJob>& jobs) {
       for (int n : r.node_ids) {
         const double truth =
             per_node_truth + injector_->cap_excess_w({n}, now);
+        if (timeline_ != nullptr)
+          timeline_->record("node" + std::to_string(n) + ".power_w", now,
+                            truth);
         observed += guard.filter_reading(
             injector_->observed_node_power(n, now, truth),
             per_node_expected);
@@ -348,8 +410,16 @@ QueueReport PowerAwareJobQueue::run(const std::vector<QueueJob>& jobs) {
     running.erase(next);
     for (int n : r.node_ids) node_busy[static_cast<std::size_t>(n)] = false;
     const std::size_t j = r.job_index;
+    if (timeline_ != nullptr)
+      for (int n : r.node_ids) {
+        const std::string prefix = "node" + std::to_string(n);
+        timeline_->record(prefix + ".power_w", now, 0.0);
+        timeline_->record(prefix + ".cap_w", now, 0.0);
+      }
     if (!r.crashed) {
       state[j] = State::kDone;
+      if (timeline_ != nullptr)
+        timeline_->event("job", now, "finish " + report.jobs[j].app);
       return true;
     }
     // Crash abort: replace the optimistic energy bill with the watts the
@@ -360,10 +430,16 @@ QueueReport PowerAwareJobQueue::run(const std::vector<QueueJob>& jobs) {
     auto& out = report.jobs[j];
     out.crashed_node = r.crashed_node;
     out.completed = false;
+    if (timeline_ != nullptr)
+      timeline_->event("job", now,
+                       "crash " + out.app +
+                           " node=" + std::to_string(r.crashed_node));
     if (attempts[j] >= options_.retry.max_attempts) {
       state[j] = State::kFailed;
       ++report.jobs_failed;
       obs::count(obs_, "queue.jobs_failed");
+      if (timeline_ != nullptr)
+        timeline_->event("job", now, "fail " + out.app);
       return true;
     }
     state[j] = State::kPending;
@@ -374,6 +450,8 @@ QueueReport PowerAwareJobQueue::run(const std::vector<QueueJob>& jobs) {
     span.arg("app", out.app);
     span.arg("crashed_node", r.crashed_node);
     obs::count(obs_, "queue.retries");
+    if (timeline_ != nullptr)
+      timeline_->event("job", now, "requeue " + out.app);
     return true;
   };
 
@@ -489,6 +567,9 @@ QueueReport PowerAwareJobQueue::run(const std::vector<QueueJob>& jobs) {
       obs::count(obs_, "fault.meter_reads_rejected",
                  report.meter_reads_rejected);
   }
+  if (timeline_ != nullptr)
+    timeline_->record("budget.violation_s", report.makespan_s,
+                      report.violation_s);
   return report;
 }
 

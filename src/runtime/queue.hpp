@@ -39,6 +39,10 @@
 #include "util/units.hpp"
 #include "workloads/signature.hpp"
 
+namespace clip::obs {
+class Timeline;
+}
+
 namespace clip::runtime {
 
 struct QueueOptions {
@@ -132,12 +136,23 @@ class PowerAwareJobQueue {
     injector_ = injector;
   }
 
+  /// Attach a flight recorder (nullptr detaches; not owned). The event loop
+  /// records, on the simulated-seconds axis: `queue.depth` / `queue.running`
+  /// / `budget.free_w` at every scheduling pass, per-node `node<N>.power_w`
+  /// / `node<N>.cap_w` steps at job start/finish (and the guard's sampled
+  /// true draw under faults), `fault.active` plus a labeled `fault` event
+  /// stream for injected events and claw-backs, and a `job` event stream
+  /// (start/finish/crash/requeue/fail). With no timeline attached every
+  /// hook is one branch and the run is byte-identical to before.
+  void set_timeline(obs::Timeline* timeline) { timeline_ = timeline; }
+
  private:
   sim::SimExecutor* executor_;
   core::ClipScheduler* scheduler_;
   QueueOptions options_;
   obs::ObsSession* obs_ = nullptr;
   fault::FaultInjector* injector_ = nullptr;
+  obs::Timeline* timeline_ = nullptr;
 };
 
 /// Reference policy: one job at a time with the whole budget (what a

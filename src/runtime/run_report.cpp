@@ -1,0 +1,408 @@
+#include "runtime/run_report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "obs/chrome_trace.hpp"
+#include "util/check.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+namespace clip::runtime {
+
+namespace {
+
+using obs::format_exact;
+
+double to_double(const std::string& s, const char* what) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  CLIP_REQUIRE(end != s.c_str() && *end == '\0',
+               std::string("run record: bad ") + what + " '" + s + "'");
+  return v;
+}
+
+int to_int(const std::string& s, const char* what) {
+  return static_cast<int>(to_double(s, what));
+}
+
+const std::vector<std::string>& jobs_header() {
+  static const std::vector<std::string> header = {
+      "app",      "parameters", "submit_s",  "start_s",
+      "end_s",    "nodes",      "budget_w",  "power_w",
+      "attempts", "completed",  "crashed_node"};
+  return header;
+}
+
+const std::vector<std::string>& spans_header() {
+  static const std::vector<std::string> header = {
+      "name", "category", "start_us", "duration_us", "tid", "depth"};
+  return header;
+}
+
+/// Everything a render needs, loaded from a record directory. Holds the
+/// (non-movable) Timeline by value, so it is constructed in place.
+struct LoadedRecord {
+  std::map<std::string, std::string> summary;
+  std::vector<QueuedJobResult> jobs;
+  obs::Timeline timeline;
+  std::vector<obs::SpanRecord> spans;
+
+  [[nodiscard]] double scalar(const std::string& key) const {
+    const auto it = summary.find(key);
+    CLIP_REQUIRE(it != summary.end(),
+                 "run record summary missing key '" + key + "'");
+    return to_double(it->second, key.c_str());
+  }
+  [[nodiscard]] std::vector<int> crashed_nodes() const {
+    std::vector<int> nodes;
+    const auto it = summary.find("crashed_nodes");
+    if (it == summary.end() || it->second.empty()) return nodes;
+    for (const auto& field : split(it->second, ';'))
+      nodes.push_back(to_int(field, "crashed_nodes"));
+    return nodes;
+  }
+};
+
+void load_record(const std::filesystem::path& dir, LoadedRecord& rec) {
+  CLIP_REQUIRE(std::filesystem::is_directory(dir),
+               "not a run-record directory: " + dir.string());
+  const CsvDocument summary = read_csv(dir / RunRecordFiles::kSummary);
+  CLIP_REQUIRE(summary.header == std::vector<std::string>({"key", "value"}),
+               "malformed summary.csv in " + dir.string());
+  for (const auto& row : summary.rows) rec.summary[row[0]] = row[1];
+
+  const CsvDocument jobs = read_csv(dir / RunRecordFiles::kJobs);
+  CLIP_REQUIRE(jobs.header == jobs_header(),
+               "malformed jobs.csv in " + dir.string());
+  for (const auto& row : jobs.rows) {
+    QueuedJobResult j;
+    j.app = row[0];
+    j.parameters = row[1];
+    j.submit_s = to_double(row[2], "submit_s");
+    j.start_s = to_double(row[3], "start_s");
+    j.end_s = to_double(row[4], "end_s");
+    j.nodes = to_int(row[5], "nodes");
+    j.budget_w = to_double(row[6], "budget_w");
+    j.power_w = to_double(row[7], "power_w");
+    j.attempts = to_int(row[8], "attempts");
+    j.completed = row[9] == "1";
+    j.crashed_node = to_int(row[10], "crashed_node");
+    rec.jobs.push_back(std::move(j));
+  }
+
+  rec.timeline.load_csv(dir / RunRecordFiles::kTimeline);
+
+  const auto spans_path = dir / RunRecordFiles::kSpans;
+  if (std::filesystem::exists(spans_path)) {
+    const CsvDocument spans = read_csv(spans_path);
+    CLIP_REQUIRE(spans.header == spans_header(),
+                 "malformed spans.csv in " + dir.string());
+    for (const auto& row : spans.rows) {
+      obs::SpanRecord s;
+      s.name = row[0];
+      s.category = row[1];
+      s.start_us = to_double(row[2], "start_us");
+      s.duration_us = to_double(row[3], "duration_us");
+      s.tid = to_int(row[4], "tid");
+      s.depth = to_int(row[5], "depth");
+      rec.spans.push_back(std::move(s));
+    }
+  }
+}
+
+/// Node indices with a `node<N>.power_w` series, numerically sorted.
+std::vector<int> power_nodes(const obs::Timeline& timeline) {
+  std::vector<int> nodes;
+  for (const auto& name : timeline.series_names()) {
+    if (!starts_with(name, "node")) continue;
+    const auto dot = name.find('.');
+    if (dot == std::string::npos || name.substr(dot) != ".power_w") continue;
+    const std::string digits = name.substr(4, dot - 4);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos)
+      continue;
+    nodes.push_back(std::stoi(digits));
+  }
+  std::sort(nodes.begin(), nodes.end());
+  return nodes;
+}
+
+/// Spans sorted slowest-first with a total (duration, name, start) order,
+/// so the table is deterministic under ties.
+std::vector<obs::SpanRecord> slowest_spans(std::vector<obs::SpanRecord> spans,
+                                           int top) {
+  std::sort(spans.begin(), spans.end(),
+            [](const obs::SpanRecord& a, const obs::SpanRecord& b) {
+              if (a.duration_us != b.duration_us)
+                return a.duration_us > b.duration_us;
+              if (a.name != b.name) return a.name < b.name;
+              return a.start_us < b.start_us;
+            });
+  if (static_cast<int>(spans.size()) > top)
+    spans.resize(static_cast<std::size_t>(top));
+  return spans;
+}
+
+}  // namespace
+
+void write_run_record(const std::filesystem::path& dir, Watts cluster_budget,
+                      const QueueReport& report,
+                      const obs::Timeline& timeline,
+                      const std::vector<obs::SpanRecord>& spans,
+                      const obs::MetricsRegistry* metrics) {
+  std::filesystem::create_directories(dir);
+  timeline.write_csv(dir / RunRecordFiles::kTimeline);
+
+  CsvDocument jobs;
+  jobs.header = jobs_header();
+  for (const auto& j : report.jobs)
+    jobs.rows.push_back({j.app, j.parameters, format_exact(j.submit_s),
+                         format_exact(j.start_s), format_exact(j.end_s),
+                         std::to_string(j.nodes), format_exact(j.budget_w),
+                         format_exact(j.power_w), std::to_string(j.attempts),
+                         j.completed ? "1" : "0",
+                         std::to_string(j.crashed_node)});
+  write_csv(dir / RunRecordFiles::kJobs, jobs);
+
+  std::string crashed;
+  for (std::size_t i = 0; i < report.crashed_nodes.size(); ++i) {
+    if (i > 0) crashed += ';';
+    crashed += std::to_string(report.crashed_nodes[i]);
+  }
+  CsvDocument summary;
+  summary.header = {"key", "value"};
+  summary.rows = {
+      {"cluster_budget_w", format_exact(cluster_budget.value())},
+      {"makespan_s", format_exact(report.makespan_s)},
+      {"mean_turnaround_s", format_exact(report.mean_turnaround_s)},
+      {"total_energy_j", format_exact(report.total_energy_j)},
+      {"node_seconds_used", format_exact(report.node_seconds_used)},
+      {"node_seconds_available", format_exact(report.node_seconds_available)},
+      {"retries", std::to_string(report.retries)},
+      {"jobs_failed", std::to_string(report.jobs_failed)},
+      {"caps_reprogrammed", std::to_string(report.caps_reprogrammed)},
+      {"violation_s", format_exact(report.violation_s)},
+      {"violation_ws", format_exact(report.violation_ws)},
+      {"meter_reads_rejected", std::to_string(report.meter_reads_rejected)},
+      {"crashed_nodes", crashed},
+  };
+  write_csv(dir / RunRecordFiles::kSummary, summary);
+
+  CsvDocument span_doc;
+  span_doc.header = spans_header();
+  for (const auto& s : spans)
+    span_doc.rows.push_back({s.name, s.category, format_exact(s.start_us),
+                             format_exact(s.duration_us),
+                             std::to_string(s.tid), std::to_string(s.depth)});
+  write_csv(dir / RunRecordFiles::kSpans, span_doc);
+
+  if (metrics != nullptr) {
+    std::ofstream out(dir / RunRecordFiles::kMetrics, std::ios::trunc);
+    CLIP_REQUIRE(out.good(), "cannot write metrics.prom in " + dir.string());
+    out << metrics->render_prometheus();
+  }
+}
+
+std::string render_markdown_report(const std::filesystem::path& dir,
+                                   RunReportOptions options) {
+  CLIP_REQUIRE(options.power_points >= 2, "need at least two power points");
+  LoadedRecord rec;
+  load_record(dir, rec);
+
+  const double budget_w = rec.scalar("cluster_budget_w");
+  const double makespan_s = rec.scalar("makespan_s");
+  const double total_energy_j = rec.scalar("total_energy_j");
+  const double used = rec.scalar("node_seconds_used");
+  const double avail = rec.scalar("node_seconds_available");
+  const double node_util = avail > 0.0 ? used / avail : 0.0;
+  const double budget_util = budget_w > 0.0 && makespan_s > 0.0
+                                 ? total_energy_j / (budget_w * makespan_s)
+                                 : 0.0;
+  std::size_t completed = 0;
+  for (const auto& j : rec.jobs)
+    if (j.completed) ++completed;
+
+  std::ostringstream out;
+  out << "# CLIP run report\n\n## Summary\n\n| key | value |\n|---|---|\n";
+  out << "| cluster budget (W) | " << format_double(budget_w, 1) << " |\n";
+  out << "| makespan (s) | " << format_double(makespan_s, 3) << " |\n";
+  out << "| jobs completed | " << completed << "/" << rec.jobs.size()
+      << " |\n";
+  out << "| retries | " << static_cast<int>(rec.scalar("retries")) << " |\n";
+  out << "| jobs failed | " << static_cast<int>(rec.scalar("jobs_failed"))
+      << " |\n";
+  out << "| total energy (kJ) | " << format_double(total_energy_j / 1000.0, 2)
+      << " |\n";
+  out << "| node utilization | " << format_double(node_util, 3) << " |\n";
+  out << "| budget utilization | " << format_double(budget_util, 3) << " |\n";
+  // Violation figures print shortest-exact: they are the BudgetGuard's
+  // ground-truth accounting and tests compare them bit-for-bit.
+  out << "| cap violation (s) | " << rec.summary.at("violation_s") << " |\n";
+  out << "| cap violation (W·s) | " << rec.summary.at("violation_ws")
+      << " |\n";
+  out << "| caps clawed back | "
+      << static_cast<int>(rec.scalar("caps_reprogrammed")) << " |\n";
+  out << "| meter reads rejected | "
+      << static_cast<int>(rec.scalar("meter_reads_rejected")) << " |\n";
+  const auto crashed = rec.crashed_nodes();
+  out << "| crashed nodes | ";
+  if (crashed.empty()) {
+    out << "none";
+  } else {
+    for (std::size_t i = 0; i < crashed.size(); ++i)
+      out << (i > 0 ? " " : "") << crashed[i];
+  }
+  out << " |\n";
+
+  const auto nodes = power_nodes(rec.timeline);
+  if (!nodes.empty()) {
+    out << "\n## Per-node power (W)\n\n| t (s) |";
+    for (int n : nodes) out << " node" << n << " |";
+    out << "\n|---|";
+    for (std::size_t i = 0; i < nodes.size(); ++i) out << "---|";
+    out << "\n";
+    for (int p = 0; p < options.power_points; ++p) {
+      const double t = makespan_s * p /
+                       static_cast<double>(options.power_points - 1);
+      out << "| " << format_double(t, 1) << " |";
+      for (int n : nodes) {
+        const double v = rec.timeline.value_at(
+            "node" + std::to_string(n) + ".power_w", t);
+        out << ' ' << (std::isnan(v) ? "-" : format_double(v, 1)) << " |";
+      }
+      out << "\n";
+    }
+    out << "\n| node | energy (kJ) |\n|---|---|\n";
+    for (int n : nodes) {
+      const double e = rec.timeline.integral(
+          "node" + std::to_string(n) + ".power_w", 0.0, makespan_s);
+      out << "| node" << n << " | " << format_double(e / 1000.0, 2) << " |\n";
+    }
+  }
+
+  out << "\n## Jobs\n\n| app | start (s) | end (s) | nodes | cap (W) | "
+         "power (W) | energy (kJ) | attempts | completed | crashed node "
+         "|\n|---|---|---|---|---|---|---|---|---|---|\n";
+  for (const auto& j : rec.jobs) {
+    const double energy_j = j.power_w * (j.end_s - j.start_s);
+    out << "| " << j.app << " | " << format_double(j.start_s, 2) << " | "
+        << format_double(j.end_s, 2) << " | " << j.nodes << " | "
+        << format_double(j.budget_w, 1) << " | "
+        << format_double(j.power_w, 1) << " | "
+        << format_double(energy_j / 1000.0, 2) << " | " << j.attempts
+        << " | " << (j.completed ? "yes" : "no") << " | "
+        << (j.crashed_node >= 0 ? std::to_string(j.crashed_node) : "-")
+        << " |\n";
+  }
+
+  out << "\n## Fault events\n\n";
+  const auto faults = rec.timeline.events("fault");
+  if (faults.empty()) {
+    out << "none\n";
+  } else {
+    for (const auto& e : faults)
+      out << "- " << format_double(e.t_s, 3) << " s — " << e.label << "\n";
+  }
+
+  if (!rec.spans.empty()) {
+    out << "\n## Slowest pipeline spans\n\n| span | category | duration "
+           "(ms) |\n|---|---|---|\n";
+    for (const auto& s : slowest_spans(rec.spans, options.top_spans))
+      out << "| " << s.name << " | " << s.category << " | "
+          << format_double(s.duration_us / 1000.0, 3) << " |\n";
+  }
+  return out.str();
+}
+
+std::string render_json_report(const std::filesystem::path& dir,
+                               RunReportOptions options) {
+  LoadedRecord rec;
+  load_record(dir, rec);
+
+  const double budget_w = rec.scalar("cluster_budget_w");
+  const double makespan_s = rec.scalar("makespan_s");
+  const double total_energy_j = rec.scalar("total_energy_j");
+  const double used = rec.scalar("node_seconds_used");
+  const double avail = rec.scalar("node_seconds_available");
+  std::size_t completed = 0;
+  for (const auto& j : rec.jobs)
+    if (j.completed) ++completed;
+
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"budget_w\": " << format_exact(budget_w) << ",\n";
+  out << "  \"makespan_s\": " << format_exact(makespan_s) << ",\n";
+  out << "  \"jobs_total\": " << rec.jobs.size() << ",\n";
+  out << "  \"jobs_completed\": " << completed << ",\n";
+  out << "  \"retries\": " << static_cast<int>(rec.scalar("retries"))
+      << ",\n";
+  out << "  \"jobs_failed\": " << static_cast<int>(rec.scalar("jobs_failed"))
+      << ",\n";
+  out << "  \"total_energy_j\": " << format_exact(total_energy_j) << ",\n";
+  out << "  \"node_utilization\": "
+      << format_exact(avail > 0.0 ? used / avail : 0.0) << ",\n";
+  out << "  \"budget_utilization\": "
+      << format_exact(budget_w > 0.0 && makespan_s > 0.0
+                          ? total_energy_j / (budget_w * makespan_s)
+                          : 0.0)
+      << ",\n";
+  out << "  \"violation_s\": " << rec.summary.at("violation_s") << ",\n";
+  out << "  \"violation_ws\": " << rec.summary.at("violation_ws") << ",\n";
+  out << "  \"caps_reprogrammed\": "
+      << static_cast<int>(rec.scalar("caps_reprogrammed")) << ",\n";
+  out << "  \"meter_reads_rejected\": "
+      << static_cast<int>(rec.scalar("meter_reads_rejected")) << ",\n";
+  out << "  \"crashed_nodes\": [";
+  const auto crashed = rec.crashed_nodes();
+  for (std::size_t i = 0; i < crashed.size(); ++i)
+    out << (i > 0 ? "," : "") << crashed[i];
+  out << "],\n";
+
+  out << "  \"node_energy_j\": {";
+  const auto nodes = power_nodes(rec.timeline);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const double e = rec.timeline.integral(
+        "node" + std::to_string(nodes[i]) + ".power_w", 0.0, makespan_s);
+    out << (i > 0 ? "," : "") << "\"node" << nodes[i]
+        << "\":" << format_exact(e);
+  }
+  out << "},\n";
+
+  out << "  \"jobs\": [\n";
+  for (std::size_t i = 0; i < rec.jobs.size(); ++i) {
+    const auto& j = rec.jobs[i];
+    out << "    {\"app\":\"" << obs::json_escape(j.app) << "\",\"start_s\":"
+        << format_exact(j.start_s) << ",\"end_s\":" << format_exact(j.end_s)
+        << ",\"nodes\":" << j.nodes
+        << ",\"budget_w\":" << format_exact(j.budget_w)
+        << ",\"power_w\":" << format_exact(j.power_w)
+        << ",\"attempts\":" << j.attempts
+        << ",\"completed\":" << (j.completed ? "true" : "false")
+        << ",\"crashed_node\":" << j.crashed_node << "}"
+        << (i + 1 < rec.jobs.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+
+  out << "  \"fault_events\": [";
+  const auto faults = rec.timeline.events("fault");
+  for (std::size_t i = 0; i < faults.size(); ++i)
+    out << (i > 0 ? "," : "") << "{\"t_s\":" << format_exact(faults[i].t_s)
+        << ",\"label\":\"" << obs::json_escape(faults[i].label) << "\"}";
+  out << "],\n";
+
+  out << "  \"slowest_spans\": [";
+  const auto top = slowest_spans(rec.spans, options.top_spans);
+  for (std::size_t i = 0; i < top.size(); ++i)
+    out << (i > 0 ? "," : "") << "{\"name\":\"" << obs::json_escape(top[i].name)
+        << "\",\"category\":\"" << obs::json_escape(top[i].category)
+        << "\",\"duration_us\":" << format_exact(top[i].duration_us) << "}";
+  out << "]\n}\n";
+  return out.str();
+}
+
+}  // namespace clip::runtime

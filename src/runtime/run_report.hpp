@@ -1,0 +1,66 @@
+// Run records and run reports — the persistence and reporting side of the
+// cluster flight recorder (obs/timeline.hpp).
+//
+// A *run record* is a directory capturing one queue run: the timeline CSV,
+// the per-job outcomes, the report scalars (including fault::BudgetGuard's
+// ground-truth violation accounting — see docs/robustness.md), the decision
+// pipeline's spans, and optionally a Prometheus metrics snapshot. Everything
+// is CSV / text with shortest-exact double formatting, so a record written
+// from a deterministic run is byte-stable and round-trips exactly.
+//
+// A *run report* renders a record back for humans (Markdown) or tooling
+// (JSON): summary scalars, the per-node power timeline resampled to a small
+// table, per-node energy integrals, the job completion/retry table, the
+// fault event log, and the slowest decision-pipeline spans. Rendering is a
+// pure function of the record directory — repeat invocations are
+// byte-identical (`clipctl report` asserts nothing and recomputes nothing
+// stochastic). Format reference: docs/observability.md.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
+#include "obs/timeline.hpp"
+#include "runtime/queue.hpp"
+
+namespace clip::runtime {
+
+/// File names inside a run-record directory.
+struct RunRecordFiles {
+  static constexpr const char* kTimeline = "timeline.csv";
+  static constexpr const char* kJobs = "jobs.csv";
+  static constexpr const char* kSummary = "summary.csv";
+  static constexpr const char* kSpans = "spans.csv";
+  static constexpr const char* kMetrics = "metrics.prom";
+};
+
+/// Persist one queue run into `dir` (created if needed): timeline.csv,
+/// jobs.csv, summary.csv (key/value scalars incl. violation accounting),
+/// spans.csv, and — when `metrics` is non-null — metrics.prom.
+void write_run_record(const std::filesystem::path& dir, Watts cluster_budget,
+                      const QueueReport& report,
+                      const obs::Timeline& timeline,
+                      const std::vector<obs::SpanRecord>& spans = {},
+                      const obs::MetricsRegistry* metrics = nullptr);
+
+struct RunReportOptions {
+  int power_points = 12;  ///< instants in the per-node power table
+  int top_spans = 5;      ///< rows in the slowest-spans table
+};
+
+/// Render a run record as a deterministic Markdown report.
+[[nodiscard]] std::string render_markdown_report(
+    const std::filesystem::path& dir,
+    RunReportOptions options = RunReportOptions{});
+
+/// Render a run record as a deterministic JSON report. Doubles print
+/// shortest-exact, so e.g. `violation_s` equals the recorded
+/// BudgetGuard figure bit-for-bit after parse-back.
+[[nodiscard]] std::string render_json_report(
+    const std::filesystem::path& dir,
+    RunReportOptions options = RunReportOptions{});
+
+}  // namespace clip::runtime

@@ -94,6 +94,23 @@ std::vector<obs::CounterSample> Telemetry::to_trace_counters(
   return counters;
 }
 
+void Telemetry::to_timeline(obs::Timeline& timeline,
+                            const std::vector<TelemetrySample>& series,
+                            double t0_s) {
+  std::string last_phase;
+  for (const auto& s : series) {
+    const std::string prefix = "node" + std::to_string(s.node);
+    const double t = t0_s + s.time_s;
+    timeline.record(prefix + ".cpu_w", t, s.cpu_power_w);
+    timeline.record(prefix + ".mem_w", t, s.mem_power_w);
+    timeline.record(prefix + ".freq_ghz", t, s.freq_ghz);
+    if (s.node == 0 && s.phase != last_phase) {
+      timeline.event("job.phase", t, s.phase);
+      last_phase = s.phase;
+    }
+  }
+}
+
 void Telemetry::write(const std::filesystem::path& path,
                       const std::vector<TelemetrySample>& series) {
   CsvDocument doc;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "obs/sink.hpp"
+#include "obs/timeline.hpp"
 #include "sim/executor.hpp"
 #include "sim/phased.hpp"
 #include "util/csv.hpp"
@@ -67,6 +68,15 @@ class Telemetry {
   /// in Perfetto. Feed to obs::write_chrome_trace or a TraceSink.
   [[nodiscard]] static std::vector<obs::CounterSample> to_trace_counters(
       const std::vector<TelemetrySample>& series);
+
+  /// Bridge into the flight recorder: per-node `node<N>.cpu_w` /
+  /// `node<N>.mem_w` / `node<N>.freq_ghz` sample series on the simulated
+  /// axis, plus one `job.phase` event per phase change (taken from node 0's
+  /// samples; flat runs emit a single "-" event). Timestamps are shifted by
+  /// `t0_s` so successive jobs land one after another on a shared timeline.
+  static void to_timeline(obs::Timeline& timeline,
+                          const std::vector<TelemetrySample>& series,
+                          double t0_s = 0.0);
 
  private:
   TelemetryOptions options_;

@@ -30,6 +30,10 @@ class SimExecutor {
     return variability_;
   }
 
+  /// The measurement-noise meter run() reads through — exposed so callers
+  /// can program faults or attach a flight recorder (meter.set_timeline).
+  [[nodiscard]] PowerMeter& meter() { return meter_; }
+
   /// Attach an observability session (nullptr detaches): every run bumps
   /// `sim.runs`/`sim.node_solves` and, with a sink attached, emits a
   /// "sim.run" span. Detached cost is one branch per run.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/timeline.hpp"
+
 namespace clip::sim {
 
 double corrupt_reading(const MeterFaultState& fault, double truth_w) {
@@ -37,19 +39,22 @@ Seconds PowerMeter::read_time(Seconds truth) {
 }
 
 void PowerMeter::observe(Measurement& m) {
-  if (!options_.enabled) return;
-  m.time = read_time(m.time);
-  for (auto& node : m.nodes) {
-    node.time = read_time(node.time);
-    node.cpu_power = read_power(node.cpu_power);
-    node.mem_power = read_power(node.mem_power);
+  if (options_.enabled) {
+    m.time = read_time(m.time);
+    for (auto& node : m.nodes) {
+      node.time = read_time(node.time);
+      node.cpu_power = read_power(node.cpu_power);
+      node.mem_power = read_power(node.mem_power);
+    }
+    // Derived quantities stay consistent with the noisy reads.
+    double watts = 0.0;
+    for (const auto& node : m.nodes)
+      watts += node.cpu_power.value() + node.mem_power.value();
+    m.avg_power = Watts(watts);
+    m.energy = m.avg_power * m.time;
   }
-  // Derived quantities stay consistent with the noisy reads.
-  double watts = 0.0;
-  for (const auto& node : m.nodes)
-    watts += node.cpu_power.value() + node.mem_power.value();
-  m.avg_power = Watts(watts);
-  m.energy = m.avg_power * m.time;
+  if (timeline_ != nullptr)
+    timeline_->record("meter.power_w", sample_time_s_, m.avg_power.value());
 }
 
 }  // namespace clip::sim

@@ -13,6 +13,10 @@
 #include "sim/config.hpp"
 #include "util/rng.hpp"
 
+namespace clip::obs {
+class Timeline;
+}
+
 namespace clip::sim {
 
 struct MeterOptions {
@@ -56,12 +60,23 @@ class PowerMeter {
   void set_fault(MeterFaultState fault) { fault_ = fault; }
   [[nodiscard]] const MeterFaultState& fault() const { return fault_; }
 
+  /// Attach a flight recorder (nullptr detaches): each observe() appends
+  /// the measured total draw to the `meter.power_w` series at the sample
+  /// time set via set_sample_time(). Detached cost is one branch.
+  void set_timeline(obs::Timeline* timeline) { timeline_ = timeline; }
+
+  /// Simulated-seconds timestamp the next observe() records at. Must be
+  /// non-decreasing across calls (timeline series are monotone).
+  void set_sample_time(double t_s) { sample_time_s_ = t_s; }
+
  private:
   [[nodiscard]] double jitter(double sigma);
 
   MeterOptions options_;
   Rng rng_;
   MeterFaultState fault_;
+  obs::Timeline* timeline_ = nullptr;
+  double sample_time_s_ = 0.0;
 };
 
 }  // namespace clip::sim

@@ -4,6 +4,7 @@
 #include <deque>
 #include <numeric>
 
+#include "obs/timeline.hpp"
 #include "util/check.hpp"
 
 namespace clip::sim {
@@ -113,6 +114,13 @@ RaplTrace RaplControllerSim::simulate(const workloads::WorkloadSignature& w,
   int steady_steps = 0;
   int transitions = 0;
 
+  // Flight recorder: the cap once at the run start, then per-step power and
+  // frequency. The time axis continues across simulate() calls.
+  const double t0 = timeline_t0_s_;
+  const double top_freq = states.back().value();
+  if (timeline_ != nullptr)
+    timeline_->record("rapl.cap_w", t0, cpu_cap.value());
+
   for (int step = 0; step < options.steps; ++step) {
     const double p = state_power[state];
     window.push_back(p);
@@ -126,6 +134,12 @@ RaplTrace RaplControllerSim::simulate(const workloads::WorkloadSignature& w,
     trace.time_s.push_back(step * options.step_s);
     trace.power_w.push_back(p);
     trace.freq_ghz.push_back(state_freq[state]);
+    if (timeline_ != nullptr) {
+      const double t = t0 + step * options.step_s;
+      timeline_->record("rapl.power_w", t, p);
+      timeline_->record("rapl.freq_ghz", t, state_freq[state]);
+      timeline_->record("rapl.freq_rel", t, state_freq[state] / top_freq);
+    }
     if (step >= options.steps / 2) {
       steady_work += state_rate[state] * options.step_s;
       steady_power += p;
@@ -152,6 +166,7 @@ RaplTrace RaplControllerSim::simulate(const workloads::WorkloadSignature& w,
       }
     }
   }
+  if (timeline_ != nullptr) timeline_t0_s_ = t0 + options.steps * options.step_s;
   obs::observe(obs_, "sim.rapl_controller.steps", obs::steps_spec(),
                static_cast<double>(options.steps));
   obs::observe(obs_, "sim.rapl_controller.transitions", obs::steps_spec(),

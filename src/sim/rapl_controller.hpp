@@ -20,6 +20,10 @@
 #include "sim/power_model.hpp"
 #include "workloads/signature.hpp"
 
+namespace clip::obs {
+class Timeline;
+}
+
 namespace clip::sim {
 
 struct RaplControllerOptions {
@@ -60,11 +64,21 @@ class RaplControllerSim {
   /// histograms (see docs/observability.md).
   void set_observer(obs::ObsSession* obs) { obs_ = obs; }
 
+  /// Attach a flight recorder (nullptr detaches): each simulate() appends
+  /// the cap (`rapl.cap_w`, once at the run start), the per-step package
+  /// power (`rapl.power_w`) and the selected frequency (`rapl.freq_ghz`,
+  /// plus `rapl.freq_rel` relative to the top P-state). Successive runs
+  /// continue on the same time axis (each starts where the previous ended),
+  /// keeping the series monotone. Detached cost is one branch per step.
+  void set_timeline(obs::Timeline* timeline) { timeline_ = timeline; }
+
  private:
   const MachineSpec* spec_;
   PowerModel power_;
   PerfModel perf_;
   obs::ObsSession* obs_ = nullptr;
+  obs::Timeline* timeline_ = nullptr;
+  mutable double timeline_t0_s_ = 0.0;  ///< time axis across simulate() calls
 };
 
 }  // namespace clip::sim

@@ -1,5 +1,6 @@
 #include "util/csv.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -69,6 +70,17 @@ CsvDocument read_csv(const std::filesystem::path& path) {
   bool first = true;
   while (std::getline(is, line)) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
+    // A quoted field may span physical lines (e.g. an event label with a
+    // newline). A record is complete once its quote count is even — escaped
+    // quotes are doubled, so they keep the parity intact.
+    while (std::count(line.begin(), line.end(), '"') % 2 != 0) {
+      std::string more;
+      CLIP_REQUIRE(static_cast<bool>(std::getline(is, more)),
+                   "unterminated quoted field in " + path.string());
+      if (!more.empty() && more.back() == '\r') more.pop_back();
+      line += '\n';
+      line += more;
+    }
     if (line.empty()) continue;
     auto fields = parse_csv_line(line);
     if (first) {

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <unistd.h>
 #include <filesystem>
 #include <fstream>
@@ -17,8 +18,10 @@
 #include "fault/injector.hpp"
 #include "fault/plan.hpp"
 #include "obs/session.hpp"
+#include "obs/timeline.hpp"
 #include "runtime/launcher.hpp"
 #include "runtime/queue.hpp"
+#include "runtime/run_report.hpp"
 #include "sim/executor.hpp"
 #include "sim/power_meter.hpp"
 #include "util/check.hpp"
@@ -641,6 +644,117 @@ TEST_F(KnowledgeDbHardening, GarbageNumericRejectsWithRowContext) {
     EXPECT_NE(msg.find("garbage!"), std::string::npos) << msg;
   }
   EXPECT_EQ(db_.size(), 2u);
+}
+
+// ------------------------------------------- flight recorder integration ----
+
+/// Runs the acceptance scenario (2-of-8 crashes plus one guarded cap
+/// violation) with the flight recorder attached and persists the run record.
+/// When $CLIP_FLIGHT_DIR is set (as scripts/ci.sh does), the record is also
+/// written there, so a red ctest leaves the telemetry behind as an artifact.
+struct FlightRecordedRun {
+  runtime::QueueReport report;
+  obs::Timeline timeline;
+};
+
+void run_crash_scenario(FlightRecordedRun& out) {
+  runtime::QueueOptions opt;
+  opt.cluster_budget = Watts(700.0);
+  opt.guard.reaction_s = 2.0;
+  const auto jobs = workloads::paper_benchmarks();
+  const double makespan = run_queue(jobs, opt).report.makespan_s;
+
+  fault::FaultPlan plan;
+  plan.crashes.push_back({2, 0.25 * makespan});
+  plan.crashes.push_back({5, 0.5 * makespan});
+  plan.cap_violations.push_back({0, 0.1 * makespan, 1e6, 100.0});
+
+  sim::SimExecutor ex{sim::MachineSpec{}, no_noise()};
+  core::ClipScheduler sched{ex, workloads::training_benchmarks()};
+  runtime::PowerAwareJobQueue queue(ex, sched, opt);
+  fault::FaultInjector injector(plan, ex.spec().nodes);
+  queue.set_fault_injector(&injector);
+  queue.set_timeline(&out.timeline);
+  out.report = queue.run(jobs);
+}
+
+TEST(FlightRecorder, ReportViolationSecondsMatchBudgetGuardGroundTruth) {
+  FlightRecordedRun run;
+  run_crash_scenario(run);
+  ASSERT_EQ(run.report.crashed_nodes.size(), 2u);
+  ASSERT_GT(run.report.violation_s, 0.0);
+
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("flight_gt." + std::to_string(::getpid()));
+  runtime::write_run_record(dir, Watts(700.0), run.report, run.timeline);
+
+  // The rendered reports carry the BudgetGuard's accounting bit-for-bit:
+  // shortest-exact formatting means a string compare is an exact compare.
+  const std::string exact = obs::format_exact(run.report.violation_s);
+  const std::string json = runtime::render_json_report(dir);
+  EXPECT_NE(json.find("\"violation_s\": " + exact), std::string::npos)
+      << json;
+  const std::string md = runtime::render_markdown_report(dir);
+  EXPECT_NE(md.find("| cap violation (s) | " + exact + " |"),
+            std::string::npos);
+
+  // Rendering is deterministic across repeats.
+  EXPECT_EQ(json, runtime::render_json_report(dir));
+  EXPECT_EQ(md, runtime::render_markdown_report(dir));
+
+  // The timeline's own copy of the final accounting agrees too.
+  const auto viol = run.timeline.samples("budget.violation_s");
+  ASSERT_EQ(viol.size(), 1u);
+  EXPECT_EQ(viol[0].value, run.report.violation_s);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FlightRecorder, FaultEventsLandOnTheTimeline) {
+  FlightRecordedRun run;
+  run_crash_scenario(run);
+  const auto faults = run.timeline.events("fault");
+  std::size_t crashes = 0;
+  std::size_t claw_backs = 0;
+  std::size_t cap_violations = 0;
+  for (const auto& e : faults) {
+    if (e.label.rfind("crash ", 0) == 0) ++crashes;
+    if (e.label.rfind("claw-back ", 0) == 0) ++claw_backs;
+    if (e.label.rfind("cap-violation ", 0) == 0) ++cap_violations;
+  }
+  EXPECT_EQ(crashes, 2u);
+  EXPECT_EQ(cap_violations, 1u);
+  EXPECT_EQ(static_cast<int>(claw_backs), run.report.caps_reprogrammed);
+  // fault.active tracks the injections.
+  const auto active = run.timeline.summary("fault.active");
+  EXPECT_GT(active.count, 0u);
+  EXPECT_GE(active.max, 1.0);
+  // Crashed nodes leave job-crash events behind.
+  std::size_t job_crashes = 0;
+  for (const auto& e : run.timeline.events("job"))
+    if (e.label.rfind("crash ", 0) == 0) ++job_crashes;
+  EXPECT_GE(job_crashes, 1u);
+}
+
+TEST(FlightRecorder, ArchivesRunRecordIntoFlightDirWhenSet) {
+  FlightRecordedRun run;
+  run_crash_scenario(run);
+  const char* env = std::getenv("CLIP_FLIGHT_DIR");
+  // Outside CI the behavior is exercised against a temp stand-in.
+  const std::filesystem::path base =
+      env != nullptr && *env != '\0'
+          ? std::filesystem::path(env)
+          : std::filesystem::temp_directory_path() /
+                ("flight_dump." + std::to_string(::getpid()));
+  const auto dir = base / "fault_integration";
+  runtime::write_run_record(dir, Watts(700.0), run.report, run.timeline);
+  for (const char* f :
+       {runtime::RunRecordFiles::kTimeline, runtime::RunRecordFiles::kJobs,
+        runtime::RunRecordFiles::kSummary})
+    EXPECT_TRUE(std::filesystem::exists(dir / f)) << f;
+  // Prove the dump is renderable — what a post-mortem will do first.
+  EXPECT_NE(runtime::render_markdown_report(dir).find("# CLIP run report"),
+            std::string::npos);
+  if (env == nullptr || *env == '\0') std::filesystem::remove_all(base);
 }
 
 TEST(KnowledgeRecordValidate, RejectsImpossibleFields) {

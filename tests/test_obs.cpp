@@ -295,6 +295,74 @@ TEST(HistogramTest, OverflowBucketClampsToObservedMax) {
   EXPECT_GE(h.quantile(0.0), 5.0);
 }
 
+TEST(HistogramTest, QuantileAtExactBucketEdges) {
+  // Bucket upper bounds are inclusive: a value recorded exactly on an edge
+  // counts in that edge's bucket, and quantiles stay within the observed
+  // [min, max] even when every observation sits on an edge.
+  obs::Histogram h(HistogramSpec{{10.0, 20.0, 30.0}});
+  for (double v : {10.0, 20.0, 30.0}) h.record(v);
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 0u);  // nothing overflowed
+
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 30.0);
+  double prev = h.min();
+  for (double q : {0.0, 1.0 / 3.0, 0.5, 2.0 / 3.0, 1.0}) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev);
+    EXPECT_GE(v, h.min());
+    EXPECT_LE(v, h.max());
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, UnderflowLandsInFirstBucket) {
+  // Values below the first bound have no underflow bucket of their own —
+  // they count in the first bucket, and the quantile floor is the observed
+  // minimum, not the bucket's notional lower edge.
+  obs::Histogram h(HistogramSpec{{100.0, 200.0}});
+  h.record(3.0);
+  h.record(5.0);
+  const auto counts = h.bucket_counts();
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 0u);
+  EXPECT_EQ(counts[2], 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 5.0);
+  EXPECT_GE(h.quantile(0.5), 3.0);
+  EXPECT_LE(h.quantile(0.5), 5.0);
+}
+
+TEST(JsonEscapeTest, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(obs::json_escape("plain"), "plain");
+  EXPECT_EQ(obs::json_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(obs::json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(obs::json_escape("a\nb\rc\td"), "a\\nb\\rc\\td");
+  // Control characters without shorthand escape to \u00XX (lowercase hex).
+  EXPECT_EQ(obs::json_escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(obs::json_escape(std::string(1, '\x1f')), "\\u001f");
+  EXPECT_EQ(obs::json_escape(std::string(1, '\0') + "x"), "\\u0000x");
+}
+
+TEST(JsonEscapeTest, PassesMultiByteUtf8Through) {
+  // Multi-byte UTF-8 sequences have all bytes >= 0x80; none may be mangled
+  // by the < 0x20 control check (a signed-char comparison bug would trip it).
+  const std::string utf8 = "n\xc3\xb8" "de \xe2\x82\xac \xf0\x9f\x94\x8b";
+  EXPECT_EQ(obs::json_escape(utf8), utf8);
+}
+
+TEST(JsonEscapeTest, EscapedStringsParseBack) {
+  // The embedded test JsonParser maps \uXXXX to '?', so parse-back is
+  // asserted for the shorthand escapes and structural validity only.
+  const std::string hostile = "a\"b\\c\nd\te";
+  const std::string json = "{\"s\": \"" + obs::json_escape(hostile) + "\"}";
+  EXPECT_NO_THROW(JsonParser(json).parse());
+}
+
 // ------------------------------------------------------ spans + pairing ----
 
 TEST(TracerTest, DetachedSpanIsInert) {

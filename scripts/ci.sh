@@ -17,6 +17,7 @@
 #   JOBS           parallelism for build and test (default: nproc)
 #   MAX_SLOWDOWN   regression-gate wall-clock threshold in percent (15)
 #   SKIP_GATE      set to 1 to skip the regression-gate step
+#   SKIP_LINT      set to 1 to skip the clip-lint stage
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,6 +25,16 @@ PRESETS="${PRESETS:-release asan tsan}"
 JOBS="${JOBS:-$(nproc)}"
 MAX_SLOWDOWN="${MAX_SLOWDOWN:-15}"
 ARTIFACTS="ci-artifacts"
+
+# Stage 0: static analysis. Runs before the build matrix — a determinism or
+# concurrency invariant broken at the token level fails fast, before any
+# compile minute is spent. Fails on any unsuppressed finding; the JSON
+# report (suppression-count trend included) is archived with the artifacts.
+if [ "${SKIP_LINT:-0}" != "1" ]; then
+  echo "==> [lint] clip-lint self-scan (src examples bench)"
+  mkdir -p "$ARTIFACTS"
+  scripts/lint.sh --json "$ARTIFACTS/lint_report.json"
+fi
 
 for preset in $PRESETS; do
   echo "==> [$preset] configure"

@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# clip-lint driver: build the analyzer and self-scan src/, examples/ and
+# bench/. Exit 0 = zero unsuppressed findings (suppressions with reasons are
+# fine), 1 = violations, 2 = build/usage error. The JSON report (default
+# build/lint_report.json) records per-rule counts and the suppression total
+# so reviews can watch it trend — see docs/static-analysis.md.
+#
+# Usage: scripts/lint.sh [--json PATH] [extra clip-lint args...]
+#
+# Environment:
+#   BUILD_DIR  cmake build tree holding (or receiving) the clip-lint target
+#              (default: build)
+set -eu
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+JSON_OUT="$BUILD_DIR/lint_report.json"
+if [ "${1:-}" = "--json" ] && [ $# -ge 2 ]; then
+  JSON_OUT=$2
+  shift 2
+fi
+
+LINT_BIN="$BUILD_DIR/tools/clip-lint/clip-lint"
+if [ ! -x "$LINT_BIN" ]; then
+  echo "lint: building clip-lint into $BUILD_DIR" >&2
+  cmake -B "$BUILD_DIR" -S . >/dev/null
+  cmake --build "$BUILD_DIR" --target clip-lint -j "$(nproc)" >/dev/null
+fi
+
+"$LINT_BIN" --root . --json "$JSON_OUT" "$@" src examples bench
+echo "lint: report written to $JSON_OUT" >&2

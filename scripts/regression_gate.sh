@@ -124,6 +124,37 @@ if [ "$selftest" -eq 1 ]; then
     echo "selftest: missing bench must fail" >&2; exit 1
   fi
 
+  # clip-lint exit-code contract (0 clean / 1 violations, including a
+  # reasonless suppression leaving its finding open). Uses the built binary
+  # when present; CI builds it before this selftest runs.
+  lint_bin="${CLIP_LINT_BIN:-build/tools/clip-lint/clip-lint}"
+  if [ -x "$lint_bin" ]; then
+    printf '#pragma once\nint pure(int x);\n' > "$tmp/clean.hpp"
+    if ! "$lint_bin" --quiet "$tmp/clean.hpp"; then
+      echo "selftest: clip-lint must exit 0 on a clean file" >&2; exit 1
+    fi
+    printf '#include <cstdlib>\nint r() { return rand() %% 2; }\n' \
+      > "$tmp/dirty.cpp"
+    if "$lint_bin" --quiet "$tmp/dirty.cpp" 2>/dev/null; then
+      echo "selftest: clip-lint must exit 1 on a violation" >&2; exit 1
+    fi
+    printf '#include <cstdlib>\nint r() { return rand() %% 2; }  // clip-lint: allow(D4)\n' \
+      > "$tmp/noreason.cpp"
+    if "$lint_bin" --quiet "$tmp/noreason.cpp" 2>/dev/null; then
+      echo "selftest: reasonless suppression must keep exit 1" >&2; exit 1
+    fi
+    printf '#include <cstdlib>\nint r() { return rand() %% 2; }  // clip-lint: allow(D4) selftest fixture\n' \
+      > "$tmp/reasoned.cpp"
+    if ! "$lint_bin" --quiet --json "$tmp/lint.json" "$tmp/reasoned.cpp"; then
+      echo "selftest: reasoned suppression must exit 0" >&2; exit 1
+    fi
+    grep -q '"suppressed": 1' "$tmp/lint.json" \
+      || { echo "selftest: lint JSON must count suppressions" >&2; exit 1; }
+    echo "selftest: clip-lint exit codes ok" >&2
+  else
+    echo "selftest: clip-lint not built ($lint_bin), lint checks skipped" >&2
+  fi
+
   echo "selftest: ok" >&2
   exit 0
 fi

@@ -14,6 +14,7 @@ namespace {
 /// microsecond timestamps). snprintf keeps the output locale-independent.
 std::string number(double v) {
   char buf[64];
+  // clip-lint: allow(D3) Chrome-trace timestamps are display-side, ns resolution suffices; byte-exact series live in obs::Timeline
   std::snprintf(buf, sizeof buf, "%.3f", v);
   return buf;
 }

@@ -1,7 +1,7 @@
 #include "obs/tracer.hpp"
 
 #include "obs/session.hpp"
-#include "util/strings.hpp"
+#include "obs/timeline.hpp"
 
 namespace clip::obs {
 
@@ -58,7 +58,9 @@ void ScopedSpan::arg(std::string_view key, std::string_view value) {
 
 void ScopedSpan::arg(std::string_view key, double value) {
   if (tracer_ == nullptr) return;
-  record_.args.push_back({std::string(key), format_double(value, 3), true});
+  // Shortest-exact (clip-lint D3): trace args must parse back to the value
+  // the instrumented code saw, not a 3-decimal rounding of it.
+  record_.args.push_back({std::string(key), format_exact(value), true});
 }
 
 void ScopedSpan::arg(std::string_view key, int value) {

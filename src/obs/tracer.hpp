@@ -13,10 +13,10 @@
 #pragma once
 
 #include <atomic>
+#include <map>
 #include <mutex>
 #include <string_view>
 #include <thread>
-#include <unordered_map>
 
 #include "obs/clock.hpp"
 #include "obs/sink.hpp"
@@ -52,7 +52,9 @@ class Tracer {
   const Clock* clock_;
   std::atomic<TraceSink*> sink_{nullptr};
   std::mutex mu_;
-  std::unordered_map<std::thread::id, int> thread_indices_;
+  // Ordered map (clip-lint D2): a handful of threads, looked up under the
+  // mutex anyway — hash-order freedom buys nothing here.
+  std::map<std::thread::id, int> thread_indices_;
 };
 
 class ObsSession;

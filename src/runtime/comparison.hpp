@@ -71,6 +71,7 @@ struct ComparisonResult {
   void ensure_index() const;
 
   static constexpr std::size_t kNoIndex = static_cast<std::size_t>(-1);
+  // clip-lint: allow(D2) lookup-only O(1) index over cells; never iterated, so hash order cannot reach output
   mutable std::unordered_map<std::string, std::size_t> index_;
   mutable std::size_t indexed_cells_ = kNoIndex;
 };

@@ -90,6 +90,7 @@ class ExactRunCache {
  private:
   struct Shard {
     mutable std::mutex mu;
+    // clip-lint: allow(D2) hot-path lookup/insert only; eviction walks `fifo` (insertion order), never the map
     std::unordered_map<std::string, Measurement> map;
     std::deque<const std::string*> fifo;  ///< keys in insertion order
   };

@@ -7,12 +7,14 @@ namespace clip {
 
 std::string format_double(double v, int decimals) {
   char buf[64];
+  // clip-lint: allow(D3) deliberate fixed-decimal rendering for human-facing tables; exact exports use obs::format_exact
   std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
   return buf;
 }
 
 std::string format_percent(double fraction, int decimals) {
   char buf[64];
+  // clip-lint: allow(D3) deliberate fixed-decimal percentage for human-facing tables; exact exports use obs::format_exact
   std::snprintf(buf, sizeof buf, "%+.*f%%", decimals, fraction * 100.0);
   return buf;
 }

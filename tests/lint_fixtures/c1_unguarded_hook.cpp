@@ -1,0 +1,35 @@
+// Fixture: C1 must fire on unguarded hook dereferences and stay quiet on
+// every guard shape the codebase uses.
+struct Timeline {
+  void record(double t, double v);
+};
+
+struct Guarded {
+  Timeline* timeline_ = nullptr;
+
+  void ok_block(double t) {
+    if (timeline_ != nullptr) {
+      timeline_->record(t, 1.0);
+    }
+  }
+  void ok_single(double t) {
+    if (timeline_) timeline_->record(t, 2.0);
+  }
+  void ok_early_return(double t) {
+    if (timeline_ == nullptr) return;
+    timeline_->record(t, 3.0);
+  }
+  void ok_expression(double t) {
+    timeline_ && (timeline_->record(t, 4.0), true);
+  }
+
+  void bad_unguarded(double t) {
+    timeline_->record(t, 5.0);  // line 27: C1
+  }
+  void bad_after_block(double t) {
+    if (timeline_ != nullptr) {
+      timeline_->record(t, 6.0);
+    }
+    timeline_->record(t, 7.0);  // line 33: C1 — guard ended with the block
+  }
+};

@@ -1,0 +1,22 @@
+// Fixture: a file that follows every invariant — clip-lint must stay
+// silent (no findings, no suppressions needed).
+#include <map>
+#include <string>
+
+struct Observer {
+  void notify(int);
+};
+
+struct Clean {
+  Observer* obs_ = nullptr;
+  std::map<std::string, double> ordered;  // deterministic iteration
+
+  void tick(int v) {
+    if (obs_ != nullptr) obs_->notify(v);
+  }
+  double total() const {
+    double sum = 0.0;
+    for (const auto& [k, val] : ordered) sum += val;
+    return sum;
+  }
+};

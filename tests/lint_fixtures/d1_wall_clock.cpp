@@ -1,0 +1,16 @@
+// Fixture: D1 must fire on every wall-clock source outside the clock seam.
+#include <chrono>
+#include <ctime>
+
+double bad_now_us() {
+  auto t = std::chrono::system_clock::now();  // line 6: D1
+  return std::chrono::duration<double, std::micro>(t.time_since_epoch())
+      .count();
+}
+
+long bad_epoch() { return std::time(nullptr); }  // line 11: D1
+
+long bad_monotonic() {
+  using clock = std::chrono::steady_clock;  // line 14: D1
+  return clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,17 @@
+// Fixture: D2 must fire on unordered-container declarations and iteration.
+#include <string>
+#include <unordered_map>
+
+double sum_values(const std::unordered_map<std::string, double>& m) {
+  // The parameter declaration on line 5 is one D2 finding; the range-for
+  // below iterates in hash order — the exact failure mode D2 exists for.
+  double total = 0.0;
+  for (const auto& [k, v] : m) total += v;  // line 9: D2
+  return total;
+}
+
+int first_key() {
+  std::unordered_map<int, int> table;  // line 14: D2
+  table[3] = 4;
+  return table.begin()->first;  // line 16: D2
+}

@@ -1,0 +1,16 @@
+// Fixture: D3 must fire on fixed-precision double formatting.
+#include <cstdio>
+#include <string>
+
+void bad_print(double v) {
+  std::printf("%f watts\n", v);  // line 6: D3
+}
+
+void bad_report(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "power=%.2f", v);  // line 11: D3
+}
+
+std::string bad_literal() {
+  return std::to_string(3.1415);  // line 15: D3
+}

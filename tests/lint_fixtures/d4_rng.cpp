@@ -1,0 +1,16 @@
+// Fixture: D4 must fire on unseeded / platform-dependent RNG primitives.
+#include <cstdlib>
+#include <random>
+
+int bad_seed() {
+  std::random_device rd;  // line 6: D4
+  return static_cast<int>(rd());
+}
+
+double bad_draw() {
+  std::mt19937 gen(42);                               // line 11: D4
+  std::uniform_real_distribution<double> dist(0, 1);  // line 12: D4
+  return dist(gen);
+}
+
+int bad_legacy() { return rand() % 6; }  // line 16: D4

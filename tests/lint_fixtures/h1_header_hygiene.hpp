@@ -1,0 +1,7 @@
+// Fixture: H1 must fire on a guardless header (line 1) and on
+// `using namespace` leaking into every includer.
+#include <string>
+
+using namespace std;  // line 5: H1
+
+inline string shout(const string& s) { return s + "!"; }

@@ -1,0 +1,26 @@
+// Fixture: suppression hygiene. One valid same-line suppression, one valid
+// standalone-comment suppression, one reasonless suppression (must be
+// rejected), one naming an unknown rule, and one that never matches.
+#include <chrono>
+
+double ok_same_line() {
+  auto t = std::chrono::steady_clock::now();  // clip-lint: allow(D1) fixture exercises the same-line form
+  return static_cast<double>(t.time_since_epoch().count());
+}
+
+double ok_next_line() {
+  // clip-lint: allow(D1) fixture exercises the standalone-comment form
+  auto t = std::chrono::system_clock::now();
+  return static_cast<double>(t.time_since_epoch().count());
+}
+
+double bad_no_reason() {
+  auto t = std::chrono::steady_clock::now();  // clip-lint: allow(D1)
+  return static_cast<double>(t.time_since_epoch().count());
+}
+
+// clip-lint: allow(Z9) unknown rule id must be rejected
+int unknown_rule() { return 0; }
+
+// clip-lint: allow(D4) nothing on the next line draws randomness
+int unused_suppression() { return 1; }

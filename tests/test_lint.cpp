@@ -1,0 +1,151 @@
+// clip-lint's own test suite: every rule must fire on its violation fixture
+// at the exact line, stay silent on the clean fixture, and the suppression
+// machinery must reject reasonless or unknown-rule entries. Fixture files
+// live in tests/lint_fixtures/ and are lint *inputs*, never compiled.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace clip::lint {
+namespace {
+
+std::vector<Finding> lint_fixture(const std::string& name) {
+  const std::string path = std::string(LINT_FIXTURES_DIR) + "/" + name;
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is.good()) << "missing fixture " << path;
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return lint_source(buf.str(), name);
+}
+
+/// (rule, line) pairs of the findings matching `suppressed`.
+std::vector<std::pair<std::string, int>> hits(
+    const std::vector<Finding>& findings, bool suppressed) {
+  std::vector<std::pair<std::string, int>> out;
+  for (const Finding& f : findings)
+    if (f.suppressed == suppressed) out.emplace_back(f.rule, f.line);
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  return out;
+}
+
+using Hits = std::vector<std::pair<std::string, int>>;
+
+TEST(LintRules, D1FiresOnEveryWallClockSource) {
+  const auto f = lint_fixture("d1_wall_clock.cpp");
+  EXPECT_EQ(hits(f, false),
+            (Hits{{"D1", 6}, {"D1", 11}, {"D1", 14}}));
+}
+
+TEST(LintRules, D2FiresOnDeclarationAndIteration) {
+  const auto f = lint_fixture("d2_unordered.cpp");
+  EXPECT_EQ(hits(f, false),
+            (Hits{{"D2", 5}, {"D2", 9}, {"D2", 14}, {"D2", 16}}));
+}
+
+TEST(LintRules, D3FiresOnFixedPrecisionFormatting) {
+  const auto f = lint_fixture("d3_raw_double.cpp");
+  EXPECT_EQ(hits(f, false),
+            (Hits{{"D3", 6}, {"D3", 11}, {"D3", 15}}));
+}
+
+TEST(LintRules, D4FiresOnStdRngPrimitives) {
+  const auto f = lint_fixture("d4_rng.cpp");
+  EXPECT_EQ(hits(f, false),
+            (Hits{{"D4", 6}, {"D4", 11}, {"D4", 12}, {"D4", 16}}));
+}
+
+TEST(LintRules, C1FiresOnlyOnUnguardedHookDereferences) {
+  const auto f = lint_fixture("c1_unguarded_hook.cpp");
+  EXPECT_EQ(hits(f, false), (Hits{{"C1", 27}, {"C1", 33}}));
+}
+
+TEST(LintRules, H1FiresOnGuardlessHeaderAndUsingNamespace) {
+  const auto f = lint_fixture("h1_header_hygiene.hpp");
+  EXPECT_EQ(hits(f, false), (Hits{{"H1", 1}, {"H1", 5}}));
+}
+
+TEST(LintRules, CleanFixtureIsSilent) {
+  const auto f = lint_fixture("clean.cpp");
+  EXPECT_TRUE(f.empty()) << to_text(f, 1);
+}
+
+TEST(LintSuppressions, ValidFormsSuppressAndInvalidFormsAreFindings) {
+  const auto f = lint_fixture("suppressions.cpp");
+  // Same-line and standalone-comment suppressions take effect...
+  EXPECT_EQ(hits(f, true), (Hits{{"D1", 7}, {"D1", 13}}));
+  // ...while a reasonless one leaves its D1 open and adds a LINT finding,
+  // an unknown rule id is rejected, and an unused entry is reported.
+  EXPECT_EQ(hits(f, false),
+            (Hits{{"D1", 18}, {"LINT", 18}, {"LINT", 22}, {"LINT", 25}}));
+}
+
+TEST(LintSuppressions, ReasonsAreCarriedIntoTheReport) {
+  const auto f = lint_fixture("suppressions.cpp");
+  for (const Finding& fi : f) {
+    if (fi.suppressed) {
+      EXPECT_FALSE(fi.reason.empty());
+    }
+  }
+}
+
+TEST(LintSuppressions, FileScopeSuppressionCoversEveryLine) {
+  const std::string src =
+      "// clip-lint: allow-file(D4) fixture exercises file scope\n"
+      "#include <random>\n"
+      "int a() { std::random_device rd; return 0; }\n"
+      "int b() { return rand() % 2; }\n";
+  const auto f = lint_source(src, "virtual.cpp");
+  EXPECT_TRUE(hits(f, false).empty()) << to_text(f, 1);
+  EXPECT_EQ(hits(f, true).size(), 2u);
+}
+
+TEST(LintReport, JsonCarriesCountsAndSuppressionTrend) {
+  auto findings = lint_fixture("suppressions.cpp");
+  const std::string json = to_json(findings, 1);
+  EXPECT_NE(json.find("\"files_scanned\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"unsuppressed\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"suppressed\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"per_rule\""), std::string::npos);
+  EXPECT_NE(json.find("\"reason\""), std::string::npos);
+}
+
+TEST(LintReport, SummaryCountsMatch) {
+  const auto f = lint_fixture("suppressions.cpp");
+  const Summary s = summarize(f, 1);
+  EXPECT_EQ(s.files_scanned, 1);
+  EXPECT_EQ(s.unsuppressed, 4);
+  EXPECT_EQ(s.suppressed, 2);
+}
+
+TEST(LintRules, KnownRuleListIsStable) {
+  const auto& rules = known_rules();
+  EXPECT_EQ(rules, (std::vector<std::string>{"D1", "D2", "D3", "D4", "C1",
+                                             "H1", "LINT"}));
+}
+
+TEST(LintLexer, StringsAndCommentsDoNotLeakIdentifiers) {
+  // Identifier-like text inside strings/comments must not trip rules.
+  const std::string src =
+      "/* steady_clock in a block comment */\n"
+      "const char* s = \"std::random_device\";  // system_clock\n";
+  const auto f = lint_source(src, "virtual.cpp");
+  EXPECT_TRUE(f.empty()) << to_text(f, 1);
+}
+
+TEST(LintLexer, IncludeDirectivesAreNotFindings) {
+  const std::string src =
+      "#include <unordered_map>\n#include <random>\n#include <ctime>\n";
+  const auto f = lint_source(src, "virtual.cpp");
+  EXPECT_TRUE(f.empty()) << to_text(f, 1);
+}
+
+}  // namespace
+}  // namespace clip::lint

@@ -1,0 +1,107 @@
+// clip-lint — project-specific static analysis for the CLIP reproduction.
+//
+// The invariants that keep the paper's Figs. 6–9 byte-reproducible are not
+// expressible in the type system: no wall-clock reads inside the simulator,
+// no iteration over hash-ordered containers in output paths, no
+// fixed-precision double formatting outside format_exact, seeded RNG only,
+// null-guarded observer hooks, and header hygiene. This tool encodes them as
+// named, suppressible rules over a token stream (a small lexer that strips
+// comments and strings — no libclang dependency), so CI can reject a
+// refactor that would silently break determinism instead of a human
+// noticing a figure drifted.
+//
+// Rules (docs/static-analysis.md has the full catalog and rationale):
+//   D1  wall-clock reads outside src/obs/clock.hpp
+//   D2  std::unordered_map/set declarations and iteration (hash order leaks)
+//   D3  raw double formatting (%f/%e/%g format strings, std::to_string of a
+//       floating literal) outside obs::format_exact's home
+//   D4  unseeded RNG primitives (rand, std::random_device, std::mt19937...)
+//       outside the clip::Rng wrapper
+//   C1  observer/timeline hook pointers dereferenced without a null guard
+//   H1  header hygiene: #pragma once / include guard, no `using namespace`
+//   LINT suppression hygiene: missing reason, unknown rule, unused entry
+//
+// Suppression syntax (the reason is mandatory and machine-checked):
+//   code();  // clip-lint: allow(D1) reason text          — this line
+//   // clip-lint: allow(D2,D3) reason text                — next code line
+//   // clip-lint: allow-file(D2) reason text              — whole file
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace clip::lint {
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kString, kChar, kPunct, kPreproc };
+  Kind kind;
+  std::string text;
+  int line = 0;
+};
+
+/// One `clip-lint: allow(...)` comment, resolved to the line it covers.
+struct Suppression {
+  int comment_line = 0;   ///< where the comment sits
+  int target_line = 0;    ///< line whose findings it suppresses
+  bool file_scope = false;
+  std::vector<std::string> rules;
+  std::string reason;     ///< empty = invalid (LINT finding)
+  bool used = false;
+};
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+  bool suppressed = false;
+  std::string reason;  ///< suppression reason when suppressed
+};
+
+/// A lexed translation unit: token stream plus suppression table. Findings
+/// discovered during lexing (malformed suppressions) land in `lex_findings`.
+struct LexedFile {
+  std::string path;
+  bool is_header = false;
+  std::vector<Token> tokens;
+  std::vector<Suppression> suppressions;
+  std::vector<Finding> lex_findings;
+};
+
+/// Every valid rule id, in report order.
+[[nodiscard]] const std::vector<std::string>& known_rules();
+
+/// Lex `source`, strip comments/strings, collect suppressions.
+[[nodiscard]] LexedFile lex(std::string_view source, std::string path);
+
+/// Run every rule pass over a lexed file. Marks matching suppressions used,
+/// then appends LINT findings for unused or malformed ones. The returned
+/// list includes suppressed findings (flagged as such) so reports can count
+/// them; CI gates only on the unsuppressed ones.
+[[nodiscard]] std::vector<Finding> run_rules(LexedFile& file);
+
+/// lex() + run_rules() in one call.
+[[nodiscard]] std::vector<Finding> lint_source(std::string_view source,
+                                               std::string path);
+
+struct Summary {
+  int files_scanned = 0;
+  int unsuppressed = 0;
+  int suppressed = 0;
+};
+
+[[nodiscard]] Summary summarize(const std::vector<Finding>& findings,
+                                int files_scanned);
+
+/// Machine-readable report (stable field order, no timestamps — the linter
+/// obeys its own D1). `suppressed_total` is recorded so reviews can watch
+/// the suppression count trend across PRs.
+[[nodiscard]] std::string to_json(const std::vector<Finding>& findings,
+                                  int files_scanned);
+
+/// Human-readable `file:line: RULE: message` lines, unsuppressed first.
+[[nodiscard]] std::string to_text(const std::vector<Finding>& findings,
+                                  int files_scanned);
+
+}  // namespace clip::lint

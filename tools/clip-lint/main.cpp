@@ -1,0 +1,120 @@
+// clip-lint CLI. Scans the given files/directories (recursively, .cpp/.hpp)
+// and exits 0 when no unsuppressed finding remains, 1 when the tree has
+// violations, 2 on usage or I/O errors — the contract scripts/ci.sh and the
+// `ctest -L lint` entry gate on.
+//
+// Usage:
+//   clip-lint [--root DIR] [--json PATH] [--quiet] [--list-rules] PATH...
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+/// Paths are reported relative to --root so reports are machine-portable.
+std::string display_path(const fs::path& p, const fs::path& root) {
+  std::error_code ec;
+  const fs::path rel = fs::relative(p, root, ec);
+  if (ec || rel.empty() || rel.native().starts_with(".."))
+    return p.generic_string();
+  return rel.generic_string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::string json_path;
+  bool quiet = false;
+  std::vector<fs::path> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--list-rules") {
+      for (const std::string& r : clip::lint::known_rules())
+        std::cout << r << '\n';
+      return 0;
+    } else if (arg == "-h" || arg == "--help") {
+      std::cout << "usage: clip-lint [--root DIR] [--json PATH] [--quiet] "
+                   "[--list-rules] PATH...\n"
+                   "exit codes: 0 clean, 1 unsuppressed findings, 2 error\n";
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "clip-lint: unknown option: " << arg << '\n';
+      return 2;
+    } else {
+      inputs.emplace_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    std::cerr << "clip-lint: no paths given (try: clip-lint src examples "
+                 "bench)\n";
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  for (const fs::path& in : inputs) {
+    const fs::path p = in.is_absolute() ? in : root / in;
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(p, ec))
+        if (entry.is_regular_file() && lintable(entry.path()))
+          files.push_back(entry.path());
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(p);
+    } else {
+      std::cerr << "clip-lint: no such file or directory: " << p << '\n';
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<clip::lint::Finding> findings;
+  for (const fs::path& file : files) {
+    std::ifstream is(file, std::ios::binary);
+    if (!is) {
+      std::cerr << "clip-lint: cannot read " << file << '\n';
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    auto file_findings =
+        clip::lint::lint_source(buf.str(), display_path(file, root));
+    findings.insert(findings.end(), file_findings.begin(),
+                    file_findings.end());
+  }
+
+  const int files_scanned = static_cast<int>(files.size());
+  if (!json_path.empty()) {
+    std::ofstream os(json_path, std::ios::binary);
+    if (!os) {
+      std::cerr << "clip-lint: cannot write " << json_path << '\n';
+      return 2;
+    }
+    os << clip::lint::to_json(findings, files_scanned);
+  }
+  if (!quiet) std::cout << clip::lint::to_text(findings, files_scanned);
+
+  return clip::lint::summarize(findings, files_scanned).unsuppressed == 0 ? 0
+                                                                          : 1;
+}

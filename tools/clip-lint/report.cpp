@@ -1,0 +1,102 @@
+// Report rendering for clip-lint: deterministic text and JSON (stable field
+// order, no timestamps — the tool obeys its own D1). The JSON carries the
+// suppression count so reviewers can watch it trend across PRs.
+
+#include <map>
+#include <sstream>
+
+#include "lint.hpp"
+
+namespace clip::lint {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Summary summarize(const std::vector<Finding>& findings, int files_scanned) {
+  Summary s;
+  s.files_scanned = files_scanned;
+  for (const Finding& f : findings)
+    (f.suppressed ? s.suppressed : s.unsuppressed) += 1;
+  return s;
+}
+
+std::string to_json(const std::vector<Finding>& findings, int files_scanned) {
+  const Summary s = summarize(findings, files_scanned);
+  std::map<std::string, int> per_rule_open;
+  std::map<std::string, int> per_rule_suppressed;
+  for (const std::string& r : known_rules()) {
+    per_rule_open[r] = 0;
+    per_rule_suppressed[r] = 0;
+  }
+  for (const Finding& f : findings)
+    (f.suppressed ? per_rule_suppressed : per_rule_open)[f.rule] += 1;
+
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"tool\": \"clip-lint\",\n";
+  out << "  \"files_scanned\": " << s.files_scanned << ",\n";
+  out << "  \"unsuppressed\": " << s.unsuppressed << ",\n";
+  out << "  \"suppressed\": " << s.suppressed << ",\n";
+  out << "  \"per_rule\": {";
+  bool first = true;
+  for (const std::string& r : known_rules()) {
+    out << (first ? "" : ", ") << '"' << r << "\": {\"open\": "
+        << per_rule_open[r] << ", \"suppressed\": " << per_rule_suppressed[r]
+        << '}';
+    first = false;
+  }
+  out << "},\n";
+  out << "  \"findings\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out << "    {\"file\": \"" << json_escape(f.file) << "\", \"line\": "
+        << f.line << ", \"rule\": \"" << f.rule << "\", \"suppressed\": "
+        << (f.suppressed ? "true" : "false") << ", \"message\": \""
+        << json_escape(f.message) << '"';
+    if (f.suppressed)
+      out << ", \"reason\": \"" << json_escape(f.reason) << '"';
+    out << '}' << (i + 1 < findings.size() ? "," : "") << '\n';
+  }
+  out << "  ]\n";
+  out << "}\n";
+  return out.str();
+}
+
+std::string to_text(const std::vector<Finding>& findings, int files_scanned) {
+  const Summary s = summarize(findings, files_scanned);
+  std::ostringstream out;
+  for (const Finding& f : findings) {
+    if (f.suppressed) continue;
+    out << f.file << ':' << f.line << ": " << f.rule << ": " << f.message
+        << '\n';
+  }
+  out << "clip-lint: " << s.files_scanned << " files, " << s.unsuppressed
+      << " unsuppressed finding" << (s.unsuppressed == 1 ? "" : "s") << ", "
+      << s.suppressed << " suppressed\n";
+  return out.str();
+}
+
+}  // namespace clip::lint

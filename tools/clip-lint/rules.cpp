@@ -1,0 +1,520 @@
+// Rule passes for clip-lint. Every pass walks the token stream of one file;
+// none needs type information — the invariants were chosen so their
+// violations are visible at the token level (see docs/static-analysis.md
+// for what each rule can and cannot see).
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "lint.hpp"
+
+namespace clip::lint {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+bool path_ends_with(const std::string& path, std::string_view suffix) {
+  return path.size() >= suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) ==
+             0;
+}
+
+bool is(const Tokens& t, std::size_t i, std::string_view text) {
+  return i < t.size() && t[i].text == text;
+}
+
+bool is_ident(const Tokens& t, std::size_t i) {
+  return i < t.size() && t[i].kind == Token::Kind::kIdent;
+}
+
+// ---------------------------------------------------------------------------
+// D1 — wall-clock reads outside the injected-clock seam (src/obs/clock.hpp).
+// The simulator's time axis is simulated seconds; a single wall-clock read
+// in a decision or export path makes figure output run-dependent.
+// ---------------------------------------------------------------------------
+void rule_d1(const LexedFile& f, std::vector<Finding>& out) {
+  if (path_ends_with(f.path, "src/obs/clock.hpp")) return;
+  static const std::set<std::string, std::less<>> kClockIdents = {
+      "system_clock", "steady_clock",  "high_resolution_clock",
+      "clock_gettime", "gettimeofday", "localtime",
+      "gmtime",        "strftime",     "mktime",
+      "timespec_get"};
+  const Tokens& t = f.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Token::Kind::kIdent) continue;
+    if (kClockIdents.count(t[i].text) != 0) {
+      out.push_back({f.path, t[i].line, "D1",
+                     "wall-clock source '" + t[i].text +
+                         "' outside src/obs/clock.hpp; inject a "
+                         "clip::obs::Clock (or simulated time) instead",
+                     false,
+                     {}});
+      continue;
+    }
+    // Qualified std::time( / std::clock( / ::time( calls.
+    if ((t[i].text == "time" || t[i].text == "clock") && is(t, i + 1, "(") &&
+        i >= 1 && is(t, i - 1, "::") &&
+        (i == 1 || is(t, i - 2, "std") || t[i - 2].kind != Token::Kind::kIdent)) {
+      out.push_back({f.path, t[i].line, "D1",
+                     "wall-clock call '" + t[i].text +
+                         "()' outside src/obs/clock.hpp; inject a "
+                         "clip::obs::Clock (or simulated time) instead",
+                     false,
+                     {}});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// D2 — hash-ordered containers. Iteration order of std::unordered_map/set
+// is implementation- and size-dependent, so any iteration can leak
+// nondeterministic order into exports, fingerprints or float accumulation.
+// Declarations are flagged too: keeping one requires a suppression whose
+// reason asserts the container is lookup-only.
+// ---------------------------------------------------------------------------
+void rule_d2(const LexedFile& f, std::vector<Finding>& out) {
+  const Tokens& t = f.tokens;
+  std::set<std::string> unordered_names;
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Token::Kind::kIdent ||
+        (t[i].text != "unordered_map" && t[i].text != "unordered_set"))
+      continue;
+    out.push_back({f.path, t[i].line, "D2",
+                   "std::" + t[i].text +
+                       " has hash-dependent iteration order; use std::map/"
+                       "std::set or suppress with a lookup-only reason",
+                   false,
+                   {}});
+    // Collect the declared name: skip <...> then modifiers, expect ident.
+    std::size_t j = i + 1;
+    if (is(t, j, "<")) {
+      int depth = 0;
+      for (; j < t.size(); ++j) {
+        if (t[j].text == "<") ++depth;
+        if (t[j].text == ">" && --depth == 0) {
+          ++j;
+          break;
+        }
+      }
+    }
+    while (is(t, j, "&") || is(t, j, "*") || is(t, j, "const")) ++j;
+    if (is_ident(t, j)) unordered_names.insert(t[j].text);
+  }
+  if (unordered_names.empty()) return;
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    // Range-for over an unordered container: for ( ... : name ...)
+    if (is(t, i, "for") && is(t, i + 1, "(")) {
+      int depth = 0;
+      std::size_t colon = 0;
+      std::size_t close = i + 1;
+      for (std::size_t j = i + 1; j < t.size(); ++j) {
+        if (t[j].text == "(") ++depth;
+        if (t[j].text == ")" && --depth == 0) {
+          close = j;
+          break;
+        }
+        if (t[j].text == ":" && depth == 1 && colon == 0) colon = j;
+      }
+      if (colon != 0) {
+        for (std::size_t j = colon + 1; j < close; ++j) {
+          if (is_ident(t, j) && unordered_names.count(t[j].text) != 0) {
+            out.push_back({f.path, t[j].line, "D2",
+                           "iteration over hash-ordered container '" +
+                               t[j].text + "'",
+                           false,
+                           {}});
+          }
+        }
+      }
+    }
+    // Explicit iterator walk: name.begin( / name.cbegin( / rbegin.
+    if (is_ident(t, i) && unordered_names.count(t[i].text) != 0 &&
+        (is(t, i + 1, ".") || is(t, i + 1, "->")) && i + 2 < t.size()) {
+      const std::string& m = t[i + 2].text;
+      if (m == "begin" || m == "cbegin" || m == "rbegin" || m == "crbegin") {
+        out.push_back({f.path, t[i].line, "D2",
+                       "iteration over hash-ordered container '" + t[i].text +
+                           "' via ." + m + "()",
+                       false,
+                       {}});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// D3 — raw double formatting. Fixed-precision conversions (%f/%e/%g,
+// std::to_string's fixed six decimals) round doubles before they reach a
+// file, so a value that round-trips through CSV stops matching the number
+// the simulator computed. Exact exports go through obs::format_exact
+// (shortest %.17g); its home file is the one allowed raw conversion site.
+// ---------------------------------------------------------------------------
+bool has_float_conversion(const std::string& literal) {
+  for (std::size_t i = 0; i + 1 < literal.size(); ++i) {
+    if (literal[i] != '%') continue;
+    std::size_t j = i + 1;
+    if (j < literal.size() && literal[j] == '%') {
+      i = j;  // %% escape
+      continue;
+    }
+    while (j < literal.size() &&
+           (std::string("-+ #0123456789.*'").find(literal[j]) !=
+            std::string::npos))
+      ++j;
+    while (j < literal.size() &&
+           (literal[j] == 'l' || literal[j] == 'L' || literal[j] == 'h'))
+      ++j;
+    if (j < literal.size() &&
+        std::string("fFeEgGaA").find(literal[j]) != std::string::npos)
+      return true;
+  }
+  return false;
+}
+
+void rule_d3(const LexedFile& f, std::vector<Finding>& out) {
+  if (path_ends_with(f.path, "src/obs/timeline.cpp")) return;  // format_exact
+  const Tokens& t = f.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind == Token::Kind::kString && has_float_conversion(t[i].text)) {
+      out.push_back({f.path, t[i].line, "D3",
+                     "fixed-precision float conversion in format string " +
+                         t[i].text +
+                         "; exact output goes through obs::format_exact",
+                     false,
+                     {}});
+    }
+    // std::to_string(<float literal ...>): fixed six decimals, lossy.
+    if (is(t, i, "to_string") && i >= 2 && is(t, i - 1, "::") &&
+        is(t, i - 2, "std") && is(t, i + 1, "(")) {
+      int depth = 0;
+      for (std::size_t j = i + 1; j < t.size(); ++j) {
+        if (t[j].text == "(") ++depth;
+        if (t[j].text == ")" && --depth == 0) break;
+        if (t[j].kind == Token::Kind::kNumber &&
+            t[j].text.find("0x") != 0 &&
+            (t[j].text.find('.') != std::string::npos ||
+             t[j].text.find('e') != std::string::npos ||
+             t[j].text.find('E') != std::string::npos)) {
+          out.push_back({f.path, t[j].line, "D3",
+                         "std::to_string of a floating value formats at a "
+                         "fixed six decimals; use obs::format_exact",
+                         false,
+                         {}});
+          break;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// D4 — RNG primitives outside the seeded wrapper. clip::Rng (xoshiro256**,
+// hand-rolled distributions) is the only randomness source whose streams
+// are seeded, splittable and platform-identical; std primitives are either
+// unseeded (random_device) or unspecified across standard libraries
+// (distributions), and rand() is both.
+// ---------------------------------------------------------------------------
+void rule_d4(const LexedFile& f, std::vector<Finding>& out) {
+  if (path_ends_with(f.path, "src/util/rng.hpp") ||
+      path_ends_with(f.path, "src/util/rng.cpp"))
+    return;
+  static const std::set<std::string, std::less<>> kRngIdents = {
+      "random_device",      "mt19937",       "mt19937_64",
+      "minstd_rand",        "minstd_rand0",  "default_random_engine",
+      "ranlux24",           "ranlux48",      "knuth_b",
+      "random_shuffle",     "uniform_real_distribution",
+      "uniform_int_distribution", "normal_distribution",
+      "bernoulli_distribution"};
+  const Tokens& t = f.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Token::Kind::kIdent) continue;
+    if (kRngIdents.count(t[i].text) != 0) {
+      out.push_back({f.path, t[i].line, "D4",
+                     "std RNG primitive '" + t[i].text +
+                         "' outside clip::Rng; draw from a seeded Rng stream",
+                     false,
+                     {}});
+      continue;
+    }
+    if ((t[i].text == "rand" || t[i].text == "srand") && is(t, i + 1, "(") &&
+        (i == 0 || (!is(t, i - 1, ".") && !is(t, i - 1, "->")))) {
+      out.push_back({f.path, t[i].line, "D4",
+                     "'" + t[i].text +
+                         "()' is unseeded global state; draw from a seeded "
+                         "clip::Rng stream",
+                     false,
+                     {}});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// C1 — observer/timeline hooks must be null-guarded. The byte-identity
+// contract (detached run == no obs side effects) holds because every hook
+// dereference sits behind a single branch; an unguarded dereference is a
+// crash on the detached path. Recognized justifications, in source order:
+//   if (hook_ ...) <stmt-or-block>        guard over the statement/block
+//   if (hook_ == nullptr) return;         early exit guards the rest of scope
+//   hook_ = <non-null>;                   assignment guards the rest of scope
+//   hook_ && hook_->...  /  hook_ ? ...   same-expression truthiness
+// ---------------------------------------------------------------------------
+bool is_hook_name(const std::string& s) {
+  static const std::set<std::string, std::less<>> kHooks = {
+      "obs_", "observer_", "timeline_", "session_", "sink_", "tracer_"};
+  return kHooks.count(s) != 0;
+}
+
+void rule_c1(const LexedFile& f, std::vector<Finding>& out) {
+  const Tokens& t = f.tokens;
+  struct Fact {
+    std::string name;
+    enum class Kind { kScope, kBlock, kStmt } kind;
+    int depth = 0;            // brace depth the fact was created at
+    bool entered_block = false;
+  };
+  std::vector<Fact> facts;
+  int brace = 0;
+  int paren = 0;
+
+  auto find_close_paren = [&](std::size_t open) {
+    int d = 0;
+    for (std::size_t j = open; j < t.size(); ++j) {
+      if (t[j].text == "(") ++d;
+      if (t[j].text == ")" && --d == 0) return j;
+    }
+    return t.size();
+  };
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const std::string& tx = t[i].text;
+    if (tx == "(") ++paren;
+    if (tx == ")") --paren;
+    if (tx == "{") {
+      ++brace;
+      for (Fact& fa : facts)
+        if (fa.kind == Fact::Kind::kStmt && brace == fa.depth + 1)
+          fa.entered_block = true;
+    }
+    if (tx == "}") {
+      --brace;
+      std::erase_if(facts, [&](const Fact& fa) {
+        if (fa.kind == Fact::Kind::kBlock || fa.kind == Fact::Kind::kScope)
+          return brace < fa.depth;
+        return fa.entered_block && brace <= fa.depth;
+      });
+    }
+    if (tx == ";" && paren == 0) {
+      std::erase_if(facts, [&](const Fact& fa) {
+        return fa.kind == Fact::Kind::kStmt && brace == fa.depth;
+      });
+    }
+
+    // Guard analysis at each `if (...)`.
+    if (tx == "if" && is(t, i + 1, "(")) {
+      const std::size_t close = find_close_paren(i + 1);
+      std::vector<std::string> positive;
+      std::vector<std::string> negative;
+      for (std::size_t j = i + 2; j < close; ++j) {
+        if (!is_ident(t, j) || !is_hook_name(t[j].text)) continue;
+        const bool negated =
+            (j > 0 && is(t, j - 1, "!")) ||
+            (is(t, j + 1, "==") && is(t, j + 2, "nullptr"));
+        (negated ? negative : positive).push_back(t[j].text);
+      }
+      if (!positive.empty()) {
+        const bool block = is(t, close + 1, "{");
+        for (const std::string& name : positive)
+          facts.push_back({name,
+                           block ? Fact::Kind::kBlock : Fact::Kind::kStmt,
+                           block ? brace + 1 : brace, false});
+      }
+      if (!negative.empty()) {
+        // Does the guarded statement leave the scope?
+        bool exits = false;
+        if (is(t, close + 1, "{")) {
+          int d = 0;
+          for (std::size_t j = close + 1; j < t.size(); ++j) {
+            if (t[j].text == "{") ++d;
+            if (t[j].text == "}" && --d == 0) break;
+            if (t[j].text == "return" || t[j].text == "throw" ||
+                t[j].text == "continue" || t[j].text == "break" ||
+                t[j].text == "abort")
+              exits = true;
+          }
+        } else {
+          for (std::size_t j = close + 1;
+               j < t.size() && t[j].text != ";"; ++j) {
+            if (t[j].text == "return" || t[j].text == "throw" ||
+                t[j].text == "continue" || t[j].text == "break" ||
+                t[j].text == "abort")
+              exits = true;
+          }
+        }
+        if (exits)
+          for (const std::string& name : negative)
+            facts.push_back({name, Fact::Kind::kScope, brace, false});
+      }
+    }
+
+    // Assignment establishes non-null for the rest of the scope.
+    if (is_ident(t, i) && is_hook_name(tx) && is(t, i + 1, "=") &&
+        !is(t, i + 2, "nullptr") &&
+        (i == 0 || (!is(t, i - 1, ".") && !is(t, i - 1, "->") &&
+                    !is(t, i - 1, "=") && !is(t, i - 1, "!") &&
+                    !is(t, i - 1, "<") && !is(t, i - 1, ">")))) {
+      facts.push_back({tx, Fact::Kind::kScope, brace, false});
+    }
+
+    // The check itself: hook_-> without an active fact or same-expression
+    // truth test.
+    if (is_ident(t, i) && is_hook_name(tx) && is(t, i + 1, "->")) {
+      bool justified =
+          std::any_of(facts.begin(), facts.end(),
+                      [&](const Fact& fa) { return fa.name == tx; });
+      if (!justified) {
+        for (std::size_t j = i; j-- > 0;) {
+          const std::string& back = t[j].text;
+          if (back == ";" || back == "{" || back == "}") break;
+          if (back == tx &&
+              (is(t, j + 1, "&&") || is(t, j + 1, "?") ||
+               (is(t, j + 1, "!=") && is(t, j + 2, "nullptr")))) {
+            justified = true;
+            break;
+          }
+        }
+      }
+      if (!justified) {
+        out.push_back({f.path, t[i].line, "C1",
+                       "hook pointer '" + tx +
+                           "' dereferenced without a null guard; detached "
+                           "runs must stay byte-identical (if (" +
+                           tx + ") " + tx + "->...)",
+                       false,
+                       {}});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// H1 — header hygiene: every header carries #pragma once (or a classic
+// include guard), and headers never inject `using namespace` into every
+// includer.
+// ---------------------------------------------------------------------------
+void rule_h1(const LexedFile& f, std::vector<Finding>& out) {
+  const Tokens& t = f.tokens;
+  if (f.is_header) {
+    bool guarded = false;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+      if (is(t, i, "#pragma") && is(t, i + 1, "once")) guarded = true;
+      if (is(t, i, "#ifndef") && i + 2 < t.size() && is(t, i + 2, "#define"))
+        guarded = true;
+    }
+    if (!guarded)
+      out.push_back({f.path, 1, "H1",
+                     "header lacks #pragma once (or an include guard)", false,
+                     {}});
+  }
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (f.is_header && is(t, i, "using") && is(t, i + 1, "namespace")) {
+      out.push_back({f.path, t[i].line, "H1",
+                     "'using namespace' in a header leaks into every "
+                     "includer",
+                     false,
+                     {}});
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& known_rules() {
+  static const std::vector<std::string> kRules = {"D1", "D2", "D3", "D4",
+                                                  "C1", "H1", "LINT"};
+  return kRules;
+}
+
+std::vector<Finding> run_rules(LexedFile& f) {
+  std::vector<Finding> findings = f.lex_findings;
+  rule_d1(f, findings);
+  rule_d2(f, findings);
+  rule_d3(f, findings);
+  rule_d4(f, findings);
+  rule_c1(f, findings);
+  rule_h1(f, findings);
+
+  // Validate suppressions before applying them: a suppression must name
+  // known rules and carry a reason, or it is itself a finding.
+  const auto& rules = known_rules();
+  for (const Suppression& sup : f.suppressions) {
+    if (sup.rules.empty()) {
+      findings.push_back({f.path, sup.comment_line, "LINT",
+                          "suppression lists no rules", false,
+                          {}});
+    }
+    for (const std::string& r : sup.rules) {
+      if (std::find(rules.begin(), rules.end(), r) == rules.end()) {
+        findings.push_back({f.path, sup.comment_line, "LINT",
+                            "suppression names unknown rule '" + r + "'",
+                            false,
+                            {}});
+      }
+    }
+    if (sup.reason.empty()) {
+      findings.push_back(
+          {f.path, sup.comment_line, "LINT",
+           "suppression without a reason; write `// clip-lint: allow(RULE) "
+           "why this is safe`",
+           false,
+           {}});
+    }
+  }
+
+  // Apply valid suppressions.
+  for (Finding& fi : findings) {
+    if (fi.rule == "LINT") continue;  // hygiene findings are not suppressible
+    for (Suppression& sup : f.suppressions) {
+      if (sup.reason.empty()) continue;
+      if (std::find(sup.rules.begin(), sup.rules.end(), fi.rule) ==
+          sup.rules.end())
+        continue;
+      if (!sup.file_scope && sup.target_line != fi.line) continue;
+      fi.suppressed = true;
+      fi.reason = sup.reason;
+      sup.used = true;
+      break;
+    }
+  }
+
+  // Unused suppressions rot: the code they excused has moved or was fixed.
+  for (const Suppression& sup : f.suppressions) {
+    if (sup.used || sup.reason.empty() || sup.rules.empty()) continue;
+    bool all_known = true;
+    for (const std::string& r : sup.rules)
+      if (std::find(rules.begin(), rules.end(), r) == rules.end())
+        all_known = false;
+    if (!all_known) continue;
+    findings.push_back({f.path, sup.comment_line, "LINT",
+                        "suppression never matched a finding; delete it",
+                        false,
+                        {}});
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+std::vector<Finding> lint_source(std::string_view source, std::string path) {
+  LexedFile f = lex(source, std::move(path));
+  return run_rules(f);
+}
+
+}  // namespace clip::lint

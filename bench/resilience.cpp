@@ -11,6 +11,7 @@
 #include "core/scheduler.hpp"
 #include "fault/injector.hpp"
 #include "fault/plan.hpp"
+#include "resilience_scenarios.hpp"
 #include "runtime/queue.hpp"
 #include "util/strings.hpp"
 
@@ -18,54 +19,7 @@ using namespace clip;
 
 namespace {
 
-struct Scenario {
-  std::string name;
-  fault::FaultPlan plan;
-};
-
-std::vector<Scenario> make_scenarios(double horizon_s) {
-  std::vector<Scenario> v;
-  v.push_back({"fault-free", {}});
-
-  Scenario crash1{"crash-1", {}};
-  crash1.plan.crashes.push_back({3, 0.3 * horizon_s});
-  v.push_back(crash1);
-
-  Scenario crash2{"crash-2of8", {}};
-  crash2.plan.crashes.push_back({2, 0.25 * horizon_s});
-  crash2.plan.crashes.push_back({5, 0.5 * horizon_s});
-  v.push_back(crash2);
-
-  Scenario degrade{"degrade-2", {}};
-  degrade.plan.degrades.push_back({1, 0.2 * horizon_s, 0.6});
-  degrade.plan.degrades.push_back({6, 0.4 * horizon_s, 0.8});
-  v.push_back(degrade);
-
-  Scenario meter{"meter-storm", {}};
-  for (int n = 0; n < 4; ++n)
-    meter.plan.meter_faults.push_back(
-        {n, 0.1 * horizon_s, 0.6 * horizon_s,
-         n % 2 == 0 ? fault::MeterFaultKind::kDropout
-                    : fault::MeterFaultKind::kSpike,
-         n % 2 == 0 ? 0.0 : 40.0});
-  v.push_back(meter);
-
-  Scenario capviol{"cap-violation", {}};
-  capviol.plan.cap_violations.push_back(
-      {0, 0.1 * horizon_s, 0.8 * horizon_s, 90.0});
-  v.push_back(capviol);
-
-  Scenario combined{"combined", {}};
-  combined.plan.crashes.push_back({4, 0.35 * horizon_s});
-  combined.plan.degrades.push_back({7, 0.15 * horizon_s, 0.7});
-  combined.plan.meter_faults.push_back(
-      {1, 0.2 * horizon_s, 0.3 * horizon_s, fault::MeterFaultKind::kDropout,
-       0.0});
-  combined.plan.cap_violations.push_back(
-      {2, 0.25 * horizon_s, 0.4 * horizon_s, 70.0});
-  v.push_back(combined);
-  return v;
-}
+using bench::Scenario;
 
 std::string json_row(const Scenario& s, const runtime::QueueReport& r,
                      double baseline_makespan) {
@@ -114,7 +68,7 @@ int main(int argc, char** argv) {
 
   std::vector<std::string> json_rows;
   double baseline_makespan = horizon;
-  for (const auto& s : make_scenarios(horizon)) {
+  for (const auto& s : bench::make_resilience_scenarios(horizon)) {
     runtime::PowerAwareJobQueue queue(ex, sched, opt);
     fault::FaultInjector injector(s.plan, ex.spec().nodes);
     if (!s.plan.empty()) queue.set_fault_injector(&injector);

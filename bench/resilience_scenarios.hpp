@@ -1,0 +1,68 @@
+// The shared resilience scenario catalog (documented in bench/README.md).
+//
+// Seven deterministic FaultPlans, parameterized by the fault-free horizon so
+// every fault lands at a fixed fraction of the run regardless of budget:
+// fault-free control, single and double crashes, thermal degrades, a meter
+// storm, an unenforced cap violation, and a combined storm. Used by both the
+// resilience bench (static allocation under faults) and the redistribution
+// bench (same substrate, runtime power redistribution on vs off), so the two
+// report rows are comparable scenario by scenario.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fault/plan.hpp"
+
+namespace clip::bench {
+
+struct Scenario {
+  std::string name;
+  fault::FaultPlan plan;
+};
+
+inline std::vector<Scenario> make_resilience_scenarios(double horizon_s) {
+  std::vector<Scenario> v;
+  v.push_back({"fault-free", {}});
+
+  Scenario crash1{"crash-1", {}};
+  crash1.plan.crashes.push_back({3, 0.3 * horizon_s});
+  v.push_back(crash1);
+
+  Scenario crash2{"crash-2of8", {}};
+  crash2.plan.crashes.push_back({2, 0.25 * horizon_s});
+  crash2.plan.crashes.push_back({5, 0.5 * horizon_s});
+  v.push_back(crash2);
+
+  Scenario degrade{"degrade-2", {}};
+  degrade.plan.degrades.push_back({1, 0.2 * horizon_s, 0.6});
+  degrade.plan.degrades.push_back({6, 0.4 * horizon_s, 0.8});
+  v.push_back(degrade);
+
+  Scenario meter{"meter-storm", {}};
+  for (int n = 0; n < 4; ++n)
+    meter.plan.meter_faults.push_back(
+        {n, 0.1 * horizon_s, 0.6 * horizon_s,
+         n % 2 == 0 ? fault::MeterFaultKind::kDropout
+                    : fault::MeterFaultKind::kSpike,
+         n % 2 == 0 ? 0.0 : 40.0});
+  v.push_back(meter);
+
+  Scenario capviol{"cap-violation", {}};
+  capviol.plan.cap_violations.push_back(
+      {0, 0.1 * horizon_s, 0.8 * horizon_s, 90.0});
+  v.push_back(capviol);
+
+  Scenario combined{"combined", {}};
+  combined.plan.crashes.push_back({4, 0.35 * horizon_s});
+  combined.plan.degrades.push_back({7, 0.15 * horizon_s, 0.7});
+  combined.plan.meter_faults.push_back(
+      {1, 0.2 * horizon_s, 0.3 * horizon_s, fault::MeterFaultKind::kDropout,
+       0.0});
+  combined.plan.cap_violations.push_back(
+      {2, 0.25 * horizon_s, 0.4 * horizon_s, 70.0});
+  v.push_back(combined);
+  return v;
+}
+
+}  // namespace clip::bench

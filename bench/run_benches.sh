@@ -2,10 +2,12 @@
 # Run the bench suite with the evaluation engine on, record wall-clock and
 # engine counters per binary, and emit BENCH_eval_engine.json.
 #
-# Usage: bench/run_benches.sh [build-dir] [jobs] [out-json]
-#   build-dir  cmake binary dir containing bench/ (default: build)
-#   jobs       --jobs value passed to each bench (default: number of cores)
-#   out-json   output path (default: BENCH_eval_engine.json in the cwd)
+# Usage: bench/run_benches.sh [build-dir] [jobs] [out-json] [redist-json]
+#   build-dir    cmake binary dir containing bench/ (default: build)
+#   jobs         --jobs value passed to each bench (default: number of cores)
+#   out-json     output path (default: BENCH_eval_engine.json in the cwd)
+#   redist-json  output path for the redistribution sweep
+#                (default: BENCH_redist.json in the cwd)
 #
 # Each binary runs twice: once with the engine (cache + pruning + --jobs)
 # and once as the pre-engine baseline (--no-cache --no-prune, serial). The
@@ -17,6 +19,7 @@ set -eu
 build_dir=${1:-build}
 jobs=${2:-$(nproc 2>/dev/null || echo 2)}
 out_json=${3:-BENCH_eval_engine.json}
+redist_json=${4:-BENCH_redist.json}
 bench_dir="$build_dir/bench"
 
 [ -d "$bench_dir" ] || {
@@ -102,3 +105,20 @@ done
 printf '\n  ]\n}\n' >> "$out_json"
 
 echo "wrote $out_json" >&2
+
+# Redistribution sweep: static vs redistribution-enabled queue across the
+# resilience scenario catalog. The binary writes BENCH_redist.json into its
+# cwd, so run it in the scratch dir and move the result into place.
+# `scripts/regression_gate.sh --redist` gates on its counters.
+redist_bin=$(cd "$bench_dir" && pwd)/redistribution
+if [ -x "$redist_bin" ]; then
+  echo "== redistribution (static vs redistribution-enabled queue)" >&2
+  ( cd "$tmp" && "$redist_bin" --json > redist.out 2> redist.err )
+  case "$redist_json" in
+    /*) mv "$tmp/BENCH_redist.json" "$redist_json" ;;
+    *)  mv "$tmp/BENCH_redist.json" "./$redist_json" ;;
+  esac
+  echo "wrote $redist_json" >&2
+else
+  echo "skip redistribution (not built)" >&2
+fi

@@ -1,0 +1,65 @@
+#!/usr/bin/env sh
+# Doc-drift gate: every observability name emitted from src/ with a literal
+# string — metric names (obs::count / obs::gauge_set / obs::observe), span
+# names (obs::ScopedSpan), and flight-recorder series/event streams
+# (Timeline record/event) — must appear, backticked, in
+# docs/observability.md. Dynamically concatenated names (the per-node
+# `node<N>.*` family) are intentionally out of scope; the catalog documents
+# the pattern instead. Exit 0 = no drift, 1 = undocumented names (each is
+# listed), 2 = usage error.
+#
+# Usage: scripts/check_obs_docs.sh [--selftest]
+set -eu
+cd "$(dirname "$0")/.."
+
+DOC=docs/observability.md
+[ -f "$DOC" ] || { echo "check_obs_docs: missing $DOC" >&2; exit 2; }
+
+emitted_names() {
+  # Metric names: helper(session, "name"...) — literal first string arg.
+  grep -rhoE 'obs::(count|gauge_set|observe)\([A-Za-z_][A-Za-z0-9_]*,[[:space:]]*"[^"]+"[,)]' src \
+    | sed -E 's/.*"([^"]+)".*/\1/'
+  # Span names: ScopedSpan var(session, "name", ...).
+  grep -rhoE 'ScopedSpan[[:space:]]+[A-Za-z_][A-Za-z0-9_]*\([A-Za-z_&*]+[A-Za-z0-9_]*,[[:space:]]*"[^"]+",' src \
+    | sed -E 's/.*"([^"]+)".*/\1/'
+  # Timeline series/event streams with a literal name (a trailing comma
+  # excludes concatenations like "node" + std::to_string(n) + ".cap_w").
+  grep -rhoE '(->|\.)(record|event)\("[^"]+",' src \
+    | sed -E 's/.*"([^"]+)".*/\1/'
+}
+
+check() {
+  status=0
+  for name in $(emitted_names | sort -u); do
+    if ! grep -qF "\`$name\`" "$DOC"; then
+      echo "check_obs_docs: '$name' is emitted in src/ but not documented in $DOC" >&2
+      status=1
+    fi
+  done
+  return $status
+}
+
+if [ "${1:-}" = "--selftest" ]; then
+  # The extractor must see the known core of the catalog; an empty or
+  # gutted extraction would make the gate pass vacuously.
+  names=$(emitted_names | sort -u)
+  for expect in queue.depth fault.injected budget.free_w redist.ticks \
+                clip.schedule sim.run; do
+    echo "$names" | grep -qx "$expect" || {
+      echo "check_obs_docs selftest: extractor lost '$expect'" >&2
+      exit 2
+    }
+  done
+  # And a name absent from the doc must be flagged.
+  if grep -qF '`zz.selftest_bogus_name`' "$DOC"; then
+    echo "check_obs_docs selftest: bogus name unexpectedly documented" >&2
+    exit 2
+  fi
+  echo "check_obs_docs: selftest ok" >&2
+fi
+
+if check; then
+  echo "check_obs_docs: all emitted names documented in $DOC" >&2
+else
+  exit 1
+fi

@@ -59,10 +59,13 @@ if [ "${SKIP_GATE:-0}" != "1" ] && [ -d build/bench ]; then
   scripts/regression_gate.sh --selftest
   echo "==> [gate] bench sweep (release build)"
   mkdir -p "$ARTIFACTS"
-  sh bench/run_benches.sh build "$JOBS" "$ARTIFACTS/BENCH_fresh.json"
+  sh bench/run_benches.sh build "$JOBS" "$ARTIFACTS/BENCH_fresh.json" \
+    "$ARTIFACTS/BENCH_redist_fresh.json"
   echo "==> [gate] compare against committed BENCH_eval_engine.json"
   scripts/regression_gate.sh --max-slowdown "$MAX_SLOWDOWN" \
     BENCH_eval_engine.json "$ARTIFACTS/BENCH_fresh.json"
+  echo "==> [gate] redistribution improvement floor"
+  scripts/regression_gate.sh --redist "$ARTIFACTS/BENCH_redist_fresh.json"
 fi
 
 echo "==> all presets passed: $PRESETS"

@@ -29,3 +29,7 @@ fi
 
 "$LINT_BIN" --root . --json "$JSON_OUT" "$@" src examples bench
 echo "lint: report written to $JSON_OUT" >&2
+
+# Observability doc drift: every series/metric/span/event name emitted in
+# src/ must be documented in docs/observability.md.
+scripts/check_obs_docs.sh

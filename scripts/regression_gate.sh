@@ -3,6 +3,7 @@
 # against the committed one and fail on regressions.
 #
 # Usage: scripts/regression_gate.sh [options] <committed.json> <fresh.json>
+#        scripts/regression_gate.sh --redist <BENCH_redist.json>
 #        scripts/regression_gate.sh --selftest
 #
 # Options:
@@ -12,6 +13,11 @@
 #                       faster than MS milliseconds — sub-noise benches would
 #                       trip the percentage gate on scheduler jitter alone
 #                       (default: 50; sim.runs is still checked)
+#   --redist FILE       gate a BENCH_redist.json instead: redistribution must
+#                       improve the makespan in at least --min-improved of
+#                       the resilience scenarios and must never regress the
+#                       ground-truth violation seconds
+#   --min-improved N    threshold for --redist (default: 4)
 #   --selftest          exercise the gate against synthetic fixtures and exit
 #
 # Two checks per bench, matched by name:
@@ -25,14 +31,18 @@ set -eu
 
 max_slowdown=15
 min_ms=50
+min_improved=4
+redist_file=""
 selftest=0
 
 while [ $# -gt 0 ]; do
   case "$1" in
     --max-slowdown) max_slowdown=$2; shift 2 ;;
     --min-ms) min_ms=$2; shift 2 ;;
+    --redist) redist_file=$2; shift 2 ;;
+    --min-improved) min_improved=$2; shift 2 ;;
     --selftest) selftest=1; shift ;;
-    -h|--help) sed -n '2,24p' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+    -h|--help) sed -n '2,30p' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
     -*) echo "unknown option: $1" >&2; exit 2 ;;
     *) break ;;
   esac
@@ -93,6 +103,34 @@ gate() { # gate <committed.json> <fresh.json> -> 0 pass, 1 fail
   echo "gate: pass" >&2
 }
 
+# top_field <file> <key> -> top-level integer value, empty when absent.
+top_field() {
+  sed -n "s/.*\"$2\": \([0-9][0-9]*\).*/\1/p" "$1" | head -n 1
+}
+
+gate_redist() { # gate_redist <BENCH_redist.json> -> 0 pass, 1 fail
+  f=$1
+  [ -f "$f" ] || { echo "redist gate: no such file: $f" >&2; return 1; }
+  improved=$(top_field "$f" scenarios_improved)
+  regressions=$(top_field "$f" violation_regressions)
+  scenarios=$(grep -c '"scenario":' "$f" || true)
+  if [ -z "$improved" ] || [ -z "$regressions" ]; then
+    echo "redist gate: $f is missing scenarios_improved/violation_regressions" >&2
+    return 1
+  fi
+  failures=0
+  if [ "$improved" -lt "$min_improved" ]; then
+    echo "FAIL redist: makespan improved in only $improved of $scenarios scenarios (need >= $min_improved)" >&2
+    failures=$((failures + 1))
+  fi
+  if [ "$regressions" -ne 0 ]; then
+    echo "FAIL redist: $regressions scenario(s) regressed ground-truth violation seconds" >&2
+    failures=$((failures + 1))
+  fi
+  [ $failures -eq 0 ] || { echo "redist gate: $failures failure(s)" >&2; return 1; }
+  echo "redist gate: pass ($improved of $scenarios scenarios improved, 0 violation regressions)" >&2
+}
+
 if [ "$selftest" -eq 1 ]; then
   tmp=$(mktemp -d)
   trap 'rm -rf "$tmp"' EXIT
@@ -123,6 +161,32 @@ if [ "$selftest" -eq 1 ]; then
   if gate "$tmp/committed.json" "$tmp/empty.json" 2>/dev/null; then
     echo "selftest: missing bench must fail" >&2; exit 1
   fi
+
+  # Redistribution gate: improvement floor and the zero-violation-regression
+  # contract, on synthetic BENCH_redist.json fixtures.
+  mk_redist() { # mk_redist <file> <improved> <regressions>
+    printf '{\n  "budget_w": 700,\n  "jobs": 10,\n  "scenarios_improved": %s,\n  "violation_regressions": %s,\n  "scenarios": [\n' \
+      "$2" "$3" > "$1"
+    i=0
+    while [ $i -lt 7 ]; do
+      printf '    {"scenario": "s%s", "claw_backs": 0}%s\n' \
+        "$i" "$([ $i -lt 6 ] && echo ',')" >> "$1"
+      i=$((i + 1))
+    done
+    printf '  ]\n}\n' >> "$1"
+  }
+  mk_redist "$tmp/redist_good.json" 4 0
+  gate_redist "$tmp/redist_good.json" \
+    || { echo "selftest: 4-of-7 improved with 0 regressions must pass" >&2; exit 1; }
+  mk_redist "$tmp/redist_few.json" 3 0
+  if gate_redist "$tmp/redist_few.json" 2>/dev/null; then
+    echo "selftest: below --min-improved must fail" >&2; exit 1
+  fi
+  mk_redist "$tmp/redist_viol.json" 7 1
+  if gate_redist "$tmp/redist_viol.json" 2>/dev/null; then
+    echo "selftest: violation-seconds regression must fail" >&2; exit 1
+  fi
+  echo "selftest: redist gate ok" >&2
 
   # clip-lint exit-code contract (0 clean / 1 violations, including a
   # reasonless suppression leaving its finding open). Uses the built binary
@@ -157,6 +221,12 @@ if [ "$selftest" -eq 1 ]; then
 
   echo "selftest: ok" >&2
   exit 0
+fi
+
+if [ -n "$redist_file" ]; then
+  [ $# -eq 0 ] || { echo "usage: $0 --redist <BENCH_redist.json>" >&2; exit 2; }
+  gate_redist "$redist_file"
+  exit $?
 fi
 
 [ $# -eq 2 ] || { echo "usage: $0 [--max-slowdown PCT] <committed.json> <fresh.json>" >&2; exit 2; }

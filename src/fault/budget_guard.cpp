@@ -27,6 +27,14 @@ double BudgetGuard::filter_reading(double observed_w, double expected_w) {
   return observed_w;
 }
 
+bool BudgetGuard::admit_regrant(double reserved_total_w, double grant_w) {
+  CLIP_REQUIRE(grant_w >= 0.0, "re-grant watts must be non-negative");
+  if (!options_.enabled) return true;
+  if (reserved_total_w + grant_w <= budget_w_ + 1e-9) return true;
+  ++regrants_rejected_;
+  return false;
+}
+
 void BudgetGuard::account(double dt_s, double true_total_w) {
   CLIP_REQUIRE(dt_s >= 0.0, "accounting interval must be non-negative");
   const double over = true_total_w - budget_w_;

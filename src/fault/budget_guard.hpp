@@ -55,6 +55,18 @@ class BudgetGuard {
   /// the true cluster draw was `true_total_w`.
   void account(double dt_s, double true_total_w);
 
+  /// Admission check for a runtime watt re-grant (the redistribution loop,
+  /// docs/power-redistribution.md): with `reserved_total_w` already
+  /// reserved across the running jobs, may `grant_w` more be committed?
+  /// The facility cap is the hard line — a grant that would push the
+  /// reservation past the cluster budget is rejected and counted. A
+  /// disabled guard admits everything (the caller's free-pool arithmetic is
+  /// then the only protection, as before the guard existed).
+  [[nodiscard]] bool admit_regrant(double reserved_total_w, double grant_w);
+  [[nodiscard]] std::uint64_t regrants_rejected() const {
+    return regrants_rejected_;
+  }
+
   [[nodiscard]] double violation_s() const { return violation_s_; }
   [[nodiscard]] double violation_ws() const { return violation_ws_; }
   [[nodiscard]] std::uint64_t rejected_reads() const {
@@ -67,6 +79,7 @@ class BudgetGuard {
   double violation_s_ = 0.0;
   double violation_ws_ = 0.0;
   std::uint64_t rejected_reads_ = 0;
+  std::uint64_t regrants_rejected_ = 0;
 };
 
 }  // namespace clip::fault

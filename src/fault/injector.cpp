@@ -123,6 +123,39 @@ RunResolution FaultInjector::resolve(double start_s, double duration_s,
   return r;
 }
 
+double FaultInjector::work_done_s(double start_s, double t_s,
+                                  const std::vector<int>& nodes) const {
+  CLIP_REQUIRE(t_s >= start_s, "work_done_s needs t_s >= start_s");
+  // Same piecewise rate model as resolve(): the job paces at its slowest
+  // node, each node's rate is the product of the degrades in effect on it.
+  const auto rate_at = [&](double t) {
+    double slowest = 1.0;
+    for (int n : nodes) {
+      double node_rate = 1.0;
+      for (const auto& d : plan_.degrades)
+        if (d.node == n && d.at_s <= t) node_rate *= d.speed_factor;
+      slowest = std::min(slowest, node_rate);
+    }
+    return slowest;
+  };
+  std::vector<double> breaks;
+  for (const auto& d : plan_.degrades)
+    if (d.at_s > start_s && d.at_s < t_s &&
+        std::find(nodes.begin(), nodes.end(), d.node) != nodes.end())
+      breaks.push_back(d.at_s);
+  std::sort(breaks.begin(), breaks.end());
+  breaks.erase(std::unique(breaks.begin(), breaks.end()), breaks.end());
+
+  double done = 0.0;
+  double t = start_s;
+  for (double b : breaks) {
+    done += (b - t) * rate_at(t);
+    t = b;
+  }
+  done += (t_s - t) * rate_at(t);
+  return done;
+}
+
 double FaultInjector::observed_node_power(int node, double t,
                                           double truth_w) const {
   for (const auto& m : plan_.meter_faults) {

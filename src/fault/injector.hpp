@@ -62,6 +62,15 @@ class FaultInjector {
   [[nodiscard]] RunResolution resolve(double start_s, double duration_s,
                                       const std::vector<int>& nodes) const;
 
+  /// Fault-free-equivalent seconds of work a placement on `nodes` completes
+  /// between `start_s` and `t_s` (the inverse of resolve's stretching: the
+  /// job paces at its slowest node, degrades shrink the rate). The
+  /// redistribution loop uses this to convert a running job's elapsed wall
+  /// time into work progress before re-evaluating its remainder at a new
+  /// power slice (docs/power-redistribution.md).
+  [[nodiscard]] double work_done_s(double start_s, double t_s,
+                                   const std::vector<int>& nodes) const;
+
   /// What a meter read of `node` returns at time `t` when the node truly
   /// draws `truth_w`. Outside any fault window this is the truth; inside,
   /// the corruption of the first matching plan entry applies.

@@ -26,6 +26,7 @@ PowerAwareJobQueue::PowerAwareJobQueue(sim::SimExecutor& executor,
           format_double(options.cluster_budget.value(), 3) + " W)");
   options.retry.validate();
   options.guard.validate();
+  options.redist.validate();
 }
 
 namespace {
@@ -37,9 +38,16 @@ struct Running {
   std::vector<int> node_ids;
   double power_w;            ///< reserved slice
   double true_power_w;       ///< exact measured draw
-  double energy_j;           ///< fault-free run energy (adjusted on abort)
+  double energy_j;           ///< billed run energy (adjusted on abort/re-base)
   bool crashed = false;
   int crashed_node = -1;
+  // --- redistribution bookkeeping (inert stores while redist is off) ------
+  sim::ClusterConfig config;   ///< caps/threads the job currently runs under
+  double prof_s = 0.0;         ///< profiling cost billed into the duration
+  double full_energy_j = 0.0;  ///< full-run energy at the current config
+  double frac_done = 0.0;      ///< work fraction done at the last re-base
+  double change_s = 0.0;       ///< instant of the last re-base
+  double ff_remaining = 0.0;   ///< fault-free work seconds left at change_s
 };
 
 /// Simulated-seconds wait times: 0.125 s … ~2000 s.
@@ -207,6 +215,12 @@ QueueReport PowerAwareJobQueue::run(const std::vector<QueueJob>& jobs) {
     r.power_w = slice;
     r.true_power_w = m.avg_power.value();
     r.energy_j = m.energy.value();
+    r.config = constrained.cluster;
+    r.prof_s = constrained.profiling_cost.value();
+    r.full_energy_j = m.energy.value();
+    r.frac_done = 0.0;
+    r.change_s = now;
+    r.ff_remaining = duration;
     if (injector_ != nullptr) {
       // Degrades stretch the run; a held node's crash aborts it.
       const fault::RunResolution res =
@@ -396,6 +410,253 @@ QueueReport PowerAwareJobQueue::run(const std::vector<QueueJob>& jobs) {
     }
   };
 
+  // --- Runtime power redistribution (docs/power-redistribution.md) --------
+  // A periodic tick feeds the slack detector one plausibility-filtered
+  // sample per active node, schedules claw-backs with a reaction latency,
+  // re-grants the free pool to the running job whose completion improves
+  // the most, and trades PKG watts for DRAM bandwidth on memory-phase jobs.
+  // Everything below is gated on options_.redist.enabled: disabled, no tick
+  // ever fires and the run is byte-identical to the static queue.
+  const bool redist_on = options_.redist.enabled;
+  SlackDetector detector(options_.redist);
+  Redistributor redistributor(options_.redist);
+  struct PendingClaw {
+    double at_s;      ///< actuation instant (decision + reaction latency)
+    std::size_t job;
+    int attempt;      ///< placement the claw targets; a retry invalidates it
+    double watts;
+  };
+  std::vector<PendingClaw> pending_claws;
+  double next_tick_s = options_.redist.period_s;
+
+  // Work fraction job `r` has completed by `t` (fault-free-equivalent work
+  // over total), chained through the re-base points.
+  auto frac_at = [&](const Running& r, double t) {
+    if (r.ff_remaining <= 0.0) return 1.0;
+    const double done = injector_ != nullptr
+                            ? injector_->work_done_s(r.change_s, t, r.node_ids)
+                            : t - r.change_s;
+    const double seg = std::clamp(done / r.ff_remaining, 0.0, 1.0);
+    return r.frac_done + seg * (1.0 - r.frac_done);
+  };
+  // Where job `r` would finish if its remaining work ran at measurement
+  // `m1`'s pace (resolved against faults from `now` onward).
+  auto projected_end = [&](const Running& r, const sim::Measurement& m1) {
+    const double frac = frac_at(r, now);
+    const double ff_rem =
+        std::max((1.0 - frac) * (m1.time.value() + r.prof_s), 0.0);
+    if (injector_ == nullptr) return now + ff_rem;
+    return injector_->resolve(now, ff_rem, r.node_ids).end_s;
+  };
+  // Re-base job `r` onto a new configuration/slice at `now`: convert its
+  // elapsed time into work progress, re-resolve the remainder against the
+  // fault plan (which may newly hit — or dodge — a crash), and adjust the
+  // optimistic energy / node-seconds bills by the delta on the unfinished
+  // fraction.
+  auto rebase_running = [&](Running& r, const sim::ClusterConfig& cfg,
+                            const sim::Measurement& m1, double new_slice) {
+    const double frac = frac_at(r, now);
+    const double ff_rem =
+        std::max((1.0 - frac) * (m1.time.value() + r.prof_s), 0.0);
+    double new_end = now + ff_rem;
+    bool crashed = false;
+    int crashed_node = -1;
+    if (injector_ != nullptr) {
+      const fault::RunResolution res =
+          injector_->resolve(now, ff_rem, r.node_ids);
+      new_end = res.end_s;
+      crashed = res.crashed;
+      crashed_node = res.crashed_node;
+    }
+    const double energy_delta =
+        (1.0 - frac) * (m1.energy.value() - r.full_energy_j);
+    report.total_energy_j += energy_delta;
+    r.energy_j += energy_delta;
+    r.full_energy_j = m1.energy.value();
+    report.node_seconds_used +=
+        static_cast<double>(r.node_ids.size()) * (new_end - r.end_s);
+    r.config = cfg;
+    r.power_w = new_slice;
+    r.true_power_w = m1.avg_power.value();
+    r.end_s = new_end;
+    r.crashed = crashed;
+    r.crashed_node = crashed_node;
+    r.frac_done = frac;
+    r.change_s = now;
+    r.ff_remaining = ff_rem;
+    auto& out = report.jobs[r.job_index];
+    out.end_s = new_end;
+    out.budget_w = new_slice;
+    out.power_w = r.true_power_w;
+    out.completed = !crashed;
+    if (timeline_ != nullptr) {
+      const double n_nodes = static_cast<double>(r.node_ids.size());
+      for (int n : r.node_ids) {
+        const std::string prefix = "node" + std::to_string(n);
+        timeline_->record(prefix + ".cap_w", now, new_slice / n_nodes);
+        timeline_->record(prefix + ".power_w", now, r.true_power_w / n_nodes);
+      }
+    }
+  };
+  // Actuate one claw-back whose reaction latency elapsed. If the placement
+  // it targeted is gone (completed, or crash-aborted — the race the attempt
+  // tag catches), its watts are already back in the free pool and the claw
+  // dissolves without effect.
+  auto apply_claw = [&](const PendingClaw& c) {
+    Running* r = nullptr;
+    for (auto& cand : running)
+      if (cand.job_index == c.job) r = &cand;
+    if (r == nullptr || attempts[c.job] != c.attempt) return;
+    const int n_nodes = static_cast<int>(r->node_ids.size());
+    const double floor_w =
+        std::max(options_.min_node_power_w * n_nodes,
+                 r->true_power_w + options_.redist.headroom_frac * r->power_w);
+    const double claw = std::min(c.watts, r->power_w - floor_w);
+    if (claw <= 0.0) return;  // a re-grant since the decision ate the slack
+    r->power_w -= claw;
+    report.jobs[r->job_index].budget_w = r->power_w;
+    ++report.redist_claw_backs;
+    report.redist_reclaimed_w += claw;
+    obs::count(obs_, "redist.claw_backs");
+    if (timeline_ != nullptr) {
+      timeline_->event("redist", now,
+                       "claw " + report.jobs[r->job_index].app +
+                           " w=" + format_double(claw, 1));
+      const double per_node_cap = r->power_w / n_nodes;
+      for (int n : r->node_ids)
+        timeline_->record("node" + std::to_string(n) + ".cap_w", now,
+                          per_node_cap);
+    }
+  };
+  // The redistribution tick: sample, size claw-backs, and hill-climb
+  // memory-phase jobs one PKG→DRAM step.
+  auto redist_tick = [&] {
+    obs::count(obs_, "redist.ticks");
+    for (const auto& r : running) {
+      const double n_nodes = static_cast<double>(r.node_ids.size());
+      const double per_node_truth = r.true_power_w / n_nodes;
+      const double per_node_expected = r.power_w / n_nodes;
+      for (int n : r.node_ids) {
+        double truth = per_node_truth;
+        double observed = truth;
+        if (injector_ != nullptr) {
+          truth += injector_->cap_excess_w({n}, now);
+          observed = injector_->observed_node_power(n, now, truth);
+        }
+        detector.observe(n, now,
+                         guard.filter_reading(observed, per_node_expected));
+      }
+    }
+    double slack_total = 0.0;
+    for (const auto& r : running) {
+      if (r.crashed) continue;  // its watts come back at the abort instant
+      bool claw_pending = false;
+      for (const auto& c : pending_claws)
+        claw_pending = claw_pending || c.job == r.job_index;
+      if (claw_pending) continue;
+      const int n_nodes = static_cast<int>(r.node_ids.size());
+      const double cap_per_node = r.power_w / n_nodes;
+      double slack = 0.0;
+      for (int n : r.node_ids) slack += detector.node_slack_w(n, cap_per_node);
+      slack_total += slack;
+      const double floor_w =
+          std::max(options_.min_node_power_w * n_nodes,
+                   r.true_power_w + options_.redist.headroom_frac * r.power_w);
+      const double claw = redistributor.claw_w(r.power_w, slack, floor_w);
+      if (claw <= 0.0) continue;
+      pending_claws.push_back({now + options_.redist.reaction_s, r.job_index,
+                               attempts[r.job_index], claw});
+      if (timeline_ != nullptr)
+        timeline_->event("redist", now,
+                         "claw-scheduled " + report.jobs[r.job_index].app +
+                             " w=" + format_double(claw, 1));
+    }
+    if (timeline_ != nullptr)
+      timeline_->record("redist.slack_w", now, slack_total);
+    if (!options_.redist.subsystem_split) return;
+    for (auto& r : running) {
+      if (r.crashed) continue;
+      const PhaseSignal sig = SlackDetector::phase_at(
+          jobs[r.job_index].app, r.start_s, r.end_s, now);
+      if (!sig.memory_bound) continue;
+      const sim::ClusterConfig shifted = sim::shift_pkg_to_dram(
+          r.config, Watts(options_.redist.shift_step_w), Watts(1.0));
+      if (shifted.node.cpu_cap.value() == r.config.node.cpu_cap.value() &&
+          shifted.node.mem_level == r.config.node.mem_level)
+        continue;  // already fully shifted
+      const sim::Measurement m1 =
+          executor_->run_exact(jobs[r.job_index].app, shifted);
+      if (m1.avg_power.value() > r.power_w * 1.01 + 1.0)
+        continue;  // must keep fitting the reserved slice
+      const double gain = r.end_s - projected_end(r, m1);
+      if (gain < options_.redist.min_gain_s) continue;
+      rebase_running(r, shifted, m1, r.power_w);
+      ++report.redist_subsystem_shifts;
+      obs::count(obs_, "redist.subsystem_shifts");
+      if (timeline_ != nullptr)
+        timeline_->event("redist", now,
+                         "shift " + report.jobs[r.job_index].app +
+                             " pkg->dram w=" +
+                             format_double(options_.redist.shift_step_w, 1));
+    }
+  };
+  // Re-grant the free pool to the running job whose completion improves the
+  // most. Queued jobs own the free watts first: while anyone is pending
+  // (even in crash backoff) the pool stays untouched.
+  auto try_regrant = [&] {
+    for (std::size_t j = 0; j < jobs.size(); ++j)
+      if (state[j] == State::kPending) return;
+    const double free_w = free_power();
+    if (free_w < options_.redist.min_grant_w || running.empty()) return;
+    struct Eval {
+      sim::ClusterConfig cfg;
+      sim::Measurement m;
+      double slice;
+    };
+    std::vector<RegrantCandidate> candidates;
+    std::vector<Eval> evals;
+    for (std::size_t i = 0; i < running.size(); ++i) {
+      const Running& r = running[i];
+      if (r.crashed) continue;  // boosting a doomed placement buys nothing
+      const double slice = r.power_w + free_w;
+      const core::ScheduleDecision boosted = scheduler_->schedule_constrained(
+          jobs[r.job_index].app, Watts(slice),
+          static_cast<int>(r.node_ids.size()));
+      const sim::Measurement m1 =
+          executor_->run_exact(jobs[r.job_index].app, boosted.cluster);
+      if (m1.avg_power.value() > slice * 1.01 + 1.0) continue;
+      candidates.push_back({i, free_w, r.end_s - projected_end(r, m1)});
+      evals.push_back({boosted.cluster, m1, slice});
+    }
+    const RegrantCandidate* best = redistributor.pick(candidates);
+    if (best == nullptr) return;
+    Running& r = running[best->job];
+    // The guard admits the grant against the larger of the reservations and
+    // the true draw: during an active cap violation the cluster is already
+    // over budget, and re-granting then would widen the violation.
+    double reserved = 0.0;
+    for (const auto& other : running) reserved += other.power_w;
+    if (injector_ != nullptr)
+      reserved = std::max(reserved, true_cluster_power(now));
+    if (!guard.admit_regrant(reserved, best->grant_w)) {
+      obs::count(obs_, "redist.regrants_rejected");
+      if (timeline_ != nullptr)
+        timeline_->event("redist", now,
+                         "regrant-rejected " + report.jobs[r.job_index].app +
+                             " w=" + format_double(best->grant_w, 1));
+      return;
+    }
+    const Eval& e = evals[static_cast<std::size_t>(best - candidates.data())];
+    rebase_running(r, e.cfg, e.m, e.slice);
+    ++report.redist_regrants;
+    report.redist_granted_w += best->grant_w;
+    obs::count(obs_, "redist.regrants");
+    if (timeline_ != nullptr)
+      timeline_->event("redist", now,
+                       "regrant " + report.jobs[r.job_index].app +
+                           " w=" + format_double(best->grant_w, 1));
+  };
+
   // Process the single earliest finished run due at `now` (one per pass, so
   // a simultaneous completion sees the freed resources of the previous one —
   // exactly how the fault-free queue always behaved).
@@ -497,18 +758,38 @@ QueueReport PowerAwareJobQueue::run(const std::vector<QueueJob>& jobs) {
       }
       if (acted) apply_fault_events();
     }
+    // 1b. Due redistribution work: claw-backs whose reaction latency
+    //     elapsed, then the periodic slack-sampling tick.
+    if (redist_on) {
+      for (auto it = pending_claws.begin(); it != pending_claws.end();) {
+        if (it->at_s <= now) {
+          apply_claw(*it);
+          it = pending_claws.erase(it);
+          acted = true;
+        } else {
+          ++it;
+        }
+      }
+      if (!running.empty() && next_tick_s <= now) {
+        redist_tick();
+        acted = true;
+      }
+      while (next_tick_s <= now) next_tick_s += options_.redist.period_s;
+    }
 
     // 2. Due completions, one per pass with a start pass after each.
     if (finish_one_due()) {
       start_eligible();
       if (injector_ != nullptr) guard_sample();
+      if (redist_on) try_regrant();
       continue;
     }
     // 3. An event without a completion still frees or consumes capacity
     //    (crashed node gone, cap clawed back, retry eligible): start pass.
     if (acted) {
       start_eligible();
-      guard_sample();
+      if (injector_ != nullptr) guard_sample();
+      if (redist_on) try_regrant();
       continue;
     }
 
@@ -525,6 +806,10 @@ QueueReport PowerAwareJobQueue::run(const std::vector<QueueJob>& jobs) {
       if (wakeup_idx < wakeups.size())
         next = std::min(next, wakeups[wakeup_idx]);
       for (const auto& e : enforcements) next = std::min(next, e.at_s);
+    }
+    if (redist_on) {
+      if (!running.empty()) next = std::min(next, next_tick_s);
+      for (const auto& c : pending_claws) next = std::min(next, c.at_s);
     }
     if (next == kInf) break;
     if (injector_ != nullptr)
@@ -566,6 +851,11 @@ QueueReport PowerAwareJobQueue::run(const std::vector<QueueJob>& jobs) {
     if (report.meter_reads_rejected > 0)
       obs::count(obs_, "fault.meter_reads_rejected",
                  report.meter_reads_rejected);
+  }
+  report.redist_regrants_rejected = guard.regrants_rejected();
+  if (redist_on) {
+    obs::gauge_set(obs_, "redist.reclaimed_w", report.redist_reclaimed_w);
+    obs::gauge_set(obs_, "redist.granted_w", report.redist_granted_w);
   }
   if (timeline_ != nullptr)
     timeline_->record("budget.violation_s", report.makespan_s,

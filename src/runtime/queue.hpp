@@ -25,6 +25,18 @@
 // and accounts violation-seconds. With no injector — or an empty FaultPlan —
 // every decision, measurement and report field is byte-identical to the
 // fault-free queue.
+//
+// Redistribution (docs/power-redistribution.md): with
+// QueueOptions::redist.enabled the event loop additionally revisits launch
+// allocations at runtime. A periodic tick feeds plausibility-filtered
+// per-node power samples to a SlackDetector; slack above the headroom is
+// clawed back after a reaction latency (returning the watts to the free
+// pool, where queued jobs see them first), remaining free watts are
+// re-granted to the running job whose completion improves the most (each
+// candidate re-evaluated through the memoized evaluation engine), and
+// memory-phase jobs trade PKG watts for DRAM bandwidth inside their slice.
+// Disabled (the default), no tick ever fires and the run is byte-identical
+// to the static-allocation queue.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +47,7 @@
 #include "fault/budget_guard.hpp"
 #include "fault/injector.hpp"
 #include "obs/session.hpp"
+#include "runtime/redistribution.hpp"
 #include "sim/executor.hpp"
 #include "util/units.hpp"
 #include "workloads/signature.hpp"
@@ -51,6 +64,7 @@ struct QueueOptions {
   double min_node_power_w = 45.0;  ///< below this a node is not worth waking
   fault::RetryPolicy retry;        ///< crash-killed jobs: bounded retries
   fault::BudgetGuardOptions guard; ///< cluster-budget watchdog
+  RedistributionOptions redist;    ///< runtime power redistribution (off)
 };
 
 /// A queue submission: the workload plus optional placement constraints.
@@ -94,6 +108,14 @@ struct QueueReport {
   double violation_s = 0.0;      ///< seconds the true draw exceeded budget
   double violation_ws = 0.0;     ///< watt-seconds above the budget
   std::uint64_t meter_reads_rejected = 0;  ///< implausible readings filtered
+
+  // --- redistribution accounting (all zero with redist disabled) ----------
+  int redist_claw_backs = 0;       ///< slack claw-backs actuated
+  int redist_regrants = 0;         ///< free-pool grants to running jobs
+  int redist_subsystem_shifts = 0; ///< PKG→DRAM shifts applied
+  std::uint64_t redist_regrants_rejected = 0;  ///< guard-refused re-grants
+  double redist_reclaimed_w = 0.0; ///< total watts clawed back
+  double redist_granted_w = 0.0;   ///< total watts re-granted
 
   [[nodiscard]] double node_utilization() const {
     return node_seconds_available > 0.0

@@ -1,0 +1,100 @@
+#include "runtime/redistribution.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+#include "workloads/phases.hpp"
+
+namespace clip::runtime {
+
+void RedistributionOptions::validate() const {
+  CLIP_REQUIRE(period_s > 0.0, "redist.period_s must be positive (got " +
+                                   format_double(period_s, 3) + " s)");
+  CLIP_REQUIRE(reaction_s >= 0.0, "redist.reaction_s must be non-negative");
+  CLIP_REQUIRE(headroom_frac >= 0.0 && headroom_frac < 1.0,
+               "redist.headroom_frac must be in [0, 1)");
+  CLIP_REQUIRE(min_claw_w > 0.0, "redist.min_claw_w must be positive");
+  CLIP_REQUIRE(min_grant_w > 0.0, "redist.min_grant_w must be positive");
+  CLIP_REQUIRE(min_gain_s >= 0.0, "redist.min_gain_s must be non-negative");
+  CLIP_REQUIRE(window_samples >= 1,
+               "redist.window_samples must be at least 1");
+  CLIP_REQUIRE(shift_step_w > 0.0, "redist.shift_step_w must be positive");
+}
+
+namespace {
+
+std::string node_series(int node) {
+  return "node" + std::to_string(node) + ".power_w";
+}
+
+}  // namespace
+
+SlackDetector::SlackDetector(const RedistributionOptions& options)
+    : options_(options),
+      timeline_(obs::TimelineOptions{
+          .ring_capacity = static_cast<std::size_t>(options.window_samples)}) {
+  options.validate();
+}
+
+void SlackDetector::observe(int node, double t_s, double draw_w) {
+  timeline_.record(node_series(node), t_s, draw_w);
+}
+
+double SlackDetector::node_slack_w(int node, double cap_w) const {
+  const std::vector<obs::TimelinePoint> window =
+      timeline_.samples(node_series(node));
+  if (window.empty()) return 0.0;  // never claw on no evidence
+  double max_draw = 0.0;
+  for (const auto& p : window) max_draw = std::max(max_draw, p.value);
+  const double slack = cap_w - max_draw - options_.headroom_frac * cap_w;
+  return std::max(slack, 0.0);
+}
+
+PhaseSignal SlackDetector::phase_at(const workloads::WorkloadSignature& app,
+                                    double start_s, double end_s,
+                                    double t_s) {
+  PhaseSignal signal;
+  signal.memory_bound = app.memory_boundedness >= 0.5;
+  const auto phased = workloads::find_phased(app.name + "-phased");
+  if (!phased.has_value() || end_s <= start_s) return signal;
+  // Map elapsed run fraction onto the phase sequence by work weight: a
+  // phase's wall share tracks its work share to first order (the phases
+  // execute under one shared node configuration here).
+  const double elapsed =
+      std::clamp((t_s - start_s) / (end_s - start_s), 0.0, 1.0);
+  double cumulative = 0.0;
+  for (const auto& phase : phased->phases) {
+    cumulative += phase.weight;
+    if (elapsed < cumulative || &phase == &phased->phases.back()) {
+      signal.known = true;
+      signal.phase = phase.name;
+      signal.memory_bound = phase.signature.memory_boundedness >= 0.5;
+      break;
+    }
+  }
+  return signal;
+}
+
+Redistributor::Redistributor(const RedistributionOptions& options)
+    : options_(options) {
+  options.validate();
+}
+
+double Redistributor::claw_w(double reserved_w, double slack_w,
+                             double floor_w) const {
+  const double claw = std::min(slack_w, reserved_w - floor_w);
+  return claw >= options_.min_claw_w ? claw : 0.0;
+}
+
+const RegrantCandidate* Redistributor::pick(
+    const std::vector<RegrantCandidate>& candidates) const {
+  const RegrantCandidate* best = nullptr;
+  for (const auto& c : candidates) {
+    if (c.gain_s < options_.min_gain_s) continue;
+    if (best == nullptr || c.gain_s > best->gain_s) best = &c;
+  }
+  return best;
+}
+
+}  // namespace clip::runtime

@@ -1,0 +1,146 @@
+// Runtime power redistribution between running jobs.
+//
+// CLIP allocates a job's power slice once, at launch, and never revisits it
+// (Algorithm 1 runs per submission). On a real power-bounded cluster that
+// strands watts: a job whose caps exceed its measured draw holds headroom
+// nobody can use, while queued jobs wait for watts and critical-path jobs
+// run capped. Medhat et al. (*Power Redistribution for Optimizing
+// Performance in MPI Clusters*) show a runtime claw-back/re-grant loop
+// recovers that makespan; Subramaniam & Feng's subsystem-level power
+// management motivates extending the shift to the PKG↔DRAM boundary inside
+// a node. This header is that loop's policy layer, used by
+// runtime::PowerAwareJobQueue (docs/power-redistribution.md):
+//
+//   * SlackDetector — estimates per-node slack watts under the current cap
+//     from recent power samples (kept in a private, ring-bounded
+//     obs::Timeline) plus the job's phase signal (the ext_phase_aware phase
+//     model, looked up by application name);
+//   * Redistributor — sizes claw-backs (how much of a job's slice to
+//     reclaim after the reaction latency) and picks the re-grant target:
+//     the running job whose completion improves the most per granted watt,
+//     as evaluated by the caller through the memoized evaluation engine.
+//
+// Both classes are pure policy: they never touch the executor, the
+// scheduler, or the clock. All decisions are deterministic functions of the
+// samples fed in, so a queue run with redistribution enabled is exactly
+// reproducible — and with it disabled the queue never constructs either
+// class on a hot path and stays byte-identical to the static runtime.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/timeline.hpp"
+#include "workloads/signature.hpp"
+
+namespace clip::runtime {
+
+struct RedistributionOptions {
+  /// Master switch. Off (the default) keeps the queue byte-identical to the
+  /// static-allocation runtime — no ticks, no samples, no extra FP ops.
+  bool enabled = false;
+  /// Slack sampling cadence on the simulated-seconds axis.
+  double period_s = 20.0;
+  /// Latency between deciding a claw-back and the re-programmed caps taking
+  /// effect (telemetry period + RAPL MSR writes settling), mirroring
+  /// fault::BudgetGuardOptions::reaction_s.
+  double reaction_s = 2.0;
+  /// Slack kept above the observed draw when clawing back, as a fraction of
+  /// the job's current slice: claw down to draw + headroom, never further.
+  double headroom_frac = 0.08;
+  /// Claw-backs below this are not worth the cap rewrite.
+  double min_claw_w = 4.0;
+  /// Re-grants below this are not worth the evaluation.
+  double min_grant_w = 4.0;
+  /// A re-grant or subsystem shift must buy at least this much completion
+  /// time for its job; below it the watts stay in the free pool.
+  double min_gain_s = 0.05;
+  /// Recent samples per node the slack estimator reads (its Timeline ring
+  /// capacity). Slack is judged against the *max* recent draw, so one
+  /// low-power phase sample cannot trigger a claw-back the next compute
+  /// phase would regret.
+  int window_samples = 3;
+  /// Enable intra-node PKG→DRAM shifting for memory-phase jobs.
+  bool subsystem_split = true;
+  /// Watts moved per subsystem shift (per node, PKG cap to DRAM cap).
+  double shift_step_w = 5.0;
+
+  void validate() const;
+};
+
+/// What the phase model says a job is doing at an instant.
+struct PhaseSignal {
+  bool known = false;        ///< false: no phased model for this application
+  std::string phase;         ///< active phase name when known
+  bool memory_bound = false; ///< active (or whole-program) memory character
+};
+
+/// Estimates per-node slack watts from recent power samples and phase
+/// signals. The detector owns a ring-bounded obs::Timeline of the samples
+/// the queue feeds it — the same flight-recorder machinery, pointed inward —
+/// so "recent" is defined by RedistributionOptions::window_samples and the
+/// estimate is a pure function of the recorded window.
+class SlackDetector {
+ public:
+  explicit SlackDetector(const RedistributionOptions& options);
+
+  /// Record one plausibility-filtered per-node power sample.
+  void observe(int node, double t_s, double draw_w);
+
+  /// Slack watts node `node` holds under `cap_w`: cap minus the max recent
+  /// draw minus the headroom share of the cap. Zero when no samples have
+  /// been recorded yet (an unobserved node is never clawed), never
+  /// negative.
+  [[nodiscard]] double node_slack_w(int node, double cap_w) const;
+
+  /// The phase `app` is in at `t_s`, given its run spans [start_s, end_s):
+  /// looks up the ext_phase_aware phased model (`<name>-phased` in
+  /// workloads::phased_benchmarks) and maps elapsed run fraction onto the
+  /// phase sequence by work weight. Falls back to the flat signature's
+  /// memory character when no phased model exists.
+  [[nodiscard]] static PhaseSignal phase_at(
+      const workloads::WorkloadSignature& app, double start_s, double end_s,
+      double t_s);
+
+  /// The sample store (for tests and the flight recorder bridge).
+  [[nodiscard]] const obs::Timeline& samples() const { return timeline_; }
+
+ private:
+  RedistributionOptions options_;
+  obs::Timeline timeline_;
+};
+
+/// One running job's re-grant evaluation, produced by the caller via the
+/// memoized evaluation engine (schedule_constrained + run_exact at the
+/// boosted slice) and judged here.
+struct RegrantCandidate {
+  std::size_t job = 0;        ///< caller's identifier for the running job
+  double grant_w = 0.0;       ///< watts the candidate would receive
+  double gain_s = 0.0;        ///< completion-time reduction the watts buy
+};
+
+/// Sizes claw-backs and picks re-grant targets. Pure policy; the queue owns
+/// application of every decision.
+class Redistributor {
+ public:
+  explicit Redistributor(const RedistributionOptions& options);
+
+  /// Watts to claw back from a job holding `slack_w` of detected slack over
+  /// a slice of `reserved_w`, such that the slice never drops below
+  /// `floor_w` (the job's observed draw plus headroom, and never below the
+  /// queue's minimum viable reservation). Returns 0 when the worthwhile
+  /// claw is below min_claw_w.
+  [[nodiscard]] double claw_w(double reserved_w, double slack_w,
+                              double floor_w) const;
+
+  /// The candidate with the best marginal makespan gain, or nullptr when no
+  /// candidate clears min_gain_s. Ties break toward the first candidate in
+  /// the (deterministic) caller order.
+  [[nodiscard]] const RegrantCandidate* pick(
+      const std::vector<RegrantCandidate>& candidates) const;
+
+ private:
+  RedistributionOptions options_;
+};
+
+}  // namespace clip::runtime

@@ -58,6 +58,14 @@ struct LoadedRecord {
                  "run record summary missing key '" + key + "'");
     return to_double(it->second, key.c_str());
   }
+  /// Like scalar(), for keys newer than the record (e.g. the redist.*
+  /// accounting on records written before redistribution existed).
+  [[nodiscard]] double scalar_or(const std::string& key,
+                                 double fallback) const {
+    const auto it = summary.find(key);
+    return it != summary.end() ? to_double(it->second, key.c_str())
+                               : fallback;
+  }
   [[nodiscard]] std::vector<int> crashed_nodes() const {
     std::vector<int> nodes;
     const auto it = summary.find("crashed_nodes");
@@ -190,6 +198,14 @@ void write_run_record(const std::filesystem::path& dir, Watts cluster_budget,
       {"violation_ws", format_exact(report.violation_ws)},
       {"meter_reads_rejected", std::to_string(report.meter_reads_rejected)},
       {"crashed_nodes", crashed},
+      {"redist_claw_backs", std::to_string(report.redist_claw_backs)},
+      {"redist_regrants", std::to_string(report.redist_regrants)},
+      {"redist_subsystem_shifts",
+       std::to_string(report.redist_subsystem_shifts)},
+      {"redist_regrants_rejected",
+       std::to_string(report.redist_regrants_rejected)},
+      {"redist_reclaimed_w", format_exact(report.redist_reclaimed_w)},
+      {"redist_granted_w", format_exact(report.redist_granted_w)},
   };
   write_csv(dir / RunRecordFiles::kSummary, summary);
 
@@ -249,6 +265,14 @@ std::string render_markdown_report(const std::filesystem::path& dir,
       << static_cast<int>(rec.scalar("caps_reprogrammed")) << " |\n";
   out << "| meter reads rejected | "
       << static_cast<int>(rec.scalar("meter_reads_rejected")) << " |\n";
+  out << "| redistribution (claws/regrants/shifts) | "
+      << static_cast<int>(rec.scalar_or("redist_claw_backs", 0.0)) << "/"
+      << static_cast<int>(rec.scalar_or("redist_regrants", 0.0)) << "/"
+      << static_cast<int>(rec.scalar_or("redist_subsystem_shifts", 0.0))
+      << " |\n";
+  out << "| watts reclaimed / re-granted | "
+      << format_double(rec.scalar_or("redist_reclaimed_w", 0.0), 1) << " / "
+      << format_double(rec.scalar_or("redist_granted_w", 0.0), 1) << " |\n";
   const auto crashed = rec.crashed_nodes();
   out << "| crashed nodes | ";
   if (crashed.empty()) {
@@ -357,6 +381,20 @@ std::string render_json_report(const std::filesystem::path& dir,
       << static_cast<int>(rec.scalar("caps_reprogrammed")) << ",\n";
   out << "  \"meter_reads_rejected\": "
       << static_cast<int>(rec.scalar("meter_reads_rejected")) << ",\n";
+  out << "  \"redist_claw_backs\": "
+      << static_cast<int>(rec.scalar_or("redist_claw_backs", 0.0)) << ",\n";
+  out << "  \"redist_regrants\": "
+      << static_cast<int>(rec.scalar_or("redist_regrants", 0.0)) << ",\n";
+  out << "  \"redist_subsystem_shifts\": "
+      << static_cast<int>(rec.scalar_or("redist_subsystem_shifts", 0.0))
+      << ",\n";
+  out << "  \"redist_regrants_rejected\": "
+      << static_cast<int>(rec.scalar_or("redist_regrants_rejected", 0.0))
+      << ",\n";
+  out << "  \"redist_reclaimed_w\": "
+      << format_exact(rec.scalar_or("redist_reclaimed_w", 0.0)) << ",\n";
+  out << "  \"redist_granted_w\": "
+      << format_exact(rec.scalar_or("redist_granted_w", 0.0)) << ",\n";
   out << "  \"crashed_nodes\": [";
   const auto crashed = rec.crashed_nodes();
   for (std::size_t i = 0; i < crashed.size(); ++i)

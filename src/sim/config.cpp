@@ -1,6 +1,9 @@
 #include "sim/config.hpp"
 
+#include <algorithm>
 #include <sstream>
+
+#include "util/check.hpp"
 
 namespace clip::sim {
 
@@ -10,6 +13,33 @@ std::string NodeConfig::describe() const {
      << to_string(mem_level) << ", caps cpu=" << cpu_cap.value()
      << "W mem=" << mem_cap.value() << "W";
   return os.str();
+}
+
+ClusterConfig shift_pkg_to_dram(const ClusterConfig& cfg, Watts delta_w,
+                                Watts min_cpu_cap_w) {
+  CLIP_REQUIRE(delta_w.value() >= 0.0, "subsystem shift must be >= 0 W");
+  ClusterConfig shifted = cfg;
+  const double delta = std::min(
+      delta_w.value(),
+      std::max(cfg.node.cpu_cap.value() - min_cpu_cap_w.value(), 0.0));
+  shifted.node.cpu_cap = Watts(cfg.node.cpu_cap.value() - delta);
+  shifted.node.mem_cap = Watts(cfg.node.mem_cap.value() + delta);
+  switch (cfg.node.mem_level) {
+    case MemPowerLevel::kL0:
+      break;  // already at full bandwidth
+    case MemPowerLevel::kL1:
+      shifted.node.mem_level = MemPowerLevel::kL0;
+      break;
+    case MemPowerLevel::kL2:
+      shifted.node.mem_level = MemPowerLevel::kL1;
+      break;
+    case MemPowerLevel::kL3:
+      shifted.node.mem_level = MemPowerLevel::kL2;
+      break;
+  }
+  for (auto& cap : shifted.cpu_cap_overrides)
+    cap = Watts(std::max(cap.value() - delta, min_cpu_cap_w.value()));
+  return shifted;
 }
 
 std::string ClusterConfig::describe() const {

@@ -35,6 +35,19 @@ struct ClusterConfig {
   [[nodiscard]] std::string describe() const;
 };
 
+/// Subsystem (PKG↔DRAM) power shift: `delta_w` watts moved per node from
+/// the CPU cap to the DRAM cap, keeping the node's total budget constant —
+/// the Subramaniam & Feng-style trade the runtime redistribution loop uses
+/// so memory-phase jobs buy bandwidth with CPU watts
+/// (docs/power-redistribution.md). The CPU cap never drops below
+/// `min_cpu_cap_w` (delta is clamped, possibly to zero); the memory power
+/// level steps one notch toward full bandwidth so the level ceiling cannot
+/// silently swallow the granted DRAM watts. Per-node CPU-cap overrides are
+/// shifted by the same clamped delta.
+[[nodiscard]] ClusterConfig shift_pkg_to_dram(const ClusterConfig& cfg,
+                                              Watts delta_w,
+                                              Watts min_cpu_cap_w);
+
 /// What the "system interface helper tools" report for one node.
 struct NodeMeasurement {
   Seconds time{0.0};

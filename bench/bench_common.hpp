@@ -70,6 +70,12 @@ struct BenchContext {
   /// session whose counters are printed on exit. Call once per executor.
   void attach(sim::SimExecutor& executor) const;
 
+  /// The shared exact-run cache (nullptr with --no-cache or before the
+  /// first attach). Benches assert hit-rate expectations through this.
+  [[nodiscard]] const sim::ExactRunCache* cache() const {
+    return cache_.get();
+  }
+
   void print(const Table& table) const {
     if (csv)
       table.print_csv(std::cout);

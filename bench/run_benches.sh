@@ -94,13 +94,20 @@ for b in $benches; do
   fast_runs=$(stat_field "$tmp/$b.fast.stats" sim.runs)
   hits=$(stat_field "$tmp/$b.fast.stats" sim.exact_cache_hits)
   misses=$(stat_field "$tmp/$b.fast.stats" sim.exact_cache_misses)
+  batch_runs=$(stat_field "$tmp/$b.fast.stats" sim.batch_runs)
+  batch_p50=$(stat_field "$tmp/$b.fast.stats" sim.batch_width_p50)
+  # Simulator-run throughput of the engine run (integer runs/s). This is
+  # what the batch core optimizes; `regression_gate.sh --batch` floors it.
+  runs_per_sec=$(awk -v r="$fast_runs" -v m="$fast_ms" \
+    'BEGIN { printf "%d", r * 1000 / (m < 1 ? 1 : m) }')
 
   [ $first -eq 1 ] || printf ',\n' >> "$out_json"
   first=0
-  printf '    {"name": "%s", "baseline_ms": %s, "engine_ms": %s, "baseline_sim_runs": %s, "engine_sim_runs": %s, "cache_hits": %s, "cache_misses": %s, "output_identical": true}' \
+  printf '    {"name": "%s", "baseline_ms": %s, "engine_ms": %s, "baseline_sim_runs": %s, "engine_sim_runs": %s, "cache_hits": %s, "cache_misses": %s, "runs_per_sec": %s, "batch_runs": %s, "batch_width_p50": %s, "output_identical": true}' \
     "$b" "$base_ms" "$fast_ms" "$base_runs" "$fast_runs" "$hits" "$misses" \
+    "$runs_per_sec" "$batch_runs" "$batch_p50" \
     >> "$out_json"
-  echo "   $b: ${base_ms}ms -> ${fast_ms}ms, sim.runs $base_runs -> $fast_runs" >&2
+  echo "   $b: ${base_ms}ms -> ${fast_ms}ms, sim.runs $base_runs -> $fast_runs, ${runs_per_sec} runs/s" >&2
 done
 printf '\n  ]\n}\n' >> "$out_json"
 

@@ -56,6 +56,18 @@ int main(int argc, char** argv) {
                format_double(oracle_ms, 1), format_double(clip_ms, 1)});
   }
   ctx.print(t);
+  if (ctx.use_cache) {
+    // The four shards are topologically identical (same node shape, ladder,
+    // power params, variability draw), so the exact-run cache must share
+    // entries across them — the spec prefix deliberately omits the cluster
+    // size (see ExactRunCache::encode_spec). A fingerprint that
+    // over-discriminates would show near-zero hits here (the seed showed 4
+    // hits in 14,482 runs); demand real sharing.
+    const sim::ExactCacheStats stats = ctx.cache()->stats();
+    CLIP_REQUIRE(stats.hits >= 256,
+                 "cluster-size shards stopped sharing cache entries: " +
+                     std::to_string(stats.hits) + " hits");
+  }
   std::cout << "CLIP's planning cost is dominated by the one-time profiling "
                "(three sample runs, amortized by the knowledge DB); the "
                "oracle's search grows with the cluster and would be "

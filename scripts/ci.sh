@@ -64,6 +64,9 @@ if [ "${SKIP_GATE:-0}" != "1" ] && [ -d build/bench ]; then
   echo "==> [gate] compare against committed BENCH_eval_engine.json"
   scripts/regression_gate.sh --max-slowdown "$MAX_SLOWDOWN" \
     BENCH_eval_engine.json "$ARTIFACTS/BENCH_fresh.json"
+  echo "==> [gate] batch-core throughput floor"
+  scripts/regression_gate.sh --batch --max-slowdown "$MAX_SLOWDOWN" \
+    BENCH_eval_engine.json "$ARTIFACTS/BENCH_fresh.json"
   echo "==> [gate] redistribution improvement floor"
   scripts/regression_gate.sh --redist "$ARTIFACTS/BENCH_redist_fresh.json"
 fi

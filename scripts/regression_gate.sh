@@ -3,6 +3,7 @@
 # against the committed one and fail on regressions.
 #
 # Usage: scripts/regression_gate.sh [options] <committed.json> <fresh.json>
+#        scripts/regression_gate.sh --batch <committed.json> <fresh.json>
 #        scripts/regression_gate.sh --redist <BENCH_redist.json>
 #        scripts/regression_gate.sh --selftest
 #
@@ -13,6 +14,12 @@
 #                       faster than MS milliseconds — sub-noise benches would
 #                       trip the percentage gate on scheduler jitter alone
 #                       (default: 50; sim.runs is still checked)
+#   --batch             gate the batch core's throughput instead: each bench's
+#                       fresh runs_per_sec must stay within --max-slowdown
+#                       percent of the committed value. Benches whose
+#                       committed engine_ms is below --min-ms are skipped
+#                       (their throughput quotient is all jitter), as are
+#                       committed files predating the runs_per_sec field.
 #   --redist FILE       gate a BENCH_redist.json instead: redistribution must
 #                       improve the makespan in at least --min-improved of
 #                       the resilience scenarios and must never regress the
@@ -34,11 +41,13 @@ min_ms=50
 min_improved=4
 redist_file=""
 selftest=0
+batch=0
 
 while [ $# -gt 0 ]; do
   case "$1" in
     --max-slowdown) max_slowdown=$2; shift 2 ;;
     --min-ms) min_ms=$2; shift 2 ;;
+    --batch) batch=1; shift ;;
     --redist) redist_file=$2; shift 2 ;;
     --min-improved) min_improved=$2; shift 2 ;;
     --selftest) selftest=1; shift ;;
@@ -103,6 +112,44 @@ gate() { # gate <committed.json> <fresh.json> -> 0 pass, 1 fail
   echo "gate: pass" >&2
 }
 
+gate_batch() { # gate_batch <committed.json> <fresh.json> -> 0 pass, 1 fail
+  committed=$1
+  fresh=$2
+  [ -f "$committed" ] || { echo "batch gate: no such file: $committed" >&2; return 1; }
+  [ -f "$fresh" ] || { echo "batch gate: no such file: $fresh" >&2; return 1; }
+  echo "batch gate: committed $(stamp "$committed") vs fresh $(stamp "$fresh")" >&2
+
+  failures=0
+  for b in $(names "$committed"); do
+    old_ms=$(field "$committed" "$b" engine_ms)
+    old_rps=$(field "$committed" "$b" runs_per_sec)
+    new_rps=$(field "$fresh" "$b" runs_per_sec)
+    if [ -z "$old_rps" ]; then
+      echo "  ok $b: committed file predates runs_per_sec, skipped" >&2
+      continue
+    fi
+    if [ -z "$old_ms" ] || [ "$old_ms" -lt "$min_ms" ]; then
+      echo "  ok $b: committed engine_ms below --min-ms, throughput skipped" >&2
+      continue
+    fi
+    if [ -z "$new_rps" ]; then
+      echo "FAIL $b: runs_per_sec missing from fresh results" >&2
+      failures=$((failures + 1))
+      continue
+    fi
+    under=$(awk -v o="$old_rps" -v n="$new_rps" -v p="$max_slowdown" \
+      'BEGIN { print (n < o * (100 - p) / 100) ? 1 : 0 }')
+    if [ "$under" -eq 1 ]; then
+      echo "FAIL $b: runs_per_sec regressed $old_rps -> $new_rps (> $max_slowdown%)" >&2
+      failures=$((failures + 1))
+    else
+      echo "  ok $b: $old_rps -> $new_rps runs/s" >&2
+    fi
+  done
+  [ $failures -eq 0 ] || { echo "batch gate: $failures regression(s)" >&2; return 1; }
+  echo "batch gate: pass" >&2
+}
+
 # top_field <file> <key> -> top-level integer value, empty when absent.
 top_field() {
   sed -n "s/.*\"$2\": \([0-9][0-9]*\).*/\1/p" "$1" | head -n 1
@@ -134,10 +181,15 @@ gate_redist() { # gate_redist <BENCH_redist.json> -> 0 pass, 1 fail
 if [ "$selftest" -eq 1 ]; then
   tmp=$(mktemp -d)
   trap 'rm -rf "$tmp"' EXIT
-  mk() { # mk <file> <engine_ms> <engine_sim_runs>
+  mk() { # mk <file> <engine_ms> <engine_sim_runs> [runs_per_sec]
     printf '{\n  "git_sha": "fixture",\n  "jobs": 4,\n  "benches": [\n' > "$1"
-    printf '    {"name": "fig3", "baseline_ms": 900, "engine_ms": %s, "baseline_sim_runs": 5000, "engine_sim_runs": %s, "cache_hits": 10, "cache_misses": 2, "output_identical": true}\n' \
-      "$2" "$3" >> "$1"
+    if [ -n "${4:-}" ]; then
+      printf '    {"name": "fig3", "baseline_ms": 900, "engine_ms": %s, "baseline_sim_runs": 5000, "engine_sim_runs": %s, "cache_hits": 10, "cache_misses": 2, "runs_per_sec": %s, "batch_runs": 40, "batch_width_p50": 20, "output_identical": true}\n' \
+        "$2" "$3" "$4" >> "$1"
+    else
+      printf '    {"name": "fig3", "baseline_ms": 900, "engine_ms": %s, "baseline_sim_runs": 5000, "engine_sim_runs": %s, "cache_hits": 10, "cache_misses": 2, "output_identical": true}\n' \
+        "$2" "$3" >> "$1"
+    fi
     printf '  ]\n}\n' >> "$1"
   }
   mk "$tmp/committed.json" 200 1000
@@ -161,6 +213,28 @@ if [ "$selftest" -eq 1 ]; then
   if gate "$tmp/committed.json" "$tmp/empty.json" 2>/dev/null; then
     echo "selftest: missing bench must fail" >&2; exit 1
   fi
+
+  # Batch-throughput gate: runs_per_sec floor, sub-noise skip, and graceful
+  # handling of committed files predating the field.
+  mk "$tmp/batch_committed.json" 200 1000 600000
+  mk "$tmp/batch_ok.json" 210 1000 540000  # -10%, inside the 15% floor
+  gate_batch "$tmp/batch_committed.json" "$tmp/batch_ok.json" \
+    || { echo "selftest: -10% throughput must pass the batch gate" >&2; exit 1; }
+  mk "$tmp/batch_slow.json" 300 1000 400000  # -33% throughput
+  if gate_batch "$tmp/batch_committed.json" "$tmp/batch_slow.json" 2>/dev/null; then
+    echo "selftest: >15% throughput drop must fail the batch gate" >&2; exit 1
+  fi
+  mk "$tmp/batch_missing.json" 210 1000
+  if gate_batch "$tmp/batch_committed.json" "$tmp/batch_missing.json" 2>/dev/null; then
+    echo "selftest: fresh file without runs_per_sec must fail the batch gate" >&2; exit 1
+  fi
+  mk "$tmp/batch_noise.json" 20 1000 600000  # committed run below --min-ms
+  gate_batch "$tmp/batch_noise.json" "$tmp/batch_slow.json" \
+    || { echo "selftest: sub-noise benches must be skipped by the batch gate" >&2; exit 1; }
+  mk "$tmp/batch_old.json" 200 1000  # committed file predates the field
+  gate_batch "$tmp/batch_old.json" "$tmp/batch_slow.json" \
+    || { echo "selftest: pre-batch committed files must pass the batch gate" >&2; exit 1; }
+  echo "selftest: batch gate ok" >&2
 
   # Redistribution gate: improvement floor and the zero-violation-regression
   # contract, on synthetic BENCH_redist.json fixtures.
@@ -229,5 +303,9 @@ if [ -n "$redist_file" ]; then
   exit $?
 fi
 
-[ $# -eq 2 ] || { echo "usage: $0 [--max-slowdown PCT] <committed.json> <fresh.json>" >&2; exit 2; }
-gate "$1" "$2"
+[ $# -eq 2 ] || { echo "usage: $0 [--batch] [--max-slowdown PCT] <committed.json> <fresh.json>" >&2; exit 2; }
+if [ "$batch" -eq 1 ]; then
+  gate_batch "$1" "$2"
+else
+  gate "$1" "$2"
+fi

@@ -1,7 +1,9 @@
 #include "baselines/oracle.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cstddef>
+#include <iterator>
 #include <limits>
 #include <numeric>
 #include <vector>
@@ -18,10 +20,31 @@ namespace {
 /// caps left at their unbounded defaults — which is exactly the
 /// configuration whose exact time lower-bounds every capped grid point
 /// (time is monotone non-increasing in either cap).
+///
+/// The dense part of the grid depends only on (active sockets, level), so
+/// combos don't own it: they point into per-plan grids (`LevelGrid`) and
+/// carry just the feasible prefix length plus the optional demand-tight
+/// point — a budget sweep materializes thousands of combos per plan, and
+/// per-combo cap vectors were a measurable slice of the search cost.
 struct GridCombo {
   sim::ClusterConfig base;
-  std::vector<double> mem_caps;  ///< feasible caps, serial grid order
+  const double* grid = nullptr;  ///< dense feasible caps, serial grid order
+  int n_grid = 0;                ///< feasible prefix of `grid`
+  bool has_demand = false;       ///< demand-tight point appended?
+  double demand_w = 0.0;
   double node_share = 0.0;
+
+  [[nodiscard]] int n_caps() const { return n_grid + (has_demand ? 1 : 0); }
+  [[nodiscard]] double cap(int j) const {
+    return j < n_grid ? grid[j] : demand_w;
+  }
+};
+
+/// The budget-independent cap grid for one (active sockets, level) pair.
+struct LevelGrid {
+  double base_w = 0.0;
+  double level_bw = 0.0;
+  std::vector<double> caps;  ///< strictly increasing when act_max > 0
 };
 
 /// Atomic running minimum (relaxed; used only to tighten pruning — the
@@ -52,58 +75,102 @@ sim::ClusterConfig OracleScheduler::plan(
   last_search_cost_.store(0, std::memory_order_relaxed);
 
   // ---- materialize the candidate grid in canonical (serial) order --------
+  // Thread placement depends only on (threads, affinity) — precompute the
+  // active-socket counts once instead of once per (nodes, level).
+  std::vector<std::array<int, 2>> active_sockets(
+      static_cast<std::size_t>(all_cores / 2));
+  for (int threads = 2; threads <= all_cores; threads += 2) {
+    const std::size_t t = static_cast<std::size_t>(threads / 2 - 1);
+    active_sockets[t][0] =
+        parallel::place_threads(spec.shape, threads,
+                                parallel::AffinityPolicy::kCompact)
+            .active_sockets();
+    active_sockets[t][1] =
+        parallel::place_threads(spec.shape, threads,
+                                parallel::AffinityPolicy::kScatter)
+            .active_sockets();
+  }
+
+  // DRAM budgets to try at each level: a dense grid over the activity
+  // headroom plus a demand-tight point (exact: demand only shrinks as RAPL
+  // lowers the frequency, so the nominal-frequency draw is an upper
+  // bound). The grid pitch bounds how far a continuum optimum can escape
+  // the search. The dense grid depends only on (active sockets, level), so
+  // it is built once per plan here; combos reference it. `level_grids`
+  // must outlive `combos` (the combos hold pointers into it).
+  const std::size_t n_levels = std::size(sim::kAllMemLevels);
+  std::vector<LevelGrid> level_grids(
+      static_cast<std::size_t>(spec.shape.sockets) * n_levels);
+  for (int active = 1; active <= spec.shape.sockets; ++active) {
+    const int parked = spec.shape.sockets - active;
+    for (std::size_t li = 0; li < n_levels; ++li) {
+      LevelGrid& g =
+          level_grids[static_cast<std::size_t>(active - 1) * n_levels + li];
+      g.base_w = active * spec.mem_base_w_per_socket +
+                 parked * spec.mem_parked_w_per_socket;
+      g.level_bw = active * spec.socket_bw_gbps *
+                   sim::bw_fraction(sim::kAllMemLevels[li]);
+      const double act_max = g.level_bw * spec.mem_w_per_gbps();
+      if (act_max > 0.0) {
+        for (double frac = 0.05; frac <= 1.0 + 1e-9; frac += 0.05)
+          g.caps.push_back(g.base_w + frac * act_max);
+      } else {
+        // Degenerate grid: every point collapses onto base_w.
+        g.caps.push_back(g.base_w);
+      }
+    }
+  }
+
   std::vector<GridCombo> combos;
+  combos.reserve(node_counts.size() * active_sockets.size() * 2 * n_levels);
   for (int nodes : node_counts) {
     const double node_share = cluster_budget.value() / nodes;
     for (int threads = 2; threads <= all_cores; threads += 2) {
       for (parallel::AffinityPolicy affinity :
            {parallel::AffinityPolicy::kCompact,
             parallel::AffinityPolicy::kScatter}) {
-        const parallel::Placement placement =
-            parallel::place_threads(spec.shape, threads, affinity);
-        const int active = placement.active_sockets();
-        const int parked = spec.shape.sockets - active;
-        for (sim::MemPowerLevel level : sim::kAllMemLevels) {
-          const double base_w =
-              active * spec.mem_base_w_per_socket +
-              parked * spec.mem_parked_w_per_socket;
-          const double level_bw =
-              active * spec.socket_bw_gbps * sim::bw_fraction(level);
+        const int active =
+            active_sockets[static_cast<std::size_t>(threads / 2 - 1)]
+                          [affinity == parallel::AffinityPolicy::kCompact ? 0
+                                                                          : 1];
+        for (std::size_t li = 0; li < n_levels; ++li) {
+          const LevelGrid& g =
+              level_grids[static_cast<std::size_t>(active - 1) * n_levels +
+                          li];
           // Two DRAM budgets per level: the worst-case draw (full level
           // bandwidth) and a demand-tight budget — the oracle may peek at
           // the workload's true per-core demand, which is the whole point
           // of being an oracle. The tight budget frees watts for the CPU.
           const double demand_bw =
               threads * app.bw_per_core_gbps;  // at nominal frequency
-          // DRAM budgets to try at this level: a dense grid over the
-          // activity headroom plus the demand-tight point (exact: demand
-          // only shrinks as RAPL lowers the frequency, so the
-          // nominal-frequency draw is an upper bound). The grid pitch
-          // bounds how far a continuum optimum can escape the search.
-          const double act_max = level_bw * spec.mem_w_per_gbps();
-          std::vector<double> caps;
-          for (double frac = 0.05; frac <= 1.0 + 1e-9; frac += 0.05)
-            caps.push_back(base_w + frac * act_max);
-          caps.push_back(base_w + std::min(demand_bw, level_bw) *
-                                      spec.mem_w_per_gbps());
 
           GridCombo combo;
           combo.node_share = node_share;
           combo.base.nodes = nodes;
           combo.base.node.threads = threads;
           combo.base.node.affinity = affinity;
-          combo.base.node.mem_level = level;
-          // Keep feasible caps only and drop exact duplicates (the
-          // demand-tight point regularly lands on a grid point; re-running
-          // it would waste an exact execution).
-          for (double mem_w : caps) {
-            if (node_share - mem_w <= 1.0) continue;
-            if (std::find(combo.mem_caps.begin(), combo.mem_caps.end(),
-                          mem_w) != combo.mem_caps.end())
-              continue;
-            combo.mem_caps.push_back(mem_w);
+          combo.base.node.mem_level = sim::kAllMemLevels[li];
+          // Keep feasible caps only. The grid is non-decreasing, so
+          // feasibility (`node_share - cap > 1.0` — evaluated exactly as
+          // the historical per-cap check did) holds on a prefix; only the
+          // appended demand-tight point can land on a grid point, so it
+          // alone pays a duplicate scan (re-running it would waste an
+          // exact execution).
+          combo.grid = g.caps.data();
+          int n = 0;
+          while (n < static_cast<int>(g.caps.size()) &&
+                 node_share - g.caps[static_cast<std::size_t>(n)] > 1.0)
+            ++n;
+          combo.n_grid = n;
+          const double demand_w = g.base_w + std::min(demand_bw, g.level_bw) *
+                                                 spec.mem_w_per_gbps();
+          if (node_share - demand_w > 1.0 &&
+              std::find(combo.grid, combo.grid + combo.n_grid, demand_w) ==
+                  combo.grid + combo.n_grid) {
+            combo.has_demand = true;
+            combo.demand_w = demand_w;
           }
-          if (!combo.mem_caps.empty()) combos.push_back(std::move(combo));
+          if (combo.n_caps() > 0) combos.push_back(combo);
         }
       }
     }
@@ -111,26 +178,34 @@ sim::ClusterConfig OracleScheduler::plan(
   CLIP_ENSURE(!combos.empty(), "oracle found no feasible configuration");
 
   // ---- evaluate -----------------------------------------------------------
-  // Exact times per (combo, cap); untouched entries stay +inf and lose the
-  // final scan. All evaluations are exact (noise-free) runs, so the filled
-  // values are identical whatever the execution order — parallelism and
-  // pruning can only change *which* entries get filled, never their values.
+  // Exact times per (combo, cap); rows are allocated by evaluate_combo, so a
+  // pruned combo's row stays empty and the final scan skips it. All
+  // evaluations are exact (noise-free) runs, so the filled values are
+  // identical whatever the execution order — parallelism and pruning can
+  // only change *which* rows get filled, never their values.
   const double kInf = std::numeric_limits<double>::infinity();
   std::vector<std::vector<double>> times(combos.size());
-  for (std::size_t i = 0; i < combos.size(); ++i)
-    times[i].assign(combos[i].mem_caps.size(), kInf);
 
   std::atomic<double> best_seen{kInf};
   const auto evaluate_combo = [&](std::size_t ci) {
     const GridCombo& combo = combos[ci];
+    // A combo's cap grid shares one (workload, placement) prefix — exactly
+    // the frontier shape run_batch vectorizes. The batch results are
+    // bit-identical to per-point run_exact calls.
+    std::vector<sim::CapPoint> caps(static_cast<std::size_t>(combo.n_caps()));
+    for (int j = 0; j < combo.n_caps(); ++j) {
+      const double mem_w = combo.cap(j);
+      caps[static_cast<std::size_t>(j)].mem_cap = Watts(mem_w);
+      caps[static_cast<std::size_t>(j)].cpu_cap =
+          Watts(combo.node_share - mem_w);
+    }
+    const sim::FrontierResult ms = executor_->run_batch(app, combo.base, caps);
+    last_search_cost_.fetch_add(static_cast<int>(caps.size()),
+                                std::memory_order_relaxed);
     double local_best = kInf;
-    for (std::size_t j = 0; j < combo.mem_caps.size(); ++j) {
-      sim::ClusterConfig cfg = combo.base;
-      cfg.node.mem_cap = Watts(combo.mem_caps[j]);
-      cfg.node.cpu_cap = Watts(combo.node_share - combo.mem_caps[j]);
-      const sim::Measurement m = executor_->run_exact(app, cfg);
-      last_search_cost_.fetch_add(1, std::memory_order_relaxed);
-      times[ci][j] = m.time.value();
+    times[ci].resize(ms->size());
+    for (std::size_t j = 0; j < ms->size(); ++j) {
+      times[ci][j] = (*ms)[j].time.value();
       local_best = std::min(local_best, times[ci][j]);
     }
     update_min(best_seen, local_best);
@@ -145,24 +220,59 @@ sim::ClusterConfig OracleScheduler::plan(
   if (options_.prune) {
     // One uncapped run per combo: caps at the NodeConfig defaults (1e9 W)
     // dominate every grid point of the combo, so this time is a valid lower
-    // bound for all of them. The uncapped config is budget-independent,
-    // which makes these runs ideal ExactRunCache citizens across budget
-    // sweeps — and it is never itself a candidate (its caps ignore the
-    // budget).
+    // bound for all of them. The uncapped config is budget-independent —
+    // and never itself a candidate (its caps ignore the budget) — so bounds
+    // are memoized per workload across plan() calls: a budget sweep pays
+    // the scalar executor path (cache-key encoding and all) once per combo
+    // instead of once per budget. The workload key is its full canonical
+    // encoding, so two signatures that differ in any model input can never
+    // share bounds. last_search_cost_ counts every requested bound either
+    // way, keeping reported evaluation counts sweep-order independent.
+    const auto key_of = [&](std::size_t ci) {
+      return BoundKey{combos[ci].base.nodes, combos[ci].base.node.threads,
+                      static_cast<int>(combos[ci].base.node.affinity),
+                      static_cast<int>(combos[ci].base.node.mem_level)};
+    };
+    // Every bound is "requested" whether memoized or not.
+    last_search_cost_.fetch_add(static_cast<int>(combos.size()),
+                                std::memory_order_relaxed);
+    const std::string app_key = sim::ExactRunCache::encode_batch_prefix(
+        std::string(), app, sim::ClusterConfig{});
+    std::vector<std::size_t> missing;
+    {
+      const std::lock_guard<std::mutex> lock(bound_memo_mu_);
+      const std::map<BoundKey, double>& memo = bound_memo_[app_key];
+      for (std::size_t ci = 0; ci < combos.size(); ++ci) {
+        const auto it = memo.find(key_of(ci));
+        if (it != memo.end())
+          bound[ci] = it->second;
+        else
+          missing.push_back(ci);
+      }
+    }
     const auto evaluate_bound = [&](std::size_t ci) {
-      const sim::Measurement m = executor_->run_exact(app, combos[ci].base);
-      last_search_cost_.fetch_add(1, std::memory_order_relaxed);
+      // Uncached: the memo above is the only consumer of bound times, and
+      // no candidate ever reuses the uncapped config, so filling the
+      // per-point cache would buy nothing and cost key encoding per run.
+      const sim::Measurement m =
+          executor_->run_exact_uncached(app, combos[ci].base);
       bound[ci] = m.time.value();
     };
     if (pool_ != nullptr) {
-      parallel::parallel_for(*pool_, 0,
-                             static_cast<std::int64_t>(combos.size()),
-                             [&](std::int64_t i) {
-                               evaluate_bound(static_cast<std::size_t>(i));
-                             },
-                             parallel::Schedule::kDynamic, 8);
+      parallel::parallel_for_chunks(
+          *pool_, 0, static_cast<std::int64_t>(missing.size()),
+          [&](std::int64_t b, std::int64_t e) {
+            for (std::int64_t i = b; i < e; ++i)
+              evaluate_bound(missing[static_cast<std::size_t>(i)]);
+          },
+          parallel::Schedule::kDynamic, 8);
     } else {
-      for (std::size_t i = 0; i < combos.size(); ++i) evaluate_bound(i);
+      for (const std::size_t ci : missing) evaluate_bound(ci);
+    }
+    if (!missing.empty()) {
+      const std::lock_guard<std::mutex> lock(bound_memo_mu_);
+      std::map<BoundKey, double>& memo = bound_memo_[app_key];
+      for (const std::size_t ci : missing) memo.emplace(key_of(ci), bound[ci]);
     }
     std::stable_sort(order.begin(), order.end(),
                      [&](std::size_t a, std::size_t b) {
@@ -198,13 +308,14 @@ sim::ClusterConfig OracleScheduler::plan(
   sim::ClusterConfig best;
   double best_time = kInf;
   for (std::size_t ci = 0; ci < combos.size(); ++ci) {
-    for (std::size_t j = 0; j < combos[ci].mem_caps.size(); ++j) {
-      if (times[ci][j] < best_time) {
-        best_time = times[ci][j];
+    if (times[ci].empty()) continue;  // pruned — cannot contain the winner
+    for (int j = 0; j < combos[ci].n_caps(); ++j) {
+      if (times[ci][static_cast<std::size_t>(j)] < best_time) {
+        best_time = times[ci][static_cast<std::size_t>(j)];
         best = combos[ci].base;
-        best.node.mem_cap = Watts(combos[ci].mem_caps[j]);
-        best.node.cpu_cap =
-            Watts(combos[ci].node_share - combos[ci].mem_caps[j]);
+        const double mem_w = combos[ci].cap(j);
+        best.node.mem_cap = Watts(mem_w);
+        best.node.cpu_cap = Watts(combos[ci].node_share - mem_w);
       }
     }
   }

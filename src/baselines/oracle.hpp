@@ -21,13 +21,22 @@
 //    affinity, level) combo lower-bounds every capped point of that combo
 //    (execution time is monotone non-increasing in either cap), so a combo
 //    whose bound cannot strictly beat the incumbent is skipped wholesale;
-//  * the per-level cap grid is deduplicated (the demand-tight point often
-//    coincides with a grid point) and memoized via the executor's
-//    ExactRunCache when one is attached — the uncapped bound runs are
-//    budget-independent, so budget sweeps pay for them once.
+//  * each combo's cap grid is evaluated as one SimExecutor::run_batch
+//    frontier (the caps are the only thing varying under a shared
+//    (workload, placement) prefix), and the per-level grid is deduplicated
+//    (the demand-tight point often coincides with a grid point);
+//  * the uncapped bound runs are budget-independent, so the scheduler
+//    memoizes them per workload across plan() calls — a budget sweep pays
+//    for each combo's bound exactly once (last_search_cost still counts
+//    every bound a search *requests*, memoized or not, so reported
+//    evaluation counts are sweep-order independent).
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <map>
+#include <mutex>
+#include <string>
 
 #include "baselines/scheduler_iface.hpp"
 #include "parallel/thread_pool.hpp"
@@ -68,10 +77,19 @@ class OracleScheduler final : public PowerScheduler {
   }
 
  private:
+  /// One pruning-bound combo: the knob tuple the uncapped time depends on.
+  using BoundKey = std::array<int, 4>;  ///< nodes, threads, affinity, level
+
   sim::SimExecutor* executor_;
   OracleOptions options_;
   parallel::ThreadPool* pool_ = nullptr;
   std::atomic<int> last_search_cost_{0};
+  /// Uncapped bound times, workload (canonical encoded bytes) → combo →
+  /// exact time. Bounds are budget-independent and the exact model is pure,
+  /// so memoized values are bit-identical to recomputed ones. Guarded by
+  /// `bound_memo_mu_` (bounds evaluate concurrently under set_pool).
+  std::mutex bound_memo_mu_;
+  std::map<std::string, std::map<BoundKey, double>> bound_memo_;
 };
 
 }  // namespace clip::baselines

@@ -19,6 +19,23 @@ PowerEstimator::PowerEstimator(const sim::MachineSpec& spec,
   per_core_load_w_ = load_w / all;
   CLIP_REQUIRE(per_core_load_w_ >= 0.0, "negative per-core load power");
   per_core_bw_gbps_ = profile.per_core_bw_gbps;
+  placements_.reserve(static_cast<std::size_t>(all) * 2);
+  for (int threads = 1; threads <= all; ++threads) {
+    placements_.push_back(parallel::place_threads(
+        spec.shape, threads, parallel::AffinityPolicy::kCompact));
+    placements_.push_back(parallel::place_threads(
+        spec.shape, threads, parallel::AffinityPolicy::kScatter));
+  }
+}
+
+const parallel::Placement& PowerEstimator::placement(
+    int threads, parallel::AffinityPolicy affinity) const {
+  CLIP_REQUIRE(threads >= 1 && threads <= spec_->shape.total_cores(),
+               "threads outside the node");
+  const std::size_t i =
+      static_cast<std::size_t>(threads - 1) * 2 +
+      (affinity == parallel::AffinityPolicy::kCompact ? 0 : 1);
+  return placements_[i];
 }
 
 double PowerEstimator::bw_demand_gbps(int threads) const {
@@ -31,10 +48,8 @@ Watts PowerEstimator::cpu_power(int threads,
   CLIP_REQUIRE(threads >= 1 && threads <= spec_->shape.total_cores(),
                "threads outside the node");
   CLIP_REQUIRE(f_rel > 0.0 && f_rel <= 1.5, "f_rel out of range");
-  const parallel::Placement placement =
-      parallel::place_threads(spec_->shape, threads, affinity);
   double total = 0.0;
-  for (int t : placement.threads_per_socket)
+  for (int t : placement(threads, affinity).threads_per_socket)
     total += t > 0 ? spec_->socket_base_w : spec_->socket_parked_w;
   total += threads * per_core_load_w_ *
            std::pow(f_rel, spec_->power_exponent);
@@ -44,9 +59,7 @@ Watts PowerEstimator::cpu_power(int threads,
 Watts PowerEstimator::mem_power(int threads,
                                 parallel::AffinityPolicy affinity,
                                 sim::MemPowerLevel level) const {
-  const parallel::Placement placement =
-      parallel::place_threads(spec_->shape, threads, affinity);
-  const double level_bw = placement.active_sockets() *
+  const double level_bw = placement(threads, affinity).active_sockets() *
                           spec_->socket_bw_gbps * sim::bw_fraction(level);
   return mem_power_at_bw(threads, affinity,
                          std::min(bw_demand_gbps(threads), level_bw));
@@ -56,9 +69,7 @@ Watts PowerEstimator::mem_power_at_bw(int threads,
                                       parallel::AffinityPolicy affinity,
                                       double achieved_bw_gbps) const {
   CLIP_REQUIRE(achieved_bw_gbps >= 0.0, "achieved bandwidth must be >= 0");
-  const parallel::Placement placement =
-      parallel::place_threads(spec_->shape, threads, affinity);
-  const int active = placement.active_sockets();
+  const int active = placement(threads, affinity).active_sockets();
   const int parked = spec_->shape.sockets - active;
   return Watts(active * spec_->mem_base_w_per_socket +
                parked * spec_->mem_parked_w_per_socket +

@@ -12,6 +12,8 @@
 // above the upper bound power is wasted.
 #pragma once
 
+#include <vector>
+
 #include "core/profile.hpp"
 #include "sim/machine.hpp"
 #include "util/units.hpp"
@@ -60,9 +62,17 @@ class PowerEstimator {
   [[nodiscard]] double bw_demand_gbps(int threads) const;
 
  private:
+  /// The placement for (threads, affinity) — the estimator asks for the
+  /// same handful of placements tens of thousands of times per budget
+  /// sweep, so they are built once here instead of per call. The returned
+  /// object is identical to a fresh place_threads result.
+  [[nodiscard]] const parallel::Placement& placement(
+      int threads, parallel::AffinityPolicy affinity) const;
+
   const sim::MachineSpec* spec_;
   double per_core_load_w_ = 0.0;
   double per_core_bw_gbps_ = 0.0;
+  std::vector<parallel::Placement> placements_;  ///< [(threads-1)*2 + policy]
 };
 
 }  // namespace clip::core

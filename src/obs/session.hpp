@@ -80,6 +80,12 @@ inline void observe(ObsSession* s, std::string_view name,
   return spec;
 }
 
+/// Batch frontier widths (sim.batch_width): 0 … 256 in 64 linear buckets.
+[[nodiscard]] inline const HistogramSpec& batch_width_spec() {
+  static const HistogramSpec spec = HistogramSpec::linear(0.0, 256.0, 64);
+  return spec;
+}
+
 /// RAII wall-time timer: records the scope's duration in microseconds into a
 /// histogram. Inert (one branch) when the session is null.
 class ScopedTimer {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <map>
+#include <tuple>
 
 #include "baselines/all_in.hpp"
 #include "parallel/parallel_for.hpp"
@@ -139,6 +141,30 @@ ComparisonResult ComparisonHarness::run(
   // Phase 2 — time every planned cell with the exact (noise-free, pure)
   // executor. Order-independent, so it fans out across the pool; each task
   // writes only its own cell, which makes the merge deterministic.
+  //
+  // Different methods and budgets regularly plan the same (workload,
+  // placement) with only the caps differing — run_batch's frontier shape.
+  // Group the cells by that prefix (an ordered map keeps the grouping walk
+  // deterministic — clip-lint D2); cells with per-node cap overrides stay
+  // on the scalar path, which run_batch requires.
+  using GroupKey = std::tuple<std::size_t, int, int, int, int>;
+  std::map<GroupKey, std::vector<std::size_t>> groups;
+  std::vector<std::size_t> singles;
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    const sim::ClusterConfig& plan = result.cells[i].plan;
+    if (!plan.cpu_cap_overrides.empty()) {
+      singles.push_back(i);
+      continue;
+    }
+    groups[GroupKey{cell_app[i], plan.nodes, plan.node.threads,
+                    static_cast<int>(plan.node.affinity),
+                    static_cast<int>(plan.node.mem_level)}]
+        .push_back(i);
+  }
+  std::vector<const std::vector<std::size_t>*> batches;
+  batches.reserve(groups.size());
+  for (const auto& [key, members] : groups) batches.push_back(&members);
+
   const auto time_cell = [&](std::size_t i) {
     ComparisonCell& cell = result.cells[i];
     const sim::Measurement m =
@@ -146,15 +172,39 @@ ComparisonResult ComparisonHarness::run(
     cell.time_s = m.time.value();
     cell.relative_performance = reference_time[cell_app[i]] / cell.time_s;
   };
+  const auto time_group = [&](const std::vector<std::size_t>& members) {
+    const sim::ClusterConfig& base = result.cells[members.front()].plan;
+    std::vector<sim::CapPoint> caps(members.size());
+    for (std::size_t k = 0; k < members.size(); ++k) {
+      caps[k].cpu_cap = result.cells[members[k]].plan.node.cpu_cap;
+      caps[k].mem_cap = result.cells[members[k]].plan.node.mem_cap;
+    }
+    const sim::FrontierResult ms =
+        executor_->run_batch(apps[cell_app[members.front()]], base, caps);
+    for (std::size_t k = 0; k < members.size(); ++k) {
+      ComparisonCell& cell = result.cells[members[k]];
+      cell.time_s = (*ms)[k].time.value();
+      cell.relative_performance =
+          reference_time[cell_app[members[k]]] / cell.time_s;
+    }
+  };
   if (pool != nullptr) {
     parallel::parallel_for(*pool, 0,
-                           static_cast<std::int64_t>(result.cells.size()),
-                           [&](std::int64_t i) {
-                             time_cell(static_cast<std::size_t>(i));
+                           static_cast<std::int64_t>(batches.size()),
+                           [&](std::int64_t g) {
+                             time_group(*batches[static_cast<std::size_t>(g)]);
                            },
                            parallel::Schedule::kDynamic, 1);
+    parallel::parallel_for_chunks(
+        *pool, 0, static_cast<std::int64_t>(singles.size()),
+        [&](std::int64_t b, std::int64_t e) {
+          for (std::int64_t i = b; i < e; ++i)
+            time_cell(singles[static_cast<std::size_t>(i)]);
+        },
+        parallel::Schedule::kDynamic, 4);
   } else {
-    for (std::size_t i = 0; i < result.cells.size(); ++i) time_cell(i);
+    for (const auto* members : batches) time_group(*members);
+    for (const std::size_t i : singles) time_cell(i);
   }
   return result;
 }

@@ -60,6 +60,14 @@ struct NodeMeasurement {
   EventRates events;
 };
 
+/// One candidate (PKG cap, DRAM cap) point of a batch frontier — the only
+/// fields that vary across a SimExecutor::run_batch call.
+struct CapPoint {
+  Watts cpu_cap{0.0};
+  Watts mem_cap{0.0};
+  friend bool operator==(const CapPoint&, const CapPoint&) = default;
+};
+
 /// Cluster-level measurement of one run.
 struct Measurement {
   Seconds time{0.0};       ///< makespan: max node time + communication

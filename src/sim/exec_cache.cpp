@@ -2,26 +2,74 @@
 
 #include <algorithm>
 #include <cstring>
-#include <functional>
+
+#include "util/check.hpp"
 
 namespace clip::sim {
 
+namespace {
+
+/// splitmix64 finalizer — full-avalanche mixing for the 24-byte POD key.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t bits_of(double v) {
+  std::uint64_t out;
+  std::memcpy(&out, &v, sizeof(out));
+  return out;
+}
+
+}  // namespace
+
+std::size_t ExactRunCache::KeyHash::operator()(const CacheKey& k) const {
+  std::uint64_t h = mix64(k.prefix);
+  h = mix64(h ^ bits_of(k.cpu_cap_w));
+  h = mix64(h ^ bits_of(k.mem_cap_w));
+  return static_cast<std::size_t>(h);
+}
+
+std::size_t ExactRunCache::FrontierKeyHash::operator()(
+    const FrontierKey& k) const {
+  std::uint64_t h = mix64(k.prefix);
+  for (const CapPoint& p : k.caps) {
+    h = mix64(h ^ bits_of(p.cpu_cap.value()));
+    h = mix64(h ^ bits_of(p.mem_cap.value()));
+  }
+  return static_cast<std::size_t>(h);
+}
+
 ExactRunCache::ExactRunCache(ExactCacheOptions options) {
   const int shards = std::max(1, options.shards);
+  frontier_cap_ = std::max<std::size_t>(options.max_frontier_entries, 1);
   const std::size_t max_entries = std::max<std::size_t>(
       options.max_entries, static_cast<std::size_t>(shards));
   per_shard_cap_ =
       (max_entries + static_cast<std::size_t>(shards) - 1) /
       static_cast<std::size_t>(shards);
   shards_ = std::vector<Shard>(static_cast<std::size_t>(shards));
+  // Pre-size the buckets (bounded at 64 Ki per shard) so the hot insert
+  // path never pays an incremental rehash walk.
+  for (Shard& shard : shards_)
+    shard.map.reserve(std::min<std::size_t>(per_shard_cap_, 1u << 16));
 }
 
-ExactRunCache::Shard& ExactRunCache::shard_for(const std::string& key) const {
-  const std::size_t h = std::hash<std::string>{}(key);
-  return shards_[h % shards_.size()];
+std::uint64_t ExactRunCache::intern_prefix(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(intern_mu_);
+  // Ids start at 1 so a default CacheKey{} can never alias a real entry.
+  const auto [it, inserted] =
+      intern_.try_emplace(prefix, static_cast<std::uint64_t>(intern_.size()) + 1);
+  return it->second;
 }
 
-bool ExactRunCache::lookup(const std::string& key, Measurement& out) const {
+ExactRunCache::Shard& ExactRunCache::shard_for(const CacheKey& key) const {
+  return shards_[KeyHash{}(key) % shards_.size()];
+}
+
+bool ExactRunCache::lookup(const CacheKey& key, Measurement& out) const {
   Shard& shard = shard_for(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   const auto it = shard.map.find(key);
@@ -34,16 +82,40 @@ bool ExactRunCache::lookup(const std::string& key, Measurement& out) const {
   return true;
 }
 
-void ExactRunCache::insert(const std::string& key, const Measurement& m) {
+void ExactRunCache::insert(const CacheKey& key, const Measurement& m) {
   Shard& shard = shard_for(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   const auto [it, inserted] = shard.map.try_emplace(key, m);
   if (!inserted) return;  // a concurrent miss already filled it — identical
-  shard.fifo.push_back(&it->first);
+  shard.fifo.push_back(key);
   if (shard.fifo.size() > per_shard_cap_) {
-    const std::string* oldest = shard.fifo.front();
+    shard.map.erase(shard.fifo.front());
     shard.fifo.pop_front();
-    shard.map.erase(*oldest);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+FrontierResult ExactRunCache::lookup_frontier(
+    const FrontierKey& key) const {
+  std::lock_guard<std::mutex> lock(frontier_mu_);
+  const auto it = frontiers_.find(key);
+  if (it == frontiers_.end()) {
+    misses_.fetch_add(key.caps.size(), std::memory_order_relaxed);
+    return nullptr;
+  }
+  hits_.fetch_add(key.caps.size(), std::memory_order_relaxed);
+  return it->second;
+}
+
+void ExactRunCache::insert_frontier(FrontierKey key, FrontierResult result) {
+  std::lock_guard<std::mutex> lock(frontier_mu_);
+  const auto [it, inserted] =
+      frontiers_.try_emplace(std::move(key), std::move(result));
+  if (!inserted) return;  // a concurrent miss already filled it — identical
+  frontier_fifo_.push_back(it->first);
+  if (frontier_fifo_.size() > frontier_cap_) {
+    frontiers_.erase(frontier_fifo_.front());
+    frontier_fifo_.pop_front();
     evictions_.fetch_add(1, std::memory_order_relaxed);
   }
 }
@@ -57,6 +129,10 @@ ExactCacheStats ExactRunCache::stats() const {
     std::lock_guard<std::mutex> lock(shard.mu);
     s.entries += shard.map.size();
   }
+  {
+    std::lock_guard<std::mutex> lock(frontier_mu_);
+    s.frontier_entries = frontiers_.size();
+  }
   return s;
 }
 
@@ -66,6 +142,9 @@ void ExactRunCache::clear() {
     shard.map.clear();
     shard.fifo.clear();
   }
+  std::lock_guard<std::mutex> lock(frontier_mu_);
+  frontiers_.clear();
+  frontier_fifo_.clear();
 }
 
 void ExactRunCache::encode(std::string& out, double v) {
@@ -92,7 +171,10 @@ void ExactRunCache::encode(std::string& out, const std::string& s) {
 std::string ExactRunCache::encode_spec(const MachineSpec& spec) {
   std::string out;
   out.reserve(256);
-  encode(out, spec.nodes);
+  // spec.nodes is intentionally absent — see the header: topologically
+  // identical shards of different sizes share entries, because the
+  // sequential variability draw makes the first cfg.nodes multipliers
+  // independent of the cluster size.
   encode(out, spec.shape.sockets);
   encode(out, spec.shape.cores_per_socket);
   encode(out, static_cast<std::uint64_t>(spec.ladder.state_count()));
@@ -116,6 +198,14 @@ std::string ExactRunCache::encode_spec(const MachineSpec& spec) {
 std::string ExactRunCache::encode_key(const std::string& prefix,
                                       const workloads::WorkloadSignature& w,
                                       const ClusterConfig& cfg) {
+  std::string key = encode_batch_prefix(prefix, w, cfg);
+  append_caps(key, cfg.node.cpu_cap, cfg.node.mem_cap, cfg.cpu_cap_overrides);
+  return key;
+}
+
+std::string ExactRunCache::encode_batch_prefix(
+    const std::string& prefix, const workloads::WorkloadSignature& w,
+    const ClusterConfig& cfg) {
   std::string key;
   key.reserve(prefix.size() + 256 + w.name.size() + w.parameters.size());
   key.append(prefix);
@@ -142,16 +232,25 @@ std::string ExactRunCache::encode_key(const std::string& prefix,
   encode(key, w.comm_surface_coeff);
   encode(key, static_cast<int>(w.has_predefined_process_counts));
 
-  // Cluster configuration.
+  // Cluster configuration, minus the caps/overrides suffix (append_caps).
   encode(key, cfg.nodes);
   encode(key, cfg.node.threads);
   encode(key, static_cast<int>(cfg.node.affinity));
   encode(key, static_cast<int>(cfg.node.mem_level));
-  encode(key, cfg.node.cpu_cap.value());
-  encode(key, cfg.node.mem_cap.value());
-  encode(key, static_cast<std::uint64_t>(cfg.cpu_cap_overrides.size()));
-  for (const Watts w_i : cfg.cpu_cap_overrides) encode(key, w_i.value());
   return key;
+}
+
+void ExactRunCache::append_overrides(
+    std::string& key, const std::vector<Watts>& cpu_cap_overrides) {
+  encode(key, static_cast<std::uint64_t>(cpu_cap_overrides.size()));
+  for (const Watts w_i : cpu_cap_overrides) encode(key, w_i.value());
+}
+
+void ExactRunCache::append_caps(std::string& key, Watts cpu_cap, Watts mem_cap,
+                                const std::vector<Watts>& cpu_cap_overrides) {
+  encode(key, cpu_cap.value());
+  encode(key, mem_cap.value());
+  append_overrides(key, cpu_cap_overrides);
 }
 
 }  // namespace clip::sim

@@ -9,13 +9,27 @@
 // comparison harness's per-cell timings, and every bench binary that sweeps
 // budgets over the same configurations.
 //
-// Keys are a canonical byte encoding (no hashing ambiguity: the full key is
-// stored and compared on lookup, so hash collisions can never alias two
-// configurations). The map is sharded by key hash with one mutex per shard,
-// so concurrent readers from the host-parallel harness (src/parallel) only
-// contend when they land on the same shard. Each shard is bounded; insertion
-// beyond the bound evicts in FIFO order — eviction only costs a recompute,
-// never correctness. See docs/performance.md for the design rationale.
+// Keys are split to match how the engine sweeps: everything cap-independent
+// (spec, workload, placement, overrides) is canonically byte-encoded once
+// and *interned* to a 64-bit id; the per-point key is that id plus the two
+// caps — a 24-byte POD. A frontier of N cap points therefore pays one
+// ~450-byte encode + intern for the whole batch, instead of N string builds
+// and N long-string hashes. The interner stores and compares the full
+// encoded bytes, so distinct configurations can never alias; ids are
+// per-cache and must not cross cache instances.
+//
+// The cache stores at two granularities, matching the two executor entry
+// points. Scalar run_exact keys single Measurements on (prefix id, caps).
+// run_batch keys the *whole frontier* — (prefix id, cap array) — and the
+// stored value is a shared, immutable vector of Measurements: a batch miss
+// inserts its freshly computed results by move, and a batch hit hands the
+// stored vector back without copying a single Measurement. That matters
+// because batched computes are so cheap (~0.4 µs/point) that per-point
+// fills would cost more than the recomputes they avoid.
+//
+// Both stores are sharded/bounded; insertion beyond the bound evicts in
+// FIFO order — eviction only costs a recompute, never correctness. See
+// docs/performance.md for the design rationale.
 #pragma once
 
 #include <atomic>
@@ -38,6 +52,9 @@ struct ExactCacheOptions {
   /// shard count). One entry holds one Measurement (~a few hundred bytes on
   /// the 8-node testbed).
   std::size_t max_entries = 1u << 20;
+  /// Bound on stored frontiers (each holds one Measurement per cap point —
+  /// ~20 KiB for a width-20 frontier on the 8-node testbed).
+  std::size_t max_frontier_entries = 1u << 12;
   /// Shard count (clamped to >= 1). More shards = less lock contention.
   int shards = 16;
 };
@@ -46,24 +63,65 @@ struct ExactCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
-  std::size_t entries = 0;
+  std::size_t entries = 0;           ///< scalar entries
+  std::size_t frontier_entries = 0;  ///< whole-frontier entries
 };
+
+/// Fixed-size lookup key: an interned cap-independent prefix id plus the
+/// two caps — the only fields that vary within a batch frontier. Obtain the
+/// id from intern_prefix(); a key is only meaningful against the cache that
+/// interned it.
+struct CacheKey {
+  std::uint64_t prefix = 0;
+  double cpu_cap_w = 0.0;
+  double mem_cap_w = 0.0;
+  friend bool operator==(const CacheKey&, const CacheKey&) = default;
+};
+
+/// Whole-frontier key: interned prefix id plus the exact cap array (stored
+/// and compared in full — hash collisions can never alias two frontiers).
+struct FrontierKey {
+  std::uint64_t prefix = 0;
+  std::vector<CapPoint> caps;
+  friend bool operator==(const FrontierKey&, const FrontierKey&) = default;
+};
+
+/// Shared immutable batch result: one Measurement per cap point, in the cap
+/// array's order. Shared so cache hits and inserts never copy Measurements.
+using FrontierResult = std::shared_ptr<const std::vector<Measurement>>;
 
 class ExactRunCache {
  public:
   explicit ExactRunCache(ExactCacheOptions options = ExactCacheOptions{});
 
+  /// Intern the canonical cap-independent key bytes (encode_batch_prefix +
+  /// append_overrides output) and return the stable 64-bit id. The full
+  /// byte string is stored and compared, so two distinct prefixes always
+  /// get distinct ids. Thread-safe.
+  [[nodiscard]] std::uint64_t intern_prefix(const std::string& prefix);
+
   /// Copy the cached measurement for `key` into `out`; true on hit. Bumps
   /// the hit/miss statistics.
-  [[nodiscard]] bool lookup(const std::string& key, Measurement& out) const;
+  [[nodiscard]] bool lookup(const CacheKey& key, Measurement& out) const;
 
   /// Insert (first writer wins; a concurrent duplicate insert is dropped).
   /// Evicts the shard's oldest entry when the shard is full.
-  void insert(const std::string& key, const Measurement& m);
+  void insert(const CacheKey& key, const Measurement& m);
+
+  /// Whole-frontier lookup: non-null iff this exact (prefix, cap array) was
+  /// inserted before. A hit bumps the hit statistic by the frontier width
+  /// (every point is served from cache); a miss bumps the miss statistic by
+  /// the width.
+  [[nodiscard]] FrontierResult lookup_frontier(const FrontierKey& key) const;
+
+  /// Insert a computed frontier (first writer wins; FIFO eviction beyond
+  /// the frontier bound). The result is shared, not copied.
+  void insert_frontier(FrontierKey key, FrontierResult result);
 
   [[nodiscard]] ExactCacheStats stats() const;
 
-  /// Drop every entry (statistics are kept).
+  /// Drop every entry (statistics and interned prefixes are kept — ids stay
+  /// valid, the entries just recompute).
   void clear();
 
   // --- canonical key encoding ----------------------------------------------
@@ -79,26 +137,69 @@ class ExactRunCache {
   /// Everything `run_exact` reads from the machine: topology, DVFS ladder,
   /// power/bandwidth parameters and the variability draw. Executors with
   /// different specs can therefore share one cache without aliasing.
+  ///
+  /// Deliberately *not* encoded: `spec.nodes`. The model reads only the
+  /// first `cfg.nodes` variability multipliers, and those are drawn
+  /// sequentially from one seeded stream — so topologically identical
+  /// shards of different cluster sizes (same shape, ladder, power params,
+  /// sigma and seed) produce bit-identical measurements for any config that
+  /// fits both, and should share cache entries. `cfg.nodes` stays in the
+  /// key; run_exact validates `cfg.nodes <= spec.nodes` before probing.
   [[nodiscard]] static std::string encode_spec(const MachineSpec& spec);
 
-  /// Append the workload signature and cluster configuration to `prefix`
-  /// (the executor's pre-encoded spec) to form the full lookup key.
+  /// The full canonical key bytes for one configuration: batch prefix plus
+  /// caps and overrides. Not on the hot path (the executor interns the
+  /// prefix and keys on CacheKey instead) — kept as the reference spelling
+  /// of what discriminates two configurations, and exercised by tests.
   [[nodiscard]] static std::string encode_key(
       const std::string& prefix, const workloads::WorkloadSignature& w,
       const ClusterConfig& cfg);
 
+  /// The cap-independent part of encode_key: spec prefix, workload
+  /// signature, and every config field except the caps and overrides.
+  /// run_batch encodes this once per frontier; append_overrides completes
+  /// the intern input.
+  [[nodiscard]] static std::string encode_batch_prefix(
+      const std::string& prefix, const workloads::WorkloadSignature& w,
+      const ClusterConfig& cfg);
+
+  /// Append the per-node cap overrides (cap-independent within a frontier —
+  /// run_batch requires them empty; scalar configs intern them as part of
+  /// the prefix).
+  static void append_overrides(std::string& key,
+                               const std::vector<Watts>& cpu_cap_overrides);
+
+  /// The per-cap-point key suffix (caps + overrides), appended to a batch
+  /// prefix by encode_key.
+  static void append_caps(std::string& key, Watts cpu_cap, Watts mem_cap,
+                          const std::vector<Watts>& cpu_cap_overrides);
+
  private:
+  struct KeyHash {
+    std::size_t operator()(const CacheKey& k) const;
+  };
+  struct FrontierKeyHash {
+    std::size_t operator()(const FrontierKey& k) const;
+  };
   struct Shard {
     mutable std::mutex mu;
     // clip-lint: allow(D2) hot-path lookup/insert only; eviction walks `fifo` (insertion order), never the map
-    std::unordered_map<std::string, Measurement> map;
-    std::deque<const std::string*> fifo;  ///< keys in insertion order
+    std::unordered_map<CacheKey, Measurement, KeyHash> map;
+    std::deque<CacheKey> fifo;  ///< keys in insertion order
   };
 
-  [[nodiscard]] Shard& shard_for(const std::string& key) const;
+  [[nodiscard]] Shard& shard_for(const CacheKey& key) const;
 
   std::size_t per_shard_cap_;
+  std::size_t frontier_cap_;
   mutable std::vector<Shard> shards_;
+  mutable std::mutex intern_mu_;
+  // clip-lint: allow(D2) id assignment table — looked up by key, never iterated
+  std::unordered_map<std::string, std::uint64_t> intern_;
+  mutable std::mutex frontier_mu_;
+  // clip-lint: allow(D2) hot-path lookup/insert only; eviction walks the fifo (insertion order), never the map
+  std::unordered_map<FrontierKey, FrontierResult, FrontierKeyHash> frontiers_;
+  std::deque<FrontierKey> frontier_fifo_;  ///< frontier keys in insertion order
   mutable std::atomic<std::uint64_t> hits_{0};
   mutable std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> evictions_{0};

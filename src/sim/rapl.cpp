@@ -1,6 +1,11 @@
 #include "sim/rapl.hpp"
 
 #include <algorithm>
+#include <cmath>
+
+#if defined(CLIP_SIM_SIMD)
+#include <emmintrin.h>
+#endif
 
 #include "util/check.hpp"
 
@@ -28,87 +33,367 @@ double RaplSolver::bandwidth_ceiling(const parallel::Placement& placement,
   return std::min(level_bw, cap_bw);
 }
 
-OperatingPoint RaplSolver::solve(const workloads::WorkloadSignature& w,
-                                 double work_s, const NodeConfig& cfg,
-                                 double cpu_multiplier) const {
+RaplSolver::Prepared RaplSolver::prepare(const workloads::WorkloadSignature& w,
+                                         double work_s,
+                                         const NodeConfig& cfg) const {
   CLIP_REQUIRE(cfg.threads >= 1 && cfg.threads <= spec_->shape.total_cores(),
                "thread count outside the node");
-  CLIP_REQUIRE(cfg.cpu_cap.value() > 0.0 && cfg.mem_cap.value() > 0.0,
+  CLIP_REQUIRE(work_s > 0.0, "work must be positive");
+
+  Prepared p;
+  p.placement =
+      parallel::place_threads(spec_->shape, cfg.threads, cfg.affinity);
+  CLIP_REQUIRE(cfg.threads == p.placement.total_threads(),
+               "placement/thread count mismatch");
+  p.work_s = work_s;
+  p.threads = cfg.threads;
+
+  const int active = p.placement.active_sockets();
+  CLIP_REQUIRE(active > 0, "need at least one active socket");
+  p.level_bw_gbps =
+      active * spec_->socket_bw_gbps * bw_fraction(cfg.mem_level);
+  const int parked = spec_->shape.sockets - active;
+  p.mem_base_w = active * spec_->mem_base_w_per_socket +
+                 parked * spec_->mem_parked_w_per_socket;
+  p.w_per_gbps = spec_->mem_w_per_gbps();
+
+  p.remote_fraction =
+      w.shared_data_fraction * p.placement.cross_socket_factor();
+  p.numa_factor = 1.0 - spec_->remote_numa_penalty * p.remote_fraction;
+
+  const double n = cfg.threads;
+  const double s = w.serial_fraction;
+  const double m = w.memory_boundedness;
+  p.one_minus_m = 1.0 - m;
+  p.mem_numerator = (1.0 - s) * m;
+  p.fork_s = w.fork_overhead_s * (n - 1.0);
+  // pow() is by far the hottest cap-independent term: one sync pow and one
+  // power-law pow per state, amortized over the whole frontier.
+  const double kp_sync = w.sync_coeff_s * std::pow(n - 1.0, w.sync_exponent);
+  const double nb_demand = n * w.bw_per_core_gbps;
+  const double compute_num = (1.0 - s) * (1.0 - m);
+
+  const auto& states = spec_->ladder.states();
+  p.states.reserve(states.size());
+  for (auto it = states.rbegin(); it != states.rend(); ++it) {
+    Prepared::State st;
+    st.freq = *it;
+    st.f_rel = spec_->ladder.relative(*it);
+    CLIP_REQUIRE(st.f_rel > 0.0 && st.f_rel <= 1.5, "f_rel out of range");
+    st.pow_f = std::pow(st.f_rel, spec_->power_exponent);
+    st.demand_gbps = nb_demand * st.f_rel;
+    st.serial_t = s / st.f_rel;
+    st.nf = n * st.f_rel;
+    st.compute_t = compute_num / st.nf;
+    st.sync_t = kp_sync / st.f_rel;
+    p.states.push_back(st);
+  }
+  return p;
+}
+
+Watts RaplSolver::mem_power_prepared(const Prepared& p,
+                                     double achieved_bw_gbps) const {
+  double total = 0.0;
+  const int active = p.placement.active_sockets();
+  CLIP_ENSURE(active > 0, "memory power needs at least one active socket");
+  const double activity_w = achieved_bw_gbps * p.w_per_gbps;
+  for (int threads : p.placement.threads_per_socket) {
+    if (threads > 0) {
+      total += spec_->mem_base_w_per_socket + activity_w / active;
+    } else {
+      total += spec_->mem_parked_w_per_socket;
+    }
+  }
+  return Watts(total);
+}
+
+void RaplSolver::apply_duty_cycle(const workloads::WorkloadSignature& w,
+                                  Watts cpu_cap, double cpu_multiplier,
+                                  OperatingPoint& op) const {
+  // Even the lowest state exceeds the PKG cap: clock modulation (T-states)
+  // duty-cycles the pipeline. Gating stops the *dynamic* power; the socket
+  // base draw stays — so the duty factor solves
+  //   cap = base + load(f_min) * duty.
+  // A cap at/below the base power is physically unenforceable by clock
+  // gating; the node floors at the deepest modulation step.
+  double base_w = 0.0;
+  for (int t : op.placement.threads_per_socket)
+    base_w += t > 0 ? spec_->socket_base_w : spec_->socket_parked_w;
+  const double load_w = op.cpu_power.value() - base_w;
+  CLIP_ENSURE(load_w > 0.0, "no dynamic power to modulate");
+  constexpr double kDeepestDuty = 1.0 / 16.0;  // hardware modulation floor
+  op.duty_factor = std::clamp(
+      (cpu_cap.value() - base_w) / load_w, kDeepestDuty, 1.0);
+  op.perf.time = Seconds(op.perf.time.value() / op.duty_factor);
+  op.perf.achieved_bw_gbps *= op.duty_factor;
+  op.cpu_power = Watts(base_w + load_w * op.duty_factor);
+  NodeActivity throttled{.placement = op.placement,
+                         .f_rel = op.f_rel,
+                         .utilization = op.perf.utilization,
+                         .compute_intensity = w.compute_intensity,
+                         .achieved_bw_gbps = op.perf.achieved_bw_gbps,
+                         .cpu_load_multiplier = cpu_multiplier};
+  op.mem_power = power_.mem_power(throttled);
+}
+
+OperatingPoint RaplSolver::solve_prepared(const workloads::WorkloadSignature& w,
+                                          const Prepared& p, Watts cpu_cap,
+                                          Watts mem_cap,
+                                          double cpu_multiplier) const {
+  CLIP_REQUIRE(cpu_cap.value() > 0.0 && mem_cap.value() > 0.0,
                "caps must be positive");
   CLIP_REQUIRE(cpu_multiplier > 0.0, "variability multiplier must be > 0");
 
-  OperatingPoint op;
-  op.placement =
-      parallel::place_threads(spec_->shape, cfg.threads, cfg.affinity);
-  const double bw_cap =
-      bandwidth_ceiling(op.placement, cfg.mem_level, cfg.mem_cap);
+  // bandwidth_ceiling, from the hoisted level/base terms.
+  const double headroom_w = mem_cap.value() - p.mem_base_w;
+  const double cap_bw =
+      headroom_w <= 0.0 ? 0.0 : headroom_w / p.w_per_gbps;
+  const double bw_cap = std::min(p.level_bw_gbps, cap_bw);
   CLIP_REQUIRE(w.memory_boundedness == 0.0 || bw_cap > 0.0,
                "memory-bound workload with zero bandwidth budget — DRAM cap "
                "below base power");
+  const double bw_eff = bw_cap * p.numa_factor;
 
-  NodePerfInput in;
-  in.work_s = work_s;
-  in.threads = cfg.threads;
-  in.placement = op.placement;
-  in.bw_cap_gbps = bw_cap;
+  const double m = w.memory_boundedness;
+  const double ci = w.compute_intensity;
 
-  // Walk the DVFS ladder downward; take the fastest state under the cap.
-  const auto& states = spec_->ladder.states();
+  OperatingPoint op;
+  op.placement = p.placement;
   bool fitted = false;
-  for (auto it = states.rbegin(); it != states.rend(); ++it) {
-    in.f_rel = spec_->ladder.relative(*it);
-    const NodePerfOutput perf = perf_.evaluate(w, in);
-    NodeActivity activity{.placement = op.placement,
-                          .f_rel = in.f_rel,
-                          .utilization = perf.utilization,
-                          .compute_intensity = w.compute_intensity,
-                          .achieved_bw_gbps = perf.achieved_bw_gbps,
-                          .cpu_load_multiplier = cpu_multiplier};
-    const Watts cpu_w = power_.cpu_power(activity);
-    if (cpu_w <= cfg.cpu_cap || std::next(it) == states.rend()) {
-      op.frequency = *it;
-      op.f_rel = in.f_rel;
-      op.perf = perf;
+  // Walk the DVFS ladder downward; take the fastest state under the cap.
+  for (std::size_t k = 0; k < p.states.size(); ++k) {
+    const Prepared::State& st = p.states[k];
+    const double sat =
+        st.demand_gbps > 0.0 ? std::min(1.0, bw_eff / st.demand_gbps) : 1.0;
+    CLIP_ENSURE(m == 0.0 || sat > 0.0,
+                "memory-bound work with zero usable bandwidth");
+    const double util = p.one_minus_m + m * sat;
+    const double memory_t = m > 0.0 ? p.mem_numerator / (st.nf * sat) : 0.0;
+    const double time =
+        p.work_s * (st.serial_t + st.compute_t + memory_t + st.sync_t) +
+        p.fork_s;
+    CLIP_ENSURE(time > 0.0 && std::isfinite(time), "non-physical node time");
+
+    CLIP_REQUIRE(util >= 0.0 && util <= 1.0, "utilization in [0,1]");
+    const double activity =
+        spec_->core_power_floor +
+        (1.0 - spec_->core_power_floor) * util * ci;
+    const double per_core = spec_->core_max_w * activity * st.pow_f;
+    double total = 0.0;
+    for (int threads : p.placement.threads_per_socket) {
+      if (threads > 0) {
+        total += spec_->socket_base_w + threads * per_core * cpu_multiplier;
+      } else {
+        total += spec_->socket_parked_w;
+      }
+    }
+    const Watts cpu_w{total};
+    if (cpu_w <= cpu_cap || k + 1 == p.states.size()) {
+      op.frequency = st.freq;
+      op.f_rel = st.f_rel;
+      op.perf.time = Seconds(time);
+      op.perf.saturation = sat;
+      op.perf.utilization = util;
+      op.perf.achieved_bw_gbps = std::min(st.demand_gbps, bw_eff);
+      op.perf.bw_eff_gbps = bw_eff;
+      op.perf.remote_fraction = p.remote_fraction;
       op.cpu_power = cpu_w;
-      op.mem_power = power_.mem_power(activity);
-      fitted = cpu_w <= cfg.cpu_cap;
+      op.mem_power = mem_power_prepared(p, op.perf.achieved_bw_gbps);
+      fitted = cpu_w <= cpu_cap;
       break;
     }
   }
   CLIP_ENSURE(op.frequency.value() > 0.0, "ladder walk found no state");
 
-  if (!fitted) {
-    // Even the lowest state exceeds the PKG cap: clock modulation
-    // (T-states) duty-cycles the pipeline. Gating stops the *dynamic*
-    // power; the socket base draw stays — so the duty factor solves
-    //   cap = base + load(f_min) * duty.
-    // A cap at/below the base power is physically unenforceable by clock
-    // gating; the node floors at the deepest modulation step.
-    double base_w = 0.0;
-    for (int t : op.placement.threads_per_socket)
-      base_w += t > 0 ? spec_->socket_base_w : spec_->socket_parked_w;
-    const double load_w = op.cpu_power.value() - base_w;
-    CLIP_ENSURE(load_w > 0.0, "no dynamic power to modulate");
-    constexpr double kDeepestDuty = 1.0 / 16.0;  // hardware modulation floor
-    op.duty_factor = std::clamp(
-        (cfg.cpu_cap.value() - base_w) / load_w, kDeepestDuty, 1.0);
-    op.perf.time = Seconds(op.perf.time.value() / op.duty_factor);
-    op.perf.achieved_bw_gbps *= op.duty_factor;
-    op.cpu_power = Watts(base_w + load_w * op.duty_factor);
-    NodeActivity throttled{.placement = op.placement,
-                           .f_rel = op.f_rel,
-                           .utilization = op.perf.utilization,
-                           .compute_intensity = w.compute_intensity,
-                           .achieved_bw_gbps = op.perf.achieved_bw_gbps,
-                           .cpu_load_multiplier = cpu_multiplier};
-    op.mem_power = power_.mem_power(throttled);
-  }
+  if (!fitted) apply_duty_cycle(w, cpu_cap, cpu_multiplier, op);
   // The DRAM cap bounds *activity* power; base power is irreducible (DIMMs
   // stay powered), so a cap below base floors at the base draw.
-  CLIP_ENSURE(op.mem_power <= cfg.mem_cap + Watts(1e-9) ||
+  CLIP_ENSURE(op.mem_power <= mem_cap + Watts(1e-9) ||
                   op.perf.achieved_bw_gbps <= 1e-12,
               "memory enforcement exceeded the DRAM cap");
   return op;
 }
+
+OperatingPoint RaplSolver::solve(const workloads::WorkloadSignature& w,
+                                 double work_s, const NodeConfig& cfg,
+                                 double cpu_multiplier) const {
+  return solve_prepared(w, prepare(w, work_s, cfg), cfg.cpu_cap, cfg.mem_cap,
+                        cpu_multiplier);
+}
+
+bool RaplSolver::simd_compiled() {
+#if defined(CLIP_SIM_SIMD)
+  return true;
+#else
+  return false;
+#endif
+}
+
+void RaplSolver::solve_frontier(const workloads::WorkloadSignature& w,
+                                const Prepared& p, const Watts* cpu_caps,
+                                const Watts* mem_caps, std::size_t count,
+                                double cpu_multiplier, OperatingPoint* out,
+                                bool use_simd) const {
+#if defined(CLIP_SIM_SIMD)
+  if (use_simd && count >= 2) {
+    solve_frontier_sse2(w, p, cpu_caps, mem_caps, count, cpu_multiplier, out);
+    return;
+  }
+#else
+  (void)use_simd;
+#endif
+  for (std::size_t i = 0; i < count; ++i)
+    out[i] = solve_prepared(w, p, cpu_caps[i], mem_caps[i], cpu_multiplier);
+}
+
+#if defined(CLIP_SIM_SIMD)
+
+// Two cap points per SSE2 lane pair, states walked in lockstep. Every vector
+// op mirrors the scalar expression tree of solve_prepared one-for-one
+// (mul/add/div/min in the same order), and SSE2 double arithmetic is
+// IEEE-754-exact with no FMA contraction — so extracted lanes equal the
+// scalar path bit for bit. Acceptance, ENSURE checks and operating-point
+// recording happen on extracted scalars, exactly as the scalar walk would,
+// and lanes that accepted early have their later (discarded) state values
+// neither checked nor recorded — matching the scalar walk's visited-state
+// set. tests/test_batch.cpp pins the SIMD/scalar bit-identity.
+void RaplSolver::solve_frontier_sse2(const workloads::WorkloadSignature& w,
+                                     const Prepared& p, const Watts* cpu_caps,
+                                     const Watts* mem_caps, std::size_t count,
+                                     double cpu_multiplier,
+                                     OperatingPoint* out) const {
+  const double m = w.memory_boundedness;
+  const double ci = w.compute_intensity;
+  const double floor_w = spec_->core_power_floor;
+  const __m128d ones = _mm_set1_pd(1.0);
+
+  std::size_t i = 0;
+  for (; i + 1 < count; i += 2) {
+    double bw_eff_lane[2];
+    double cpu_cap_lane[2];
+    for (int lane = 0; lane < 2; ++lane) {
+      const std::size_t e = i + static_cast<std::size_t>(lane);
+      CLIP_REQUIRE(cpu_caps[e].value() > 0.0 && mem_caps[e].value() > 0.0,
+                   "caps must be positive");
+      CLIP_REQUIRE(cpu_multiplier > 0.0,
+                   "variability multiplier must be > 0");
+      const double headroom_w = mem_caps[e].value() - p.mem_base_w;
+      const double cap_bw =
+          headroom_w <= 0.0 ? 0.0 : headroom_w / p.w_per_gbps;
+      const double bw_cap = std::min(p.level_bw_gbps, cap_bw);
+      CLIP_REQUIRE(w.memory_boundedness == 0.0 || bw_cap > 0.0,
+                   "memory-bound workload with zero bandwidth budget — DRAM "
+                   "cap below base power");
+      bw_eff_lane[lane] = bw_cap * p.numa_factor;
+      cpu_cap_lane[lane] = cpu_caps[e].value();
+    }
+    const __m128d bw_eff_v = _mm_set_pd(bw_eff_lane[1], bw_eff_lane[0]);
+
+    bool done[2] = {false, false};
+    bool fitted[2] = {false, false};
+    for (std::size_t k = 0; k < p.states.size() && !(done[0] && done[1]);
+         ++k) {
+      const Prepared::State& st = p.states[k];
+      // sat = demand > 0 ? min(1, bw_eff / demand) : 1  (branch is uniform
+      // across lanes: demand is a per-state scalar).
+      const __m128d sat_v =
+          st.demand_gbps > 0.0
+              ? _mm_min_pd(_mm_div_pd(bw_eff_v, _mm_set1_pd(st.demand_gbps)),
+                           ones)
+              : ones;
+      // util = (1 - m) + m * sat
+      const __m128d util_v = _mm_add_pd(
+          _mm_set1_pd(p.one_minus_m), _mm_mul_pd(_mm_set1_pd(m), sat_v));
+      // memory_t = m > 0 ? mem_numerator / (nf * sat) : 0
+      const __m128d mem_t_v =
+          m > 0.0 ? _mm_div_pd(_mm_set1_pd(p.mem_numerator),
+                               _mm_mul_pd(_mm_set1_pd(st.nf), sat_v))
+                  : _mm_setzero_pd();
+      // time = work * (((serial + compute) + memory) + sync) + fork
+      const __m128d sum_v = _mm_add_pd(
+          _mm_add_pd(_mm_add_pd(_mm_set1_pd(st.serial_t),
+                                _mm_set1_pd(st.compute_t)),
+                     mem_t_v),
+          _mm_set1_pd(st.sync_t));
+      const __m128d time_v = _mm_add_pd(
+          _mm_mul_pd(_mm_set1_pd(p.work_s), sum_v), _mm_set1_pd(p.fork_s));
+      // activity = floor + ((1 - floor) * util) * ci
+      const __m128d act_v = _mm_add_pd(
+          _mm_set1_pd(floor_w),
+          _mm_mul_pd(_mm_mul_pd(_mm_set1_pd(1.0 - floor_w), util_v),
+                     _mm_set1_pd(ci)));
+      // per_core = (core_max * activity) * pow_f
+      const __m128d per_core_v =
+          _mm_mul_pd(_mm_mul_pd(_mm_set1_pd(spec_->core_max_w), act_v),
+                     _mm_set1_pd(st.pow_f));
+      // cpu_w = Σ_sockets base + (threads * per_core) * multiplier
+      __m128d cpu_v = _mm_setzero_pd();
+      for (int threads : p.placement.threads_per_socket) {
+        if (threads > 0) {
+          cpu_v = _mm_add_pd(
+              cpu_v,
+              _mm_add_pd(
+                  _mm_set1_pd(spec_->socket_base_w),
+                  _mm_mul_pd(
+                      _mm_mul_pd(_mm_set1_pd(static_cast<double>(threads)),
+                                 per_core_v),
+                      _mm_set1_pd(cpu_multiplier))));
+        } else {
+          cpu_v = _mm_add_pd(cpu_v, _mm_set1_pd(spec_->socket_parked_w));
+        }
+      }
+
+      double sat_lane[2], util_lane[2], time_lane[2], cpu_lane[2];
+      _mm_storeu_pd(sat_lane, sat_v);
+      _mm_storeu_pd(util_lane, util_v);
+      _mm_storeu_pd(time_lane, time_v);
+      _mm_storeu_pd(cpu_lane, cpu_v);
+
+      for (int lane = 0; lane < 2; ++lane) {
+        if (done[lane]) continue;
+        const std::size_t e = i + static_cast<std::size_t>(lane);
+        CLIP_ENSURE(m == 0.0 || sat_lane[lane] > 0.0,
+                    "memory-bound work with zero usable bandwidth");
+        CLIP_ENSURE(time_lane[lane] > 0.0 && std::isfinite(time_lane[lane]),
+                    "non-physical node time");
+        CLIP_REQUIRE(util_lane[lane] >= 0.0 && util_lane[lane] <= 1.0,
+                     "utilization in [0,1]");
+        if (cpu_lane[lane] <= cpu_cap_lane[lane] ||
+            k + 1 == p.states.size()) {
+          OperatingPoint& op = out[e];
+          op.placement = p.placement;
+          op.duty_factor = 1.0;
+          op.frequency = st.freq;
+          op.f_rel = st.f_rel;
+          op.perf.time = Seconds(time_lane[lane]);
+          op.perf.saturation = sat_lane[lane];
+          op.perf.utilization = util_lane[lane];
+          op.perf.achieved_bw_gbps =
+              std::min(st.demand_gbps, bw_eff_lane[lane]);
+          op.perf.bw_eff_gbps = bw_eff_lane[lane];
+          op.perf.remote_fraction = p.remote_fraction;
+          op.cpu_power = Watts(cpu_lane[lane]);
+          op.mem_power = mem_power_prepared(p, op.perf.achieved_bw_gbps);
+          fitted[lane] = cpu_lane[lane] <= cpu_cap_lane[lane];
+          done[lane] = true;
+        }
+      }
+    }
+    for (int lane = 0; lane < 2; ++lane) {
+      const std::size_t e = i + static_cast<std::size_t>(lane);
+      CLIP_ENSURE(out[e].frequency.value() > 0.0,
+                  "ladder walk found no state");
+      if (!fitted[lane])
+        apply_duty_cycle(w, cpu_caps[e], cpu_multiplier, out[e]);
+      CLIP_ENSURE(out[e].mem_power <= mem_caps[e] + Watts(1e-9) ||
+                      out[e].perf.achieved_bw_gbps <= 1e-12,
+                  "memory enforcement exceeded the DRAM cap");
+    }
+  }
+  if (i < count)  // odd tail
+    out[i] = solve_prepared(w, p, cpu_caps[i], mem_caps[i], cpu_multiplier);
+}
+
+#endif  // CLIP_SIM_SIMD
 
 }  // namespace clip::sim

@@ -9,6 +9,9 @@
 // power clamped at the cap.
 #pragma once
 
+#include <cstddef>
+#include <vector>
+
 #include "sim/config.hpp"
 #include "sim/machine.hpp"
 #include "sim/perf_model.hpp"
@@ -31,7 +34,68 @@ struct OperatingPoint {
 class RaplSolver {
  public:
   explicit RaplSolver(const MachineSpec& spec)
-      : spec_(&spec), power_(spec), perf_(spec) {}
+      : spec_(&spec), power_(spec) {}
+
+  /// Cap-independent context of one (workload, work share, placement): every
+  /// term the ladder walk reads that depends on neither cap, hoisted out of
+  /// the per-cap loop. Each stored value is a *whole* subexpression of the
+  /// scalar model, evaluated with the identical operation tree — reusing it
+  /// across cap points cannot change a bit of any result, because no sum or
+  /// product is reassociated (see docs/performance.md, "hoisting
+  /// invariants").
+  struct Prepared {
+    parallel::Placement placement;
+    double work_s = 0.0;
+    int threads = 1;
+    double level_bw_gbps = 0.0;  ///< active * socket_bw * bw_fraction(level)
+    double mem_base_w = 0.0;     ///< DRAM base draw of the socket mix
+    double w_per_gbps = 0.0;     ///< spec.mem_w_per_gbps()
+    double numa_factor = 0.0;    ///< 1 - remote_numa_penalty * remote_frac
+    double remote_fraction = 0.0;
+    double one_minus_m = 0.0;    ///< 1 - memory_boundedness
+    double mem_numerator = 0.0;  ///< (1 - s) * m
+    double fork_s = 0.0;         ///< fork_overhead_s * (n - 1)
+    /// Per-DVFS-state terms, stored in ladder *walk* order (highest state
+    /// first) and laid out contiguously so the frontier kernel streams them.
+    struct State {
+      GHz freq{0.0};
+      double f_rel = 0.0;
+      double pow_f = 0.0;        ///< pow(f_rel, power_exponent)
+      double demand_gbps = 0.0;  ///< (n * bw_per_core) * f_rel
+      double serial_t = 0.0;     ///< s / f_rel
+      double compute_t = 0.0;    ///< ((1-s)*(1-m)) / (n * f_rel)
+      double nf = 0.0;           ///< n * f_rel
+      double sync_t = 0.0;       ///< (sync_coeff * pow(n-1, e)) / f_rel
+    };
+    std::vector<State> states;
+  };
+
+  /// Hoist the cap-independent work of `solve` for `w` at `work_s` under
+  /// `cfg`'s placement knobs (threads, affinity, mem_level — the caps in
+  /// `cfg` are ignored). Build once per candidate frontier.
+  [[nodiscard]] Prepared prepare(const workloads::WorkloadSignature& w,
+                                 double work_s, const NodeConfig& cfg) const;
+
+  /// Solve one cap point against a prepared context. `solve` delegates
+  /// here, so the scalar and batch paths share one implementation and are
+  /// bit-identical by construction.
+  [[nodiscard]] OperatingPoint solve_prepared(
+      const workloads::WorkloadSignature& w, const Prepared& p, Watts cpu_cap,
+      Watts mem_cap, double cpu_multiplier = 1.0) const;
+
+  /// Solve a whole cap frontier (parallel arrays of PKG/DRAM caps) against
+  /// one prepared context. With `use_simd` and the CMake SSE2 probe passed
+  /// (CLIP_SIM_SIMD), the ladder walk evaluates two cap points per
+  /// instruction; the scalar fallback is always compiled and produces
+  /// bit-identical OperatingPoints (the kernel mirrors the scalar operation
+  /// trees with IEEE-exact SSE2 ops — no FMA contraction, no reassociation).
+  void solve_frontier(const workloads::WorkloadSignature& w, const Prepared& p,
+                      const Watts* cpu_caps, const Watts* mem_caps,
+                      std::size_t count, double cpu_multiplier,
+                      OperatingPoint* out, bool use_simd) const;
+
+  /// True when the SSE2 frontier kernel was compiled in (CLIP_SIM_SIMD).
+  [[nodiscard]] static bool simd_compiled();
 
   /// Solve the operating point of a node executing `work_s` 1-core-seconds
   /// of `w` under `cfg`, with manufacturing multiplier `cpu_multiplier`.
@@ -46,9 +110,25 @@ class RaplSolver {
                                          Watts mem_cap) const;
 
  private:
+  /// The clock-modulation fallback when even the lowest DVFS state exceeds
+  /// the PKG cap; shared by the scalar and frontier paths.
+  void apply_duty_cycle(const workloads::WorkloadSignature& w, Watts cpu_cap,
+                        double cpu_multiplier, OperatingPoint& op) const;
+
+  /// Memory-domain power from hoisted terms — value-identical to
+  /// PowerModel::mem_power at the same activity.
+  [[nodiscard]] Watts mem_power_prepared(const Prepared& p,
+                                         double achieved_bw_gbps) const;
+
+#if defined(CLIP_SIM_SIMD)
+  void solve_frontier_sse2(const workloads::WorkloadSignature& w,
+                           const Prepared& p, const Watts* cpu_caps,
+                           const Watts* mem_caps, std::size_t count,
+                           double cpu_multiplier, OperatingPoint* out) const;
+#endif
+
   const MachineSpec* spec_;
   PowerModel power_;
-  PerfModel perf_;
 };
 
 }  // namespace clip::sim

@@ -20,6 +20,8 @@ Variability::Variability(const MachineSpec& spec) {
     const double sigma = spec.variability_sigma;
     multipliers_.push_back(rng.lognormal(-0.5 * sigma * sigma, sigma));
   }
+  for (const double m : multipliers_)
+    uniform_ = uniform_ && m == multipliers_.front();
 }
 
 double Variability::cpu_multiplier(int index) const {

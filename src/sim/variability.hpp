@@ -28,6 +28,11 @@ class Variability {
     return multipliers_;
   }
 
+  /// True when every node drew exactly the same multiplier (always the case
+  /// for sigma = 0, the default testbed). The executor's batch path solves
+  /// one node and replicates the bit-identical result when this holds.
+  [[nodiscard]] bool uniform() const { return uniform_; }
+
   /// Relative spread: (max - min) / min. The coordinator only acts when this
   /// exceeds its threshold ("our experimental nodes are quite homogeneous,
   /// thus we only coordinate power ... when the variability exceeds a
@@ -36,6 +41,7 @@ class Variability {
 
  private:
   std::vector<double> multipliers_;
+  bool uniform_ = true;
 };
 
 }  // namespace clip::sim

@@ -1,0 +1,363 @@
+// Property tests for the batch-vectorized simulator core
+// (SimExecutor::run_batch). The contract under test is *bit* identity:
+// evaluating a whole cap frontier in one call — with subexpression
+// hoisting, SoA state, optional SIMD, in-frontier deduplication and
+// frontier-granular caching — must reproduce the scalar run_exact loop to
+// the last mantissa bit, for every field of every Measurement. Anything
+// weaker would let batching change figure bytes.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "obs/session.hpp"
+#include "sim/exec_cache.hpp"
+#include "sim/executor.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "workloads/catalog.hpp"
+#include "workloads/phases.hpp"
+
+namespace clip {
+namespace {
+
+sim::MeterOptions no_noise() {
+  sim::MeterOptions m;
+  m.enabled = false;
+  return m;
+}
+
+std::uint64_t counter(obs::ObsSession& s, std::string_view name) {
+  const obs::Counter* c = s.metrics().find_counter(name);
+  return c == nullptr ? 0 : c->value();
+}
+
+/// Exact double equality, NaN-safe and -0.0-strict: compares the bits.
+void expect_bits(double a, double b, const char* what) {
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a), std::bit_cast<std::uint64_t>(b))
+      << what << ": " << a << " vs " << b;
+}
+
+void expect_bit_identical(const sim::Measurement& a,
+                          const sim::Measurement& b) {
+  expect_bits(a.time.value(), b.time.value(), "time");
+  expect_bits(a.comm_time.value(), b.comm_time.value(), "comm_time");
+  expect_bits(a.avg_power.value(), b.avg_power.value(), "avg_power");
+  expect_bits(a.energy.value(), b.energy.value(), "energy");
+  ASSERT_EQ(a.nodes.size(), b.nodes.size());
+  for (std::size_t n = 0; n < a.nodes.size(); ++n) {
+    const sim::NodeMeasurement& x = a.nodes[n];
+    const sim::NodeMeasurement& y = b.nodes[n];
+    expect_bits(x.time.value(), y.time.value(), "node.time");
+    expect_bits(x.frequency.value(), y.frequency.value(), "node.frequency");
+    expect_bits(x.duty_factor, y.duty_factor, "node.duty_factor");
+    expect_bits(x.cpu_power.value(), y.cpu_power.value(), "node.cpu_power");
+    expect_bits(x.mem_power.value(), y.mem_power.value(), "node.mem_power");
+    expect_bits(x.achieved_bw_gbps, y.achieved_bw_gbps,
+                "node.achieved_bw_gbps");
+    expect_bits(x.saturation, y.saturation, "node.saturation");
+    expect_bits(x.events.icache_misses_per_s, y.events.icache_misses_per_s,
+                "events.icache");
+    expect_bits(x.events.read_bw_gbps, y.events.read_bw_gbps, "events.read");
+    expect_bits(x.events.write_bw_gbps, y.events.write_bw_gbps,
+                "events.write");
+    expect_bits(x.events.l3_miss_local_per_s, y.events.l3_miss_local_per_s,
+                "events.l3_local");
+    expect_bits(x.events.l3_miss_remote_per_s, y.events.l3_miss_remote_per_s,
+                "events.l3_remote");
+    expect_bits(x.events.cycles_active_per_s, y.events.cycles_active_per_s,
+                "events.cycles");
+    expect_bits(x.events.instructions_per_s, y.events.instructions_per_s,
+                "events.instructions");
+    expect_bits(x.events.perf_ratio_full_half, y.events.perf_ratio_full_half,
+                "events.perf_ratio");
+  }
+}
+
+/// A catalog signature with its continuous model inputs jittered — keeps
+/// every field in its physically sensible range while leaving no chance the
+/// batch path only works for the ten curated benchmarks.
+workloads::WorkloadSignature random_workload(Rng& rng) {
+  const auto& cat = workloads::paper_benchmarks();
+  workloads::WorkloadSignature w =
+      cat[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(cat.size()) - 1))];
+  w.node_base_time_s *= rng.uniform(0.5, 2.0);
+  w.serial_fraction = rng.uniform(0.0, 0.2);
+  w.memory_boundedness = rng.uniform(0.0, 1.0);
+  w.bw_per_core_gbps = rng.uniform(0.1, 6.0);
+  w.sync_coeff_s = rng.uniform(0.0, 0.02);
+  w.shared_data_fraction = rng.uniform(0.0, 1.0);
+  w.compute_intensity = rng.uniform(0.2, 1.0);
+  w.ipc = rng.uniform(0.5, 3.0);
+  w.icache_pressure = rng.uniform(0.0, 0.3);
+  w.write_fraction = rng.uniform(0.1, 0.6);
+  w.comm_latency_s = rng.uniform(0.0, 0.2);
+  return w;
+}
+
+/// A random placement: node count, even thread count, affinity, mem level.
+sim::ClusterConfig random_base(Rng& rng, const sim::MachineSpec& spec) {
+  sim::ClusterConfig cfg;
+  cfg.nodes = rng.uniform_int(1, spec.nodes);
+  cfg.node.threads =
+      2 * rng.uniform_int(1, spec.shape.total_cores() / 2);
+  cfg.node.affinity = rng.uniform() < 0.5 ? parallel::AffinityPolicy::kCompact
+                                          : parallel::AffinityPolicy::kScatter;
+  cfg.node.mem_level =
+      sim::kAllMemLevels[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<int>(std::size(sim::kAllMemLevels)) - 1))];
+  return cfg;
+}
+
+std::vector<sim::CapPoint> random_caps(Rng& rng, std::size_t width) {
+  std::vector<sim::CapPoint> caps(width);
+  for (sim::CapPoint& p : caps) {
+    p.cpu_cap = Watts(rng.uniform(25.0, 130.0));
+    // Keep the DRAM cap above the worst-case DIMM base power (2 sockets
+    // × 5 W) so memory-bound draws always have a positive bandwidth budget.
+    p.mem_cap = Watts(rng.uniform(12.0, 60.0));
+  }
+  return caps;
+}
+
+/// The core property: run_batch == scalar run_exact loop, bit for bit.
+void check_batch_equals_scalar(sim::SimExecutor& ex, Rng& rng, int trials) {
+  for (int t = 0; t < trials; ++t) {
+    const workloads::WorkloadSignature w = random_workload(rng);
+    const sim::ClusterConfig base = random_base(rng, ex.spec());
+    const std::size_t width =
+        static_cast<std::size_t>(rng.uniform_int(4, 64));
+    const std::vector<sim::CapPoint> caps = random_caps(rng, width);
+
+    const sim::FrontierResult batch = ex.run_batch(w, base, caps);
+    ASSERT_EQ(batch->size(), caps.size());
+    for (std::size_t i = 0; i < caps.size(); ++i) {
+      sim::ClusterConfig point = base;
+      point.node.cpu_cap = caps[i].cpu_cap;
+      point.node.mem_cap = caps[i].mem_cap;
+      expect_bit_identical((*batch)[i], ex.run_exact(w, point));
+    }
+  }
+}
+
+// ------------------------------------------------------------ bit identity ---
+
+TEST(BatchIdentity, MatchesScalarAcrossRandomFrontiers) {
+  sim::SimExecutor ex(sim::MachineSpec{}, no_noise());
+  Rng rng(0x11u);
+  check_batch_equals_scalar(ex, rng, 30);
+}
+
+TEST(BatchIdentity, MatchesScalarUnderNodeVariability) {
+  // sigma > 0 makes nodes heterogeneous: the batch path must take the
+  // per-node (non-uniform) kernel and still agree bit for bit.
+  sim::MachineSpec spec;
+  spec.variability_sigma = 0.08;
+  spec.variability_seed = 7;
+  sim::SimExecutor ex(spec, no_noise());
+  Rng rng(0x22u);
+  check_batch_equals_scalar(ex, rng, 20);
+}
+
+TEST(BatchIdentity, MatchesScalarWithCacheAttached) {
+  // The frontier cache must be invisible to results: probe/fill at frontier
+  // granularity, same bytes out.
+  sim::SimExecutor ex(sim::MachineSpec{}, no_noise());
+  sim::ExactRunCache cache;
+  ex.set_exact_cache(&cache);
+  Rng rng(0x33u);
+  check_batch_equals_scalar(ex, rng, 15);
+  EXPECT_GT(cache.stats().frontier_entries, 0u);
+}
+
+TEST(BatchIdentity, PhasedExecutionUnaffectedByBatchMachinery) {
+  // run_phased_exact composes the same node model the batch kernel hoists;
+  // attaching a cache/observer or toggling the SIMD kernel must not perturb
+  // phased results by a bit.
+  sim::SimExecutor plain(sim::MachineSpec{}, no_noise());
+  sim::SimExecutor tooled(sim::MachineSpec{}, no_noise());
+  sim::ExactRunCache cache;
+  obs::ObsSession session;
+  tooled.set_exact_cache(&cache);
+  tooled.set_observer(&session);
+  tooled.set_batch_simd(!tooled.batch_simd());
+
+  Rng rng(0x44u);
+  for (const workloads::PhasedWorkload& w : workloads::phased_benchmarks()) {
+    sim::PhasedClusterConfig cfg;
+    cfg.nodes = rng.uniform_int(1, 4);
+    for (std::size_t p = 0; p < w.phases.size(); ++p) {
+      sim::NodeConfig node;
+      node.threads = 2 * rng.uniform_int(1, 12);
+      node.cpu_cap = Watts(rng.uniform(40.0, 120.0));
+      node.mem_cap = Watts(rng.uniform(10.0, 50.0));
+      cfg.phase_nodes.push_back(node);
+    }
+    const sim::PhasedMeasurement a = plain.run_phased_exact(w, cfg);
+    const sim::PhasedMeasurement b = tooled.run_phased_exact(w, cfg);
+    expect_bits(a.time.value(), b.time.value(), "phased.time");
+    expect_bits(a.avg_power.value(), b.avg_power.value(), "phased.avg_power");
+    expect_bits(a.energy.value(), b.energy.value(), "phased.energy");
+    ASSERT_EQ(a.phases.size(), b.phases.size());
+    for (std::size_t p = 0; p < a.phases.size(); ++p)
+      expect_bits(a.phases[p].time.value(), b.phases[p].time.value(),
+                  "phase.time");
+  }
+}
+
+// ------------------------------------------------------------ SIMD kernel ----
+
+TEST(BatchSimd, KernelAndScalarFallbackAgreeBitForBit) {
+  // When the SSE2 kernel is compiled in, A/B the same frontiers through
+  // both paths. When it is not, set_batch_simd must be an inert toggle.
+  sim::SimExecutor simd_ex(sim::MachineSpec{}, no_noise());
+  sim::SimExecutor scalar_ex(sim::MachineSpec{}, no_noise());
+  EXPECT_EQ(simd_ex.batch_simd(), sim::RaplSolver::simd_compiled());
+  simd_ex.set_batch_simd(true);
+  scalar_ex.set_batch_simd(false);
+
+  Rng rng(0x55u);
+  for (int t = 0; t < 20; ++t) {
+    const workloads::WorkloadSignature w = random_workload(rng);
+    const sim::ClusterConfig base = random_base(rng, simd_ex.spec());
+    const std::vector<sim::CapPoint> caps =
+        random_caps(rng, static_cast<std::size_t>(rng.uniform_int(4, 48)));
+    const sim::FrontierResult a = simd_ex.run_batch(w, base, caps);
+    const sim::FrontierResult b = scalar_ex.run_batch(w, base, caps);
+    ASSERT_EQ(a->size(), b->size());
+    for (std::size_t i = 0; i < a->size(); ++i)
+      expect_bit_identical((*a)[i], (*b)[i]);
+  }
+}
+
+// ----------------------------------------------------- threshold behaviour ---
+
+TEST(BatchThreshold, SmallFrontiersBypassBatchMachinery) {
+  // kMinBatchFrontier is a perf contract (fig7's frontiers are narrow):
+  // below it run_batch must not pay any batch setup, which we observe
+  // through the sim.batch_runs counter staying flat.
+  EXPECT_EQ(sim::SimExecutor::kMinBatchFrontier, 4u);
+
+  sim::SimExecutor ex(sim::MachineSpec{}, no_noise());
+  obs::ObsSession session;
+  ex.set_observer(&session);
+  const auto w = *workloads::find_benchmark("TeaLeaf");
+  Rng rng(0x66u);
+  const sim::ClusterConfig base = random_base(rng, ex.spec());
+
+  const std::vector<sim::CapPoint> narrow =
+      random_caps(rng, sim::SimExecutor::kMinBatchFrontier - 1);
+  const sim::FrontierResult a = ex.run_batch(w, base, narrow);
+  EXPECT_EQ(counter(session, "sim.batch_runs"), 0u);
+  EXPECT_EQ(counter(session, "sim.runs"), narrow.size());
+  // The bypass still honors the result contract.
+  for (std::size_t i = 0; i < narrow.size(); ++i) {
+    sim::ClusterConfig point = base;
+    point.node.cpu_cap = narrow[i].cpu_cap;
+    point.node.mem_cap = narrow[i].mem_cap;
+    expect_bit_identical((*a)[i], ex.run_exact(w, point));
+  }
+
+  const std::vector<sim::CapPoint> wide =
+      random_caps(rng, sim::SimExecutor::kMinBatchFrontier);
+  (void)ex.run_batch(w, base, wide);
+  EXPECT_EQ(counter(session, "sim.batch_runs"), 1u);
+}
+
+TEST(BatchThreshold, EmptyFrontierIsANoOp) {
+  sim::SimExecutor ex(sim::MachineSpec{}, no_noise());
+  obs::ObsSession session;
+  ex.set_observer(&session);
+  const auto w = *workloads::find_benchmark("CoMD");
+  const sim::FrontierResult r = ex.run_batch(w, sim::ClusterConfig{}, {});
+  EXPECT_TRUE(r->empty());
+  EXPECT_EQ(counter(session, "sim.runs"), 0u);
+  EXPECT_EQ(counter(session, "sim.batch_runs"), 0u);
+}
+
+TEST(BatchThreshold, PerNodeOverridesAreScalarOnly) {
+  sim::SimExecutor ex(sim::MachineSpec{}, no_noise());
+  const auto w = *workloads::find_benchmark("CoMD");
+  sim::ClusterConfig base;
+  base.nodes = 2;
+  base.cpu_cap_overrides = {Watts(90.0), Watts(85.0)};
+  Rng rng(0x77u);
+  EXPECT_THROW((void)ex.run_batch(w, base, random_caps(rng, 8)),
+               PreconditionError);
+}
+
+// ------------------------------------------------- cache + counter wiring ----
+
+TEST(BatchCache, ReplayServesTheWholeFrontierWithoutRecompute) {
+  sim::SimExecutor ex(sim::MachineSpec{}, no_noise());
+  sim::ExactRunCache cache;
+  obs::ObsSession session;
+  ex.set_exact_cache(&cache);
+  ex.set_observer(&session);
+
+  const auto w = *workloads::find_benchmark("TeaLeaf");
+  Rng rng(0x88u);
+  const sim::ClusterConfig base = random_base(rng, ex.spec());
+  const std::vector<sim::CapPoint> caps = random_caps(rng, 16);
+
+  const sim::FrontierResult first = ex.run_batch(w, base, caps);
+  EXPECT_EQ(counter(session, "sim.runs"), caps.size());
+  EXPECT_EQ(counter(session, "sim.exact_cache_misses"), caps.size());
+  EXPECT_EQ(cache.stats().frontier_entries, 1u);
+
+  const sim::FrontierResult replay = ex.run_batch(w, base, caps);
+  // A hit hands back the stored vector — same object, zero copies.
+  EXPECT_EQ(replay.get(), first.get());
+  EXPECT_EQ(counter(session, "sim.runs"), caps.size());
+  EXPECT_EQ(counter(session, "sim.exact_cache_hits"), caps.size());
+  EXPECT_GE(cache.stats().hits, caps.size());
+
+  // A different frontier under the same prefix is its own entry.
+  (void)ex.run_batch(w, base, random_caps(rng, 16));
+  EXPECT_EQ(cache.stats().frontier_entries, 2u);
+}
+
+TEST(BatchCache, InFrontierDuplicatesComputeOnce) {
+  sim::SimExecutor ex(sim::MachineSpec{}, no_noise());
+  sim::ExactRunCache cache;
+  obs::ObsSession session;
+  ex.set_exact_cache(&cache);
+  ex.set_observer(&session);
+
+  const auto w = *workloads::find_benchmark("BT-MZ");
+  Rng rng(0x99u);
+  const sim::ClusterConfig base = random_base(rng, ex.spec());
+  std::vector<sim::CapPoint> caps = random_caps(rng, 6);
+  // Alias half the frontier onto the first points (the oracle's
+  // demand-tight cap landing on a grid point, writ large).
+  caps.push_back(caps[0]);
+  caps.push_back(caps[2]);
+  caps.push_back(caps[0]);
+
+  const sim::FrontierResult r = ex.run_batch(w, base, caps);
+  EXPECT_EQ(counter(session, "sim.runs"), 6u);
+  EXPECT_EQ(counter(session, "sim.exact_cache_misses"), 6u);
+  EXPECT_EQ(counter(session, "sim.exact_cache_hits"), 3u);
+  expect_bit_identical((*r)[6], (*r)[0]);
+  expect_bit_identical((*r)[7], (*r)[2]);
+  expect_bit_identical((*r)[8], (*r)[0]);
+}
+
+TEST(BatchCache, FrontierStoreEvictsFifoAtCapacity) {
+  sim::ExactCacheOptions opt;
+  opt.max_frontier_entries = 2;
+  sim::ExactRunCache cache(opt);
+  sim::SimExecutor ex(sim::MachineSpec{}, no_noise());
+  ex.set_exact_cache(&cache);
+
+  const auto w = *workloads::find_benchmark("TeaLeaf");
+  Rng rng(0xAAu);
+  const sim::ClusterConfig base = random_base(rng, ex.spec());
+  for (int i = 0; i < 5; ++i) (void)ex.run_batch(w, base, random_caps(rng, 8));
+  EXPECT_EQ(cache.stats().frontier_entries, 2u);
+}
+
+}  // namespace
+}  // namespace clip

@@ -65,4 +65,31 @@ inline std::vector<Scenario> make_resilience_scenarios(double horizon_s) {
   return v;
 }
 
+/// The resilience catalog plus the degraded-operating-mode scenarios (meter
+/// blackouts and facility budget cuts, docs/robustness.md). Kept out of
+/// make_resilience_scenarios so the resilience/redistribution bench rows
+/// stay comparable across releases; used by the recovery bench and the
+/// crash-consistency test suite.
+inline std::vector<Scenario> make_recovery_scenarios(double horizon_s) {
+  std::vector<Scenario> v = make_resilience_scenarios(horizon_s);
+
+  Scenario blackout{"meter-blackout", {}};
+  blackout.plan.meter_blackouts.push_back({0.1 * horizon_s, 0.4 * horizon_s});
+  blackout.plan.cap_violations.push_back(
+      {3, 0.15 * horizon_s, 0.2 * horizon_s, 80.0});
+  v.push_back(blackout);
+
+  Scenario brownout{"budget-brownout", {}};
+  brownout.plan.budget_cuts.push_back(
+      {0.15 * horizon_s, 0.3 * horizon_s, 0.6});
+  v.push_back(brownout);
+
+  Scenario modes{"modes-combined", {}};
+  modes.plan.crashes.push_back({5, 0.3 * horizon_s});
+  modes.plan.meter_blackouts.push_back({0.35 * horizon_s, 0.2 * horizon_s});
+  modes.plan.budget_cuts.push_back({0.5 * horizon_s, 0.25 * horizon_s, 0.7});
+  v.push_back(modes);
+  return v;
+}
+
 }  // namespace clip::bench

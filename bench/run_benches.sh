@@ -3,11 +3,14 @@
 # engine counters per binary, and emit BENCH_eval_engine.json.
 #
 # Usage: bench/run_benches.sh [build-dir] [jobs] [out-json] [redist-json]
-#   build-dir    cmake binary dir containing bench/ (default: build)
-#   jobs         --jobs value passed to each bench (default: number of cores)
-#   out-json     output path (default: BENCH_eval_engine.json in the cwd)
-#   redist-json  output path for the redistribution sweep
-#                (default: BENCH_redist.json in the cwd)
+#                             [recovery-json]
+#   build-dir      cmake binary dir containing bench/ (default: build)
+#   jobs           --jobs value passed to each bench (default: number of cores)
+#   out-json       output path (default: BENCH_eval_engine.json in the cwd)
+#   redist-json    output path for the redistribution sweep
+#                  (default: BENCH_redist.json in the cwd)
+#   recovery-json  output path for the crash-consistency sweep
+#                  (default: BENCH_recovery.json in the cwd)
 #
 # Each binary runs twice: once with the engine (cache + pruning + --jobs)
 # and once as the pre-engine baseline (--no-cache --no-prune, serial). The
@@ -20,6 +23,7 @@ build_dir=${1:-build}
 jobs=${2:-$(nproc 2>/dev/null || echo 2)}
 out_json=${3:-BENCH_eval_engine.json}
 redist_json=${4:-BENCH_redist.json}
+recovery_json=${5:-BENCH_recovery.json}
 bench_dir="$build_dir/bench"
 
 [ -d "$bench_dir" ] || {
@@ -128,4 +132,20 @@ if [ -x "$redist_bin" ]; then
   echo "wrote $redist_json" >&2
 else
   echo "skip redistribution (not built)" >&2
+fi
+
+# Crash-consistency sweep: kill + recover at every catalog scenario plus the
+# journal-overhead measurement. Writes BENCH_recovery.json into its cwd;
+# `scripts/regression_gate.sh --recovery` gates on its counters.
+recovery_bin=$(cd "$bench_dir" && pwd)/recovery
+if [ -x "$recovery_bin" ]; then
+  echo "== recovery (kill + recover, journal overhead)" >&2
+  ( cd "$tmp" && "$recovery_bin" --json > recovery.out 2> recovery.err )
+  case "$recovery_json" in
+    /*) mv "$tmp/BENCH_recovery.json" "$recovery_json" ;;
+    *)  mv "$tmp/BENCH_recovery.json" "./$recovery_json" ;;
+  esac
+  echo "wrote $recovery_json" >&2
+else
+  echo "skip recovery (not built)" >&2
 fi

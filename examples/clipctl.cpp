@@ -24,6 +24,13 @@
 //   clipctl report <run-dir> [--json]    render a recorded run as a
 //                                        deterministic Markdown (or JSON)
 //                                        report
+//   clipctl journal <run-dir|file>       inspect a write-ahead journal:
+//                                        salvage status, record/snapshot
+//                                        counts, per-kind totals
+//   clipctl recover <watts> <run-dir>    resume a crash-interrupted record
+//                                        run from its journal (latest
+//                                        snapshot + replay) and rewrite the
+//                                        completed run record
 //
 // Applications are named as in Table II (e.g. SP-MZ, TeaLeaf, CoMD).
 #include <filesystem>
@@ -35,6 +42,7 @@
 #include "baselines/lower_limit.hpp"
 #include "core/scheduler.hpp"
 #include "obs/obs.hpp"
+#include "runtime/journal.hpp"
 #include "runtime/launcher.hpp"
 #include "runtime/queue.hpp"
 #include "runtime/run_report.hpp"
@@ -57,7 +65,9 @@ int usage() {
                "       clipctl trace    <app> <watts> [out.json]\n"
                "       clipctl metrics  <app> <watts>\n"
                "       clipctl record   <watts> <out-dir>\n"
-               "       clipctl report   <run-dir> [--json]\n";
+               "       clipctl report   <run-dir> [--json]\n"
+               "       clipctl journal  <run-dir|journal-file>\n"
+               "       clipctl recover  <watts> <run-dir>\n";
   return 2;
 }
 
@@ -111,14 +121,17 @@ int main(int argc, char** argv) {
 
     runtime::QueueOptions qopt;
     qopt.cluster_budget = cluster_budget;
+    runtime::Journal journal;
     runtime::PowerAwareJobQueue queue(cluster, scheduler, qopt);
     queue.set_observer(&session);
     queue.set_timeline(&timeline);
+    queue.set_journal(&journal);
     const auto report = queue.run(workloads::paper_benchmarks());
 
     try {
       runtime::write_run_record(dir, cluster_budget, report, timeline,
                                 sink.spans(), &session.metrics());
+      journal.save(dir / runtime::RunRecordFiles::kJournal);
     } catch (const std::exception& e) {
       std::cerr << "cannot write run record: " << e.what() << "\n";
       return 1;
@@ -141,6 +154,85 @@ int main(int argc, char** argv) {
       std::cerr << "cannot render report: " << e.what() << "\n";
       return 1;
     }
+    return 0;
+  }
+
+  if (command == "journal") {
+    if (argc < 3) return usage();
+    std::filesystem::path path(argv[2]);
+    if (std::filesystem::is_directory(path))
+      path /= runtime::RunRecordFiles::kJournal;
+    runtime::Journal journal;
+    runtime::JournalLoadResult loaded;
+    try {
+      loaded = journal.load(path);
+    } catch (const std::exception& e) {
+      std::cerr << "cannot load journal: " << e.what() << "\n";
+      return 1;
+    }
+    std::cout << "journal     : " << path.string() << "\n"
+              << journal.describe();
+    if (loaded.salvaged)
+      std::cout << "salvaged    : dropped " << loaded.dropped_lines
+                << " corrupt tail line(s) — " << loaded.gap << "\n";
+    return 0;
+  }
+  if (command == "recover") {
+    if (argc < 4) return usage();
+    const Watts cluster_budget(watts_or_die(argv[2]));
+    const std::filesystem::path dir(argv[3]);
+    const auto path = dir / runtime::RunRecordFiles::kJournal;
+
+    runtime::Journal journal;
+    runtime::JournalLoadResult loaded;
+    try {
+      loaded = journal.load(path);
+    } catch (const std::exception& e) {
+      std::cerr << "cannot load journal: " << e.what() << "\n";
+      return 1;
+    }
+    if (loaded.salvaged)
+      std::cout << "salvaged journal: dropped " << loaded.dropped_lines
+                << " corrupt tail line(s) — " << loaded.gap << "\n";
+
+    // Mirror `record`'s configuration exactly: recover() verifies the
+    // journal's begin record against it and refuses a mismatched resume.
+    obs::ObsSession session;
+    obs::MemorySink sink;
+    session.set_sink(&sink);
+    obs::Timeline timeline;
+    core::ClipScheduler scheduler(cluster, workloads::training_benchmarks());
+    scheduler.set_observer(&session);
+    cluster.set_observer(&session);
+
+    runtime::QueueOptions qopt;
+    qopt.cluster_budget = cluster_budget;
+    std::vector<runtime::QueueJob> jobs;
+    for (const auto& w : workloads::paper_benchmarks()) jobs.push_back({w, 0});
+    runtime::QueueEventLoop loop(cluster, scheduler, qopt, jobs);
+    loop.set_observer(&session);
+    loop.set_timeline(&timeline);
+
+    runtime::QueueReport report;
+    try {
+      report = loop.recover(journal);
+    } catch (const std::exception& e) {
+      std::cerr << "cannot recover: " << e.what() << "\n";
+      return 1;
+    }
+    try {
+      runtime::write_run_record(dir, cluster_budget, report, timeline,
+                                sink.spans(), &session.metrics());
+      journal.save(path);
+    } catch (const std::exception& e) {
+      std::cerr << "cannot write run record: " << e.what() << "\n";
+      return 1;
+    }
+    std::cout << "recovered " << report.jobs.size() << " jobs ("
+              << report.jobs_completed() << " completed, makespan "
+              << format_double(report.makespan_s, 1) << " s) into "
+              << dir.string() << "\nrender it with: clipctl report "
+              << dir.string() << "\n";
     return 0;
   }
 

@@ -5,6 +5,7 @@
 # Usage: scripts/regression_gate.sh [options] <committed.json> <fresh.json>
 #        scripts/regression_gate.sh --batch <committed.json> <fresh.json>
 #        scripts/regression_gate.sh --redist <BENCH_redist.json>
+#        scripts/regression_gate.sh --recovery <BENCH_recovery.json>
 #        scripts/regression_gate.sh --selftest
 #
 # Options:
@@ -25,6 +26,11 @@
 #                       the resilience scenarios and must never regress the
 #                       ground-truth violation seconds
 #   --min-improved N    threshold for --redist (default: 4)
+#   --recovery FILE     gate a BENCH_recovery.json instead: every kill point
+#                       must recover byte-identically (recovery_failures = 0)
+#                       and journaling must cost at most --max-overhead
+#                       percent of the journal-off sweep
+#   --max-overhead PCT  threshold for --recovery (default: 5)
 #   --selftest          exercise the gate against synthetic fixtures and exit
 #
 # Two checks per bench, matched by name:
@@ -39,7 +45,9 @@ set -eu
 max_slowdown=15
 min_ms=50
 min_improved=4
+max_overhead=5
 redist_file=""
+recovery_file=""
 selftest=0
 batch=0
 
@@ -50,8 +58,10 @@ while [ $# -gt 0 ]; do
     --batch) batch=1; shift ;;
     --redist) redist_file=$2; shift 2 ;;
     --min-improved) min_improved=$2; shift 2 ;;
+    --recovery) recovery_file=$2; shift 2 ;;
+    --max-overhead) max_overhead=$2; shift 2 ;;
     --selftest) selftest=1; shift ;;
-    -h|--help) sed -n '2,30p' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+    -h|--help) sed -n '2,34p' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
     -*) echo "unknown option: $1" >&2; exit 2 ;;
     *) break ;;
   esac
@@ -178,6 +188,29 @@ gate_redist() { # gate_redist <BENCH_redist.json> -> 0 pass, 1 fail
   echo "redist gate: pass ($improved of $scenarios scenarios improved, 0 violation regressions)" >&2
 }
 
+gate_recovery() { # gate_recovery <BENCH_recovery.json> -> 0 pass, 1 fail
+  f=$1
+  [ -f "$f" ] || { echo "recovery gate: no such file: $f" >&2; return 1; }
+  fail_count=$(top_field "$f" recovery_failures)
+  overhead=$(top_field "$f" overhead_pct)
+  kills=$(top_field "$f" kill_points)
+  if [ -z "$fail_count" ] || [ -z "$overhead" ]; then
+    echo "recovery gate: $f is missing recovery_failures/overhead_pct" >&2
+    return 1
+  fi
+  failures=0
+  if [ "$fail_count" -ne 0 ]; then
+    echo "FAIL recovery: $fail_count of ${kills:-?} kill points did not recover byte-identically" >&2
+    failures=$((failures + 1))
+  fi
+  if [ "$overhead" -gt "$max_overhead" ]; then
+    echo "FAIL recovery: journal overhead ${overhead}% exceeds --max-overhead ${max_overhead}%" >&2
+    failures=$((failures + 1))
+  fi
+  [ $failures -eq 0 ] || { echo "recovery gate: $failures failure(s)" >&2; return 1; }
+  echo "recovery gate: pass (${kills:-?} kill points recovered byte-identically, journal overhead ${overhead}% <= ${max_overhead}%)" >&2
+}
+
 if [ "$selftest" -eq 1 ]; then
   tmp=$(mktemp -d)
   trap 'rm -rf "$tmp"' EXIT
@@ -262,6 +295,25 @@ if [ "$selftest" -eq 1 ]; then
   fi
   echo "selftest: redist gate ok" >&2
 
+  # Recovery gate: byte-identical recovery at every kill point and the
+  # journal-overhead ceiling, on synthetic BENCH_recovery.json fixtures.
+  mk_recovery() { # mk_recovery <file> <failures> <overhead_pct>
+    printf '{\n  "budget_w": 700,\n  "jobs": 10,\n  "kill_points": 50,\n  "recovery_failures": %s,\n  "journal_off_ms": 5,\n  "journal_on_ms": 5,\n  "overhead_pct": %s,\n  "scenarios": [\n    {"scenario": "baseline", "failures": %s}\n  ]\n}\n' \
+      "$2" "$3" "$2" > "$1"
+  }
+  mk_recovery "$tmp/recovery_good.json" 0 2
+  gate_recovery "$tmp/recovery_good.json" \
+    || { echo "selftest: 0 failures at 2%% overhead must pass" >&2; exit 1; }
+  mk_recovery "$tmp/recovery_slow.json" 0 9
+  if gate_recovery "$tmp/recovery_slow.json" 2>/dev/null; then
+    echo "selftest: overhead above --max-overhead must fail" >&2; exit 1
+  fi
+  mk_recovery "$tmp/recovery_broken.json" 1 2
+  if gate_recovery "$tmp/recovery_broken.json" 2>/dev/null; then
+    echo "selftest: a non-identical recovery must fail" >&2; exit 1
+  fi
+  echo "selftest: recovery gate ok" >&2
+
   # clip-lint exit-code contract (0 clean / 1 violations, including a
   # reasonless suppression leaving its finding open). Uses the built binary
   # when present; CI builds it before this selftest runs.
@@ -300,6 +352,12 @@ fi
 if [ -n "$redist_file" ]; then
   [ $# -eq 0 ] || { echo "usage: $0 --redist <BENCH_redist.json>" >&2; exit 2; }
   gate_redist "$redist_file"
+  exit $?
+fi
+
+if [ -n "$recovery_file" ]; then
+  [ $# -eq 0 ] || { echo "usage: $0 --recovery <BENCH_recovery.json>" >&2; exit 2; }
+  gate_recovery "$recovery_file"
   exit $?
 fi
 

@@ -5,6 +5,7 @@
 
 #include "util/check.hpp"
 #include "util/csv.hpp"
+#include "util/fsio.hpp"
 #include "util/strings.hpp"
 
 namespace clip::core {
@@ -166,7 +167,9 @@ void KnowledgeDb::save(const std::filesystem::path& path) const {
                         format_double(r.cycles_active_all, 1),
                         r.machine});
   }
-  write_csv(path, doc);
+  // Stage-and-swap so a coordinator killed mid-save never leaves a torn DB:
+  // readers observe either the previous complete file or the new one.
+  atomic_write_file(path, render_csv(doc));
 }
 
 void KnowledgeDb::load(const std::filesystem::path& path) {

@@ -82,7 +82,9 @@ class KnowledgeDb {
 
   [[nodiscard]] std::size_t size() const { return records_.size(); }
 
-  /// CSV persistence. `save` overwrites; `load` replaces current contents,
+  /// CSV persistence. `save` overwrites durably (write-temp + fsync + atomic
+  /// rename, so a crash mid-save never tears the file); `load` replaces
+  /// current contents,
   /// silently dropping records stamped with a different machine fingerprint
   /// (count available via `last_load_dropped`).
   void save(const std::filesystem::path& path) const;

@@ -73,6 +73,26 @@ class BudgetGuard {
     return rejected_reads_;
   }
 
+  /// The budget the guard currently holds the cluster to.
+  [[nodiscard]] double budget_w() const { return budget_w_; }
+
+  /// Re-point the guard at a new facility budget — the BUDGET_BROWNOUT
+  /// state machine (docs/robustness.md) lowers it for the cut window and
+  /// restores it after. Violation accounting from the change on is against
+  /// the new budget; accrued counters are untouched.
+  void set_budget(Watts cluster_budget) { budget_w_ = cluster_budget.value(); }
+
+  /// Restore accrued counters from a scheduler-journal snapshot (recovery
+  /// path; see runtime/journal.hpp). Counters are replaced, not added.
+  void restore_counters(double violation_s, double violation_ws,
+                        std::uint64_t rejected_reads,
+                        std::uint64_t regrants_rejected) {
+    violation_s_ = violation_s;
+    violation_ws_ = violation_ws;
+    rejected_reads_ = rejected_reads;
+    regrants_rejected_ = regrants_rejected;
+  }
+
  private:
   BudgetGuardOptions options_;
   double budget_w_;

@@ -41,6 +41,14 @@ std::vector<double> FaultInjector::wakeups() const {
     times.push_back(plan_.cap_violations[i].at_s);
     times.push_back(violation_ends_[i]);
   }
+  for (const auto& b : plan_.meter_blackouts) {
+    times.push_back(b.at_s);
+    times.push_back(b.at_s + b.duration_s);
+  }
+  for (const auto& c : plan_.budget_cuts) {
+    times.push_back(c.at_s);
+    times.push_back(c.at_s + c.duration_s);
+  }
   std::sort(times.begin(), times.end());
   times.erase(std::unique(times.begin(), times.end()), times.end());
   return times;
@@ -202,6 +210,32 @@ int FaultInjector::truncate_cap_violations(int node, double t) {
     ++truncated;
   }
   return truncated;
+}
+
+bool FaultInjector::meters_blacked_out(double t) const {
+  for (const auto& b : plan_.meter_blackouts)
+    if (b.at_s <= t && t < b.at_s + b.duration_s) return true;
+  return false;
+}
+
+double FaultInjector::budget_cut_factor(double t) const {
+  double factor = 1.0;
+  for (const auto& c : plan_.budget_cuts)
+    if (c.at_s <= t && t < c.at_s + c.duration_s)
+      factor = std::min(factor, c.factor);
+  return factor;
+}
+
+void FaultInjector::restore_violation_ends(const std::vector<double>& ends) {
+  CLIP_REQUIRE(ends.size() == violation_ends_.size(),
+               "violation-ends snapshot does not match the plan (" +
+                   std::to_string(ends.size()) + " vs " +
+                   std::to_string(violation_ends_.size()) + " windows)");
+  for (std::size_t i = 0; i < ends.size(); ++i)
+    CLIP_REQUIRE(ends[i] <= violation_ends_[i],
+                 "violation-ends snapshot extends a window (claw-backs only "
+                 "ever truncate)");
+  violation_ends_ = ends;
 }
 
 std::vector<int> FaultInjector::violating_nodes(const std::vector<int>& nodes,

@@ -93,6 +93,27 @@ class FaultInjector {
   [[nodiscard]] std::vector<int> violating_nodes(const std::vector<int>& nodes,
                                                  double t) const;
 
+  /// Is a cluster-wide meter blackout in effect at `t`? While true, no
+  /// meter reading anywhere is trustworthy and the queue runs in
+  /// METER_BLACKOUT mode (docs/robustness.md).
+  [[nodiscard]] bool meters_blacked_out(double t) const;
+
+  /// The facility-budget factor in effect at `t`: the minimum factor across
+  /// the budget-cut windows active then, 1.0 when none is. The queue runs in
+  /// BUDGET_BROWNOUT mode whenever this is below 1.
+  [[nodiscard]] double budget_cut_factor(double t) const;
+
+  /// The mutable cap-violation window ends (plan order) — the only injector
+  /// state the queue mutates (via truncate_cap_violations). The scheduler
+  /// journal snapshots this so recovery can restore a mid-run injector.
+  [[nodiscard]] const std::vector<double>& violation_ends() const {
+    return violation_ends_;
+  }
+
+  /// Restore window ends captured by violation_ends() (recovery path).
+  /// Throws unless `ends` is plausibly a snapshot of this plan's windows.
+  void restore_violation_ends(const std::vector<double>& ends);
+
  private:
   FaultPlan plan_;
   int cluster_nodes_;

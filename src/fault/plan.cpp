@@ -60,6 +60,17 @@ void FaultPlan::validate(int cluster_nodes) const {
                  "cap-violation duration must be positive");
     CLIP_REQUIRE(v.excess_w > 0.0, "cap-violation excess must be positive");
   }
+  for (const auto& b : meter_blackouts) {
+    CLIP_REQUIRE(b.at_s >= 0.0, "meter-blackout time must be non-negative");
+    CLIP_REQUIRE(b.duration_s > 0.0,
+                 "meter-blackout duration must be positive");
+  }
+  for (const auto& c : budget_cuts) {
+    CLIP_REQUIRE(c.at_s >= 0.0, "budget-cut time must be non-negative");
+    CLIP_REQUIRE(c.duration_s > 0.0, "budget-cut duration must be positive");
+    CLIP_REQUIRE(c.factor > 0.0 && c.factor <= 1.0,
+                 "budget-cut factor must be in (0, 1]");
+  }
 }
 
 std::string FaultPlan::describe() const {
@@ -91,6 +102,17 @@ std::string FaultPlan::describe() const {
                                  std::to_string(v.node) + " +" +
                                  format_double(v.excess_w, 3) + "W for " +
                                  format_double(v.duration_s, 3) + "s"});
+  }
+  for (const auto& b : meter_blackouts) {
+    lines.push_back({b.at_s, "t=" + format_double(b.at_s, 3) +
+                                 "s meter blackout cluster-wide for " +
+                                 format_double(b.duration_s, 3) + "s"});
+  }
+  for (const auto& c : budget_cuts) {
+    lines.push_back({c.at_s, "t=" + format_double(c.at_s, 3) +
+                                 "s budget cut to " +
+                                 format_double(c.factor, 3) + "x for " +
+                                 format_double(c.duration_s, 3) + "s"});
   }
   std::stable_sort(lines.begin(), lines.end(),
                    [](const Line& a, const Line& b) { return a.at < b.at; });
@@ -140,6 +162,21 @@ FaultPlan FaultPlan::random(std::uint64_t seed, int cluster_nodes,
     v.duration_s = rng.uniform(10.0, horizon_s / 3.0 + 10.0);
     v.excess_w = rng.uniform(15.0, 80.0);
     plan.cap_violations.push_back(v);
+  }
+  // Degraded-mode events draw last: a shape with zero of them consumes the
+  // same RNG stream as before they existed, so historical seeds reproduce.
+  for (int i = 0; i < shape.meter_blackouts; ++i) {
+    MeterBlackout b;
+    b.at_s = at();
+    b.duration_s = rng.uniform(5.0, horizon_s / 4.0 + 5.0);
+    plan.meter_blackouts.push_back(b);
+  }
+  for (int i = 0; i < shape.budget_cuts; ++i) {
+    BudgetCut c;
+    c.at_s = at();
+    c.duration_s = rng.uniform(10.0, horizon_s / 3.0 + 10.0);
+    c.factor = rng.uniform(0.5, 0.9);
+    plan.budget_cuts.push_back(c);
   }
   plan.validate(cluster_nodes);
   return plan;

@@ -62,12 +62,39 @@ struct CapViolation {
   double excess_w = 40.0;
 };
 
+/// Every power meter in the cluster goes dark during
+/// [at_s, at_s + duration_s) — the telemetry network partitioned or the BMC
+/// aggregator died. No per-node reading is trustworthy, so the queue enters
+/// METER_BLACKOUT: re-grants and slack sampling freeze and the static launch
+/// caps (which RAPL still enforces) are the only protection. See
+/// docs/robustness.md.
+struct MeterBlackout {
+  double at_s = 0.0;
+  double duration_s = 30.0;
+};
+
+/// The facility cuts the cluster's power contract to `factor` of the
+/// configured budget during [at_s, at_s + duration_s) — a demand-response
+/// event or an upstream feeder derating. The queue enters BUDGET_BROWNOUT:
+/// admissions pause and running slices are proportionally clawed back until
+/// the reservation fits the cut budget.
+struct BudgetCut {
+  double at_s = 0.0;
+  double duration_s = 60.0;
+  double factor = 0.7;  ///< (0, 1]: fraction of the budget that remains
+};
+
 /// How many events of each kind FaultPlan::random draws.
 struct FaultPlanShape {
   int crashes = 1;
   int degrades = 1;
   int meter_faults = 2;
   int cap_violations = 1;
+  /// Degraded-mode events (docs/robustness.md). Default 0, and random()
+  /// draws them after every other kind, so plans generated before these
+  /// kinds existed are bit-identical for the same seed.
+  int meter_blackouts = 0;
+  int budget_cuts = 0;
   double min_at_s = 0.0;  ///< events land in [min_at_s, horizon_s)
 };
 
@@ -76,14 +103,18 @@ struct FaultPlan {
   std::vector<NodeDegrade> degrades;
   std::vector<MeterFault> meter_faults;
   std::vector<CapViolation> cap_violations;
+  std::vector<MeterBlackout> meter_blackouts;
+  std::vector<BudgetCut> budget_cuts;
 
   [[nodiscard]] bool empty() const {
     return crashes.empty() && degrades.empty() && meter_faults.empty() &&
-           cap_violations.empty();
+           cap_violations.empty() && meter_blackouts.empty() &&
+           budget_cuts.empty();
   }
   [[nodiscard]] std::size_t size() const {
     return crashes.size() + degrades.size() + meter_faults.size() +
-           cap_violations.size();
+           cap_violations.size() + meter_blackouts.size() +
+           budget_cuts.size();
   }
 
   /// Structural validity against a cluster of `cluster_nodes` nodes; throws

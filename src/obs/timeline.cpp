@@ -1,6 +1,7 @@
 #include "obs/timeline.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -38,13 +39,81 @@ double value_at_points(const std::deque<TimelinePoint>& pts, double t_s) {
 
 }  // namespace
 
-std::string format_exact(double v) {
+namespace {
+
+/// The historical format_exact: %.*g at every precision until strtod
+/// round-trips. Kept as the correctness fallback (and for non-finite
+/// values); the fast path below must render byte-identically.
+std::string format_exact_slow(double v) {
   char buf[40];
   for (int precision = 1; precision <= 17; ++precision) {
     std::snprintf(buf, sizeof buf, "%.*g", precision, v);
     if (std::strtod(buf, nullptr) == v) break;
   }
   return buf;
+}
+
+}  // namespace
+
+std::string format_exact(double v) {
+  // One std::to_chars pass (scientific = shortest round-trip mantissa D and
+  // decimal exponent E), then a hand-rendered %g at the minimal precision -
+  // what the historical try-every-precision loop produced, without its up to
+  // 17 snprintf+strtod round-trips. This is the journal/timeline hot path:
+  // every snapshot serializes dozens of doubles through here. The
+  // from_chars check at the end guards byte-compatibility (tests pin it
+  // across a randomized sweep); any miss falls back to the loop.
+  if (!std::isfinite(v)) return format_exact_slow(v);
+  char sci[40];
+  const auto r =
+      std::to_chars(sci, sci + sizeof sci, v, std::chars_format::scientific);
+  *r.ptr = '\0';  // to_chars does not terminate; strtol below needs it
+  char digits[20] = {'0'};
+  int precision = 0;
+  int exponent = 0;
+  const char* p = sci;
+  const bool negative = *p == '-';
+  if (negative) ++p;
+  for (; p != r.ptr && *p != 'e'; ++p)
+    if (*p != '.') digits[precision++] = *p;
+  if (p != r.ptr) exponent = static_cast<int>(std::strtol(p + 1, nullptr, 10));
+
+  char buf[40];
+  char* o = buf;
+  if (negative) *o++ = '-';
+  if (exponent < -4 || exponent >= precision) {
+    *o++ = digits[0];
+    if (precision > 1) {
+      *o++ = '.';
+      for (int i = 1; i < precision; ++i) *o++ = digits[i];
+    }
+    *o++ = 'e';
+    *o++ = exponent < 0 ? '-' : '+';
+    const int e = exponent < 0 ? -exponent : exponent;
+    if (e >= 100) *o++ = static_cast<char>('0' + e / 100);
+    *o++ = static_cast<char>('0' + e / 10 % 10);
+    *o++ = static_cast<char>('0' + e % 10);
+  } else if (exponent >= precision - 1) {
+    for (int i = 0; i < precision; ++i) *o++ = digits[i];
+    for (int i = precision - 1; i < exponent; ++i) *o++ = '0';
+  } else if (exponent >= 0) {
+    for (int i = 0; i <= exponent; ++i) *o++ = digits[i];
+    *o++ = '.';
+    for (int i = exponent + 1; i < precision; ++i) *o++ = digits[i];
+  } else {
+    *o++ = '0';
+    *o++ = '.';
+    for (int i = -1; i > exponent; --i) *o++ = '0';
+    for (int i = 0; i < precision; ++i) *o++ = digits[i];
+  }
+  *o = '\0';
+  // Verify with from_chars, not strtod: both parse correctly rounded, but
+  // from_chars skips the locale machinery (this check runs per double).
+  double back = 0.0;
+  const auto pr = std::from_chars(buf, o, back);
+  if (pr.ec == std::errc() && pr.ptr == o && back == v)
+    return std::string(buf, o);
+  return format_exact_slow(v);
 }
 
 Timeline::Timeline(TimelineOptions options) : options_(options) {}
@@ -209,6 +278,14 @@ double Timeline::time_above(std::string_view series, double threshold,
 }
 
 void Timeline::write_csv(const std::filesystem::path& path) const {
+  clip::write_csv(path, to_csv_document());
+}
+
+std::string Timeline::to_csv_string() const {
+  return render_csv(to_csv_document());
+}
+
+CsvDocument Timeline::to_csv_document() const {
   std::lock_guard lock(mu_);
   CsvDocument doc;
   doc.header = {"kind", "series", "t_s", "value", "label"};
@@ -220,7 +297,7 @@ void Timeline::write_csv(const std::filesystem::path& path) const {
     for (const auto& ev : e.entries)
       doc.rows.push_back(
           {"event", name, format_exact(ev.t_s), "", ev.label});
-  clip::write_csv(path, doc);
+  return doc;
 }
 
 void Timeline::write_jsonl(const std::filesystem::path& path) const {
@@ -243,11 +320,20 @@ void Timeline::write_jsonl(const std::filesystem::path& path) const {
 }
 
 void Timeline::load_csv(const std::filesystem::path& path) {
-  const CsvDocument doc = read_csv(path);
+  load_csv_document(read_csv(path), path.string());
+}
+
+void Timeline::load_csv_string(const std::string& text,
+                               const std::string& context) {
+  load_csv_document(parse_csv(text, context), context);
+}
+
+void Timeline::load_csv_document(const CsvDocument& doc,
+                                 const std::string& context) {
   CLIP_REQUIRE(doc.header ==
                    std::vector<std::string>(
                        {"kind", "series", "t_s", "value", "label"}),
-               "not a timeline CSV: " + path.string());
+               "not a timeline CSV: " + context);
   for (const auto& row : doc.rows) {
     const std::string& kind = row[0];
     const double t_s = parse_double(row[2], "t_s");

@@ -34,6 +34,10 @@
 
 #include <mutex>
 
+namespace clip {
+struct CsvDocument;
+}
+
 namespace clip::obs {
 
 struct TimelinePoint {
@@ -119,6 +123,16 @@ class Timeline {
   /// then event rows, series in name order, points in time order.
   void write_csv(const std::filesystem::path& path) const;
 
+  /// The exact bytes write_csv would produce, as a string — the scheduler
+  /// journal embeds a run's timeline in its snapshots this way, so a
+  /// recovered run's flight record is byte-identical to the uninterrupted
+  /// one.
+  [[nodiscard]] std::string to_csv_string() const;
+
+  /// Append the contents of a to_csv_string() export into this timeline.
+  /// Throws on malformed input; `context` names the source in errors.
+  void load_csv_string(const std::string& text, const std::string& context);
+
   /// One JSON object per line, same order as the CSV.
   void write_jsonl(const std::filesystem::path& path) const;
 
@@ -129,6 +143,9 @@ class Timeline {
   void clear();
 
  private:
+  [[nodiscard]] CsvDocument to_csv_document() const;
+  void load_csv_document(const CsvDocument& doc, const std::string& context);
+
   struct SampleSeries {
     std::deque<TimelinePoint> points;
   };

@@ -1,18 +1,30 @@
 #include "runtime/queue.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <limits>
+#include <map>
+#include <sstream>
 
 #include "obs/timeline.hpp"
+#include "runtime/journal.hpp"
 #include "util/check.hpp"
 #include "util/strings.hpp"
 
 namespace clip::runtime {
 
-PowerAwareJobQueue::PowerAwareJobQueue(sim::SimExecutor& executor,
-                                       core::ClipScheduler& scheduler,
-                                       QueueOptions options)
-    : executor_(&executor), scheduler_(&scheduler), options_(options) {
+namespace {
+
+/// Simulated-seconds wait times: 0.125 s … ~2000 s.
+const obs::HistogramSpec& wait_s_spec() {
+  static const obs::HistogramSpec spec =
+      obs::HistogramSpec::exponential(0.125, 2.0, 14);
+  return spec;
+}
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void validate_options(const QueueOptions& options) {
   CLIP_REQUIRE(options.cluster_budget.value() > 0.0,
                "cluster_budget must be positive (got " +
                    format_double(options.cluster_budget.value(), 3) + " W)");
@@ -29,37 +41,116 @@ PowerAwareJobQueue::PowerAwareJobQueue(sim::SimExecutor& executor,
   options.redist.validate();
 }
 
-namespace {
-
-struct Running {
-  std::size_t job_index;
-  double start_s;
-  double end_s;              ///< completion, or the abort instant if crashed
-  std::vector<int> node_ids;
-  double power_w;            ///< reserved slice
-  double true_power_w;       ///< exact measured draw
-  double energy_j;           ///< billed run energy (adjusted on abort/re-base)
-  bool crashed = false;
-  int crashed_node = -1;
-  // --- redistribution bookkeeping (inert stores while redist is off) ------
-  sim::ClusterConfig config;   ///< caps/threads the job currently runs under
-  double prof_s = 0.0;         ///< profiling cost billed into the duration
-  double full_energy_j = 0.0;  ///< full-run energy at the current config
-  double frac_done = 0.0;      ///< work fraction done at the last re-base
-  double change_s = 0.0;       ///< instant of the last re-base
-  double ff_remaining = 0.0;   ///< fault-free work seconds left at change_s
-};
-
-/// Simulated-seconds wait times: 0.125 s … ~2000 s.
-const obs::HistogramSpec& wait_s_spec() {
-  static const obs::HistogramSpec spec =
-      obs::HistogramSpec::exponential(0.125, 2.0, 14);
-  return spec;
+/// Budget watchdog; the plausibility ceiling defaults to what the machine
+/// can physically draw (a healthy node never exceeds it, a spiking meter
+/// usually will).
+fault::BudgetGuard make_guard(const QueueOptions& options,
+                              sim::SimExecutor& executor) {
+  fault::BudgetGuardOptions guard_opts = options.guard;
+  if (guard_opts.max_plausible_node_w >= 1e9)
+    guard_opts.max_plausible_node_w = executor.spec().max_node_w() * 1.5;
+  return fault::BudgetGuard(guard_opts, options.cluster_budget);
 }
 
-constexpr double kInf = std::numeric_limits<double>::infinity();
+// --- snapshot serialization helpers ---------------------------------------
+// Doubles render via obs::format_exact so a restore parses the exact bits;
+// tokens are `key=value` separated by spaces, list values use ',' (entries),
+// ':' (fields), '/' and ';' (ids) — all characters format_exact never emits.
+
+std::string fx(double v) { return obs::format_exact(v); }
+
+double parse_double(const std::string& s, const char* what) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  CLIP_REQUIRE(!s.empty() && end == s.c_str() + s.size(),
+               std::string("bad snapshot ") + what + ": '" + s + "'");
+  return v;
+}
+
+long long parse_int(const std::string& s, const char* what) {
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  CLIP_REQUIRE(!s.empty() && end == s.c_str() + s.size(),
+               std::string("bad snapshot ") + what + ": '" + s + "'");
+  return v;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  if (s.empty()) return out;
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t next = s.find(sep, pos);
+    if (next == std::string::npos) {
+      out.push_back(s.substr(pos));
+      return out;
+    }
+    out.push_back(s.substr(pos, next - pos));
+    pos = next + 1;
+  }
+}
+
+std::string join_ints(const std::vector<int>& v, char sep) {
+  std::string out;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out.push_back(sep);
+    out += std::to_string(v[i]);
+  }
+  return out;
+}
+
+std::string bits(const std::vector<bool>& v) {
+  std::string out(v.size(), '0');
+  for (std::size_t i = 0; i < v.size(); ++i)
+    if (v[i]) out[i] = '1';
+  return out;
+}
+
+void restore_bits(std::vector<bool>& v, const std::string& s,
+                  const char* what) {
+  CLIP_REQUIRE(s.size() == v.size(), std::string("snapshot bitstring '") +
+                                         what + "' size mismatch");
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = s[i] == '1';
+}
+
+std::map<std::string, std::string> parse_tokens(const std::string& payload) {
+  std::map<std::string, std::string> out;
+  for (const std::string& token : split(payload, ' ')) {
+    const std::size_t eq = token.find('=');
+    CLIP_REQUIRE(eq != std::string::npos && eq > 0,
+                 "malformed snapshot token: '" + token + "'");
+    out[token.substr(0, eq)] = token.substr(eq + 1);
+  }
+  return out;
+}
+
+const std::string& tok(const std::map<std::string, std::string>& m,
+                       const std::string& key) {
+  const auto it = m.find(key);
+  CLIP_REQUIRE(it != m.end(), "snapshot is missing token '" + key + "'");
+  return it->second;
+}
 
 }  // namespace
+
+const char* to_string(DegradedMode mode) {
+  switch (mode) {
+    case DegradedMode::kNormal:
+      return "NORMAL";
+    case DegradedMode::kMeterBlackout:
+      return "METER_BLACKOUT";
+    case DegradedMode::kBudgetBrownout:
+      return "BUDGET_BROWNOUT";
+  }
+  return "?";
+}
+
+PowerAwareJobQueue::PowerAwareJobQueue(sim::SimExecutor& executor,
+                                       core::ClipScheduler& scheduler,
+                                       QueueOptions options)
+    : executor_(&executor), scheduler_(&scheduler), options_(options) {
+  validate_options(options);
+}
 
 QueueReport PowerAwareJobQueue::run(
     const std::vector<workloads::WorkloadSignature>& jobs) {
@@ -70,718 +161,871 @@ QueueReport PowerAwareJobQueue::run(
 }
 
 QueueReport PowerAwareJobQueue::run(const std::vector<QueueJob>& jobs) {
-  CLIP_REQUIRE(!jobs.empty(), "queue needs at least one job");
-  const int total_nodes = executor_->spec().nodes;
-  const double total_budget = options_.cluster_budget.value();
-  for (const auto& job : jobs)
+  QueueEventLoop loop(*executor_, *scheduler_, options_, jobs);
+  loop.set_observer(obs_);
+  loop.set_fault_injector(injector_);
+  loop.set_timeline(timeline_);
+  loop.set_journal(journal_);
+  return loop.run();
+}
+
+QueueEventLoop::QueueEventLoop(sim::SimExecutor& executor,
+                               core::ClipScheduler& scheduler,
+                               QueueOptions options, std::vector<QueueJob> jobs)
+    : executor_(&executor),
+      scheduler_(&scheduler),
+      options_(options),
+      jobs_(std::move(jobs)),
+      total_nodes_(executor.spec().nodes),
+      total_budget_(options.cluster_budget.value()),
+      guard_(make_guard(options, executor)),
+      detector_(options.redist),
+      redistributor_(options.redist),
+      effective_budget_(options.cluster_budget.value()) {
+  validate_options(options_);
+  CLIP_REQUIRE(!jobs_.empty(), "queue needs at least one job");
+  for (const auto& job : jobs_)
     CLIP_REQUIRE(job.requested_nodes >= 0 &&
-                     job.requested_nodes <= total_nodes,
+                     job.requested_nodes <= total_nodes_,
                  "job '" + job.app.name + "' requested_nodes (" +
                      std::to_string(job.requested_nodes) +
                      ") exceeds the cluster's " +
-                     std::to_string(total_nodes) + " nodes");
+                     std::to_string(total_nodes_) + " nodes");
+  report_.jobs.resize(jobs_.size());
+  state_.assign(jobs_.size(), State::kPending);
+  attempts_.assign(jobs_.size(), 0);
+  eligible_s_.assign(jobs_.size(), 0.0);
+  node_alive_.assign(static_cast<std::size_t>(total_nodes_), true);
+  node_busy_.assign(static_cast<std::size_t>(total_nodes_), false);
+  enforcement_pending_.assign(static_cast<std::size_t>(total_nodes_), false);
+  redist_on_ = options_.redist.enabled;
+  next_tick_s_ = options_.redist.period_s;
+}
 
-  QueueReport report;
-  report.jobs.resize(jobs.size());
+int QueueEventLoop::free_nodes() const {
+  int free = 0;
+  for (int n = 0; n < total_nodes_; ++n)
+    if (node_alive_[static_cast<std::size_t>(n)] &&
+        !node_busy_[static_cast<std::size_t>(n)])
+      ++free;
+  return free;
+}
 
-  enum class State { kPending, kRunning, kDone, kFailed };
-  std::vector<State> state(jobs.size(), State::kPending);
-  std::vector<int> attempts(jobs.size(), 0);
-  std::vector<double> eligible_s(jobs.size(), 0.0);
-  std::vector<Running> running;
-  std::vector<bool> node_alive(static_cast<std::size_t>(total_nodes), true);
-  std::vector<bool> node_busy(static_cast<std::size_t>(total_nodes), false);
-  double now = 0.0;
+double QueueEventLoop::free_power() const {
+  double used = 0.0;
+  for (const auto& r : running_) used += r.power_w;
+  return effective_budget_ - used;
+}
 
-  // Budget watchdog; the plausibility ceiling defaults to what the machine
-  // can physically draw (a healthy node never exceeds it, a spiking meter
-  // usually will).
-  fault::BudgetGuardOptions guard_opts = options_.guard;
-  if (guard_opts.max_plausible_node_w >= 1e9)
-    guard_opts.max_plausible_node_w = executor_->spec().max_node_w() * 1.5;
-  fault::BudgetGuard guard(guard_opts, options_.cluster_budget);
+std::vector<int> QueueEventLoop::active_node_ids() const {
+  std::vector<int> ids;
+  for (const auto& r : running_)
+    ids.insert(ids.end(), r.node_ids.begin(), r.node_ids.end());
+  return ids;
+}
 
-  // Fault-event bookkeeping: each planned event is announced (counted and
-  // applied to the node pool) exactly once, when its time arrives.
-  const fault::FaultPlan* plan =
-      injector_ != nullptr ? &injector_->plan() : nullptr;
-  std::vector<bool> crash_seen(plan != nullptr ? plan->crashes.size() : 0);
-  std::vector<bool> degrade_seen(plan != nullptr ? plan->degrades.size() : 0);
-  std::vector<bool> meter_seen(plan != nullptr ? plan->meter_faults.size()
-                                               : 0);
-  std::vector<bool> capviol_seen(
-      plan != nullptr ? plan->cap_violations.size() : 0);
-  struct Enforcement {
-    double at_s;
-    int node;
-  };
-  std::vector<Enforcement> enforcements;   ///< scheduled cap claw-backs
-  std::vector<double> retry_wakeups;       ///< backoff expiry instants
-  std::vector<bool> enforcement_pending(static_cast<std::size_t>(total_nodes),
-                                        false);
+double QueueEventLoop::true_cluster_power(double t) const {
+  double watts = 0.0;
+  for (const auto& r : running_) watts += r.true_power_w;
+  return watts + injector_->cap_excess_w(active_node_ids(), t);
+}
 
-  auto free_nodes = [&] {
-    int free = 0;
-    for (int n = 0; n < total_nodes; ++n)
-      if (node_alive[static_cast<std::size_t>(n)] &&
-          !node_busy[static_cast<std::size_t>(n)])
-        ++free;
-    return free;
-  };
-  auto free_power = [&] {
-    double used = 0.0;
-    for (const auto& r : running) used += r.power_w;
-    return total_budget - used;
-  };
-  auto active_node_ids = [&] {
-    std::vector<int> ids;
-    for (const auto& r : running)
-      ids.insert(ids.end(), r.node_ids.begin(), r.node_ids.end());
-    return ids;
-  };
-  auto true_cluster_power = [&](double t) {
-    double watts = 0.0;
-    for (const auto& r : running) watts += r.true_power_w;
-    return watts + injector_->cap_excess_w(active_node_ids(), t);
-  };
-  // Fault windows active at `t` for the flight recorder's `fault.active`
-  // series (crashes and degrades are permanent; meter faults and cap
-  // violations are windowed — claw-backs truncate the latter in place).
-  auto faults_active_at = [&](double t) {
-    int active = 0;
-    for (const auto& c : plan->crashes)
-      if (c.at_s <= t) ++active;
-    for (const auto& d : plan->degrades)
-      if (d.at_s <= t) ++active;
-    for (const auto& f : plan->meter_faults)
-      if (f.at_s <= t && t < f.at_s + f.duration_s) ++active;
-    for (const auto& v : plan->cap_violations)
-      if (v.at_s <= t && t < v.at_s + v.duration_s) ++active;
-    return active;
-  };
+// Fault windows active at `t` for the flight recorder's `fault.active`
+// series (crashes and degrades are permanent; meter faults, cap violations,
+// blackouts and budget cuts are windowed — claw-backs truncate the cap
+// violations in place).
+int QueueEventLoop::faults_active_at(double t) const {
+  int active = 0;
+  for (const auto& c : plan_->crashes)
+    if (c.at_s <= t) ++active;
+  for (const auto& d : plan_->degrades)
+    if (d.at_s <= t) ++active;
+  for (const auto& f : plan_->meter_faults)
+    if (f.at_s <= t && t < f.at_s + f.duration_s) ++active;
+  for (const auto& v : plan_->cap_violations)
+    if (v.at_s <= t && t < v.at_s + v.duration_s) ++active;
+  for (const auto& b : plan_->meter_blackouts)
+    if (b.at_s <= t && t < b.at_s + b.duration_s) ++active;
+  for (const auto& c : plan_->budget_cuts)
+    if (c.at_s <= t && t < c.at_s + c.duration_s) ++active;
+  return active;
+}
 
-  auto try_start = [&](std::size_t j) -> bool {
-    obs::ScopedSpan span(obs_, "queue.try_start", "runtime");
-    span.arg("app", jobs[j].app.name);
-    const int nodes_avail = free_nodes();
-    const double watts_avail = free_power();
-    span.arg("free_nodes", nodes_avail);
-    span.arg("free_watts", watts_avail);
-    if (nodes_avail < 1 ||
-        watts_avail < options_.min_node_power_w)
-      return false;
+bool QueueEventLoop::try_start(std::size_t j) {
+  obs::ScopedSpan span(obs_, "queue.try_start", "runtime");
+  span.arg("app", jobs_[j].app.name);
+  const int nodes_avail = free_nodes();
+  const double watts_avail = free_power();
+  span.arg("free_nodes", nodes_avail);
+  span.arg("free_watts", watts_avail);
+  if (nodes_avail < 1 ||
+      watts_avail < options_.min_node_power_w)
+    return false;
 
-    // Shape the job as if the free watts were all its own...
-    const core::ScheduleDecision ideal =
-        scheduler_->schedule(jobs[j].app, Watts(watts_avail));
-    // ...then constrain to the free nodes (or the job's own MPI launch
-    // line) with a proportional power slice.
-    const int nodes_wanted =
-        jobs[j].requested_nodes > 0 ? jobs[j].requested_nodes
-                                    : ideal.cluster.nodes;
-    if (nodes_wanted > nodes_avail && jobs[j].requested_nodes > 0)
-      return false;  // a predefined decomposition cannot shrink
-    const int nodes_used = std::min(nodes_wanted, nodes_avail);
-    const double slice =
-        watts_avail * nodes_used / std::max(ideal.cluster.nodes, nodes_used);
-    if (slice < options_.min_node_power_w * nodes_used) return false;
+  // Shape the job as if the free watts were all its own...
+  const core::ScheduleDecision ideal =
+      scheduler_->schedule(jobs_[j].app, Watts(watts_avail));
+  // ...then constrain to the free nodes (or the job's own MPI launch
+  // line) with a proportional power slice.
+  const int nodes_wanted =
+      jobs_[j].requested_nodes > 0 ? jobs_[j].requested_nodes
+                                   : ideal.cluster.nodes;
+  if (nodes_wanted > nodes_avail && jobs_[j].requested_nodes > 0)
+    return false;  // a predefined decomposition cannot shrink
+  const int nodes_used = std::min(nodes_wanted, nodes_avail);
+  const double slice =
+      watts_avail * nodes_used / std::max(ideal.cluster.nodes, nodes_used);
+  if (slice < options_.min_node_power_w * nodes_used) return false;
 
-    const core::ScheduleDecision constrained =
-        nodes_used == ideal.cluster.nodes
-            ? ideal
-            : scheduler_->schedule_constrained(jobs[j].app, Watts(slice),
-                                               nodes_used);
-    const sim::Measurement m =
-        executor_->run_exact(jobs[j].app, constrained.cluster);
-    CLIP_ENSURE(m.avg_power.value() <= slice * 1.01 + 1.0,
-                "job exceeded its power slice");
+  const core::ScheduleDecision constrained =
+      nodes_used == ideal.cluster.nodes
+          ? ideal
+          : scheduler_->schedule_constrained(jobs_[j].app, Watts(slice),
+                                             nodes_used);
+  const sim::Measurement m =
+      executor_->run_exact(jobs_[j].app, constrained.cluster);
+  CLIP_ENSURE(m.avg_power.value() <= slice * 1.01 + 1.0,
+              "job exceeded its power slice");
 
-    Running r;
-    r.job_index = j;
-    r.start_s = now;
-    const double duration =
-        m.time.value() + constrained.profiling_cost.value();
-    r.end_s = now + duration;
-    r.node_ids.reserve(static_cast<std::size_t>(nodes_used));
-    for (int n = 0; n < total_nodes &&
-                    static_cast<int>(r.node_ids.size()) < nodes_used;
-         ++n)
-      if (node_alive[static_cast<std::size_t>(n)] &&
-          !node_busy[static_cast<std::size_t>(n)])
-        r.node_ids.push_back(n);
-    // Reserve the job's full slice, not its measured draw: the RAPL caps
-    // guarantee the slice is never exceeded, and only reserving the caps
-    // keeps the cluster-wide bound airtight under transients.
-    r.power_w = slice;
-    r.true_power_w = m.avg_power.value();
-    r.energy_j = m.energy.value();
-    r.config = constrained.cluster;
-    r.prof_s = constrained.profiling_cost.value();
-    r.full_energy_j = m.energy.value();
-    r.frac_done = 0.0;
-    r.change_s = now;
-    r.ff_remaining = duration;
-    if (injector_ != nullptr) {
-      // Degrades stretch the run; a held node's crash aborts it.
-      const fault::RunResolution res =
-          injector_->resolve(now, duration, r.node_ids);
-      r.end_s = res.end_s;
-      r.crashed = res.crashed;
-      r.crashed_node = res.crashed_node;
+  Running r;
+  r.job_index = j;
+  r.start_s = now_;
+  const double duration =
+      m.time.value() + constrained.profiling_cost.value();
+  r.end_s = now_ + duration;
+  r.node_ids.reserve(static_cast<std::size_t>(nodes_used));
+  for (int n = 0; n < total_nodes_ &&
+                  static_cast<int>(r.node_ids.size()) < nodes_used;
+       ++n)
+    if (node_alive_[static_cast<std::size_t>(n)] &&
+        !node_busy_[static_cast<std::size_t>(n)])
+      r.node_ids.push_back(n);
+  // Reserve the job's full slice, not its measured draw: the RAPL caps
+  // guarantee the slice is never exceeded, and only reserving the caps
+  // keeps the cluster-wide bound airtight under transients.
+  r.power_w = slice;
+  r.true_power_w = m.avg_power.value();
+  r.energy_j = m.energy.value();
+  r.config = constrained.cluster;
+  r.prof_s = constrained.profiling_cost.value();
+  r.full_energy_j = m.energy.value();
+  r.frac_done = 0.0;
+  r.change_s = now_;
+  r.ff_remaining = duration;
+  if (injector_ != nullptr) {
+    // Degrades stretch the run; a held node's crash aborts it.
+    const fault::RunResolution res =
+        injector_->resolve(now_, duration, r.node_ids);
+    r.end_s = res.end_s;
+    r.crashed = res.crashed;
+    r.crashed_node = res.crashed_node;
+  }
+  for (int n : r.node_ids) node_busy_[static_cast<std::size_t>(n)] = true;
+
+  auto& out = report_.jobs[j];
+  out.app = jobs_[j].app.name;
+  out.parameters = jobs_[j].app.parameters;
+  out.submit_s = 0.0;
+  out.start_s = now_;
+  out.end_s = r.end_s;
+  out.nodes = nodes_used;
+  out.budget_w = slice;
+  out.power_w = m.avg_power.value();
+  out.attempts = ++attempts_[j];
+  out.completed = !r.crashed;
+  out.crashed_node = -1;
+  if (timeline_ != nullptr) {
+    timeline_->event("job", now_, "start " + out.app + " nodes=" +
+                                      std::to_string(nodes_used));
+    const double per_node_cap = slice / nodes_used;
+    const double per_node_power = m.avg_power.value() / nodes_used;
+    for (int n : r.node_ids) {
+      const std::string prefix = "node" + std::to_string(n);
+      timeline_->record(prefix + ".cap_w", now_, per_node_cap);
+      timeline_->record(prefix + ".power_w", now_, per_node_power);
     }
-    for (int n : r.node_ids) node_busy[static_cast<std::size_t>(n)] = true;
+  }
+  // Optimistic accounting at start, exactly as the fault-free queue always
+  // did (same FP operations in the same order, so an empty plan reproduces
+  // the report bit-for-bit); a crash abort adjusts the energy term. For a
+  // crashed run r.end_s is already the abort instant, so the node-seconds
+  // term needs no adjustment, and a degraded run's stretch is billed here.
+  report_.total_energy_j += m.energy.value();
+  report_.node_seconds_used += nodes_used * (r.end_s - now_);
+  running_.push_back(std::move(r));
+  state_[j] = State::kRunning;
+  obs::count(obs_, "queue.jobs_started");
+  obs::observe(obs_, "queue.job_wait_s", wait_s_spec(), out.wait_s());
+  if (journal_ != nullptr) {
+    const Running& rr = running_.back();
+    jlog("launch", "job=" + std::to_string(j) + " attempt=" +
+                       std::to_string(attempts_[j]) + " nodes=" +
+                       join_ints(rr.node_ids, '/') + " slice=" +
+                       fx(rr.power_w) + " end=" + fx(rr.end_s) +
+                       " crashed=" + (rr.crashed ? "1" : "0"));
+  }
+  return true;
+}
 
-    auto& out = report.jobs[j];
-    out.app = jobs[j].app.name;
-    out.parameters = jobs[j].app.parameters;
-    out.submit_s = 0.0;
-    out.start_s = now;
-    out.end_s = r.end_s;
-    out.nodes = nodes_used;
-    out.budget_w = slice;
-    out.power_w = m.avg_power.value();
-    out.attempts = ++attempts[j];
-    out.completed = !r.crashed;
-    out.crashed_node = -1;
-    if (timeline_ != nullptr) {
-      timeline_->event("job", now, "start " + out.app + " nodes=" +
-                                       std::to_string(nodes_used));
-      const double per_node_cap = slice / nodes_used;
-      const double per_node_power = m.avg_power.value() / nodes_used;
-      for (int n : r.node_ids) {
-        const std::string prefix = "node" + std::to_string(n);
-        timeline_->record(prefix + ".cap_w", now, per_node_cap);
-        timeline_->record(prefix + ".power_w", now, per_node_power);
-      }
-    }
-    // Optimistic accounting at start, exactly as the fault-free queue always
-    // did (same FP operations in the same order, so an empty plan reproduces
-    // the report bit-for-bit); a crash abort adjusts the energy term. For a
-    // crashed run r.end_s is already the abort instant, so the node-seconds
-    // term needs no adjustment, and a degraded run's stretch is billed here.
-    report.total_energy_j += m.energy.value();
-    report.node_seconds_used += nodes_used * (r.end_s - now);
-    running.push_back(std::move(r));
-    state[j] = State::kRunning;
-    obs::count(obs_, "queue.jobs_started");
-    obs::observe(obs_, "queue.job_wait_s", wait_s_spec(), out.wait_s());
-    return true;
-  };
-
-  auto start_eligible = [&] {
-    for (std::size_t j = 0; j < jobs.size(); ++j) {
-      if (state[j] != State::kPending) continue;
-      if (eligible_s[j] > now) continue;  // still backing off after a crash
+void QueueEventLoop::start_eligible() {
+  // BUDGET_BROWNOUT pauses admission: the launch pass is skipped until the
+  // cut window ends (the gauges below keep tracking the paused queue).
+  if (!admission_paused_) {
+    for (std::size_t j = 0; j < jobs_.size(); ++j) {
+      if (state_[j] != State::kPending) continue;
+      if (eligible_s_[j] > now_) continue;  // still backing off after a crash
       const bool ok = try_start(j);
       if (!ok && !options_.backfill) break;  // strict FCFS: head blocks
     }
-    std::size_t waiting = 0;
-    for (std::size_t j = 0; j < jobs.size(); ++j)
-      if (state[j] == State::kPending) ++waiting;
-    obs::gauge_set(obs_, "queue.depth", static_cast<double>(waiting));
-    obs::gauge_set(obs_, "queue.running",
-                   static_cast<double>(running.size()));
-    if (timeline_ != nullptr) {
-      timeline_->record("queue.depth", now, static_cast<double>(waiting));
-      timeline_->record("queue.running", now,
-                        static_cast<double>(running.size()));
-      timeline_->record("budget.free_w", now, free_power());
-    }
-  };
+  }
+  std::size_t waiting = 0;
+  for (std::size_t j = 0; j < jobs_.size(); ++j)
+    if (state_[j] == State::kPending) ++waiting;
+  obs::gauge_set(obs_, "queue.depth", static_cast<double>(waiting));
+  obs::gauge_set(obs_, "queue.running",
+                 static_cast<double>(running_.size()));
+  if (timeline_ != nullptr) {
+    timeline_->record("queue.depth", now_, static_cast<double>(waiting));
+    timeline_->record("queue.running", now_,
+                      static_cast<double>(running_.size()));
+    timeline_->record("budget.free_w", now_, free_power());
+  }
+}
 
-  // Announce fault events whose time has arrived: counters/spans once per
-  // event, crashes also retire the node from the pool.
-  auto apply_fault_events = [&] {
-    bool fired = false;
-    for (std::size_t i = 0; i < crash_seen.size(); ++i) {
-      const auto& c = plan->crashes[i];
-      if (crash_seen[i] || c.at_s > now) continue;
-      crash_seen[i] = true;
-      fired = true;
-      obs::ScopedSpan span(obs_, "fault.inject", "fault");
-      span.arg("kind", "crash");
-      span.arg("node", c.node);
-      obs::count(obs_, "fault.injected");
-      obs::count(obs_, "fault.crashes");
+// Announce fault events whose time has arrived: counters/spans once per
+// event, crashes also retire the node from the pool.
+void QueueEventLoop::apply_fault_events() {
+  bool fired = false;
+  for (std::size_t i = 0; i < crash_seen_.size(); ++i) {
+    const auto& c = plan_->crashes[i];
+    if (crash_seen_[i] || c.at_s > now_) continue;
+    crash_seen_[i] = true;
+    fired = true;
+    obs::ScopedSpan span(obs_, "fault.inject", "fault");
+    span.arg("kind", "crash");
+    span.arg("node", c.node);
+    obs::count(obs_, "fault.injected");
+    obs::count(obs_, "fault.crashes");
+    if (timeline_ != nullptr)
+      timeline_->event("fault", now_,
+                       "crash node=" + std::to_string(c.node));
+    if (node_alive_[static_cast<std::size_t>(c.node)]) {
+      node_alive_[static_cast<std::size_t>(c.node)] = false;
+      report_.crashed_nodes.push_back(c.node);
+    }
+  }
+  for (std::size_t i = 0; i < degrade_seen_.size(); ++i) {
+    const auto& d = plan_->degrades[i];
+    if (degrade_seen_[i] || d.at_s > now_) continue;
+    degrade_seen_[i] = true;
+    fired = true;
+    obs::ScopedSpan span(obs_, "fault.inject", "fault");
+    span.arg("kind", "degrade");
+    span.arg("node", d.node);
+    obs::count(obs_, "fault.injected");
+    obs::count(obs_, "fault.degrades");
+    if (timeline_ != nullptr)
+      timeline_->event("fault", now_,
+                       "degrade node=" + std::to_string(d.node));
+  }
+  for (std::size_t i = 0; i < meter_seen_.size(); ++i) {
+    const auto& f = plan_->meter_faults[i];
+    if (meter_seen_[i] || f.at_s > now_) continue;
+    meter_seen_[i] = true;
+    fired = true;
+    obs::ScopedSpan span(obs_, "fault.inject", "fault");
+    span.arg("kind", std::string("meter-") + to_string(f.kind));
+    span.arg("node", f.node);
+    obs::count(obs_, "fault.injected");
+    obs::count(obs_, "fault.meter_faults");
+    if (timeline_ != nullptr)
+      timeline_->event("fault", now_,
+                       std::string("meter-") + to_string(f.kind) +
+                           " node=" + std::to_string(f.node));
+  }
+  for (std::size_t i = 0; i < capviol_seen_.size(); ++i) {
+    const auto& v = plan_->cap_violations[i];
+    if (capviol_seen_[i] || v.at_s > now_) continue;
+    capviol_seen_[i] = true;
+    fired = true;
+    obs::ScopedSpan span(obs_, "fault.inject", "fault");
+    span.arg("kind", "cap-violation");
+    span.arg("node", v.node);
+    obs::count(obs_, "fault.injected");
+    obs::count(obs_, "fault.cap_violations");
+    if (timeline_ != nullptr)
+      timeline_->event("fault", now_,
+                       "cap-violation node=" + std::to_string(v.node));
+  }
+  for (std::size_t i = 0; i < blackout_seen_.size(); ++i) {
+    const auto& b = plan_->meter_blackouts[i];
+    if (blackout_seen_[i] || b.at_s > now_) continue;
+    blackout_seen_[i] = true;
+    fired = true;
+    obs::ScopedSpan span(obs_, "fault.inject", "fault");
+    span.arg("kind", "meter-blackout");
+    obs::count(obs_, "fault.injected");
+    obs::count(obs_, "fault.blackouts");
+    if (timeline_ != nullptr)
+      timeline_->event("fault", now_,
+                       "meter-blackout for " +
+                           format_double(b.duration_s, 1) + "s");
+  }
+  for (std::size_t i = 0; i < cut_seen_.size(); ++i) {
+    const auto& c = plan_->budget_cuts[i];
+    if (cut_seen_[i] || c.at_s > now_) continue;
+    cut_seen_[i] = true;
+    fired = true;
+    obs::ScopedSpan span(obs_, "fault.inject", "fault");
+    span.arg("kind", "budget-cut");
+    obs::count(obs_, "fault.injected");
+    obs::count(obs_, "fault.budget_cuts");
+    if (timeline_ != nullptr)
+      timeline_->event("fault", now_,
+                       "budget-cut to " + format_double(c.factor, 2) +
+                           "x for " + format_double(c.duration_s, 1) + "s");
+  }
+  if (timeline_ != nullptr && fired)
+    timeline_->record("fault.active", now_,
+                      static_cast<double>(faults_active_at(now_)));
+}
+
+// Claw back a violated cap on `node` (re-coordination took effect).
+void QueueEventLoop::claw_back(int node) {
+  const int truncated = injector_->truncate_cap_violations(node, now_);
+  if (truncated == 0) return;  // window already over
+  report_.caps_reprogrammed += truncated;
+  obs::ScopedSpan span(obs_, "budget.reprogram", "fault");
+  span.arg("node", node);
+  obs::count(obs_, "budget.caps_reprogrammed",
+             static_cast<std::uint64_t>(truncated));
+  if (timeline_ != nullptr) {
+    timeline_->event("fault", now_, "claw-back node=" + std::to_string(node));
+    timeline_->record("fault.active", now_,
+                      static_cast<double>(faults_active_at(now_)));
+  }
+  if (journal_ != nullptr)
+    jlog("guard-claw", "node=" + std::to_string(node) + " windows=" +
+                           std::to_string(truncated) + " t=" + fx(now_));
+}
+
+// The guard's sampling pass: read every active node's meter (corrupted by
+// the injector, filtered for plausibility), detect cluster overshoot, and
+// schedule claw-backs with the actuation latency. METER_BLACKOUT freezes
+// the pass entirely: there is nothing trustworthy to read.
+void QueueEventLoop::guard_sample() {
+  if (meters_dark_) return;
+  if (!guard_.options().enabled || running_.empty()) return;
+  double observed = 0.0;
+  for (const auto& r : running_) {
+    const double per_node_truth =
+        r.true_power_w / static_cast<double>(r.node_ids.size());
+    const double per_node_expected =
+        r.power_w / static_cast<double>(r.node_ids.size());
+    for (int n : r.node_ids) {
+      const double truth =
+          per_node_truth + injector_->cap_excess_w({n}, now_);
       if (timeline_ != nullptr)
-        timeline_->event("fault", now,
-                         "crash node=" + std::to_string(c.node));
-      if (node_alive[static_cast<std::size_t>(c.node)]) {
-        node_alive[static_cast<std::size_t>(c.node)] = false;
-        report.crashed_nodes.push_back(c.node);
-      }
+        timeline_->record("node" + std::to_string(n) + ".power_w", now_,
+                          truth);
+      observed += guard_.filter_reading(
+          injector_->observed_node_power(n, now_, truth),
+          per_node_expected);
     }
-    for (std::size_t i = 0; i < degrade_seen.size(); ++i) {
-      const auto& d = plan->degrades[i];
-      if (degrade_seen[i] || d.at_s > now) continue;
-      degrade_seen[i] = true;
-      fired = true;
-      obs::ScopedSpan span(obs_, "fault.inject", "fault");
-      span.arg("kind", "degrade");
-      span.arg("node", d.node);
-      obs::count(obs_, "fault.injected");
-      obs::count(obs_, "fault.degrades");
-      if (timeline_ != nullptr)
-        timeline_->event("fault", now,
-                         "degrade node=" + std::to_string(d.node));
+  }
+  if (!guard_.overshoot(observed)) return;
+  obs::count(obs_, "budget.overshoot_events");
+  for (int n : injector_->violating_nodes(active_node_ids(), now_)) {
+    if (enforcement_pending_[static_cast<std::size_t>(n)]) continue;
+    if (guard_.options().reaction_s <= 0.0) {
+      claw_back(n);
+    } else {
+      enforcement_pending_[static_cast<std::size_t>(n)] = true;
+      enforcements_.push_back({now_ + guard_.options().reaction_s, n});
+      if (journal_ != nullptr)
+        jlog("enforce-scheduled", "node=" + std::to_string(n) + " at=" +
+                                      fx(enforcements_.back().at_s));
     }
-    for (std::size_t i = 0; i < meter_seen.size(); ++i) {
-      const auto& f = plan->meter_faults[i];
-      if (meter_seen[i] || f.at_s > now) continue;
-      meter_seen[i] = true;
-      fired = true;
-      obs::ScopedSpan span(obs_, "fault.inject", "fault");
-      span.arg("kind", std::string("meter-") + to_string(f.kind));
-      span.arg("node", f.node);
-      obs::count(obs_, "fault.injected");
-      obs::count(obs_, "fault.meter_faults");
-      if (timeline_ != nullptr)
-        timeline_->event("fault", now,
-                         std::string("meter-") + to_string(f.kind) +
-                             " node=" + std::to_string(f.node));
-    }
-    for (std::size_t i = 0; i < capviol_seen.size(); ++i) {
-      const auto& v = plan->cap_violations[i];
-      if (capviol_seen[i] || v.at_s > now) continue;
-      capviol_seen[i] = true;
-      fired = true;
-      obs::ScopedSpan span(obs_, "fault.inject", "fault");
-      span.arg("kind", "cap-violation");
-      span.arg("node", v.node);
-      obs::count(obs_, "fault.injected");
-      obs::count(obs_, "fault.cap_violations");
-      if (timeline_ != nullptr)
-        timeline_->event("fault", now,
-                         "cap-violation node=" + std::to_string(v.node));
-    }
-    if (timeline_ != nullptr && fired)
-      timeline_->record("fault.active", now,
-                        static_cast<double>(faults_active_at(now)));
-  };
+  }
+}
 
-  // Claw back a violated cap on `node` (re-coordination took effect).
-  auto claw_back = [&](int node) {
-    const int truncated = injector_->truncate_cap_violations(node, now);
-    if (truncated == 0) return;  // window already over
-    report.caps_reprogrammed += truncated;
-    obs::ScopedSpan span(obs_, "budget.reprogram", "fault");
-    span.arg("node", node);
-    obs::count(obs_, "budget.caps_reprogrammed",
-               static_cast<std::uint64_t>(truncated));
-    if (timeline_ != nullptr) {
-      timeline_->event("fault", now, "claw-back node=" + std::to_string(node));
-      timeline_->record("fault.active", now,
-                        static_cast<double>(faults_active_at(now)));
-    }
-  };
+// Work fraction job `r` has completed by `t` (fault-free-equivalent work
+// over total), chained through the re-base points.
+double QueueEventLoop::frac_at(const Running& r, double t) const {
+  if (r.ff_remaining <= 0.0) return 1.0;
+  const double done = injector_ != nullptr
+                          ? injector_->work_done_s(r.change_s, t, r.node_ids)
+                          : t - r.change_s;
+  const double seg = std::clamp(done / r.ff_remaining, 0.0, 1.0);
+  return r.frac_done + seg * (1.0 - r.frac_done);
+}
 
-  // The guard's sampling pass: read every active node's meter (corrupted by
-  // the injector, filtered for plausibility), detect cluster overshoot, and
-  // schedule claw-backs with the actuation latency.
-  auto guard_sample = [&] {
-    if (!guard.options().enabled || running.empty()) return;
-    double observed = 0.0;
-    for (const auto& r : running) {
-      const double per_node_truth =
-          r.true_power_w / static_cast<double>(r.node_ids.size());
-      const double per_node_expected =
-          r.power_w / static_cast<double>(r.node_ids.size());
-      for (int n : r.node_ids) {
-        const double truth =
-            per_node_truth + injector_->cap_excess_w({n}, now);
-        if (timeline_ != nullptr)
-          timeline_->record("node" + std::to_string(n) + ".power_w", now,
-                            truth);
-        observed += guard.filter_reading(
-            injector_->observed_node_power(n, now, truth),
-            per_node_expected);
-      }
-    }
-    if (!guard.overshoot(observed)) return;
-    obs::count(obs_, "budget.overshoot_events");
-    for (int n : injector_->violating_nodes(active_node_ids(), now)) {
-      if (enforcement_pending[static_cast<std::size_t>(n)]) continue;
-      if (guard.options().reaction_s <= 0.0) {
-        claw_back(n);
-      } else {
-        enforcement_pending[static_cast<std::size_t>(n)] = true;
-        enforcements.push_back({now + guard.options().reaction_s, n});
-      }
-    }
-  };
+// Where job `r` would finish if its remaining work ran at measurement
+// `m1`'s pace (resolved against faults from `now` onward).
+double QueueEventLoop::projected_end(const Running& r,
+                                     const sim::Measurement& m1) const {
+  const double frac = frac_at(r, now_);
+  const double ff_rem =
+      std::max((1.0 - frac) * (m1.time.value() + r.prof_s), 0.0);
+  if (injector_ == nullptr) return now_ + ff_rem;
+  return injector_->resolve(now_, ff_rem, r.node_ids).end_s;
+}
 
-  // --- Runtime power redistribution (docs/power-redistribution.md) --------
-  // A periodic tick feeds the slack detector one plausibility-filtered
-  // sample per active node, schedules claw-backs with a reaction latency,
-  // re-grants the free pool to the running job whose completion improves
-  // the most, and trades PKG watts for DRAM bandwidth on memory-phase jobs.
-  // Everything below is gated on options_.redist.enabled: disabled, no tick
-  // ever fires and the run is byte-identical to the static queue.
-  const bool redist_on = options_.redist.enabled;
-  SlackDetector detector(options_.redist);
-  Redistributor redistributor(options_.redist);
-  struct PendingClaw {
-    double at_s;      ///< actuation instant (decision + reaction latency)
-    std::size_t job;
-    int attempt;      ///< placement the claw targets; a retry invalidates it
-    double watts;
-  };
-  std::vector<PendingClaw> pending_claws;
-  double next_tick_s = options_.redist.period_s;
+// Re-base job `r` onto a new configuration/slice at `now`: convert its
+// elapsed time into work progress, re-resolve the remainder against the
+// fault plan (which may newly hit — or dodge — a crash), and adjust the
+// optimistic energy / node-seconds bills by the delta on the unfinished
+// fraction.
+void QueueEventLoop::rebase_running(Running& r, const sim::ClusterConfig& cfg,
+                                    const sim::Measurement& m1,
+                                    double new_slice) {
+  const double frac = frac_at(r, now_);
+  const double ff_rem =
+      std::max((1.0 - frac) * (m1.time.value() + r.prof_s), 0.0);
+  double new_end = now_ + ff_rem;
+  bool crashed = false;
+  int crashed_node = -1;
+  if (injector_ != nullptr) {
+    const fault::RunResolution res =
+        injector_->resolve(now_, ff_rem, r.node_ids);
+    new_end = res.end_s;
+    crashed = res.crashed;
+    crashed_node = res.crashed_node;
+  }
+  const double energy_delta =
+      (1.0 - frac) * (m1.energy.value() - r.full_energy_j);
+  report_.total_energy_j += energy_delta;
+  r.energy_j += energy_delta;
+  r.full_energy_j = m1.energy.value();
+  report_.node_seconds_used +=
+      static_cast<double>(r.node_ids.size()) * (new_end - r.end_s);
+  r.config = cfg;
+  r.power_w = new_slice;
+  r.true_power_w = m1.avg_power.value();
+  r.end_s = new_end;
+  r.crashed = crashed;
+  r.crashed_node = crashed_node;
+  r.frac_done = frac;
+  r.change_s = now_;
+  r.ff_remaining = ff_rem;
+  auto& out = report_.jobs[r.job_index];
+  out.end_s = new_end;
+  out.budget_w = new_slice;
+  out.power_w = r.true_power_w;
+  out.completed = !crashed;
+  if (timeline_ != nullptr) {
+    const double n_nodes = static_cast<double>(r.node_ids.size());
+    for (int n : r.node_ids) {
+      const std::string prefix = "node" + std::to_string(n);
+      timeline_->record(prefix + ".cap_w", now_, new_slice / n_nodes);
+      timeline_->record(prefix + ".power_w", now_, r.true_power_w / n_nodes);
+    }
+  }
+}
 
-  // Work fraction job `r` has completed by `t` (fault-free-equivalent work
-  // over total), chained through the re-base points.
-  auto frac_at = [&](const Running& r, double t) {
-    if (r.ff_remaining <= 0.0) return 1.0;
-    const double done = injector_ != nullptr
-                            ? injector_->work_done_s(r.change_s, t, r.node_ids)
-                            : t - r.change_s;
-    const double seg = std::clamp(done / r.ff_remaining, 0.0, 1.0);
-    return r.frac_done + seg * (1.0 - r.frac_done);
-  };
-  // Where job `r` would finish if its remaining work ran at measurement
-  // `m1`'s pace (resolved against faults from `now` onward).
-  auto projected_end = [&](const Running& r, const sim::Measurement& m1) {
-    const double frac = frac_at(r, now);
-    const double ff_rem =
-        std::max((1.0 - frac) * (m1.time.value() + r.prof_s), 0.0);
-    if (injector_ == nullptr) return now + ff_rem;
-    return injector_->resolve(now, ff_rem, r.node_ids).end_s;
-  };
-  // Re-base job `r` onto a new configuration/slice at `now`: convert its
-  // elapsed time into work progress, re-resolve the remainder against the
-  // fault plan (which may newly hit — or dodge — a crash), and adjust the
-  // optimistic energy / node-seconds bills by the delta on the unfinished
-  // fraction.
-  auto rebase_running = [&](Running& r, const sim::ClusterConfig& cfg,
-                            const sim::Measurement& m1, double new_slice) {
-    const double frac = frac_at(r, now);
-    const double ff_rem =
-        std::max((1.0 - frac) * (m1.time.value() + r.prof_s), 0.0);
-    double new_end = now + ff_rem;
-    bool crashed = false;
-    int crashed_node = -1;
-    if (injector_ != nullptr) {
-      const fault::RunResolution res =
-          injector_->resolve(now, ff_rem, r.node_ids);
-      new_end = res.end_s;
-      crashed = res.crashed;
-      crashed_node = res.crashed_node;
-    }
-    const double energy_delta =
-        (1.0 - frac) * (m1.energy.value() - r.full_energy_j);
-    report.total_energy_j += energy_delta;
-    r.energy_j += energy_delta;
-    r.full_energy_j = m1.energy.value();
-    report.node_seconds_used +=
-        static_cast<double>(r.node_ids.size()) * (new_end - r.end_s);
-    r.config = cfg;
-    r.power_w = new_slice;
-    r.true_power_w = m1.avg_power.value();
-    r.end_s = new_end;
-    r.crashed = crashed;
-    r.crashed_node = crashed_node;
-    r.frac_done = frac;
-    r.change_s = now;
-    r.ff_remaining = ff_rem;
-    auto& out = report.jobs[r.job_index];
-    out.end_s = new_end;
-    out.budget_w = new_slice;
-    out.power_w = r.true_power_w;
-    out.completed = !crashed;
-    if (timeline_ != nullptr) {
-      const double n_nodes = static_cast<double>(r.node_ids.size());
-      for (int n : r.node_ids) {
-        const std::string prefix = "node" + std::to_string(n);
-        timeline_->record(prefix + ".cap_w", now, new_slice / n_nodes);
-        timeline_->record(prefix + ".power_w", now, r.true_power_w / n_nodes);
+// Actuate one claw-back whose reaction latency elapsed. If the placement
+// it targeted is gone (completed, or crash-aborted — the race the attempt
+// tag catches), its watts are already back in the free pool and the claw
+// dissolves without effect.
+void QueueEventLoop::apply_claw(const PendingClaw& c) {
+  Running* r = nullptr;
+  for (auto& cand : running_)
+    if (cand.job_index == c.job) r = &cand;
+  if (r == nullptr || attempts_[c.job] != c.attempt) {
+    if (journal_ != nullptr)
+      jlog("claw-dissolve", "job=" + std::to_string(c.job) + " reason=gone");
+    return;
+  }
+  const int n_nodes = static_cast<int>(r->node_ids.size());
+  const double floor_w =
+      std::max(options_.min_node_power_w * n_nodes,
+               r->true_power_w + options_.redist.headroom_frac * r->power_w);
+  const double claw = std::min(c.watts, r->power_w - floor_w);
+  if (claw <= 0.0) {
+    // A re-grant since the decision ate the slack.
+    if (journal_ != nullptr)
+      jlog("claw-dissolve", "job=" + std::to_string(c.job) + " reason=eaten");
+    return;
+  }
+  r->power_w -= claw;
+  report_.jobs[r->job_index].budget_w = r->power_w;
+  ++report_.redist_claw_backs;
+  report_.redist_reclaimed_w += claw;
+  obs::count(obs_, "redist.claw_backs");
+  if (timeline_ != nullptr) {
+    timeline_->event("redist", now_,
+                     "claw " + report_.jobs[r->job_index].app +
+                         " w=" + format_double(claw, 1));
+    const double per_node_cap = r->power_w / n_nodes;
+    for (int n : r->node_ids)
+      timeline_->record("node" + std::to_string(n) + ".cap_w", now_,
+                        per_node_cap);
+  }
+  if (journal_ != nullptr)
+    jlog("claw-actuate", "job=" + std::to_string(c.job) + " w=" + fx(claw));
+}
+
+// The redistribution tick: sample, size claw-backs, and hill-climb
+// memory-phase jobs one PKG→DRAM step.
+void QueueEventLoop::redist_tick() {
+  obs::count(obs_, "redist.ticks");
+  for (const auto& r : running_) {
+    const double n_nodes = static_cast<double>(r.node_ids.size());
+    const double per_node_truth = r.true_power_w / n_nodes;
+    const double per_node_expected = r.power_w / n_nodes;
+    for (int n : r.node_ids) {
+      double truth = per_node_truth;
+      double observed = truth;
+      if (injector_ != nullptr) {
+        truth += injector_->cap_excess_w({n}, now_);
+        observed = injector_->observed_node_power(n, now_, truth);
       }
+      detector_.observe(n, now_,
+                        guard_.filter_reading(observed, per_node_expected));
     }
-  };
-  // Actuate one claw-back whose reaction latency elapsed. If the placement
-  // it targeted is gone (completed, or crash-aborted — the race the attempt
-  // tag catches), its watts are already back in the free pool and the claw
-  // dissolves without effect.
-  auto apply_claw = [&](const PendingClaw& c) {
-    Running* r = nullptr;
-    for (auto& cand : running)
-      if (cand.job_index == c.job) r = &cand;
-    if (r == nullptr || attempts[c.job] != c.attempt) return;
-    const int n_nodes = static_cast<int>(r->node_ids.size());
+  }
+  double slack_total = 0.0;
+  for (const auto& r : running_) {
+    if (r.crashed) continue;  // its watts come back at the abort instant
+    bool claw_pending = false;
+    for (const auto& c : pending_claws_)
+      claw_pending = claw_pending || c.job == r.job_index;
+    if (claw_pending) continue;
+    const int n_nodes = static_cast<int>(r.node_ids.size());
+    const double cap_per_node = r.power_w / n_nodes;
+    double slack = 0.0;
+    for (int n : r.node_ids) slack += detector_.node_slack_w(n, cap_per_node);
+    slack_total += slack;
     const double floor_w =
         std::max(options_.min_node_power_w * n_nodes,
-                 r->true_power_w + options_.redist.headroom_frac * r->power_w);
-    const double claw = std::min(c.watts, r->power_w - floor_w);
-    if (claw <= 0.0) return;  // a re-grant since the decision ate the slack
-    r->power_w -= claw;
-    report.jobs[r->job_index].budget_w = r->power_w;
-    ++report.redist_claw_backs;
-    report.redist_reclaimed_w += claw;
-    obs::count(obs_, "redist.claw_backs");
-    if (timeline_ != nullptr) {
-      timeline_->event("redist", now,
-                       "claw " + report.jobs[r->job_index].app +
+                 r.true_power_w + options_.redist.headroom_frac * r.power_w);
+    const double claw = redistributor_.claw_w(r.power_w, slack, floor_w);
+    if (claw <= 0.0) continue;
+    pending_claws_.push_back({now_ + options_.redist.reaction_s, r.job_index,
+                              attempts_[r.job_index], claw});
+    if (timeline_ != nullptr)
+      timeline_->event("redist", now_,
+                       "claw-scheduled " + report_.jobs[r.job_index].app +
                            " w=" + format_double(claw, 1));
-      const double per_node_cap = r->power_w / n_nodes;
-      for (int n : r->node_ids)
-        timeline_->record("node" + std::to_string(n) + ".cap_w", now,
-                          per_node_cap);
-    }
-  };
-  // The redistribution tick: sample, size claw-backs, and hill-climb
-  // memory-phase jobs one PKG→DRAM step.
-  auto redist_tick = [&] {
-    obs::count(obs_, "redist.ticks");
-    for (const auto& r : running) {
-      const double n_nodes = static_cast<double>(r.node_ids.size());
-      const double per_node_truth = r.true_power_w / n_nodes;
-      const double per_node_expected = r.power_w / n_nodes;
-      for (int n : r.node_ids) {
-        double truth = per_node_truth;
-        double observed = truth;
-        if (injector_ != nullptr) {
-          truth += injector_->cap_excess_w({n}, now);
-          observed = injector_->observed_node_power(n, now, truth);
-        }
-        detector.observe(n, now,
-                         guard.filter_reading(observed, per_node_expected));
-      }
-    }
-    double slack_total = 0.0;
-    for (const auto& r : running) {
-      if (r.crashed) continue;  // its watts come back at the abort instant
-      bool claw_pending = false;
-      for (const auto& c : pending_claws)
-        claw_pending = claw_pending || c.job == r.job_index;
-      if (claw_pending) continue;
-      const int n_nodes = static_cast<int>(r.node_ids.size());
-      const double cap_per_node = r.power_w / n_nodes;
-      double slack = 0.0;
-      for (int n : r.node_ids) slack += detector.node_slack_w(n, cap_per_node);
-      slack_total += slack;
-      const double floor_w =
-          std::max(options_.min_node_power_w * n_nodes,
-                   r.true_power_w + options_.redist.headroom_frac * r.power_w);
-      const double claw = redistributor.claw_w(r.power_w, slack, floor_w);
-      if (claw <= 0.0) continue;
-      pending_claws.push_back({now + options_.redist.reaction_s, r.job_index,
-                               attempts[r.job_index], claw});
-      if (timeline_ != nullptr)
-        timeline_->event("redist", now,
-                         "claw-scheduled " + report.jobs[r.job_index].app +
-                             " w=" + format_double(claw, 1));
-    }
+    if (journal_ != nullptr)
+      jlog("claw-scheduled", "job=" + std::to_string(r.job_index) + " at=" +
+                                 fx(pending_claws_.back().at_s) +
+                                 " w=" + fx(claw));
+  }
+  if (timeline_ != nullptr)
+    timeline_->record("redist.slack_w", now_, slack_total);
+  if (journal_ != nullptr)
+    jlog("tick", "t=" + fx(now_) + " slack=" + fx(slack_total));
+  if (!options_.redist.subsystem_split) return;
+  for (auto& r : running_) {
+    if (r.crashed) continue;
+    const PhaseSignal sig = SlackDetector::phase_at(
+        jobs_[r.job_index].app, r.start_s, r.end_s, now_);
+    if (!sig.memory_bound) continue;
+    const sim::ClusterConfig shifted = sim::shift_pkg_to_dram(
+        r.config, Watts(options_.redist.shift_step_w), Watts(1.0));
+    if (shifted.node.cpu_cap.value() == r.config.node.cpu_cap.value() &&
+        shifted.node.mem_level == r.config.node.mem_level)
+      continue;  // already fully shifted
+    const sim::Measurement m1 =
+        executor_->run_exact(jobs_[r.job_index].app, shifted);
+    if (m1.avg_power.value() > r.power_w * 1.01 + 1.0)
+      continue;  // must keep fitting the reserved slice
+    const double gain = r.end_s - projected_end(r, m1);
+    if (gain < options_.redist.min_gain_s) continue;
+    rebase_running(r, shifted, m1, r.power_w);
+    ++report_.redist_subsystem_shifts;
+    obs::count(obs_, "redist.subsystem_shifts");
     if (timeline_ != nullptr)
-      timeline_->record("redist.slack_w", now, slack_total);
-    if (!options_.redist.subsystem_split) return;
-    for (auto& r : running) {
-      if (r.crashed) continue;
-      const PhaseSignal sig = SlackDetector::phase_at(
-          jobs[r.job_index].app, r.start_s, r.end_s, now);
-      if (!sig.memory_bound) continue;
-      const sim::ClusterConfig shifted = sim::shift_pkg_to_dram(
-          r.config, Watts(options_.redist.shift_step_w), Watts(1.0));
-      if (shifted.node.cpu_cap.value() == r.config.node.cpu_cap.value() &&
-          shifted.node.mem_level == r.config.node.mem_level)
-        continue;  // already fully shifted
-      const sim::Measurement m1 =
-          executor_->run_exact(jobs[r.job_index].app, shifted);
-      if (m1.avg_power.value() > r.power_w * 1.01 + 1.0)
-        continue;  // must keep fitting the reserved slice
-      const double gain = r.end_s - projected_end(r, m1);
-      if (gain < options_.redist.min_gain_s) continue;
-      rebase_running(r, shifted, m1, r.power_w);
-      ++report.redist_subsystem_shifts;
-      obs::count(obs_, "redist.subsystem_shifts");
-      if (timeline_ != nullptr)
-        timeline_->event("redist", now,
-                         "shift " + report.jobs[r.job_index].app +
-                             " pkg->dram w=" +
-                             format_double(options_.redist.shift_step_w, 1));
-    }
+      timeline_->event("redist", now_,
+                       "shift " + report_.jobs[r.job_index].app +
+                           " pkg->dram w=" +
+                           format_double(options_.redist.shift_step_w, 1));
+    if (journal_ != nullptr)
+      jlog("shift", "job=" + std::to_string(r.job_index) + " t=" + fx(now_));
+  }
+}
+
+// Re-grant the free pool to the running job whose completion improves the
+// most. Queued jobs own the free watts first: while anyone is pending
+// (even in crash backoff) the pool stays untouched. METER_BLACKOUT freezes
+// re-grants: a grant is justified by measured slack, and there are no
+// measurements.
+void QueueEventLoop::try_regrant() {
+  if (meters_dark_) return;
+  for (std::size_t j = 0; j < jobs_.size(); ++j)
+    if (state_[j] == State::kPending) return;
+  const double free_w = free_power();
+  if (free_w < options_.redist.min_grant_w || running_.empty()) return;
+  struct Eval {
+    sim::ClusterConfig cfg;
+    sim::Measurement m;
+    double slice;
   };
-  // Re-grant the free pool to the running job whose completion improves the
-  // most. Queued jobs own the free watts first: while anyone is pending
-  // (even in crash backoff) the pool stays untouched.
-  auto try_regrant = [&] {
-    for (std::size_t j = 0; j < jobs.size(); ++j)
-      if (state[j] == State::kPending) return;
-    const double free_w = free_power();
-    if (free_w < options_.redist.min_grant_w || running.empty()) return;
-    struct Eval {
-      sim::ClusterConfig cfg;
-      sim::Measurement m;
-      double slice;
-    };
-    std::vector<RegrantCandidate> candidates;
-    std::vector<Eval> evals;
-    for (std::size_t i = 0; i < running.size(); ++i) {
-      const Running& r = running[i];
-      if (r.crashed) continue;  // boosting a doomed placement buys nothing
-      const double slice = r.power_w + free_w;
-      const core::ScheduleDecision boosted = scheduler_->schedule_constrained(
-          jobs[r.job_index].app, Watts(slice),
-          static_cast<int>(r.node_ids.size()));
-      const sim::Measurement m1 =
-          executor_->run_exact(jobs[r.job_index].app, boosted.cluster);
-      if (m1.avg_power.value() > slice * 1.01 + 1.0) continue;
-      candidates.push_back({i, free_w, r.end_s - projected_end(r, m1)});
-      evals.push_back({boosted.cluster, m1, slice});
-    }
-    const RegrantCandidate* best = redistributor.pick(candidates);
-    if (best == nullptr) return;
-    Running& r = running[best->job];
-    // The guard admits the grant against the larger of the reservations and
-    // the true draw: during an active cap violation the cluster is already
-    // over budget, and re-granting then would widen the violation.
-    double reserved = 0.0;
-    for (const auto& other : running) reserved += other.power_w;
-    if (injector_ != nullptr)
-      reserved = std::max(reserved, true_cluster_power(now));
-    if (!guard.admit_regrant(reserved, best->grant_w)) {
-      obs::count(obs_, "redist.regrants_rejected");
-      if (timeline_ != nullptr)
-        timeline_->event("redist", now,
-                         "regrant-rejected " + report.jobs[r.job_index].app +
-                             " w=" + format_double(best->grant_w, 1));
-      return;
-    }
-    const Eval& e = evals[static_cast<std::size_t>(best - candidates.data())];
-    rebase_running(r, e.cfg, e.m, e.slice);
-    ++report.redist_regrants;
-    report.redist_granted_w += best->grant_w;
-    obs::count(obs_, "redist.regrants");
+  std::vector<RegrantCandidate> candidates;
+  std::vector<Eval> evals;
+  for (std::size_t i = 0; i < running_.size(); ++i) {
+    const Running& r = running_[i];
+    if (r.crashed) continue;  // boosting a doomed placement buys nothing
+    const double slice = r.power_w + free_w;
+    const core::ScheduleDecision boosted = scheduler_->schedule_constrained(
+        jobs_[r.job_index].app, Watts(slice),
+        static_cast<int>(r.node_ids.size()));
+    const sim::Measurement m1 =
+        executor_->run_exact(jobs_[r.job_index].app, boosted.cluster);
+    if (m1.avg_power.value() > slice * 1.01 + 1.0) continue;
+    candidates.push_back({i, free_w, r.end_s - projected_end(r, m1)});
+    evals.push_back({boosted.cluster, m1, slice});
+  }
+  const RegrantCandidate* best = redistributor_.pick(candidates);
+  if (best == nullptr) return;
+  Running& r = running_[best->job];
+  // The guard admits the grant against the larger of the reservations and
+  // the true draw: during an active cap violation the cluster is already
+  // over budget, and re-granting then would widen the violation.
+  double reserved = 0.0;
+  for (const auto& other : running_) reserved += other.power_w;
+  if (injector_ != nullptr)
+    reserved = std::max(reserved, true_cluster_power(now_));
+  if (!guard_.admit_regrant(reserved, best->grant_w)) {
+    obs::count(obs_, "redist.regrants_rejected");
     if (timeline_ != nullptr)
-      timeline_->event("redist", now,
-                       "regrant " + report.jobs[r.job_index].app +
+      timeline_->event("redist", now_,
+                       "regrant-rejected " + report_.jobs[r.job_index].app +
                            " w=" + format_double(best->grant_w, 1));
-  };
+    if (journal_ != nullptr)
+      jlog("grant-reject", "job=" + std::to_string(r.job_index) + " w=" +
+                               fx(best->grant_w));
+    return;
+  }
+  const Eval& e = evals[static_cast<std::size_t>(best - candidates.data())];
+  rebase_running(r, e.cfg, e.m, e.slice);
+  ++report_.redist_regrants;
+  report_.redist_granted_w += best->grant_w;
+  obs::count(obs_, "redist.regrants");
+  if (timeline_ != nullptr)
+    timeline_->event("redist", now_,
+                     "regrant " + report_.jobs[r.job_index].app +
+                         " w=" + format_double(best->grant_w, 1));
+  if (journal_ != nullptr)
+    jlog("grant", "job=" + std::to_string(r.job_index) + " w=" +
+                      fx(best->grant_w));
+}
 
-  // Process the single earliest finished run due at `now` (one per pass, so
-  // a simultaneous completion sees the freed resources of the previous one —
-  // exactly how the fault-free queue always behaved).
-  auto finish_one_due = [&]() -> bool {
-    auto next = running.end();
-    for (auto it = running.begin(); it != running.end(); ++it)
-      if (it->end_s <= now &&
-          (next == running.end() || it->end_s < next->end_s))
-        next = it;
-    if (next == running.end()) return false;
-    const Running r = *next;
-    running.erase(next);
-    for (int n : r.node_ids) node_busy[static_cast<std::size_t>(n)] = false;
-    const std::size_t j = r.job_index;
-    if (timeline_ != nullptr)
-      for (int n : r.node_ids) {
-        const std::string prefix = "node" + std::to_string(n);
-        timeline_->record(prefix + ".power_w", now, 0.0);
-        timeline_->record(prefix + ".cap_w", now, 0.0);
-      }
-    if (!r.crashed) {
-      state[j] = State::kDone;
-      if (timeline_ != nullptr)
-        timeline_->event("job", now, "finish " + report.jobs[j].app);
-      return true;
+// Process the single earliest finished run due at `now` (one per pass, so
+// a simultaneous completion sees the freed resources of the previous one —
+// exactly how the fault-free queue always behaved).
+bool QueueEventLoop::finish_one_due() {
+  auto next = running_.end();
+  for (auto it = running_.begin(); it != running_.end(); ++it)
+    if (it->end_s <= now_ &&
+        (next == running_.end() || it->end_s < next->end_s))
+      next = it;
+  if (next == running_.end()) return false;
+  const Running r = *next;
+  running_.erase(next);
+  for (int n : r.node_ids) node_busy_[static_cast<std::size_t>(n)] = false;
+  const std::size_t j = r.job_index;
+  if (timeline_ != nullptr)
+    for (int n : r.node_ids) {
+      const std::string prefix = "node" + std::to_string(n);
+      timeline_->record(prefix + ".power_w", now_, 0.0);
+      timeline_->record(prefix + ".cap_w", now_, 0.0);
     }
-    // Crash abort: replace the optimistic energy bill with the watts the
-    // partial execution truly drew (nodes and watts were freed above), then
-    // retry or fail.
-    const double elapsed = r.end_s - r.start_s;
-    report.total_energy_j += r.true_power_w * elapsed - r.energy_j;
-    auto& out = report.jobs[j];
-    out.crashed_node = r.crashed_node;
-    out.completed = false;
+  if (!r.crashed) {
+    state_[j] = State::kDone;
     if (timeline_ != nullptr)
-      timeline_->event("job", now,
-                       "crash " + out.app +
-                           " node=" + std::to_string(r.crashed_node));
-    if (attempts[j] >= options_.retry.max_attempts) {
-      state[j] = State::kFailed;
-      ++report.jobs_failed;
-      obs::count(obs_, "queue.jobs_failed");
-      if (timeline_ != nullptr)
-        timeline_->event("job", now, "fail " + out.app);
-      return true;
-    }
-    state[j] = State::kPending;
-    eligible_s[j] = now + options_.retry.backoff_s(attempts[j]);
-    retry_wakeups.push_back(eligible_s[j]);
-    ++report.retries;
-    obs::ScopedSpan span(obs_, "queue.requeue", "runtime");
-    span.arg("app", out.app);
-    span.arg("crashed_node", r.crashed_node);
-    obs::count(obs_, "queue.retries");
-    if (timeline_ != nullptr)
-      timeline_->event("job", now, "requeue " + out.app);
+      timeline_->event("job", now_, "finish " + report_.jobs[j].app);
+    if (journal_ != nullptr)
+      jlog("complete", "job=" + std::to_string(j) + " t=" + fx(now_));
     return true;
-  };
+  }
+  // Crash abort: replace the optimistic energy bill with the watts the
+  // partial execution truly drew (nodes and watts were freed above), then
+  // retry or fail.
+  const double elapsed = r.end_s - r.start_s;
+  report_.total_energy_j += r.true_power_w * elapsed - r.energy_j;
+  auto& out = report_.jobs[j];
+  out.crashed_node = r.crashed_node;
+  out.completed = false;
+  if (timeline_ != nullptr)
+    timeline_->event("job", now_,
+                     "crash " + out.app +
+                         " node=" + std::to_string(r.crashed_node));
+  if (attempts_[j] >= options_.retry.max_attempts) {
+    state_[j] = State::kFailed;
+    ++report_.jobs_failed;
+    obs::count(obs_, "queue.jobs_failed");
+    if (timeline_ != nullptr)
+      timeline_->event("job", now_, "fail " + out.app);
+    if (journal_ != nullptr)
+      jlog("fail", "job=" + std::to_string(j) + " t=" + fx(now_));
+    return true;
+  }
+  state_[j] = State::kPending;
+  eligible_s_[j] = now_ + options_.retry.backoff_s(attempts_[j]);
+  retry_wakeups_.push_back(eligible_s_[j]);
+  ++report_.retries;
+  obs::ScopedSpan span(obs_, "queue.requeue", "runtime");
+  span.arg("app", out.app);
+  span.arg("crashed_node", r.crashed_node);
+  obs::count(obs_, "queue.retries");
+  if (timeline_ != nullptr)
+    timeline_->event("job", now_, "requeue " + out.app);
+  if (journal_ != nullptr)
+    jlog("crash-requeue", "job=" + std::to_string(j) + " node=" +
+                              std::to_string(r.crashed_node) +
+                              " eligible=" + fx(eligible_s_[j]));
+  return true;
+}
 
-  const std::vector<double> wakeups =
+void QueueEventLoop::prepare_run() {
+  CLIP_REQUIRE(!started_,
+               "QueueEventLoop is single-shot: construct a fresh loop per run");
+  started_ = true;
+  plan_ = injector_ != nullptr ? &injector_->plan() : nullptr;
+  crash_seen_.assign(plan_ != nullptr ? plan_->crashes.size() : 0, false);
+  degrade_seen_.assign(plan_ != nullptr ? plan_->degrades.size() : 0, false);
+  meter_seen_.assign(plan_ != nullptr ? plan_->meter_faults.size() : 0, false);
+  capviol_seen_.assign(plan_ != nullptr ? plan_->cap_violations.size() : 0,
+                       false);
+  blackout_seen_.assign(plan_ != nullptr ? plan_->meter_blackouts.size() : 0,
+                        false);
+  cut_seen_.assign(plan_ != nullptr ? plan_->budget_cuts.size() : 0, false);
+  wakeups_ =
       injector_ != nullptr ? injector_->wakeups() : std::vector<double>{};
-  std::size_t wakeup_idx = 0;
+  wakeup_idx_ = 0;
+  mode_faults_on_ = plan_ != nullptr && (!plan_->meter_blackouts.empty() ||
+                                         !plan_->budget_cuts.empty());
+}
 
+QueueReport QueueEventLoop::run() {
+  prepare_run();
+  return run_fresh();
+}
+
+QueueReport QueueEventLoop::run_fresh() {
+  if (journal_ != nullptr) {
+    // begin + admit ARE the genesis state: together they determine the
+    // pre-init loop exactly, so no snapshot is written here. A journal cut
+    // before the first periodic snapshot recovers by restarting (still
+    // byte-identical — the loop is deterministic).
+    jlog("begin", begin_payload());
+    jlog("admit", admits_payload());
+  }
+  init_pass();
+  main_loop();
+  finalize();
+  return report_;
+}
+
+QueueReport QueueEventLoop::recover(Journal& journal) {
+  journal_ = &journal;
+  prepare_run();
+  obs::count(obs_, "journal.recoveries");
+  // The journal prefix must describe this very run — a recovery against the
+  // wrong jobs, options or attachments must fail loudly, not diverge. The
+  // check is prefix-tolerant: a journal torn before these records exist is a
+  // legitimate early death, not a mismatch.
+  const auto& records = journal.records();
+  if (!records.empty())
+    CLIP_REQUIRE(records[0].kind == "begin" &&
+                     records[0].payload == begin_payload(),
+                 "journal was written by a different run configuration");
+  if (records.size() > 1)
+    CLIP_REQUIRE(records[1].kind == "admit" &&
+                     records[1].payload == admits_payload(),
+                 "journal admits do not match this job stream");
+  const std::optional<std::size_t> snap = journal.last_snapshot();
+  if (!snap.has_value()) {
+    // The coordinator died before the first periodic snapshot: nothing to
+    // restore, the run starts over and re-journals from scratch.
+    journal.clear();
+    return run_fresh();
+  }
+  restore_state(records[*snap].payload);
+  replay_cursor_ = *snap + 1;
+  replay_limit_ = records.size();
+  records_since_snapshot_ = 0;
+  rederive_running();
+  if (!init_done_) init_pass();
+  main_loop();
+  finalize();
+  return report_;
+}
+
+void QueueEventLoop::init_pass() {
   if (injector_ != nullptr) {
-    while (wakeup_idx < wakeups.size() && wakeups[wakeup_idx] <= now)
-      ++wakeup_idx;
+    while (wakeup_idx_ < wakeups_.size() && wakeups_[wakeup_idx_] <= now_)
+      ++wakeup_idx_;
     apply_fault_events();  // t = 0 events precede the first placement
+    if (mode_faults_on_) update_mode();
   }
   start_eligible();
   if (injector_ != nullptr) guard_sample();
+  init_done_ = true;
+}
 
+void QueueEventLoop::main_loop() {
   for (;;) {
+    maybe_snapshot();
     // 1. Due injector events: cap claw-backs whose latency elapsed, then
     //    newly arrived plan events (crashes must retire nodes before any
     //    start at this instant), then expired retry backoffs.
     bool acted = false;
     if (injector_ != nullptr) {
-      for (auto it = enforcements.begin(); it != enforcements.end();) {
-        if (it->at_s <= now) {
-          enforcement_pending[static_cast<std::size_t>(it->node)] = false;
+      for (auto it = enforcements_.begin(); it != enforcements_.end();) {
+        if (it->at_s <= now_) {
+          enforcement_pending_[static_cast<std::size_t>(it->node)] = false;
           claw_back(it->node);
-          it = enforcements.erase(it);
+          it = enforcements_.erase(it);
           acted = true;
         } else {
           ++it;
         }
       }
-      while (wakeup_idx < wakeups.size() && wakeups[wakeup_idx] <= now) {
-        ++wakeup_idx;
+      while (wakeup_idx_ < wakeups_.size() && wakeups_[wakeup_idx_] <= now_) {
+        ++wakeup_idx_;
         acted = true;
       }
-      for (auto it = retry_wakeups.begin(); it != retry_wakeups.end();) {
-        if (*it <= now) {
-          it = retry_wakeups.erase(it);
+      for (auto it = retry_wakeups_.begin(); it != retry_wakeups_.end();) {
+        if (*it <= now_) {
+          it = retry_wakeups_.erase(it);
           acted = true;
         } else {
           ++it;
         }
       }
-      if (acted) apply_fault_events();
+      if (acted) {
+        apply_fault_events();
+        if (mode_faults_on_) update_mode();
+      }
     }
     // 1b. Due redistribution work: claw-backs whose reaction latency
-    //     elapsed, then the periodic slack-sampling tick.
-    if (redist_on) {
-      for (auto it = pending_claws.begin(); it != pending_claws.end();) {
-        if (it->at_s <= now) {
+    //     elapsed, then the periodic slack-sampling tick (frozen while the
+    //     meters are dark — stale samples must not drive claw-backs).
+    if (redist_on_) {
+      for (auto it = pending_claws_.begin(); it != pending_claws_.end();) {
+        if (it->at_s <= now_) {
           apply_claw(*it);
-          it = pending_claws.erase(it);
+          it = pending_claws_.erase(it);
           acted = true;
         } else {
           ++it;
         }
       }
-      if (!running.empty() && next_tick_s <= now) {
+      if (!running_.empty() && next_tick_s_ <= now_ && !meters_dark_) {
         redist_tick();
         acted = true;
       }
-      while (next_tick_s <= now) next_tick_s += options_.redist.period_s;
+      while (next_tick_s_ <= now_) next_tick_s_ += options_.redist.period_s;
     }
 
     // 2. Due completions, one per pass with a start pass after each.
     if (finish_one_due()) {
       start_eligible();
       if (injector_ != nullptr) guard_sample();
-      if (redist_on) try_regrant();
+      if (redist_on_) try_regrant();
       continue;
     }
     // 3. An event without a completion still frees or consumes capacity
@@ -789,78 +1033,677 @@ QueueReport PowerAwareJobQueue::run(const std::vector<QueueJob>& jobs) {
     if (acted) {
       start_eligible();
       if (injector_ != nullptr) guard_sample();
-      if (redist_on) try_regrant();
+      if (redist_on_) try_regrant();
       continue;
     }
 
     // 4. Nothing due at `now`: advance to the next instant anything happens.
     bool any_pending = false;
     double next = kInf;
-    for (const auto& r : running) next = std::min(next, r.end_s);
-    for (std::size_t j = 0; j < jobs.size(); ++j) {
-      if (state[j] != State::kPending) continue;
+    for (const auto& r : running_) next = std::min(next, r.end_s);
+    for (std::size_t j = 0; j < jobs_.size(); ++j) {
+      if (state_[j] != State::kPending) continue;
       any_pending = true;
-      if (eligible_s[j] > now) next = std::min(next, eligible_s[j]);
+      if (eligible_s_[j] > now_) next = std::min(next, eligible_s_[j]);
     }
-    if (injector_ != nullptr && (!running.empty() || any_pending)) {
-      if (wakeup_idx < wakeups.size())
-        next = std::min(next, wakeups[wakeup_idx]);
-      for (const auto& e : enforcements) next = std::min(next, e.at_s);
+    if (injector_ != nullptr && (!running_.empty() || any_pending)) {
+      if (wakeup_idx_ < wakeups_.size())
+        next = std::min(next, wakeups_[wakeup_idx_]);
+      for (const auto& e : enforcements_) next = std::min(next, e.at_s);
     }
-    if (redist_on) {
-      if (!running.empty()) next = std::min(next, next_tick_s);
-      for (const auto& c : pending_claws) next = std::min(next, c.at_s);
+    if (redist_on_) {
+      if (!running_.empty()) next = std::min(next, next_tick_s_);
+      for (const auto& c : pending_claws_) next = std::min(next, c.at_s);
     }
     if (next == kInf) break;
     if (injector_ != nullptr)
-      guard.account(next - now, true_cluster_power(now));
-    now = next;
+      guard_.account(next - now_, true_cluster_power(now_));
+    now_ = next;
   }
+}
 
+void QueueEventLoop::finalize() {
   // Jobs still pending when nothing can ever happen again (every node dead,
   // or the budget unreachable) are failures, not hangs. Without an injector
   // this is unreachable: a lone job always fits an idle cluster.
-  for (std::size_t j = 0; j < jobs.size(); ++j) {
-    if (state[j] != State::kPending) continue;
+  for (std::size_t j = 0; j < jobs_.size(); ++j) {
+    if (state_[j] != State::kPending) continue;
     CLIP_ENSURE(injector_ != nullptr,
-                "job never started: " + jobs[j].app.name);
-    auto& out = report.jobs[j];
-    out.app = jobs[j].app.name;
-    out.parameters = jobs[j].app.parameters;
-    out.attempts = attempts[j];
+                "job never started: " + jobs_[j].app.name);
+    auto& out = report_.jobs[j];
+    out.app = jobs_[j].app.name;
+    out.parameters = jobs_[j].app.parameters;
+    out.attempts = attempts_[j];
     out.completed = false;
-    state[j] = State::kFailed;
-    ++report.jobs_failed;
+    state_[j] = State::kFailed;
+    ++report_.jobs_failed;
     obs::count(obs_, "queue.jobs_failed");
+    if (journal_ != nullptr)
+      jlog("fail", "job=" + std::to_string(j) + " reason=stranded");
   }
 
-  report.makespan_s = 0.0;
+  report_.makespan_s = 0.0;
   double turnaround = 0.0;
-  for (const auto& r : report.jobs) {
-    report.makespan_s = std::max(report.makespan_s, r.end_s);
+  for (const auto& r : report_.jobs) {
+    report_.makespan_s = std::max(report_.makespan_s, r.end_s);
     turnaround += r.turnaround_s();
   }
-  report.mean_turnaround_s = turnaround / static_cast<double>(jobs.size());
-  report.node_seconds_available = report.makespan_s * total_nodes;
-  report.violation_s = guard.violation_s();
-  report.violation_ws = guard.violation_ws();
-  report.meter_reads_rejected = guard.rejected_reads();
+  report_.mean_turnaround_s = turnaround / static_cast<double>(jobs_.size());
+  report_.node_seconds_available = report_.makespan_s * total_nodes_;
+  report_.violation_s = guard_.violation_s();
+  report_.violation_ws = guard_.violation_ws();
+  report_.meter_reads_rejected = guard_.rejected_reads();
   if (injector_ != nullptr) {
-    obs::gauge_set(obs_, "budget.violation_s", report.violation_s);
-    obs::gauge_set(obs_, "budget.violation_ws", report.violation_ws);
-    if (report.meter_reads_rejected > 0)
+    obs::gauge_set(obs_, "budget.violation_s", report_.violation_s);
+    obs::gauge_set(obs_, "budget.violation_ws", report_.violation_ws);
+    if (report_.meter_reads_rejected > 0)
       obs::count(obs_, "fault.meter_reads_rejected",
-                 report.meter_reads_rejected);
+                 report_.meter_reads_rejected);
   }
-  report.redist_regrants_rejected = guard.regrants_rejected();
-  if (redist_on) {
-    obs::gauge_set(obs_, "redist.reclaimed_w", report.redist_reclaimed_w);
-    obs::gauge_set(obs_, "redist.granted_w", report.redist_granted_w);
+  report_.redist_regrants_rejected = guard_.regrants_rejected();
+  if (redist_on_) {
+    obs::gauge_set(obs_, "redist.reclaimed_w", report_.redist_reclaimed_w);
+    obs::gauge_set(obs_, "redist.granted_w", report_.redist_granted_w);
   }
   if (timeline_ != nullptr)
-    timeline_->record("budget.violation_s", report.makespan_s,
-                      report.violation_s);
-  return report;
+    timeline_->record("budget.violation_s", report_.makespan_s,
+                      report_.violation_s);
+  if (journal_ != nullptr)
+    jlog("end", "makespan=" + fx(report_.makespan_s) +
+                    " violation_s=" + fx(report_.violation_s));
+}
+
+// --- degraded-mode state machine (docs/robustness.md) ----------------------
+// Only ever called when the plan contains blackout or budget-cut windows
+// (mode_faults_on_), so every other run never touches this path.
+
+void QueueEventLoop::update_mode() {
+  const double factor = injector_->budget_cut_factor(now_);
+  const bool dark = injector_->meters_blacked_out(now_);
+  if (factor != applied_factor_) {
+    effective_budget_ =
+        factor == 1.0 ? total_budget_ : total_budget_ * factor;
+    guard_.set_budget(Watts(effective_budget_));
+    if (factor < applied_factor_) brownout_clawback();
+    applied_factor_ = factor;
+  }
+  meters_dark_ = dark;
+  admission_paused_ = factor < 1.0;
+  const DegradedMode next_mode =
+      factor < 1.0
+          ? DegradedMode::kBudgetBrownout
+          : (dark ? DegradedMode::kMeterBlackout : DegradedMode::kNormal);
+  if (next_mode == mode_) return;
+  mode_ = next_mode;
+  obs::count(obs_, "mode.transitions");
+  obs::gauge_set(obs_, "mode.current", static_cast<double>(mode_));
+  if (timeline_ != nullptr) {
+    timeline_->event("mode", now_, to_string(mode_));
+    timeline_->record("mode.current", now_, static_cast<double>(mode_));
+  }
+  if (journal_ != nullptr)
+    jlog("mode", std::string("to=") + to_string(mode_) + " t=" + fx(now_) +
+                     " factor=" + fx(factor));
+}
+
+// Entering BUDGET_BROWNOUT: the facility cut the budget under the running
+// reservations, so claw every live job back proportionally (never below the
+// queue's minimum viable reservation — a residual overage then shows up
+// honestly as violation-seconds against the cut budget).
+void QueueEventLoop::brownout_clawback() {
+  double reserved = 0.0;
+  for (const auto& r : running_) reserved += r.power_w;
+  if (reserved <= effective_budget_) return;
+  const double ratio = effective_budget_ / reserved;
+  for (auto& r : running_) {
+    if (r.crashed) continue;
+    const int n_nodes = static_cast<int>(r.node_ids.size());
+    const double floor_w = options_.min_node_power_w * n_nodes;
+    const double new_slice = std::max(r.power_w * ratio, floor_w);
+    if (new_slice >= r.power_w) continue;
+    const core::ScheduleDecision cut = scheduler_->schedule_constrained(
+        jobs_[r.job_index].app, Watts(new_slice), n_nodes);
+    const sim::Measurement m1 =
+        executor_->run_exact(jobs_[r.job_index].app, cut.cluster);
+    const double clawed = r.power_w - new_slice;
+    rebase_running(r, cut.cluster, m1, new_slice);
+    obs::count(obs_, "mode.brownout_claws");
+    if (timeline_ != nullptr)
+      timeline_->event("mode", now_,
+                       "brownout-claw " + report_.jobs[r.job_index].app +
+                           " w=" + format_double(clawed, 1));
+    if (journal_ != nullptr)
+      jlog("brownout-claw", "job=" + std::to_string(r.job_index) +
+                                " w=" + fx(new_slice));
+  }
+}
+
+// --- journaling -------------------------------------------------------------
+
+void QueueEventLoop::jlog(std::string_view kind, std::string payload) {
+  if (journal_ == nullptr) return;
+  append_or_verify(kind, std::move(payload));
+  ++records_since_snapshot_;
+}
+
+void QueueEventLoop::append_or_verify(std::string_view kind,
+                                      std::string payload) {
+  if (replay_cursor_ < replay_limit_) {
+    const JournalRecord& expect = journal_->records()[replay_cursor_];
+    if (expect.kind == kind && expect.payload == payload) {
+      ++replay_cursor_;
+      obs::count(obs_, "journal.replayed");
+      return;
+    }
+    // The surviving suffix diverges from re-execution — corruption the CRC
+    // could not catch. Salvage: truncate it, log the gap, append fresh.
+    journal_->truncate(replay_cursor_);
+    replay_limit_ = replay_cursor_;
+    obs::count(obs_, "journal.gaps");
+    if (timeline_ != nullptr)
+      timeline_->event("journal", now_,
+                       "gap: replay diverged at seq " +
+                           std::to_string(journal_->size() + 1));
+  }
+  journal_->append(kind, std::move(payload));
+  obs::count(obs_, "journal.records");
+}
+
+void QueueEventLoop::emit_snapshot() {
+  if (journal_ == nullptr) return;
+  append_or_verify("snapshot", serialize_state());
+  records_since_snapshot_ = 0;
+  obs::count(obs_, "journal.snapshots");
+}
+
+void QueueEventLoop::maybe_snapshot() {
+  if (journal_ == nullptr) return;
+  if (records_since_snapshot_ < journal_->options().snapshot_every) return;
+  emit_snapshot();
+}
+
+std::string QueueEventLoop::begin_payload() const {
+  std::string os = "budget=" + fx(total_budget_) +
+                   " nodes=" + std::to_string(total_nodes_) +
+                   " jobs=" + std::to_string(jobs_.size());
+  os += options_.backfill ? " backfill=1" : " backfill=0";
+  os += redist_on_ ? " redist=1" : " redist=0";
+  os += injector_ != nullptr ? " injector=1" : " injector=0";
+  os += timeline_ != nullptr ? " timeline=1" : " timeline=0";
+  return os;
+}
+
+std::string QueueEventLoop::admits_payload() const {
+  // One record for the whole job stream (rather than one per job): admits
+  // are static config, and per-record cost is what the recovery bench
+  // bounds. Recovery compares this payload verbatim, it never splits it.
+  std::string os;
+  os.reserve(40 * jobs_.size());
+  for (std::size_t j = 0; j < jobs_.size(); ++j) {
+    if (j > 0) os += ';';
+    os += "job=";
+    os += std::to_string(j);
+    os += " app=";
+    os += journal_escape(jobs_[j].app.name);
+    os += " nodes=";
+    os += std::to_string(jobs_[j].requested_nodes);
+  }
+  return os;
+}
+
+std::string QueueEventLoop::serialize_state() const {
+  // Snapshots fire every JournalOptions::snapshot_every records, making this
+  // the journal's hot path; build the payload with direct appends into one
+  // reserved string (ostringstream's << machinery dominated the journal-on
+  // overhead priced by bench/recovery.cpp).
+  std::string os;
+  os.reserve(768 + 96 * jobs_.size() + 224 * running_.size());
+  const auto num = [&os](long long v) { os += std::to_string(v); };
+  const auto dbl = [&os](double v) { os += obs::format_exact(v); };
+  os += "init=";
+  os += init_done_ ? '1' : '0';
+  os += " now=";
+  dbl(now_);
+  os += " mode=";
+  num(static_cast<int>(mode_));
+  os += " ebud=";
+  dbl(effective_budget_);
+  os += " factor=";
+  dbl(applied_factor_);
+  os += " dark=";
+  os += meters_dark_ ? '1' : '0';
+  os += " pause=";
+  os += admission_paused_ ? '1' : '0';
+  os += " st=";
+  for (const State s : state_)
+    os += static_cast<char>('0' + static_cast<int>(s));
+  os += " att=";
+  for (std::size_t j = 0; j < jobs_.size(); ++j) {
+    if (j > 0) os += ',';
+    num(attempts_[j]);
+  }
+  os += " el=";
+  for (std::size_t j = 0; j < jobs_.size(); ++j) {
+    if (j > 0) os += ',';
+    dbl(eligible_s_[j]);
+  }
+  os += " alive=";
+  os += bits(node_alive_);
+  os += " busy=";
+  os += bits(node_busy_);
+  os += " pend=";
+  os += bits(enforcement_pending_);
+  os += " seen.crash=";
+  os += bits(crash_seen_);
+  os += " seen.degrade=";
+  os += bits(degrade_seen_);
+  os += " seen.meter=";
+  os += bits(meter_seen_);
+  os += " seen.capviol=";
+  os += bits(capviol_seen_);
+  os += " seen.blackout=";
+  os += bits(blackout_seen_);
+  os += " seen.cut=";
+  os += bits(cut_seen_);
+  os += " widx=";
+  num(static_cast<long long>(wakeup_idx_));
+  os += " tick=";
+  dbl(next_tick_s_);
+  os += " enf=";
+  for (std::size_t i = 0; i < enforcements_.size(); ++i) {
+    if (i > 0) os += ',';
+    dbl(enforcements_[i].at_s);
+    os += ':';
+    num(enforcements_[i].node);
+  }
+  os += " retry=";
+  for (std::size_t i = 0; i < retry_wakeups_.size(); ++i) {
+    if (i > 0) os += ',';
+    dbl(retry_wakeups_[i]);
+  }
+  os += " claw=";
+  for (std::size_t i = 0; i < pending_claws_.size(); ++i) {
+    if (i > 0) os += ',';
+    dbl(pending_claws_[i].at_s);
+    os += ':';
+    num(static_cast<long long>(pending_claws_[i].job));
+    os += ':';
+    num(pending_claws_[i].attempt);
+    os += ':';
+    dbl(pending_claws_[i].watts);
+  }
+  os += " run.n=";
+  num(static_cast<long long>(running_.size()));
+  for (std::size_t k = 0; k < running_.size(); ++k) {
+    const Running& r = running_[k];
+    os += " run.";
+    num(static_cast<long long>(k));
+    os += '=';
+    num(static_cast<long long>(r.job_index));
+    os += ':';
+    dbl(r.start_s);
+    os += ':';
+    dbl(r.end_s);
+    os += ':';
+    dbl(r.power_w);
+    os += ':';
+    dbl(r.true_power_w);
+    os += ':';
+    dbl(r.energy_j);
+    os += ':';
+    os += r.crashed ? '1' : '0';
+    os += ':';
+    num(r.crashed_node);
+    os += ':';
+    dbl(r.prof_s);
+    os += ':';
+    dbl(r.full_energy_j);
+    os += ':';
+    dbl(r.frac_done);
+    os += ':';
+    dbl(r.change_s);
+    os += ':';
+    dbl(r.ff_remaining);
+    os += " ids.";
+    num(static_cast<long long>(k));
+    os += '=';
+    os += join_ints(r.node_ids, '/');
+    os += " cfg.";
+    num(static_cast<long long>(k));
+    os += '=';
+    num(r.config.nodes);
+    os += ':';
+    num(r.config.node.threads);
+    os += ':';
+    num(static_cast<int>(r.config.node.affinity));
+    os += ':';
+    num(static_cast<int>(r.config.node.mem_level));
+    os += ':';
+    dbl(r.config.node.cpu_cap.value());
+    os += ':';
+    dbl(r.config.node.mem_cap.value());
+    os += " ovr.";
+    num(static_cast<long long>(k));
+    os += '=';
+    if (r.config.cpu_cap_overrides.empty()) {
+      os += '-';
+    } else {
+      for (std::size_t i = 0; i < r.config.cpu_cap_overrides.size(); ++i) {
+        if (i > 0) os += ';';
+        dbl(r.config.cpu_cap_overrides[i].value());
+      }
+    }
+  }
+  for (std::size_t j = 0; j < jobs_.size(); ++j) {
+    const QueuedJobResult& out = report_.jobs[j];
+    os += " rep.";
+    num(static_cast<long long>(j));
+    os += '=';
+    dbl(out.submit_s);
+    os += ':';
+    dbl(out.start_s);
+    os += ':';
+    dbl(out.end_s);
+    os += ':';
+    num(out.nodes);
+    os += ':';
+    dbl(out.budget_w);
+    os += ':';
+    dbl(out.power_w);
+    os += ':';
+    num(out.attempts);
+    os += ':';
+    os += out.completed ? '1' : '0';
+    os += ':';
+    num(out.crashed_node);
+  }
+  os += " acc=";
+  dbl(report_.total_energy_j);
+  os += ':';
+  dbl(report_.node_seconds_used);
+  os += " racc=";
+  num(report_.retries);
+  os += ':';
+  num(report_.jobs_failed);
+  os += ':';
+  num(report_.caps_reprogrammed);
+  os += " cn=";
+  if (report_.crashed_nodes.empty())
+    os += '-';
+  else
+    os += join_ints(report_.crashed_nodes, '/');
+  os += " racc2=";
+  num(report_.redist_claw_backs);
+  os += ':';
+  num(report_.redist_regrants);
+  os += ':';
+  num(report_.redist_subsystem_shifts);
+  os += ':';
+  dbl(report_.redist_reclaimed_w);
+  os += ':';
+  dbl(report_.redist_granted_w);
+  os += " guard=";
+  dbl(guard_.violation_s());
+  os += ':';
+  dbl(guard_.violation_ws());
+  os += ':';
+  num(guard_.rejected_reads());
+  os += ':';
+  num(guard_.regrants_rejected());
+  os += ':';
+  dbl(guard_.budget_w());
+  os += " vends=";
+  if (injector_ == nullptr) {
+    os += '-';
+  } else {
+    const std::vector<double>& ends = injector_->violation_ends();
+    for (std::size_t i = 0; i < ends.size(); ++i) {
+      if (i > 0) os += ',';
+      dbl(ends[i]);
+    }
+  }
+  os += " det=";
+  if (!redist_on_) {
+    os += '-';
+  } else {
+    bool first = true;
+    for (const std::string& name : detector_.samples().series_names()) {
+      // Series are named node<N>.power_w — the node id is embedded.
+      const int node = std::atoi(name.c_str() + 4);
+      for (const auto& p : detector_.samples().samples(name)) {
+        if (!first) os += ',';
+        first = false;
+        num(node);
+        os += ':';
+        dbl(p.t_s);
+        os += ':';
+        dbl(p.value);
+      }
+    }
+  }
+  os += " tl=";
+  if (timeline_ != nullptr)
+    os += journal_escape(timeline_->to_csv_string());
+  else
+    os += '-';
+  return os;
+}
+
+void QueueEventLoop::restore_state(const std::string& payload) {
+  const std::map<std::string, std::string> m = parse_tokens(payload);
+  init_done_ = parse_int(tok(m, "init"), "init flag") != 0;
+  now_ = parse_double(tok(m, "now"), "now");
+  mode_ = static_cast<DegradedMode>(parse_int(tok(m, "mode"), "mode"));
+  effective_budget_ = parse_double(tok(m, "ebud"), "effective budget");
+  applied_factor_ = parse_double(tok(m, "factor"), "budget factor");
+  meters_dark_ = parse_int(tok(m, "dark"), "dark flag") != 0;
+  admission_paused_ = parse_int(tok(m, "pause"), "pause flag") != 0;
+
+  const std::string& st = tok(m, "st");
+  CLIP_REQUIRE(st.size() == jobs_.size(), "snapshot job-state size mismatch");
+  for (std::size_t j = 0; j < jobs_.size(); ++j) {
+    CLIP_REQUIRE(st[j] >= '0' && st[j] <= '3',
+                 "bad snapshot job-state digit");
+    state_[j] = static_cast<State>(st[j] - '0');
+  }
+  const std::vector<std::string> att = split(tok(m, "att"), ',');
+  CLIP_REQUIRE(att.size() == jobs_.size(), "snapshot attempts size mismatch");
+  for (std::size_t j = 0; j < jobs_.size(); ++j)
+    attempts_[j] = static_cast<int>(parse_int(att[j], "attempts"));
+  const std::vector<std::string> el = split(tok(m, "el"), ',');
+  CLIP_REQUIRE(el.size() == jobs_.size(),
+               "snapshot eligibility size mismatch");
+  for (std::size_t j = 0; j < jobs_.size(); ++j)
+    eligible_s_[j] = parse_double(el[j], "eligible_s");
+
+  restore_bits(node_alive_, tok(m, "alive"), "alive");
+  restore_bits(node_busy_, tok(m, "busy"), "busy");
+  restore_bits(enforcement_pending_, tok(m, "pend"), "pend");
+  restore_bits(crash_seen_, tok(m, "seen.crash"), "seen.crash");
+  restore_bits(degrade_seen_, tok(m, "seen.degrade"), "seen.degrade");
+  restore_bits(meter_seen_, tok(m, "seen.meter"), "seen.meter");
+  restore_bits(capviol_seen_, tok(m, "seen.capviol"), "seen.capviol");
+  restore_bits(blackout_seen_, tok(m, "seen.blackout"), "seen.blackout");
+  restore_bits(cut_seen_, tok(m, "seen.cut"), "seen.cut");
+
+  wakeup_idx_ =
+      static_cast<std::size_t>(parse_int(tok(m, "widx"), "wakeup index"));
+  next_tick_s_ = parse_double(tok(m, "tick"), "next tick");
+
+  enforcements_.clear();
+  for (const std::string& e : split(tok(m, "enf"), ',')) {
+    const std::vector<std::string> f = split(e, ':');
+    CLIP_REQUIRE(f.size() == 2, "malformed snapshot enforcement: '" + e + "'");
+    enforcements_.push_back(
+        {parse_double(f[0], "enforcement at"),
+         static_cast<int>(parse_int(f[1], "enforcement node"))});
+  }
+  retry_wakeups_.clear();
+  for (const std::string& w : split(tok(m, "retry"), ','))
+    retry_wakeups_.push_back(parse_double(w, "retry wakeup"));
+  pending_claws_.clear();
+  for (const std::string& c : split(tok(m, "claw"), ',')) {
+    const std::vector<std::string> f = split(c, ':');
+    CLIP_REQUIRE(f.size() == 4, "malformed snapshot claw: '" + c + "'");
+    pending_claws_.push_back(
+        {parse_double(f[0], "claw at"),
+         static_cast<std::size_t>(parse_int(f[1], "claw job")),
+         static_cast<int>(parse_int(f[2], "claw attempt")),
+         parse_double(f[3], "claw watts")});
+  }
+
+  running_.clear();
+  const std::size_t run_n =
+      static_cast<std::size_t>(parse_int(tok(m, "run.n"), "running count"));
+  for (std::size_t k = 0; k < run_n; ++k) {
+    const std::string key = std::to_string(k);
+    const std::vector<std::string> f = split(tok(m, "run." + key), ':');
+    CLIP_REQUIRE(f.size() == 13, "malformed snapshot running record");
+    Running r;
+    r.job_index = static_cast<std::size_t>(parse_int(f[0], "running job"));
+    r.start_s = parse_double(f[1], "running start");
+    r.end_s = parse_double(f[2], "running end");
+    r.power_w = parse_double(f[3], "running slice");
+    r.true_power_w = parse_double(f[4], "running draw");
+    r.energy_j = parse_double(f[5], "running energy");
+    r.crashed = parse_int(f[6], "running crashed") != 0;
+    r.crashed_node = static_cast<int>(parse_int(f[7], "running crash node"));
+    r.prof_s = parse_double(f[8], "running prof_s");
+    r.full_energy_j = parse_double(f[9], "running full energy");
+    r.frac_done = parse_double(f[10], "running frac");
+    r.change_s = parse_double(f[11], "running change_s");
+    r.ff_remaining = parse_double(f[12], "running ff_remaining");
+    for (const std::string& id : split(tok(m, "ids." + key), '/'))
+      r.node_ids.push_back(static_cast<int>(parse_int(id, "node id")));
+    const std::vector<std::string> cf = split(tok(m, "cfg." + key), ':');
+    CLIP_REQUIRE(cf.size() == 6, "malformed snapshot running config");
+    r.config.nodes = static_cast<int>(parse_int(cf[0], "config nodes"));
+    r.config.node.threads =
+        static_cast<int>(parse_int(cf[1], "config threads"));
+    r.config.node.affinity = static_cast<parallel::AffinityPolicy>(
+        parse_int(cf[2], "config affinity"));
+    r.config.node.mem_level =
+        static_cast<sim::MemPowerLevel>(parse_int(cf[3], "config mem level"));
+    r.config.node.cpu_cap = Watts(parse_double(cf[4], "config cpu cap"));
+    r.config.node.mem_cap = Watts(parse_double(cf[5], "config mem cap"));
+    const std::string& ovr = tok(m, "ovr." + key);
+    if (ovr != "-")
+      for (const std::string& o : split(ovr, ';'))
+        r.config.cpu_cap_overrides.push_back(
+            Watts(parse_double(o, "config cap override")));
+    running_.push_back(std::move(r));
+  }
+
+  for (std::size_t j = 0; j < jobs_.size(); ++j) {
+    const std::vector<std::string> f =
+        split(tok(m, "rep." + std::to_string(j)), ':');
+    CLIP_REQUIRE(f.size() == 9, "malformed snapshot job report row");
+    QueuedJobResult& out = report_.jobs[j];
+    out.submit_s = parse_double(f[0], "report submit");
+    out.start_s = parse_double(f[1], "report start");
+    out.end_s = parse_double(f[2], "report end");
+    out.nodes = static_cast<int>(parse_int(f[3], "report nodes"));
+    out.budget_w = parse_double(f[4], "report budget");
+    out.power_w = parse_double(f[5], "report power");
+    out.attempts = static_cast<int>(parse_int(f[6], "report attempts"));
+    out.completed = parse_int(f[7], "report completed") != 0;
+    out.crashed_node = static_cast<int>(parse_int(f[8], "report crash node"));
+    // Strings are re-derived, not serialized: a job has its names set from
+    // the instant its first placement started.
+    if (attempts_[j] > 0) {
+      out.app = jobs_[j].app.name;
+      out.parameters = jobs_[j].app.parameters;
+    }
+  }
+  {
+    const std::vector<std::string> f = split(tok(m, "acc"), ':');
+    CLIP_REQUIRE(f.size() == 2, "malformed snapshot accounting");
+    report_.total_energy_j = parse_double(f[0], "total energy");
+    report_.node_seconds_used = parse_double(f[1], "node seconds");
+  }
+  {
+    const std::vector<std::string> f = split(tok(m, "racc"), ':');
+    CLIP_REQUIRE(f.size() == 3, "malformed snapshot resilience accounting");
+    report_.retries = static_cast<int>(parse_int(f[0], "retries"));
+    report_.jobs_failed = static_cast<int>(parse_int(f[1], "jobs failed"));
+    report_.caps_reprogrammed =
+        static_cast<int>(parse_int(f[2], "caps reprogrammed"));
+  }
+  report_.crashed_nodes.clear();
+  {
+    const std::string& cn = tok(m, "cn");
+    if (cn != "-")
+      for (const std::string& n : split(cn, '/'))
+        report_.crashed_nodes.push_back(
+            static_cast<int>(parse_int(n, "crashed node")));
+  }
+  {
+    const std::vector<std::string> f = split(tok(m, "racc2"), ':');
+    CLIP_REQUIRE(f.size() == 5,
+                 "malformed snapshot redistribution accounting");
+    report_.redist_claw_backs =
+        static_cast<int>(parse_int(f[0], "claw backs"));
+    report_.redist_regrants = static_cast<int>(parse_int(f[1], "regrants"));
+    report_.redist_subsystem_shifts =
+        static_cast<int>(parse_int(f[2], "shifts"));
+    report_.redist_reclaimed_w = parse_double(f[3], "reclaimed watts");
+    report_.redist_granted_w = parse_double(f[4], "granted watts");
+  }
+  {
+    const std::vector<std::string> f = split(tok(m, "guard"), ':');
+    CLIP_REQUIRE(f.size() == 5, "malformed snapshot guard state");
+    guard_.restore_counters(
+        parse_double(f[0], "violation_s"), parse_double(f[1], "violation_ws"),
+        static_cast<std::uint64_t>(parse_int(f[2], "rejected reads")),
+        static_cast<std::uint64_t>(parse_int(f[3], "rejected regrants")));
+    guard_.set_budget(Watts(parse_double(f[4], "guard budget")));
+  }
+  {
+    const std::string& ve = tok(m, "vends");
+    if (injector_ != nullptr) {
+      CLIP_REQUIRE(ve != "-",
+                   "snapshot has no injector state but one is attached");
+      std::vector<double> ends;
+      for (const std::string& v : split(ve, ','))
+        ends.push_back(parse_double(v, "violation end"));
+      injector_->restore_violation_ends(ends);
+    }
+  }
+  if (redist_on_) {
+    const std::string& det = tok(m, "det");
+    CLIP_REQUIRE(det != "-",
+                 "snapshot has no detector samples but redistribution is on");
+    for (const std::string& entry : split(det, ',')) {
+      const std::vector<std::string> f = split(entry, ':');
+      CLIP_REQUIRE(f.size() == 3,
+                   "malformed snapshot detector sample: '" + entry + "'");
+      detector_.observe(static_cast<int>(parse_int(f[0], "detector node")),
+                        parse_double(f[1], "detector t"),
+                        parse_double(f[2], "detector draw"));
+    }
+  }
+  if (timeline_ != nullptr) {
+    const std::string& tl = tok(m, "tl");
+    CLIP_REQUIRE(tl != "-", "snapshot has no timeline but one is attached");
+    timeline_->load_csv_string(journal_unescape(tl), "journal snapshot");
+  }
+}
+
+// In-flight placements were resolved against the fault plan when they
+// launched or last re-based; the snapshot stores that resolution. Re-derive
+// each from the restored change_s / ff_remaining via FaultInjector::resolve
+// (pure over the immutable crash/degrade schedule) and require bit-equality
+// — a recovery against the wrong fault plan fails here, loudly.
+void QueueEventLoop::rederive_running() {
+  if (injector_ == nullptr) return;
+  for (const Running& r : running_) {
+    const fault::RunResolution res =
+        injector_->resolve(r.change_s, r.ff_remaining, r.node_ids);
+    CLIP_ENSURE(res.end_s == r.end_s && res.crashed == r.crashed &&
+                    res.crashed_node == r.crashed_node,
+                "recovered placement does not re-derive under the fault plan "
+                "(job " + std::to_string(r.job_index) + ")");
+  }
 }
 
 QueueReport run_serially(

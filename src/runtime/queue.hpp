@@ -37,6 +37,18 @@
 // memory-phase jobs trade PKG watts for DRAM bandwidth inside their slice.
 // Disabled (the default), no tick ever fires and the run is byte-identical
 // to the static-allocation queue.
+//
+// Crash consistency (docs/robustness.md): the event loop lives in
+// QueueEventLoop, a single-shot class whose entire state can be serialized.
+// With a Journal attached (runtime/journal.hpp) every state-changing event
+// is journaled and the state is periodically snapshotted;
+// QueueEventLoop::recover restores the latest snapshot from a journal whose
+// tail was lost with the dying coordinator, replays the surviving suffix as
+// verification, re-derives in-flight placements against the fault plan, and
+// resumes — finishing with byte-identical reports, summaries and timelines
+// to a run that never died. Degraded operating modes (METER_BLACKOUT,
+// BUDGET_BROWNOUT) are driven by fault-plan entries and surfaced through
+// the mode.* observability series.
 #pragma once
 
 #include <cstdint>
@@ -57,6 +69,8 @@ class Timeline;
 }
 
 namespace clip::runtime {
+
+class Journal;
 
 struct QueueOptions {
   Watts cluster_budget{1000.0};
@@ -130,6 +144,198 @@ struct QueueReport {
   }
 };
 
+/// Degraded operating modes of the event loop (docs/robustness.md). Entered
+/// and left on fault-plan windows (fault::MeterBlackout, fault::BudgetCut);
+/// with neither in the plan the machine never leaves kNormal and the run is
+/// byte-identical to the queue before the modes existed.
+enum class DegradedMode {
+  kNormal = 0,
+  /// Cluster power meters dark: the guard's sampling pass and the
+  /// redistribution loop freeze (no claw-backs or re-grants on stale data);
+  /// launches continue under the conservative static caps already granted.
+  kMeterBlackout = 1,
+  /// The facility cut the budget at runtime: running jobs are clawed back
+  /// proportionally to fit the new budget and admission pauses until the
+  /// cut window ends. Takes display precedence over a concurrent blackout.
+  kBudgetBrownout = 2,
+};
+[[nodiscard]] const char* to_string(DegradedMode mode);
+
+/// The queue's event loop as a single-shot, crash-consistent object: one
+/// constructed instance runs one job stream exactly once (via run(), or
+/// recover() to resume a prior instance's journal). All state lives in
+/// members so a snapshot can serialize it completely; see the header
+/// comment and runtime/journal.hpp for the recovery contract.
+class QueueEventLoop {
+ public:
+  /// Validates options and jobs exactly as PowerAwareJobQueue does.
+  QueueEventLoop(sim::SimExecutor& executor, core::ClipScheduler& scheduler,
+                 QueueOptions options, std::vector<QueueJob> jobs);
+
+  /// Attachments — same contracts as PowerAwareJobQueue's setters.
+  void set_observer(obs::ObsSession* obs) { obs_ = obs; }
+  void set_fault_injector(fault::FaultInjector* injector) {
+    injector_ = injector;
+  }
+  void set_timeline(obs::Timeline* timeline) { timeline_ = timeline; }
+  /// Attach a write-ahead journal (nullptr detaches; not owned). Every
+  /// state-changing event appends one record and the loop state is
+  /// snapshotted every JournalOptions::snapshot_every records. With no
+  /// journal attached every hook is one branch and the run is
+  /// byte-identical to the unjournaled queue.
+  void set_journal(Journal* journal) { journal_ = journal; }
+
+  /// Run the job stream to completion (single-shot: throws on reuse).
+  [[nodiscard]] QueueReport run();
+
+  /// Resume a run whose coordinator died, from `journal` (also attaches
+  /// it): restore the latest snapshot, replay the surviving suffix as
+  /// verification against the loop's own re-derived decisions (a divergent
+  /// suffix is truncated and reported as a journal gap), re-derive the
+  /// restored in-flight placements against the fault plan, and run to
+  /// completion. The loop must be constructed with the same executor,
+  /// scheduler, options and jobs as the run that wrote the journal, and
+  /// given fresh injector/timeline attachments (their state is restored
+  /// from the snapshot). A journal with no snapshot yet restarts from
+  /// scratch. Single-shot, like run().
+  [[nodiscard]] QueueReport recover(Journal& journal);
+
+  /// Mode the loop was in when it finished (kNormal unless a blackout or
+  /// budget-cut window was still open at the end of the run).
+  [[nodiscard]] DegradedMode mode() const { return mode_; }
+
+ private:
+  struct Running {
+    std::size_t job_index = 0;
+    double start_s = 0.0;
+    double end_s = 0.0;        ///< completion, or the abort instant if crashed
+    std::vector<int> node_ids;
+    double power_w = 0.0;      ///< reserved slice
+    double true_power_w = 0.0; ///< exact measured draw
+    double energy_j = 0.0;     ///< billed run energy (adjusted on abort/re-base)
+    bool crashed = false;
+    int crashed_node = -1;
+    // --- redistribution bookkeeping (inert stores while redist is off) ----
+    sim::ClusterConfig config;   ///< caps/threads the job currently runs under
+    double prof_s = 0.0;         ///< profiling cost billed into the duration
+    double full_energy_j = 0.0;  ///< full-run energy at the current config
+    double frac_done = 0.0;      ///< work fraction done at the last re-base
+    double change_s = 0.0;       ///< instant of the last re-base
+    double ff_remaining = 0.0;   ///< fault-free work seconds left at change_s
+  };
+  enum class State { kPending, kRunning, kDone, kFailed };
+  struct Enforcement {
+    double at_s;
+    int node;
+  };
+  struct PendingClaw {
+    double at_s;      ///< actuation instant (decision + reaction latency)
+    std::size_t job;
+    int attempt;      ///< placement the claw targets; a retry invalidates it
+    double watts;
+  };
+
+  // --- the event loop (former PowerAwareJobQueue::run lambdas) ------------
+  [[nodiscard]] int free_nodes() const;
+  [[nodiscard]] double free_power() const;
+  [[nodiscard]] std::vector<int> active_node_ids() const;
+  [[nodiscard]] double true_cluster_power(double t) const;
+  [[nodiscard]] int faults_active_at(double t) const;
+  bool try_start(std::size_t j);
+  void start_eligible();
+  void apply_fault_events();
+  void claw_back(int node);
+  void guard_sample();
+  [[nodiscard]] double frac_at(const Running& r, double t) const;
+  [[nodiscard]] double projected_end(const Running& r,
+                                     const sim::Measurement& m1) const;
+  void rebase_running(Running& r, const sim::ClusterConfig& cfg,
+                      const sim::Measurement& m1, double new_slice);
+  void apply_claw(const PendingClaw& c);
+  void redist_tick();
+  void try_regrant();
+  bool finish_one_due();
+  void prepare_run();
+  [[nodiscard]] QueueReport run_fresh();
+  void init_pass();
+  void main_loop();
+  void finalize();
+
+  // --- degraded-mode state machine ----------------------------------------
+  void update_mode();
+  void brownout_clawback();
+
+  // --- journaling ----------------------------------------------------------
+  void jlog(std::string_view kind, std::string payload);
+  void append_or_verify(std::string_view kind, std::string payload);
+  void emit_snapshot();
+  void maybe_snapshot();
+  [[nodiscard]] std::string begin_payload() const;
+  [[nodiscard]] std::string admits_payload() const;
+  [[nodiscard]] std::string serialize_state() const;
+  void restore_state(const std::string& payload);
+  void rederive_running();
+
+  sim::SimExecutor* executor_;
+  core::ClipScheduler* scheduler_;
+  QueueOptions options_;
+  std::vector<QueueJob> jobs_;
+  obs::ObsSession* obs_ = nullptr;
+  fault::FaultInjector* injector_ = nullptr;
+  obs::Timeline* timeline_ = nullptr;
+  Journal* journal_ = nullptr;
+
+  int total_nodes_;
+  double total_budget_;
+  fault::BudgetGuard guard_;
+  SlackDetector detector_;
+  Redistributor redistributor_;
+
+  bool started_ = false;
+  bool init_done_ = false;
+  QueueReport report_;
+  std::vector<State> state_;
+  std::vector<int> attempts_;
+  std::vector<double> eligible_s_;
+  std::vector<Running> running_;
+  std::vector<bool> node_alive_;
+  std::vector<bool> node_busy_;
+  double now_ = 0.0;
+  const fault::FaultPlan* plan_ = nullptr;
+  std::vector<bool> crash_seen_;
+  std::vector<bool> degrade_seen_;
+  std::vector<bool> meter_seen_;
+  std::vector<bool> capviol_seen_;
+  std::vector<bool> blackout_seen_;
+  std::vector<bool> cut_seen_;
+  std::vector<Enforcement> enforcements_;  ///< scheduled cap claw-backs
+  std::vector<double> retry_wakeups_;      ///< backoff expiry instants
+  std::vector<bool> enforcement_pending_;
+  bool redist_on_ = false;
+  std::vector<PendingClaw> pending_claws_;
+  double next_tick_s_ = 0.0;
+  std::vector<double> wakeups_;
+  std::size_t wakeup_idx_ = 0;
+
+  // Degraded-mode state. effective_budget_ == the facility budget unless a
+  // BudgetCut window is active; free_power() is computed against it.
+  bool mode_faults_on_ = false;
+  DegradedMode mode_ = DegradedMode::kNormal;
+  double effective_budget_;
+  double applied_factor_ = 1.0;  ///< budget-cut factor currently applied
+  bool meters_dark_ = false;
+  bool admission_paused_ = false;
+
+  // Journal replay window during recover(): records [replay_cursor_,
+  // replay_limit_) are verified against re-derived events before the loop
+  // starts appending fresh ones.
+  std::size_t replay_cursor_ = 0;
+  std::size_t replay_limit_ = 0;
+  int records_since_snapshot_ = 0;
+};
+
+/// Facade over QueueEventLoop: validates once, then constructs a fresh
+/// single-shot loop per run() call with the current attachments forwarded.
 class PowerAwareJobQueue {
  public:
   PowerAwareJobQueue(sim::SimExecutor& executor,
@@ -168,6 +374,10 @@ class PowerAwareJobQueue {
   /// hook is one branch and the run is byte-identical to before.
   void set_timeline(obs::Timeline* timeline) { timeline_ = timeline; }
 
+  /// Attach a write-ahead journal (nullptr detaches; not owned) — see
+  /// QueueEventLoop::set_journal and runtime/journal.hpp.
+  void set_journal(Journal* journal) { journal_ = journal; }
+
  private:
   sim::SimExecutor* executor_;
   core::ClipScheduler* scheduler_;
@@ -175,6 +385,7 @@ class PowerAwareJobQueue {
   obs::ObsSession* obs_ = nullptr;
   fault::FaultInjector* injector_ = nullptr;
   obs::Timeline* timeline_ = nullptr;
+  Journal* journal_ = nullptr;
 };
 
 /// Reference policy: one job at a time with the whole budget (what a

@@ -35,6 +35,10 @@ struct RunRecordFiles {
   static constexpr const char* kSummary = "summary.csv";
   static constexpr const char* kSpans = "spans.csv";
   static constexpr const char* kMetrics = "metrics.prom";
+  /// Write-ahead journal (runtime/journal.hpp) — written by `clipctl record`,
+  /// consumed by `clipctl journal` / `clipctl recover`. Not produced by
+  /// write_run_record (the journal is live state, saved by its owner).
+  static constexpr const char* kJournal = "journal.clipj";
 };
 
 /// Persist one queue run into `dir` (created if needed): timeline.csv,

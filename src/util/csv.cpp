@@ -20,6 +20,12 @@ void write_csv(const std::filesystem::path& path, const CsvDocument& doc) {
     std::filesystem::create_directories(path.parent_path());
   std::ofstream os(path);
   CLIP_REQUIRE(os.good(), "cannot open CSV for writing: " + path.string());
+  os << render_csv(doc);
+  CLIP_ENSURE(os.good(), "CSV write failed: " + path.string());
+}
+
+std::string render_csv(const CsvDocument& doc) {
+  std::ostringstream os;
   auto emit = [&](const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < row.size(); ++c) {
       if (c) os << ',';
@@ -29,7 +35,7 @@ void write_csv(const std::filesystem::path& path, const CsvDocument& doc) {
   };
   emit(doc.header);
   for (const auto& row : doc.rows) emit(row);
-  CLIP_ENSURE(os.good(), "CSV write failed: " + path.string());
+  return os.str();
 }
 
 std::vector<std::string> parse_csv_line(const std::string& line) {
@@ -65,6 +71,13 @@ std::vector<std::string> parse_csv_line(const std::string& line) {
 CsvDocument read_csv(const std::filesystem::path& path) {
   std::ifstream is(path);
   CLIP_REQUIRE(is.good(), "cannot open CSV for reading: " + path.string());
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return parse_csv(buf.str(), path.string());
+}
+
+CsvDocument parse_csv(const std::string& text, const std::string& context) {
+  std::istringstream is(text);
   CsvDocument doc;
   std::string line;
   bool first = true;
@@ -76,7 +89,7 @@ CsvDocument read_csv(const std::filesystem::path& path) {
     while (std::count(line.begin(), line.end(), '"') % 2 != 0) {
       std::string more;
       CLIP_REQUIRE(static_cast<bool>(std::getline(is, more)),
-                   "unterminated quoted field in " + path.string());
+                   "unterminated quoted field in " + context);
       if (!more.empty() && more.back() == '\r') more.pop_back();
       line += '\n';
       line += more;
@@ -88,11 +101,11 @@ CsvDocument read_csv(const std::filesystem::path& path) {
       first = false;
     } else {
       CLIP_REQUIRE(fields.size() == doc.header.size(),
-                   "ragged CSV row in " + path.string());
+                   "ragged CSV row in " + context);
       doc.rows.push_back(std::move(fields));
     }
   }
-  CLIP_REQUIRE(!first, "empty CSV: " + path.string());
+  CLIP_REQUIRE(!first, "empty CSV: " + context);
   return doc;
 }
 

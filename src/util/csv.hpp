@@ -24,6 +24,16 @@ void write_csv(const std::filesystem::path& path, const CsvDocument& doc);
 /// ragged rows.
 [[nodiscard]] CsvDocument read_csv(const std::filesystem::path& path);
 
+/// The exact bytes write_csv would put on disk, as a string — for callers
+/// that stage contents before an atomic rename (util/fsio.hpp) or embed a
+/// document inside another record (the scheduler journal's snapshots).
+[[nodiscard]] std::string render_csv(const CsvDocument& doc);
+
+/// Parse render_csv/write_csv output. `context` names the source in error
+/// messages (a path, "snapshot", ...). Throws on malformed input.
+[[nodiscard]] CsvDocument parse_csv(const std::string& text,
+                                    const std::string& context);
+
 /// Parse a single CSV line honoring RFC-4180 quoting.
 [[nodiscard]] std::vector<std::string> parse_csv_line(const std::string& line);
 

@@ -1,0 +1,56 @@
+#include "util/fsio.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/check.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define CLIP_FSIO_POSIX 1
+#endif
+
+namespace clip {
+
+void atomic_write_file(const std::filesystem::path& path,
+                       std::string_view contents) {
+  if (path.has_parent_path())
+    std::filesystem::create_directories(path.parent_path());
+  std::filesystem::path tmp = path;
+  tmp += ".tmp";
+#ifdef CLIP_FSIO_POSIX
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  CLIP_REQUIRE(fd >= 0, "cannot open for writing: " + tmp.string());
+  std::size_t off = 0;
+  while (off < contents.size()) {
+    const ::ssize_t n =
+        ::write(fd, contents.data() + off, contents.size() - off);
+    if (n < 0) {
+      ::close(fd);
+      CLIP_REQUIRE(false, "write failed: " + tmp.string());
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  // The data must be durable before the rename publishes the name; a rename
+  // that survives a crash while the bytes did not is exactly a torn file.
+  const bool synced = ::fsync(fd) == 0;
+  ::close(fd);
+  CLIP_REQUIRE(synced, "fsync failed: " + tmp.string());
+#else
+  {
+    std::ofstream os(tmp, std::ios::trunc | std::ios::binary);
+    CLIP_REQUIRE(os.good(), "cannot open for writing: " + tmp.string());
+    os.write(contents.data(),
+             static_cast<std::streamsize>(contents.size()));
+    os.flush();
+    CLIP_REQUIRE(os.good(), "write failed: " + tmp.string());
+  }
+#endif
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  CLIP_REQUIRE(!ec, "rename failed: " + tmp.string() + " -> " +
+                        path.string() + " (" + ec.message() + ")");
+}
+
+}  // namespace clip

@@ -5,11 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <optional>
+#include <sstream>
 
 #include "core/profiler.hpp"
 #include "core/scheduler.hpp"
 #include "fault/injector.hpp"
 #include "fault/plan.hpp"
+#include "runtime/journal.hpp"
 #include "runtime/queue.hpp"
 #include "sim/executor.hpp"
 #include "sim/rapl_controller.hpp"
@@ -250,6 +253,84 @@ TEST_P(FaultPlanFuzz, QueueSurvivesArbitrarySeededFaults) {
   EXPECT_LE(report.violation_ws, injected_ws + slack) << "seed " << seed;
   if (plan.cap_violations.empty()) {
     EXPECT_LE(report.violation_ws, slack);
+  }
+}
+
+// -------------------------------------------- randomized kill-point fuzz ----
+//
+// The crash-consistency analogue of the fault-plan fuzzer: random fault
+// plans (degraded-mode windows included), a journaled reference run, then
+// random kill points — every recovery must reproduce the reference run
+// byte-for-byte. The exhaustive every-boundary sweep lives in
+// tests/test_recovery.cpp; this suite varies the *plans* instead.
+
+std::string report_fingerprint(const runtime::QueueReport& r) {
+  std::ostringstream os;
+  os << std::hexfloat << r.makespan_s << '|' << r.total_energy_j << '|'
+     << r.node_seconds_used << '|' << r.retries << '|' << r.jobs_failed << '|'
+     << r.caps_reprogrammed << '|' << r.violation_s << '|' << r.violation_ws;
+  for (const auto& j : r.jobs)
+    os << '\n'
+       << j.app << ',' << j.start_s << ',' << j.end_s << ',' << j.nodes << ','
+       << j.budget_w << ',' << j.attempts << ',' << j.completed << ','
+       << j.crashed_node;
+  return os.str();
+}
+
+class RecoveryFuzz : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecoveryFuzz, ::testing::Range(0, 6));
+
+TEST_P(RecoveryFuzz, RandomKillPointsRecoverByteIdentically) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  auto& ex = fuzz_executor();
+  auto& sched = fuzz_scheduler();
+
+  fault::FaultPlanShape shape;
+  shape.crashes = static_cast<int>(seed % 3);
+  shape.degrades = static_cast<int>((seed / 3) % 2);
+  shape.meter_faults = 1;
+  shape.cap_violations = 1;
+  shape.meter_blackouts = static_cast<int>(seed % 2);
+  shape.budget_cuts = static_cast<int>((seed + 1) % 2);
+  const auto plan =
+      fault::FaultPlan::random(0x1EC0 + seed, ex.spec().nodes, 60.0, shape);
+
+  runtime::QueueOptions opt;
+  opt.cluster_budget = Watts(700.0);
+  std::vector<runtime::QueueJob> jobs;
+  for (const auto& a : workloads::paper_benchmarks()) jobs.push_back({a, 0});
+
+  // Warm the knowledge DB so the reference run and every recovery schedule
+  // from identical cached profiles.
+  {
+    runtime::PowerAwareJobQueue warm(ex, sched, opt);
+    (void)warm.run(jobs);
+  }
+
+  const auto run_with = [&](runtime::Journal* journal,
+                            runtime::Journal* resume) {
+    runtime::QueueEventLoop loop(ex, sched, opt, jobs);
+    std::optional<fault::FaultInjector> injector;
+    if (!plan.empty()) {
+      injector.emplace(plan, ex.spec().nodes);
+      loop.set_fault_injector(&*injector);
+    }
+    if (journal != nullptr) loop.set_journal(journal);
+    return resume != nullptr ? loop.recover(*resume) : loop.run();
+  };
+
+  runtime::Journal reference;
+  const std::string ref = report_fingerprint(run_with(&reference, nullptr));
+
+  Rng rng(0x171F + seed);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto kill = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(reference.size())));
+    runtime::Journal j = reference;
+    j.truncate(kill);
+    EXPECT_EQ(report_fingerprint(run_with(nullptr, &j)), ref)
+        << "seed " << seed << " kill@" << kill << " of " << reference.size();
   }
 }
 

@@ -7,12 +7,15 @@
 
 #include <unistd.h>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/scheduler.hpp"
 #include "obs/obs.hpp"
@@ -23,6 +26,7 @@
 #include "sim/power_meter.hpp"
 #include "sim/rapl_controller.hpp"
 #include "util/check.hpp"
+#include "util/rng.hpp"
 #include "workloads/catalog.hpp"
 
 namespace clip {
@@ -220,6 +224,45 @@ TEST(FormatExact, RoundTripsThroughStrtod) {
     EXPECT_EQ(*end, '\0') << s;
     EXPECT_EQ(std::memcmp(&back, &v, sizeof v), 0) << s;
   }
+}
+
+namespace {
+
+/// The historical format_exact: try every precision until strtod round-trips.
+/// The production version now finds the precision in one std::to_chars pass;
+/// this reference pins its output byte-identical (journal payloads and
+/// persisted timeline CSVs depend on the exact rendering).
+std::string format_exact_reference(double v) {
+  char buf[40];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+}  // namespace
+
+TEST(FormatExact, MatchesThePrecisionSearchByteForByte) {
+  std::vector<double> values = {0.0,    -0.0,   1.0,    -1.0,  100.0, 120.0,
+                                1000.0, 0.001,  10.5,   0.25,  1e22,  1e-22,
+                                1e-300, 1e300,  0.1,    1.0 / 3.0,
+                                0.1 + 0.2,      100.0 / 7.0,   42.328};
+  Rng rng(0xF0F0);
+  for (int i = 0; i < 5000; ++i) {
+    const double mag = std::pow(10.0, rng.uniform(-12.0, 12.0));
+    values.push_back(rng.uniform(-1.0, 1.0) * mag);
+    values.push_back(std::floor(rng.uniform(0.0, 1e6)));      // integers
+    values.push_back(std::floor(rng.uniform(0.0, 1e4)) * 10); // trailing zeros
+  }
+  values.push_back(std::numeric_limits<double>::infinity());
+  values.push_back(-std::numeric_limits<double>::infinity());
+  values.push_back(std::numeric_limits<double>::quiet_NaN());
+  values.push_back(std::numeric_limits<double>::denorm_min());
+  values.push_back(std::numeric_limits<double>::max());
+  values.push_back(std::numeric_limits<double>::min());
+  for (const double v : values)
+    EXPECT_EQ(obs::format_exact(v), format_exact_reference(v)) << v;
 }
 
 // ------------------------------------------------------------- producers ----

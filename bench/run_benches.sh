@@ -3,7 +3,7 @@
 # engine counters per binary, and emit BENCH_eval_engine.json.
 #
 # Usage: bench/run_benches.sh [build-dir] [jobs] [out-json] [redist-json]
-#                             [recovery-json]
+#                             [recovery-json] [obs-json]
 #   build-dir      cmake binary dir containing bench/ (default: build)
 #   jobs           --jobs value passed to each bench (default: number of cores)
 #   out-json       output path (default: BENCH_eval_engine.json in the cwd)
@@ -11,6 +11,8 @@
 #                  (default: BENCH_redist.json in the cwd)
 #   recovery-json  output path for the crash-consistency sweep
 #                  (default: BENCH_recovery.json in the cwd)
+#   obs-json       output path for the observability-plane sweep
+#                  (default: BENCH_obs.json in the cwd)
 #
 # Each binary runs twice: once with the engine (cache + pruning + --jobs)
 # and once as the pre-engine baseline (--no-cache --no-prune, serial). The
@@ -24,6 +26,7 @@ jobs=${2:-$(nproc 2>/dev/null || echo 2)}
 out_json=${3:-BENCH_eval_engine.json}
 redist_json=${4:-BENCH_redist.json}
 recovery_json=${5:-BENCH_recovery.json}
+obs_json=${6:-BENCH_obs.json}
 bench_dir="$build_dir/bench"
 
 [ -d "$bench_dir" ] || {
@@ -148,4 +151,21 @@ if [ -x "$recovery_bin" ]; then
   echo "wrote $recovery_json" >&2
 else
   echo "skip recovery (not built)" >&2
+fi
+
+# Observability-plane sweep: purity (bare vs fully instrumented run),
+# telemetry endpoint probes and the telemetry+tracing duty-cycle overhead.
+# Writes BENCH_obs.json into its cwd; `scripts/regression_gate.sh --obs`
+# gates on its counters.
+obs_bin=$(cd "$bench_dir" && pwd)/obs_overhead
+if [ -x "$obs_bin" ]; then
+  echo "== obs_overhead (observability plane: purity + endpoints + overhead)" >&2
+  ( cd "$tmp" && "$obs_bin" --json > obs.out 2> obs.err )
+  case "$obs_json" in
+    /*) mv "$tmp/BENCH_obs.json" "$obs_json" ;;
+    *)  mv "$tmp/BENCH_obs.json" "./$obs_json" ;;
+  esac
+  echo "wrote $obs_json" >&2
+else
+  echo "skip obs_overhead (not built)" >&2
 fi

@@ -17,25 +17,48 @@
 //                                        metrics registry in Prometheus text
 //                                        exposition format
 //   clipctl record <watts> <out-dir>     run the Table II job mix through the
-//                                        power-aware queue with the flight
+//                    [--trace]           power-aware queue with the flight
 //                                        recorder attached; persist the run
 //                                        record (timeline/jobs/summary/spans
-//                                        CSVs + metrics.prom) into <out-dir>
-//   clipctl report <run-dir> [--json]    render a recorded run as a
-//                                        deterministic Markdown (or JSON)
-//                                        report
+//                                        CSVs + metrics.prom) into <out-dir>.
+//                                        --trace mints a causal trace id per
+//                                        job (jobs.csv gains a trace_id
+//                                        column; journal/timeline entries
+//                                        carry trace= tokens)
+//   clipctl report <run-dir>             render a recorded run as a
+//                    [--json|--job N]    deterministic Markdown (or JSON)
+//                                        report; --job N prints one job's
+//                                        causal story instead (admit, launch,
+//                                        claws, crashes, recovery replay)
 //   clipctl journal <run-dir|file>       inspect a write-ahead journal:
 //                                        salvage status, record/snapshot
 //                                        counts, per-kind totals
 //   clipctl recover <watts> <run-dir>    resume a crash-interrupted record
-//                                        run from its journal (latest
+//                    [--trace]           run from its journal (latest
 //                                        snapshot + replay) and rewrite the
-//                                        completed run record
+//                                        completed run record (--trace must
+//                                        match the recording run's setting)
+//   clipctl serve <watts> [--port N]     run the job mix with the read-only
+//                    [--trace]           telemetry server attached, then keep
+//                                        serving /metrics /healthz /status
+//                                        /timeline until stdin closes
+//   clipctl top <port> [--once]          live terminal view polling a serve
+//                                        instance's /status endpoint
+//   clipctl alerts <run-dir> [--json]    evaluate the SLO/alert rule catalog
+//                    [--rules FILE]      over a recorded run's flight
+//                                        recorder; exit 0 = quiet, 1 = fired
+//                                        (the CI-gate contract), 2 = error
 //
 // Applications are named as in Table II (e.g. SP-MZ, TeaLeaf, CoMD).
+#include <chrono>
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <optional>
+#include <sstream>
 #include <string>
+#include <thread>
 
 #include "baselines/all_in.hpp"
 #include "baselines/coordinated.hpp"
@@ -64,10 +87,13 @@ int usage() {
                "       clipctl compare  <app> <watts>\n"
                "       clipctl trace    <app> <watts> [out.json]\n"
                "       clipctl metrics  <app> <watts>\n"
-               "       clipctl record   <watts> <out-dir>\n"
-               "       clipctl report   <run-dir> [--json]\n"
+               "       clipctl record   <watts> <out-dir> [--trace]\n"
+               "       clipctl report   <run-dir> [--json|--job N]\n"
                "       clipctl journal  <run-dir|journal-file>\n"
-               "       clipctl recover  <watts> <run-dir>\n";
+               "       clipctl recover  <watts> <run-dir> [--trace]\n"
+               "       clipctl serve    <watts> [--port N] [--trace]\n"
+               "       clipctl top      <port> [--once]\n"
+               "       clipctl alerts   <run-dir> [--json] [--rules FILE]\n";
   return 2;
 }
 
@@ -86,6 +112,21 @@ double watts_or_die(const std::string& arg) {
   }
   std::cerr << "'" << arg << "' is not a positive wattage\n";
   std::exit(2);
+}
+
+/// Raw token after `"key":` in a flat JSON object (StatusSnapshot::to_json
+/// emits no nesting), surrounding quotes stripped. "?" when absent.
+std::string json_field(const std::string& body, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = body.find(needle);
+  if (pos == std::string::npos) return "?";
+  const auto start = pos + needle.size();
+  auto end = body.find_first_of(",}", start);
+  if (end == std::string::npos) end = body.size();
+  std::string v = body.substr(start, end - start);
+  if (v.size() >= 2 && v.front() == '"' && v.back() == '"')
+    v = v.substr(1, v.size() - 2);
+  return v;
 }
 
 }  // namespace
@@ -110,6 +151,13 @@ int main(int argc, char** argv) {
     if (argc < 4) return usage();
     const Watts cluster_budget(watts_or_die(argv[2]));
     const std::filesystem::path dir(argv[3]);
+    bool traced = false;
+    for (int i = 4; i < argc; ++i) {
+      if (std::string(argv[i]) == "--trace")
+        traced = true;
+      else
+        return usage();
+    }
 
     obs::ObsSession session;
     obs::MemorySink sink;
@@ -121,6 +169,7 @@ int main(int argc, char** argv) {
 
     runtime::QueueOptions qopt;
     qopt.cluster_budget = cluster_budget;
+    qopt.trace.enabled = traced;
     runtime::Journal journal;
     runtime::PowerAwareJobQueue queue(cluster, scheduler, qopt);
     queue.set_observer(&session);
@@ -146,10 +195,28 @@ int main(int argc, char** argv) {
   if (command == "report") {
     if (argc < 3) return usage();
     const std::filesystem::path dir(argv[2]);
-    const bool json = argc >= 4 && std::string(argv[3]) == "--json";
+    bool json = false;
+    std::optional<std::size_t> job;
+    for (int i = 3; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--json") {
+        json = true;
+      } else if (arg == "--job" && i + 1 < argc) {
+        try {
+          job = static_cast<std::size_t>(std::stoul(argv[++i]));
+        } catch (const std::exception&) {
+          return usage();
+        }
+      } else {
+        return usage();
+      }
+    }
     try {
-      std::cout << (json ? runtime::render_json_report(dir)
-                         : runtime::render_markdown_report(dir));
+      if (job)
+        std::cout << runtime::render_job_story(dir, *job);
+      else
+        std::cout << (json ? runtime::render_json_report(dir)
+                           : runtime::render_markdown_report(dir));
     } catch (const std::exception& e) {
       std::cerr << "cannot render report: " << e.what() << "\n";
       return 1;
@@ -181,6 +248,13 @@ int main(int argc, char** argv) {
     if (argc < 4) return usage();
     const Watts cluster_budget(watts_or_die(argv[2]));
     const std::filesystem::path dir(argv[3]);
+    bool traced = false;
+    for (int i = 4; i < argc; ++i) {
+      if (std::string(argv[i]) == "--trace")
+        traced = true;
+      else
+        return usage();
+    }
     const auto path = dir / runtime::RunRecordFiles::kJournal;
 
     runtime::Journal journal;
@@ -207,6 +281,7 @@ int main(int argc, char** argv) {
 
     runtime::QueueOptions qopt;
     qopt.cluster_budget = cluster_budget;
+    qopt.trace.enabled = traced;
     std::vector<runtime::QueueJob> jobs;
     for (const auto& w : workloads::paper_benchmarks()) jobs.push_back({w, 0});
     runtime::QueueEventLoop loop(cluster, scheduler, qopt, jobs);
@@ -234,6 +309,156 @@ int main(int argc, char** argv) {
               << dir.string() << "\nrender it with: clipctl report "
               << dir.string() << "\n";
     return 0;
+  }
+
+  if (command == "serve") {
+    if (argc < 3) return usage();
+    const Watts cluster_budget(watts_or_die(argv[2]));
+    int port = 0;
+    bool traced = false;
+    for (int i = 3; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--trace") {
+        traced = true;
+      } else if (arg == "--port" && i + 1 < argc) {
+        port = std::atoi(argv[++i]);
+        if (port <= 0) return usage();
+      } else {
+        return usage();
+      }
+    }
+
+    obs::ObsSession session;
+    obs::Timeline timeline;
+    core::ClipScheduler scheduler(cluster, workloads::training_benchmarks());
+    scheduler.set_observer(&session);
+    cluster.set_observer(&session);
+
+    runtime::QueueOptions qopt;
+    qopt.cluster_budget = cluster_budget;
+    qopt.telemetry_port = port;  // 0 = ephemeral, printed below
+    qopt.trace.enabled = traced;
+    std::vector<runtime::QueueJob> jobs;
+    for (const auto& w : workloads::paper_benchmarks()) jobs.push_back({w, 0});
+    runtime::QueueEventLoop loop(cluster, scheduler, qopt, jobs);
+    loop.set_observer(&session);
+    loop.set_timeline(&timeline);
+
+    runtime::QueueReport report;
+    try {
+      report = loop.run();
+    } catch (const std::exception& e) {
+      std::cerr << "run failed: " << e.what() << "\n";
+      return 1;
+    }
+    const obs::TelemetryServer* server = loop.telemetry_server();
+    if (server == nullptr) {
+      std::cerr << "telemetry server did not start\n";
+      return 1;
+    }
+    std::cout << "ran " << report.jobs.size() << " jobs ("
+              << report.jobs_completed() << " completed, makespan "
+              << format_double(report.makespan_s, 1)
+              << " s)\nserving http://127.0.0.1:" << server->port()
+              << "  endpoints: /metrics /healthz /status "
+                 "/timeline?series=NAME\ntry: clipctl top "
+              << server->port() << " --once\npress Ctrl-D to stop\n";
+    // Serve until stdin closes: blocking on the pipe needs no clock and no
+    // polling, so the command stays clip-lint D1 clean.
+    std::string line;
+    while (std::getline(std::cin, line)) {
+    }
+    return 0;
+  }
+  if (command == "top") {
+    if (argc < 3) return usage();
+    const int port = std::atoi(argv[2]);
+    if (port <= 0) return usage();
+    bool once = false;
+    for (int i = 3; i < argc; ++i) {
+      if (std::string(argv[i]) == "--once")
+        once = true;
+      else
+        return usage();
+    }
+    for (;;) {
+      std::string body;
+      try {
+        body = obs::http_body(obs::http_get("127.0.0.1", port, "/status"));
+      } catch (const std::exception& e) {
+        std::cerr << "cannot reach telemetry server on port " << port << ": "
+                  << e.what() << "\n";
+        return 1;
+      }
+      std::ostringstream view;
+      view << "clip cluster @ 127.0.0.1:" << port << "\n"
+           << "  sim time   : " << json_field(body, "now_s") << " s\n"
+           << "  mode       : " << json_field(body, "mode") << "\n"
+           << "  run active : " << json_field(body, "run_active") << "\n"
+           << "  waiting    : " << json_field(body, "queue_depth") << "\n"
+           << "  running    : " << json_field(body, "running_jobs") << "\n"
+           << "  completed  : " << json_field(body, "jobs_completed") << "\n"
+           << "  failed     : " << json_field(body, "jobs_failed") << "\n"
+           << "  free power : " << json_field(body, "free_watts") << " W\n"
+           << "  journal seq: " << json_field(body, "journal_seq") << "\n";
+      if (once) {
+        std::cout << view.str();
+        return 0;
+      }
+      // Home + clear per refresh gives the classic top(1) repaint.
+      std::cout << "\x1b[H\x1b[2J" << view.str() << "(Ctrl-C to quit)\n"
+                << std::flush;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1000));
+    }
+  }
+  if (command == "alerts") {
+    if (argc < 3) return usage();
+    const std::filesystem::path dir(argv[2]);
+    bool json = false;
+    std::optional<std::filesystem::path> rules_path;
+    for (int i = 3; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--json") {
+        json = true;
+      } else if (arg == "--rules" && i + 1 < argc) {
+        rules_path = argv[++i];
+      } else {
+        return usage();
+      }
+    }
+
+    obs::Timeline timeline;
+    try {
+      timeline.load_csv(dir / runtime::RunRecordFiles::kTimeline);
+    } catch (const std::exception& e) {
+      std::cerr << "cannot load run record: " << e.what() << "\n";
+      return 2;
+    }
+    std::vector<obs::AlertRule> rules;
+    if (rules_path) {
+      std::ifstream in(*rules_path);
+      if (!in.good()) {
+        std::cerr << "cannot open rules file: " << rules_path->string()
+                  << "\n";
+        return 2;
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      try {
+        rules = obs::AlertEngine::parse_rules(text.str(),
+                                              rules_path->string());
+      } catch (const std::exception& e) {
+        std::cerr << "cannot parse rules: " << e.what() << "\n";
+        return 2;
+      }
+    } else {
+      rules = obs::AlertEngine::default_rules();
+    }
+    const obs::AlertEngine engine(std::move(rules));
+    const auto outcomes = engine.evaluate(timeline);
+    std::cout << (json ? obs::AlertEngine::render_json(outcomes)
+                       : obs::AlertEngine::render_table(outcomes));
+    return obs::AlertEngine::exit_code(outcomes);
   }
 
   if (argc < 3) return usage();

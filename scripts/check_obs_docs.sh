@@ -1,8 +1,9 @@
 #!/usr/bin/env sh
 # Doc-drift gate: every observability name emitted from src/ with a literal
 # string — metric names (obs::count / obs::gauge_set / obs::observe), span
-# names (obs::ScopedSpan), and flight-recorder series/event streams
-# (Timeline record/event) — must appear, backticked, in
+# names (obs::ScopedSpan), flight-recorder series/event streams
+# (Timeline record/event), and telemetry-server endpoint paths
+# (src/obs/telemetry_server.cpp) — must appear, backticked, in
 # docs/observability.md. Dynamically concatenated names (the per-node
 # `node<N>.*` family) are intentionally out of scope; the catalog documents
 # the pattern instead. Exit 0 = no drift, 1 = undocumented names (each is
@@ -17,7 +18,9 @@ DOC=docs/observability.md
 
 emitted_names() {
   # Metric names: helper(session, "name"...) — literal first string arg.
-  grep -rhoE 'obs::(count|gauge_set|observe)\([A-Za-z_][A-Za-z0-9_]*,[[:space:]]*"[^"]+"[,)]' src \
+  # The session expression may be a variable (obs_) or a nullary accessor
+  # call (action_obs()).
+  grep -rhoE 'obs::(count|gauge_set|observe)\([A-Za-z_][A-Za-z0-9_]*(\(\))?,[[:space:]]*"[^"]+"[,)]' src \
     | sed -E 's/.*"([^"]+)".*/\1/'
   # Span names: ScopedSpan var(session, "name", ...).
   grep -rhoE 'ScopedSpan[[:space:]]+[A-Za-z_][A-Za-z0-9_]*\([A-Za-z_&*]+[A-Za-z0-9_]*,[[:space:]]*"[^"]+",' src \
@@ -25,6 +28,13 @@ emitted_names() {
   # Timeline series/event streams with a literal name (a trailing comma
   # excludes concatenations like "node" + std::to_string(n) + ".cap_w").
   grep -rhoE '(->|\.)(record|event)\("[^"]+",' src \
+    | sed -E 's/.*"([^"]+)".*/\1/'
+}
+
+endpoint_paths() {
+  # Telemetry endpoints: the literal paths respond() routes on. The doc
+  # must list every one (a new endpoint without a catalog row is drift).
+  grep -hoE 'path == "/[a-z]+"' src/obs/telemetry_server.cpp \
     | sed -E 's/.*"([^"]+)".*/\1/'
 }
 
@@ -36,6 +46,12 @@ check() {
       status=1
     fi
   done
+  for path in $(endpoint_paths | sort -u); do
+    if ! grep -qF "\`$path\`" "$DOC"; then
+      echo "check_obs_docs: endpoint '$path' is served but not documented in $DOC" >&2
+      status=1
+    fi
+  done
   return $status
 }
 
@@ -43,10 +59,20 @@ if [ "${1:-}" = "--selftest" ]; then
   # The extractor must see the known core of the catalog; an empty or
   # gutted extraction would make the gate pass vacuously.
   names=$(emitted_names | sort -u)
+  # (queue.decision_latency_us is recorded via a multi-line ScopedTimer
+  # call the line-based extractor cannot see; its catalog row is kept by
+  # review, not by this gate.)
   for expect in queue.depth fault.injected budget.free_w redist.ticks \
-                clip.schedule sim.run; do
+                clip.schedule sim.run alert alert.firing; do
     echo "$names" | grep -qx "$expect" || {
       echo "check_obs_docs selftest: extractor lost '$expect'" >&2
+      exit 2
+    }
+  done
+  paths=$(endpoint_paths | sort -u)
+  for expect in /metrics /healthz /status /timeline; do
+    echo "$paths" | grep -qx "$expect" || {
+      echo "check_obs_docs selftest: endpoint extractor lost '$expect'" >&2
       exit 2
     }
   done

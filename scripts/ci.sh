@@ -3,12 +3,15 @@
 # tsan), then run the bench regression gate against the committed
 # BENCH_eval_engine.json. The fault/resilience suite is labeled `fault` and
 # the crash-consistency suite (journal round-trips, kill-point recovery, the
-# randomized kill+recover fuzzer) is labeled `recovery`; both run under every
-# preset, so the sanitizers see them on each CI pass. A quick
-# sanitizer-only sweep of either is:
+# randomized kill+recover fuzzer) is labeled `recovery`, and the live
+# observability plane (telemetry server sockets + thread, trace
+# propagation, the SLO/alert engine) is labeled `obs_live`; all run under
+# every preset, so the sanitizers see them on each CI pass. A quick
+# sanitizer-only sweep of one suite is:
 #
 #   PRESETS="asan tsan" CTEST_ARGS="-L fault" scripts/ci.sh
 #   PRESETS="asan tsan" CTEST_ARGS="-L recovery" scripts/ci.sh
+#   PRESETS="asan tsan" CTEST_ARGS="-L obs_live" scripts/ci.sh
 #
 # On a ctest failure the fault integration suite's flight-recorder dump (a
 # run record written into $CLIP_FLIGHT_DIR — see docs/observability.md) is
@@ -64,7 +67,8 @@ if [ "${SKIP_GATE:-0}" != "1" ] && [ -d build/bench ]; then
   echo "==> [gate] bench sweep (release build)"
   mkdir -p "$ARTIFACTS"
   sh bench/run_benches.sh build "$JOBS" "$ARTIFACTS/BENCH_fresh.json" \
-    "$ARTIFACTS/BENCH_redist_fresh.json" "$ARTIFACTS/BENCH_recovery_fresh.json"
+    "$ARTIFACTS/BENCH_redist_fresh.json" "$ARTIFACTS/BENCH_recovery_fresh.json" \
+    "$ARTIFACTS/BENCH_obs_fresh.json"
   echo "==> [gate] compare against committed BENCH_eval_engine.json"
   scripts/regression_gate.sh --max-slowdown "$MAX_SLOWDOWN" \
     BENCH_eval_engine.json "$ARTIFACTS/BENCH_fresh.json"
@@ -75,6 +79,8 @@ if [ "${SKIP_GATE:-0}" != "1" ] && [ -d build/bench ]; then
   scripts/regression_gate.sh --redist "$ARTIFACTS/BENCH_redist_fresh.json"
   echo "==> [gate] crash-consistency: byte-identical recovery + journal overhead"
   scripts/regression_gate.sh --recovery "$ARTIFACTS/BENCH_recovery_fresh.json"
+  echo "==> [gate] observability plane: purity + endpoints + duty-cycle overhead"
+  scripts/regression_gate.sh --obs "$ARTIFACTS/BENCH_obs_fresh.json"
 fi
 
 echo "==> all presets passed: $PRESETS"

@@ -6,6 +6,7 @@
 #        scripts/regression_gate.sh --batch <committed.json> <fresh.json>
 #        scripts/regression_gate.sh --redist <BENCH_redist.json>
 #        scripts/regression_gate.sh --recovery <BENCH_recovery.json>
+#        scripts/regression_gate.sh --obs <BENCH_obs.json>
 #        scripts/regression_gate.sh --selftest
 #
 # Options:
@@ -31,6 +32,13 @@
 #                       and journaling must cost at most --max-overhead
 #                       percent of the journal-off sweep
 #   --max-overhead PCT  threshold for --recovery (default: 5)
+#   --obs FILE          gate a BENCH_obs.json instead: the fully instrumented
+#                       queue run must be byte-identical to the bare one
+#                       (identical_reports = 1), all four telemetry endpoints
+#                       must respond (endpoints_ok = 4), and telemetry +
+#                       tracing must cost at most --max-obs-overhead percent
+#                       of the plane-off duty cycle
+#   --max-obs-overhead PCT  threshold for --obs (default: 3)
 #   --selftest          exercise the gate against synthetic fixtures and exit
 #
 # Two checks per bench, matched by name:
@@ -46,8 +54,10 @@ max_slowdown=15
 min_ms=50
 min_improved=4
 max_overhead=5
+max_obs_overhead=3
 redist_file=""
 recovery_file=""
+obs_file=""
 selftest=0
 batch=0
 
@@ -60,8 +70,10 @@ while [ $# -gt 0 ]; do
     --min-improved) min_improved=$2; shift 2 ;;
     --recovery) recovery_file=$2; shift 2 ;;
     --max-overhead) max_overhead=$2; shift 2 ;;
+    --obs) obs_file=$2; shift 2 ;;
+    --max-obs-overhead) max_obs_overhead=$2; shift 2 ;;
     --selftest) selftest=1; shift ;;
-    -h|--help) sed -n '2,34p' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+    -h|--help) sed -n '2,42p' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
     -*) echo "unknown option: $1" >&2; exit 2 ;;
     *) break ;;
   esac
@@ -211,6 +223,33 @@ gate_recovery() { # gate_recovery <BENCH_recovery.json> -> 0 pass, 1 fail
   echo "recovery gate: pass (${kills:-?} kill points recovered byte-identically, journal overhead ${overhead}% <= ${max_overhead}%)" >&2
 }
 
+gate_obs() { # gate_obs <BENCH_obs.json> -> 0 pass, 1 fail
+  f=$1
+  [ -f "$f" ] || { echo "obs gate: no such file: $f" >&2; return 1; }
+  identical=$(top_field "$f" identical_reports)
+  endpoints=$(top_field "$f" endpoints_ok)
+  overhead=$(top_field "$f" overhead_pct)
+  if [ -z "$identical" ] || [ -z "$endpoints" ] || [ -z "$overhead" ]; then
+    echo "obs gate: $f is missing identical_reports/endpoints_ok/overhead_pct" >&2
+    return 1
+  fi
+  failures=0
+  if [ "$identical" -ne 1 ]; then
+    echo "FAIL obs: instrumented run is not byte-identical to the bare run" >&2
+    failures=$((failures + 1))
+  fi
+  if [ "$endpoints" -ne 4 ]; then
+    echo "FAIL obs: only $endpoints of 4 telemetry endpoints responded" >&2
+    failures=$((failures + 1))
+  fi
+  if [ "$overhead" -gt "$max_obs_overhead" ]; then
+    echo "FAIL obs: telemetry+tracing overhead ${overhead}% exceeds --max-obs-overhead ${max_obs_overhead}%" >&2
+    failures=$((failures + 1))
+  fi
+  [ $failures -eq 0 ] || { echo "obs gate: $failures failure(s)" >&2; return 1; }
+  echo "obs gate: pass (byte-identical reports, 4/4 endpoints, overhead ${overhead}% <= ${max_obs_overhead}%)" >&2
+}
+
 if [ "$selftest" -eq 1 ]; then
   tmp=$(mktemp -d)
   trap 'rm -rf "$tmp"' EXIT
@@ -314,6 +353,30 @@ if [ "$selftest" -eq 1 ]; then
   fi
   echo "selftest: recovery gate ok" >&2
 
+  # Observability gate: purity (byte-identical reports), liveness (4/4
+  # endpoints) and the telemetry+tracing overhead ceiling, on synthetic
+  # BENCH_obs.json fixtures.
+  mk_obs() { # mk_obs <file> <identical> <endpoints_ok> <overhead_pct>
+    printf '{\n  "budget_w": 700,\n  "jobs": 100,\n  "identical_reports": %s,\n  "endpoints_ok": %s,\n  "alert_rules": 8,\n  "alerts_fired": 0,\n  "plane_off_ms": 3.0,\n  "plane_on_ms": 3.1,\n  "overhead_pct": %s\n}\n' \
+      "$2" "$3" "$4" > "$1"
+  }
+  mk_obs "$tmp/obs_good.json" 1 4 2
+  gate_obs "$tmp/obs_good.json" \
+    || { echo "selftest: identical reports at 2%% overhead must pass" >&2; exit 1; }
+  mk_obs "$tmp/obs_slow.json" 1 4 7
+  if gate_obs "$tmp/obs_slow.json" 2>/dev/null; then
+    echo "selftest: overhead above --max-obs-overhead must fail" >&2; exit 1
+  fi
+  mk_obs "$tmp/obs_dark.json" 1 3 2
+  if gate_obs "$tmp/obs_dark.json" 2>/dev/null; then
+    echo "selftest: a dead endpoint must fail" >&2; exit 1
+  fi
+  mk_obs "$tmp/obs_impure.json" 0 4 2
+  if gate_obs "$tmp/obs_impure.json" 2>/dev/null; then
+    echo "selftest: a non-identical instrumented run must fail" >&2; exit 1
+  fi
+  echo "selftest: obs gate ok" >&2
+
   # clip-lint exit-code contract (0 clean / 1 violations, including a
   # reasonless suppression leaving its finding open). Uses the built binary
   # when present; CI builds it before this selftest runs.
@@ -358,6 +421,12 @@ fi
 if [ -n "$recovery_file" ]; then
   [ $# -eq 0 ] || { echo "usage: $0 --recovery <BENCH_recovery.json>" >&2; exit 2; }
   gate_recovery "$recovery_file"
+  exit $?
+fi
+
+if [ -n "$obs_file" ]; then
+  [ $# -eq 0 ] || { echo "usage: $0 --obs <BENCH_obs.json>" >&2; exit 2; }
+  gate_obs "$obs_file"
   exit $?
 fi
 

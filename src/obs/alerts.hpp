@@ -1,0 +1,137 @@
+// Declarative SLO / alert engine over the flight recorder.
+//
+// Rules are evaluated against an `obs::Timeline` — the cluster's simulated
+// time axis — so a verdict ("the budget was violated", "the queue never
+// drained", "we entered brownout twice") is a pure, deterministic function
+// of the recorded run: the same timeline always yields the same outcomes,
+// byte for byte, which is what lets `clipctl alerts` act as a CI gate.
+// Quantile rules may alternatively resolve against a MetricsRegistry
+// histogram (e.g. `p99(queue.decision_latency_us)` — host-time latency that
+// has no simulated-seconds series).
+//
+// Each fired rule is assigned a *firing instant* on simulated time: the
+// first moment the rule's predicate became true (first sample above the
+// threshold, the instant cumulative time-above crossed the budget, the
+// N+1-th matching event). `evaluate_and_record` appends those instants as
+// `alert` events back into the flight recorder, so alerts land next to the
+// faults and mode transitions that caused them.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+
+namespace clip::obs {
+
+enum class AlertSeverity {
+  kInfo = 0,
+  kWarning = 1,
+  kCritical = 2,
+};
+
+[[nodiscard]] const char* to_string(AlertSeverity severity);
+
+enum class AlertKind {
+  /// Last recorded sample of `series` is above `threshold`.
+  kValueAbove,
+  /// Total simulated seconds `series` spent above `level` (step-function
+  /// semantics, window = [0, end of timeline]) exceeds `threshold`.
+  kTimeAbove,
+  /// The `level`-quantile of the series' sample values (nearest-rank over
+  /// the recorded points) exceeds `threshold`; falls back to a
+  /// MetricsRegistry histogram of the same name when the timeline has no
+  /// such series.
+  kQuantileAbove,
+  /// More than `threshold` events in stream `series` whose label starts
+  /// with `prefix` (empty prefix matches every event).
+  kEventCount,
+  /// More than `threshold` transitions into a degraded mode on the `mode`
+  /// event stream. `prefix` names the mode ("METER_BLACKOUT",
+  /// "BUDGET_BROWNOUT"); empty matches any non-NORMAL mode entry.
+  kModeTransition,
+};
+
+/// One declarative rule: `name severity expr > threshold`. See
+/// AlertEngine::parse_rules for the textual form.
+struct AlertRule {
+  std::string name;
+  AlertKind kind = AlertKind::kValueAbove;
+  AlertSeverity severity = AlertSeverity::kCritical;
+  std::string series;      ///< sample series or event stream
+  double level = 0.0;      ///< kTimeAbove: level; kQuantileAbove: quantile
+  std::string prefix;      ///< event-label prefix filter
+  double threshold = 0.0;  ///< fires when observed > threshold
+
+  void validate() const;
+  /// The rule's expression in the textual DSL, e.g.
+  /// `time_above(node0.power_w, 120) > 5`.
+  [[nodiscard]] std::string expression() const;
+};
+
+struct AlertOutcome {
+  AlertRule rule;
+  bool fired = false;
+  double observed = 0.0;  ///< the measured quantity (0 when no data)
+  double at_s = 0.0;      ///< firing instant on simulated time
+  std::string detail;     ///< human-readable one-liner
+};
+
+class AlertEngine {
+ public:
+  AlertEngine() = default;
+  explicit AlertEngine(std::vector<AlertRule> rules);
+
+  void add_rule(AlertRule rule);
+  [[nodiscard]] const std::vector<AlertRule>& rules() const { return rules_; }
+
+  /// Evaluate every rule over the timeline. Deterministic: outcomes are in
+  /// rule order and every double flows from recorded samples. `metrics` is
+  /// optional and only consulted for kQuantileAbove rules whose series is
+  /// absent from the timeline.
+  [[nodiscard]] std::vector<AlertOutcome> evaluate(
+      const Timeline& timeline,
+      const MetricsRegistry* metrics = nullptr) const;
+
+  /// evaluate(), then append one `alert` event per fired rule into the same
+  /// flight recorder (sorted by firing instant, so the stream's
+  /// non-decreasing-time invariant holds) plus a final `alert.firing`
+  /// sample carrying the fired count. Call once per recorded run.
+  std::vector<AlertOutcome> evaluate_and_record(
+      Timeline& timeline, const MetricsRegistry* metrics = nullptr) const;
+
+  /// The built-in SLO catalog for power-aware queue runs (see
+  /// docs/observability.md for the rendered table).
+  [[nodiscard]] static std::vector<AlertRule> default_rules();
+
+  /// Parse the textual rule DSL, one rule per line:
+  ///   <name> <severity> value(<series>) > <threshold>
+  ///   <name> <severity> time_above(<series>, <level>) > <threshold>
+  ///   <name> <severity> p<Q>(<series>) > <threshold>       # p99, p50, ...
+  ///   <name> <severity> events(<stream>[, <prefix>]) > <threshold>
+  ///   <name> <severity> mode([<state-prefix>]) > <threshold>
+  /// severity is info | warning | critical; `#` starts a comment. Throws
+  /// PreconditionError (with `context` in the message) on malformed input.
+  [[nodiscard]] static std::vector<AlertRule> parse_rules(
+      const std::string& text, const std::string& context);
+
+  /// Fixed-width text table of outcomes in rule order, deterministic for
+  /// fixed outcomes.
+  [[nodiscard]] static std::string render_table(
+      const std::vector<AlertOutcome>& outcomes);
+
+  /// JSON rendering: {"alerts":[...],"fired":N}. Doubles shortest-exact.
+  [[nodiscard]] static std::string render_json(
+      const std::vector<AlertOutcome>& outcomes);
+
+  /// The CI contract: 0 when nothing fired, 1 when any rule fired.
+  [[nodiscard]] static int exit_code(
+      const std::vector<AlertOutcome>& outcomes);
+
+ private:
+  std::vector<AlertRule> rules_;
+};
+
+}  // namespace clip::obs

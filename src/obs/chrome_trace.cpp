@@ -1,7 +1,9 @@
 #include "obs/chrome_trace.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <sstream>
 
 #include "util/check.hpp"
@@ -82,6 +84,23 @@ std::string counter_to_json(const CounterSample& sample) {
   }
   os << "}}";
   return os.str();
+}
+
+std::vector<SpanRecord> group_spans_by_trace(std::vector<SpanRecord> spans) {
+  int max_tid = 0;
+  for (const auto& s : spans) max_tid = std::max(max_tid, s.tid);
+  std::map<std::string, int> tracks;  // trace_id -> first-appearance index
+  for (auto& s : spans) {
+    const auto it = std::find_if(
+        s.args.begin(), s.args.end(),
+        [](const SpanArg& a) { return a.key == "trace_id" && !a.numeric; });
+    if (it == s.args.end()) continue;
+    const auto [slot, inserted] =
+        tracks.emplace(it->value, static_cast<int>(tracks.size()));
+    (void)inserted;
+    s.tid = max_tid + 1 + slot->second;
+  }
+  return spans;
 }
 
 std::string chrome_trace_json(const std::vector<SpanRecord>& spans,

@@ -29,6 +29,15 @@ namespace clip::obs {
 /// One counter event object (no trailing newline).
 [[nodiscard]] std::string counter_to_json(const CounterSample& sample);
 
+/// Regroup spans so each causal trace owns one track: spans carrying a
+/// "trace_id" arg (runtime/queue.hpp tracing, obs/trace_context.hpp) move
+/// to a tid allocated per distinct id in first-appearance order, above the
+/// largest thread tid — so one job's queue/requeue/launcher spans nest
+/// together in Perfetto instead of interleaving by thread. Spans without
+/// the arg keep their thread track. Deterministic for a fixed span list.
+[[nodiscard]] std::vector<SpanRecord> group_spans_by_trace(
+    std::vector<SpanRecord> spans);
+
 /// The full trace document: {"traceEvents":[...],"displayTimeUnit":"ms"}.
 [[nodiscard]] std::string chrome_trace_json(
     const std::vector<SpanRecord>& spans,

@@ -32,10 +32,13 @@
 // worked `clipctl trace` example.
 #pragma once
 
+#include "obs/alerts.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/clock.hpp"
 #include "obs/metrics.hpp"
 #include "obs/session.hpp"
 #include "obs/sink.hpp"
+#include "obs/telemetry_server.hpp"
 #include "obs/timeline.hpp"
+#include "obs/trace_context.hpp"
 #include "obs/tracer.hpp"

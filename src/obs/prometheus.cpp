@@ -1,12 +1,21 @@
 // Prometheus text exposition rendering for MetricsRegistry.
 //
-// Follows the text format contract: one `# TYPE` line per metric family,
-// histogram buckets are *cumulative* and keyed by inclusive upper bound
-// (`le`), and every histogram carries the implicit `le="+Inf"` bucket equal
-// to `_count`. Our metric names use dots (`sim.runs`); Prometheus names are
-// restricted to [a-zA-Z0-9_:], so dots (and anything else outside that set)
-// become underscores.
+// Follows the text format contract: one `# HELP` + `# TYPE` line pair per
+// metric family, histogram buckets are *cumulative* and keyed by inclusive
+// upper bound (`le`), and every histogram carries the implicit `le="+Inf"`
+// bucket equal to `_count`. Our metric names use dots (`sim.runs`);
+// Prometheus names are restricted to [a-zA-Z0-9_:], so dots (and anything
+// else outside that set) become underscores. Because that mapping is lossy,
+// two registry names can sanitize to the same exposition name (`a.b` and
+// `a_b`); duplicate families are an invalid exposition, so colliding names
+// are de-duplicated with a deterministic `_2`, `_3`, ... suffix (iteration
+// is over sorted std::map keys, counters then gauges then histograms, so
+// the suffix assignment is stable across runs). The `# HELP` line preserves
+// the original registry name, so a scraped family can always be traced back
+// to its dotted source series.
 #include <cctype>
+#include <map>
+#include <set>
 #include <sstream>
 #include <string>
 
@@ -29,23 +38,73 @@ std::string sanitize_name(std::string_view name) {
   return out;
 }
 
+/// Allocates a unique exposition name for `base`, avoiding both names
+/// already handed out and the sanitized base names of series not yet
+/// rendered (so a de-dup suffix never steals a later family's name).
+class NameTable {
+ public:
+  void reserve_base(const std::string& base) { bases_.insert(base); }
+
+  std::string assign(const std::string& base) {
+    std::string n = base;
+    int suffix = 2;
+    while (taken_.count(n) != 0 ||
+           (n != base && bases_.count(n) != 0)) {
+      n = base + "_" + std::to_string(suffix);
+      ++suffix;
+    }
+    taken_.insert(n);
+    return n;
+  }
+
+ private:
+  std::multiset<std::string> bases_;
+  std::set<std::string> taken_;
+};
+
+/// HELP text is free-form but backslashes and newlines must be escaped;
+/// registry names are the only dynamic content and stay on one line.
+std::string help_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '\\')
+      out += "\\\\";
+    else if (c == '\n')
+      out += "\\n";
+    else
+      out.push_back(c);
+  }
+  return out;
+}
+
 }  // namespace
 
 std::string MetricsRegistry::render_prometheus() const {
   const std::lock_guard<std::mutex> lock(mu_);
+  NameTable names;
+  for (const auto& [name, _] : counters_) names.reserve_base(sanitize_name(name));
+  for (const auto& [name, _] : gauges_) names.reserve_base(sanitize_name(name));
+  for (const auto& [name, _] : histograms_)
+    names.reserve_base(sanitize_name(name));
+
   std::ostringstream out;
   for (const auto& [name, c] : counters_) {
-    const std::string n = sanitize_name(name);
-    out << "# TYPE " << n << " counter\n" << n << ' ' << c->value() << '\n';
+    const std::string n = names.assign(sanitize_name(name));
+    out << "# HELP " << n << " clip counter " << help_escape(name) << '\n'
+        << "# TYPE " << n << " counter\n"
+        << n << ' ' << c->value() << '\n';
   }
   for (const auto& [name, g] : gauges_) {
-    const std::string n = sanitize_name(name);
-    out << "# TYPE " << n << " gauge\n"
+    const std::string n = names.assign(sanitize_name(name));
+    out << "# HELP " << n << " clip gauge " << help_escape(name) << '\n'
+        << "# TYPE " << n << " gauge\n"
         << n << ' ' << format_exact(g->value()) << '\n';
   }
   for (const auto& [name, h] : histograms_) {
-    const std::string n = sanitize_name(name);
-    out << "# TYPE " << n << " histogram\n";
+    const std::string n = names.assign(sanitize_name(name));
+    out << "# HELP " << n << " clip histogram " << help_escape(name) << '\n'
+        << "# TYPE " << n << " histogram\n";
     const auto counts = h->bucket_counts();
     const auto& bounds = h->spec().bounds;
     std::uint64_t cum = 0;

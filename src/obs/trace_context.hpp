@@ -1,0 +1,90 @@
+// Causal trace identity for one job's journey through the coordinator.
+//
+// A TraceContext is minted per job from a *seeded* clip::Rng stream — never
+// from entropy — so the ids a run assigns are a deterministic function of
+// (trace seed, job order): re-running the same workload, or re-executing a
+// journal suffix during crash recovery, reproduces the same trace_id for
+// the same job, which is what lets journal records, timeline events, span
+// args and the run report all correlate by id across process restarts.
+//
+// Subsystem span ids are derived from the trace_id by hashing the
+// subsystem name (queue, launcher, redist, journal, ...) — no shared
+// counter, so any subsystem can compute its own span id without
+// coordination, and the id is stable for a given (trace, subsystem) pair.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/rng.hpp"
+
+namespace clip::obs {
+
+struct TraceContext {
+  std::uint64_t trace_id = 0;  ///< 0 = "not traced"
+
+  [[nodiscard]] bool valid() const { return trace_id != 0; }
+
+  /// 16 lowercase hex digits (zero-padded), the wire/CSV form of the id.
+  [[nodiscard]] std::string hex() const { return to_hex(trace_id); }
+
+  /// Deterministic span id for one subsystem of this trace: FNV-1a of the
+  /// subsystem name folded into the trace id. Stable for a given
+  /// (trace, subsystem) pair; distinct subsystems get distinct ids.
+  [[nodiscard]] std::uint64_t span_id(std::string_view subsystem) const {
+    std::uint64_t h = 0xcbf29ce484222325ull ^ trace_id;
+    for (const char c : subsystem) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001b3ull;
+    }
+    return h == 0 ? 1 : h;
+  }
+
+  [[nodiscard]] std::string span_hex(std::string_view subsystem) const {
+    return to_hex(span_id(subsystem));
+  }
+
+  /// Mint a fresh context from a seeded stream. Draws again on the
+  /// (vanishingly unlikely) all-zero word so 0 stays reserved for
+  /// "not traced".
+  [[nodiscard]] static TraceContext make(Rng& rng) {
+    TraceContext ctx;
+    do {
+      ctx.trace_id = rng.next_u64();
+    } while (ctx.trace_id == 0);
+    return ctx;
+  }
+
+  /// Parse the hex() form back; returns an invalid context (trace_id 0)
+  /// for anything that is not exactly 16 hex digits.
+  [[nodiscard]] static TraceContext parse_hex(std::string_view text) {
+    TraceContext ctx;
+    if (text.size() != 16) return ctx;
+    std::uint64_t v = 0;
+    for (const char c : text) {
+      v <<= 4;
+      if (c >= '0' && c <= '9')
+        v |= static_cast<std::uint64_t>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        v |= static_cast<std::uint64_t>(c - 'a' + 10);
+      else
+        return ctx;
+    }
+    ctx.trace_id = v;
+    return ctx;
+  }
+
+ private:
+  [[nodiscard]] static std::string to_hex(std::uint64_t v) {
+    static constexpr char kDigits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+      out[static_cast<std::size_t>(i)] = kDigits[v & 0xF];
+      v >>= 4;
+    }
+    return out;
+  }
+};
+
+}  // namespace clip::obs

@@ -58,6 +58,10 @@ sim::ClusterConfig Launcher::fallback_plan(const JobSpec& spec) const {
 }
 
 JobResult Launcher::run(const JobSpec& spec) {
+  return run(spec, obs::TraceContext{});
+}
+
+JobResult Launcher::run(const JobSpec& spec, const obs::TraceContext& trace) {
   // User errors stay loud: only internal scheduling failures (corrupt
   // profile inputs) downgrade to the fallback below.
   spec.app.validate();
@@ -67,6 +71,10 @@ JobResult Launcher::run(const JobSpec& spec) {
   obs::ScopedSpan span(obs_, "runtime.job", "runtime");
   span.arg("app", spec.app.name);
   span.arg("budget_w", spec.cluster_budget.value());
+  if (span.active() && trace.valid()) {
+    span.arg("trace_id", trace.hex());
+    span.arg("span_id", trace.span_hex("launcher"));
+  }
   obs::count(obs_, "runtime.jobs");
 
   JobResult result;

@@ -10,6 +10,7 @@
 
 #include "core/scheduler.hpp"
 #include "obs/session.hpp"
+#include "obs/trace_context.hpp"
 #include "runtime/job.hpp"
 #include "sim/executor.hpp"
 
@@ -32,6 +33,14 @@ class Launcher {
   /// the result's method reads "CLIP-fallback" and `runtime.fallbacks` is
   /// counted. User errors (invalid app, non-positive budget) still throw.
   [[nodiscard]] JobResult run(const JobSpec& spec);
+
+  /// As run(spec), carrying a causal trace context: when `trace` is valid
+  /// the "runtime.job" span gains `trace_id` / `span_id` args, so the
+  /// launch shows up on the job's track in the Chrome-trace export
+  /// (obs::group_spans_by_trace) next to its queue/requeue spans. An
+  /// invalid context behaves exactly like the untraced overload.
+  [[nodiscard]] JobResult run(const JobSpec& spec,
+                              const obs::TraceContext& trace);
 
   /// The launch script for a job (planning only, no execution).
   [[nodiscard]] std::string plan_script(const JobSpec& spec);

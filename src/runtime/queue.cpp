@@ -6,6 +6,7 @@
 #include <map>
 #include <sstream>
 
+#include "obs/telemetry_server.hpp"
 #include "obs/timeline.hpp"
 #include "runtime/journal.hpp"
 #include "util/check.hpp"
@@ -202,6 +203,38 @@ QueueEventLoop::QueueEventLoop(sim::SimExecutor& executor,
   next_tick_s_ = options_.redist.period_s;
 }
 
+QueueEventLoop::~QueueEventLoop() = default;
+
+obs::TelemetryServer* QueueEventLoop::telemetry_server() const {
+  return telemetry_.get();
+}
+
+std::string QueueEventLoop::trace_suffix(std::size_t j) const {
+  return j < traces_.size() ? " trace=" + traces_[j].hex() : std::string();
+}
+
+void QueueEventLoop::publish_status(bool run_active) {
+  if (telemetry_ == nullptr) return;
+  obs::StatusSnapshot snap;
+  snap.now_s = now_;
+  int waiting = 0;
+  int done = 0;
+  for (const State s : state_) {
+    if (s == State::kPending) ++waiting;
+    if (s == State::kDone) ++done;
+  }
+  snap.queue_depth = waiting;
+  snap.running_jobs = static_cast<int>(running_.size());
+  snap.free_watts = free_power();
+  snap.mode = to_string(mode_);
+  snap.journal_seq =
+      journal_ != nullptr ? static_cast<std::uint64_t>(journal_->size()) : 0;
+  snap.jobs_completed = done;
+  snap.jobs_failed = report_.jobs_failed;
+  snap.run_active = run_active;
+  telemetry_->publish(snap);
+}
+
 int QueueEventLoop::free_nodes() const {
   int free = 0;
   for (int n = 0; n < total_nodes_; ++n)
@@ -252,8 +285,15 @@ int QueueEventLoop::faults_active_at(double t) const {
 }
 
 bool QueueEventLoop::try_start(std::size_t j) {
-  obs::ScopedSpan span(obs_, "queue.try_start", "runtime");
+  obs::ScopedSpan span(action_obs(), "queue.try_start", "runtime");
   span.arg("app", jobs_[j].app.name);
+  // active() gate: hex-formatting the ids costs two string allocations, and
+  // try_start runs once per pending job per step — an inert span must not
+  // pay that (bench/obs_overhead prices the tracing-on duty cycle).
+  if (span.active() && j < traces_.size()) {
+    span.arg("trace_id", traces_[j].hex());
+    span.arg("span_id", traces_[j].span_hex("queue"));
+  }
   const int nodes_avail = free_nodes();
   const double watts_avail = free_power();
   span.arg("free_nodes", nodes_avail);
@@ -336,7 +376,8 @@ bool QueueEventLoop::try_start(std::size_t j) {
   out.crashed_node = -1;
   if (timeline_ != nullptr) {
     timeline_->event("job", now_, "start " + out.app + " nodes=" +
-                                      std::to_string(nodes_used));
+                                      std::to_string(nodes_used) +
+                                      trace_suffix(j));
     const double per_node_cap = slice / nodes_used;
     const double per_node_power = m.avg_power.value() / nodes_used;
     for (int n : r.node_ids) {
@@ -354,15 +395,16 @@ bool QueueEventLoop::try_start(std::size_t j) {
   report_.node_seconds_used += nodes_used * (r.end_s - now_);
   running_.push_back(std::move(r));
   state_[j] = State::kRunning;
-  obs::count(obs_, "queue.jobs_started");
-  obs::observe(obs_, "queue.job_wait_s", wait_s_spec(), out.wait_s());
+  obs::count(action_obs(), "queue.jobs_started");
+  obs::observe(action_obs(), "queue.job_wait_s", wait_s_spec(), out.wait_s());
   if (journal_ != nullptr) {
     const Running& rr = running_.back();
     jlog("launch", "job=" + std::to_string(j) + " attempt=" +
                        std::to_string(attempts_[j]) + " nodes=" +
                        join_ints(rr.node_ids, '/') + " slice=" +
                        fx(rr.power_w) + " end=" + fx(rr.end_s) +
-                       " crashed=" + (rr.crashed ? "1" : "0"));
+                       " crashed=" + (rr.crashed ? "1" : "0") +
+                       trace_suffix(j));
   }
   return true;
 }
@@ -371,6 +413,13 @@ void QueueEventLoop::start_eligible() {
   // BUDGET_BROWNOUT pauses admission: the launch pass is skipped until the
   // cut window ends (the gauges below keep tracking the paused queue).
   if (!admission_paused_) {
+    // Host-time cost of one admission pass, recorded only while the live
+    // telemetry plane is up: queue metrics stay a deterministic function
+    // of the workload otherwise (same-seed runs fingerprint identically).
+    // Metrics-only — never the timeline, whose contents must stay a
+    // function of simulated time. Feeds the p99 SLO rule in obs/alerts.hpp.
+    obs::ScopedTimer timer(telemetry_ != nullptr ? action_obs() : nullptr,
+                           "queue.decision_latency_us");
     for (std::size_t j = 0; j < jobs_.size(); ++j) {
       if (state_[j] != State::kPending) continue;
       if (eligible_s_[j] > now_) continue;  // still backing off after a crash
@@ -381,8 +430,8 @@ void QueueEventLoop::start_eligible() {
   std::size_t waiting = 0;
   for (std::size_t j = 0; j < jobs_.size(); ++j)
     if (state_[j] == State::kPending) ++waiting;
-  obs::gauge_set(obs_, "queue.depth", static_cast<double>(waiting));
-  obs::gauge_set(obs_, "queue.running",
+  obs::gauge_set(action_obs(), "queue.depth", static_cast<double>(waiting));
+  obs::gauge_set(action_obs(), "queue.running",
                  static_cast<double>(running_.size()));
   if (timeline_ != nullptr) {
     timeline_->record("queue.depth", now_, static_cast<double>(waiting));
@@ -390,6 +439,13 @@ void QueueEventLoop::start_eligible() {
                       static_cast<double>(running_.size()));
     timeline_->record("budget.free_w", now_, free_power());
   }
+  // Steady-state publishing is throttled: /status is a monitoring view, not
+  // a ledger, so a few-steps-stale snapshot is fine and the O(jobs) state
+  // scan plus the server mutex stay off the per-decision path
+  // (bench/obs_overhead prices exactly this duty cycle). Run start, mode
+  // transitions and finalize() still publish unconditionally.
+  if (telemetry_ != nullptr && (publish_tick_++ & 0xF) == 0)
+    publish_status(true);
 }
 
 // Announce fault events whose time has arrived: counters/spans once per
@@ -401,11 +457,11 @@ void QueueEventLoop::apply_fault_events() {
     if (crash_seen_[i] || c.at_s > now_) continue;
     crash_seen_[i] = true;
     fired = true;
-    obs::ScopedSpan span(obs_, "fault.inject", "fault");
+    obs::ScopedSpan span(action_obs(), "fault.inject", "fault");
     span.arg("kind", "crash");
     span.arg("node", c.node);
-    obs::count(obs_, "fault.injected");
-    obs::count(obs_, "fault.crashes");
+    obs::count(action_obs(), "fault.injected");
+    obs::count(action_obs(), "fault.crashes");
     if (timeline_ != nullptr)
       timeline_->event("fault", now_,
                        "crash node=" + std::to_string(c.node));
@@ -419,11 +475,11 @@ void QueueEventLoop::apply_fault_events() {
     if (degrade_seen_[i] || d.at_s > now_) continue;
     degrade_seen_[i] = true;
     fired = true;
-    obs::ScopedSpan span(obs_, "fault.inject", "fault");
+    obs::ScopedSpan span(action_obs(), "fault.inject", "fault");
     span.arg("kind", "degrade");
     span.arg("node", d.node);
-    obs::count(obs_, "fault.injected");
-    obs::count(obs_, "fault.degrades");
+    obs::count(action_obs(), "fault.injected");
+    obs::count(action_obs(), "fault.degrades");
     if (timeline_ != nullptr)
       timeline_->event("fault", now_,
                        "degrade node=" + std::to_string(d.node));
@@ -433,11 +489,11 @@ void QueueEventLoop::apply_fault_events() {
     if (meter_seen_[i] || f.at_s > now_) continue;
     meter_seen_[i] = true;
     fired = true;
-    obs::ScopedSpan span(obs_, "fault.inject", "fault");
+    obs::ScopedSpan span(action_obs(), "fault.inject", "fault");
     span.arg("kind", std::string("meter-") + to_string(f.kind));
     span.arg("node", f.node);
-    obs::count(obs_, "fault.injected");
-    obs::count(obs_, "fault.meter_faults");
+    obs::count(action_obs(), "fault.injected");
+    obs::count(action_obs(), "fault.meter_faults");
     if (timeline_ != nullptr)
       timeline_->event("fault", now_,
                        std::string("meter-") + to_string(f.kind) +
@@ -448,11 +504,11 @@ void QueueEventLoop::apply_fault_events() {
     if (capviol_seen_[i] || v.at_s > now_) continue;
     capviol_seen_[i] = true;
     fired = true;
-    obs::ScopedSpan span(obs_, "fault.inject", "fault");
+    obs::ScopedSpan span(action_obs(), "fault.inject", "fault");
     span.arg("kind", "cap-violation");
     span.arg("node", v.node);
-    obs::count(obs_, "fault.injected");
-    obs::count(obs_, "fault.cap_violations");
+    obs::count(action_obs(), "fault.injected");
+    obs::count(action_obs(), "fault.cap_violations");
     if (timeline_ != nullptr)
       timeline_->event("fault", now_,
                        "cap-violation node=" + std::to_string(v.node));
@@ -462,10 +518,10 @@ void QueueEventLoop::apply_fault_events() {
     if (blackout_seen_[i] || b.at_s > now_) continue;
     blackout_seen_[i] = true;
     fired = true;
-    obs::ScopedSpan span(obs_, "fault.inject", "fault");
+    obs::ScopedSpan span(action_obs(), "fault.inject", "fault");
     span.arg("kind", "meter-blackout");
-    obs::count(obs_, "fault.injected");
-    obs::count(obs_, "fault.blackouts");
+    obs::count(action_obs(), "fault.injected");
+    obs::count(action_obs(), "fault.blackouts");
     if (timeline_ != nullptr)
       timeline_->event("fault", now_,
                        "meter-blackout for " +
@@ -476,10 +532,10 @@ void QueueEventLoop::apply_fault_events() {
     if (cut_seen_[i] || c.at_s > now_) continue;
     cut_seen_[i] = true;
     fired = true;
-    obs::ScopedSpan span(obs_, "fault.inject", "fault");
+    obs::ScopedSpan span(action_obs(), "fault.inject", "fault");
     span.arg("kind", "budget-cut");
-    obs::count(obs_, "fault.injected");
-    obs::count(obs_, "fault.budget_cuts");
+    obs::count(action_obs(), "fault.injected");
+    obs::count(action_obs(), "fault.budget_cuts");
     if (timeline_ != nullptr)
       timeline_->event("fault", now_,
                        "budget-cut to " + format_double(c.factor, 2) +
@@ -495,9 +551,9 @@ void QueueEventLoop::claw_back(int node) {
   const int truncated = injector_->truncate_cap_violations(node, now_);
   if (truncated == 0) return;  // window already over
   report_.caps_reprogrammed += truncated;
-  obs::ScopedSpan span(obs_, "budget.reprogram", "fault");
+  obs::ScopedSpan span(action_obs(), "budget.reprogram", "fault");
   span.arg("node", node);
-  obs::count(obs_, "budget.caps_reprogrammed",
+  obs::count(action_obs(), "budget.caps_reprogrammed",
              static_cast<std::uint64_t>(truncated));
   if (timeline_ != nullptr) {
     timeline_->event("fault", now_, "claw-back node=" + std::to_string(node));
@@ -534,7 +590,7 @@ void QueueEventLoop::guard_sample() {
     }
   }
   if (!guard_.overshoot(observed)) return;
-  obs::count(obs_, "budget.overshoot_events");
+  obs::count(action_obs(), "budget.overshoot_events");
   for (int n : injector_->violating_nodes(active_node_ids(), now_)) {
     if (enforcement_pending_[static_cast<std::size_t>(n)]) continue;
     if (guard_.options().reaction_s <= 0.0) {
@@ -651,7 +707,7 @@ void QueueEventLoop::apply_claw(const PendingClaw& c) {
   report_.jobs[r->job_index].budget_w = r->power_w;
   ++report_.redist_claw_backs;
   report_.redist_reclaimed_w += claw;
-  obs::count(obs_, "redist.claw_backs");
+  obs::count(action_obs(), "redist.claw_backs");
   if (timeline_ != nullptr) {
     timeline_->event("redist", now_,
                      "claw " + report_.jobs[r->job_index].app +
@@ -668,7 +724,7 @@ void QueueEventLoop::apply_claw(const PendingClaw& c) {
 // The redistribution tick: sample, size claw-backs, and hill-climb
 // memory-phase jobs one PKG→DRAM step.
 void QueueEventLoop::redist_tick() {
-  obs::count(obs_, "redist.ticks");
+  obs::count(action_obs(), "redist.ticks");
   for (const auto& r : running_) {
     const double n_nodes = static_cast<double>(r.node_ids.size());
     const double per_node_truth = r.true_power_w / n_nodes;
@@ -735,7 +791,7 @@ void QueueEventLoop::redist_tick() {
     if (gain < options_.redist.min_gain_s) continue;
     rebase_running(r, shifted, m1, r.power_w);
     ++report_.redist_subsystem_shifts;
-    obs::count(obs_, "redist.subsystem_shifts");
+    obs::count(action_obs(), "redist.subsystem_shifts");
     if (timeline_ != nullptr)
       timeline_->event("redist", now_,
                        "shift " + report_.jobs[r.job_index].app +
@@ -788,7 +844,7 @@ void QueueEventLoop::try_regrant() {
   if (injector_ != nullptr)
     reserved = std::max(reserved, true_cluster_power(now_));
   if (!guard_.admit_regrant(reserved, best->grant_w)) {
-    obs::count(obs_, "redist.regrants_rejected");
+    obs::count(action_obs(), "redist.regrants_rejected");
     if (timeline_ != nullptr)
       timeline_->event("redist", now_,
                        "regrant-rejected " + report_.jobs[r.job_index].app +
@@ -802,7 +858,7 @@ void QueueEventLoop::try_regrant() {
   rebase_running(r, e.cfg, e.m, e.slice);
   ++report_.redist_regrants;
   report_.redist_granted_w += best->grant_w;
-  obs::count(obs_, "redist.regrants");
+  obs::count(action_obs(), "redist.regrants");
   if (timeline_ != nullptr)
     timeline_->event("redist", now_,
                      "regrant " + report_.jobs[r.job_index].app +
@@ -835,9 +891,11 @@ bool QueueEventLoop::finish_one_due() {
   if (!r.crashed) {
     state_[j] = State::kDone;
     if (timeline_ != nullptr)
-      timeline_->event("job", now_, "finish " + report_.jobs[j].app);
+      timeline_->event("job", now_,
+                       "finish " + report_.jobs[j].app + trace_suffix(j));
     if (journal_ != nullptr)
-      jlog("complete", "job=" + std::to_string(j) + " t=" + fx(now_));
+      jlog("complete", "job=" + std::to_string(j) + " t=" + fx(now_) +
+                           trace_suffix(j));
     return true;
   }
   // Crash abort: replace the optimistic energy bill with the watts the
@@ -851,31 +909,38 @@ bool QueueEventLoop::finish_one_due() {
   if (timeline_ != nullptr)
     timeline_->event("job", now_,
                      "crash " + out.app +
-                         " node=" + std::to_string(r.crashed_node));
+                         " node=" + std::to_string(r.crashed_node) +
+                         trace_suffix(j));
   if (attempts_[j] >= options_.retry.max_attempts) {
     state_[j] = State::kFailed;
     ++report_.jobs_failed;
-    obs::count(obs_, "queue.jobs_failed");
+    obs::count(action_obs(), "queue.jobs_failed");
     if (timeline_ != nullptr)
-      timeline_->event("job", now_, "fail " + out.app);
+      timeline_->event("job", now_, "fail " + out.app + trace_suffix(j));
     if (journal_ != nullptr)
-      jlog("fail", "job=" + std::to_string(j) + " t=" + fx(now_));
+      jlog("fail", "job=" + std::to_string(j) + " t=" + fx(now_) +
+                       trace_suffix(j));
     return true;
   }
   state_[j] = State::kPending;
   eligible_s_[j] = now_ + options_.retry.backoff_s(attempts_[j]);
   retry_wakeups_.push_back(eligible_s_[j]);
   ++report_.retries;
-  obs::ScopedSpan span(obs_, "queue.requeue", "runtime");
+  obs::ScopedSpan span(action_obs(), "queue.requeue", "runtime");
   span.arg("app", out.app);
   span.arg("crashed_node", r.crashed_node);
-  obs::count(obs_, "queue.retries");
+  if (span.active() && j < traces_.size()) {
+    span.arg("trace_id", traces_[j].hex());
+    span.arg("span_id", traces_[j].span_hex("queue"));
+  }
+  obs::count(action_obs(), "queue.retries");
   if (timeline_ != nullptr)
-    timeline_->event("job", now_, "requeue " + out.app);
+    timeline_->event("job", now_, "requeue " + out.app + trace_suffix(j));
   if (journal_ != nullptr)
     jlog("crash-requeue", "job=" + std::to_string(j) + " node=" +
                               std::to_string(r.crashed_node) +
-                              " eligible=" + fx(eligible_s_[j]));
+                              " eligible=" + fx(eligible_s_[j]) +
+                              trace_suffix(j));
   return true;
 }
 
@@ -897,6 +962,25 @@ void QueueEventLoop::prepare_run() {
   wakeup_idx_ = 0;
   mode_faults_on_ = plan_ != nullptr && (!plan_->meter_blackouts.empty() ||
                                          !plan_->budget_cuts.empty());
+  if (options_.trace.enabled && traces_.empty()) {
+    // One draw per job in submission order: ids are a pure function of
+    // (seed, job index), so a recovery constructed with the same options
+    // re-mints exactly the ids the dying run journaled.
+    Rng trace_rng(options_.trace.seed);
+    traces_.reserve(jobs_.size());
+    for (std::size_t j = 0; j < jobs_.size(); ++j) {
+      traces_.push_back(obs::TraceContext::make(trace_rng));
+      report_.jobs[j].trace_id = traces_[j].hex();
+    }
+  }
+  if (options_.telemetry_port >= 0 && telemetry_ == nullptr) {
+    obs::TelemetryServerOptions server_options;
+    server_options.port = options_.telemetry_port;
+    server_options.metrics = obs_ != nullptr ? &obs_->metrics() : nullptr;
+    server_options.timeline = timeline_;
+    telemetry_ = std::make_unique<obs::TelemetryServer>(server_options);
+    publish_status(true);
+  }
 }
 
 QueueReport QueueEventLoop::run() {
@@ -946,6 +1030,7 @@ QueueReport QueueEventLoop::recover(Journal& journal) {
   restore_state(records[*snap].payload);
   replay_cursor_ = *snap + 1;
   replay_limit_ = records.size();
+  replaying_ = replay_cursor_ < replay_limit_;
   records_since_snapshot_ = 0;
   rederive_running();
   if (!init_done_) init_pass();
@@ -1077,7 +1162,7 @@ void QueueEventLoop::finalize() {
     out.completed = false;
     state_[j] = State::kFailed;
     ++report_.jobs_failed;
-    obs::count(obs_, "queue.jobs_failed");
+    obs::count(action_obs(), "queue.jobs_failed");
     if (journal_ != nullptr)
       jlog("fail", "job=" + std::to_string(j) + " reason=stranded");
   }
@@ -1097,7 +1182,7 @@ void QueueEventLoop::finalize() {
     obs::gauge_set(obs_, "budget.violation_s", report_.violation_s);
     obs::gauge_set(obs_, "budget.violation_ws", report_.violation_ws);
     if (report_.meter_reads_rejected > 0)
-      obs::count(obs_, "fault.meter_reads_rejected",
+      obs::count(action_obs(), "fault.meter_reads_rejected",
                  report_.meter_reads_rejected);
   }
   report_.redist_regrants_rejected = guard_.regrants_rejected();
@@ -1111,6 +1196,7 @@ void QueueEventLoop::finalize() {
   if (journal_ != nullptr)
     jlog("end", "makespan=" + fx(report_.makespan_s) +
                     " violation_s=" + fx(report_.violation_s));
+  publish_status(false);
 }
 
 // --- degraded-mode state machine (docs/robustness.md) ----------------------
@@ -1135,8 +1221,8 @@ void QueueEventLoop::update_mode() {
           : (dark ? DegradedMode::kMeterBlackout : DegradedMode::kNormal);
   if (next_mode == mode_) return;
   mode_ = next_mode;
-  obs::count(obs_, "mode.transitions");
-  obs::gauge_set(obs_, "mode.current", static_cast<double>(mode_));
+  obs::count(action_obs(), "mode.transitions");
+  obs::gauge_set(action_obs(), "mode.current", static_cast<double>(mode_));
   if (timeline_ != nullptr) {
     timeline_->event("mode", now_, to_string(mode_));
     timeline_->record("mode.current", now_, static_cast<double>(mode_));
@@ -1144,6 +1230,7 @@ void QueueEventLoop::update_mode() {
   if (journal_ != nullptr)
     jlog("mode", std::string("to=") + to_string(mode_) + " t=" + fx(now_) +
                      " factor=" + fx(factor));
+  publish_status(true);
 }
 
 // Entering BUDGET_BROWNOUT: the facility cut the budget under the running
@@ -1167,7 +1254,7 @@ void QueueEventLoop::brownout_clawback() {
         executor_->run_exact(jobs_[r.job_index].app, cut.cluster);
     const double clawed = r.power_w - new_slice;
     rebase_running(r, cut.cluster, m1, new_slice);
-    obs::count(obs_, "mode.brownout_claws");
+    obs::count(action_obs(), "mode.brownout_claws");
     if (timeline_ != nullptr)
       timeline_->event("mode", now_,
                        "brownout-claw " + report_.jobs[r.job_index].app +
@@ -1192,6 +1279,7 @@ void QueueEventLoop::append_or_verify(std::string_view kind,
     const JournalRecord& expect = journal_->records()[replay_cursor_];
     if (expect.kind == kind && expect.payload == payload) {
       ++replay_cursor_;
+      if (replay_cursor_ >= replay_limit_) replaying_ = false;
       obs::count(obs_, "journal.replayed");
       return;
     }
@@ -1199,6 +1287,7 @@ void QueueEventLoop::append_or_verify(std::string_view kind,
     // could not catch. Salvage: truncate it, log the gap, append fresh.
     journal_->truncate(replay_cursor_);
     replay_limit_ = replay_cursor_;
+    replaying_ = false;
     obs::count(obs_, "journal.gaps");
     if (timeline_ != nullptr)
       timeline_->event("journal", now_,
@@ -1230,6 +1319,12 @@ std::string QueueEventLoop::begin_payload() const {
   os += redist_on_ ? " redist=1" : " redist=0";
   os += injector_ != nullptr ? " injector=1" : " injector=0";
   os += timeline_ != nullptr ? " timeline=1" : " timeline=0";
+  // Token appended only when tracing is on: journals written before tracing
+  // existed (or with it off) keep their exact bytes, while a traced journal
+  // recovered with a different trace configuration fails the begin check
+  // loudly instead of diverging record by record.
+  if (options_.trace.enabled)
+    os += " traceseed=" + std::to_string(options_.trace.seed);
   return os;
 }
 

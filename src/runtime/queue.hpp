@@ -52,6 +52,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -59,6 +60,7 @@
 #include "fault/budget_guard.hpp"
 #include "fault/injector.hpp"
 #include "obs/session.hpp"
+#include "obs/trace_context.hpp"
 #include "runtime/redistribution.hpp"
 #include "sim/executor.hpp"
 #include "util/units.hpp"
@@ -66,11 +68,24 @@
 
 namespace clip::obs {
 class Timeline;
+class TelemetryServer;
 }
 
 namespace clip::runtime {
 
 class Journal;
+
+/// Causal tracing of jobs through the coordinator (docs/observability.md).
+/// Disabled (the default), no TraceContext is minted, no `trace=` token
+/// appears in any journal record or timeline event, jobs.csv keeps its
+/// legacy column set and the run is byte-identical to the untraced queue.
+struct TraceOptions {
+  bool enabled = false;
+  /// Seed of the clip::Rng stream trace ids are drawn from; ids are a
+  /// deterministic function of (seed, job order), so recovery re-derives
+  /// the same ids the dying run assigned.
+  std::uint64_t seed = 0x7C11u;
+};
 
 struct QueueOptions {
   Watts cluster_budget{1000.0};
@@ -79,6 +94,12 @@ struct QueueOptions {
   fault::RetryPolicy retry;        ///< crash-killed jobs: bounded retries
   fault::BudgetGuardOptions guard; ///< cluster-budget watchdog
   RedistributionOptions redist;    ///< runtime power redistribution (off)
+  TraceOptions trace;              ///< causal per-job trace ids (off)
+  /// Port for the embeddable read-only telemetry server
+  /// (obs/telemetry_server.hpp) on 127.0.0.1: -1 (the default) starts no
+  /// server and keeps the run byte-identical to the serverless queue;
+  /// 0 binds an ephemeral port (read back via telemetry_server()->port()).
+  int telemetry_port = -1;
 };
 
 /// A queue submission: the workload plus optional placement constraints.
@@ -102,6 +123,7 @@ struct QueuedJobResult {
   int attempts = 1;        ///< placements consumed (> 1 after crash retries)
   bool completed = true;   ///< false: retries exhausted or no nodes left
   int crashed_node = -1;   ///< node whose death last aborted the job
+  std::string trace_id;    ///< 16-hex causal id; empty with tracing off
   [[nodiscard]] double turnaround_s() const { return end_s - submit_s; }
   [[nodiscard]] double wait_s() const { return start_s - submit_s; }
 };
@@ -171,6 +193,7 @@ class QueueEventLoop {
   /// Validates options and jobs exactly as PowerAwareJobQueue does.
   QueueEventLoop(sim::SimExecutor& executor, core::ClipScheduler& scheduler,
                  QueueOptions options, std::vector<QueueJob> jobs);
+  ~QueueEventLoop();  ///< out-of-line: owns the telemetry server by unique_ptr
 
   /// Attachments — same contracts as PowerAwareJobQueue's setters.
   void set_observer(obs::ObsSession* obs) { obs_ = obs; }
@@ -203,6 +226,17 @@ class QueueEventLoop {
   /// Mode the loop was in when it finished (kNormal unless a blackout or
   /// budget-cut window was still open at the end of the run).
   [[nodiscard]] DegradedMode mode() const { return mode_; }
+
+  /// The loop-owned telemetry server: non-null only while a run started
+  /// with QueueOptions::telemetry_port >= 0 is alive. Tests and `clipctl
+  /// serve` read the bound port (and poke endpoints) through it.
+  [[nodiscard]] obs::TelemetryServer* telemetry_server() const;
+
+  /// The TraceContext minted for job `j` (invalid context when tracing is
+  /// off or the run has not been prepared yet).
+  [[nodiscard]] obs::TraceContext trace_of(std::size_t j) const {
+    return j < traces_.size() ? traces_[j] : obs::TraceContext{};
+  }
 
  private:
   struct Running {
@@ -264,6 +298,25 @@ class QueueEventLoop {
   // --- degraded-mode state machine ----------------------------------------
   void update_mode();
   void brownout_clawback();
+
+  // --- live observability ---------------------------------------------------
+  /// The obs session for *action-level* emissions (counters, spans,
+  /// latency histograms tied to queue decisions). Returns nullptr while a
+  /// journal suffix is being replayed during recover(), so replayed steps
+  /// do not double-count actions the dying run already recorded; timeline
+  /// and journal.* emissions deliberately bypass this (the timeline is
+  /// re-built from the snapshot and journal counters describe recovery
+  /// itself).
+  [[nodiscard]] obs::ObsSession* action_obs() const {
+    return replaying_ ? nullptr : obs_;
+  }
+  /// " trace=<16hex>" for job `j` when tracing is on; "" otherwise. The
+  /// shared suffix format keeps journal payloads and timeline labels
+  /// greppable by one token.
+  [[nodiscard]] std::string trace_suffix(std::size_t j) const;
+  /// Push a fresh StatusSnapshot into the telemetry server (one branch
+  /// when no server is attached).
+  void publish_status(bool run_active);
 
   // --- journaling ----------------------------------------------------------
   void jlog(std::string_view kind, std::string payload);
@@ -332,6 +385,15 @@ class QueueEventLoop {
   std::size_t replay_cursor_ = 0;
   std::size_t replay_limit_ = 0;
   int records_since_snapshot_ = 0;
+  /// True while records [replay_cursor_, replay_limit_) are being verified:
+  /// action_obs() is nullptr so replay never double-counts.
+  bool replaying_ = false;
+
+  // Live observability: per-job causal ids (empty with tracing off) and the
+  // loop-owned telemetry server (null with telemetry_port < 0).
+  std::vector<obs::TraceContext> traces_;
+  std::unique_ptr<obs::TelemetryServer> telemetry_;
+  std::uint32_t publish_tick_ = 0;  ///< throttles steady-state /status pushes
 };
 
 /// Facade over QueueEventLoop: validates once, then constructs a fresh

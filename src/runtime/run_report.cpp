@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "obs/chrome_trace.hpp"
+#include "runtime/journal.hpp"
 #include "util/check.hpp"
 #include "util/csv.hpp"
 #include "util/strings.hpp"
@@ -35,6 +36,17 @@ const std::vector<std::string>& jobs_header() {
       "app",      "parameters", "submit_s",  "start_s",
       "end_s",    "nodes",      "budget_w",  "power_w",
       "attempts", "completed",  "crashed_node"};
+  return header;
+}
+
+/// jobs.csv header for a record written with tracing on. The extra column
+/// appears only then: untraced records keep the legacy header bytes.
+const std::vector<std::string>& jobs_header_traced() {
+  static const std::vector<std::string> header = [] {
+    std::vector<std::string> h = jobs_header();
+    h.push_back("trace_id");
+    return h;
+  }();
   return header;
 }
 
@@ -85,7 +97,8 @@ void load_record(const std::filesystem::path& dir, LoadedRecord& rec) {
   for (const auto& row : summary.rows) rec.summary[row[0]] = row[1];
 
   const CsvDocument jobs = read_csv(dir / RunRecordFiles::kJobs);
-  CLIP_REQUIRE(jobs.header == jobs_header(),
+  const bool traced = jobs.header == jobs_header_traced();
+  CLIP_REQUIRE(traced || jobs.header == jobs_header(),
                "malformed jobs.csv in " + dir.string());
   for (const auto& row : jobs.rows) {
     QueuedJobResult j;
@@ -100,6 +113,7 @@ void load_record(const std::filesystem::path& dir, LoadedRecord& rec) {
     j.attempts = to_int(row[8], "attempts");
     j.completed = row[9] == "1";
     j.crashed_node = to_int(row[10], "crashed_node");
+    if (traced) j.trace_id = row[11];
     rec.jobs.push_back(std::move(j));
   }
 
@@ -166,15 +180,19 @@ void write_run_record(const std::filesystem::path& dir, Watts cluster_budget,
   std::filesystem::create_directories(dir);
   timeline.write_csv(dir / RunRecordFiles::kTimeline);
 
+  bool traced = false;
+  for (const auto& j : report.jobs) traced = traced || !j.trace_id.empty();
   CsvDocument jobs;
-  jobs.header = jobs_header();
-  for (const auto& j : report.jobs)
+  jobs.header = traced ? jobs_header_traced() : jobs_header();
+  for (const auto& j : report.jobs) {
     jobs.rows.push_back({j.app, j.parameters, format_exact(j.submit_s),
                          format_exact(j.start_s), format_exact(j.end_s),
                          std::to_string(j.nodes), format_exact(j.budget_w),
                          format_exact(j.power_w), std::to_string(j.attempts),
                          j.completed ? "1" : "0",
                          std::to_string(j.crashed_node)});
+    if (traced) jobs.rows.back().push_back(j.trace_id);
+  }
   write_csv(dir / RunRecordFiles::kJobs, jobs);
 
   std::string crashed;
@@ -440,6 +458,116 @@ std::string render_json_report(const std::filesystem::path& dir,
         << "\",\"category\":\"" << obs::json_escape(top[i].category)
         << "\",\"duration_us\":" << format_exact(top[i].duration_us) << "}";
   out << "]\n}\n";
+  return out.str();
+}
+
+namespace {
+
+/// True when `text`, split on single spaces, contains `token` exactly —
+/// the attribution primitive of the job story (labels and journal payloads
+/// are space-separated token lists).
+bool has_token(const std::string& text, const std::string& token) {
+  for (const auto& t : split(text, ' '))
+    if (t == token) return true;
+  return false;
+}
+
+}  // namespace
+
+std::string render_job_story(const std::filesystem::path& dir,
+                             std::size_t job_index) {
+  LoadedRecord rec;
+  load_record(dir, rec);
+  CLIP_REQUIRE(job_index < rec.jobs.size(),
+               "job index " + std::to_string(job_index) +
+                   " out of range (record has " +
+                   std::to_string(rec.jobs.size()) + " jobs)");
+  const QueuedJobResult& job = rec.jobs[job_index];
+  const bool traced = !job.trace_id.empty();
+  const std::string trace_token = "trace=" + job.trace_id;
+
+  std::ostringstream out;
+  out << "# Job story: " << job.app << " (job " << job_index << ")\n\n";
+  out << "| key | value |\n|---|---|\n";
+  out << "| trace | " << (traced ? job.trace_id : std::string("untraced"))
+      << " |\n";
+  out << "| parameters | " << (job.parameters.empty() ? "-" : job.parameters)
+      << " |\n";
+  out << "| submitted (s) | " << format_double(job.submit_s, 3) << " |\n";
+  out << "| started (s) | " << format_double(job.start_s, 3) << " |\n";
+  out << "| finished (s) | " << format_double(job.end_s, 3) << " |\n";
+  out << "| nodes | " << job.nodes << " |\n";
+  out << "| power slice (W) | " << format_double(job.budget_w, 1) << " |\n";
+  out << "| measured draw (W) | " << format_double(job.power_w, 1) << " |\n";
+  out << "| attempts | " << job.attempts << " |\n";
+  out << "| completed | " << (job.completed ? "yes" : "no") << " |\n";
+  out << "| crashed node | "
+      << (job.crashed_node >= 0 ? std::to_string(job.crashed_node) : "-")
+      << " |\n";
+
+  // One merged, time-ordered stream of the job's flight-recorder events.
+  // The `job` stream attributes by trace token when the record is traced
+  // (exact even when several jobs run the same app); `redist`/`mode`
+  // labels carry only the app name, so those attribute by app.
+  struct StoryEvent {
+    double t_s;
+    int stream_rank;
+    std::string stream;
+    std::string label;
+  };
+  std::vector<StoryEvent> story;
+  const char* streams[] = {"job", "redist", "mode"};
+  for (int rank = 0; rank < 3; ++rank) {
+    for (const auto& e : rec.timeline.events(streams[rank])) {
+      const bool mine =
+          rank == 0 ? (traced ? has_token(e.label, trace_token)
+                              : has_token(e.label, job.app))
+                    : has_token(e.label, job.app);
+      if (mine)
+        story.push_back({e.t_s, rank, streams[rank], e.label});
+    }
+  }
+  std::stable_sort(story.begin(), story.end(),
+                   [](const StoryEvent& a, const StoryEvent& b) {
+                     if (a.t_s != b.t_s) return a.t_s < b.t_s;
+                     return a.stream_rank < b.stream_rank;
+                   });
+  out << "\n## Flight-recorder events\n\n";
+  if (story.empty()) {
+    out << "none\n";
+  } else {
+    for (const auto& e : story)
+      out << "- " << format_double(e.t_s, 3) << " s [" << e.stream << "] "
+          << e.label << "\n";
+  }
+
+  // Recovery evidence is global (a replay gap is not attributable to one
+  // job) but belongs in any story that crosses a coordinator death.
+  const auto recovery = rec.timeline.events("journal");
+  if (!recovery.empty()) {
+    out << "\n## Recovery events\n\n";
+    for (const auto& e : recovery)
+      out << "- " << format_double(e.t_s, 3) << " s — " << e.label << "\n";
+  }
+
+  const auto journal_path = dir / RunRecordFiles::kJournal;
+  if (std::filesystem::exists(journal_path)) {
+    Journal journal;
+    (void)journal.load(journal_path);
+    out << "\n## Journal records\n\n";
+    const std::string job_token = "job=" + std::to_string(job_index);
+    std::size_t rows = 0;
+    for (const auto& r : journal.records()) {
+      if (r.kind == "snapshot") continue;
+      if (!has_token(r.payload, job_token) &&
+          !(traced && has_token(r.payload, trace_token)))
+        continue;
+      ++rows;
+      out << "- seq " << r.seq << " **" << r.kind << "** " << r.payload
+          << "\n";
+    }
+    if (rows == 0) out << "none\n";
+  }
   return out.str();
 }
 

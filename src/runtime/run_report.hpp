@@ -67,4 +67,16 @@ struct RunReportOptions {
     const std::filesystem::path& dir,
     RunReportOptions options = RunReportOptions{});
 
+/// Render one job's causal story (Markdown): its jobs.csv row, every
+/// flight-recorder event attributable to it (admit/start/finish/crash/
+/// requeue/fail on the `job` stream, claw/regrant/shift on `redist`,
+/// brownout claws on `mode`), the `journal` stream's recovery/gap events,
+/// and — when journal.clipj sits in the record directory — every journal
+/// record carrying the job's index. Attribution uses the job's trace id
+/// when the record was written with tracing on (QueueOptions::trace),
+/// falling back to app-name matching for untraced records. `clipctl
+/// report --job N` prints this.
+[[nodiscard]] std::string render_job_story(const std::filesystem::path& dir,
+                                           std::size_t job_index);
+
 }  // namespace clip::runtime

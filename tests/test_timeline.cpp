@@ -199,6 +199,83 @@ TEST(Timeline, CsvRoundTripsByteIdentically) {
   std::filesystem::remove(p2);
 }
 
+TEST(Timeline, EventStreamCsvRoundTripAcrossStreams) {
+  // Event streams alone (no sample series at all) must round-trip through
+  // the CSV export byte-identically, including empty labels, duplicate
+  // timestamps, and a stream name shared with a sample series.
+  obs::Timeline tl;
+  tl.event("job", 0.0, "admit A");
+  tl.event("job", 0.0, "admit B");  // same instant, insertion order kept
+  tl.event("job", 2.5, "");         // empty label survives
+  tl.event("mode", 1.0, "enter METER_BLACKOUT");
+  tl.event("mode", 4.0, "exit METER_BLACKOUT");
+  tl.record("mode", 1.0, 1.0);  // samples and events may share a name
+
+  const auto p1 = temp_path("tl_ev1");
+  const auto p2 = temp_path("tl_ev2");
+  tl.write_csv(p1);
+  obs::Timeline loaded;
+  loaded.load_csv(p1);
+  loaded.write_csv(p2);
+  EXPECT_EQ(slurp(p1), slurp(p2));
+
+  const auto job = loaded.events("job");
+  ASSERT_EQ(job.size(), 3u);
+  EXPECT_EQ(job[0].label, "admit A");
+  EXPECT_EQ(job[1].label, "admit B");
+  EXPECT_EQ(job[2].label, "");
+  EXPECT_EQ(loaded.events("mode").size(), 2u);
+  EXPECT_EQ(loaded.samples("mode").size(), 1u);
+  // The string form matches the file form exactly (journal snapshots embed
+  // timelines via to_csv_string, so the two paths must agree).
+  EXPECT_EQ(tl.to_csv_string(), slurp(p1));
+  std::filesystem::remove(p1);
+  std::filesystem::remove(p2);
+}
+
+TEST(Timeline, IntegralWindowBoundaryEdgeCases) {
+  obs::Timeline tl;
+  tl.record("p", 1.0, 100.0);
+  tl.record("p", 3.0, 50.0);
+
+  // Window edges exactly on sample instants: [1,3] is the 100 W stretch.
+  EXPECT_DOUBLE_EQ(tl.integral("p", 1.0, 3.0), 200.0);
+  // Entirely before the first sample: contributes zero.
+  EXPECT_DOUBLE_EQ(tl.integral("p", 0.0, 1.0), 0.0);
+  // Entirely after the last sample: the final value holds.
+  EXPECT_DOUBLE_EQ(tl.integral("p", 5.0, 7.0), 100.0);
+  // Zero-width windows integrate to zero, wherever they sit.
+  EXPECT_DOUBLE_EQ(tl.integral("p", 2.0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(tl.integral("p", 3.0, 3.0), 0.0);
+  // Window splitting a segment takes only its share.
+  EXPECT_DOUBLE_EQ(tl.integral("p", 2.0, 3.5), 100.0 + 25.0);
+  // Inverted windows are caller bugs.
+  EXPECT_THROW((void)tl.integral("p", 3.0, 1.0), PreconditionError);
+  // Unknown series: zero, not a throw (summaries over sparse runs).
+  EXPECT_DOUBLE_EQ(tl.integral("nope", 0.0, 10.0), 0.0);
+}
+
+TEST(Timeline, TimeAboveWindowBoundaryEdgeCases) {
+  obs::Timeline tl;
+  tl.record("p", 1.0, 100.0);
+  tl.record("p", 3.0, 50.0);
+
+  // Strictly-above: a threshold equal to the plateau counts nothing.
+  EXPECT_DOUBLE_EQ(tl.time_above("p", 100.0, 0.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(tl.time_above("p", 99.999, 0.0, 10.0), 2.0);
+  // Window edge exactly on the downward step excludes the later segment.
+  EXPECT_DOUBLE_EQ(tl.time_above("p", 75.0, 1.0, 3.0), 2.0);
+  // Window clipped inside one segment.
+  EXPECT_DOUBLE_EQ(tl.time_above("p", 75.0, 2.0, 3.5), 1.0);
+  // Before the first sample nothing is above anything.
+  EXPECT_DOUBLE_EQ(tl.time_above("p", 0.0, 0.0, 1.0), 0.0);
+  // The last value holds to the window end.
+  EXPECT_DOUBLE_EQ(tl.time_above("p", 25.0, 5.0, 8.0), 3.0);
+  // Zero-width window.
+  EXPECT_DOUBLE_EQ(tl.time_above("p", 25.0, 2.0, 2.0), 0.0);
+  EXPECT_THROW((void)tl.time_above("p", 0.0, 2.0, 1.0), PreconditionError);
+}
+
 TEST(Timeline, LoadCsvRejectsMalformedInput) {
   const auto p = temp_path("tl_bad");
   {
@@ -495,6 +572,75 @@ TEST(Prometheus, SanitizesHostileMetricNames) {
   const std::string text = reg.render_prometheus();
   EXPECT_NE(text.find("# TYPE _9lives_of_a_cat counter\n_9lives_of_a_cat 1\n"),
             std::string::npos);
+}
+
+TEST(Prometheus, EmitsHelpBeforeTypeForEveryFamily) {
+  obs::MetricsRegistry reg;
+  reg.counter("sim.runs").add(1);
+  reg.gauge("queue.free_w").set(2.0);
+  reg.histogram("queue.job_wait_s", obs::HistogramSpec{{1.0}}).record(0.5);
+  const std::string text = reg.render_prometheus();
+
+  // Each family opens with a HELP line naming the dotted registry source,
+  // immediately followed by its TYPE line.
+  EXPECT_NE(text.find("# HELP sim_runs clip counter sim.runs\n"
+                      "# TYPE sim_runs counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# HELP queue_free_w clip gauge queue.free_w\n"
+                      "# TYPE queue_free_w gauge\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("# HELP queue_job_wait_s clip histogram queue.job_wait_s\n"
+                "# TYPE queue_job_wait_s histogram\n"),
+      std::string::npos);
+
+  // Exactly one HELP per TYPE: three families, three pairs.
+  std::size_t help = 0, type = 0;
+  for (std::size_t p = text.find("# HELP"); p != std::string::npos;
+       p = text.find("# HELP", p + 1))
+    ++help;
+  for (std::size_t p = text.find("# TYPE"); p != std::string::npos;
+       p = text.find("# TYPE", p + 1))
+    ++type;
+  EXPECT_EQ(help, 3u);
+  EXPECT_EQ(type, 3u);
+}
+
+TEST(Prometheus, DeduplicatesCollidingSanitizedNames) {
+  // Sanitizing is lossy: all three registry names map to `queue_depth`.
+  // Duplicate families are an invalid exposition, so later families take
+  // deterministic _2/_3 suffixes (counters render before gauges; within a
+  // kind, sorted registry-name order: '.' < '_').
+  obs::MetricsRegistry reg;
+  reg.counter("queue.depth").add(1);
+  reg.counter("queue_depth").add(2);
+  reg.gauge("queue-depth").set(3.0);
+  const std::string text = reg.render_prometheus();
+  EXPECT_NE(text.find("# TYPE queue_depth counter\nqueue_depth 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE queue_depth_2 counter\nqueue_depth_2 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE queue_depth_3 gauge\nqueue_depth_3 3\n"),
+            std::string::npos);
+  // HELP preserves the original dotted names, so each scraped family can
+  // be traced back to its registry series.
+  EXPECT_NE(text.find("# HELP queue_depth_2 clip counter queue_depth\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# HELP queue_depth_3 clip gauge queue-depth\n"),
+            std::string::npos);
+}
+
+TEST(Prometheus, DedupSuffixNeverStealsALaterFamilyName) {
+  // `a.b` collides with `a_b`; the de-dup suffix for `a_b` must skip
+  // `a_b_2` because a real family of that name renders later.
+  obs::MetricsRegistry reg;
+  reg.counter("a.b").add(1);
+  reg.counter("a_b").add(2);
+  reg.counter("a_b_2").add(3);
+  const std::string text = reg.render_prometheus();
+  EXPECT_NE(text.find("# TYPE a_b counter\na_b 1\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE a_b_3 counter\na_b_3 2\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE a_b_2 counter\na_b_2 3\n"), std::string::npos);
 }
 
 TEST(Histogram, BucketCountsIncludeOverflow) {

@@ -1,24 +1,34 @@
 #!/usr/bin/env sh
-# clip-lint driver: build the analyzer and self-scan src/, examples/ and
-# bench/. Exit 0 = zero unsuppressed findings (suppressions with reasons are
-# fine), 1 = violations, 2 = build/usage error. The JSON report (default
-# build/lint_report.json) records per-rule counts and the suppression total
-# so reviews can watch it trend — see docs/static-analysis.md.
+# clip-analyze driver (binary: clip-lint): build the analyzer and scan the
+# whole tree — src/, examples/, bench/, tests/ and the analyzer's own
+# sources (tests/lint_fixtures/ are deliberately-violating lint inputs and
+# are excluded). Exit 0 = zero unsuppressed findings (suppressions with
+# reasons are fine), 1 = violations, 2 = build/usage error. The JSON report
+# (default build/lint_report.json) records per-rule counts and the
+# suppression total so reviews can watch it trend; the SARIF 2.1.0 report
+# (default build/lint_report.sarif) is what code-review UIs ingest — see
+# docs/static-analysis.md.
 #
-# Usage: scripts/lint.sh [--json PATH] [extra clip-lint args...]
+# Usage: scripts/lint.sh [--json PATH] [--sarif PATH] [extra clip-lint args...]
 #
 # Environment:
-#   BUILD_DIR  cmake build tree holding (or receiving) the clip-lint target
-#              (default: build)
+#   BUILD_DIR   cmake build tree holding (or receiving) the clip-lint target
+#               (default: build)
+#   LINT_CACHE  incremental result cache path (default:
+#               $BUILD_DIR/lint_cache.txt); set empty to scan cold
 set -eu
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
 JSON_OUT="$BUILD_DIR/lint_report.json"
-if [ "${1:-}" = "--json" ] && [ $# -ge 2 ]; then
-  JSON_OUT=$2
-  shift 2
-fi
+SARIF_OUT="$BUILD_DIR/lint_report.sarif"
+while [ $# -ge 2 ]; do
+  case "$1" in
+    --json) JSON_OUT=$2; shift 2 ;;
+    --sarif) SARIF_OUT=$2; shift 2 ;;
+    *) break ;;
+  esac
+done
 
 LINT_BIN="$BUILD_DIR/tools/clip-lint/clip-lint"
 if [ ! -x "$LINT_BIN" ]; then
@@ -27,8 +37,15 @@ if [ ! -x "$LINT_BIN" ]; then
   cmake --build "$BUILD_DIR" --target clip-lint -j "$(nproc)" >/dev/null
 fi
 
-"$LINT_BIN" --root . --json "$JSON_OUT" "$@" src examples bench
-echo "lint: report written to $JSON_OUT" >&2
+CACHE="${LINT_CACHE-$BUILD_DIR/lint_cache.txt}"
+set -- --root . --json "$JSON_OUT" --sarif "$SARIF_OUT" \
+  --exclude tests/lint_fixtures "$@"
+if [ -n "$CACHE" ]; then
+  set -- --cache "$CACHE" "$@"
+fi
+
+"$LINT_BIN" "$@" src examples bench tests tools/clip-lint
+echo "lint: reports written to $JSON_OUT and $SARIF_OUT" >&2
 
 # Observability doc drift: every series/metric/span/event name emitted in
 # src/ must be documented in docs/observability.md.

@@ -403,6 +403,71 @@ if [ "$selftest" -eq 1 ]; then
     fi
     grep -q '"suppressed": 1' "$tmp/lint.json" \
       || { echo "selftest: lint JSON must count suppressions" >&2; exit 1; }
+
+    # Flow-sensitive families: J1 (unjournaled mutation), L1 (unlocked
+    # write), E1 (discarded fallible result) on minimal directive-carrying
+    # fixtures, and the project-level J2 pair (producer + registry).
+    printf '// clip-lint: journaled(state_)\nstruct Q {\n  void hit() { state_ = 1; }\n  int state_;\n};\n' \
+      > "$tmp/j1.cpp"
+    if "$lint_bin" --quiet --json "$tmp/lint.json" "$tmp/j1.cpp" 2>/dev/null; then
+      echo "selftest: an unjournaled mutation must exit 1" >&2; exit 1
+    fi
+    grep -q '"rule": "J1"' "$tmp/lint.json" \
+      || { echo "selftest: J1 finding missing from JSON" >&2; exit 1; }
+    printf '// clip-lint: guards(mu_: v_)\nstruct S {\n  void w() { v_ = 1; }\n  int v_;\n};\n' \
+      > "$tmp/l1.cpp"
+    if "$lint_bin" --quiet --json "$tmp/lint.json" "$tmp/l1.cpp" 2>/dev/null; then
+      echo "selftest: an unlocked guarded write must exit 1" >&2; exit 1
+    fi
+    grep -q '"rule": "L1"' "$tmp/lint.json" \
+      || { echo "selftest: L1 finding missing from JSON" >&2; exit 1; }
+    printf '// clip-lint: fallible(load)\nvoid f() { load(1); }\n' \
+      > "$tmp/e1.cpp"
+    if "$lint_bin" --quiet --json "$tmp/lint.json" "$tmp/e1.cpp" 2>/dev/null; then
+      echo "selftest: a discarded fallible result must exit 1" >&2; exit 1
+    fi
+    grep -q '"rule": "E1"' "$tmp/lint.json" \
+      || { echo "selftest: E1 finding missing from JSON" >&2; exit 1; }
+    printf 'void f() { jlog("alpha", "p"); jlog("rogue", "p"); }\n' \
+      > "$tmp/j2_prod.cpp"
+    printf '#include <string>\n#include <vector>\nconst std::vector<std::string>& known_record_kinds() {\n  static const std::vector<std::string> k = {"alpha"};\n  return k;\n}\n' \
+      > "$tmp/j2_reg.cpp"
+    if "$lint_bin" --quiet --json "$tmp/lint.json" "$tmp/j2_prod.cpp" "$tmp/j2_reg.cpp" 2>/dev/null; then
+      echo "selftest: an unregistered journal kind must exit 1" >&2; exit 1
+    fi
+    grep -q '"rule": "J2"' "$tmp/lint.json" \
+      || { echo "selftest: J2 finding missing from JSON" >&2; exit 1; }
+    grep -q 'rogue' "$tmp/lint.json" \
+      || { echo "selftest: J2 must name the rogue kind" >&2; exit 1; }
+    if ! "$lint_bin" --quiet "$tmp/j2_prod.cpp"; then
+      echo "selftest: J2 must stay silent without a registry in the scan" >&2; exit 1
+    fi
+
+    # SARIF output: schema header, driver name, and an inSource suppression.
+    if ! "$lint_bin" --quiet --sarif "$tmp/lint.sarif" "$tmp/reasoned.cpp"; then
+      echo "selftest: SARIF run on the reasoned fixture must exit 0" >&2; exit 1
+    fi
+    grep -q '"version": "2.1.0"' "$tmp/lint.sarif" \
+      || { echo "selftest: SARIF must declare version 2.1.0" >&2; exit 1; }
+    grep -q '"name": "clip-analyze"' "$tmp/lint.sarif" \
+      || { echo "selftest: SARIF must name the clip-analyze driver" >&2; exit 1; }
+    grep -q '"kind": "inSource"' "$tmp/lint.sarif" \
+      || { echo "selftest: SARIF must carry in-source suppressions" >&2; exit 1; }
+
+    # The incremental cache must be a pure accelerator: warm findings
+    # byte-identical to cold, and --changed must refuse to run cold.
+    rm -f "$tmp/lint.cache"
+    "$lint_bin" --quiet --cache "$tmp/lint.cache" --json "$tmp/cold.json" \
+      "$tmp/reasoned.cpp" "$tmp/clean.hpp" \
+      || { echo "selftest: cold cached scan must exit 0" >&2; exit 1; }
+    "$lint_bin" --quiet --cache "$tmp/lint.cache" --json "$tmp/warm.json" \
+      "$tmp/reasoned.cpp" "$tmp/clean.hpp" \
+      || { echo "selftest: warm cached scan must exit 0" >&2; exit 1; }
+    cmp -s "$tmp/cold.json" "$tmp/warm.json" \
+      || { echo "selftest: warm cache changed the report" >&2; exit 1; }
+    if "$lint_bin" --quiet --changed "$tmp/reasoned.cpp" 2>/dev/null; then
+      echo "selftest: --changed without a cache must exit 2" >&2; exit 1
+    fi
     echo "selftest: clip-lint exit codes ok" >&2
   else
     echo "selftest: clip-lint not built ($lint_bin), lint checks skipped" >&2

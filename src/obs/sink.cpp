@@ -1,5 +1,9 @@
 #include "obs/sink.hpp"
 
+// MemorySink collects from whatever thread emits spans/counters; storage
+// mutates only under mu_ (clip-analyze L1 enforces the write side).
+// clip-lint: guards(mu_: spans_, counters_)
+
 #include "obs/chrome_trace.hpp"
 #include "util/check.hpp"
 

@@ -1,5 +1,10 @@
 #include "obs/telemetry_server.hpp"
 
+// The status snapshot is pushed by the queue thread and served by the
+// accept thread; every touch goes through mu_ (clip-analyze L1 enforces
+// the write side).
+// clip-lint: guards(mu_: snapshot_)
+
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>

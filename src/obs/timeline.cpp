@@ -1,5 +1,10 @@
 #include "obs/timeline.hpp"
 
+// The flight recorder is fed by the simulator thread and tailed by the
+// telemetry server thread; sample/event storage and the ring-drop counter
+// mutate only under mu_ (clip-analyze L1 enforces the write side).
+// clip-lint: guards(mu_: samples_, events_, dropped_)
+
 #include <algorithm>
 #include <charconv>
 #include <cmath>

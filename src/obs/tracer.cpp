@@ -1,5 +1,8 @@
 #include "obs/tracer.hpp"
 
+// The thread-index table is the tracer's only cross-thread mutable state.
+// clip-lint: guards(mu_: thread_indices_)
+
 #include "obs/session.hpp"
 #include "obs/timeline.hpp"
 

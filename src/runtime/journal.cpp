@@ -1,5 +1,6 @@
 #include "runtime/journal.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cstdio>
 #include <cstdlib>
@@ -196,6 +197,21 @@ JournalLoadResult Journal::load(const std::filesystem::path& path) {
   return result;
 }
 
+const std::vector<std::string>& known_record_kinds() {
+  // One entry per jlog/append_or_verify producer in runtime/queue.cpp, in
+  // lifecycle order. clip-analyze's J2 pass diffs this list against the
+  // actual producer sites in both directions.
+  static const std::vector<std::string> kKinds = {
+      "begin",          "admit",         "launch",
+      "complete",       "fail",          "crash-requeue",
+      "guard-claw",     "enforce-scheduled",
+      "claw-scheduled", "claw-actuate",  "claw-dissolve",
+      "grant",          "grant-reject",  "shift",
+      "tick",           "mode",          "brownout-claw",
+      "snapshot",       "end"};
+  return kKinds;
+}
+
 std::string Journal::describe() const {
   std::map<std::string, std::size_t> kinds;
   for (const auto& r : records_) ++kinds[r.kind];
@@ -203,8 +219,13 @@ std::string Journal::describe() const {
   os << kHeader << ": " << records_.size() << " records";
   const auto snap = kinds.find(std::string(kSnapshotKind));
   os << " (" << (snap != kinds.end() ? snap->second : 0) << " snapshots)\n";
-  for (const auto& [kind, n] : kinds)
-    os << "  " << kind << ": " << n << '\n';
+  const auto& known = known_record_kinds();
+  for (const auto& [kind, n] : kinds) {
+    os << "  " << kind << ": " << n;
+    if (std::find(known.begin(), known.end(), kind) == known.end())
+      os << " (unregistered)";
+    os << '\n';
+  }
   return os.str();
 }
 

@@ -92,13 +92,22 @@ class Journal {
   JournalLoadResult load(const std::filesystem::path& path);
 
   /// Human-oriented summary: record/snapshot counts and per-kind totals,
-  /// one line each — `clipctl journal` prints this.
+  /// one line each — `clipctl journal` prints this. Kinds missing from
+  /// known_record_kinds() are marked "(unregistered)".
   [[nodiscard]] std::string describe() const;
 
  private:
   JournalOptions options_;
   std::vector<JournalRecord> records_;
 };
+
+/// The closed set of record kinds the event loop produces and recovery
+/// replays. This is the registry clip-analyze's J2 rule checks both ways:
+/// a jlog/append_or_verify site with a kind not listed here is a finding
+/// (the new record type would silently skip recovery/describe coverage),
+/// and a listed kind with no producer is a finding (dead registry arm).
+/// append() itself stays permissive — tests exercise synthetic kinds.
+[[nodiscard]] const std::vector<std::string>& known_record_kinds();
 
 /// CRC-32 (IEEE 802.3) of `data` — the per-record checksum.
 [[nodiscard]] std::uint32_t crc32(std::string_view data);

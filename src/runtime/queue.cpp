@@ -12,6 +12,12 @@
 #include "util/check.hpp"
 #include "util/strings.hpp"
 
+// The event loop's journaled state: every mutation of these fields must
+// reach the journal on some intra-file path, or a crash between the
+// mutation and the next record makes recovery diverge. clip-analyze's J1
+// rule enforces the pairing function-by-function.
+// clip-lint: journaled(state_, attempts_, eligible_s_, node_busy_, enforcement_pending_, enforcements_, retry_wakeups_, pending_claws_, running_, mode_, effective_budget_)
+
 namespace clip::runtime {
 
 namespace {
@@ -193,6 +199,7 @@ QueueEventLoop::QueueEventLoop(sim::SimExecutor& executor,
                      ") exceeds the cluster's " +
                      std::to_string(total_nodes_) + " nodes");
   report_.jobs.resize(jobs_.size());
+  // clip-lint: allow(J1) constructor pre-init: the "begin"+"admit" records written by run_fresh() re-derive this exact state, so nothing existed to lose yet
   state_.assign(jobs_.size(), State::kPending);
   attempts_.assign(jobs_.size(), 0);
   eligible_s_.assign(jobs_.size(), 0.0);
@@ -1588,6 +1595,7 @@ void QueueEventLoop::restore_state(const std::string& payload) {
   const std::map<std::string, std::string> m = parse_tokens(payload);
   init_done_ = parse_int(tok(m, "init"), "init flag") != 0;
   now_ = parse_double(tok(m, "now"), "now");
+  // clip-lint: allow(J1) restore_state is the journal's inverse: it rebuilds state FROM a snapshot record during recover(), so journaling here would recurse
   mode_ = static_cast<DegradedMode>(parse_int(tok(m, "mode"), "mode"));
   effective_budget_ = parse_double(tok(m, "ebud"), "effective budget");
   applied_factor_ = parse_double(tok(m, "factor"), "budget factor");

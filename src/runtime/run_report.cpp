@@ -13,6 +13,11 @@
 #include "util/csv.hpp"
 #include "util/strings.hpp"
 
+// Journal::load salvages torn tails and reports the gap; a report that
+// ignores that result would silently present a truncated record stream as
+// complete, so E1 tracks it here.
+// clip-lint: fallible(load)
+
 namespace clip::runtime {
 
 namespace {
@@ -553,8 +558,11 @@ std::string render_job_story(const std::filesystem::path& dir,
   const auto journal_path = dir / RunRecordFiles::kJournal;
   if (std::filesystem::exists(journal_path)) {
     Journal journal;
-    (void)journal.load(journal_path);
+    const JournalLoadResult loaded = journal.load(journal_path);
     out << "\n## Journal records\n\n";
+    if (loaded.salvaged)
+      out << "- **salvaged**: dropped " << loaded.dropped_lines
+          << " corrupt tail line(s) — " << loaded.gap << "\n";
     const std::string job_token = "job=" + std::to_string(job_index);
     std::size_t rows = 0;
     for (const auto& r : journal.records()) {

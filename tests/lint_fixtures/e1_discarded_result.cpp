@@ -1,0 +1,27 @@
+// E1 fixture: results of fallible calls must be consumed (or cast to void
+// with a reason, or covered by a try block that handles the throw path).
+// clip-lint: fallible(load, persist)
+
+struct Store {
+  void ignores_everything() {
+    db.load("state.csv");
+    persist("state.csv");
+  }
+
+  bool consumes_properly() {
+    if (db.load("state.csv")) return persist("a");
+    const bool ok = persist("b");
+    (void)persist("c");
+    return ok;
+  }
+
+  void guarded_by_try() {
+    try {
+      db.load("state.csv");
+    } catch (...) {
+    }
+  }
+
+  bool persist(const char* path);
+  Db db;
+};

@@ -1,0 +1,28 @@
+// J1 fixture: every mutation of journaled state must reach an append.
+// clip-lint: journaled(state_, attempts_)
+#include <vector>
+
+struct Loop {
+  void bare_mutation(int i) {
+    state_[i] = 2;
+    attempts_[i] += 1;
+  }
+
+  void journaled_mutation(int i) {
+    state_[i] = 3;
+    journal_.append("launch", "payload");
+  }
+
+  void log_complete() { journal_.append("complete", "payload"); }
+
+  void mutation_via_helper(int i) {
+    attempts_[i] = 0;
+    log_complete();
+  }
+
+  int reader(int i) const { return state_[i]; }
+
+  std::vector<int> state_;
+  std::vector<int> attempts_;
+  Journal journal_;
+};

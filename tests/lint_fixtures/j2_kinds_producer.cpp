@@ -1,0 +1,10 @@
+// J2 fixture (producer half): every jlog/append_or_verify kind must be
+// registered; "rogue" deliberately is not.
+struct Emitter {
+  void fire() {
+    jlog("alpha", "payload");
+    jlog("beta", "payload");
+    jlog("rogue", "payload");
+  }
+  void verify() { append_or_verify("alpha", "payload"); }
+};

@@ -1,0 +1,13 @@
+// J2 fixture (registry half): the closed record-kind set; "ghost" has no
+// producer in the paired fixture.
+#include <string>
+#include <vector>
+
+const std::vector<std::string>& known_record_kinds() {
+  static const std::vector<std::string> kKinds = {
+      "alpha",
+      "beta",
+      "ghost",
+  };
+  return kKinds;
+}

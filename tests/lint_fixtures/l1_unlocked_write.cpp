@@ -1,0 +1,30 @@
+// L1 fixture: guarded fields must be written under their mutex.
+// clip-lint: guards(mu_: table_, count_)
+#include <mutex>
+
+struct Registry {
+  void locked_write(int v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    table_ = v;
+    count_ += 1;
+  }
+
+  void unlocked_write(int v) {
+    table_ = v;
+    count_++;
+  }
+
+  void scope_ends_early(int v) {
+    {
+      std::lock_guard lock(mu_);
+      table_ = v;
+    }
+    count_ = 0;
+  }
+
+  int read() const { return table_; }
+
+  std::mutex mu_;
+  int table_;
+  int count_;
+};

@@ -1,0 +1,26 @@
+// L2 fixture: two functions taking two tracked mutexes in opposite orders
+// form a lock-order cycle (the labels are what cross-TU matching keys on).
+// clip-lint: guards(a_mu_@fixture_a: x_)
+// clip-lint: guards(b_mu_@fixture_b: y_)
+#include <mutex>
+
+struct Pair {
+  void forward() {
+    std::lock_guard<std::mutex> la(a_mu_);
+    std::lock_guard<std::mutex> lb(b_mu_);
+    x_ = 1;
+    y_ = 2;
+  }
+
+  void backward() {
+    std::lock_guard<std::mutex> lb(b_mu_);
+    std::lock_guard<std::mutex> la(a_mu_);
+    y_ = 3;
+    x_ = 4;
+  }
+
+  std::mutex a_mu_;
+  std::mutex b_mu_;
+  int x_;
+  int y_;
+};

@@ -319,6 +319,7 @@ std::string serialize(const runtime::ComparisonResult& r) {
   std::ostringstream os;
   for (const auto& c : r.cells) {
     char row[128];
+    // clip-lint: allow(D3) %.17g is the full round-trip precision; this fingerprint reference must match the bench CSV bytes
     std::snprintf(row, sizeof(row), "%.17g,%.17g,%.17g\n", c.budget_w,
                   c.time_s, c.relative_performance);
     os << c.app << ',' << c.parameters << ',' << c.method << ',' << row;

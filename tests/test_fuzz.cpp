@@ -4,6 +4,7 @@
 // calibrated catalog.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <optional>
 #include <sstream>
@@ -12,6 +13,7 @@
 #include "core/scheduler.hpp"
 #include "fault/injector.hpp"
 #include "fault/plan.hpp"
+#include "lint.hpp"
 #include "runtime/journal.hpp"
 #include "runtime/queue.hpp"
 #include "sim/executor.hpp"
@@ -353,6 +355,72 @@ TEST_P(ControllerSweep, ThroughputBoundedAndMonotone) {
   const auto looser = controller.simulate(
       w, 24, parallel::AffinityPolicy::kScatter, 68.0, Watts(cap + 15.0));
   EXPECT_GE(looser.throughput, trace.throughput - 0.02);
+}
+
+// ----------------------------------------------- static-analyzer fuzz ----
+//
+// clip-analyze runs over every source file in CI, so its lexer, directive
+// parser, function-span detector and flow engine must survive arbitrary
+// byte soup: unterminated strings/comments, unbalanced braces, truncated
+// directives, init-list lookalikes. The property is "never crash, never
+// hang, always deterministic" — the exact findings on garbage are
+// unspecified but must be well-formed and stable across runs.
+
+class LintFuzz : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Soup, LintFuzz, ::testing::Range(0, 64));
+
+TEST_P(LintFuzz, AnalyzerNeverChokesOnTokenSoup) {
+  static const char* const kPieces[] = {
+      "{", "}", "(", ")", "[", "]", ";", ":", "::", "->", ".", ",", "<",
+      ">", "=", "+", "-", "*", "&", "|", "==", "&&", "#", "\"lit\"", "'c'",
+      "\"unterminated", "/* unterminated", "//", "\\", "0x1f", "12.5",
+      "try", "catch", "if", "for", "while", "operator", "noexcept",
+      "return", "struct", "const", "static", "else", "do",
+      "lock_guard", "scoped_lock", "unique_lock", "lock", "mu_",
+      "jlog", "append_or_verify", "known_record_kinds", "journal_",
+      "append", "load", "state_", "x_",
+      "// clip-lint: journaled(state_, x_)",
+      "// clip-lint: guards(mu_: state_)",
+      "// clip-lint: guards(mu_@label: x_)",
+      "// clip-lint: fallible(load)",
+      "// clip-lint: allow(J1) reason",
+      "// clip-lint: allow(",
+      "// clip-lint: guards(",
+      "// clip-lint:",
+      "#include <mutex>",
+  };
+  constexpr std::size_t kVocab = sizeof(kPieces) / sizeof(kPieces[0]);
+
+  Rng rng(0x11A7F022u + static_cast<std::uint64_t>(GetParam()));
+  std::string src;
+  const int pieces = static_cast<int>(rng.uniform_int(1, 400));
+  for (int i = 0; i < pieces; ++i) {
+    src += kPieces[rng.uniform_int(0, static_cast<std::int64_t>(kVocab) - 1)];
+    const double sep = rng.uniform();
+    src += sep < 0.70 ? " " : (sep < 0.95 ? "\n" : "");
+  }
+  // Half the cases additionally truncate mid-byte, modeling a torn read.
+  if (rng.uniform() < 0.5 && !src.empty())
+    src.resize(static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(src.size()) - 1)));
+
+  const lint::FileResult a = lint::analyze_source(src, "soup.cpp");
+  const lint::FileResult b = lint::analyze_source(src, "soup.cpp");
+  ASSERT_EQ(a.findings.size(), b.findings.size()) << "non-deterministic";
+  const auto& rules = lint::known_rules();
+  for (std::size_t i = 0; i < a.findings.size(); ++i) {
+    EXPECT_EQ(a.findings[i].rule, b.findings[i].rule);
+    EXPECT_EQ(a.findings[i].line, b.findings[i].line);
+    EXPECT_EQ(a.findings[i].message, b.findings[i].message);
+    EXPECT_GE(a.findings[i].line, 0);
+    EXPECT_NE(std::find(rules.begin(), rules.end(), a.findings[i].rule),
+              rules.end())
+        << a.findings[i].rule;
+  }
+  // The project passes must also digest fuzzed facts without incident.
+  std::vector<lint::FileResult> files = {a};
+  (void)lint::project_rules(files);
 }
 
 }  // namespace

@@ -312,7 +312,7 @@ namespace {
 std::string format_exact_reference(double v) {
   char buf[40];
   for (int precision = 1; precision <= 17; ++precision) {
-    std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+    std::snprintf(buf, sizeof buf, "%.*g", precision, v);  // clip-lint: allow(D3) reference reimplementation of format_exact itself; pins the production rendering
     if (std::strtod(buf, nullptr) == v) break;
   }
   return buf;

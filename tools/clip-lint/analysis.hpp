@@ -1,0 +1,93 @@
+// Internal semantic layer for clip-analyze: token helpers, function-span
+// detection (scopes.cpp) and the reusable intra-procedural flow engine
+// (flow.cpp). Everything here works on the lexer's token stream only — no
+// type information — which is why each consumer documents exactly which
+// token shapes it recognizes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace clip::lint {
+
+using Tokens = std::vector<Token>;
+
+inline bool tok_is(const Tokens& t, std::size_t i, std::string_view text) {
+  return i < t.size() && t[i].text == text;
+}
+
+inline bool tok_ident(const Tokens& t, std::size_t i) {
+  return i < t.size() && t[i].kind == Token::Kind::kIdent;
+}
+
+/// Index of the `)` matching the `(` at (or after) `open`; t.size() when
+/// unbalanced. `open` may point at the `(` itself.
+std::size_t find_close_paren(const Tokens& t, std::size_t open);
+
+/// One function body in a file: `[body_begin, body_end]` are the token
+/// indexes of the outermost `{`/`}`. `name` is the last identifier of the
+/// declarator (`QueueEventLoop::try_start` -> "try_start"); operators are
+/// reported as "operator".
+struct FunctionSpan {
+  std::string name;
+  int line = 0;             ///< line of the opening brace
+  std::size_t body_begin = 0;
+  std::size_t body_end = 0;
+};
+
+/// Detect function bodies by classifying every top-level `{`: a brace
+/// preceded (after skipping cv/ref/noexcept/override/try qualifiers, a
+/// trailing return type, and a constructor init list) by a balanced
+/// parameter list `name(...)` opens a function; namespace/class/enum/array
+/// braces fall through as transparent containers. Nested braces inside a
+/// function body belong to that function. Unbalanced input never crashes —
+/// the last span simply ends at the final token.
+std::vector<FunctionSpan> find_functions(const Tokens& t);
+
+/// The flow engine generalized out of C1's forward token simulation: a
+/// per-token structural walk tracking brace depth, paren depth, try-block
+/// nesting, and named facts with three lifetimes —
+///   kScope  true until the enclosing brace closes (early-exit guards,
+///           assignments, lock_guard declarations)
+///   kBlock  true inside one `{ ... }` block (if (x) { ... })
+///   kStmt   true for a single statement (if (x) stmt;)
+/// Call step(i) for every token IN ORDER before reading state for that
+/// token; rule logic then adds facts/queries between steps.
+class ScopeSim {
+ public:
+  enum class FactKind { kScope, kBlock, kStmt };
+
+  explicit ScopeSim(const Tokens& t) : t_(&t) {}
+
+  void step(std::size_t i);
+
+  /// kScope at the current depth; kBlock at depth+1 (the block about to
+  /// open); kStmt at the current depth, auto-promoted when a block opens.
+  void add_fact(std::string name, FactKind kind);
+  [[nodiscard]] bool has_fact(std::string_view name) const;
+
+  [[nodiscard]] int brace() const { return brace_; }
+  [[nodiscard]] int paren() const { return paren_; }
+  [[nodiscard]] bool in_try() const { return !try_braces_.empty(); }
+
+ private:
+  struct Fact {
+    std::string name;
+    FactKind kind;
+    int depth = 0;  ///< brace depth the fact was created at
+    bool entered_block = false;
+  };
+
+  const Tokens* t_;
+  std::vector<Fact> facts_;
+  std::vector<int> try_braces_;
+  int brace_ = 0;
+  int paren_ = 0;
+  bool pending_try_ = false;
+};
+
+}  // namespace clip::lint

@@ -1,0 +1,229 @@
+// Incremental result cache for clip-analyze. One versioned text file maps
+// display path -> (FNV-1a 64 content hash, per-file findings, facts,
+// project-rule suppressions). A warm full-tree scan then costs one read +
+// one hash per file instead of a lex + nine rule passes; the project
+// passes (J2/L2) are recomputed from the cached facts every run, so they
+// never go stale. The header is salted with the rule list: adding or
+// renaming a rule invalidates every entry at once.
+//
+// The format is line-based and deterministic (sorted by path, no
+// timestamps — the tool obeys its own D1). A missing, truncated, or
+// foreign-version file loads as empty; the cache is a pure accelerator and
+// must never change findings, which the fixture suite asserts.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "lint.hpp"
+
+namespace clip::lint {
+
+namespace {
+
+constexpr std::string_view kMagic = "clip-lint-cache v1";
+
+std::string rules_salt() {
+  std::string salt;
+  for (const std::string& r : known_rules()) salt += r + ",";
+  return salt;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 >= s.size()) {
+      out += s[i];
+      continue;
+    }
+    ++i;
+    switch (s[i]) {
+      case '\\': out += '\\'; break;
+      case 't': out += '\t'; break;
+      case 'n': out += '\n'; break;
+      default: out += s[i];
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_tabs(const std::string& line) {
+  std::vector<std::string> out;
+  std::string field;
+  for (char c : line) {
+    if (c == '\t') {
+      out.push_back(field);
+      field.clear();
+    } else {
+      field += c;
+    }
+  }
+  out.push_back(field);
+  return out;
+}
+
+std::string join_rules(const std::vector<std::string>& rules) {
+  std::string out;
+  for (const std::string& r : rules) out += (out.empty() ? "" : ",") + r;
+  return out;
+}
+
+std::vector<std::string> split_rules(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t content_hash(std::string_view source) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a 64 offset basis
+  for (char c : source) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+bool ResultCache::load(const std::string& path) {
+  entries_.clear();
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  std::string line;
+  if (!std::getline(is, line) ||
+      line != std::string(kMagic) + " " + rules_salt())
+    return false;
+
+  Entry* current = nullptr;
+  std::string current_path;
+  try {
+  while (std::getline(is, line)) {
+    const std::vector<std::string> f = split_tabs(line);
+    if (f.empty()) continue;
+    if (f[0] == "file" && f.size() >= 3) {
+      current_path = unescape(f[1]);
+      Entry e;
+      e.hash = std::stoull(f[2], nullptr, 16);
+      e.result.path = current_path;
+      current = &entries_.emplace(current_path, std::move(e)).first->second;
+    } else if (current == nullptr) {
+      entries_.clear();
+      return false;
+    } else if (f[0] == "F" && f.size() >= 6) {
+      Finding fi;
+      fi.file = current_path;
+      fi.line = std::stoi(f[1]);
+      fi.rule = f[2];
+      fi.suppressed = f[3] == "1";
+      fi.reason = unescape(f[4]);
+      fi.message = unescape(f[5]);
+      current->result.findings.push_back(std::move(fi));
+    } else if (f[0] == "KP" && f.size() >= 3) {
+      current->result.facts.produced_kinds.push_back(
+          {unescape(f[2]), std::stoi(f[1])});
+    } else if (f[0] == "KR" && f.size() >= 3) {
+      current->result.facts.registered_kinds.push_back(
+          {unescape(f[2]), std::stoi(f[1])});
+    } else if (f[0] == "E" && f.size() >= 4) {
+      current->result.facts.lock_edges.push_back(
+          {unescape(f[2]), unescape(f[3]), std::stoi(f[1])});
+    } else if (f[0] == "S" && f.size() >= 7) {
+      Suppression sup;
+      sup.comment_line = std::stoi(f[1]);
+      sup.target_line = std::stoi(f[2]);
+      sup.file_scope = f[3] == "1";
+      sup.used = f[4] == "1";
+      sup.rules = split_rules(f[5]);
+      sup.reason = unescape(f[6]);
+      current->result.project_suppressions.push_back(std::move(sup));
+    }
+  }
+  } catch (const std::exception&) {  // stoi/stoull on a corrupt field
+    entries_.clear();
+    return false;
+  }
+  return true;
+}
+
+bool ResultCache::save(const std::string& path) const {
+  std::ostringstream os;
+  os << kMagic << " " << rules_salt() << "\n";
+  for (const auto& [p, e] : entries_) {
+    char hex[32];
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(e.hash));
+    os << "file\t" << escape(p) << "\t" << hex << "\n";
+    for (const Finding& fi : e.result.findings)
+      os << "F\t" << fi.line << "\t" << fi.rule << "\t"
+         << (fi.suppressed ? 1 : 0) << "\t" << escape(fi.reason) << "\t"
+         << escape(fi.message) << "\n";
+    for (const KindSite& k : e.result.facts.produced_kinds)
+      os << "KP\t" << k.line << "\t" << escape(k.kind) << "\n";
+    for (const KindSite& k : e.result.facts.registered_kinds)
+      os << "KR\t" << k.line << "\t" << escape(k.kind) << "\n";
+    for (const LockEdge& le : e.result.facts.lock_edges)
+      os << "E\t" << le.line << "\t" << escape(le.held) << "\t"
+         << escape(le.acquired) << "\n";
+    for (const Suppression& sup : e.result.project_suppressions)
+      os << "S\t" << sup.comment_line << "\t" << sup.target_line << "\t"
+         << (sup.file_scope ? 1 : 0) << "\t" << (sup.used ? 1 : 0) << "\t"
+         << join_rules(sup.rules) << "\t" << escape(sup.reason) << "\n";
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << os.str();
+  return static_cast<bool>(out);
+}
+
+const FileResult* ResultCache::find(const std::string& path,
+                                    std::uint64_t hash) const {
+  const auto it = entries_.find(path);
+  if (it == entries_.end() || it->second.hash != hash) return nullptr;
+  return &it->second.result;
+}
+
+const FileResult* ResultCache::find_any(const std::string& path) const {
+  const auto it = entries_.find(path);
+  return it == entries_.end() ? nullptr : &it->second.result;
+}
+
+void ResultCache::put(std::uint64_t hash, FileResult result) {
+  Entry e;
+  e.hash = hash;
+  std::string key = result.path;
+  e.result = std::move(result);
+  entries_[key] = std::move(e);
+}
+
+std::vector<std::string> ResultCache::paths() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [p, e] : entries_) out.push_back(p);
+  return out;
+}
+
+}  // namespace clip::lint

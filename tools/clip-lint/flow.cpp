@@ -1,0 +1,62 @@
+// ScopeSim — the intra-procedural flow engine. This is C1's forward token
+// simulation lifted out of the rule so J1/L1/E1 (and future families) share
+// one model of scope: facts are named truths ("hook_ is non-null", "mu_ is
+// held") whose lifetime is a scope, a block, or a statement. The erase
+// discipline is byte-for-byte the one the C1 fixtures pin:
+//   kScope/kBlock die when the brace that owns them closes,
+//   kStmt dies at the next top-level `;` — unless a block opened right
+//   after it, in which case it lives until that block closes.
+
+#include <algorithm>
+
+#include "analysis.hpp"
+
+namespace clip::lint {
+
+void ScopeSim::step(std::size_t i) {
+  const std::string& tx = (*t_)[i].text;
+  if (tx == "(") ++paren_;
+  if (tx == ")") --paren_;
+  if (tx == "try" && (*t_)[i].kind == Token::Kind::kIdent) pending_try_ = true;
+  if (tx == "{") {
+    ++brace_;
+    if (pending_try_) {
+      try_braces_.push_back(brace_);
+      pending_try_ = false;
+    }
+    for (Fact& fa : facts_)
+      if (fa.kind == FactKind::kStmt && brace_ == fa.depth + 1)
+        fa.entered_block = true;
+  }
+  if (tx == "}") {
+    if (!try_braces_.empty() && try_braces_.back() == brace_)
+      try_braces_.pop_back();
+    --brace_;
+    std::erase_if(facts_, [&](const Fact& fa) {
+      if (fa.kind == FactKind::kBlock || fa.kind == FactKind::kScope)
+        return brace_ < fa.depth;
+      return fa.entered_block && brace_ <= fa.depth;
+    });
+  }
+  if (tx == ";" && paren_ == 0) {
+    pending_try_ = false;
+    std::erase_if(facts_, [&](const Fact& fa) {
+      return fa.kind == FactKind::kStmt && brace_ == fa.depth;
+    });
+  }
+}
+
+void ScopeSim::add_fact(std::string name, FactKind kind) {
+  Fact fa;
+  fa.name = std::move(name);
+  fa.kind = kind;
+  fa.depth = (kind == FactKind::kBlock) ? brace_ + 1 : brace_;
+  facts_.push_back(std::move(fa));
+}
+
+bool ScopeSim::has_fact(std::string_view name) const {
+  return std::any_of(facts_.begin(), facts_.end(),
+                     [&](const Fact& fa) { return fa.name == name; });
+}
+
+}  // namespace clip::lint

@@ -21,42 +21,12 @@ bool ident_char(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
 }
 
-/// Parse one `clip-lint:` comment body. Returns false when the comment is
-/// not a clip-lint directive at all.
-bool parse_directive(std::string_view body, int line, LexedFile& out) {
-  const std::size_t tag = body.find("clip-lint:");
-  if (tag == std::string_view::npos) return false;
-  std::string_view rest = body.substr(tag + 10);
-  while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
-
-  Suppression sup;
-  sup.comment_line = line;
-  if (rest.rfind("allow-file(", 0) == 0) {
-    sup.file_scope = true;
-    rest.remove_prefix(11);
-  } else if (rest.rfind("allow(", 0) == 0) {
-    rest.remove_prefix(6);
-  } else {
-    out.lex_findings.push_back(
-        {out.path, line, "LINT",
-         "malformed clip-lint directive (expected allow(RULE) or "
-         "allow-file(RULE))",
-         false,
-         {}});
-    return true;
-  }
-
-  const std::size_t close = rest.find(')');
-  if (close == std::string_view::npos) {
-    out.lex_findings.push_back(
-        {out.path, line, "LINT", "unterminated allow(...) rule list", false,
-         {}});
-    return true;
-  }
-  std::string_view list = rest.substr(0, close);
+/// Split a `(`-terminated directive list on commas/spaces.
+std::vector<std::string> split_list(std::string_view list) {
+  std::vector<std::string> out;
   std::string current;
   auto flush = [&] {
-    if (!current.empty()) sup.rules.push_back(current);
+    if (!current.empty()) out.push_back(current);
     current.clear();
   };
   for (char c : list) {
@@ -67,6 +37,90 @@ bool parse_directive(std::string_view body, int line, LexedFile& out) {
     }
   }
   flush();
+  return out;
+}
+
+/// Parse one `clip-lint:` comment body. Returns false when the comment is
+/// not a clip-lint directive at all. A directive is ANCHORED: the comment
+/// body must start with `clip-lint:` after stripping whitespace — prose
+/// that merely mentions the tag (docs, the analyzer's own sources) is not a
+/// directive. Verbs: allow / allow-file (suppressions), journaled / guards /
+/// fallible (tracked-state declarations for J1, L1/L2, E1).
+bool parse_directive(std::string_view body, int line, LexedFile& out) {
+  std::string_view rest = body;
+  while (!rest.empty() &&
+         std::isspace(static_cast<unsigned char>(rest.front())))
+    rest.remove_prefix(1);
+  if (rest.rfind("clip-lint:", 0) != 0) return false;
+  rest.remove_prefix(10);
+  while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+
+  auto malformed = [&](const std::string& what) {
+    out.lex_findings.push_back({out.path, line, "LINT", what, false, {}});
+    return true;
+  };
+
+  std::string verb;
+  for (char c : rest) {
+    if (c == '(') break;
+    verb.push_back(c);
+  }
+  const bool known_verb = verb == "allow" || verb == "allow-file" ||
+                          verb == "journaled" || verb == "guards" ||
+                          verb == "fallible";
+  if (!known_verb || rest.size() <= verb.size() ||
+      rest[verb.size()] != '(') {
+    return malformed(
+        "malformed clip-lint directive (expected allow(RULE), "
+        "allow-file(RULE), journaled(FIELDS), guards(MUTEX: FIELDS) or "
+        "fallible(NAMES))");
+  }
+  rest.remove_prefix(verb.size() + 1);
+  const std::size_t close = rest.find(')');
+  if (close == std::string_view::npos)
+    return malformed("unterminated " + verb + "(...) list");
+  const std::string_view list = rest.substr(0, close);
+
+  if (verb == "journaled" || verb == "fallible") {
+    std::vector<std::string> names = split_list(list);
+    if (names.empty())
+      return malformed(verb + "() lists no names; declare the tracked " +
+                       (verb == "journaled" ? std::string("fields")
+                                            : std::string("calls")));
+    auto& into =
+        (verb == "journaled") ? out.journaled_fields : out.fallible_names;
+    into.insert(into.end(), names.begin(), names.end());
+    return true;
+  }
+
+  if (verb == "guards") {
+    const std::size_t colon = list.find(':');
+    if (colon == std::string_view::npos)
+      return malformed(
+          "guards() needs `mutex: field, field` (optionally mutex@label)");
+    GuardDecl decl;
+    decl.line = line;
+    std::string mutex(list.substr(0, colon));
+    while (!mutex.empty() && mutex.back() == ' ') mutex.pop_back();
+    while (!mutex.empty() && mutex.front() == ' ') mutex.erase(0, 1);
+    const std::size_t at = mutex.find('@');
+    if (at != std::string::npos) {
+      decl.label = mutex.substr(at + 1);
+      mutex.resize(at);
+    }
+    decl.mutex = mutex;
+    decl.fields = split_list(list.substr(colon + 1));
+    if (decl.mutex.empty() || decl.fields.empty())
+      return malformed(
+          "guards() needs `mutex: field, field` (optionally mutex@label)");
+    out.guards.push_back(std::move(decl));
+    return true;
+  }
+
+  Suppression sup;
+  sup.comment_line = line;
+  sup.file_scope = (verb == "allow-file");
+  sup.rules = split_list(list);
 
   std::string_view reason = rest.substr(close + 1);
   while (!reason.empty() &&

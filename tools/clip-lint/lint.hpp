@@ -1,14 +1,18 @@
-// clip-lint — project-specific static analysis for the CLIP reproduction.
+// clip-analyze (binary: clip-lint) — project-specific static analysis for
+// the CLIP reproduction.
 //
 // The invariants that keep the paper's Figs. 6–9 byte-reproducible are not
 // expressible in the type system: no wall-clock reads inside the simulator,
 // no iteration over hash-ordered containers in output paths, no
 // fixed-precision double formatting outside format_exact, seeded RNG only,
-// null-guarded observer hooks, and header hygiene. This tool encodes them as
-// named, suppressible rules over a token stream (a small lexer that strips
-// comments and strings — no libclang dependency), so CI can reject a
-// refactor that would silently break determinism instead of a human
-// noticing a figure drifted.
+// null-guarded observer hooks, and header hygiene. Since PR 8/9 the same
+// holds for crash-consistency and concurrency: every journaled state
+// mutation must reach the journal, guarded fields must be written under
+// their mutex, and fallible I/O results must be consumed. This tool encodes
+// all of it as named, suppressible rules over a token stream (a small lexer
+// that strips comments and strings — no libclang dependency) plus a
+// lightweight semantic layer: per-file function spans, a tracked-field
+// symbol index, and a reusable intra-procedural flow engine (ScopeSim).
 //
 // Rules (docs/static-analysis.md has the full catalog and rationale):
 //   D1  wall-clock reads outside src/obs/clock.hpp
@@ -19,14 +23,31 @@
 //       outside the clip::Rng wrapper
 //   C1  observer/timeline hook pointers dereferenced without a null guard
 //   H1  header hygiene: #pragma once / include guard, no `using namespace`
-//   LINT suppression hygiene: missing reason, unknown rule, unused entry
+//   J1  a function mutating `journaled(...)` state must journal (directly
+//       or via an intra-file callee) — crash-consistency coverage
+//   J2  every journal record kind produced must be registered in
+//       known_record_kinds() and vice versa (project-level)
+//   L1  writes to `guards(...)` fields outside a lock_guard/scoped_lock
+//   L2  lock-order cycles across tracked mutexes (project-level)
+//   E1  discarded result of a `fallible(...)` call
+//   LINT suppression/directive hygiene: missing reason, unknown rule,
+//       unused entry, malformed declaration
 //
-// Suppression syntax (the reason is mandatory and machine-checked):
-//   code();  // clip-lint: allow(D1) reason text          — this line
-//   // clip-lint: allow(D2,D3) reason text                — next code line
-//   // clip-lint: allow-file(D2) reason text              — whole file
+// Directive syntax (a comment whose body STARTS with `clip-lint:`; the
+// suppression reason is mandatory and machine-checked):
+//   code();  - clip-lint: allow(D1) reason text           = this line
+//   - clip-lint: allow(D2,D3) reason text                 = next code line
+//   - clip-lint: allow-file(D2) reason text               = whole file
+//   - clip-lint: journaled(state_, attempts_)             = J1 tracked fields
+//   - clip-lint: guards(mu_: snapshot_)                   = L1/L2 tracked lock
+//   - clip-lint: guards(mu_@obs_registry: counters_)      = cross-TU label
+//   - clip-lint: fallible(load, save)                     = E1 tracked calls
+// (written here with `-` in place of the comment slashes so the analyzer's
+// own self-scan does not read the examples as live directives)
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -50,6 +71,17 @@ struct Suppression {
   bool used = false;
 };
 
+/// One `clip-lint: guards(mu[@label]: f1, f2)` declaration: writes to the
+/// listed fields are only legal inside a lock_guard/scoped_lock over `mutex`.
+/// The optional label names the lock across translation units (two files
+/// annotating the same label share one node in the lock-order graph).
+struct GuardDecl {
+  int line = 0;
+  std::string mutex;
+  std::string label;  ///< empty = file-local node `path:mutex`
+  std::vector<std::string> fields;
+};
+
 struct Finding {
   std::string file;
   int line = 0;
@@ -59,31 +91,87 @@ struct Finding {
   std::string reason;  ///< suppression reason when suppressed
 };
 
-/// A lexed translation unit: token stream plus suppression table. Findings
-/// discovered during lexing (malformed suppressions) land in `lex_findings`.
+/// A lexed translation unit: token stream plus the directive tables. Findings
+/// discovered during lexing (malformed directives) land in `lex_findings`.
 struct LexedFile {
   std::string path;
   bool is_header = false;
   std::vector<Token> tokens;
   std::vector<Suppression> suppressions;
   std::vector<Finding> lex_findings;
+  std::vector<std::string> journaled_fields;  ///< J1 tracked state
+  std::vector<std::string> fallible_names;    ///< E1 tracked calls
+  std::vector<GuardDecl> guards;              ///< L1/L2 tracked locks
+};
+
+/// A journal record kind observed in source: produced at a jlog/
+/// append_or_verify call site, or registered inside known_record_kinds().
+struct KindSite {
+  std::string kind;
+  int line = 0;
+};
+
+/// One lock-order edge: `held` was active when `acquired` was taken. Node
+/// ids are already resolved (`@label` or `path:mutex`).
+struct LockEdge {
+  std::string held;
+  std::string acquired;
+  int line = 0;
+};
+
+/// Per-file facts the project-level passes (J2, L2) consume. Serialized
+/// into the result cache so unchanged files never re-lex.
+struct FileFacts {
+  std::vector<KindSite> produced_kinds;
+  std::vector<KindSite> registered_kinds;
+  std::vector<LockEdge> lock_edges;
+};
+
+/// analyze_source() output: per-file findings (suppressions applied, unused
+/// check done for per-file rules), facts for the project passes, and the
+/// suppressions that name project rules (applied by project_rules()).
+struct FileResult {
+  std::string path;
+  std::vector<Finding> findings;
+  FileFacts facts;
+  std::vector<Suppression> project_suppressions;
 };
 
 /// Every valid rule id, in report order.
 [[nodiscard]] const std::vector<std::string>& known_rules();
 
-/// Lex `source`, strip comments/strings, collect suppressions.
+/// True for rules that need the whole scanned set (J2, L2), not one file.
+[[nodiscard]] bool is_project_rule(std::string_view rule);
+
+/// One-line description per rule id (SARIF rule metadata).
+[[nodiscard]] std::string rule_description(const std::string& rule);
+
+/// Lex `source`, strip comments/strings, collect directives.
 [[nodiscard]] LexedFile lex(std::string_view source, std::string path);
 
-/// Run every rule pass over a lexed file. Marks matching suppressions used,
-/// then appends LINT findings for unused or malformed ones. The returned
-/// list includes suppressed findings (flagged as such) so reports can count
-/// them; CI gates only on the unsuppressed ones.
+/// Run every per-file rule pass over a lexed file. Marks matching
+/// suppressions used, then appends LINT findings for unused or malformed
+/// ones (suppressions naming a project rule are exempt from the unused
+/// check here — project_rules() owns them). The returned list includes
+/// suppressed findings (flagged as such) so reports can count them; CI
+/// gates only on the unsuppressed ones.
 [[nodiscard]] std::vector<Finding> run_rules(LexedFile& file);
 
 /// lex() + run_rules() in one call.
 [[nodiscard]] std::vector<Finding> lint_source(std::string_view source,
                                                std::string path);
+
+/// lex() + per-file rules + fact extraction, deferring project-rule
+/// suppressions to project_rules().
+[[nodiscard]] FileResult analyze_source(std::string_view source,
+                                        std::string path);
+
+/// Project-level passes over per-file facts: J2 bidirectional registry
+/// coverage and L2 lock-order cycle detection. Applies (and unused-checks)
+/// the deferred project suppressions. Returns only the project findings —
+/// they are never written into the per-file cache entries.
+[[nodiscard]] std::vector<Finding> project_rules(
+    std::vector<FileResult>& files);
 
 struct Summary {
   int files_scanned = 0;
@@ -103,5 +191,45 @@ struct Summary {
 /// Human-readable `file:line: RULE: message` lines, unsuppressed first.
 [[nodiscard]] std::string to_text(const std::vector<Finding>& findings,
                                   int files_scanned);
+
+/// SARIF 2.1.0 (deterministic, no timestamps): unsuppressed findings at
+/// level "error", suppressed ones carried with an inSource suppression and
+/// the reason as justification. Driver name: clip-analyze.
+[[nodiscard]] std::string to_sarif(const std::vector<Finding>& findings);
+
+/// FNV-1a 64 over the file bytes — the incremental-cache key.
+[[nodiscard]] std::uint64_t content_hash(std::string_view source);
+
+/// Incremental result cache: per-file findings + facts keyed by content
+/// hash, persisted as a versioned text file salted with the rule list (a
+/// rule change invalidates everything). Project findings are recomputed
+/// from the cached facts on every run, so J2/L2 stay correct when an
+/// unrelated file changes.
+class ResultCache {
+ public:
+  /// Load from `path`. Returns false (and stays empty) when the file is
+  /// missing, from another cache version, or corrupt — never an error.
+  bool load(const std::string& path);
+  [[nodiscard]] bool save(const std::string& path) const;
+
+  /// Entry for `path` whose stored hash matches, else nullptr.
+  [[nodiscard]] const FileResult* find(const std::string& path,
+                                       std::uint64_t hash) const;
+  /// Entry for `path` regardless of hash (the --changed merge trusts the
+  /// cache for every file NOT on the changed list).
+  [[nodiscard]] const FileResult* find_any(const std::string& path) const;
+
+  void put(std::uint64_t hash, FileResult result);
+
+  [[nodiscard]] std::vector<std::string> paths() const;
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::uint64_t hash = 0;
+    FileResult result;
+  };
+  std::map<std::string, Entry> entries_;
+};
 
 }  // namespace clip::lint

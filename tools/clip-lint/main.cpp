@@ -1,15 +1,28 @@
-// clip-lint CLI. Scans the given files/directories (recursively, .cpp/.hpp)
-// and exits 0 when no unsuppressed finding remains, 1 when the tree has
-// violations, 2 on usage or I/O errors — the contract scripts/ci.sh and the
-// `ctest -L lint` entry gate on.
+// clip-analyze CLI (binary: clip-lint). Scans the given files/directories
+// (recursively, .cpp/.hpp) through the per-file rule passes and the
+// project-level J2/L2 passes, and exits 0 when no unsuppressed finding
+// remains, 1 when the tree has violations, 2 on usage or I/O errors — the
+// contract scripts/ci.sh and the `ctest -L lint` entry gate on.
 //
 // Usage:
-//   clip-lint [--root DIR] [--json PATH] [--quiet] [--list-rules] PATH...
+//   clip-lint [--root DIR] [--json PATH] [--sarif PATH] [--cache PATH]
+//             [--exclude PREFIX]... [--changed] [--quiet] [--list-rules]
+//             PATH...
+//
+// --cache PATH    load/refresh the incremental result cache: files whose
+//                 content hash matches are served from the cache (the
+//                 project passes still rerun over everyone's cached facts).
+// --changed       PATHs are the files that changed; everything else in the
+//                 cache is trusted as-is with no tree walk. Requires
+//                 --cache with an existing cache file (exit 2 otherwise).
+// --exclude P     drop scanned files whose root-relative path starts with P
+//                 (lint fixtures are deliberately-violating inputs).
 
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -34,11 +47,22 @@ std::string display_path(const fs::path& p, const fs::path& root) {
   return rel.generic_string();
 }
 
+bool excluded(const std::string& display,
+              const std::vector<std::string>& prefixes) {
+  for (const std::string& prefix : prefixes)
+    if (display.rfind(prefix, 0) == 0) return true;
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   fs::path root = fs::current_path();
   std::string json_path;
+  std::string sarif_path;
+  std::string cache_path;
+  std::vector<std::string> excludes;
+  bool changed_mode = false;
   bool quiet = false;
   std::vector<fs::path> inputs;
 
@@ -48,6 +72,14 @@ int main(int argc, char** argv) {
       root = argv[++i];
     } else if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (arg == "--sarif" && i + 1 < argc) {
+      sarif_path = argv[++i];
+    } else if (arg == "--cache" && i + 1 < argc) {
+      cache_path = argv[++i];
+    } else if (arg == "--exclude" && i + 1 < argc) {
+      excludes.emplace_back(argv[++i]);
+    } else if (arg == "--changed") {
+      changed_mode = true;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--list-rules") {
@@ -55,8 +87,9 @@ int main(int argc, char** argv) {
         std::cout << r << '\n';
       return 0;
     } else if (arg == "-h" || arg == "--help") {
-      std::cout << "usage: clip-lint [--root DIR] [--json PATH] [--quiet] "
-                   "[--list-rules] PATH...\n"
+      std::cout << "usage: clip-lint [--root DIR] [--json PATH] "
+                   "[--sarif PATH] [--cache PATH] [--exclude PREFIX]... "
+                   "[--changed] [--quiet] [--list-rules] PATH...\n"
                    "exit codes: 0 clean, 1 unsuppressed findings, 2 error\n";
       return 0;
     } else if (arg.rfind("--", 0) == 0) {
@@ -69,6 +102,17 @@ int main(int argc, char** argv) {
   if (inputs.empty()) {
     std::cerr << "clip-lint: no paths given (try: clip-lint src examples "
                  "bench)\n";
+    return 2;
+  }
+
+  clip::lint::ResultCache cache;
+  bool cache_loaded = false;
+  if (!cache_path.empty()) cache_loaded = cache.load(cache_path);
+  if (changed_mode && !cache_loaded) {
+    std::cerr << "clip-lint: --changed needs a warm cache; run a full scan "
+                 "with --cache first ("
+              << (cache_path.empty() ? "no --cache given" : cache_path)
+              << ")\n";
     return 2;
   }
 
@@ -89,8 +133,12 @@ int main(int argc, char** argv) {
   }
   std::sort(files.begin(), files.end());
 
-  std::vector<clip::lint::Finding> findings;
+  std::vector<clip::lint::FileResult> results;
+  std::set<std::string> seen;
   for (const fs::path& file : files) {
+    const std::string display = display_path(file, root);
+    if (excluded(display, excludes) || !seen.insert(display).second)
+      continue;
     std::ifstream is(file, std::ios::binary);
     if (!is) {
       std::cerr << "clip-lint: cannot read " << file << '\n';
@@ -98,13 +146,48 @@ int main(int argc, char** argv) {
     }
     std::ostringstream buf;
     buf << is.rdbuf();
-    auto file_findings =
-        clip::lint::lint_source(buf.str(), display_path(file, root));
-    findings.insert(findings.end(), file_findings.begin(),
-                    file_findings.end());
+    const std::string source = buf.str();
+    const std::uint64_t hash = clip::lint::content_hash(source);
+    if (const clip::lint::FileResult* hit = cache.find(display, hash)) {
+      results.push_back(*hit);
+    } else {
+      results.push_back(clip::lint::analyze_source(source, display));
+      if (!cache_path.empty()) cache.put(hash, results.back());
+    }
   }
 
-  const int files_scanned = static_cast<int>(files.size());
+  // --changed: merge every cached file that was not re-scanned, so the
+  // project passes (and the report) still see the whole tree.
+  if (changed_mode) {
+    for (const std::string& path : cache.paths()) {
+      if (seen.count(path) != 0) continue;
+      seen.insert(path);
+      results.push_back(*cache.find_any(path));
+    }
+    std::sort(results.begin(), results.end(),
+              [](const clip::lint::FileResult& a,
+                 const clip::lint::FileResult& b) { return a.path < b.path; });
+  }
+
+  std::vector<clip::lint::Finding> findings;
+  for (const clip::lint::FileResult& r : results)
+    findings.insert(findings.end(), r.findings.begin(), r.findings.end());
+  const std::vector<clip::lint::Finding> project =
+      clip::lint::project_rules(results);
+  findings.insert(findings.end(), project.begin(), project.end());
+  std::sort(findings.begin(), findings.end(),
+            [](const clip::lint::Finding& a, const clip::lint::Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+
+  if (!cache_path.empty() && !cache.save(cache_path)) {
+    std::cerr << "clip-lint: cannot write cache " << cache_path << '\n';
+    return 2;
+  }
+
+  const int files_scanned = static_cast<int>(results.size());
   if (!json_path.empty()) {
     std::ofstream os(json_path, std::ios::binary);
     if (!os) {
@@ -112,6 +195,14 @@ int main(int argc, char** argv) {
       return 2;
     }
     os << clip::lint::to_json(findings, files_scanned);
+  }
+  if (!sarif_path.empty()) {
+    std::ofstream os(sarif_path, std::ios::binary);
+    if (!os) {
+      std::cerr << "clip-lint: cannot write " << sarif_path << '\n';
+      return 2;
+    }
+    os << clip::lint::to_sarif(findings);
   }
   if (!quiet) std::cout << clip::lint::to_text(findings, files_scanned);
 

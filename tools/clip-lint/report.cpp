@@ -85,6 +85,48 @@ std::string to_json(const std::vector<Finding>& findings, int files_scanned) {
   return out.str();
 }
 
+std::string to_sarif(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  out << "  \"version\": \"2.1.0\",\n";
+  out << "  \"runs\": [{\n";
+  out << "    \"tool\": {\"driver\": {\n";
+  out << "      \"name\": \"clip-analyze\",\n";
+  out << "      \"informationUri\": \"docs/static-analysis.md\",\n";
+  out << "      \"rules\": [\n";
+  const auto& rules = known_rules();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    out << "        {\"id\": \"" << rules[i]
+        << "\", \"shortDescription\": {\"text\": \""
+        << json_escape(rule_description(rules[i])) << "\"}}"
+        << (i + 1 < rules.size() ? "," : "") << '\n';
+  }
+  out << "      ]\n";
+  out << "    }},\n";
+  out << "    \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out << "      {\"ruleId\": \"" << f.rule << "\", \"level\": \""
+        << (f.suppressed ? "note" : "error") << "\", \"message\": {\"text\": \""
+        << json_escape(f.message) << "\"}, \"locations\": [{"
+        << "\"physicalLocation\": {\"artifactLocation\": {\"uri\": \""
+        << json_escape(f.file) << "\"}, \"region\": {\"startLine\": "
+        << (f.line > 0 ? f.line : 1) << "}}}]";
+    if (f.suppressed) {
+      out << ", \"suppressions\": [{\"kind\": \"inSource\", "
+             "\"justification\": \""
+          << json_escape(f.reason) << "\"}]";
+    }
+    out << '}' << (i + 1 < findings.size() ? "," : "") << '\n';
+  }
+  out << "    ]\n";
+  out << "  }]\n";
+  out << "}\n";
+  return out.str();
+}
+
 std::string to_text(const std::vector<Finding>& findings, int files_scanned) {
   const Summary s = summarize(findings, files_scanned);
   std::ostringstream out;

@@ -1,0 +1,180 @@
+// Function-span detection for clip-analyze. A token-level approximation of
+// the C++ grammar that is exact for the shapes this codebase writes —
+// free/member functions, constructors with init lists, operators, trailing
+// return types — and deliberately conservative elsewhere: a brace it cannot
+// prove is a function body is treated as a transparent container, so rules
+// that key on "inside function F" silently skip code they cannot place
+// rather than misattribute it.
+
+#include <optional>
+#include <set>
+
+#include "analysis.hpp"
+
+namespace clip::lint {
+
+namespace {
+
+const std::set<std::string, std::less<>>& tail_qualifiers() {
+  static const std::set<std::string, std::less<>> kQuals = {
+      "const", "noexcept", "override", "final", "mutable", "try"};
+  return kQuals;
+}
+
+/// Balance backward from the closing token at `j` (")" or "}") to its
+/// opener. Returns the opener index, or npos-equivalent (t.size()) when
+/// unbalanced.
+std::size_t balance_back(const Tokens& t, std::size_t j) {
+  const std::string close = t[j].text;
+  const std::string open = (close == ")") ? "(" : "{";
+  int depth = 0;
+  for (std::size_t k = j + 1; k-- > 0;) {
+    if (t[k].text == close) ++depth;
+    if (t[k].text == open && --depth == 0) return k;
+    if (k == 0) break;
+  }
+  return t.size();
+}
+
+/// Does the `{` at `brace` open a function body? Walks backward over
+/// trailing qualifiers, a trailing return type, and a constructor init
+/// list until it can test for `name ( params )`.
+std::optional<std::pair<std::string, int>> function_head(const Tokens& t,
+                                                         std::size_t brace) {
+  if (brace == 0) return std::nullopt;
+  std::size_t j = brace - 1;
+
+  auto skip_qualifiers = [&]() {
+    while (j > 0 && tok_ident(t, j) && tail_qualifiers().count(t[j].text) != 0)
+      --j;
+    // noexcept(expr): qualifier keyword carrying a balanced paren group.
+    if (j > 0 && t[j].text == ")") {
+      const std::size_t open = balance_back(t, j);
+      if (open != t.size() && open >= 2 && tok_is(t, open - 1, "noexcept"))
+        j = open - 2;
+    }
+  };
+  skip_qualifiers();
+
+  // Trailing return type `-> T` / `-> std::vector<int>`: scan back over the
+  // type tokens; if the run is introduced by `->`, drop it and re-skip.
+  {
+    std::size_t probe = j;
+    while (probe > 0 &&
+           (tok_ident(t, probe) || t[probe].kind == Token::Kind::kNumber ||
+            t[probe].text == "::" || t[probe].text == "<" ||
+            t[probe].text == ">" || t[probe].text == "*" ||
+            t[probe].text == "&" || t[probe].text == ","))
+      --probe;
+    if (probe > 0 && t[probe].text == "->") {
+      j = probe - 1;
+      skip_qualifiers();
+    }
+  }
+
+  // Now expect the parameter list close — possibly with a constructor init
+  // list (`) : a_(x), b_{y}`) between it and the brace. Walk the groups
+  // right-to-left: each init-list group is `ident ( ... )` or `ident { ... }`
+  // preceded by `,` or `:`; the `:` is preceded by the parameter list.
+  std::string name;
+  while (true) {
+    if (t[j].text != ")" && t[j].text != "}") return std::nullopt;
+    const std::size_t open = balance_back(t, j);
+    if (open == t.size() || open == 0) return std::nullopt;
+    std::size_t before = open - 1;
+
+    // `operator()` / `operator==` / `operator<` style declarators: the
+    // parameter list may follow punctuation that follows `operator`.
+    if (tok_ident(t, before)) {
+      name = t[before].text;
+    } else {
+      std::size_t p = before;
+      while (p > 0 && t[p].kind == Token::Kind::kPunct && t[p].text != ")" &&
+             t[p].text != "}" && t[p].text != ";")
+        --p;
+      if (!tok_is(t, p, "operator")) return std::nullopt;
+      name = "operator";
+      before = p;
+    }
+
+    // Control flow and plain init lists are not function heads.
+    static const std::set<std::string, std::less<>> kNotAHead = {
+        "if", "for", "while", "switch", "catch", "return", "sizeof",
+        "alignof", "decltype", "assert"};
+    if (kNotAHead.count(name) != 0) return std::nullopt;
+
+    if (before == 0) return std::make_pair(name, t[brace].line);
+    const std::string& prev = t[before - 1].text;
+    if (prev == ",") {
+      // Another init-list group to our left.
+      j = before >= 2 ? before - 2 : 0;
+      continue;
+    }
+    if (prev == ":" && !(before >= 2 && t[before - 2].text == ":")) {
+      // `) : name(x)` — the group left of the colon is the parameter list.
+      j = before >= 2 ? before - 2 : 0;
+      if (t[j].text != ")") return std::nullopt;
+      const std::size_t popen = balance_back(t, j);
+      if (popen == t.size() || popen == 0) return std::nullopt;
+      if (!tok_ident(t, popen - 1)) return std::nullopt;
+      name = t[popen - 1].text;
+      if (kNotAHead.count(name) != 0) return std::nullopt;
+      return std::make_pair(name, t[brace].line);
+    }
+    // Direct `name(params) {`: prev must not be something that makes this
+    // an initializer (`=`) or a call in an expression.
+    if (prev == "=" || prev == "(" || prev == "," || prev == "return")
+      return std::nullopt;
+    return std::make_pair(name, t[brace].line);
+  }
+}
+
+}  // namespace
+
+std::size_t find_close_paren(const Tokens& t, std::size_t open) {
+  int d = 0;
+  for (std::size_t j = open; j < t.size(); ++j) {
+    if (t[j].text == "(") ++d;
+    if (t[j].text == ")" && --d == 0) return j;
+  }
+  return t.size();
+}
+
+std::vector<FunctionSpan> find_functions(const Tokens& t) {
+  std::vector<FunctionSpan> out;
+  // Brace stack: index into `out` for a function root, -1 for any other
+  // brace (namespace/class/body/initializer).
+  std::vector<int> stack;
+  bool in_function = false;
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].text == "{") {
+      int mark = -1;
+      if (!in_function) {
+        if (auto head = function_head(t, i)) {
+          FunctionSpan span;
+          span.name = head->first;
+          span.line = head->second;
+          span.body_begin = i;
+          span.body_end = t.size() - 1;  // patched at the close
+          out.push_back(span);
+          mark = static_cast<int>(out.size()) - 1;
+          in_function = true;
+        }
+      }
+      stack.push_back(mark);
+    } else if (t[i].text == "}") {
+      if (!stack.empty()) {
+        const int mark = stack.back();
+        stack.pop_back();
+        if (mark >= 0) {
+          out[static_cast<std::size_t>(mark)].body_end = i;
+          in_function = false;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace clip::lint
